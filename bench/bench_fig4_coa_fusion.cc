@@ -1,0 +1,77 @@
+// Figure 4: the effect of copy-on-access (vs copy-on-write) unmerging on fusion
+// rates, plus the zero-page-only strawman. Four Apache VMs boot staggered; the
+// series is saved memory over time. Expected shape: CoA tracks CoW closely (~1%
+// apart after stabilizing); zero-only captures only a small fraction.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/workload/apache_workload.h"
+#include "bench/bench_common.h"
+
+namespace vusion {
+namespace {
+
+constexpr SimTime kStagger = 20 * kSecond;   // paper: 5 minutes, scaled
+constexpr SimTime kTotal = 200 * kSecond;
+constexpr SimTime kSample = 10 * kSecond;
+
+std::vector<double> RunSeries(EngineKind kind) {
+  Scenario scenario(EvalScenario(kind));
+  std::vector<double> series;
+  std::vector<std::unique_ptr<ApacheWorkload>> servers;
+  SimTime next_boot = 0;
+  std::size_t booted = 0;
+  for (SimTime t = 0; t <= kTotal; t += kSample) {
+    while (booted < 4 && t >= next_boot) {
+      Process& vm = scenario.BootVm(EvalImage(), 100 + booted);
+      ApacheWorkload::Config config;
+      config.initial_workers = 4;
+      config.max_workers = 8;
+      servers.push_back(std::make_unique<ApacheWorkload>(vm, config, 7 + booted));
+      ++booted;
+      next_boot += kStagger;
+    }
+    // Light background load on every booted server (they provide fusion fodder).
+    for (auto& server : servers) {
+      server->Run(100 * kMillisecond);
+    }
+    scenario.RunFor(kSample);
+    series.push_back(scenario.engine() != nullptr
+                         ? static_cast<double>(scenario.engine()->frames_saved()) * kPageSize /
+                               (1024.0 * 1024.0)
+                         : 0.0);
+  }
+  return series;
+}
+
+void Run() {
+  PrintHeader("Figure 4: copy-on-access vs copy-on-write fusion rates (4 Apache VMs)");
+  const EngineKind kinds[] = {EngineKind::kKsm, EngineKind::kKsmCoA, EngineKind::kKsmZeroOnly};
+  std::vector<std::vector<double>> all;
+  for (const EngineKind kind : kinds) {
+    all.push_back(RunSeries(kind));
+  }
+  std::printf("%-8s %-14s %-14s %-14s\n", "t(s)", "CoW (KSM)", "CoA", "zero-only");
+  for (std::size_t i = 0; i < all[0].size(); ++i) {
+    std::printf("%-8llu %-14.1f %-14.1f %-14.1f\n",
+                static_cast<unsigned long long>(i * (kSample / kSecond)), all[0][i], all[1][i],
+                all[2][i]);
+  }
+  const double final_cow = all[0].back();
+  const double final_coa = all[1].back();
+  const double final_zero = all[2].back();
+  std::printf("\nfinal saved MB: CoW=%.1f CoA=%.1f (%.1f%% of CoW) zero-only=%.1f (%.0f%%)\n",
+              final_cow, final_coa, 100.0 * final_coa / final_cow, final_zero,
+              100.0 * final_zero / final_cow);
+  std::printf("paper: CoA within ~1%% of CoW; zero pages only ~16%% of duplicates\n");
+}
+
+}  // namespace
+}  // namespace vusion
+
+int main() {
+  vusion::Run();
+  return 0;
+}

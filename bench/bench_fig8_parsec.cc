@@ -1,0 +1,62 @@
+// Figure 8: performance overhead on the PARSEC-style suite (paper: KSM 1.7%,
+// VUsion +0.5%, VUsion-THP improves on KSM by 1.4%).
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/workload/parsec_workload.h"
+#include "bench/bench_common.h"
+
+namespace vusion {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 8: PARSEC overhead vs no-dedup (%)");
+  std::map<EngineKind, std::vector<double>> runtime;
+  for (const EngineKind kind : EvalEngines()) {
+    Scenario scenario(EvalScenario(kind));
+    for (int i = 0; i < 3; ++i) {
+      scenario.BootVm(EvalImage(), 10 + i);
+    }
+    std::vector<std::pair<Process*, SpecWorkload::Prepared>> prepared;
+    for (const SyntheticBenchmark& bench : ParsecWorkload::Suite()) {
+      Process& proc = scenario.machine().CreateProcess();
+      prepared.emplace_back(&proc, SpecWorkload::Prepare(proc, bench));
+    }
+    scenario.RunFor(60 * kSecond);
+    Rng rng(23);
+    for (auto& [proc, prep] : prepared) {
+      runtime[kind].push_back(static_cast<double>(SpecWorkload::Run(*proc, prep, rng)));
+    }
+  }
+  const auto suite = ParsecWorkload::Suite();
+  std::printf("%-14s %-12s %-12s %-12s\n", "benchmark", "KSM %", "VUsion %",
+              "VUsion-THP %");
+  std::map<EngineKind, std::vector<double>> ratios;
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    const double base = runtime[EngineKind::kNone][b];
+    std::printf("%-14s", suite[b].name);
+    for (const EngineKind kind :
+         {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp}) {
+      ratios[kind].push_back(runtime[kind][b] / base);
+      std::printf(" %-12.2f", 100.0 * (runtime[kind][b] - base) / base);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "geomean");
+  for (const EngineKind kind :
+       {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp}) {
+    std::printf(" %-12.2f", 100.0 * (GeometricMean(ratios[kind]) - 1.0));
+  }
+  std::printf("\n\npaper: geomean KSM 1.7%%, VUsion 2.2%%, VUsion THP 0.8%% (absolute)\n");
+}
+
+}  // namespace
+}  // namespace vusion
+
+int main() {
+  vusion::Run();
+  return 0;
+}

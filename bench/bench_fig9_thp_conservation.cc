@@ -1,0 +1,68 @@
+// Figure 9: number of huge pages over the runtime of the Apache benchmark.
+// Expected shape: VUsion-THP conserves (working-set) huge pages; base VUsion and
+// KSM progressively lose them to splitting.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/workload/apache_workload.h"
+#include "bench/bench_common.h"
+
+namespace vusion {
+namespace {
+
+std::vector<std::uint64_t> RunSeries(EngineKind kind) {
+  ScenarioConfig config = EvalScenario(kind);
+  // khugepaged runs in every configuration for this experiment.
+  config.enable_khugepaged = true;
+  config.khugepaged.period = 2 * kSecond;
+  config.khugepaged.ranges_per_wake = 16;
+  config.khugepaged.period = 1 * kSecond;
+  config.khugepaged.ranges_per_wake = 32;
+  Scenario scenario(config);
+  for (int i = 0; i < 3; ++i) {
+    scenario.BootVm(EvalImage(), 10 + i);
+  }
+  Process& server = scenario.machine().CreateProcess();
+  // THP-sized prefork workers: each worker's 2 MB region is what khugepaged can
+  // collapse (and what fusion splits), the tension Figure 9 plots.
+  ApacheWorkload::Config apache_config;
+  apache_config.worker_pages = kPagesPerHugePage;
+  apache_config.initial_workers = 4;
+  apache_config.max_workers = 24;
+  apache_config.worker_spawn_interval = 10 * kSecond;
+  ApacheWorkload apache(server, apache_config, 3);
+
+  std::vector<std::uint64_t> series;
+  series.push_back(scenario.machine().CountHugeMappings());
+  for (int slice = 0; slice < 10; ++slice) {
+    apache.Run(10 * kSecond);
+    series.push_back(scenario.machine().CountHugeMappings());
+  }
+  return series;
+}
+
+void Run() {
+  PrintHeader("Figure 9: huge pages over time during the Apache benchmark");
+  std::vector<std::vector<std::uint64_t>> all;
+  const EngineKind kinds[] = {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp};
+  for (const EngineKind kind : kinds) {
+    all.push_back(RunSeries(kind));
+  }
+  std::printf("%-8s %-10s %-10s %-12s\n", "t(s)", "KSM", "VUsion", "VUsion-THP");
+  for (std::size_t i = 0; i < all[0].size(); ++i) {
+    std::printf("%-8llu %-10llu %-10llu %-12llu\n", static_cast<unsigned long long>(i * 10),
+                static_cast<unsigned long long>(all[0][i]),
+                static_cast<unsigned long long>(all[1][i]),
+                static_cast<unsigned long long>(all[2][i]));
+  }
+  std::printf("\npaper: VUsion THP retains clearly more huge pages than KSM/VUsion\n");
+}
+
+}  // namespace
+}  // namespace vusion
+
+int main() {
+  vusion::Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Host-side microbenchmarks of the simulator's hot primitives (google-benchmark):
+// content hashing/compare, the buddy allocator, the content-keyed red-black tree,
+// the LLC, and the full timed access path. These bound the wall-clock cost of the
+// evaluation benches.
+
+#include <benchmark/benchmark.h>
+
+#include "src/container/rbtree.h"
+#include "src/kernel/process.h"
+#include "src/phys/buddy_allocator.h"
+
+namespace vusion {
+namespace {
+
+void BM_PatternHash(benchmark::State& state) {
+  PhysicalMemory mem(64);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    mem.FillPattern(0, seed++);
+    benchmark::DoNotOptimize(mem.HashContent(0));
+  }
+}
+BENCHMARK(BM_PatternHash);
+
+void BM_CachedHash(benchmark::State& state) {
+  PhysicalMemory mem(64);
+  mem.FillPattern(0, 7);
+  benchmark::DoNotOptimize(mem.HashContent(0));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.HashContent(0));
+  }
+}
+BENCHMARK(BM_CachedHash);
+
+void BM_ContentCompareEqualPatterns(benchmark::State& state) {
+  PhysicalMemory mem(64);
+  mem.FillPattern(0, 7);
+  mem.FillPattern(1, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.Compare(0, 1));
+  }
+}
+BENCHMARK(BM_ContentCompareEqualPatterns);
+
+void BM_ContentCompareMaterialized(benchmark::State& state) {
+  PhysicalMemory mem(64);
+  mem.FillPattern(0, 7);
+  mem.FillPattern(1, 7);
+  mem.WriteU64(0, 0, mem.ReadU64(0, 0));
+  mem.WriteU64(1, 0, mem.ReadU64(1, 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.Compare(0, 1));
+  }
+}
+BENCHMARK(BM_ContentCompareMaterialized);
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  PhysicalMemory mem(1u << 14);
+  BuddyAllocator buddy(mem);
+  for (auto _ : state) {
+    const FrameId f = buddy.Allocate();
+    buddy.Free(f);
+  }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+struct IntCompare {
+  int operator()(const int& a, const int& b) const { return (a > b) - (a < b); }
+};
+
+void BM_RbTreeInsertFind(benchmark::State& state) {
+  RbTree<int, IntCompare> tree;
+  int i = 0;
+  for (auto _ : state) {
+    tree.Insert(i);
+    const int target = i / 2;
+    benchmark::DoNotOptimize(
+        tree.Find([target](const int& v) { return (target > v) - (target < v); }));
+    ++i;
+  }
+}
+BENCHMARK(BM_RbTreeInsertFind);
+
+void BM_LlcAccess(benchmark::State& state) {
+  Llc llc(CacheConfig{});
+  PhysAddr addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llc.Access(addr));
+    addr += 64;
+  }
+}
+BENCHMARK(BM_LlcAccess);
+
+void BM_TimedProcessRead(benchmark::State& state) {
+  MachineConfig config;
+  config.frame_count = 1u << 14;
+  Machine machine(config);
+  Process& p = machine.CreateProcess();
+  const VirtAddr base = p.AllocateRegion(512, PageType::kAnonymous, false, false);
+  for (std::size_t i = 0; i < 512; ++i) {
+    p.SetupMapPattern(VaddrToVpn(base) + i, i);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Read64(base + (i % 512) * kPageSize + (i % 512) * 8));
+    ++i;
+  }
+}
+BENCHMARK(BM_TimedProcessRead);
+
+}  // namespace
+}  // namespace vusion
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// §9.1 "Enforcing SB": Kolmogorov-Smirnov test that access timings on merged and
+// unmerged pages follow the same distribution under VUsion, for both reads and
+// writes, contrasted with KSM's decisively rejected null hypothesis.
+
+#include <cstdio>
+
+#include "src/attack/cow_side_channel.h"
+#include "src/sim/ks_test.h"
+#include "bench/bench_common.h"
+
+namespace vusion {
+namespace {
+
+void Row(EngineKind kind, bool use_reads) {
+  AttackEnvironment env(kind, 1, AttackMachineConfig(), AttackFusionConfig());
+  const CowSideChannel::Samples samples = CowSideChannel::Collect(env, 500, use_reads);
+  const KsResult ks = KsTwoSample(samples.hit_times, samples.miss_times);
+  std::printf("%-12s %-8s D=%.3f  p=%-8.3g %s\n", EngineKindName(kind),
+              use_reads ? "reads" : "writes", ks.statistic, ks.p_value,
+              ks.p_value > 0.05 ? "same distribution (SB holds)" : "DISTINGUISHABLE");
+}
+
+void Run() {
+  PrintHeader("Security: Same Behaviour enforcement (KS test, 1000 accesses/class)");
+  Row(EngineKind::kKsm, /*use_reads=*/false);
+  Row(EngineKind::kVUsion, /*use_reads=*/false);
+  Row(EngineKind::kVUsion, /*use_reads=*/true);
+  std::printf("\npaper: VUsion reads p=0.36 -> merged/unmerged timings indistinguishable\n");
+}
+
+}  // namespace
+}  // namespace vusion
+
+int main() {
+  vusion::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 1: every attack from the paper run against KSM, WPF, and VUsion.
+// Expected shape: all six attacks succeed against at least one insecure system;
+// VUsion (SB + RA) stops all of them.
+
+#include <cstdio>
+#include <functional>
+
+#include "src/attack/cain_attack.h"
+#include "src/attack/cow_side_channel.h"
+#include "src/attack/dedup_est_machina.h"
+#include "src/attack/flip_feng_shui.h"
+#include "src/attack/flush_reload_attack.h"
+#include "src/attack/page_color_attack.h"
+#include "src/attack/reuse_flip_feng_shui.h"
+#include "src/attack/row_buffer_attack.h"
+#include "src/attack/translation_attack.h"
+#include "bench/bench_common.h"
+
+namespace vusion {
+namespace {
+
+struct AttackRow {
+  const char* name;
+  const char* mechanism;
+  const char* mitigation;
+  std::function<AttackOutcome(EngineKind, std::uint64_t)> run;
+};
+
+void Run() {
+  PrintHeader("Table 1: attacks against page fusion and their mitigations");
+  const AttackRow rows[] = {
+      {"Copy-on-write", "Unmerge", "SB", CowSideChannel::Run},
+      {"CAIN ASLR brute-force", "Unmerge", "SB",
+       [](EngineKind kind, std::uint64_t seed) { return CainAttack::Run(kind, seed); }},
+      {"DEM partial leak", "Unmerge", "SB",
+       [](EngineKind kind, std::uint64_t seed) {
+         return DedupEstMachina::RunPartialLeak(kind, seed);
+       }},
+      {"DEM birthday", "Unmerge", "SB",
+       [](EngineKind kind, std::uint64_t seed) {
+         return DedupEstMachina::RunBirthday(kind, seed);
+       }},
+      {"Page color (new)", "Merge", "SB", PageColorAttack::Run},
+      {"Page sharing (new)", "Merge", "SB", FlushReloadAttack::Run},
+      {"Row buffer (analysis)", "Merge", "SB", RowBufferAttack::Run},
+      {"Translation (new)", "Merge", "SB", TranslationAttack::Run},
+      {"Flip Feng Shui", "Merge", "RA", FlipFengShui::Run},
+      {"Reuse-based FFS (new)", "Reuse", "RA", ReuseFlipFengShui::Run},
+  };
+  const EngineKind targets[] = {EngineKind::kKsm, EngineKind::kWpf, EngineKind::kVUsion};
+
+  std::printf("%-24s %-9s %-10s %-10s %-10s %-10s\n", "attack", "mechanism", "mitigation",
+              "KSM", "WPF", "VUsion");
+  bool vusion_secure = true;
+  for (const AttackRow& row : rows) {
+    std::printf("%-24s %-9s %-10s ", row.name, row.mechanism, row.mitigation);
+    for (const EngineKind target : targets) {
+      const AttackOutcome outcome = row.run(target, 1);
+      std::printf("%-10s ", outcome.success ? "BROKEN" : "safe");
+      if (target == EngineKind::kVUsion && outcome.success) {
+        vusion_secure = false;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nVUsion stops all attacks: %s (paper: yes)\n", vusion_secure ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace vusion
+
+int main() {
+  vusion::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 3: contribution of page types to page fusion (page cache / guest-free
+// "buddy" / kernel / rest). Expected shape: page cache ~half, buddy pages the next
+// largest share, kernel single digits.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace vusion {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3: contribution of page types to page fusion (%)");
+  std::printf("%-12s %-14s %-10s %-10s %-10s\n", "system", "page cache", "buddy", "kernel",
+              "rest");
+  for (const EngineKind kind :
+       {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp}) {
+    Scenario scenario(EvalScenario(kind));
+    for (int i = 0; i < 4; ++i) {
+      scenario.BootVm(EvalImage(), 40 + i);
+    }
+    scenario.RunFor(120 * kSecond);
+    const auto& by_type = scenario.engine()->stats().merges_by_type;
+    double total = 0.0;
+    for (const std::uint64_t count : by_type) {
+      total += static_cast<double>(count);
+    }
+    if (total == 0.0) {
+      total = 1.0;
+    }
+    std::printf("%-12s %-14.1f %-10.1f %-10.1f %-10.1f\n", EngineKindName(kind),
+                100.0 * by_type[static_cast<int>(PageType::kPageCache)] / total,
+                100.0 * by_type[static_cast<int>(PageType::kGuestBuddy)] / total,
+                100.0 * by_type[static_cast<int>(PageType::kGuestKernel)] / total,
+                100.0 * by_type[static_cast<int>(PageType::kAnonymous)] / total);
+  }
+  std::printf("\npaper (KSM row): page cache 51.8, buddy 38.4, kernel 6.9, rest 2.9\n");
+}
+
+}  // namespace
+}  // namespace vusion
+
+int main() {
+  vusion::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: build a simulated machine, boot two same-image VMs, attach VUsion,
+// and watch secure page fusion reclaim the duplicate memory - then demonstrate
+// that a write still sees correct copy-on-access semantics.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/fusion/engine_factory.h"
+#include "src/workload/scenario.h"
+
+using namespace vusion;
+
+int main() {
+  // A 256 MB machine with the paper's cache/DRAM geometry and KSM's default scan
+  // rate (100 pages per 20 ms wake-up).
+  ScenarioConfig config;
+  config.machine.frame_count = 1u << 16;
+  config.engine = EngineKind::kVUsion;
+  config.fusion.pool_frames = 4096;  // the Randomized Allocation entropy pool
+  Scenario scenario(config);
+
+  // Boot two VMs from the same image: lots of identical pages.
+  VmImageSpec image;
+  image.total_pages = 2048;  // 8 MB guests
+  Process& vm1 = scenario.BootVm(image, /*instance_seed=*/1);
+  Process& vm2 = scenario.BootVm(image, /*instance_seed=*/2);
+
+  std::printf("booted 2 VMs: consumed %.1f MB\n", scenario.consumed_mb());
+
+  // Let the VUsion scanner work for a minute of simulated time.
+  for (int i = 1; i <= 6; ++i) {
+    scenario.RunFor(10 * kSecond);
+    std::printf("t=%3ds  consumed %.1f MB  (saved %llu frames, %llu fake merges)\n",
+                i * 10, scenario.consumed_mb(),
+                static_cast<unsigned long long>(scenario.engine()->frames_saved()),
+                static_cast<unsigned long long>(scenario.engine()->stats().fake_merges));
+  }
+
+  // Copy-on-access semantics: vm1 writes to a fused page; vm2's copy is untouched.
+  const VmArea& kernel_vma = vm1.address_space().vmas().areas()[0];
+  const VirtAddr addr = VpnToVaddr(kernel_vma.start);
+  const std::uint64_t vm2_before = vm2.Read64(addr);
+  vm1.Write64(addr, 0xdeadbeef);
+  std::printf("\nvm1 wrote 0xdeadbeef to a fused kernel page:\n");
+  std::printf("  vm1 reads %#llx\n", static_cast<unsigned long long>(vm1.Read64(addr)));
+  std::printf("  vm2 reads %#llx (unchanged: %s)\n",
+              static_cast<unsigned long long>(vm2.Read64(addr)),
+              vm2.Read64(addr) == vm2_before ? "yes" : "NO - BUG");
+  std::printf("\ncopy-on-access events so far: %llu\n",
+              static_cast<unsigned long long>(scenario.engine()->stats().unmerges_coa));
+  return 0;
+}

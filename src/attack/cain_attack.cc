@@ -1,0 +1,71 @@
+#include "src/attack/cain_attack.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vusion {
+
+namespace {
+
+constexpr std::uint64_t kPageBaseSeed = 0xca19;      // the known page contents
+constexpr std::size_t kPointerOffset = 0x38;         // where the pointer lives
+constexpr std::uint64_t kPointerBase = 0x7f0000000000ULL;
+
+// Builds "known page with candidate pointer" content in the given frame.
+void CraftGuess(Machine& machine, FrameId frame, std::uint64_t candidate) {
+  machine.memory().FillPattern(frame, kPageBaseSeed);
+  machine.memory().WriteU64(frame, kPointerOffset, kPointerBase | (candidate << 12));
+}
+
+}  // namespace
+
+AttackOutcome CainAttack::Run(EngineKind kind, std::uint64_t seed, int entropy_bits) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+  Machine& machine = attacker.machine();
+  const std::size_t guesses = std::size_t{1} << entropy_bits;
+
+  // The victim's randomized pointer value.
+  Rng secret_rng(seed * 31 + 7);
+  const std::uint64_t secret = secret_rng.NextBelow(guesses);
+  const VirtAddr victim_page =
+      victim.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  victim.SetupMapZero(VaddrToVpn(victim_page));
+  CraftGuess(machine, victim.TranslateFrame(VaddrToVpn(victim_page)), secret);
+
+  // One guess page per candidate value.
+  const VirtAddr spray =
+      attacker.AllocateRegion(guesses, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::uint64_t g = 0; g < guesses; ++g) {
+    attacker.SetupMapZero(VaddrToVpn(spray) + g);
+    CraftGuess(machine, attacker.TranslateFrame(VaddrToVpn(spray) + g), g);
+  }
+
+  env.WaitFusionRounds(6);
+
+  // Probe every guess with a timed write; the slow outlier is the merged one.
+  std::vector<double> times(guesses);
+  for (std::uint64_t g = 0; g < guesses; ++g) {
+    times[g] = static_cast<double>(attacker.TimedWrite(spray + g * kPageSize, 0xbad));
+  }
+  const auto max_it = std::max_element(times.begin(), times.end());
+  const auto recovered = static_cast<std::uint64_t>(max_it - times.begin());
+  // Decisive signal: the outlier clearly separates from the median.
+  std::vector<double> sorted = times;
+  std::nth_element(sorted.begin(), sorted.begin() + guesses / 2, sorted.end());
+  const double median = sorted[guesses / 2];
+  // Copy-on-write costs microseconds; cold-cache writes only a few hundred ns.
+  const bool decisive = *max_it > median + 1500.0;
+
+  AttackOutcome outcome;
+  outcome.success = decisive && recovered == secret;
+  outcome.confidence = outcome.success ? 1.0 : 0.0;
+  std::ostringstream detail;
+  detail << "secret=" << secret << " recovered=" << recovered
+         << (decisive ? " (decisive outlier)" : " (no outlier: uniform timings)");
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

@@ -1,0 +1,25 @@
+// CAIN (paper §4.1, Barresi et al., WOOT'15): brute-forcing ASLR across VMs. The
+// victim holds a page that is entirely known except for a randomized pointer; the
+// attacker sprays one guess page per candidate pointer value and, after a fusion
+// pass, times a write to each guess. The copy-on-write outlier reveals which
+// candidate the victim actually holds - recovering the randomized bits. Under
+// VUsion every guess costs the same copy-on-access, so the argmax is noise.
+
+#ifndef VUSION_SRC_ATTACK_CAIN_ATTACK_H_
+#define VUSION_SRC_ATTACK_CAIN_ATTACK_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class CainAttack {
+ public:
+  // Tries to recover `entropy_bits` of a randomized pointer (2^bits guess pages).
+  // success = the recovered value equals the victim's secret AND the timing signal
+  // was decisive.
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed, int entropy_bits = 6);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_CAIN_ATTACK_H_

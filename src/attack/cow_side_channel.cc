@@ -1,0 +1,59 @@
+#include "src/attack/cow_side_channel.h"
+
+#include <sstream>
+
+namespace vusion {
+
+namespace {
+constexpr std::uint64_t kSecretSeed = 0x5ec7e7;
+constexpr std::uint64_t kMissSeedBase = 0xdeadbeef00ULL;
+}  // namespace
+
+CowSideChannel::Samples CowSideChannel::Collect(AttackEnvironment& env,
+                                                std::size_t pages_per_class,
+                                                bool use_reads) {
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+
+  // Victim holds a page with the secret content.
+  const VirtAddr victim_base =
+      victim.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  victim.SetupMapPattern(VaddrToVpn(victim_base), kSecretSeed);
+
+  // Attacker's guesses: `pages_per_class` copies of the secret guess (hits) and as
+  // many unique-content pages (misses).
+  const VirtAddr guess_base = attacker.AllocateRegion(
+      2 * pages_per_class, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::size_t i = 0; i < pages_per_class; ++i) {
+    attacker.SetupMapPattern(VaddrToVpn(guess_base) + i, kSecretSeed);
+    attacker.SetupMapPattern(VaddrToVpn(guess_base) + pages_per_class + i,
+                             kMissSeedBase + i);
+  }
+
+  env.WaitFusionRounds(6);
+
+  Samples samples;
+  for (std::size_t i = 0; i < 2 * pages_per_class; ++i) {
+    const VirtAddr vaddr = guess_base + i * kPageSize;
+    const SimTime t = use_reads ? env.attacker().TimedRead(vaddr)
+                                : env.attacker().TimedWrite(vaddr, 0x41);
+    auto& bucket = (i < pages_per_class) ? samples.hit_times : samples.miss_times;
+    bucket.push_back(static_cast<double>(t));
+  }
+  return samples;
+}
+
+AttackOutcome CowSideChannel::Run(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  const Samples samples = Collect(env, 24, /*use_reads=*/false);
+  AttackOutcome outcome;
+  double p = 0.0;
+  outcome.success = TimingDistinguishable(samples.hit_times, samples.miss_times, &p);
+  outcome.confidence = 1.0 - p;
+  std::ostringstream detail;
+  detail << "write-timing KS p=" << p;
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

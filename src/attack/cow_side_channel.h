@@ -1,0 +1,35 @@
+// The classic unmerge-based information disclosure attack (paper §4.1, Figure 5):
+// the attacker crafts guess pages, waits for a fusion pass, and times a write to
+// each guess. A slow (copy-on-write) write reveals that another copy of that
+// content exists in the system - leaking whether the victim holds the guessed
+// secret. VUsion defeats it by Fake Merging: every candidate page, merged or not,
+// costs one identical copy-on-access fault.
+
+#ifndef VUSION_SRC_ATTACK_COW_SIDE_CHANNEL_H_
+#define VUSION_SRC_ATTACK_COW_SIDE_CHANNEL_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class CowSideChannel {
+ public:
+  struct Samples {
+    std::vector<double> hit_times;   // writes to guesses matching the victim page
+    std::vector<double> miss_times;  // writes to guesses matching nothing
+  };
+
+  // Runs the full attack against the given engine. success = the attacker can tell
+  // hits from misses.
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed);
+
+  // Lower-level entry point returning the raw timing samples (used by the Fig 5/6
+  // benches to plot the frequency distributions). `pages_per_class` guesses of each
+  // class are probed with `use_reads` selecting read- vs write-probing.
+  static Samples Collect(AttackEnvironment& env, std::size_t pages_per_class,
+                         bool use_reads);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_COW_SIDE_CHANNEL_H_

@@ -1,0 +1,152 @@
+#include "src/attack/dedup_est_machina.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace vusion {
+
+namespace {
+
+// Crafts "known page with embedded value": base pattern + the value at a fixed
+// offset, the same construction on both sides so identical values merge.
+void CraftPage(Machine& machine, FrameId frame, std::uint64_t stage_seed,
+               std::uint64_t value) {
+  machine.memory().FillPattern(frame, stage_seed);
+  machine.memory().WriteU64(frame, 0x40, value);
+}
+
+// Sprays one guess page per candidate in [0, 2^bits), waits for fusion, and times
+// a write to each. Returns the recovered value if a decisive outlier exists.
+std::optional<std::uint64_t> BruteForceStage(AttackEnvironment& env,
+                                             std::uint64_t stage_seed, int bits) {
+  Process& attacker = env.attacker();
+  Machine& machine = attacker.machine();
+  const std::size_t guesses = std::size_t{1} << bits;
+  const VirtAddr spray =
+      attacker.AllocateRegion(guesses, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::uint64_t g = 0; g < guesses; ++g) {
+    attacker.SetupMapZero(VaddrToVpn(spray) + g);
+    CraftPage(machine, attacker.TranslateFrame(VaddrToVpn(spray) + g), stage_seed, g);
+  }
+  env.WaitFusionRounds(6);
+  std::vector<double> times(guesses);
+  for (std::uint64_t g = 0; g < guesses; ++g) {
+    times[g] = static_cast<double>(attacker.TimedWrite(spray + g * kPageSize, 1));
+  }
+  const auto max_it = std::max_element(times.begin(), times.end());
+  std::vector<double> sorted = times;
+  std::nth_element(sorted.begin(), sorted.begin() + guesses / 2, sorted.end());
+  // Copy-on-write costs microseconds; cold-cache writes only a few hundred ns.
+  if (*max_it <= sorted[guesses / 2] + 1500.0) {
+    return std::nullopt;  // no outlier: nothing leaked
+  }
+  return static_cast<std::uint64_t>(max_it - times.begin());
+}
+
+}  // namespace
+
+AttackOutcome DedupEstMachina::RunPartialLeak(EngineKind kind, std::uint64_t seed,
+                                              int bits_per_stage) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& victim = env.victim();
+  Machine& machine = victim.machine();
+  Rng secret_rng(seed * 71 + 3);
+  const std::uint64_t mask = (std::uint64_t{1} << bits_per_stage) - 1;
+  const std::uint64_t secret_low = secret_rng.NextBelow(mask + 1);
+  const std::uint64_t secret_high = secret_rng.NextBelow(mask + 1);
+
+  // The alignment trick: the 2k-bit secret straddles a page boundary, so each
+  // victim page holds only one k-bit half next to otherwise-known bytes.
+  const VirtAddr victim_pages =
+      victim.AllocateRegion(2, PageType::kAnonymous, /*mergeable=*/true, false);
+  victim.SetupMapZero(VaddrToVpn(victim_pages));
+  victim.SetupMapZero(VaddrToVpn(victim_pages) + 1);
+  CraftPage(machine, victim.TranslateFrame(VaddrToVpn(victim_pages)), 0xdecaf1, secret_low);
+  CraftPage(machine, victim.TranslateFrame(VaddrToVpn(victim_pages) + 1), 0xdecaf2,
+            secret_high);
+
+  // Two fusion passes, one k-bit brute force each.
+  const std::optional<std::uint64_t> low = BruteForceStage(env, 0xdecaf1, bits_per_stage);
+  const std::optional<std::uint64_t> high = BruteForceStage(env, 0xdecaf2, bits_per_stage);
+
+  AttackOutcome outcome;
+  outcome.success = low.has_value() && high.has_value() && *low == secret_low &&
+                    *high == secret_high;
+  outcome.confidence = outcome.success ? 1.0 : 0.0;
+  std::ostringstream detail;
+  detail << "secret=" << ((secret_high << bits_per_stage) | secret_low);
+  if (low.has_value() && high.has_value()) {
+    detail << " recovered=" << ((*high << bits_per_stage) | *low);
+  } else {
+    detail << " no decisive outlier (SB holds)";
+  }
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+AttackOutcome DedupEstMachina::RunBirthday(EngineKind kind, std::uint64_t seed,
+                                           int secret_bits, std::size_t secrets,
+                                           std::size_t guesses) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+  Machine& machine = attacker.machine();
+  const std::uint64_t space = std::uint64_t{1} << secret_bits;
+
+  // The victim generates many independent secrets (the JavaScript-runtime heap of
+  // the paper's browser attack).
+  Rng rng(seed * 131 + 17);
+  std::set<std::uint64_t> victim_secrets;
+  const VirtAddr victim_base =
+      victim.AllocateRegion(secrets, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::size_t i = 0; i < secrets; ++i) {
+    const std::uint64_t secret = rng.NextBelow(space);
+    victim_secrets.insert(secret);
+    victim.SetupMapZero(VaddrToVpn(victim_base) + i);
+    CraftPage(machine, victim.TranslateFrame(VaddrToVpn(victim_base) + i), 0xb1e7, secret);
+  }
+
+  // The attacker sprays distinct random candidates.
+  std::set<std::uint64_t> candidate_set;
+  while (candidate_set.size() < guesses) {
+    candidate_set.insert(rng.NextBelow(space));
+  }
+  const std::vector<std::uint64_t> candidates(candidate_set.begin(), candidate_set.end());
+  const VirtAddr spray =
+      attacker.AllocateRegion(guesses, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::size_t g = 0; g < guesses; ++g) {
+    attacker.SetupMapZero(VaddrToVpn(spray) + g);
+    CraftPage(machine, attacker.TranslateFrame(VaddrToVpn(spray) + g), 0xb1e7,
+              candidates[g]);
+  }
+
+  env.WaitFusionRounds(6);
+
+  std::vector<double> times(guesses);
+  for (std::size_t g = 0; g < guesses; ++g) {
+    times[g] = static_cast<double>(attacker.TimedWrite(spray + g * kPageSize, 1));
+  }
+  std::vector<double> sorted = times;
+  std::nth_element(sorted.begin(), sorted.begin() + guesses / 2, sorted.end());
+  const double median = sorted[guesses / 2];
+  std::size_t leaked = 0;
+  std::size_t false_hits = 0;
+  for (std::size_t g = 0; g < guesses; ++g) {
+    // Absolute margin: a copy-on-write costs microseconds above the median.
+    if (times[g] > median + 1500.0) {
+      (victim_secrets.contains(candidates[g]) ? leaked : false_hits) += 1;
+    }
+  }
+
+  AttackOutcome outcome;
+  outcome.success = leaked > 0 && false_hits == 0;
+  outcome.confidence = static_cast<double>(leaked) / static_cast<double>(secrets);
+  std::ostringstream detail;
+  detail << "collisions leaked=" << leaked << " false_hits=" << false_hits;
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

@@ -1,0 +1,35 @@
+// Dedup Est Machina techniques (paper §4.1, Bosman et al., S&P'16): leaking
+// HIGH-entropy secrets through the copy-on-write channel, which plain spraying
+// cannot brute-force.
+//
+//  * Partial leak: alignment control places the secret so that each fusion pass
+//    exposes only a small slice of it next to known data; the attacker recovers
+//    the secret slice by slice (2 * 2^k guesses instead of 2^(2k)).
+//  * Birthday attack: the victim holds many independent secrets; the attacker
+//    sprays random guesses and needs only ~2^(k/2)-scale work for a collision.
+//
+// Under VUsion both collapse: every guess costs the same copy-on-access.
+
+#ifndef VUSION_SRC_ATTACK_DEDUP_EST_MACHINA_H_
+#define VUSION_SRC_ATTACK_DEDUP_EST_MACHINA_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class DedupEstMachina {
+ public:
+  // Recovers a 2k-bit secret in two k-bit stages (k = bits_per_stage).
+  static AttackOutcome RunPartialLeak(EngineKind kind, std::uint64_t seed,
+                                      int bits_per_stage = 7);
+
+  // Victim holds `secrets` random k-bit values; attacker sprays `guesses` random
+  // candidates and wins if any collision is detected AND correctly identified.
+  static AttackOutcome RunBirthday(EngineKind kind, std::uint64_t seed,
+                                   int secret_bits = 10, std::size_t secrets = 48,
+                                   std::size_t guesses = 48);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_DEDUP_EST_MACHINA_H_

@@ -1,0 +1,117 @@
+#include "src/attack/flip_feng_shui.h"
+
+#include <sstream>
+
+#include "src/attack/hammer_util.h"
+
+namespace vusion {
+
+namespace {
+
+constexpr std::uint64_t kTemplateSeedBase = 0x7e3a0000ULL;
+constexpr std::uint64_t kSecretSeed = 0xff55ec;
+constexpr std::size_t kTemplatingPages = 4096;  // 16 MB attacker region
+
+struct Template {
+  Vpn vpn = 0;         // attacker page on the vulnerable frame
+  FrameId frame = kInvalidFrame;
+  std::size_t byte = 0;
+  std::uint8_t bit = 0;
+  VirtAddr aggressor_low = 0;
+  VirtAddr aggressor_high = 0;
+};
+
+}  // namespace
+
+AttackOutcome FlipFengShui::Run(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+  Machine& machine = attacker.machine();
+
+  // --- Phase 1: memory templating (attacker-local; no fusion involvement). ---
+  if (env.engine() != nullptr) {
+    env.engine()->Uninstall();
+  }
+  const VirtAddr region =
+      attacker.AllocateRegion(kTemplatingPages, PageType::kAnonymous, true, false);
+  std::vector<RowPage> pages;
+  pages.reserve(kTemplatingPages);
+  for (std::size_t i = 0; i < kTemplatingPages; ++i) {
+    const Vpn vpn = VaddrToVpn(region) + i;
+    attacker.SetupMapPattern(vpn, kTemplateSeedBase + i);
+    pages.push_back(RowPage{vpn, kInvalidFrame, kTemplateSeedBase + i});
+  }
+  const RowMap rows = BuildRowMap(attacker, pages);
+  const std::uint32_t iterations = machine.config().dram.hammer_threshold + 64;
+
+  std::vector<Template> templates;
+  for (const auto& [key, row_pages] : rows) {
+    if (templates.size() >= 2) {
+      break;
+    }
+    if (key.row < 1) {
+      continue;
+    }
+    const auto low = rows.find(RowKey{key.bank, key.row - 1});
+    const auto high = rows.find(RowKey{key.bank, key.row + 1});
+    if (low == rows.end() || high == rows.end()) {
+      continue;
+    }
+    const VirtAddr aggr_low = VpnToVaddr(low->second.front().vpn);
+    const VirtAddr aggr_high = VpnToVaddr(high->second.front().vpn);
+    HammerPair(attacker, aggr_low, aggr_high, iterations);
+    for (const RowPage& page : row_pages) {
+      const auto flip = FindFlip(machine, page.frame, page.pattern_seed);
+      if (!flip.has_value()) {
+        continue;
+      }
+      // Exploitable only if the victim content has a 1 at that cell (cells
+      // discharge; only 1 -> 0 flips happen).
+      if ((PatternByte(kSecretSeed, flip->byte) & (1u << flip->bit)) == 0) {
+        machine.memory().FillPattern(page.frame, page.pattern_seed);  // repair, keep looking
+        continue;
+      }
+      templates.push_back(
+          Template{page.vpn, page.frame, flip->byte, flip->bit, aggr_low, aggr_high});
+      machine.memory().FillPattern(page.frame, page.pattern_seed);  // restore content
+      break;
+    }
+  }
+  if (templates.empty()) {
+    return AttackOutcome{false, 0.0, "no exploitable templates found"};
+  }
+  const Template tpl = templates.front();
+
+  // --- Phase 2: physical memory massaging via the merge operation. ---
+  if (env.engine() != nullptr) {
+    env.engine()->Install();
+  }
+  // The attacker writes the victim's sensitive content onto her vulnerable page.
+  machine.memory().FillPattern(attacker.TranslateFrame(tpl.vpn), kSecretSeed);
+  // The victim's page with the same (secret) content appears in the system.
+  const VirtAddr victim_page =
+      victim.AllocateRegion(4, PageType::kAnonymous, true, false);
+  victim.SetupMapPattern(VaddrToVpn(victim_page), kSecretSeed);
+  env.WaitFusionRounds(8);
+
+  const FrameId backing = victim.TranslateFrame(VaddrToVpn(victim_page));
+  const bool massaged = backing == tpl.frame;
+
+  // --- Phase 3: hammer and check whether the victim's data was corrupted. ---
+  HammerPair(attacker, tpl.aggressor_low, tpl.aggressor_high, iterations);
+  const std::size_t word_offset = tpl.byte & ~std::size_t{7};
+  const std::uint64_t expected = ExpectedPatternWord(kSecretSeed, word_offset);
+  const std::uint64_t observed = victim.Read64(victim_page + word_offset);
+
+  AttackOutcome outcome;
+  outcome.success = observed != expected;
+  outcome.confidence = outcome.success ? 1.0 : 0.0;
+  std::ostringstream detail;
+  detail << (massaged ? "massaged onto template frame" : "backing frame not controlled")
+         << "; victim data " << (outcome.success ? "CORRUPTED" : "intact");
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

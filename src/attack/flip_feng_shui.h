@@ -1,0 +1,23 @@
+// Classic Flip Feng Shui (paper §4.2): the attacker templates her own memory for
+// exploitable Rowhammer bit flips, writes the victim's sensitive content onto a
+// vulnerable page, and lets the fusion system's *merge* back the shared copy with
+// the attacker's physical frame (KSM uses one sharing party's frame). Hammering
+// then corrupts the victim's data without a single write - breaking copy-on-write
+// semantics. VUsion's Randomized Allocation makes the backing frame a 1-in-2^15
+// lottery, reducing the attack to noise.
+
+#ifndef VUSION_SRC_ATTACK_FLIP_FENG_SHUI_H_
+#define VUSION_SRC_ATTACK_FLIP_FENG_SHUI_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class FlipFengShui {
+ public:
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_FLIP_FENG_SHUI_H_

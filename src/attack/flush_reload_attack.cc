@@ -1,0 +1,55 @@
+#include "src/attack/flush_reload_attack.h"
+
+#include <sstream>
+
+namespace vusion {
+
+namespace {
+constexpr std::uint64_t kSecretSeed = 0xf1005ec7;
+constexpr std::uint64_t kControlSeed = 0x0c0ffee0;
+constexpr std::size_t kTrials = 64;
+}  // namespace
+
+AttackOutcome FlushReloadAttack::Run(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+
+  const VirtAddr victim_base =
+      victim.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  const VirtAddr victim_page = victim_base;
+  victim.SetupMapPattern(VaddrToVpn(victim_page), kSecretSeed);
+
+  const VirtAddr base =
+      attacker.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  const VirtAddr guess = base;                 // same content as the victim page
+  const VirtAddr control = base + kPageSize;   // unique content
+  attacker.SetupMapPattern(VaddrToVpn(guess), kSecretSeed);
+  attacker.SetupMapPattern(VaddrToVpn(control), kControlSeed);
+
+  env.WaitFusionRounds(6);
+
+  std::vector<double> guess_reloads;
+  std::vector<double> control_reloads;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    // FLUSH the guess, make the victim touch its copy, RELOAD the guess.
+    attacker.FlushCacheLine(guess);
+    victim.Read64(victim_page);
+    guess_reloads.push_back(static_cast<double>(attacker.TimedRead(guess)));
+
+    attacker.FlushCacheLine(control);
+    victim.Read64(victim_page);
+    control_reloads.push_back(static_cast<double>(attacker.TimedRead(control)));
+  }
+
+  AttackOutcome outcome;
+  double p = 0.0;
+  outcome.success = TimingDistinguishable(guess_reloads, control_reloads, &p);
+  outcome.confidence = 1.0 - p;
+  std::ostringstream detail;
+  detail << "reload KS p=" << p;
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

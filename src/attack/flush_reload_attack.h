@@ -1,0 +1,22 @@
+// New merge-based disclosure attack (paper §5.1 "Page sharing changes"): a 1-bit
+// FLUSH+RELOAD over the LLC. The attacker flushes her guess page, makes the victim
+// touch its copy, and reloads: a fast reload means both map the same physical frame,
+// i.e. the pages were merged - detected purely by reading. VUsion defeats it
+// because (fake) merged pages have no access permissions and are uncacheable, so
+// nothing the victim does can warm the attacker's reload.
+
+#ifndef VUSION_SRC_ATTACK_FLUSH_RELOAD_ATTACK_H_
+#define VUSION_SRC_ATTACK_FLUSH_RELOAD_ATTACK_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class FlushReloadAttack {
+ public:
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_FLUSH_RELOAD_ATTACK_H_

@@ -1,0 +1,100 @@
+// Shared attacker-side Rowhammer machinery: row bookkeeping over the attacker's
+// mapped pages, the read+flush hammer loop, and flip detection by content
+// comparison against the page's expected pattern.
+
+#ifndef VUSION_SRC_ATTACK_HAMMER_UTIL_H_
+#define VUSION_SRC_ATTACK_HAMMER_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/kernel/process.h"
+
+namespace vusion {
+
+struct RowKey {
+  std::size_t bank = 0;
+  std::uint64_t row = 0;
+  auto operator<=>(const RowKey&) const = default;
+};
+
+inline RowKey RowOfFrame(const DramMapping& mapping, FrameId frame) {
+  const DramLocation loc = mapping.Locate(static_cast<PhysAddr>(frame) * kPageSize);
+  return RowKey{loc.bank, loc.row};
+}
+
+// One attacker page known to live in a DRAM row.
+struct RowPage {
+  Vpn vpn = 0;
+  FrameId frame = kInvalidFrame;
+  std::uint64_t pattern_seed = 0;  // expected content
+};
+
+using RowMap = std::map<RowKey, std::vector<RowPage>>;
+
+// Groups attacker pages by the DRAM row of their current backing frame.
+inline RowMap BuildRowMap(Process& attacker, const std::vector<RowPage>& pages) {
+  RowMap map;
+  const DramMapping& mapping = attacker.machine().dram_mapping();
+  for (RowPage page : pages) {
+    page.frame = attacker.TranslateFrame(page.vpn);
+    if (page.frame == kInvalidFrame) {
+      continue;
+    }
+    map[RowOfFrame(mapping, page.frame)].push_back(page);
+  }
+  return map;
+}
+
+// The double-sided hammer loop: alternating uncached reads of two attacker-mapped
+// addresses. Each read misses the LLC (explicit clflush) and activates its DRAM
+// row; the RowhammerEngine applies flips when both rows cross the threshold.
+inline void HammerPair(Process& attacker, VirtAddr a, VirtAddr b, std::uint32_t iterations) {
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    attacker.Read64(a);
+    attacker.FlushCacheLine(a);
+    attacker.Read64(b);
+    attacker.FlushCacheLine(b);
+  }
+}
+
+struct FoundFlip {
+  FrameId frame = kInvalidFrame;
+  std::size_t byte = 0;
+  std::uint8_t bit = 0;
+};
+
+// Scans a frame for deviations from its expected pattern content. Returns the first
+// flipped bit, if any. (The attacker reads her own page and diffs against what she
+// wrote; comparing against the pattern expansion models that.)
+inline std::optional<FoundFlip> FindFlip(Machine& machine, FrameId frame,
+                                         std::uint64_t pattern_seed) {
+  for (std::size_t byte = 0; byte < kPageSize; ++byte) {
+    const std::uint8_t got = machine.memory().ReadByte(frame, byte);
+    const std::uint8_t want = PatternByte(pattern_seed, byte);
+    if (got != want) {
+      const std::uint8_t diff = got ^ want;
+      for (std::uint8_t bit = 0; bit < 8; ++bit) {
+        if ((diff & (1u << bit)) != 0) {
+          return FoundFlip{frame, byte, bit};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Expected word of a pattern page at a (8-byte aligned) offset.
+inline std::uint64_t ExpectedPatternWord(std::uint64_t seed, std::size_t offset) {
+  std::uint64_t value = 0;
+  for (std::size_t k = 0; k < 8; ++k) {
+    value |= static_cast<std::uint64_t>(PatternByte(seed, offset + k)) << (8 * k);
+  }
+  return value;
+}
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_HAMMER_UTIL_H_

@@ -1,0 +1,132 @@
+#include "src/attack/page_color_attack.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace vusion {
+
+namespace {
+
+constexpr std::uint64_t kSecretSeed = 0xc0105ec7;
+constexpr std::uint64_t kControlSeed = 0xfeedface;
+
+// Attacker-side eviction machinery: pages covering every color, plus the frame ->
+// attacker-vaddr mapping needed to traverse eviction sets through the MMU.
+struct EvictionBuffer {
+  ColorEvictionSets sets{{}, CacheConfig{}};
+  std::unordered_map<FrameId, Vpn> frame_to_vpn;
+
+  SimTime Traverse(Process& attacker, std::size_t color) {
+    return sets.Traverse(color, [&](FrameId frame, std::size_t offset) {
+      return attacker.TimedRead(VpnToVaddr(frame_to_vpn.at(frame)) + offset);
+    });
+  }
+};
+
+EvictionBuffer BuildEvictionBuffer(Process& attacker) {
+  const CacheConfig& cache = attacker.machine().config().cache;
+  // Enough pages to cover all colors with `ways` frames each, with headroom for the
+  // uneven color distribution of real allocations.
+  const std::size_t pages = cache.page_colors() * cache.ways * 5 / 4;
+  const VirtAddr base =
+      attacker.AllocateRegion(pages, PageType::kAnonymous, /*mergeable=*/false, false);
+  std::vector<FrameId> frames;
+  EvictionBuffer buffer;
+  for (std::size_t i = 0; i < pages; ++i) {
+    const Vpn vpn = VaddrToVpn(base) + i;
+    attacker.SetupMapPattern(vpn, 0xe71c7 + i);
+    const FrameId frame = attacker.TranslateFrame(vpn);
+    frames.push_back(frame);
+    buffer.frame_to_vpn[frame] = vpn;
+  }
+  buffer.sets = ColorEvictionSets(frames, cache);
+  return buffer;
+}
+
+// Touches every cache line of the target page (the "read from the target page"
+// step; a single line would be lost in probe noise).
+void TouchAllLines(Process& attacker, VirtAddr target) {
+  for (std::size_t offset = 0; offset < kPageSize; offset += 64) {
+    attacker.Read64(target + offset);
+  }
+}
+
+}  // namespace
+
+AttackOutcome PageColorAttack::Run(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+
+  // Calibration happens between fusion passes (at real KSM scan rates a full pass
+  // over gigabytes takes minutes; our sped-up scanner would otherwise race the
+  // attacker's PRIME+PROBE calibration).
+  if (env.engine() != nullptr) {
+    env.engine()->Uninstall();
+  }
+  EvictionBuffer buffer = BuildEvictionBuffer(attacker);
+  const std::size_t colors = attacker.machine().config().cache.page_colors();
+
+  // Victim's secret page; attacker's two duplicate guesses plus a control page.
+  const VirtAddr victim_base =
+      victim.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  victim.SetupMapPattern(VaddrToVpn(victim_base), kSecretSeed);
+  const VirtAddr base =
+      attacker.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  const VirtAddr dup1 = base;                  // stabilizes first under KSM
+  const VirtAddr dup2 = base + kPageSize;      // joins the stable copy: frame changes
+  const VirtAddr control = base + 2 * kPageSize;
+  attacker.SetupMapPattern(VaddrToVpn(dup1), kSecretSeed);
+  attacker.SetupMapPattern(VaddrToVpn(dup2), kSecretSeed);
+  attacker.SetupMapPattern(VaddrToVpn(control), kControlSeed);
+
+  // Calibrated PRIME+PROBE color measurement (argmax of probe slowdown).
+  auto measure_color = [&](VirtAddr target) {
+    std::size_t best_color = 0;
+    double best_delta = -1.0;
+    for (std::size_t c = 0; c < colors; ++c) {
+      buffer.Traverse(attacker, c);                                  // prime
+      const SimTime baseline = buffer.Traverse(attacker, c);         // re-prime: all hits
+      TouchAllLines(attacker, target);                               // victim step
+      const SimTime probe = buffer.Traverse(attacker, c);            // probe
+      const double delta = static_cast<double>(probe) - static_cast<double>(baseline);
+      if (delta > best_delta) {
+        best_delta = delta;
+        best_color = c;
+      }
+    }
+    return best_color;
+  };
+  auto has_color = [&](VirtAddr target, std::size_t color) {
+    buffer.Traverse(attacker, color);
+    const SimTime baseline = buffer.Traverse(attacker, color);
+    TouchAllLines(attacker, target);
+    const SimTime probe = buffer.Traverse(attacker, color);
+    const LatencyConfig& lc = attacker.machine().latency().config();
+    const double threshold =
+        32.0 * static_cast<double>(lc.dram_row_hit - lc.llc_hit);  // ~half the page's lines
+    return static_cast<double>(probe) - static_cast<double>(baseline) > threshold;
+  };
+
+  const std::size_t color_dup = measure_color(dup2);
+  const std::size_t color_control = measure_color(control);
+
+  if (env.engine() != nullptr) {
+    env.engine()->Install();
+  }
+  env.WaitFusionRounds(6);
+
+  const bool dup_unchanged = has_color(dup2, color_dup);
+  const bool control_unchanged = has_color(control, color_control);
+
+  AttackOutcome outcome;
+  outcome.success = dup_unchanged != control_unchanged;
+  outcome.confidence = outcome.success ? 1.0 : 0.0;
+  std::ostringstream detail;
+  detail << "dup color " << (dup_unchanged ? "unchanged" : "changed") << ", control "
+         << (control_unchanged ? "unchanged" : "changed");
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

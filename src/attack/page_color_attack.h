@@ -1,0 +1,26 @@
+// New merge-based disclosure attack (paper §5.1 "Page color changes"): detect a
+// merge event WITHOUT writing, by observing over PRIME+PROBE that a page's color
+// (its LLC set mapping) changed after a fusion pass. Works whenever the merge
+// rebinds the page to a different physical frame (KSM's join-the-stable-copy, WPF's
+// new combined frame). VUsion defeats it with SB: every candidate page, merged or
+// not, is rebound to a fresh random frame, so a color change carries no signal.
+
+#ifndef VUSION_SRC_ATTACK_PAGE_COLOR_ATTACK_H_
+#define VUSION_SRC_ATTACK_PAGE_COLOR_ATTACK_H_
+
+#include "src/attack/timing_probe.h"
+#include "src/cache/eviction_set.h"
+
+namespace vusion {
+
+class PageColorAttack {
+ public:
+  // Builds PRIME+PROBE eviction sets for every color, timing-calibrates the color
+  // of a duplicate guess page and a control page, waits for a fusion pass, and
+  // reports success if the color-change indicator distinguishes the two.
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_PAGE_COLOR_ATTACK_H_

@@ -1,0 +1,218 @@
+#include "src/attack/reuse_flip_feng_shui.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/attack/hammer_util.h"
+
+namespace vusion {
+
+namespace {
+
+constexpr std::size_t kPairs = 96;
+constexpr std::uint64_t kPairSeedBase = 0xaa000000ULL;
+constexpr std::uint64_t kSecretSeedBase = 0x5ec00000ULL;
+
+struct PhaseState {
+  VirtAddr attacker_region = 0;
+  VirtAddr victim_region = 0;
+  std::unordered_set<FrameId> first_pass_frames;
+  std::unordered_set<FrameId> second_pass_frames;
+  std::unordered_map<FrameId, FoundFlip> templates;
+  double reuse_fraction = 0.0;
+};
+
+std::vector<RowPage> AttackerPages(VirtAddr region, std::uint64_t seed_base,
+                                   std::size_t count) {
+  std::vector<RowPage> pages;
+  pages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pages.push_back(RowPage{VaddrToVpn(region) + i, kInvalidFrame, seed_base + i / 2});
+  }
+  return pages;
+}
+
+// Phases 1-2: merge pair-wise duplicates, optionally template the fused frames.
+void PhaseTemplate(AttackEnvironment& env, PhaseState& state, bool do_hammer) {
+  Process& attacker = env.attacker();
+  Machine& machine = attacker.machine();
+  state.attacker_region =
+      attacker.AllocateRegion(2 * kPairs, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    attacker.SetupMapPattern(VaddrToVpn(state.attacker_region) + 2 * p, kPairSeedBase + p);
+    attacker.SetupMapPattern(VaddrToVpn(state.attacker_region) + 2 * p + 1,
+                             kPairSeedBase + p);
+  }
+  env.WaitFusionRounds(3);
+
+  // Fused frames of the first pass.
+  std::vector<RowPage> fused;
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    const Vpn a = VaddrToVpn(state.attacker_region) + 2 * p;
+    const Vpn b = a + 1;
+    const FrameId fa = attacker.TranslateFrame(a);
+    if (fa != kInvalidFrame && fa == attacker.TranslateFrame(b)) {
+      state.first_pass_frames.insert(fa);
+      fused.push_back(RowPage{a, fa, kPairSeedBase + p});
+    }
+  }
+  if (!do_hammer || fused.empty()) {
+    return;
+  }
+
+  // Template the fused frames by hammering through the attacker's own (read-only)
+  // mappings; fused frames are mostly contiguous, providing the aggressor rows.
+  const RowMap rows = BuildRowMap(attacker, fused);
+  const std::uint32_t iterations = machine.config().dram.hammer_threshold + 64;
+  for (const auto& [key, row_pages] : rows) {
+    if (key.row < 1) {
+      continue;
+    }
+    const auto low = rows.find(RowKey{key.bank, key.row - 1});
+    const auto high = rows.find(RowKey{key.bank, key.row + 1});
+    if (low == rows.end() || high == rows.end()) {
+      continue;
+    }
+    HammerPair(attacker, VpnToVaddr(low->second.front().vpn),
+               VpnToVaddr(high->second.front().vpn), iterations);
+    for (const RowPage& page : row_pages) {
+      const FrameId frame = attacker.TranslateFrame(page.vpn);
+      if (frame == kInvalidFrame) {
+        continue;
+      }
+      const auto flip = FindFlip(machine, frame, page.pattern_seed);
+      if (flip.has_value()) {
+        state.templates.emplace(frame, *flip);
+      }
+    }
+  }
+}
+
+// Phases 3-4: release everything by copy-on-write, plant victim-content duplicates,
+// and let the next pass reuse the freed frames.
+void PhaseRelease(AttackEnvironment& env, PhaseState& state) {
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+  Machine& machine = attacker.machine();
+
+  // Copy-on-write release: the combined frames go back to the allocator.
+  for (std::size_t i = 0; i < 2 * kPairs; ++i) {
+    attacker.Write64(state.attacker_region + i * kPageSize, 0xdead + i);
+  }
+  // The attacker rewrites her pages with the victim's sensitive contents (one copy
+  // each), and the victim's pages appear with the same contents - every content
+  // now duplicated exactly once, as in the paper's attack.
+  for (std::size_t i = 0; i < 2 * kPairs; ++i) {
+    const FrameId frame =
+        attacker.TranslateFrame(VaddrToVpn(state.attacker_region) + i);
+    machine.memory().FillPattern(frame, kSecretSeedBase + i);
+  }
+  state.victim_region =
+      victim.AllocateRegion(2 * kPairs, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::size_t i = 0; i < 2 * kPairs; ++i) {
+    victim.SetupMapPattern(VaddrToVpn(state.victim_region) + i, kSecretSeedBase + i);
+  }
+  env.WaitFusionRounds(3);
+
+  for (std::size_t i = 0; i < 2 * kPairs; ++i) {
+    const FrameId frame = victim.TranslateFrame(VaddrToVpn(state.victim_region) + i);
+    if (frame != kInvalidFrame &&
+        frame == attacker.TranslateFrame(VaddrToVpn(state.attacker_region) + i)) {
+      state.second_pass_frames.insert(frame);
+    }
+  }
+  // Figure 3's metric: what fraction of the first pass's (templated) frames backs
+  // fused pages again after the second pass.
+  if (!state.first_pass_frames.empty()) {
+    std::size_t reused = 0;
+    for (const FrameId f : state.first_pass_frames) {
+      reused += state.second_pass_frames.contains(f) ? 1 : 0;
+    }
+    state.reuse_fraction =
+        static_cast<double>(reused) / static_cast<double>(state.first_pass_frames.size());
+  }
+}
+
+}  // namespace
+
+double ReuseFlipFengShui::MeasureReuseFraction(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  PhaseState state;
+  PhaseTemplate(env, state, /*do_hammer=*/false);
+  PhaseRelease(env, state);
+  return state.reuse_fraction;
+}
+
+AttackOutcome ReuseFlipFengShui::Run(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+  Machine& machine = attacker.machine();
+
+  PhaseState state;
+  PhaseTemplate(env, state, /*do_hammer=*/true);
+  if (state.first_pass_frames.empty()) {
+    return AttackOutcome{false, 0.0, "no pages fused in first pass"};
+  }
+  if (state.templates.empty()) {
+    return AttackOutcome{false, 0.0, "no exploitable templates on fused frames"};
+  }
+  PhaseRelease(env, state);
+
+  // Phase 5: hammer every template row that is re-covered by the attacker's
+  // re-fused pages, then check all victim pages for corruption.
+  const std::vector<RowPage> current =
+      AttackerPages(state.attacker_region, kSecretSeedBase, 2 * kPairs);
+  const RowMap rows = BuildRowMap(attacker, current);
+  const DramMapping& mapping = machine.dram_mapping();
+  const std::uint32_t iterations = machine.config().dram.hammer_threshold + 64;
+  std::size_t hammered = 0;
+  for (const auto& [frame, flip] : state.templates) {
+    if (!state.second_pass_frames.contains(frame)) {
+      continue;
+    }
+    const RowKey key = RowOfFrame(mapping, frame);
+    if (key.row < 1) {
+      continue;
+    }
+    const auto low = rows.find(RowKey{key.bank, key.row - 1});
+    const auto high = rows.find(RowKey{key.bank, key.row + 1});
+    if (low == rows.end() || high == rows.end()) {
+      continue;
+    }
+    HammerPair(attacker, VpnToVaddr(low->second.front().vpn),
+               VpnToVaddr(high->second.front().vpn), iterations);
+    ++hammered;
+  }
+
+  // Victim-side integrity check at each template's cell.
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < 2 * kPairs; ++i) {
+    const Vpn vpn = VaddrToVpn(state.victim_region) + i;
+    const FrameId frame = victim.TranslateFrame(vpn);
+    const auto tpl = state.templates.find(frame);
+    if (tpl == state.templates.end()) {
+      continue;
+    }
+    const std::size_t word = tpl->second.byte & ~std::size_t{7};
+    const std::uint64_t expected = ExpectedPatternWord(kSecretSeedBase + i, word);
+    const std::uint64_t observed =
+        victim.Read64(VpnToVaddr(vpn) + word);
+    if (observed != expected) {
+      ++corrupted;
+    }
+  }
+
+  AttackOutcome outcome;
+  outcome.success = corrupted > 0;
+  outcome.confidence = state.reuse_fraction;
+  std::ostringstream detail;
+  detail << "reuse=" << state.reuse_fraction << " templates=" << state.templates.size()
+         << " hammered=" << hammered << " corrupted_victim_pages=" << corrupted;
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

@@ -1,0 +1,29 @@
+// Reuse-based Flip Feng Shui (paper §5.2, Figure 3): even when the fusion system
+// backs merged pages with NEW frames (WPF), its allocator's predictable reuse gives
+// the attacker control. The attacker (1) merges pair-wise duplicates so fused pages
+// land mostly contiguous at the end of memory, (2) templates *the fused frames
+// themselves* by hammering through her read-only mappings, (3) releases everything
+// via copy-on-write, (4) plants a duplicate of the victim's secret so the next pass
+// re-allocates the freed - templated - frames for the new shared copy, and
+// (5) hammers again to corrupt the victim's data. Only Randomized Allocation
+// (VUsion) breaks the reuse.
+
+#ifndef VUSION_SRC_ATTACK_REUSE_FLIP_FENG_SHUI_H_
+#define VUSION_SRC_ATTACK_REUSE_FLIP_FENG_SHUI_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class ReuseFlipFengShui {
+ public:
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed);
+
+  // Frame-reuse fraction across two fusion passes (Figure 3's headline metric):
+  // runs phases 1-4 and reports |second-pass frames ∩ first-pass frames| / count.
+  static double MeasureReuseFraction(EngineKind kind, std::uint64_t seed);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_REUSE_FLIP_FENG_SHUI_H_

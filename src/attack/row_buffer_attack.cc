@@ -1,0 +1,92 @@
+#include "src/attack/row_buffer_attack.h"
+
+#include <sstream>
+
+#include "src/attack/hammer_util.h"
+
+namespace vusion {
+
+namespace {
+
+constexpr std::uint64_t kSecretSeed = 0x20b5ec;
+constexpr std::uint64_t kControlSeed = 0x20c0de;
+constexpr std::size_t kTrials = 64;
+
+// Finds an attacker address that maps into the same DRAM bank as `frame` but a
+// different row (the "row conflict" opener). Returns 0 if none found.
+VirtAddr FindBankConflict(Process& attacker, VirtAddr pool, std::size_t pool_pages,
+                          FrameId frame) {
+  const DramMapping& mapping = attacker.machine().dram_mapping();
+  const RowKey target = RowOfFrame(mapping, frame);
+  for (std::size_t i = 0; i < pool_pages; ++i) {
+    const FrameId candidate = attacker.TranslateFrame(VaddrToVpn(pool) + i);
+    if (candidate == kInvalidFrame) {
+      continue;
+    }
+    const RowKey key = RowOfFrame(mapping, candidate);
+    if (key.bank == target.bank && key.row != target.row) {
+      return pool + i * kPageSize;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+AttackOutcome RowBufferAttack::Run(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+
+  // A pool of attacker pages used to find bank conflicts.
+  const std::size_t pool_pages = 256;
+  const VirtAddr pool =
+      attacker.AllocateRegion(pool_pages, PageType::kAnonymous, /*mergeable=*/false, false);
+  for (std::size_t i = 0; i < pool_pages; ++i) {
+    attacker.SetupMapPattern(VaddrToVpn(pool) + i, 0x9001 + i);
+  }
+
+  const VirtAddr victim_page =
+      victim.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  victim.SetupMapPattern(VaddrToVpn(victim_page), kSecretSeed);
+  const VirtAddr base =
+      attacker.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  const VirtAddr guess = base;
+  const VirtAddr control = base + kPageSize;
+  attacker.SetupMapPattern(VaddrToVpn(guess), kSecretSeed);
+  attacker.SetupMapPattern(VaddrToVpn(control), kControlSeed);
+
+  env.WaitFusionRounds(6);
+
+  auto probe = [&](VirtAddr target) -> std::vector<double> {
+    std::vector<double> reloads;
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      const FrameId frame = attacker.TranslateFrame(VaddrToVpn(target));
+      const VirtAddr opener =
+          frame != kInvalidFrame ? FindBankConflict(attacker, pool, pool_pages, frame) : 0;
+      if (opener != 0) {
+        attacker.FlushCacheLine(opener);
+        attacker.Read64(opener);  // close the target's row
+      }
+      attacker.FlushCacheLine(target);  // victim's access must reach DRAM
+      victim.Read64(victim_page);       // victim touches its copy (opens its row)
+      attacker.FlushCacheLine(target);  // force the reload to DRAM as well
+      reloads.push_back(static_cast<double>(attacker.TimedRead(target)));
+    }
+    return reloads;
+  };
+
+  const std::vector<double> guess_reloads = probe(guess);
+  const std::vector<double> control_reloads = probe(control);
+
+  AttackOutcome outcome;
+  double p = 0.0;
+  outcome.success = TimingDistinguishable(guess_reloads, control_reloads, &p);
+  outcome.confidence = 1.0 - p;
+  std::ostringstream detail;
+  detail << "row-buffer reload KS p=" << p;
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

@@ -1,0 +1,24 @@
+// DRAM row-buffer side channel (mentioned in the paper's §5.3 attack-surface
+// analysis): a merge-detection primitive that works even with the LLC out of the
+// picture. If the attacker's guess page was merged with the victim's page, they
+// share a physical frame and hence a DRAM row: after the attacker closes that row
+// (by opening another row in the same bank) and the victim touches its copy, the
+// attacker's uncached reload is a fast row-buffer HIT; unmerged pages live in a
+// different row and reload with a slow row activation. VUsion stops it the same
+// way it stops FLUSH+RELOAD: no access, no row-buffer residue.
+
+#ifndef VUSION_SRC_ATTACK_ROW_BUFFER_ATTACK_H_
+#define VUSION_SRC_ATTACK_ROW_BUFFER_ATTACK_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class RowBufferAttack {
+ public:
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_ROW_BUFFER_ATTACK_H_

@@ -1,0 +1,70 @@
+#include "src/attack/timing_probe.h"
+
+#include "src/sim/ks_test.h"
+
+namespace vusion {
+
+bool TimingDistinguishable(const std::vector<double>& a, const std::vector<double>& b,
+                           double* p_value_out) {
+  const KsResult result = KsTwoSample(a, b);
+  if (p_value_out != nullptr) {
+    *p_value_out = result.p_value;
+  }
+  // Require both statistical significance and a large effect: a side channel an
+  // attacker can actually use separates the distributions decisively.
+  return result.p_value < 1e-3 && result.statistic > 0.25;
+}
+
+MachineConfig AttackMachineConfig() {
+  MachineConfig config;
+  config.frame_count = 1u << 14;  // 64 MB: fast, still >> pool + working sets
+  config.dram.hammer_threshold = 2000;  // scaled so hammer loops stay cheap
+  config.dram.vulnerable_row_fraction = 0.5;
+  return config;
+}
+
+FusionConfig AttackFusionConfig() {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.pages_per_wake = 512;
+  config.pool_frames = 2048;  // 8 MB pool on the 64 MB attack machine
+  config.wpf_period = 50 * kMillisecond;
+  return config;
+}
+
+AttackEnvironment::AttackEnvironment(EngineKind kind, std::uint64_t seed,
+                                     MachineConfig machine_config,
+                                     FusionConfig fusion_config)
+    : kind_(kind) {
+  machine_config.seed = seed;
+  machine_ = std::make_unique<Machine>(machine_config);
+  // The attacker is process 0: fusion engines scan it first, which is what lets
+  // classic Flip Feng Shui steer KSM into keeping the attacker's frame.
+  attacker_ = &machine_->CreateProcess();
+  victim_ = &machine_->CreateProcess();
+  engine_ = MakeEngine(kind, *machine_, fusion_config);
+  if (engine_ != nullptr) {
+    engine_->Install();
+  }
+}
+
+AttackEnvironment::~AttackEnvironment() {
+  if (engine_ != nullptr) {
+    engine_->Uninstall();
+  }
+}
+
+void AttackEnvironment::WaitFusionRounds(std::uint64_t rounds) {
+  if (engine_ == nullptr) {
+    machine_->Idle(10 * kMillisecond);
+    return;
+  }
+  const std::uint64_t target = engine_->stats().full_scans + rounds;
+  // Bounded wait: enough wake-ups to cover `rounds` full sweeps of all mergeable
+  // memory at the configured scan rate.
+  for (int i = 0; i < 2'000'000 && engine_->stats().full_scans < target; ++i) {
+    machine_->Idle(engine_->config().wake_period);
+  }
+}
+
+}  // namespace vusion

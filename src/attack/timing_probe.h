@@ -1,0 +1,64 @@
+// Shared attacker-side machinery: outcome reporting, distinguishability testing,
+// and an attack environment (machine + engine + attacker/victim processes) the
+// individual attacks build their scenarios in.
+
+#ifndef VUSION_SRC_ATTACK_TIMING_PROBE_H_
+#define VUSION_SRC_ATTACK_TIMING_PROBE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+
+struct AttackOutcome {
+  bool success = false;
+  double confidence = 0.0;  // attack-specific: 1 - p_value, reuse fraction, ...
+  std::string detail;
+};
+
+// Statistical distinguishability of two timing-sample sets: the attacker "wins" a
+// timing side channel when the distributions differ significantly AND the effect is
+// large enough to exploit with few samples.
+bool TimingDistinguishable(const std::vector<double>& a, const std::vector<double>& b,
+                           double* p_value_out = nullptr);
+
+// A self-contained environment every attack constructs: a machine, the engine under
+// attack, an attacker process, and a victim process, all seeded deterministically.
+class AttackEnvironment {
+ public:
+  AttackEnvironment(EngineKind kind, std::uint64_t seed, MachineConfig machine_config,
+                    FusionConfig fusion_config);
+  ~AttackEnvironment();
+
+  [[nodiscard]] Machine& machine() { return *machine_; }
+  [[nodiscard]] FusionEngine* engine() { return engine_.get(); }
+  [[nodiscard]] Process& attacker() { return *attacker_; }
+  [[nodiscard]] Process& victim() { return *victim_; }
+  [[nodiscard]] EngineKind kind() const { return kind_; }
+
+  // Idles long enough for the engine to complete `rounds` full scan rounds over all
+  // currently-registered mergeable memory (bounded wait).
+  void WaitFusionRounds(std::uint64_t rounds);
+
+ private:
+  EngineKind kind_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<FusionEngine> engine_;
+  Process* attacker_ = nullptr;
+  Process* victim_ = nullptr;
+};
+
+// Default machine/fusion configs for attack scenarios: a small machine (64 MB), a
+// fast scanner, a small entropy pool, and a hammer-friendly DRAM threshold so the
+// attacks run quickly in simulation. Entropy-pool size is still large enough that
+// probabilistic reuse stays negligible.
+MachineConfig AttackMachineConfig();
+FusionConfig AttackFusionConfig();
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_TIMING_PROBE_H_

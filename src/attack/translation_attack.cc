@@ -1,0 +1,78 @@
+#include "src/attack/translation_attack.h"
+
+#include <sstream>
+
+namespace vusion {
+
+namespace {
+
+constexpr std::uint64_t kSecretSeed = 0x7a45ec;
+constexpr std::size_t kTrialsPerThp = 48;
+
+// Evicts the attacker's TLB (and pollutes the LLC, pushing page-table entries out)
+// by touching a large private buffer.
+void EvictTranslationState(Process& attacker, VirtAddr buffer, std::size_t pages) {
+  for (std::size_t i = 0; i < pages; ++i) {
+    attacker.Read64(buffer + i * kPageSize);
+  }
+}
+
+}  // namespace
+
+AttackOutcome TranslationAttack::Run(EngineKind kind, std::uint64_t seed) {
+  AttackEnvironment env(kind, seed, AttackMachineConfig(), AttackFusionConfig());
+  Process& attacker = env.attacker();
+  Process& victim = env.victim();
+  Machine& machine = attacker.machine();
+
+  // Large buffer for TLB/LLC eviction (bigger than the 1536-entry TLB).
+  const std::size_t evict_pages = 2048;
+  const VirtAddr evict_base =
+      attacker.AllocateRegion(evict_pages, PageType::kAnonymous, /*mergeable=*/false, false);
+  for (std::size_t i = 0; i < evict_pages; ++i) {
+    attacker.SetupMapPattern(VaddrToVpn(evict_base) + i, 0xe0e0 + i);
+  }
+
+  // Two attacker THPs: one with a guess subpage, one control.
+  const VirtAddr dup_thp =
+      attacker.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, true, true);
+  const VirtAddr ctl_thp =
+      attacker.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, true, true);
+  if (!attacker.SetupMapHuge(VaddrToVpn(dup_thp), 0x11110000) ||
+      !attacker.SetupMapHuge(VaddrToVpn(ctl_thp), 0x22220000)) {
+    return AttackOutcome{false, 0.0, "no contiguous memory for THPs"};
+  }
+  // Plant the guess as subpage 7 of the dup THP (setup-time content write).
+  machine.memory().FillPattern(attacker.TranslateFrame(VaddrToVpn(dup_thp) + 7), kSecretSeed);
+
+  // Victim's secret page the guess should match.
+  const VirtAddr victim_base =
+      victim.AllocateRegion(4, PageType::kAnonymous, /*mergeable=*/true, false);
+  victim.SetupMapPattern(VaddrToVpn(victim_base), kSecretSeed);
+
+  env.WaitFusionRounds(6);
+
+  // Probe translation depth of fresh neighbour subpages of each THP.
+  std::vector<double> dup_times;
+  std::vector<double> ctl_times;
+  for (std::size_t t = 0; t < kTrialsPerThp; ++t) {
+    const std::size_t subpage = 32 + t * 9;  // never the guess subpage
+    EvictTranslationState(attacker, evict_base, evict_pages);
+    dup_times.push_back(
+        static_cast<double>(attacker.TimedRead(dup_thp + subpage * kPageSize)));
+    EvictTranslationState(attacker, evict_base, evict_pages);
+    ctl_times.push_back(
+        static_cast<double>(attacker.TimedRead(ctl_thp + subpage * kPageSize)));
+  }
+
+  AttackOutcome outcome;
+  double p = 0.0;
+  outcome.success = TimingDistinguishable(dup_times, ctl_times, &p);
+  outcome.confidence = 1.0 - p;
+  std::ostringstream detail;
+  detail << "neighbour-walk KS p=" << p;
+  outcome.detail = detail.str();
+  return outcome;
+}
+
+}  // namespace vusion

@@ -1,0 +1,23 @@
+// New merge-based disclosure attack (paper §5.1 "Translation changes"): AnC-style
+// detection of a THP split. KSM breaks a huge page to merge a 4 KB page inside it,
+// which adds a fourth page-walk level for every neighbouring subpage. The attacker
+// crafts a huge page with one guess subpage, waits for fusion, and times accesses
+// to *other* subpages with the TLB and LLC evicted: a slower walk reveals that the
+// guess matched somewhere in the system. VUsion defeats it by breaking up every
+// idle THP it considers, match or not, and by securing khugepaged (§8).
+
+#ifndef VUSION_SRC_ATTACK_TRANSLATION_ATTACK_H_
+#define VUSION_SRC_ATTACK_TRANSLATION_ATTACK_H_
+
+#include "src/attack/timing_probe.h"
+
+namespace vusion {
+
+class TranslationAttack {
+ public:
+  static AttackOutcome Run(EngineKind kind, std::uint64_t seed);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_ATTACK_TRANSLATION_ATTACK_H_

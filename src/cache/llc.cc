@@ -1,0 +1,70 @@
+#include "src/cache/llc.h"
+
+namespace vusion {
+
+Llc::Llc(const CacheConfig& config) : config_(config), lines_(config.sets * config.ways) {}
+
+bool Llc::Access(PhysAddr paddr) {
+  const std::uint64_t tag = paddr / config_.line_size;
+  const std::size_t set = tag % config_.sets;
+  Line* base = &lines_[set * config_.ways];
+  ++tick_;
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+void Llc::Flush(PhysAddr paddr) {
+  const std::uint64_t tag = paddr / config_.line_size;
+  const std::size_t set = tag % config_.sets;
+  Line* base = &lines_[set * config_.ways];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      return;
+    }
+  }
+}
+
+void Llc::FlushFrame(FrameId frame) {
+  const PhysAddr start = static_cast<PhysAddr>(frame) * kPageSize;
+  for (std::size_t off = 0; off < kPageSize; off += config_.line_size) {
+    Flush(start + off);
+  }
+}
+
+bool Llc::Contains(PhysAddr paddr) const {
+  const std::uint64_t tag = paddr / config_.line_size;
+  const std::size_t set = tag % config_.sets;
+  const Line* base = &lines_[set * config_.ways];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Llc::ColorOf(FrameId frame) const { return frame % config_.page_colors(); }
+
+std::size_t Llc::SetIndexOf(PhysAddr paddr) const {
+  return (paddr / config_.line_size) % config_.sets;
+}
+
+}  // namespace vusion

@@ -1,0 +1,72 @@
+// Inclusive, physically-indexed set-associative last-level cache simulator.
+//
+// Default geometry mirrors the paper's testbed (Intel Xeon E3-1240 v5): 8 MB, 16
+// ways, 64 B lines, 8192 sets; each 4 KB page covers 64 consecutive sets, giving
+// 8192/64 = 128 page colors. The LLC is what makes PRIME+PROBE (page-color attack),
+// FLUSH+RELOAD (page-sharing attack), and AnC-style page-walk probing expressible.
+
+#ifndef VUSION_SRC_CACHE_LLC_H_
+#define VUSION_SRC_CACHE_LLC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/phys/frame.h"
+#include "src/sim/latency_model.h"
+
+namespace vusion {
+
+using PhysAddr = std::uint64_t;
+
+struct CacheConfig {
+  std::size_t line_size = 64;
+  std::size_t ways = 16;
+  std::size_t sets = 8192;
+
+  [[nodiscard]] std::size_t size_bytes() const { return line_size * ways * sets; }
+  // Number of page colors: sets covered by the whole cache / sets covered by a page.
+  [[nodiscard]] std::size_t page_colors() const { return sets / (kPageSize / line_size); }
+};
+
+class Llc {
+ public:
+  explicit Llc(const CacheConfig& config);
+
+  // Touches the line containing paddr. Returns true on hit. Does not charge
+  // latency; the memory hierarchy (Machine) composes cache and DRAM timing.
+  bool Access(PhysAddr paddr);
+
+  // clflush: evicts the line containing paddr if present.
+  void Flush(PhysAddr paddr);
+
+  // Evicts every line of the frame (used when a frame is freed or remapped
+  // cache-disabled, and by attackers flushing a whole page).
+  void FlushFrame(FrameId frame);
+
+  [[nodiscard]] bool Contains(PhysAddr paddr) const;
+
+  // Color of a physical frame under this geometry (pfn mod page_colors()).
+  [[nodiscard]] std::size_t ColorOf(FrameId frame) const;
+  [[nodiscard]] std::size_t SetIndexOf(PhysAddr paddr) const;
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;  // last-touched stamp
+  };
+
+  CacheConfig config_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_CACHE_LLC_H_

@@ -1,0 +1,378 @@
+// A from-scratch red-black tree modeling the kernel's rbtree as used by KSM.
+//
+// KSM keeps two content-ordered red-black trees (stable and unstable); lookups walk
+// the tree comparing the probe page's bytes against each node's page. To support
+// that access pattern the tree is parameterized on a stateful three-way comparator
+// (which typically dereferences frame contents), and Find() accepts an arbitrary
+// three-way probe callable so a lookup can compare a page against stored entries
+// without constructing a value.
+//
+// The tree is not thread safe; the simulated kernel is single-threaded by design.
+
+#ifndef VUSION_SRC_CONTAINER_RBTREE_H_
+#define VUSION_SRC_CONTAINER_RBTREE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace vusion {
+
+template <typename T, typename Compare>
+class RbTree {
+ public:
+  struct Node {
+    T value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    bool red = true;
+  };
+
+  explicit RbTree(Compare compare = Compare()) : compare_(std::move(compare)) {}
+  ~RbTree() { Clear(); }
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+  RbTree(RbTree&& other) noexcept
+      : compare_(std::move(other.compare_)), root_(other.root_), size_(other.size_) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  RbTree& operator=(RbTree&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      compare_ = std::move(other.compare_);
+      root_ = other.root_;
+      size_ = other.size_;
+      other.root_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Inserts a value; duplicates are allowed (they descend right, like the kernel's
+  // tie-breaking by page address is irrelevant here). Returns the new node and the
+  // number of comparisons performed (for the latency model).
+  std::pair<Node*, std::size_t> Insert(T value) {
+    Node* node = new Node{std::move(value)};
+    Node* parent = nullptr;
+    Node* cur = root_;
+    std::size_t steps = 0;
+    while (cur != nullptr) {
+      parent = cur;
+      ++steps;
+      cur = (compare_(node->value, cur->value) < 0) ? cur->left : cur->right;
+    }
+    node->parent = parent;
+    if (parent == nullptr) {
+      root_ = node;
+    } else if (compare_(node->value, parent->value) < 0) {
+      parent->left = node;
+    } else {
+      parent->right = node;
+    }
+    InsertFixup(node);
+    ++size_;
+    return {node, steps};
+  }
+
+  // Three-way search with an arbitrary probe: probe(value) < 0 descends left,
+  // > 0 descends right, == 0 is a match. Returns {node or nullptr, comparisons}.
+  template <typename Probe>
+  std::pair<Node*, std::size_t> Find(Probe&& probe) const {
+    Node* cur = root_;
+    std::size_t steps = 0;
+    while (cur != nullptr) {
+      ++steps;
+      const int c = probe(cur->value);
+      if (c == 0) {
+        return {cur, steps};
+      }
+      cur = (c < 0) ? cur->left : cur->right;
+    }
+    return {nullptr, steps};
+  }
+
+  // Removes a node previously returned by Insert/Find. The node is deleted.
+  void Remove(Node* z) {
+    assert(z != nullptr);
+    Node* y = z;
+    bool y_was_red = y->red;
+    Node* x = nullptr;
+    Node* x_parent = nullptr;
+    if (z->left == nullptr) {
+      x = z->right;
+      x_parent = z->parent;
+      Transplant(z, z->right);
+    } else if (z->right == nullptr) {
+      x = z->left;
+      x_parent = z->parent;
+      Transplant(z, z->left);
+    } else {
+      y = Minimum(z->right);
+      y_was_red = y->red;
+      x = y->right;
+      if (y->parent == z) {
+        x_parent = y;
+      } else {
+        x_parent = y->parent;
+        Transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      Transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->red = z->red;
+    }
+    if (!y_was_red) {
+      RemoveFixup(x, x_parent);
+    }
+    delete z;
+    --size_;
+  }
+
+  void Clear() {
+    ClearRecursive(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  // In-order traversal; visitor receives const T&.
+  template <typename Visitor>
+  void InOrder(Visitor&& visit) const {
+    InOrderRecursive(root_, visit);
+  }
+
+  // Verifies the red-black invariants: root black, no red node has a red child, and
+  // all root-to-leaf paths contain the same number of black nodes. Used by tests.
+  [[nodiscard]] bool ValidateInvariants() const {
+    if (root_ != nullptr && root_->red) {
+      return false;
+    }
+    int black_height = -1;
+    return ValidateRecursive(root_, 0, black_height);
+  }
+
+  [[nodiscard]] Compare& comparator() { return compare_; }
+
+ private:
+  static Node* Minimum(Node* n) {
+    while (n->left != nullptr) {
+      n = n->left;
+    }
+    return n;
+  }
+
+  void RotateLeft(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nullptr) {
+      y->left->parent = x;
+    }
+    y->parent = x->parent;
+    if (x->parent == nullptr) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+    y->left = x;
+    x->parent = y;
+  }
+
+  void RotateRight(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nullptr) {
+      y->right->parent = x;
+    }
+    y->parent = x->parent;
+    if (x->parent == nullptr) {
+      root_ = y;
+    } else if (x == x->parent->right) {
+      x->parent->right = y;
+    } else {
+      x->parent->left = y;
+    }
+    y->right = x;
+    x->parent = y;
+  }
+
+  void InsertFixup(Node* z) {
+    while (z->parent != nullptr && z->parent->red) {
+      Node* gp = z->parent->parent;
+      if (z->parent == gp->left) {
+        Node* uncle = gp->right;
+        if (uncle != nullptr && uncle->red) {
+          z->parent->red = false;
+          uncle->red = false;
+          gp->red = true;
+          z = gp;
+        } else {
+          if (z == z->parent->right) {
+            z = z->parent;
+            RotateLeft(z);
+          }
+          z->parent->red = false;
+          z->parent->parent->red = true;
+          RotateRight(z->parent->parent);
+        }
+      } else {
+        Node* uncle = gp->left;
+        if (uncle != nullptr && uncle->red) {
+          z->parent->red = false;
+          uncle->red = false;
+          gp->red = true;
+          z = gp;
+        } else {
+          if (z == z->parent->left) {
+            z = z->parent;
+            RotateRight(z);
+          }
+          z->parent->red = false;
+          z->parent->parent->red = true;
+          RotateLeft(z->parent->parent);
+        }
+      }
+    }
+    root_->red = false;
+  }
+
+  void Transplant(Node* u, Node* v) {
+    if (u->parent == nullptr) {
+      root_ = v;
+    } else if (u == u->parent->left) {
+      u->parent->left = v;
+    } else {
+      u->parent->right = v;
+    }
+    if (v != nullptr) {
+      v->parent = u->parent;
+    }
+  }
+
+  static bool IsRed(const Node* n) { return n != nullptr && n->red; }
+
+  // x may be null; x_parent is its (possibly new) parent.
+  void RemoveFixup(Node* x, Node* x_parent) {
+    while (x != root_ && !IsRed(x)) {
+      if (x_parent == nullptr) {
+        break;
+      }
+      if (x == x_parent->left) {
+        Node* w = x_parent->right;
+        if (IsRed(w)) {
+          w->red = false;
+          x_parent->red = true;
+          RotateLeft(x_parent);
+          w = x_parent->right;
+        }
+        if (!IsRed(w->left) && !IsRed(w->right)) {
+          w->red = true;
+          x = x_parent;
+          x_parent = x->parent;
+        } else {
+          if (!IsRed(w->right)) {
+            if (w->left != nullptr) {
+              w->left->red = false;
+            }
+            w->red = true;
+            RotateRight(w);
+            w = x_parent->right;
+          }
+          w->red = x_parent->red;
+          x_parent->red = false;
+          if (w->right != nullptr) {
+            w->right->red = false;
+          }
+          RotateLeft(x_parent);
+          x = root_;
+          x_parent = nullptr;
+        }
+      } else {
+        Node* w = x_parent->left;
+        if (IsRed(w)) {
+          w->red = false;
+          x_parent->red = true;
+          RotateRight(x_parent);
+          w = x_parent->left;
+        }
+        if (!IsRed(w->right) && !IsRed(w->left)) {
+          w->red = true;
+          x = x_parent;
+          x_parent = x->parent;
+        } else {
+          if (!IsRed(w->left)) {
+            if (w->right != nullptr) {
+              w->right->red = false;
+            }
+            w->red = true;
+            RotateLeft(w);
+            w = x_parent->left;
+          }
+          w->red = x_parent->red;
+          x_parent->red = false;
+          if (w->left != nullptr) {
+            w->left->red = false;
+          }
+          RotateRight(x_parent);
+          x = root_;
+          x_parent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) {
+      x->red = false;
+    }
+  }
+
+  void ClearRecursive(Node* n) {
+    if (n == nullptr) {
+      return;
+    }
+    ClearRecursive(n->left);
+    ClearRecursive(n->right);
+    delete n;
+  }
+
+  template <typename Visitor>
+  void InOrderRecursive(const Node* n, Visitor& visit) const {
+    if (n == nullptr) {
+      return;
+    }
+    InOrderRecursive(n->left, visit);
+    visit(n->value);
+    InOrderRecursive(n->right, visit);
+  }
+
+  bool ValidateRecursive(const Node* n, int blacks, int& expected) const {
+    if (n == nullptr) {
+      if (expected < 0) {
+        expected = blacks;
+      }
+      return blacks == expected;
+    }
+    if (n->red && (IsRed(n->left) || IsRed(n->right))) {
+      return false;
+    }
+    if (!n->red) {
+      ++blacks;
+    }
+    return ValidateRecursive(n->left, blacks, expected) &&
+           ValidateRecursive(n->right, blacks, expected);
+  }
+
+  Compare compare_;
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_CONTAINER_RBTREE_H_

@@ -1,0 +1,18 @@
+#include "src/dram/dram_mapping.h"
+
+namespace vusion {
+
+DramLocation DramMapping::Locate(PhysAddr paddr) const {
+  DramLocation loc;
+  loc.column = paddr % config_.row_bytes;
+  const PhysAddr row_global = paddr / config_.row_bytes;
+  loc.bank = static_cast<std::size_t>(row_global % config_.banks);
+  loc.row = row_global / config_.banks;
+  return loc;
+}
+
+PhysAddr DramMapping::RowBase(std::size_t bank, std::uint64_t row) const {
+  return (row * config_.banks + bank) * config_.row_bytes;
+}
+
+}  // namespace vusion

@@ -1,0 +1,64 @@
+// Physical-address to DRAM geometry mapping.
+//
+// Layout (low to high bits): column within an 8 KB row, then bank, then row index.
+// Consequently two DRAM rows that are physically adjacent within one bank are
+// row_bytes * banks = 128 KB apart in the physical address space, and a 2 MB
+// contiguous region (a huge page, or WPF's mostly-contiguous fused pages) contains
+// many same-bank adjacent-row triples - exactly what double-sided Rowhammer needs.
+
+#ifndef VUSION_SRC_DRAM_DRAM_MAPPING_H_
+#define VUSION_SRC_DRAM_DRAM_MAPPING_H_
+
+#include <cstdint>
+
+#include "src/cache/llc.h"
+#include "src/phys/frame.h"
+
+namespace vusion {
+
+struct DramConfig {
+  std::size_t row_bytes = 8192;  // 2 pages per row
+  std::size_t banks = 16;
+  SimTime refresh_interval = 64 * kMillisecond;
+  // Activations each aggressor row needs within one refresh interval for bits in the
+  // row between them to flip (double-sided). Scaled to simulation speed.
+  std::uint32_t hammer_threshold = 50000;
+  // Single-sided hammering is far less effective: a lone hot row only disturbs its
+  // neighbours after this multiple of the double-sided threshold. 0 disables it.
+  std::uint32_t single_sided_factor = 6;
+  // Fraction of rows containing at least one flippable cell, and max cells per row.
+  double vulnerable_row_fraction = 0.30;
+  std::uint32_t max_flips_per_row = 3;
+  std::uint64_t template_seed = 0x5eedULL;
+};
+
+struct DramLocation {
+  std::size_t bank = 0;
+  std::uint64_t row = 0;     // row index within the bank
+  std::size_t column = 0;    // byte offset within the row
+};
+
+class DramMapping {
+ public:
+  explicit DramMapping(const DramConfig& config) : config_(config) {}
+
+  [[nodiscard]] DramLocation Locate(PhysAddr paddr) const;
+
+  // Inverse: first physical address of (bank, row).
+  [[nodiscard]] PhysAddr RowBase(std::size_t bank, std::uint64_t row) const;
+
+  // Physical distance between adjacent rows of the same bank.
+  [[nodiscard]] PhysAddr SameBankRowStride() const {
+    return static_cast<PhysAddr>(config_.row_bytes) * config_.banks;
+  }
+
+  [[nodiscard]] std::size_t pages_per_row() const { return config_.row_bytes / kPageSize; }
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+
+ private:
+  DramConfig config_;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_DRAM_DRAM_MAPPING_H_

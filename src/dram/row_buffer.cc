@@ -1,0 +1,40 @@
+#include "src/dram/row_buffer.h"
+
+namespace vusion {
+
+RowBuffer::RowBuffer(const DramMapping& mapping, VirtualClock& clock)
+    : mapping_(&mapping), clock_(&clock), open_rows_(mapping.config().banks, -1) {}
+
+std::uint64_t RowBuffer::current_epoch() const {
+  return clock_->now() / mapping_->config().refresh_interval;
+}
+
+void RowBuffer::MaybeRollEpoch() {
+  const std::uint64_t epoch = current_epoch();
+  if (epoch != epoch_) {
+    epoch_ = epoch;
+    activation_counts_.clear();
+  }
+}
+
+RowBuffer::AccessResult RowBuffer::Access(PhysAddr paddr) {
+  MaybeRollEpoch();
+  AccessResult result;
+  result.location = mapping_->Locate(paddr);
+  const auto row_signed = static_cast<std::int64_t>(result.location.row);
+  if (open_rows_[result.location.bank] == row_signed) {
+    result.row_hit = true;
+    return result;
+  }
+  open_rows_[result.location.bank] = row_signed;
+  result.activated = true;
+  result.activation_count = ++activation_counts_[Key(result.location.bank, result.location.row)];
+  return result;
+}
+
+std::uint32_t RowBuffer::activations(std::size_t bank, std::uint64_t row) const {
+  const auto it = activation_counts_.find(Key(bank, row));
+  return it == activation_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace vusion

@@ -1,0 +1,50 @@
+// Per-bank open-row (row buffer) timing model with refresh-epoch activation
+// counting. The activation counters feed the Rowhammer engine: every row activation
+// is reported so it can decide whether victim rows flip.
+
+#ifndef VUSION_SRC_DRAM_ROW_BUFFER_H_
+#define VUSION_SRC_DRAM_ROW_BUFFER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dram/dram_mapping.h"
+#include "src/sim/latency_model.h"
+
+namespace vusion {
+
+class RowBuffer {
+ public:
+  RowBuffer(const DramMapping& mapping, VirtualClock& clock);
+
+  struct AccessResult {
+    bool row_hit = false;
+    bool activated = false;  // a new row was opened
+    DramLocation location;
+    std::uint32_t activation_count = 0;  // of the opened row, this refresh epoch
+  };
+
+  // Models the access; the caller charges the corresponding latency. Activation
+  // counts reset at refresh-epoch boundaries (derived from the virtual clock).
+  AccessResult Access(PhysAddr paddr);
+
+  [[nodiscard]] std::uint32_t activations(std::size_t bank, std::uint64_t row) const;
+  [[nodiscard]] std::uint64_t current_epoch() const;
+
+ private:
+  void MaybeRollEpoch();
+  static std::uint64_t Key(std::size_t bank, std::uint64_t row) {
+    return (row << 5) | static_cast<std::uint64_t>(bank);
+  }
+
+  const DramMapping* mapping_;
+  VirtualClock* clock_;
+  std::vector<std::int64_t> open_rows_;  // per bank; -1 = closed
+  std::unordered_map<std::uint64_t, std::uint32_t> activation_counts_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_DRAM_ROW_BUFFER_H_

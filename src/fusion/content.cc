@@ -1,0 +1,66 @@
+#include "src/fusion/content.h"
+
+namespace vusion {
+
+std::uint64_t ChargedContent::Hash(FrameId frame) const {
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().content_hash);
+  return machine_->memory().HashContent(frame);
+}
+
+int ChargedContent::Compare(FrameId a, FrameId b) const {
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().content_compare);
+  return machine_->memory().Compare(a, b);
+}
+
+void ChargedContent::ChargeTreeStep() const {
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().tree_step);
+}
+
+bool ScanCursor::Next(Process*& process, Vpn& vpn, bool& wrapped) {
+  wrapped = false;
+  const auto& processes = machine_->processes();
+  if (processes.empty()) {
+    return false;
+  }
+  // At most two sweeps over the process list: one to finish the current round and
+  // one to prove there is no mergeable memory.
+  const std::size_t max_hops = 2 * processes.size() + 2;
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    if (process_idx_ >= processes.size()) {
+      process_idx_ = 0;
+      vma_idx_ = 0;
+      page_idx_ = 0;
+      wrapped = true;
+      continue;
+    }
+    if (processes[process_idx_] == nullptr) {  // destroyed process slot
+      ++process_idx_;
+      vma_idx_ = 0;
+      page_idx_ = 0;
+      continue;
+    }
+    Process& candidate = *processes[process_idx_];
+    const auto& areas = candidate.address_space().vmas().areas();
+    while (vma_idx_ < areas.size()) {
+      const VmArea& vma = areas[vma_idx_];
+      if (!vma.mergeable || page_idx_ >= vma.pages) {
+        ++vma_idx_;
+        page_idx_ = 0;
+        continue;
+      }
+      process = &candidate;
+      vpn = vma.start + page_idx_;
+      ++page_idx_;
+      return true;
+    }
+    ++process_idx_;
+    vma_idx_ = 0;
+    page_idx_ = 0;
+  }
+  return false;
+}
+
+}  // namespace vusion

@@ -1,0 +1,46 @@
+// Latency-charged content operations and the round-robin scan cursor shared by the
+// scanning fusion engines.
+
+#ifndef VUSION_SRC_FUSION_CONTENT_H_
+#define VUSION_SRC_FUSION_CONTENT_H_
+
+#include "src/kernel/machine.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+
+// Content hash/compare that accrue the modeled CPU cost to the machine clock.
+class ChargedContent {
+ public:
+  explicit ChargedContent(Machine& machine) : machine_(&machine) {}
+
+  std::uint64_t Hash(FrameId frame) const;
+  int Compare(FrameId a, FrameId b) const;
+  // One tree descend step's bookkeeping cost (pointer chasing).
+  void ChargeTreeStep() const;
+
+ private:
+  Machine* machine_;
+};
+
+// Iterates (process, vpn) pairs over all mergeable VMAs of all processes, round
+// robin, tolerating processes/VMAs registered while scanning. `wrapped` is set when
+// the cursor completes a full round over everything (KSM's unstable-tree reset and
+// VUsion's round counter key off this).
+class ScanCursor {
+ public:
+  explicit ScanCursor(Machine& machine) : machine_(&machine) {}
+
+  // Returns false if there is no mergeable memory at all.
+  bool Next(Process*& process, Vpn& vpn, bool& wrapped);
+
+ private:
+  Machine* machine_;
+  std::size_t process_idx_ = 0;
+  std::size_t vma_idx_ = 0;
+  std::uint64_t page_idx_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_FUSION_CONTENT_H_

@@ -1,0 +1,31 @@
+#include "src/fusion/deferred_free.h"
+
+namespace vusion {
+
+void DeferredFreeQueue::Push(FrameId frame) {
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().queue_op);
+  // The frame is leaving its shared life; clear the sharer refcount so the
+  // kernel's fork/CoW machinery never mistakes a recycled frame for a shared one.
+  machine_->memory().SetRefcount(frame, 0);
+  frames_.push_back(frame);
+}
+
+void DeferredFreeQueue::PushDummy() {
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().queue_op);
+  ++dummies_;
+}
+
+void DeferredFreeQueue::Drain(FrameAllocator& sink) {
+  LatencyModel& lm = machine_->latency();
+  for (const FrameId frame : frames_) {
+    machine_->FlushFrame(frame);
+    lm.Charge(lm.config().buddy_free);
+    sink.Free(frame);
+  }
+  frames_.clear();
+  dummies_ = 0;
+}
+
+}  // namespace vusion

@@ -1,0 +1,74 @@
+#include "src/fusion/engine_factory.h"
+
+#include "src/kernel/process.h"
+
+#include "src/fusion/ksm.h"
+#include "src/fusion/memory_combining.h"
+#include "src/fusion/vusion_engine.h"
+#include "src/fusion/wpf.h"
+
+namespace vusion {
+
+void FusionEngine::TearDown() {
+  for (const auto& process : machine_->processes()) {
+    if (process == nullptr) {
+      continue;
+    }
+    for (const VmArea& vma : process->address_space().vmas().areas()) {
+      if (vma.mergeable) {
+        OnUnregister(*process, vma.start, vma.pages);
+      }
+    }
+  }
+}
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNone:
+      return "No dedup";
+    case EngineKind::kKsm:
+      return "KSM";
+    case EngineKind::kKsmCoA:
+      return "KSM-CoA";
+    case EngineKind::kKsmZeroOnly:
+      return "KSM-zero-only";
+    case EngineKind::kWpf:
+      return "WPF";
+    case EngineKind::kVUsion:
+      return "VUsion";
+    case EngineKind::kVUsionThp:
+      return "VUsion THP";
+    case EngineKind::kMemoryCombining:
+      return "MemCombining";
+  }
+  return "?";
+}
+
+std::unique_ptr<FusionEngine> MakeEngine(EngineKind kind, Machine& machine,
+                                         FusionConfig config) {
+  switch (kind) {
+    case EngineKind::kNone:
+      return nullptr;
+    case EngineKind::kKsm:
+      return std::make_unique<Ksm>(machine, config);
+    case EngineKind::kKsmCoA:
+      config.unmerge_on_any_access = true;
+      return std::make_unique<Ksm>(machine, config);
+    case EngineKind::kKsmZeroOnly:
+      config.zero_pages_only = true;
+      return std::make_unique<Ksm>(machine, config);
+    case EngineKind::kWpf:
+      return std::make_unique<Wpf>(machine, config);
+    case EngineKind::kVUsion:
+      config.thp_aware = false;
+      return std::make_unique<VUsionEngine>(machine, config);
+    case EngineKind::kVUsionThp:
+      config.thp_aware = true;
+      return std::make_unique<VUsionEngine>(machine, config);
+    case EngineKind::kMemoryCombining:
+      return std::make_unique<MemoryCombining>(machine, config);
+  }
+  return nullptr;
+}
+
+}  // namespace vusion

@@ -1,0 +1,31 @@
+// Constructs fusion engines by kind; shared by attacks, benches, and examples.
+
+#ifndef VUSION_SRC_FUSION_ENGINE_FACTORY_H_
+#define VUSION_SRC_FUSION_ENGINE_FACTORY_H_
+
+#include <memory>
+
+#include "src/fusion/fusion_engine.h"
+
+namespace vusion {
+
+enum class EngineKind {
+  kNone,        // baseline: no page fusion
+  kKsm,         // Linux KSM
+  kKsmCoA,      // KSM variant unmerging on any access (paper Fig. 4)
+  kKsmZeroOnly, // KSM merging only zero pages (paper Fig. 4)
+  kWpf,         // Windows Page Fusion
+  kVUsion,      // VUsion
+  kVUsionThp,   // VUsion with THP enhancements
+  kMemoryCombining,  // Windows Memory Combining (swap-cache-only dedup, §10.1)
+};
+
+const char* EngineKindName(EngineKind kind);
+
+// Returns nullptr for kNone. The engine is not installed; call Install().
+std::unique_ptr<FusionEngine> MakeEngine(EngineKind kind, Machine& machine,
+                                         FusionConfig config);
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_FUSION_ENGINE_FACTORY_H_

@@ -1,0 +1,86 @@
+// Abstract base for the three page-fusion engines (KSM, WPF, VUsion). An engine is
+// both a kernel daemon (the scanner thread) and a sharing policy (fault handling,
+// unmap bookkeeping, khugepaged gating).
+
+#ifndef VUSION_SRC_FUSION_FUSION_ENGINE_H_
+#define VUSION_SRC_FUSION_FUSION_ENGINE_H_
+
+#include "src/fusion/fusion_stats.h"
+#include "src/kernel/daemon.h"
+#include "src/kernel/machine.h"
+#include "src/kernel/sharing_policy.h"
+
+namespace vusion {
+
+class FusionEngine : public Daemon, public SharingPolicy {
+ public:
+  FusionEngine(Machine& machine, const FusionConfig& config)
+      : machine_(&machine), config_(config) {}
+  ~FusionEngine() override = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Physical frames currently saved by sharing: sum over shared copies of
+  // (sharers - 1). The memory-consumption figures plot allocated - saved.
+  [[nodiscard]] virtual std::uint64_t frames_saved() const = 0;
+
+  // Frames the engine holds in reserve (VUsion's entropy pool); subtracted when
+  // reporting guest memory consumption.
+  [[nodiscard]] virtual std::size_t reserved_frames() const { return 0; }
+
+  // Registers this engine as the machine's sharing policy and daemon.
+  void Install() {
+    machine_->SetSharingPolicy(this);
+    machine_->AddDaemon(this);
+  }
+  void Uninstall() {
+    machine_->SetSharingPolicy(nullptr);
+    machine_->RemoveDaemon(this);
+  }
+
+  // Breaks every (fake) merge the engine holds by unregistering all mergeable
+  // ranges, leaving plain private pages behind. This is the safe hand-off point
+  // for replacing one fusion system with another on a live machine (e.g. deploying
+  // VUsion where KSM was running).
+  void TearDown();
+
+  [[nodiscard]] SimTime next_run() const override { return next_run_; }
+
+  // --- sysfs-style runtime controls (/sys/kernel/mm/ksm/{run,sleep_millisecs,
+  // pages_to_scan} equivalents) ---
+
+  // Adjusts the scan rate at runtime.
+  void SetScanRate(SimTime wake_period, std::size_t pages_per_wake) {
+    config_.wake_period = wake_period;
+    config_.pages_per_wake = pages_per_wake;
+  }
+  // run=0: the scanner stops; existing merges stay in place and fault normally.
+  void Pause() { paused_ = true; }
+  void Resume() { paused_ = false; }
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  [[nodiscard]] FusionStats& stats() { return stats_; }
+  [[nodiscard]] const FusionStats& stats() const { return stats_; }
+  [[nodiscard]] const FusionConfig& config() const { return config_; }
+  [[nodiscard]] Machine& machine() { return *machine_; }
+
+ protected:
+  // True when the engine should skip its scan work this wake-up (and reschedule).
+  bool SkipWake() {
+    if (paused_) {
+      next_run_ = machine_->clock().now() + config_.wake_period;
+      return true;
+    }
+    return false;
+  }
+
+  Machine* machine_;
+  FusionConfig config_;
+  FusionStats stats_;
+  SimTime next_run_ = 0;
+  bool paused_ = false;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_FUSION_FUSION_ENGINE_H_

@@ -1,0 +1,14 @@
+#include "src/fusion/fusion_stats.h"
+
+#include <sstream>
+
+namespace vusion {
+
+std::string FusionStats::Summary() const {
+  std::ostringstream out;
+  out << "scanned=" << pages_scanned << " merges=" << merges << " fake_merges=" << fake_merges
+      << " cow=" << unmerges_cow << " coa=" << unmerges_coa << " rounds=" << full_scans;
+  return out.str();
+}
+
+}  // namespace vusion

@@ -1,0 +1,329 @@
+#include "src/fusion/ksm.h"
+
+namespace vusion {
+
+int Ksm::StableCompare::operator()(StableEntry* const& a, StableEntry* const& b) const {
+  return ksm->content_.Compare(a->frame, b->frame);
+}
+
+int Ksm::UnstableCompare::operator()(const UnstableItem& a, const UnstableItem& b) const {
+  return ksm->content_.Compare(a.frame, b.frame);
+}
+
+Ksm::Ksm(Machine& machine, const FusionConfig& config)
+    : FusionEngine(machine, config),
+      content_(machine),
+      cursor_(machine),
+      stable_(StableCompare{this}),
+      unstable_(UnstableCompare{this}) {}
+
+Ksm::~Ksm() {
+  stable_.InOrder([](StableEntry* const& e) { delete e; });
+}
+
+const char* Ksm::name() const {
+  if (config_.zero_pages_only) {
+    return "KSM-zero-only";
+  }
+  return config_.unmerge_on_any_access ? "KSM-CoA" : "KSM";
+}
+
+std::uint16_t Ksm::MergedFlags(std::uint16_t accessed_bit) const {
+  std::uint16_t flags = kPtePresent | kPteCow | accessed_bit;
+  if (config_.unmerge_on_any_access) {
+    // Figure 4 variant: unmerge on *any* access; reserved bits trap reads too.
+    flags |= kPteReserved;
+  }
+  return flags;
+}
+
+void Ksm::Run() {
+  if (SkipWake()) {
+    return;
+  }
+  for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    Process* process = nullptr;
+    Vpn vpn = 0;
+    bool wrapped = false;
+    if (!cursor_.Next(process, vpn, wrapped)) {
+      break;
+    }
+    if (wrapped) {
+      // A full round completed: the unstable tree is rebuilt from scratch.
+      unstable_.Clear();
+      ++stats_.full_scans;
+    }
+    ScanOne(*process, vpn);
+  }
+  next_run_ = machine_->clock().now() + config_.wake_period;
+}
+
+void Ksm::ScanOne(Process& process, Vpn vpn) {
+  ++stats_.pages_scanned;
+  AddressSpace& as = process.address_space();
+  Pte* pte = as.GetPte(vpn);
+  if (pte == nullptr || !pte->present()) {
+    return;
+  }
+  const std::uint64_t key = KeyOf(process, vpn);
+  if (rmap_.contains(key)) {
+    return;  // already merged
+  }
+  if (pte->reserved_trap()) {
+    return;
+  }
+  FrameId frame = pte->frame;
+  if (pte->huge()) {
+    frame += static_cast<FrameId>(vpn & (kPagesPerHugePage - 1));
+  }
+  if (machine_->memory().refcount(frame) > 0) {
+    return;  // fork-shared with another process: the kernel owns this CoW state
+  }
+  if (config_.zero_pages_only && !machine_->memory().IsZero(frame)) {
+    return;
+  }
+  content_.Hash(frame);  // the per-scan checksum KSM computes
+
+  // 1) Stable tree lookup (Figure 1-A).
+  auto [stable_node, stable_steps] = stable_.Find(
+      [&](StableEntry* const& e) { return content_.Compare(frame, e->frame); });
+  if (stable_node != nullptr) {
+    MergeInto(process, vpn, stable_node->value);
+    return;
+  }
+
+  // 2) Unstable tree lookup (Figure 1-B).
+  auto [unstable_node, unstable_steps] = unstable_.Find(
+      [&](const UnstableItem& u) { return content_.Compare(frame, u.frame); });
+  if (unstable_node != nullptr) {
+    const UnstableItem item = unstable_node->value;
+    unstable_.Remove(unstable_node);
+    const bool self = item.process == &process && item.vpn == vpn;
+    if (!self && UnstableStillValid(item)) {
+      StableEntry* entry = Stabilize(item);
+      if (entry != nullptr) {
+        MergeInto(process, vpn, entry);
+        return;
+      }
+    }
+    // Stale match: fall through and treat the scanned page as unmatched.
+  }
+
+  // 3) No match: insert into the unstable tree (Figure 1-C) - but only pages whose
+  // contents were stable since the previous scan (KSM's checksum gate).
+  const std::uint64_t checksum = machine_->memory().HashContent(frame);
+  const auto it = checksums_.find(key);
+  if (it == checksums_.end() || it->second != checksum) {
+    checksums_[key] = checksum;
+    return;
+  }
+  unstable_.Insert(UnstableItem{frame, &process, vpn});
+}
+
+bool Ksm::UnstableStillValid(const UnstableItem& item) const {
+  const AddressSpace& as = item.process->address_space();
+  const Pte* pte = as.GetPte(item.vpn);
+  if (pte == nullptr || !pte->present() || pte->reserved_trap()) {
+    return false;
+  }
+  FrameId frame = pte->frame;
+  if (pte->huge()) {
+    frame += static_cast<FrameId>(item.vpn & (kPagesPerHugePage - 1));
+  }
+  if (frame != item.frame) {
+    return false;
+  }
+  const VmArea* vma = as.vmas().FindContaining(item.vpn);
+  if (vma == nullptr || !vma->mergeable) {
+    return false;
+  }
+  return !rmap_.contains(KeyOf(*item.process, item.vpn));
+}
+
+Pte* Ksm::EnsureSmallMapping(Process& process, Vpn vpn) {
+  AddressSpace& as = process.address_space();
+  Pte* pte = as.GetPte(vpn);
+  if (pte != nullptr && pte->huge()) {
+    // KSM breaks up a THP to merge a 4 KB page inside it (paper §5.1) - the very
+    // translation-visible event the AnC attack detects.
+    LatencyModel& lm = machine_->latency();
+    lm.Charge(lm.config().huge_split);
+    as.SplitHuge(vpn);
+    machine_->trace().Emit(machine_->clock().now(), TraceEventType::kSplit, process.id(),
+                           vpn & ~(kPagesPerHugePage - 1), 0);
+    ++stats_.thp_splits;
+    pte = as.GetPte(vpn);
+  }
+  return pte;
+}
+
+Ksm::StableEntry* Ksm::Stabilize(const UnstableItem& item) {
+  Pte* pte = EnsureSmallMapping(*item.process, item.vpn);
+  if (pte == nullptr || !pte->present()) {
+    return nullptr;
+  }
+  auto* entry = new StableEntry{pte->frame, 1, nullptr};
+  auto [node, steps] = stable_.Insert(entry);
+  entry->node = node;
+  const auto accessed = static_cast<std::uint16_t>(pte->flags & kPteAccessed);
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().pte_update);
+  item.process->address_space().SetPte(item.vpn, Pte{entry->frame, MergedFlags(accessed)});
+  machine_->memory().SetRefcount(entry->frame, 1);
+  rmap_[KeyOf(*item.process, item.vpn)] = entry;
+  return entry;
+}
+
+void Ksm::MergeInto(Process& process, Vpn vpn, StableEntry* entry) {
+  Pte* pte = EnsureSmallMapping(process, vpn);
+  if (pte == nullptr || !pte->present()) {
+    return;
+  }
+  AddressSpace& as = process.address_space();
+  const FrameId old = pte->frame;
+  if (old == entry->frame) {
+    return;  // already backed by the stable copy
+  }
+  const auto accessed = static_cast<std::uint16_t>(pte->flags & kPteAccessed);
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().pte_update);
+  as.SetPte(vpn, Pte{entry->frame, MergedFlags(accessed)});
+  ++entry->refs;
+  ++frames_saved_;
+  machine_->memory().SetRefcount(entry->frame, entry->refs);
+  rmap_[KeyOf(process, vpn)] = entry;
+
+  // The duplicate frame goes straight back to the system - this reuse of *one of
+  // the sharing parties' frames* is what Flip Feng Shui abuses.
+  machine_->FlushFrame(old);
+  lm.Charge(lm.config().buddy_free);
+  machine_->buddy().Free(old);
+
+  ++stats_.merges;
+  machine_->trace().Emit(machine_->clock().now(), TraceEventType::kMerge, process.id(), vpn,
+                         entry->frame);
+  stats_.LogAllocation(entry->frame);
+  const VmArea* vma = as.vmas().FindContaining(vpn);
+  if (vma != nullptr) {
+    stats_.RecordMergeType(vma->type);
+  }
+  if (machine_->memory().IsZero(entry->frame)) {
+    ++stats_.zero_page_merges;
+  }
+}
+
+void Ksm::DropRef(StableEntry* entry) {
+  if (entry->refs > 1) {
+    --frames_saved_;
+  }
+  --entry->refs;
+  if (entry->refs == 0) {
+    stable_.Remove(entry->node);
+    machine_->FlushFrame(entry->frame);
+    LatencyModel& lm = machine_->latency();
+    lm.Charge(lm.config().buddy_free);
+    machine_->buddy().Free(entry->frame);
+    delete entry;
+  } else {
+    machine_->memory().SetRefcount(entry->frame, entry->refs);
+  }
+}
+
+bool Ksm::BreakCow(Process& process, Vpn vpn, StableEntry* entry,
+                   std::uint16_t extra_flags) {
+  AddressSpace& as = process.address_space();
+  LatencyModel& lm = machine_->latency();
+  // Copy-on-write unmerge (do_wp_page equivalent).
+  lm.Charge(lm.config().buddy_alloc);
+  const FrameId fresh = machine_->buddy().Allocate();
+  if (fresh == kInvalidFrame) {
+    return false;  // OOM
+  }
+  lm.Charge(lm.config().page_copy_4k);
+  machine_->memory().CopyFrame(fresh, entry->frame);
+  lm.Charge(lm.config().pte_update);
+  as.SetPte(vpn, Pte{fresh, static_cast<std::uint16_t>(kPtePresent | kPteWritable |
+                                                       kPteAccessed | extra_flags)});
+  rmap_.erase(KeyOf(process, vpn));
+  DropRef(entry);
+  return true;
+}
+
+bool Ksm::HandleFault(Process& process, const PageFault& fault) {
+  const auto it = rmap_.find(KeyOf(process, fault.vpn));
+  if (it == rmap_.end()) {
+    return false;
+  }
+  const auto dirty = static_cast<std::uint16_t>(
+      fault.access == AccessType::kWrite ? kPteDirty : 0);
+  if (!BreakCow(process, fault.vpn, it->second, dirty)) {
+    return false;
+  }
+  if (fault.access == AccessType::kWrite) {
+    ++stats_.unmerges_cow;
+  } else {
+    ++stats_.unmerges_coa;
+  }
+  machine_->trace().Emit(machine_->clock().now(),
+                         fault.access == AccessType::kWrite ? TraceEventType::kUnmergeCow
+                                                            : TraceEventType::kUnmergeCoa,
+                         process.id(), fault.vpn, 0);
+  return true;
+}
+
+void Ksm::OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
+  // madvise(MADV_UNMERGEABLE): every merged page in the range gets a private copy
+  // back (unmerge_ksm_pages equivalent).
+  for (Vpn vpn = start; vpn < start + pages; ++vpn) {
+    const auto it = rmap_.find(KeyOf(process, vpn));
+    if (it == rmap_.end()) {
+      continue;
+    }
+    if (BreakCow(process, vpn, it->second, 0)) {
+      ++stats_.unmerges_cow;
+    }
+    checksums_.erase(KeyOf(process, vpn));
+  }
+}
+
+bool Ksm::OnUnmap(Process& process, Vpn vpn) {
+  const auto it = rmap_.find(KeyOf(process, vpn));
+  if (it == rmap_.end()) {
+    return false;
+  }
+  StableEntry* entry = it->second;
+  rmap_.erase(it);
+  DropRef(entry);
+  return true;
+}
+
+void Ksm::OnProcessDestroy(Process& process) {
+  // The unstable tree holds raw (process, vpn) references; it is rebuilt every
+  // round anyway, so clearing it is the faithful equivalent of the kernel's
+  // remove_node_from_tree on exit. Checksums of the dead process are purged too.
+  unstable_.Clear();
+  const std::uint64_t prefix = static_cast<std::uint64_t>(process.id()) << 40;
+  for (auto it = checksums_.begin(); it != checksums_.end();) {
+    if ((it->first & ~((std::uint64_t{1} << 40) - 1)) == prefix) {
+      it = checksums_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Ksm::AllowCollapse(Process& process, Vpn base) {
+  // Linux khugepaged refuses to collapse ranges containing KSM pages.
+  for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {
+    if (rmap_.contains(KeyOf(process, vpn))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Ksm::IsMerged(const Process& process, Vpn vpn) const {
+  return rmap_.contains(KeyOf(process, vpn));
+}
+
+}  // namespace vusion

@@ -1,0 +1,106 @@
+// Linux Kernel Same-page Merging model (paper §2.1), including the properties the
+// attacks exploit:
+//  - the merged copy is backed by one of the sharing parties' frames (Flip Feng
+//    Shui's memory-massaging primitive),
+//  - unstable-tree pages are not write-protected while stable pages are (a
+//    merge-detection channel),
+//  - unmerge is a copy-on-write fault measurably slower than a plain write.
+//
+// With FusionConfig::unmerge_on_any_access the engine becomes the "copy-on-access
+// KSM" variant of the paper's Figure 4; with zero_pages_only it fuses only
+// zero-content pages (the mitigation the paper shows is insufficient).
+
+#ifndef VUSION_SRC_FUSION_KSM_H_
+#define VUSION_SRC_FUSION_KSM_H_
+
+#include <unordered_map>
+
+#include "src/container/rbtree.h"
+#include "src/fusion/content.h"
+#include "src/fusion/fusion_engine.h"
+
+namespace vusion {
+
+class Ksm final : public FusionEngine {
+ public:
+  Ksm(Machine& machine, const FusionConfig& config);
+  ~Ksm() override;
+
+  [[nodiscard]] const char* name() const override;
+  [[nodiscard]] std::uint64_t frames_saved() const override { return frames_saved_; }
+
+  // Daemon: scans pages_per_wake pages every wake_period.
+  void Run() override;
+
+  // SharingPolicy.
+  bool HandleFault(Process& process, const PageFault& fault) override;
+  bool OnUnmap(Process& process, Vpn vpn) override;
+  bool AllowCollapse(Process& process, Vpn base) override;
+  void PrepareCollapse(Process& /*process*/, Vpn /*base*/) override {}
+  void OnUnregister(Process& process, Vpn start, std::uint64_t pages) override;
+  void OnProcessDestroy(Process& process) override;
+  bool Owns(const Process& process, Vpn vpn) const override {
+    return rmap_.contains(KeyOf(process, vpn));
+  }
+
+  [[nodiscard]] std::size_t stable_size() const { return stable_.size(); }
+  [[nodiscard]] std::size_t unstable_size() const { return unstable_.size(); }
+  [[nodiscard]] bool ValidateTrees() const {
+    return stable_.ValidateInvariants() && unstable_.ValidateInvariants();
+  }
+  // True if (process, vpn) is currently merged (test helper).
+  [[nodiscard]] bool IsMerged(const Process& process, Vpn vpn) const;
+
+ private:
+  struct StableEntry;
+  struct StableCompare {
+    Ksm* ksm;
+    int operator()(StableEntry* const& a, StableEntry* const& b) const;
+  };
+  struct UnstableItem {
+    FrameId frame = kInvalidFrame;
+    Process* process = nullptr;
+    Vpn vpn = 0;
+  };
+  struct UnstableCompare {
+    Ksm* ksm;
+    int operator()(const UnstableItem& a, const UnstableItem& b) const;
+  };
+  using StableTree = RbTree<StableEntry*, StableCompare>;
+  using UnstableTree = RbTree<UnstableItem, UnstableCompare>;
+
+  struct StableEntry {
+    FrameId frame = kInvalidFrame;
+    std::uint32_t refs = 0;
+    StableTree::Node* node = nullptr;
+  };
+
+  static std::uint64_t KeyOf(const Process& process, Vpn vpn) {
+    return (static_cast<std::uint64_t>(process.id()) << 40) ^ vpn;
+  }
+
+  void ScanOne(Process& process, Vpn vpn);
+  // Promotes an unstable match to the stable tree (write-protecting it).
+  StableEntry* Stabilize(const UnstableItem& item);
+  // Points (process, vpn) at the entry's frame and releases its duplicate.
+  void MergeInto(Process& process, Vpn vpn, StableEntry* entry);
+  // Splits the huge mapping covering vpn, if any, charging the split cost.
+  Pte* EnsureSmallMapping(Process& process, Vpn vpn);
+  [[nodiscard]] bool UnstableStillValid(const UnstableItem& item) const;
+  void DropRef(StableEntry* entry);
+  // Gives (process, vpn) a private writable copy again (break_ksm/break_cow).
+  bool BreakCow(Process& process, Vpn vpn, StableEntry* entry, std::uint16_t extra_flags);
+  [[nodiscard]] std::uint16_t MergedFlags(std::uint16_t accessed_bit) const;
+
+  ChargedContent content_;
+  ScanCursor cursor_;
+  StableTree stable_;
+  UnstableTree unstable_;
+  std::unordered_map<std::uint64_t, StableEntry*> rmap_;
+  std::unordered_map<std::uint64_t, std::uint64_t> checksums_;  // volatility gate
+  std::uint64_t frames_saved_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_FUSION_KSM_H_

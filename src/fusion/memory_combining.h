@@ -1,0 +1,82 @@
+// Windows "Memory Combining" as it exists after Dedup Est Machina (paper §10.1
+// related work): active page fusion is disabled; pages are only deduplicated
+// inside the compressed in-memory swap cache. Under memory pressure, idle pages
+// are swapped into the cache, where identical contents share one compressed
+// record; touching a swapped page costs a major fault (decompress + re-allocate).
+//
+// Security: no page is ever shared between address spaces, so the merge/unmerge
+// side channels and Flip Feng Shui have nothing to bite on. Capacity: as the
+// paper notes, this design "misses substantial fusion opportunities compared to
+// active page fusion" - it saves nothing until the host is under pressure
+// (bench_related_memory_combining quantifies the gap).
+
+#ifndef VUSION_SRC_FUSION_MEMORY_COMBINING_H_
+#define VUSION_SRC_FUSION_MEMORY_COMBINING_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fusion/content.h"
+#include "src/fusion/fusion_engine.h"
+
+namespace vusion {
+
+class MemoryCombining final : public FusionEngine {
+ public:
+  MemoryCombining(Machine& machine, const FusionConfig& config);
+  ~MemoryCombining() override;
+
+  [[nodiscard]] const char* name() const override { return "MemoryCombining"; }
+  // Frames freed by swapping minus the frames backing the compressed cache.
+  [[nodiscard]] std::uint64_t frames_saved() const override;
+
+  void Run() override;
+
+  bool HandleFault(Process& process, const PageFault& fault) override;
+  bool OnUnmap(Process& process, Vpn vpn) override;
+  bool AllowCollapse(Process& process, Vpn base) override;
+  void PrepareCollapse(Process& /*process*/, Vpn /*base*/) override {}
+  void OnUnregister(Process& process, Vpn start, std::uint64_t pages) override;
+  bool Owns(const Process& process, Vpn vpn) const override { return IsSwapped(process, vpn); }
+
+  // --- Introspection ---
+
+  [[nodiscard]] std::size_t swapped_pages() const { return swapped_.size(); }
+  [[nodiscard]] std::size_t unique_records() const { return records_.size(); }
+  [[nodiscard]] std::size_t cache_frames() const { return cache_frames_; }
+  [[nodiscard]] bool IsSwapped(const Process& process, Vpn vpn) const;
+  [[nodiscard]] const std::vector<FrameId>& cache_backing() const { return cache_backing_; }
+
+ private:
+  struct Record {
+    PhysicalMemory::ContentSnapshot snapshot;
+    std::uint32_t refs = 0;
+  };
+
+  static std::uint64_t KeyOf(const Process& process, Vpn vpn) {
+    return (static_cast<std::uint64_t>(process.id()) << 40) ^ vpn;
+  }
+
+  void SwapOutBatch();
+  bool SwapOutOne(Process& process, Vpn vpn);
+  // Swap-in: major fault servicing; returns false on OOM.
+  bool SwapIn(Process& process, Vpn vpn, Record* record, const PageFault& fault);
+  void DropRecord(Record* record);
+  // Adjusts the real frames reserved for the compressed store.
+  void RebalanceCacheFrames();
+
+  ChargedContent content_;
+  ScanCursor cursor_;
+  // hash -> records with that content hash (collision chain).
+  std::unordered_multimap<std::uint64_t, std::unique_ptr<Record>> records_;
+  std::unordered_map<std::uint64_t, Record*> swapped_;  // (process, vpn) -> record
+  std::uint64_t compressed_bytes_ = 0;
+  std::size_t cache_frames_ = 0;  // real frames reserved from the buddy allocator
+  std::vector<FrameId> cache_backing_;
+  std::uint64_t frames_freed_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_FUSION_MEMORY_COMBINING_H_

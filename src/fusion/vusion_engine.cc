@@ -1,0 +1,386 @@
+#include "src/fusion/vusion_engine.h"
+
+#include "src/kernel/idle_tracker.h"
+
+namespace vusion {
+
+int VUsionEngine::StableCompare::operator()(StableEntry* const& a,
+                                            StableEntry* const& b) const {
+  return engine->content_.Compare(a->frame, b->frame);
+}
+
+VUsionEngine::VUsionEngine(Machine& machine, const FusionConfig& config)
+    : FusionEngine(machine, config),
+      content_(machine),
+      cursor_(machine),
+      stable_(StableCompare{this}),
+      pool_(machine.buddy(), config.pool_frames, machine.rng().Fork()),
+      deferred_(machine) {}
+
+VUsionEngine::~VUsionEngine() {
+  stable_.InOrder([](StableEntry* const& e) { delete e; });
+}
+
+FrameId VUsionEngine::AllocBacking() {
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().buddy_alloc);
+  const FrameId frame = pool_.Allocate();
+  if (frame != kInvalidFrame) {
+    stats_.LogAllocation(frame);
+    if (stats_.log_allocations && pool_.last_slot_fraction() >= 0.0) {
+      stats_.slot_log.push_back(pool_.last_slot_fraction());
+    }
+  }
+  return frame;
+}
+
+void VUsionEngine::Run() {
+  if (SkipWake()) {
+    return;
+  }
+  // Background deferred-free worker: queued frames re-enter the entropy pool.
+  deferred_.Drain(pool_);
+  for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    Process* process = nullptr;
+    Vpn vpn = 0;
+    bool wrapped = false;
+    if (!cursor_.Next(process, vpn, wrapped)) {
+      break;
+    }
+    if (wrapped) {
+      ++round_;
+      ++stats_.full_scans;
+    }
+    ScanOne(*process, vpn);
+  }
+  next_run_ = machine_->clock().now() + config_.wake_period;
+}
+
+void VUsionEngine::ScanOne(Process& process, Vpn vpn) {
+  ++stats_.pages_scanned;
+  AddressSpace& as = process.address_space();
+  Pte* pte = as.GetPte(vpn);
+  if (pte == nullptr || pte->flags == 0) {
+    return;
+  }
+  if (pte->huge()) {
+    if (!config_.thp_aware) {
+      // Maximum-fusion mode ("a la KSM", §8.1 with n=512): huge pages are broken
+      // up as soon as the scanner reaches them so their subpages are tracked and
+      // fused at 4 KB granularity.
+      LatencyModel& lm = machine_->latency();
+      lm.Charge(lm.config().huge_split);
+      as.SplitHuge(vpn);
+      machine_->trace().Emit(machine_->clock().now(), TraceEventType::kSplit, process.id(),
+                             vpn & ~(kPagesPerHugePage - 1), 0);
+      ++stats_.thp_splits;
+      pte = as.GetPte(vpn);
+    } else if (vpn != (vpn & ~(kPagesPerHugePage - 1))) {
+      // Performance mode ("a la Ingens", n=1): the THP is considered exactly once
+      // per round, at its base VPN. The PMD's accessed bit covers the whole 2 MB
+      // range, so per-subpage candidacy would misread it (the first visit clears
+      // the bit and the siblings would wrongly look idle).
+      return;
+    }
+  }
+  const std::uint64_t key = KeyOf(process, vpn);
+  const auto it = pages_.find(key);
+  if (it != pages_.end() && it->second.managed) {
+    // §7.1(iii): (fake) merged pages get a fresh random backing frame each round so
+    // cross-round page coloring on the fault path learns nothing.
+    if (config_.rerandomize_each_scan) {
+      RelocateEntry(it->second.entry);
+    }
+    return;
+  }
+  if (config_.working_set_estimation) {
+    const bool accessed = IdleTracker::TestAndClearAccessed(as, vpn);
+    if (accessed) {
+      // In the working set: not a fusion candidate; forget any candidacy.
+      if (it != pages_.end()) {
+        pages_.erase(it);
+      }
+      return;
+    }
+    if (it == pages_.end()) {
+      // First time seen idle: becomes a candidate; act only after it stays idle
+      // for min_idle_rounds full rounds (the one-round delay of Figure 10).
+      pages_[key] = PageInfo{false, round_, nullptr};
+      return;
+    }
+    if (round_ < it->second.candidate_round + config_.min_idle_rounds) {
+      return;
+    }
+  }
+  if (!pte->present()) {
+    return;
+  }
+  if (machine_->memory().refcount(pte->frame) > 0) {
+    return;  // fork-shared: the kernel owns this CoW state
+  }
+  Act(process, vpn, pte);
+}
+
+void VUsionEngine::Act(Process& process, Vpn vpn, Pte* pte) {
+  AddressSpace& as = process.address_space();
+  LatencyModel& lm = machine_->latency();
+  if (pte->huge()) {
+    // §8.1: a THP considered for fusion is first broken into normal pages (small
+    // pages maximize sharing opportunities). Only this subpage proceeds now; the
+    // cursor reaches its siblings later.
+    lm.Charge(lm.config().huge_split);
+    as.SplitHuge(vpn);
+    machine_->trace().Emit(machine_->clock().now(), TraceEventType::kSplit, process.id(),
+                           vpn & ~(kPagesPerHugePage - 1), 0);
+    ++stats_.thp_splits;
+    pte = as.GetPte(vpn);
+  }
+  const FrameId old = pte->frame;
+  content_.Hash(old);
+  auto [node, steps] =
+      stable_.Find([&](StableEntry* const& e) { return content_.Compare(old, e->frame); });
+
+  const FrameId backing = AllocBacking();
+  if (backing == kInvalidFrame) {
+    pages_.erase(KeyOf(process, vpn));
+    return;  // OOM: do not act this round
+  }
+  lm.Charge(lm.config().page_copy_4k);
+
+  StableEntry* entry = nullptr;
+  if (node != nullptr) {
+    // Real merge: join the existing entry, relocating it onto the fresh random
+    // frame so the instruction stream matches the fake-merge path.
+    entry = node->value;
+    machine_->memory().CopyFrame(backing, entry->frame);
+    for (const Sharer& sharer : entry->sharers) {
+      lm.Charge(lm.config().pte_update);
+      sharer.process->address_space().SetPte(sharer.vpn, Pte{backing, kManagedFlags});
+    }
+    deferred_.Push(entry->frame);
+    deferred_.Push(old);
+    entry->frame = backing;
+    entry->relocated_round = round_;
+    ++frames_saved_;
+    ++stats_.merges;
+    machine_->trace().Emit(machine_->clock().now(), TraceEventType::kMerge, process.id(),
+                           vpn, backing);
+    const VmArea* vma = as.vmas().FindContaining(vpn);
+    if (vma != nullptr) {
+      stats_.RecordMergeType(vma->type);
+    }
+    if (machine_->memory().IsZero(backing)) {
+      ++stats_.zero_page_merges;
+    }
+  } else {
+    // Fake merge: same instructions - allocate, copy, queue the freed frame plus a
+    // dummy entry, insert as a refcount-1 stable entry.
+    machine_->memory().CopyFrame(backing, old);
+    deferred_.Push(old);
+    deferred_.PushDummy();
+    entry = new StableEntry{backing, {}, round_, nullptr};
+    auto [inserted, insert_steps] = stable_.Insert(entry);
+    entry->node = inserted;
+    ++stats_.fake_merges;
+    machine_->trace().Emit(machine_->clock().now(), TraceEventType::kFakeMerge,
+                           process.id(), vpn, backing);
+  }
+  entry->sharers.push_back(Sharer{&process, vpn});
+  lm.Charge(lm.config().pte_update);
+  as.SetPte(vpn, Pte{entry->frame, kManagedFlags});
+  machine_->memory().SetRefcount(entry->frame,
+                                 static_cast<std::uint32_t>(entry->sharers.size()));
+  pages_[KeyOf(process, vpn)] = PageInfo{true, round_, entry};
+}
+
+void VUsionEngine::RelocateEntry(StableEntry* entry) {
+  if (entry->relocated_round == round_) {
+    return;
+  }
+  const FrameId backing = AllocBacking();
+  if (backing == kInvalidFrame) {
+    return;
+  }
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().page_copy_4k);
+  machine_->memory().CopyFrame(backing, entry->frame);
+  for (const Sharer& sharer : entry->sharers) {
+    lm.Charge(lm.config().pte_update);
+    sharer.process->address_space().SetPte(sharer.vpn, Pte{backing, kManagedFlags});
+  }
+  deferred_.Push(entry->frame);
+  entry->frame = backing;
+  entry->relocated_round = round_;
+  machine_->memory().SetRefcount(backing, static_cast<std::uint32_t>(entry->sharers.size()));
+  machine_->trace().Emit(machine_->clock().now(), TraceEventType::kRelocate,
+                         entry->sharers.empty() ? 0 : entry->sharers.front().process->id(),
+                         entry->sharers.empty() ? 0 : entry->sharers.front().vpn, backing);
+}
+
+void VUsionEngine::DetachSharer(StableEntry* entry, const Process& process, Vpn vpn) {
+  auto& sharers = entry->sharers;
+  for (auto it = sharers.begin(); it != sharers.end(); ++it) {
+    if (it->process == &process && it->vpn == vpn) {
+      sharers.erase(it);
+      return;
+    }
+  }
+}
+
+void VUsionEngine::UnmergeTo(Process& process, Vpn vpn, PageInfo& info,
+                             std::uint16_t new_flags) {
+  StableEntry* entry = info.entry;
+  LatencyModel& lm = machine_->latency();
+  const FrameId fresh = AllocBacking();
+  if (fresh == kInvalidFrame) {
+    return;
+  }
+  lm.Charge(lm.config().page_copy_4k);
+  machine_->memory().CopyFrame(fresh, entry->frame);
+  lm.Charge(lm.config().pte_update);
+  process.address_space().SetPte(vpn, Pte{fresh, new_flags});
+
+  DetachSharer(entry, process, vpn);
+  const bool was_shared = !entry->sharers.empty();
+  if (was_shared) {
+    --frames_saved_;
+    machine_->memory().SetRefcount(entry->frame,
+                                   static_cast<std::uint32_t>(entry->sharers.size()));
+    // Same instruction stream as the free below: queue a dummy (§7.1(ii)).
+    if (config_.deferred_free) {
+      deferred_.PushDummy();
+    }
+  } else {
+    stable_.Remove(entry->node);
+    if (config_.deferred_free) {
+      deferred_.Push(entry->frame);
+    } else {
+      // Ablation: freeing in the fault handler reopens the timing channel.
+      machine_->memory().SetRefcount(entry->frame, 0);
+      machine_->FlushFrame(entry->frame);
+      lm.Charge(lm.config().buddy_free);
+      pool_.Free(entry->frame);
+    }
+    delete entry;
+  }
+}
+
+bool VUsionEngine::HandleFault(Process& process, const PageFault& fault) {
+  const auto it = pages_.find(KeyOf(process, fault.vpn));
+  if (it == pages_.end() || !it->second.managed) {
+    return false;
+  }
+  // Copy-on-access: identical for merged and fake-merged pages (SB).
+  const auto flags = static_cast<std::uint16_t>(
+      kPtePresent | kPteWritable | kPteAccessed |
+      (fault.access == AccessType::kWrite ? kPteDirty : 0));
+  UnmergeTo(process, fault.vpn, it->second, flags);
+  pages_.erase(it);
+  ++stats_.unmerges_coa;
+  machine_->trace().Emit(machine_->clock().now(), TraceEventType::kUnmergeCoa, process.id(),
+                         fault.vpn, 0);
+  return true;
+}
+
+bool VUsionEngine::OnUnmap(Process& process, Vpn vpn) {
+  const auto it = pages_.find(KeyOf(process, vpn));
+  if (it == pages_.end()) {
+    return false;
+  }
+  if (!it->second.managed) {
+    pages_.erase(it);
+    return false;  // candidate only: the kernel still owns the frame
+  }
+  StableEntry* entry = it->second.entry;
+  DetachSharer(entry, process, vpn);
+  if (entry->sharers.empty()) {
+    stable_.Remove(entry->node);
+    deferred_.Push(entry->frame);
+    delete entry;
+  } else {
+    --frames_saved_;
+    machine_->memory().SetRefcount(entry->frame,
+                                   static_cast<std::uint32_t>(entry->sharers.size()));
+  }
+  pages_.erase(it);
+  return true;
+}
+
+bool VUsionEngine::AllowCollapse(Process& process, Vpn base) {
+  if (config_.thp_aware) {
+    return true;  // PrepareCollapse will (fake) unmerge managed subpages (§8.2)
+  }
+  for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {
+    const auto it = pages_.find(KeyOf(process, vpn));
+    if (it != pages_.end() && it->second.managed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VUsionEngine::PrepareCollapse(Process& process, Vpn base) {
+  for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {
+    const auto it = pages_.find(KeyOf(process, vpn));
+    if (it == pages_.end()) {
+      continue;
+    }
+    if (it->second.managed) {
+      // (Fake) unmerge so khugepaged may copy the page into the new huge block.
+      UnmergeTo(process, vpn, it->second, kPtePresent | kPteWritable | kPteAccessed);
+      ++stats_.unmerges_coa;
+    }
+    pages_.erase(it);
+  }
+}
+
+void VUsionEngine::OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
+  for (Vpn vpn = start; vpn < start + pages; ++vpn) {
+    const auto it = pages_.find(KeyOf(process, vpn));
+    if (it == pages_.end()) {
+      continue;
+    }
+    if (it->second.managed) {
+      UnmergeTo(process, vpn, it->second, kPtePresent | kPteWritable | kPteAccessed);
+      ++stats_.unmerges_coa;
+    }
+    pages_.erase(it);
+  }
+}
+
+void VUsionEngine::OnProcessDestroy(Process& process) {
+  // Managed pages were detached through OnUnmap during teardown; only candidate
+  // bookkeeping can remain.
+  const std::uint64_t prefix = static_cast<std::uint64_t>(process.id()) << 40;
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if ((it->first & ~((std::uint64_t{1} << 40) - 1)) == prefix) {
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void VUsionEngine::ForEachStableEntry(
+    const std::function<void(FrameId, const std::vector<std::pair<std::uint32_t, Vpn>>&)>& fn)
+    const {
+  stable_.InOrder([&fn](StableEntry* const& e) {
+    std::vector<std::pair<std::uint32_t, Vpn>> sharers;
+    for (const Sharer& s : e->sharers) {
+      sharers.emplace_back(s.process->id(), s.vpn);
+    }
+    fn(e->frame, sharers);
+  });
+}
+
+bool VUsionEngine::IsManaged(const Process& process, Vpn vpn) const {
+  const auto it = pages_.find(KeyOf(process, vpn));
+  return it != pages_.end() && it->second.managed;
+}
+
+bool VUsionEngine::IsShared(const Process& process, Vpn vpn) const {
+  const auto it = pages_.find(KeyOf(process, vpn));
+  return it != pages_.end() && it->second.managed && it->second.entry->sharers.size() > 1;
+}
+
+}  // namespace vusion

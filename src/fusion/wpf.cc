@@ -1,0 +1,296 @@
+#include "src/fusion/wpf.h"
+
+#include <algorithm>
+
+namespace vusion {
+
+int Wpf::CombinedCompare::operator()(Combined* const& a, Combined* const& b) const {
+  return wpf->content_.Compare(a->frame, b->frame);
+}
+
+Wpf::Wpf(Machine& machine, const FusionConfig& config)
+    : FusionEngine(machine, config),
+      content_(machine),
+      linear_(machine.buddy(), machine.memory()) {
+  trees_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    trees_.push_back(std::make_unique<Tree>(CombinedCompare{this}));
+  }
+}
+
+Wpf::~Wpf() {
+  for (const auto& tree : trees_) {
+    tree->InOrder([](Combined* const& e) { delete e; });
+  }
+}
+
+void Wpf::Run() {
+  if (SkipWake()) {
+    return;
+  }
+  DoFusionPass();
+  next_run_ = machine_->clock().now() + config_.wpf_period;
+}
+
+void Wpf::DoFusionPass() {
+  // MiAllocatePagesForMdl restarts its reclaim scan from the top of memory on
+  // every pass - the root of the predictable-reuse behaviour.
+  linear_.ResetScan();
+  pass_allocations_.emplace_back();
+
+  // Phase 1: hash every candidate page (WPF has no opt-in; all mapped small pages
+  // of every process are candidates).
+  std::vector<Candidate> candidates;
+  for (const auto& process : machine_->processes()) {
+    if (process == nullptr) {
+      continue;
+    }
+    AddressSpace& as = process->address_space();
+    for (const VmArea& vma : as.vmas().areas()) {
+      for (Vpn vpn = vma.start; vpn < vma.end(); ++vpn) {
+        const Pte* pte = as.GetPte(vpn);
+        if (pte == nullptr || !pte->present() || pte->huge() || pte->reserved_trap()) {
+          continue;
+        }
+        if (rmap_.contains(KeyOf(*process, vpn))) {
+          continue;
+        }
+        if (machine_->memory().refcount(pte->frame) > 0) {
+          continue;  // fork-shared: the kernel owns this CoW state
+        }
+        ++stats_.pages_scanned;
+        Candidate c;
+        c.process = process.get();
+        c.vpn = vpn;
+        c.frame = pte->frame;
+        c.hash = content_.Hash(c.frame);
+        candidates.push_back(c);
+      }
+    }
+  }
+
+  // The sorted-hash list of Figure 2; ties broken by (process, vpn) so passes are
+  // deterministic.
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.hash != b.hash) {
+      return a.hash < b.hash;
+    }
+    if (a.process->id() != b.process->id()) {
+      return a.process->id() < b.process->id();
+    }
+    return a.vpn < b.vpn;
+  });
+
+  // Phase 2: pages whose content was fused in an earlier pass join the existing
+  // combined page.
+  std::vector<Candidate> remaining;
+  remaining.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    Tree& tree = *trees_[c.hash % kShards];
+    auto [entry, steps] =
+        tree.Find([&](Combined* const& e) { return content_.Compare(c.frame, e->frame); });
+    if (entry != nullptr) {
+      MergeIntoCombined(c, *entry);
+    } else {
+      remaining.push_back(c);
+    }
+  }
+
+  // Phase 3: group fresh duplicates (equal hash runs, verified by content) and
+  // count how many new combined pages are needed.
+  std::vector<std::vector<const Candidate*>> groups;
+  for (std::size_t i = 0; i < remaining.size();) {
+    std::size_t j = i + 1;
+    while (j < remaining.size() && remaining[j].hash == remaining[i].hash) {
+      ++j;
+    }
+    if (j - i >= 2) {
+      // Partition the equal-hash run by true content (hash collisions are possible).
+      std::vector<bool> used(j - i, false);
+      for (std::size_t a = i; a < j; ++a) {
+        if (used[a - i]) {
+          continue;
+        }
+        std::vector<const Candidate*> group{&remaining[a]};
+        for (std::size_t b = a + 1; b < j; ++b) {
+          if (!used[b - i] && content_.Compare(remaining[a].frame, remaining[b].frame) == 0) {
+            used[b - i] = true;
+            group.push_back(&remaining[b]);
+          }
+        }
+        if (group.size() >= 2) {
+          groups.push_back(std::move(group));
+        }
+      }
+    }
+    i = j;
+  }
+
+  // Phase 4: one MiAllocatePagesForMdl call for all the frames this pass needs.
+  // In-use candidate pages near the end of memory are *stolen* (relocated onto a
+  // fresh frame) rather than skipped, matching the reverse-engineered routine; this
+  // is what makes frame reuse across passes near-perfect (Figure 3).
+  LatencyModel& lm = machine_->latency();
+  std::unordered_map<FrameId, Candidate*> frame_owner;
+  for (Candidate& c : remaining) {
+    frame_owner[c.frame] = &c;
+  }
+  const auto try_steal = [&](FrameId frame) {
+    const auto it = frame_owner.find(frame);
+    if (it == frame_owner.end()) {
+      return false;  // not a page we may move (combined, page table, ...)
+    }
+    Candidate* owner = it->second;
+    AddressSpace& as = owner->process->address_space();
+    Pte* pte = as.GetPte(owner->vpn);
+    if (pte == nullptr || !pte->present() || pte->huge() || pte->frame != frame) {
+      return false;
+    }
+    const FrameId relocated = machine_->buddy().Allocate();
+    if (relocated == kInvalidFrame) {
+      return false;
+    }
+    lm.Charge(lm.config().page_copy_4k);
+    machine_->memory().CopyFrame(relocated, frame);
+    lm.Charge(lm.config().pte_update);
+    as.SetPte(owner->vpn, Pte{relocated, pte->flags});
+    machine_->FlushFrame(frame);
+    machine_->buddy().Free(frame);
+    frame_owner.erase(it);
+    owner->frame = relocated;
+    frame_owner[relocated] = owner;
+    return true;
+  };
+  const std::vector<FrameId> fresh = linear_.AllocateRunWithSteal(groups.size(), try_steal);
+  for (std::size_t g = 0; g < groups.size() && g < fresh.size(); ++g) {
+    const FrameId combined_frame = fresh[g];
+    lm.Charge(lm.config().page_copy_4k);
+    machine_->memory().CopyFrame(combined_frame, groups[g][0]->frame);
+    auto* entry = new Combined{combined_frame, 0, groups[g][0]->hash % kShards};
+    trees_[entry->shard]->Insert(entry);
+    ++rmap_bucket_count_;
+    pass_allocations_.back().push_back(combined_frame);
+    for (const Candidate* member : groups[g]) {
+      MergeIntoCombined(*member, entry);
+    }
+  }
+  ++stats_.full_scans;
+}
+
+void Wpf::MergeIntoCombined(const Candidate& candidate, Combined* entry) {
+  AddressSpace& as = candidate.process->address_space();
+  Pte* pte = as.GetPte(candidate.vpn);
+  if (pte == nullptr || !pte->present() || pte->huge() || pte->frame != candidate.frame) {
+    return;  // the page changed under us; skip
+  }
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().pte_update);
+  const auto accessed = static_cast<std::uint16_t>(pte->flags & kPteAccessed);
+  as.SetPte(candidate.vpn, Pte{entry->frame,
+                               static_cast<std::uint16_t>(kPtePresent | kPteCow | accessed)});
+  ++entry->refs;
+  if (entry->refs > 1) {
+    ++frames_saved_;
+  }
+  machine_->memory().SetRefcount(entry->frame, entry->refs);
+  rmap_[KeyOf(*candidate.process, candidate.vpn)] = entry;
+  machine_->FlushFrame(candidate.frame);
+  lm.Charge(lm.config().buddy_free);
+  machine_->buddy().Free(candidate.frame);
+  ++stats_.merges;
+  machine_->trace().Emit(machine_->clock().now(), TraceEventType::kMerge,
+                         candidate.process->id(), candidate.vpn, entry->frame);
+  stats_.LogAllocation(entry->frame);
+  const VmArea* vma = as.vmas().FindContaining(candidate.vpn);
+  if (vma != nullptr) {
+    stats_.RecordMergeType(vma->type);
+  }
+  if (machine_->memory().IsZero(entry->frame)) {
+    ++stats_.zero_page_merges;
+  }
+}
+
+void Wpf::DropRef(Combined* entry) {
+  if (entry->refs > 1) {
+    --frames_saved_;
+  }
+  --entry->refs;
+  if (entry->refs == 0) {
+    // Remove by content navigation (combined contents are unique per tree).
+    Tree& tree = *trees_[entry->shard];
+    const bool removed =
+        tree.RemoveIf([&](Combined* const& e) { return content_.Compare(entry->frame, e->frame); });
+    (void)removed;
+    --rmap_bucket_count_;
+    machine_->FlushFrame(entry->frame);
+    LatencyModel& lm = machine_->latency();
+    lm.Charge(lm.config().buddy_free);
+    // Freed near the end of memory; the next pass's linear scan re-claims it.
+    machine_->buddy().Free(entry->frame);
+    delete entry;
+  } else {
+    machine_->memory().SetRefcount(entry->frame, entry->refs);
+  }
+}
+
+bool Wpf::HandleFault(Process& process, const PageFault& fault) {
+  const auto it = rmap_.find(KeyOf(process, fault.vpn));
+  if (it == rmap_.end()) {
+    return false;
+  }
+  Combined* entry = it->second;
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().buddy_alloc);
+  const FrameId fresh = machine_->buddy().Allocate();
+  if (fresh == kInvalidFrame) {
+    return false;
+  }
+  lm.Charge(lm.config().page_copy_4k);
+  machine_->memory().CopyFrame(fresh, entry->frame);
+  lm.Charge(lm.config().pte_update);
+  process.address_space().SetPte(
+      fault.vpn, Pte{fresh, static_cast<std::uint16_t>(
+                                kPtePresent | kPteWritable | kPteAccessed |
+                                (fault.access == AccessType::kWrite ? kPteDirty : 0))});
+  rmap_.erase(it);
+  DropRef(entry);
+  ++stats_.unmerges_cow;
+  machine_->trace().Emit(machine_->clock().now(), TraceEventType::kUnmergeCow, process.id(),
+                         fault.vpn, fresh);
+  return true;
+}
+
+bool Wpf::OnUnmap(Process& process, Vpn vpn) {
+  const auto it = rmap_.find(KeyOf(process, vpn));
+  if (it == rmap_.end()) {
+    return false;
+  }
+  Combined* entry = it->second;
+  rmap_.erase(it);
+  DropRef(entry);
+  return true;
+}
+
+bool Wpf::AllowCollapse(Process& process, Vpn base) {
+  for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {
+    if (rmap_.contains(KeyOf(process, vpn))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Wpf::IsMerged(const Process& process, Vpn vpn) const {
+  return rmap_.contains(KeyOf(process, vpn));
+}
+
+bool Wpf::ValidateTrees() const {
+  for (const auto& tree : trees_) {
+    if (!tree->ValidateInvariants()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vusion

@@ -1,0 +1,26 @@
+// Background kernel threads (fusion scanners, khugepaged, deferred-free worker)
+// modeled as daemons with virtual-time deadlines. The Machine runs every daemon
+// whose deadline has passed after each access and during idle periods.
+
+#ifndef VUSION_SRC_KERNEL_DAEMON_H_
+#define VUSION_SRC_KERNEL_DAEMON_H_
+
+#include "src/sim/clock.h"
+
+namespace vusion {
+
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+
+  // Next virtual time this daemon wants to run.
+  [[nodiscard]] virtual SimTime next_run() const = 0;
+
+  // Executes one wake-up (charging its CPU cost to the clock) and advances the
+  // deadline. Missed periods coalesce; daemons do not storm to catch up.
+  virtual void Run() = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_KERNEL_DAEMON_H_

@@ -1,0 +1,22 @@
+#include "src/kernel/idle_tracker.h"
+
+namespace vusion {
+
+bool IdleTracker::TestAndClearAccessed(AddressSpace& as, Vpn vpn) {
+  Pte* pte = as.GetPte(vpn);
+  if (pte == nullptr || pte->flags == 0) {
+    return false;
+  }
+  const bool accessed = pte->accessed();
+  if (accessed) {
+    as.UpdateFlags(vpn, 0, kPteAccessed);
+  }
+  return accessed;
+}
+
+bool IdleTracker::IsAccessed(const AddressSpace& as, Vpn vpn) {
+  const Pte* pte = as.GetPte(vpn);
+  return pte != nullptr && pte->accessed();
+}
+
+}  // namespace vusion

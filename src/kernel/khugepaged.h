@@ -1,0 +1,61 @@
+// khugepaged: the background daemon that collapses 512 contiguous small pages into
+// transparent huge pages (paper §8). Collapse policy follows Ingens-style activity
+// gating (min_active_subpages = the paper's `n`), and the installed SharingPolicy is
+// consulted so fusion engines can veto (KSM-managed pages block collapse in Linux)
+// or securely prepare (VUsion's fake-unmerge-then-collapse, §8.2).
+
+#ifndef VUSION_SRC_KERNEL_KHUGEPAGED_H_
+#define VUSION_SRC_KERNEL_KHUGEPAGED_H_
+
+#include "src/kernel/daemon.h"
+#include "src/kernel/machine.h"
+
+namespace vusion {
+
+struct KhugepagedConfig {
+  SimTime period = 10 * kSecond;
+  std::size_t ranges_per_wake = 16;
+  // Minimum number of recently-accessed subpages for a range to be worth a THP.
+  // n=1 maximizes performance (conserves THPs); larger n favors fusion capacity.
+  std::size_t min_active_subpages = 1;
+
+  // SmartMD-style dynamic n (the optimization the paper points to in §8.1, [21]):
+  // interpolate n between n_min (ample free memory: conserve THPs) and n_max
+  // (memory pressure: stop collapsing, let fusion reclaim) based on the free-frame
+  // level at each wake-up.
+  bool adaptive_n = false;
+  std::size_t n_min = 1;
+  std::size_t n_max = 448;
+  std::size_t pressure_low_frames = 4096;    // free at or below this => n = n_max
+  std::size_t pressure_high_frames = 16384;  // free at or above this => n = n_min
+};
+
+class Khugepaged final : public Daemon {
+ public:
+  Khugepaged(Machine& machine, const KhugepagedConfig& config);
+
+  [[nodiscard]] SimTime next_run() const override { return next_run_; }
+  void Run() override;
+
+  [[nodiscard]] std::uint64_t collapses() const { return collapses_; }
+  [[nodiscard]] std::uint64_t collapse_attempts() const { return attempts_; }
+  [[nodiscard]] const KhugepagedConfig& config() const { return config_; }
+  // The activity threshold currently in effect (fixed, or adapted to pressure).
+  [[nodiscard]] std::size_t current_n() const { return current_n_; }
+
+ private:
+  bool TryCollapse(Process& process, Vpn base);
+  void AdaptThreshold();
+
+  Machine* machine_;
+  KhugepagedConfig config_;
+  std::size_t current_n_;
+  SimTime next_run_ = 0;
+  std::size_t range_cursor_ = 0;  // index into the flattened candidate range list
+  std::uint64_t collapses_ = 0;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_KERNEL_KHUGEPAGED_H_

@@ -1,0 +1,205 @@
+#include "src/kernel/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/kernel/khugepaged.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+
+Machine::Machine(const MachineConfig& config) : config_(config), rng_(config.seed) {
+  latency_ = std::make_unique<LatencyModel>(config.latency, clock_, rng_.Fork());
+  memory_ = std::make_unique<PhysicalMemory>(config.frame_count);
+  buddy_ = std::make_unique<BuddyAllocator>(*memory_);
+  llc_ = std::make_unique<Llc>(config.cache);
+  if (config.enable_l1) {
+    l1_ = std::make_unique<Llc>(config.l1_cache);
+  }
+  dram_mapping_ = std::make_unique<DramMapping>(config.dram);
+  row_buffer_ = std::make_unique<RowBuffer>(*dram_mapping_, clock_);
+  rowhammer_ = std::make_unique<RowhammerEngine>(*dram_mapping_, *row_buffer_, *memory_);
+}
+
+Machine::~Machine() = default;
+
+Process& Machine::CreateProcess() {
+  const auto id = static_cast<std::uint32_t>(processes_.size());
+  processes_.push_back(std::make_unique<Process>(*this, id));
+  return *processes_.back();
+}
+
+Process& Machine::ForkProcess(Process& parent) {
+  Process& child = CreateProcess();
+  child.InheritLayout(parent);
+  AddressSpace& pas = parent.address_space();
+  AddressSpace& cas = child.address_space();
+  std::vector<std::pair<Vpn, Pte>> entries;
+  pas.page_table().ForEachEntry(0, Vpn{1} << 36, [&entries](Vpn vpn, Pte& pte) {
+    entries.emplace_back(vpn, pte);
+  });
+  const LatencyConfig& lc = latency_->config();
+  for (const auto& [vpn, pte] : entries) {
+    latency_->ChargeExact(lc.pte_update);
+    if (pte.huge()) {
+      // Huge mappings are copied eagerly (they are always exclusive here).
+      const FrameId block = buddy_->AllocateOrder(kHugePageOrder);
+      if (block != kInvalidFrame) {
+        for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+          memory_->CopyFrame(block + static_cast<FrameId>(i),
+                             pte.frame + static_cast<FrameId>(i));
+        }
+        cas.MapHugeRange(vpn, block, pte.flags);
+        continue;
+      }
+      // Fragmentation: fall back to eager small-page copies.
+      for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+        const FrameId f = buddy_->Allocate();
+        if (f == kInvalidFrame) {
+          break;
+        }
+        memory_->CopyFrame(f, pte.frame + static_cast<FrameId>(i));
+        cas.MapPage(vpn + i, f, kPtePresent | kPteWritable);
+      }
+      continue;
+    }
+    if ((pte.flags & kPteSwapped) != 0) {
+      continue;  // swapped-out: the child demand-faults a fresh zero page
+    }
+    if (policy_ != nullptr && policy_->Owns(parent, vpn)) {
+      // Fusion-managed page: eager private copy keeps the engine's ownership
+      // model untangled from fork's kernel-level sharing.
+      const FrameId f = buddy_->Allocate();
+      if (f != kInvalidFrame) {
+        memory_->CopyFrame(f, pte.frame);
+        cas.MapPage(vpn, f, kPtePresent | kPteWritable | kPteAccessed);
+      }
+      continue;
+    }
+    // Plain page (or an already fork-shared one): share copy-on-write.
+    const std::uint32_t refs = memory_->refcount(pte.frame);
+    memory_->SetRefcount(pte.frame, refs == 0 ? 2 : refs + 1);
+    const auto flags =
+        static_cast<std::uint16_t>((pte.flags & ~kPteWritable) | kPteCow);
+    pas.SetPte(vpn, Pte{pte.frame, flags});
+    cas.MapPage(vpn, pte.frame, flags);
+  }
+  return child;
+}
+
+void Machine::DestroyProcess(Process& process) {
+  AddressSpace& as = process.address_space();
+  // Collect mappings first (unmapping mutates the tree we iterate).
+  std::vector<std::pair<Vpn, Pte>> entries;
+  as.page_table().ForEachEntry(0, Vpn{1} << 36, [&entries](Vpn vpn, Pte& pte) {
+    entries.emplace_back(vpn, pte);
+  });
+  for (const auto& [vpn, pte] : entries) {
+    if (pte.huge()) {
+      // Huge mappings are always exclusive (engines split before sharing).
+      as.UnmapPage(vpn);  // clears the PMD entry
+      FlushFrame(pte.frame);
+      buddy_->FreeOrder(pte.frame, kHugePageOrder);
+    } else {
+      UnmapAndFree(process, vpn);
+    }
+  }
+  if (policy_ != nullptr) {
+    policy_->OnProcessDestroy(process);
+  }
+  // The slot goes null; process ids are never reused. The AddressSpace destructor
+  // releases the page-table node frames.
+  processes_[process.id()].reset();
+}
+
+void Machine::RemoveDaemon(Daemon* daemon) {
+  daemons_.erase(std::remove(daemons_.begin(), daemons_.end(), daemon), daemons_.end());
+}
+
+Khugepaged& Machine::EnableKhugepaged(const KhugepagedConfig& config) {
+  khugepaged_ = std::make_unique<Khugepaged>(*this, config);
+  AddDaemon(khugepaged_.get());
+  return *khugepaged_;
+}
+
+void Machine::FlushFrame(FrameId frame) {
+  if (l1_ != nullptr) {
+    l1_->FlushFrame(frame);
+  }
+  llc_->FlushFrame(frame);
+}
+
+void Machine::RunDueDaemons() {
+  if (in_daemon_) {
+    return;
+  }
+  in_daemon_ = true;
+  bool ran = true;
+  while (ran) {
+    ran = false;
+    for (Daemon* d : daemons_) {
+      if (d->next_run() <= clock_.now()) {
+        d->Run();
+        ran = true;
+      }
+    }
+  }
+  in_daemon_ = false;
+}
+
+void Machine::Idle(SimTime duration) {
+  const SimTime end = clock_.now() + duration;
+  while (clock_.now() < end) {
+    SimTime next = end;
+    for (const Daemon* d : daemons_) {
+      next = std::min(next, d->next_run());
+    }
+    if (next > clock_.now()) {
+      clock_.Advance(next - clock_.now());
+    }
+    RunDueDaemons();
+  }
+}
+
+void Machine::UnmapAndFree(Process& process, Vpn vpn) {
+  AddressSpace& as = process.address_space();
+  Pte* pte = as.GetPte(vpn);
+  if (pte == nullptr || pte->flags == 0) {
+    return;
+  }
+  assert(!pte->huge() && "unmap of individual huge subpages is not supported");
+  const FrameId frame = pte->frame;
+  const bool policy_owned = policy_ != nullptr && policy_->OnUnmap(process, vpn);
+  as.UnmapPage(vpn);
+  if (!policy_owned && frame != kInvalidFrame) {
+    // Fork-shared frames stay alive until the last sharer unmaps.
+    const std::uint32_t refs = memory_->refcount(frame);
+    if (refs > 1) {
+      memory_->DecRef(frame);
+      return;
+    }
+    if (refs == 1) {
+      memory_->SetRefcount(frame, 0);
+    }
+    FlushFrame(frame);
+    buddy_->Free(frame);
+  }
+}
+
+std::uint64_t Machine::CountHugeMappings() const {
+  std::uint64_t count = 0;
+  for (const auto& process : processes_) {
+    if (process == nullptr) {
+      continue;
+    }
+    auto& table = const_cast<Process&>(*process).address_space().page_table();
+    table.ForEachEntry(0, Vpn{1} << 36, [&count](Vpn, Pte& pte) {
+      if (pte.huge()) {
+        ++count;
+      }
+    });
+  }
+  return count;
+}
+
+}  // namespace vusion

@@ -1,0 +1,154 @@
+// The simulated machine: physical memory, allocators, cache and DRAM hierarchy,
+// processes/VMs, the timed memory-access path, the page-fault dispatcher, and the
+// daemon scheduler. This is the "host kernel + hardware" every fusion engine,
+// attack, and workload runs on.
+
+#ifndef VUSION_SRC_KERNEL_MACHINE_H_
+#define VUSION_SRC_KERNEL_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/llc.h"
+#include "src/dram/rowhammer.h"
+#include "src/kernel/daemon.h"
+#include "src/kernel/sharing_policy.h"
+#include "src/mmu/address_space.h"
+#include "src/phys/buddy_allocator.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/trace.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+class Process;
+class Khugepaged;
+struct KhugepagedConfig;
+
+struct MachineConfig {
+  FrameId frame_count = 1u << 16;  // 256 MB of simulated physical memory
+  CacheConfig cache;
+  // Private first-level cache (32 KB, 8-way by default) in front of the LLC.
+  CacheConfig l1_cache{.line_size = 64, .ways = 8, .sets = 64};
+  bool enable_l1 = true;
+  DramConfig dram;
+  LatencyConfig latency;
+  std::uint64_t seed = 42;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- Components ---
+
+  [[nodiscard]] VirtualClock& clock() { return clock_; }
+  [[nodiscard]] LatencyModel& latency() { return *latency_; }
+  [[nodiscard]] PhysicalMemory& memory() { return *memory_; }
+  [[nodiscard]] BuddyAllocator& buddy() { return *buddy_; }
+  [[nodiscard]] Llc& llc() { return *llc_; }
+  // Null when the L1 level is disabled in the config.
+  [[nodiscard]] Llc* l1() { return l1_.get(); }
+  [[nodiscard]] DramMapping& dram_mapping() { return *dram_mapping_; }
+  [[nodiscard]] RowBuffer& row_buffer() { return *row_buffer_; }
+  [[nodiscard]] RowhammerEngine& rowhammer() { return *rowhammer_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] TraceBuffer& trace() { return trace_; }
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  // --- Processes ---
+
+  Process& CreateProcess();
+  // fork(): the child gets a copy of the parent's address space. Plain private
+  // pages are shared copy-on-write (both sides lose write permission; the kernel
+  // frame refcount tracks the sharers). Fusion-managed and huge mappings are
+  // copied eagerly, keeping the engines' ownership model untangled from fork's.
+  Process& ForkProcess(Process& parent);
+  // Tears a process down (VM shutdown): every mapping is released through the
+  // fusion-aware unmap path, the sharing policy drops its references, and the
+  // process slot becomes null (ids are never reused).
+  void DestroyProcess(Process& process);
+  // Entries may be null after DestroyProcess.
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+  // --- Fusion policy & daemons ---
+
+  void SetSharingPolicy(SharingPolicy* policy) { policy_ = policy; }
+  [[nodiscard]] SharingPolicy* sharing_policy() { return policy_; }
+  void AddDaemon(Daemon* daemon) { daemons_.push_back(daemon); }
+  void RemoveDaemon(Daemon* daemon);
+  // Enables the khugepaged daemon (off by default; benches opt in per config).
+  Khugepaged& EnableKhugepaged(const KhugepagedConfig& config);
+  [[nodiscard]] Khugepaged* khugepaged() { return khugepaged_.get(); }
+
+  // Runs every daemon whose deadline has passed. Called automatically after each
+  // timed access and throughout Idle().
+  void RunDueDaemons();
+
+  // Advances virtual time, running daemons at their deadlines.
+  void Idle(SimTime duration);
+
+  // --- Timed memory access path (used by Process) ---
+
+  struct AccessResult {
+    SimTime latency = 0;
+    std::uint64_t value = 0;
+    std::size_t faults = 0;
+  };
+
+  AccessResult Access(Process& process, VirtAddr vaddr, AccessType type,
+                      std::uint64_t write_value);
+  void Prefetch(Process& process, VirtAddr vaddr);
+  void FlushCacheLine(Process& process, VirtAddr vaddr);
+
+  // Unmaps vpn and releases the backing frame (consulting the sharing policy for
+  // managed pages). Untimed; used by setup paths and the page cache eviction.
+  void UnmapAndFree(Process& process, Vpn vpn);
+
+  // Evicts every cached line of the frame from all cache levels (done whenever a
+  // frame changes owner or is freed).
+  void FlushFrame(FrameId frame);
+
+  // --- Stats ---
+
+  [[nodiscard]] std::uint64_t total_faults() const { return total_faults_; }
+  [[nodiscard]] std::uint64_t CountHugeMappings() const;
+
+ private:
+  friend class Process;
+
+  // Charges fault entry cost and dispatches to the policy, then the default
+  // handler. Throws std::runtime_error on an unresolvable fault.
+  void HandleFault(Process& process, const PageFault& fault);
+  bool HandleFaultDefault(Process& process, const PageFault& fault);
+  void ChargedDataAccess(const Pte& pte, PhysAddr paddr);
+
+  MachineConfig config_;
+  VirtualClock clock_;
+  Rng rng_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<PhysicalMemory> memory_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+  std::unique_ptr<Llc> llc_;
+  std::unique_ptr<Llc> l1_;
+  std::unique_ptr<DramMapping> dram_mapping_;
+  std::unique_ptr<RowBuffer> row_buffer_;
+  std::unique_ptr<RowhammerEngine> rowhammer_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  SharingPolicy* policy_ = nullptr;
+  std::vector<Daemon*> daemons_;
+  std::unique_ptr<Khugepaged> khugepaged_;
+  TraceBuffer trace_;
+  std::uint64_t total_faults_ = 0;
+  bool in_daemon_ = false;  // prevents daemon re-entry from daemon-issued work
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_KERNEL_MACHINE_H_

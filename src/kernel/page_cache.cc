@@ -1,0 +1,77 @@
+#include "src/kernel/page_cache.h"
+
+namespace vusion {
+
+PageCache::PageCache(Process& owner, std::uint64_t capacity_pages)
+    : owner_(&owner), capacity_(capacity_pages) {
+  const VirtAddr base =
+      owner.AllocateRegion(capacity_pages, PageType::kPageCache, /*mergeable=*/true,
+                           /*thp_eligible=*/false);
+  region_start_ = VaddrToVpn(base);
+  free_slots_.reserve(capacity_pages);
+  for (std::uint64_t i = 0; i < capacity_pages; ++i) {
+    free_slots_.push_back(region_start_ + capacity_pages - 1 - i);  // pop() yields low vpns first
+  }
+}
+
+std::uint64_t PageCache::FileSeed(std::uint64_t file_id, std::uint32_t page_index) {
+  std::uint64_t x = (file_id * 0x9e3779b97f4a7c15ULL) ^ (page_index + 0x51ed2701ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return x ^ (x >> 31);
+}
+
+Vpn PageCache::Ensure(std::uint64_t file_id, std::uint32_t page_index) {
+  const std::uint64_t key = Key(file_id, page_index);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.vpn;
+  }
+  ++misses_;
+  Vpn slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    // Evict the least-recently-used page.
+    const std::uint64_t victim_key = lru_.back();
+    lru_.pop_back();
+    const auto victim = entries_.find(victim_key);
+    slot = victim->second.vpn;
+    owner_->SetupUnmap(slot);
+    entries_.erase(victim);
+  }
+  LatencyModel& lm = owner_->machine().latency();
+  lm.Charge(lm.config().page_cache_fill);
+  owner_->SetupMapPattern(slot, FileSeed(file_id, page_index));
+  lru_.push_front(key);
+  entries_[key] = Entry{slot, lru_.begin()};
+  return slot;
+}
+
+std::uint64_t PageCache::ReadPage(std::uint64_t file_id, std::uint32_t page_index) {
+  const Vpn vpn = Ensure(file_id, page_index);
+  return owner_->Read64(VpnToVaddr(vpn));
+}
+
+void PageCache::WritePage(std::uint64_t file_id, std::uint32_t page_index,
+                          std::uint64_t value) {
+  const Vpn vpn = Ensure(file_id, page_index);
+  owner_->Write64(VpnToVaddr(vpn), value);
+}
+
+void PageCache::DeleteFile(std::uint64_t file_id) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if ((it->first >> 24) == (Key(file_id, 0) >> 24)) {
+      owner_->SetupUnmap(it->second.vpn);
+      free_slots_.push_back(it->second.vpn);
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace vusion

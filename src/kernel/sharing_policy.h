@@ -1,0 +1,59 @@
+// Hooks a page-fusion engine installs into the kernel. The kernel's fault handler,
+// unmap path, and khugepaged consult the policy so the engine can own the lifecycle
+// of the pages it (fake) merged.
+
+#ifndef VUSION_SRC_KERNEL_SHARING_POLICY_H_
+#define VUSION_SRC_KERNEL_SHARING_POLICY_H_
+
+#include "src/mmu/pte.h"
+
+namespace vusion {
+
+class Process;
+
+class SharingPolicy {
+ public:
+  virtual ~SharingPolicy() = default;
+
+  // Resolves a fault on a page the policy manages (copy-on-write unmerge,
+  // copy-on-access, ...). Returns false if the page is not managed; the kernel's
+  // default handler then runs.
+  virtual bool HandleFault(Process& process, const PageFault& fault) = 0;
+
+  // Called before the kernel unmaps a page. Returns true if the policy owned the
+  // page and took care of the backing frame (refcount bookkeeping); false lets the
+  // kernel free the frame itself.
+  virtual bool OnUnmap(Process& process, Vpn vpn) = 0;
+
+  // khugepaged gate: may the 512-page range at `base` be collapsed into a THP?
+  virtual bool AllowCollapse(Process& process, Vpn base) = 0;
+
+  // Called right before a permitted collapse so the policy can (fake) unmerge any
+  // managed subpages (VUsion's secured khugepaged, paper §8.2).
+  virtual void PrepareCollapse(Process& process, Vpn base) = 0;
+
+  // madvise(MADV_UNMERGEABLE): the range leaves the fusion system; every managed
+  // page in it must be given back a private, fully-accessible copy.
+  virtual void OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
+    (void)process;
+    (void)start;
+    (void)pages;
+  }
+
+  // True if the policy currently manages (process, vpn) - its PTE bits belong to
+  // the engine, not to the kernel's fork/CoW machinery.
+  virtual bool Owns(const Process& process, Vpn vpn) const {
+    (void)process;
+    (void)vpn;
+    return false;
+  }
+
+  // The process is being torn down (VM shutdown). Per-page state has already been
+  // released through OnUnmap; this drops any remaining references to the Process
+  // (scan bookkeeping, unstable-tree entries) before the object dies.
+  virtual void OnProcessDestroy(Process& process) { (void)process; }
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_KERNEL_SHARING_POLICY_H_

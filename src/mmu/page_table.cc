@@ -1,0 +1,183 @@
+#include "src/mmu/page_table.h"
+
+#include <cassert>
+
+namespace vusion {
+
+PageTable::PageTable(FrameAllocator& allocator, PhysicalMemory& memory)
+    : allocator_(&allocator), memory_(&memory) {
+  root_ = NewNode(kPageTableLevels - 1);
+}
+
+PageTable::~PageTable() {
+  if (root_ != nullptr) {
+    FreeNode(root_.get());
+  }
+}
+
+std::unique_ptr<PageTable::Node> PageTable::NewNode(int level) {
+  auto node = std::make_unique<Node>();
+  node->level = level;
+  node->frame = allocator_->Allocate();
+  assert(node->frame != kInvalidFrame && "out of memory for page tables");
+  if (level > 0) {
+    node->children.resize(kPtFanout);
+  }
+  if (level <= 1) {
+    node->entries.resize(kPtFanout);
+  }
+  ++node_count_;
+  return node;
+}
+
+void PageTable::FreeNode(Node* node) {
+  for (auto& child : node->children) {
+    if (child != nullptr) {
+      FreeNode(child.get());
+      child.reset();
+    }
+  }
+  allocator_->Free(node->frame);
+  --node_count_;
+}
+
+Pte* PageTable::Resolve(Vpn vpn, bool create) {
+  Node* node = root_.get();
+  for (int level = kPageTableLevels - 1; level >= 1; --level) {
+    const std::size_t idx = IndexAt(vpn, level);
+    if (level == 1 && node->entries[idx].huge()) {
+      return &node->entries[idx];
+    }
+    std::unique_ptr<Node>& child = node->children[idx];
+    if (child == nullptr) {
+      if (!create) {
+        return nullptr;
+      }
+      child = NewNode(level - 1);
+    }
+    node = child.get();
+  }
+  return &node->entries[IndexAt(vpn, 0)];
+}
+
+const Pte* PageTable::Resolve(Vpn vpn) const {
+  return const_cast<PageTable*>(this)->Resolve(vpn, /*create=*/false);
+}
+
+PageTable::WalkResult PageTable::TimedWalk(Vpn vpn) {
+  WalkResult result;
+  Node* node = root_.get();
+  for (int level = kPageTableLevels - 1; level >= 1; --level) {
+    const std::size_t idx = IndexAt(vpn, level);
+    result.touched.push_back(EntryAddr(*node, idx));
+    if (level == 1 && node->entries[idx].huge()) {
+      result.pte = &node->entries[idx];
+      return result;
+    }
+    Node* child = node->children[idx].get();
+    if (child == nullptr) {
+      return result;  // translation absent; fault with the levels touched so far
+    }
+    node = child;
+  }
+  const std::size_t idx = IndexAt(vpn, 0);
+  result.touched.push_back(EntryAddr(*node, idx));
+  result.pte = &node->entries[idx];
+  return result;
+}
+
+void PageTable::MapHuge(Vpn vpn, FrameId frame_base, std::uint16_t flags) {
+  assert(vpn % kPagesPerHugePage == 0);
+  Node* node = root_.get();
+  for (int level = kPageTableLevels - 1; level >= 2; --level) {
+    std::unique_ptr<Node>& child = node->children[IndexAt(vpn, level)];
+    if (child == nullptr) {
+      child = NewNode(level - 1);
+    }
+    node = child.get();
+  }
+  const std::size_t idx = IndexAt(vpn, 1);
+  if (node->children[idx] != nullptr) {
+    FreeNode(node->children[idx].get());
+    node->children[idx].reset();
+  }
+  node->entries[idx] = Pte{frame_base, static_cast<std::uint16_t>(flags | kPteHuge)};
+}
+
+bool PageTable::SplitHuge(Vpn vpn) {
+  const Vpn base = vpn & ~(kPagesPerHugePage - 1);
+  Node* node = root_.get();
+  for (int level = kPageTableLevels - 1; level >= 2; --level) {
+    Node* child = node->children[IndexAt(base, level)].get();
+    if (child == nullptr) {
+      return false;
+    }
+    node = child;
+  }
+  const std::size_t idx = IndexAt(base, 1);
+  Pte& pmd = node->entries[idx];
+  if (!pmd.huge()) {
+    return false;
+  }
+  auto leaf = NewNode(0);
+  const auto small_flags = static_cast<std::uint16_t>(pmd.flags & ~kPteHuge);
+  for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+    leaf->entries[i] = Pte{static_cast<FrameId>(pmd.frame + i), small_flags};
+  }
+  pmd = Pte{};
+  node->children[idx] = std::move(leaf);
+  return true;
+}
+
+bool PageTable::IsHuge(Vpn vpn) const {
+  const Pte* pte = Resolve(vpn);
+  return pte != nullptr && pte->huge();
+}
+
+namespace {
+void CollectNodes(const auto* node, std::vector<FrameId>& out) {
+  out.push_back(node->frame);
+  for (const auto& child : node->children) {
+    if (child != nullptr) {
+      CollectNodes(child.get(), out);
+    }
+  }
+}
+}  // namespace
+
+void PageTable::CollectNodeFrames(std::vector<FrameId>& out) const {
+  CollectNodes(root_.get(), out);
+}
+
+void PageTable::ForEachEntry(Vpn start, Vpn end, const std::function<void(Vpn, Pte&)>& fn) {
+  ForEachRecursive(root_.get(), 0, start, end, fn);
+}
+
+void PageTable::ForEachRecursive(Node* node, Vpn base, Vpn start, Vpn end,
+                                 const std::function<void(Vpn, Pte&)>& fn) {
+  if (node->level == 0) {
+    for (std::size_t i = 0; i < kPtFanout; ++i) {
+      const Vpn vpn = base + i;
+      if (vpn >= start && vpn < end && node->entries[i].flags != 0) {
+        fn(vpn, node->entries[i]);
+      }
+    }
+    return;
+  }
+  const Vpn span = Vpn{1} << (9 * node->level);
+  for (std::size_t i = 0; i < kPtFanout; ++i) {
+    const Vpn child_base = base + i * span;
+    if (child_base >= end || child_base + span <= start) {
+      continue;
+    }
+    if (node->level == 1 && node->entries[i].flags != 0) {
+      fn(child_base, node->entries[i]);
+      continue;
+    }
+    if (node->children[i] != nullptr) {
+      ForEachRecursive(node->children[i].get(), child_base, start, end, fn);
+    }
+  }
+}
+
+}  // namespace vusion

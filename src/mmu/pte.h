@@ -1,0 +1,62 @@
+// Page-table entry representation.
+//
+// The bits VUsion's implementation manipulates are modeled faithfully (§7.1):
+//  - kPteReserved: x86 reserved bits set => the CPU faults on ANY access regardless
+//    of permission bits. This is how Share-xor-Fetch removes all access.
+//  - kPteCacheDisable: the page cannot be (pre)fetched into the cache, closing the
+//    prefetch side channel.
+//  - kPteCow is the software copy-on-write marker traditional fusion uses.
+
+#ifndef VUSION_SRC_MMU_PTE_H_
+#define VUSION_SRC_MMU_PTE_H_
+
+#include <cstdint>
+
+#include "src/phys/frame.h"
+
+namespace vusion {
+
+using Vpn = std::uint64_t;    // virtual page number (vaddr >> 12)
+using VirtAddr = std::uint64_t;
+
+enum PteFlag : std::uint16_t {
+  kPtePresent = 1u << 0,
+  kPteWritable = 1u << 1,
+  kPteAccessed = 1u << 2,
+  kPteDirty = 1u << 3,
+  kPteReserved = 1u << 4,      // reserved-bit trap: fault on any access
+  kPteCacheDisable = 1u << 5,  // uncacheable: defeats prefetch into the LLC
+  kPteHuge = 1u << 6,          // PMD-level 2 MB mapping
+  kPteCow = 1u << 7,           // software: write-protected shared copy
+  kPteSwapped = 1u << 8,       // software: contents live in the swap cache
+};
+
+struct Pte {
+  FrameId frame = kInvalidFrame;
+  std::uint16_t flags = 0;
+
+  [[nodiscard]] bool present() const { return (flags & kPtePresent) != 0; }
+  [[nodiscard]] bool writable() const { return (flags & kPteWritable) != 0; }
+  [[nodiscard]] bool accessed() const { return (flags & kPteAccessed) != 0; }
+  [[nodiscard]] bool dirty() const { return (flags & kPteDirty) != 0; }
+  [[nodiscard]] bool reserved_trap() const { return (flags & kPteReserved) != 0; }
+  [[nodiscard]] bool cache_disabled() const { return (flags & kPteCacheDisable) != 0; }
+  [[nodiscard]] bool huge() const { return (flags & kPteHuge) != 0; }
+  [[nodiscard]] bool cow() const { return (flags & kPteCow) != 0; }
+};
+
+enum class AccessType : std::uint8_t {
+  kRead,
+  kWrite,
+  kPrefetch,  // software prefetch: silent on fault, but honors cache-disable
+};
+
+struct PageFault {
+  Vpn vpn = 0;
+  AccessType access = AccessType::kRead;
+  Pte pte;  // snapshot at fault time
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_MMU_PTE_H_

@@ -1,0 +1,57 @@
+#include "src/mmu/tlb.h"
+
+namespace vusion {
+
+Tlb::Tlb(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<Pte> Tlb::Lookup(Vpn vpn) {
+  const auto it = map_.find(vpn);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->pte;
+}
+
+void Tlb::Insert(Vpn vpn, const Pte& pte) {
+  const auto it = map_.find(vpn);
+  if (it != map_.end()) {
+    it->second->pte = pte;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().vpn);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{vpn, pte});
+  map_[vpn] = lru_.begin();
+}
+
+void Tlb::Invalidate(Vpn vpn) {
+  const auto it = map_.find(vpn);
+  if (it != map_.end()) {
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+}
+
+void Tlb::InvalidateRange(Vpn start, Vpn end) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->vpn >= start && it->vpn < end) {
+      map_.erase(it->vpn);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Tlb::Flush() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace vusion

@@ -1,0 +1,45 @@
+// Fully associative LRU TLB with PTE snapshots. Kernel-side PTE modifications must
+// invalidate (AddressSpace does this), modeling TLB shootdown.
+
+#ifndef VUSION_SRC_MMU_TLB_H_
+#define VUSION_SRC_MMU_TLB_H_
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "src/mmu/pte.h"
+
+namespace vusion {
+
+class Tlb {
+ public:
+  explicit Tlb(std::size_t capacity);
+
+  std::optional<Pte> Lookup(Vpn vpn);
+  void Insert(Vpn vpn, const Pte& pte);
+  void Invalidate(Vpn vpn);
+  void InvalidateRange(Vpn start, Vpn end);
+  void Flush();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    Vpn vpn;
+    Pte pte;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Vpn, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_MMU_TLB_H_

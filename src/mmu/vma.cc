@@ -1,0 +1,64 @@
+#include "src/mmu/vma.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vusion {
+
+const char* PageTypeName(PageType type) {
+  switch (type) {
+    case PageType::kAnonymous:
+      return "anonymous";
+    case PageType::kPageCache:
+      return "page cache";
+    case PageType::kGuestBuddy:
+      return "buddy";
+    case PageType::kGuestKernel:
+      return "kernel";
+  }
+  return "?";
+}
+
+void VmaList::Add(const VmArea& vma) {
+  const auto pos = std::lower_bound(
+      areas_.begin(), areas_.end(), vma,
+      [](const VmArea& a, const VmArea& b) { return a.start < b.start; });
+  assert((pos == areas_.end() || vma.end() <= pos->start) &&
+         (pos == areas_.begin() || std::prev(pos)->end() <= vma.start) &&
+         "overlapping VMA");
+  areas_.insert(pos, vma);
+}
+
+const VmArea* VmaList::FindContaining(Vpn vpn) const {
+  return const_cast<VmaList*>(this)->FindContaining(vpn);
+}
+
+VmArea* VmaList::FindContaining(Vpn vpn) {
+  auto pos = std::upper_bound(areas_.begin(), areas_.end(), vpn,
+                              [](Vpn v, const VmArea& a) { return v < a.start; });
+  if (pos == areas_.begin()) {
+    return nullptr;
+  }
+  --pos;
+  return pos->Contains(vpn) ? &*pos : nullptr;
+}
+
+std::uint64_t VmaList::total_pages() const {
+  std::uint64_t total = 0;
+  for (const VmArea& a : areas_) {
+    total += a.pages;
+  }
+  return total;
+}
+
+std::uint64_t VmaList::mergeable_pages() const {
+  std::uint64_t total = 0;
+  for (const VmArea& a : areas_) {
+    if (a.mergeable) {
+      total += a.pages;
+    }
+  }
+  return total;
+}
+
+}  // namespace vusion

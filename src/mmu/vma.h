@@ -1,0 +1,56 @@
+// Virtual memory areas: contiguous virtual ranges sharing properties, including the
+// madvise(MADV_MERGEABLE) registration KSM/VUsion scan (§2.1) and the page-type tag
+// used to attribute fusion savings (paper Table 3).
+
+#ifndef VUSION_SRC_MMU_VMA_H_
+#define VUSION_SRC_MMU_VMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mmu/pte.h"
+
+namespace vusion {
+
+// Guest-side role of the pages in a VMA; the categories of the paper's Table 3.
+enum class PageType : std::uint8_t {
+  kAnonymous,    // "rest": process anonymous memory
+  kPageCache,    // guest page cache contents
+  kGuestBuddy,   // pages sitting free in the guest's allocator (idle, highly fusable)
+  kGuestKernel,  // guest kernel text/data
+};
+
+const char* PageTypeName(PageType type);
+
+struct VmArea {
+  Vpn start = 0;
+  std::uint64_t pages = 0;
+  bool mergeable = false;     // registered via madvise(MADV_MERGEABLE)
+  bool thp_eligible = false;  // khugepaged may collapse ranges in this VMA
+  PageType type = PageType::kAnonymous;
+
+  [[nodiscard]] Vpn end() const { return start + pages; }
+  [[nodiscard]] bool Contains(Vpn vpn) const { return vpn >= start && vpn < end(); }
+};
+
+class VmaList {
+ public:
+  // Adds a VMA; ranges must not overlap existing ones.
+  void Add(const VmArea& vma);
+
+  [[nodiscard]] const VmArea* FindContaining(Vpn vpn) const;
+  VmArea* FindContaining(Vpn vpn);
+
+  [[nodiscard]] const std::vector<VmArea>& areas() const { return areas_; }
+  std::vector<VmArea>& mutable_areas() { return areas_; }
+
+  [[nodiscard]] std::uint64_t total_pages() const;
+  [[nodiscard]] std::uint64_t mergeable_pages() const;
+
+ private:
+  std::vector<VmArea> areas_;  // kept sorted by start
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_MMU_VMA_H_

@@ -1,0 +1,63 @@
+// Binary buddy allocator over the whole physical frame range, modeling the Linux page
+// allocator: power-of-two blocks up to order kMaxBuddyOrder, LIFO per-order free
+// lists (which is what makes its reuse "fairly predictable" in the paper's words),
+// splitting and buddy coalescing on free, and AllocateSpecific() so other allocators
+// (the WPF linear allocator) can claim exact frames out of its inventory.
+
+#ifndef VUSION_SRC_PHYS_BUDDY_ALLOCATOR_H_
+#define VUSION_SRC_PHYS_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/phys/frame_allocator.h"
+#include "src/phys/physical_memory.h"
+
+namespace vusion {
+
+constexpr std::size_t kMaxBuddyOrder = 10;  // up to 4 MB blocks, like Linux MAX_ORDER
+
+class BuddyAllocator final : public FrameAllocator {
+ public:
+  // Manages frames [0, memory.frame_count()). All frames start free.
+  explicit BuddyAllocator(PhysicalMemory& memory);
+
+  FrameId Allocate() override;
+  void Free(FrameId frame) override;
+  [[nodiscard]] std::size_t free_count() const override { return free_frames_; }
+
+  // Allocates a naturally-aligned block of 2^order frames; kInvalidFrame on failure.
+  FrameId AllocateOrder(std::size_t order);
+
+  // Frees a block previously returned by AllocateOrder.
+  void FreeOrder(FrameId start, std::size_t order);
+
+  // Claims a specific free frame (splitting whatever free block contains it).
+  // Returns false if the frame is not currently free.
+  bool AllocateSpecific(FrameId frame);
+
+  [[nodiscard]] bool IsFree(FrameId frame) const;
+
+  // Validates internal consistency (free list vs. per-frame order map); for tests.
+  [[nodiscard]] bool ValidateInvariants() const;
+
+ private:
+  static constexpr std::uint8_t kNotFreeHead = 0xff;
+
+  void PushBlock(FrameId start, std::size_t order);
+  void RemoveBlock(FrameId start, std::size_t order);
+  // Finds the free block containing `frame`; returns order or kNotFreeHead.
+  [[nodiscard]] std::uint8_t FindContainingBlock(FrameId frame, FrameId& start) const;
+  void MarkRangeAllocated(FrameId start, std::size_t order);
+  void MarkRangeFree(FrameId start, std::size_t order);
+
+  PhysicalMemory* memory_;
+  std::vector<std::vector<FrameId>> free_lists_;  // per order, LIFO
+  // For each frame: if it heads a free block, that block's order; else kNotFreeHead.
+  std::vector<std::uint8_t> head_order_;
+  std::size_t free_frames_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_PHYS_BUDDY_ALLOCATOR_H_

@@ -1,0 +1,45 @@
+// Physical frame identifiers and per-frame metadata.
+
+#ifndef VUSION_SRC_PHYS_FRAME_H_
+#define VUSION_SRC_PHYS_FRAME_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+namespace vusion {
+
+using FrameId = std::uint32_t;
+constexpr FrameId kInvalidFrame = ~FrameId{0};
+
+constexpr std::size_t kPageSize = 4096;
+constexpr std::size_t kHugePageOrder = 9;                       // 2 MB huge pages
+constexpr std::size_t kPagesPerHugePage = std::size_t{1} << kHugePageOrder;
+
+using PageBytes = std::array<std::uint8_t, kPageSize>;
+
+// How a frame's contents are represented. Pattern frames hold an 8-byte seed whose
+// deterministic byte expansion is the page content; they materialize to real bytes on
+// the first partial write or bit flip. This keeps large simulated guests cheap while
+// preserving byte-exact merge/corruption semantics.
+enum class ContentKind : std::uint8_t {
+  kZero,     // all 0x00 (the kernel zero page case)
+  kPattern,  // bytes are Expand(seed)
+  kBytes,    // materialized buffer
+};
+
+struct Frame {
+  bool allocated = false;
+  std::uint32_t refcount = 0;  // mappings sharing this frame (fusion refcounting)
+  ContentKind kind = ContentKind::kZero;
+  std::uint64_t pattern_seed = 0;
+  std::unique_ptr<PageBytes> bytes;
+  // Content-hash cache; fusion engines hash every scanned page, so recomputing on
+  // unchanged contents would dominate simulation cost.
+  mutable std::uint64_t cached_hash = 0;
+  mutable bool hash_valid = false;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_PHYS_FRAME_H_

@@ -1,0 +1,32 @@
+// Common interface for physical frame allocators. Three implementations model the
+// three allocation policies the paper contrasts:
+//   BuddyAllocator    - the system allocator (predictable LIFO reuse),
+//   LinearAllocator   - WPF's end-of-memory MiAllocatePagesForMdl model,
+//   RandomizedPool    - VUsion's Randomized Allocation entropy pool.
+
+#ifndef VUSION_SRC_PHYS_FRAME_ALLOCATOR_H_
+#define VUSION_SRC_PHYS_FRAME_ALLOCATOR_H_
+
+#include <cstddef>
+
+#include "src/phys/frame.h"
+
+namespace vusion {
+
+class FrameAllocator {
+ public:
+  virtual ~FrameAllocator() = default;
+
+  // Returns an allocated frame, or kInvalidFrame when out of memory.
+  virtual FrameId Allocate() = 0;
+
+  // Returns a frame to the allocator. The frame must have been allocated (by any
+  // allocator sharing the same PhysicalMemory inventory).
+  virtual void Free(FrameId frame) = 0;
+
+  [[nodiscard]] virtual std::size_t free_count() const = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_PHYS_FRAME_ALLOCATOR_H_

@@ -1,0 +1,40 @@
+#include "src/phys/linear_allocator.h"
+
+namespace vusion {
+
+LinearAllocator::LinearAllocator(BuddyAllocator& buddy, PhysicalMemory& memory)
+    : buddy_(&buddy), memory_(&memory), cursor_(memory.frame_count()) {}
+
+void LinearAllocator::ResetScan() { cursor_ = memory_->frame_count(); }
+
+std::vector<FrameId> LinearAllocator::AllocateRun(std::size_t count) {
+  return AllocateRunWithSteal(count, [](FrameId) { return false; });
+}
+
+std::vector<FrameId> LinearAllocator::AllocateRunWithSteal(
+    std::size_t count, const std::function<bool(FrameId)>& try_steal) {
+  std::vector<FrameId> frames;
+  frames.reserve(count);
+  while (frames.size() < count && cursor_ > 0) {
+    const FrameId candidate = cursor_ - 1;
+    --cursor_;
+    if (buddy_->AllocateSpecific(candidate)) {
+      frames.push_back(candidate);
+      continue;
+    }
+    // In use: try to steal it from the owner; otherwise it becomes a hole.
+    if (try_steal(candidate) && buddy_->AllocateSpecific(candidate)) {
+      frames.push_back(candidate);
+    }
+  }
+  return frames;
+}
+
+FrameId LinearAllocator::Allocate() {
+  const std::vector<FrameId> run = AllocateRun(1);
+  return run.empty() ? kInvalidFrame : run[0];
+}
+
+void LinearAllocator::Free(FrameId frame) { buddy_->Free(frame); }
+
+}  // namespace vusion

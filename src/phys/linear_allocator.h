@@ -1,0 +1,50 @@
+// Model of the Windows MiAllocatePagesForMdl behaviour the paper reverse-engineered
+// (§2.2, §5.2): WPF requests all frames it needs for a fusion pass in one go, and the
+// routine hands out mostly-contiguous frames scanning the physical address space
+// *from the end*, leaving holes where frames cannot be reclaimed. Each fusion pass
+// restarts the scan from the top of memory, which is exactly the predictable-reuse
+// property the new reuse-based Flip Feng Shui attack exploits.
+
+#ifndef VUSION_SRC_PHYS_LINEAR_ALLOCATOR_H_
+#define VUSION_SRC_PHYS_LINEAR_ALLOCATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/phys/buddy_allocator.h"
+#include "src/phys/frame_allocator.h"
+
+namespace vusion {
+
+class LinearAllocator final : public FrameAllocator {
+ public:
+  // Claims frames out of the buddy allocator's inventory so the two cannot hand out
+  // the same frame twice.
+  explicit LinearAllocator(BuddyAllocator& buddy, PhysicalMemory& memory);
+
+  // Starts a new scan from the end of physical memory (called once per fusion pass).
+  void ResetScan();
+
+  // Allocates `count` frames scanning downward from the cursor, skipping frames that
+  // are in use (holes). May return fewer than `count` frames if memory is exhausted.
+  std::vector<FrameId> AllocateRun(std::size_t count);
+
+  // Like AllocateRun, but for an in-use frame first asks `try_steal(frame)` to
+  // relocate the owner and free the frame (MiAllocatePagesForMdl "tries to steal
+  // this page from the owner"); frames that cannot be stolen become holes.
+  std::vector<FrameId> AllocateRunWithSteal(std::size_t count,
+                                            const std::function<bool(FrameId)>& try_steal);
+
+  FrameId Allocate() override;
+  void Free(FrameId frame) override;
+  [[nodiscard]] std::size_t free_count() const override { return buddy_->free_count(); }
+
+ private:
+  BuddyAllocator* buddy_;
+  PhysicalMemory* memory_;
+  FrameId cursor_;  // next frame to examine (scans downward)
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_PHYS_LINEAR_ALLOCATOR_H_

@@ -1,0 +1,301 @@
+#include "src/phys/physical_memory.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vusion {
+
+namespace {
+
+// One SplitMix64 step; the pattern byte stream is the little-endian concatenation of
+// successive outputs seeded by the pattern seed.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t PatternWord(std::uint64_t seed, std::size_t word_index) {
+  return Mix(seed + 0x632be59bd9b4e019ULL * (word_index + 1));
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+}  // namespace
+
+std::uint8_t PatternByte(std::uint64_t seed, std::size_t offset) {
+  const std::uint64_t word = PatternWord(seed, offset / 8);
+  return static_cast<std::uint8_t>(word >> (8 * (offset % 8)));
+}
+
+PhysicalMemory::PhysicalMemory(FrameId frame_count) : frames_(frame_count) {}
+
+void PhysicalMemory::MarkAllocated(FrameId f) {
+  assert(!frames_[f].allocated);
+  frames_[f].allocated = true;
+  ++allocated_count_;
+}
+
+void PhysicalMemory::MarkFree(FrameId f) {
+  assert(frames_[f].allocated);
+  frames_[f].allocated = false;
+  frames_[f].refcount = 0;
+  --allocated_count_;
+}
+
+std::uint32_t PhysicalMemory::DecRef(FrameId f) {
+  assert(frames_[f].refcount > 0);
+  return --frames_[f].refcount;
+}
+
+void PhysicalMemory::FillZero(FrameId f) {
+  Frame& fr = frames_[f];
+  if (fr.bytes != nullptr) {
+    fr.bytes.reset();
+    --materialized_count_;
+  }
+  fr.kind = ContentKind::kZero;
+  fr.pattern_seed = 0;
+  fr.hash_valid = false;
+}
+
+void PhysicalMemory::FillPattern(FrameId f, std::uint64_t seed) {
+  Frame& fr = frames_[f];
+  if (fr.bytes != nullptr) {
+    fr.bytes.reset();
+    --materialized_count_;
+  }
+  fr.kind = ContentKind::kPattern;
+  fr.pattern_seed = seed;
+  fr.hash_valid = false;
+}
+
+void PhysicalMemory::Materialize(FrameId f) {
+  Frame& fr = frames_[f];
+  if (fr.kind == ContentKind::kBytes) {
+    return;
+  }
+  auto buf = std::make_unique<PageBytes>();
+  if (fr.kind == ContentKind::kZero) {
+    buf->fill(0);
+  } else {
+    for (std::size_t w = 0; w < kPageSize / 8; ++w) {
+      const std::uint64_t word = PatternWord(fr.pattern_seed, w);
+      std::memcpy(buf->data() + w * 8, &word, 8);
+    }
+  }
+  fr.bytes = std::move(buf);
+  fr.kind = ContentKind::kBytes;
+  ++materialized_count_;
+}
+
+void PhysicalMemory::WriteBytes(FrameId f, std::size_t offset,
+                                std::span<const std::uint8_t> data) {
+  assert(offset + data.size() <= kPageSize);
+  Materialize(f);
+  std::memcpy(frames_[f].bytes->data() + offset, data.data(), data.size());
+  frames_[f].hash_valid = false;
+}
+
+void PhysicalMemory::WriteU64(FrameId f, std::size_t offset, std::uint64_t value) {
+  std::uint8_t raw[8];
+  std::memcpy(raw, &value, 8);
+  WriteBytes(f, offset, raw);
+}
+
+std::uint8_t PhysicalMemory::ByteAt(FrameId f, std::size_t offset) const {
+  const Frame& fr = frames_[f];
+  switch (fr.kind) {
+    case ContentKind::kZero:
+      return 0;
+    case ContentKind::kPattern:
+      return PatternByte(fr.pattern_seed, offset);
+    case ContentKind::kBytes:
+      return (*fr.bytes)[offset];
+  }
+  return 0;
+}
+
+std::uint64_t PhysicalMemory::ReadU64(FrameId f, std::size_t offset) const {
+  assert(offset + 8 <= kPageSize);
+  const Frame& fr = frames_[f];
+  if (fr.kind == ContentKind::kBytes) {
+    std::uint64_t value = 0;
+    std::memcpy(&value, fr.bytes->data() + offset, 8);
+    return value;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(ByteAt(f, offset + i)) << (8 * i);
+  }
+  return value;
+}
+
+std::uint8_t PhysicalMemory::ReadByte(FrameId f, std::size_t offset) const {
+  assert(offset < kPageSize);
+  return ByteAt(f, offset);
+}
+
+void PhysicalMemory::CopyFrame(FrameId dst, FrameId src) {
+  Frame& d = frames_[dst];
+  const Frame& s = frames_[src];
+  d.hash_valid = s.hash_valid;
+  d.cached_hash = s.cached_hash;
+  if (s.kind == ContentKind::kBytes) {
+    Materialize(dst);
+    *d.bytes = *s.bytes;
+    return;
+  }
+  if (d.bytes != nullptr) {
+    d.bytes.reset();
+    --materialized_count_;
+  }
+  d.kind = s.kind;
+  d.pattern_seed = s.pattern_seed;
+}
+
+void PhysicalMemory::FlipBit(FrameId f, std::size_t bit_index) {
+  assert(bit_index < kPageSize * 8);
+  Materialize(f);
+  (*frames_[f].bytes)[bit_index / 8] ^= static_cast<std::uint8_t>(1U << (bit_index % 8));
+  frames_[f].hash_valid = false;
+}
+
+int PhysicalMemory::Compare(FrameId a, FrameId b) const {
+  if (a == b) {
+    return 0;
+  }
+  const Frame& fa = frames_[a];
+  const Frame& fb = frames_[b];
+  // Fast paths that avoid byte generation.
+  if (fa.kind == ContentKind::kZero && fb.kind == ContentKind::kZero) {
+    return 0;
+  }
+  if (fa.kind == ContentKind::kPattern && fb.kind == ContentKind::kPattern &&
+      fa.pattern_seed == fb.pattern_seed) {
+    return 0;
+  }
+  if (fa.kind == ContentKind::kBytes && fb.kind == ContentKind::kBytes) {
+    return std::memcmp(fa.bytes->data(), fb.bytes->data(), kPageSize);
+  }
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    const std::uint8_t ba = ByteAt(a, i);
+    const std::uint8_t bb = ByteAt(b, i);
+    if (ba != bb) {
+      return ba < bb ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t PhysicalMemory::HashContent(FrameId f) const {
+  const Frame& fr = frames_[f];
+  if (fr.hash_valid) {
+    return fr.cached_hash;
+  }
+  std::uint64_t h = kFnvOffset;
+  if (fr.kind == ContentKind::kBytes) {
+    for (std::uint8_t byte : *fr.bytes) {
+      h = (h ^ byte) * kFnvPrime;
+    }
+  } else if (fr.kind == ContentKind::kZero) {
+    // All zero bytes; the FNV loop over 4096 zeros is a constant.
+    for (std::size_t i = 0; i < kPageSize; ++i) {
+      h = h * kFnvPrime;
+    }
+  } else {
+    const auto it = pattern_hash_cache_.find(fr.pattern_seed);
+    if (it != pattern_hash_cache_.end()) {
+      h = it->second;
+    } else {
+      for (std::size_t i = 0; i < kPageSize; ++i) {
+        h = (h ^ ByteAt(f, i)) * kFnvPrime;
+      }
+      pattern_hash_cache_.emplace(fr.pattern_seed, h);
+    }
+  }
+  fr.cached_hash = h;
+  fr.hash_valid = true;
+  return h;
+}
+
+PhysicalMemory::ContentSnapshot PhysicalMemory::Snapshot(FrameId f) const {
+  const Frame& fr = frames_[f];
+  ContentSnapshot snapshot;
+  snapshot.kind = fr.kind;
+  snapshot.pattern_seed = fr.pattern_seed;
+  if (fr.kind == ContentKind::kBytes) {
+    snapshot.bytes = std::make_unique<PageBytes>(*fr.bytes);
+  }
+  snapshot.hash = HashContent(f);
+  return snapshot;
+}
+
+void PhysicalMemory::Restore(FrameId f, const ContentSnapshot& snapshot) {
+  switch (snapshot.kind) {
+    case ContentKind::kZero:
+      FillZero(f);
+      break;
+    case ContentKind::kPattern:
+      FillPattern(f, snapshot.pattern_seed);
+      break;
+    case ContentKind::kBytes:
+      WriteBytes(f, 0, *snapshot.bytes);
+      break;
+  }
+  frames_[f].cached_hash = snapshot.hash;
+  frames_[f].hash_valid = true;
+}
+
+bool PhysicalMemory::SnapshotsEqual(const ContentSnapshot& a, const ContentSnapshot& b) {
+  if (a.hash != b.hash) {
+    return false;
+  }
+  if (a.kind != ContentKind::kBytes && a.kind == b.kind) {
+    return a.kind == ContentKind::kZero || a.pattern_seed == b.pattern_seed;
+  }
+  // At least one side is materialized: compare byte streams.
+  auto byte_at = [](const ContentSnapshot& s, std::size_t i) -> std::uint8_t {
+    switch (s.kind) {
+      case ContentKind::kZero:
+        return 0;
+      case ContentKind::kPattern:
+        return PatternByte(s.pattern_seed, i);
+      case ContentKind::kBytes:
+        return (*s.bytes)[i];
+    }
+    return 0;
+  };
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    if (byte_at(a, i) != byte_at(b, i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PhysicalMemory::IsZero(FrameId f) const {
+  const Frame& fr = frames_[f];
+  if (fr.kind == ContentKind::kZero) {
+    return true;
+  }
+  if (fr.kind == ContentKind::kBytes) {
+    for (std::uint8_t byte : *fr.bytes) {
+      if (byte != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Pattern frames are non-zero with overwhelming probability; check cheaply.
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    if (PatternByte(fr.pattern_seed, i) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vusion

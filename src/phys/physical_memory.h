@@ -1,0 +1,100 @@
+// Simulated physical memory: an array of frames with byte-accurate, lazily
+// materialized contents, reference counting, and content comparison/hashing for the
+// fusion engines.
+
+#ifndef VUSION_SRC_PHYS_PHYSICAL_MEMORY_H_
+#define VUSION_SRC_PHYS_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/phys/frame.h"
+
+namespace vusion {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(FrameId frame_count);
+
+  [[nodiscard]] FrameId frame_count() const { return static_cast<FrameId>(frames_.size()); }
+  [[nodiscard]] const Frame& frame(FrameId f) const { return frames_[f]; }
+  [[nodiscard]] bool allocated(FrameId f) const { return frames_[f].allocated; }
+
+  // Allocation state is owned by the frame allocators; they call these.
+  void MarkAllocated(FrameId f);
+  void MarkFree(FrameId f);
+  [[nodiscard]] std::size_t allocated_count() const { return allocated_count_; }
+
+  // Reference counting for shared (fused) frames.
+  void SetRefcount(FrameId f, std::uint32_t count) { frames_[f].refcount = count; }
+  [[nodiscard]] std::uint32_t refcount(FrameId f) const { return frames_[f].refcount; }
+  std::uint32_t IncRef(FrameId f) { return ++frames_[f].refcount; }
+  std::uint32_t DecRef(FrameId f);
+
+  // --- Content operations ---
+
+  // Resets the frame to all-zero content.
+  void FillZero(FrameId f);
+
+  // Fills the frame with the deterministic expansion of `seed`. Two frames filled
+  // with the same seed are byte-identical; different seeds differ (with probability
+  // 1 - 2^-64, deterministically resolved by byte comparison).
+  void FillPattern(FrameId f, std::uint64_t seed);
+
+  // Byte write; materializes pattern/zero frames.
+  void WriteBytes(FrameId f, std::size_t offset, std::span<const std::uint8_t> data);
+  void WriteU64(FrameId f, std::size_t offset, std::uint64_t value);
+  [[nodiscard]] std::uint64_t ReadU64(FrameId f, std::size_t offset) const;
+  [[nodiscard]] std::uint8_t ReadByte(FrameId f, std::size_t offset) const;
+
+  // Copies src's full contents to dst (the copy-on-write/copy-on-access primitive).
+  void CopyFrame(FrameId dst, FrameId src);
+
+  // Flips one bit (Rowhammer corruption). bit_index in [0, kPageSize*8).
+  void FlipBit(FrameId f, std::size_t bit_index);
+
+  // Lexicographic three-way content comparison (memcmp semantics).
+  [[nodiscard]] int Compare(FrameId a, FrameId b) const;
+
+  // 64-bit content hash (FNV-1a over the byte stream); equal contents hash equal.
+  [[nodiscard]] std::uint64_t HashContent(FrameId f) const;
+
+  [[nodiscard]] bool IsZero(FrameId f) const;
+
+  // Bytes of host memory actually committed to frame buffers (for scale reporting).
+  [[nodiscard]] std::size_t materialized_bytes() const { return materialized_count_ * kPageSize; }
+
+  // --- Content snapshots (swap/compressed-cache support) ---
+
+  // A frame's contents detached from the frame, so the frame can be freed while the
+  // data lives on (e.g. in a compressed in-memory swap cache).
+  struct ContentSnapshot {
+    ContentKind kind = ContentKind::kZero;
+    std::uint64_t pattern_seed = 0;
+    std::unique_ptr<PageBytes> bytes;
+    std::uint64_t hash = 0;
+  };
+
+  [[nodiscard]] ContentSnapshot Snapshot(FrameId f) const;
+  void Restore(FrameId f, const ContentSnapshot& snapshot);
+  [[nodiscard]] static bool SnapshotsEqual(const ContentSnapshot& a, const ContentSnapshot& b);
+
+ private:
+  void Materialize(FrameId f);
+  [[nodiscard]] std::uint8_t ByteAt(FrameId f, std::size_t offset) const;
+
+  std::vector<Frame> frames_;
+  std::size_t allocated_count_ = 0;
+  std::size_t materialized_count_ = 0;
+  // Hash cache for pattern contents, keyed by seed (many frames share an image seed).
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> pattern_hash_cache_;
+};
+
+// Deterministic byte expansion of a pattern seed; exposed for tests.
+std::uint8_t PatternByte(std::uint64_t seed, std::size_t offset);
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_PHYS_PHYSICAL_MEMORY_H_

@@ -1,0 +1,57 @@
+#include "src/phys/randomized_pool.h"
+
+#include <cmath>
+
+namespace vusion {
+
+RandomizedPool::RandomizedPool(FrameAllocator& backing, std::size_t pool_size, Rng rng)
+    : backing_(&backing), rng_(rng) {
+  slots_.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    const FrameId f = backing_->Allocate();
+    if (f == kInvalidFrame) {
+      break;
+    }
+    slots_.push_back(f);
+  }
+}
+
+RandomizedPool::~RandomizedPool() {
+  for (FrameId f : slots_) {
+    backing_->Free(f);
+  }
+}
+
+FrameId RandomizedPool::Allocate() {
+  if (slots_.empty()) {
+    last_slot_fraction_ = -1.0;
+    return backing_->Allocate();
+  }
+  const std::size_t idx = rng_.NextBelow(slots_.size());
+  last_slot_fraction_ = static_cast<double>(idx) / static_cast<double>(slots_.size());
+  const FrameId out = slots_[idx];
+  const FrameId refill = backing_->Allocate();
+  if (refill == kInvalidFrame) {
+    slots_[idx] = slots_.back();
+    slots_.pop_back();
+  } else {
+    slots_[idx] = refill;
+  }
+  return out;
+}
+
+void RandomizedPool::Free(FrameId frame) {
+  if (slots_.empty()) {
+    backing_->Free(frame);
+    return;
+  }
+  const std::size_t idx = rng_.NextBelow(slots_.size());
+  backing_->Free(slots_[idx]);
+  slots_[idx] = frame;
+}
+
+double RandomizedPool::entropy_bits() const {
+  return slots_.empty() ? 0.0 : std::log2(static_cast<double>(slots_.size()));
+}
+
+}  // namespace vusion

@@ -1,0 +1,53 @@
+// VUsion's Randomized Allocation pool (§7.1): a reserve of frames (128 MB in the
+// paper, i.e. 32768 frames = 15 bits of entropy) from which every frame backing a
+// (fake) merge or unmerge is drawn uniformly at random. Frames freed by fusion enter
+// the pool at a random slot, evicting a random resident frame back to the buddy
+// allocator, so an attacker's vulnerable template frame is controllably reused with
+// probability only 1/pool_size.
+
+#ifndef VUSION_SRC_PHYS_RANDOMIZED_POOL_H_
+#define VUSION_SRC_PHYS_RANDOMIZED_POOL_H_
+
+#include <vector>
+
+#include "src/phys/frame_allocator.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+class RandomizedPool final : public FrameAllocator {
+ public:
+  // Reserves up to pool_size frames from the buddy allocator (fewer if memory is
+  // tight; the effective entropy shrinks accordingly).
+  RandomizedPool(FrameAllocator& backing, std::size_t pool_size, Rng rng);
+  ~RandomizedPool() override;
+
+  // Draws a uniformly random frame from the pool and refills the slot from the buddy
+  // allocator. Falls back to a plain buddy allocation if the pool is empty.
+  FrameId Allocate() override;
+
+  // Inserts the frame at a random pool slot, evicting the previous resident to the
+  // buddy allocator.
+  void Free(FrameId frame) override;
+
+  [[nodiscard]] std::size_t free_count() const override { return backing_->free_count(); }
+  [[nodiscard]] std::size_t pool_size() const { return slots_.size(); }
+  [[nodiscard]] double entropy_bits() const;
+  // The frames currently held in reserve (frame-accounting audits).
+  [[nodiscard]] const std::vector<FrameId>& slots() const { return slots_; }
+
+  // Normalized slot index of the most recent Allocate() draw in [0, 1), or a
+  // negative value if the last allocation bypassed the pool. The RA security
+  // evaluation (§9.1) KS-tests these draws against the uniform distribution.
+  [[nodiscard]] double last_slot_fraction() const { return last_slot_fraction_; }
+
+ private:
+  FrameAllocator* backing_;
+  Rng rng_;
+  std::vector<FrameId> slots_;
+  double last_slot_fraction_ = -1.0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_PHYS_RANDOMIZED_POOL_H_

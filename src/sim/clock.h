@@ -1,0 +1,43 @@
+// Virtual time base for the whole simulation.
+//
+// Every modeled hardware and kernel operation advances a VirtualClock instead of
+// consuming wall-clock time. Attacks "time" operations by sampling the clock around
+// them, which makes every side-channel experiment in this repository deterministic
+// and reproducible from a seed.
+
+#ifndef VUSION_SRC_SIM_CLOCK_H_
+#define VUSION_SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace vusion {
+
+// Nanoseconds of simulated time.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// Monotonic simulated clock. Cheap to copy a reading; a single instance is owned
+// by the Machine and shared by reference.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  // Advances simulated time. Used by the latency model and by daemons that sleep.
+  void Advance(SimTime delta) { now_ += delta; }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Resets to t=0; only used by tests that reuse a machine.
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_SIM_CLOCK_H_

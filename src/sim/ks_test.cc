@@ -1,0 +1,63 @@
+#include "src/sim/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vusion {
+
+double KolmogorovQ(double lambda) {
+  if (lambda <= 0.0) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = sign * std::exp(-2.0 * k * k * lambda * lambda);
+    sum += term;
+    if (std::abs(term) < 1e-12) {
+      break;
+    }
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult KsTwoSample(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) {
+      ++i;
+    }
+    while (j < b.size() && b[j] <= x) {
+      ++j;
+    }
+    d = std::max(d, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  return {d, KolmogorovQ(lambda)};
+}
+
+KsResult KsUniform(std::vector<double> samples, double lo, double hi) {
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const double cdf = std::clamp((samples[k] - lo) / (hi - lo), 0.0, 1.0);
+    const double above = static_cast<double>(k + 1) / n - cdf;
+    const double below = cdf - static_cast<double>(k) / n;
+    d = std::max({d, above, below});
+  }
+  const double sqrt_n = std::sqrt(n);
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  return {d, KolmogorovQ(lambda)};
+}
+
+}  // namespace vusion

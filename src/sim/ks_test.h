@@ -1,0 +1,31 @@
+// Kolmogorov-Smirnov tests, as used by the paper's security evaluation (§9.1):
+//  - a two-sample test that merged/unmerged access timings follow the same
+//    distribution (Same Behaviour), and
+//  - a one-sample goodness-of-fit test that (fake)merge frame offsets follow the
+//    uniform distribution (Randomized Allocation).
+
+#ifndef VUSION_SRC_SIM_KS_TEST_H_
+#define VUSION_SRC_SIM_KS_TEST_H_
+
+#include <vector>
+
+namespace vusion {
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F1 - F2|
+  double p_value = 0.0;    // asymptotic Kolmogorov distribution
+};
+
+// Two-sample KS test. Both samples must be non-empty.
+KsResult KsTwoSample(std::vector<double> a, std::vector<double> b);
+
+// One-sample KS test against Uniform[lo, hi). Sample must be non-empty and lo < hi.
+KsResult KsUniform(std::vector<double> samples, double lo, double hi);
+
+// Complementary CDF of the Kolmogorov distribution, Q(lambda) = 2 * sum (-1)^{k-1}
+// exp(-2 k^2 lambda^2). Exposed for testing.
+double KolmogorovQ(double lambda);
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_SIM_KS_TEST_H_

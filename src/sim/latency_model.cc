@@ -1,0 +1,25 @@
+#include "src/sim/latency_model.h"
+
+#include <cmath>
+
+namespace vusion {
+
+SimTime LatencyModel::Charge(SimTime base) {
+  SimTime cost = base;
+  if (config_.noise_sigma > 0.0 && base > 0) {
+    const double noisy = rng_.NextLogNormal(static_cast<double>(base), config_.noise_sigma);
+    cost = static_cast<SimTime>(std::llround(noisy));
+    if (cost == 0) {
+      cost = 1;
+    }
+  }
+  clock_->Advance(cost);
+  return cost;
+}
+
+SimTime LatencyModel::ChargeExact(SimTime base) {
+  clock_->Advance(base);
+  return base;
+}
+
+}  // namespace vusion

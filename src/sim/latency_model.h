@@ -1,0 +1,77 @@
+// Central latency model: every simulated hardware/kernel operation gets its cost here.
+//
+// The constants approximate the paper's testbed (Intel Xeon E3-1240 v5, DDR4) at the
+// granularity the attacks care about: a cached access is tens of ns, a DRAM access is
+// ~100 ns, and a page fault that copies a page is microseconds. Side channels in this
+// repository are *distributional*, so each charge can carry seeded log-normal noise to
+// produce realistic histograms while staying reproducible.
+
+#ifndef VUSION_SRC_SIM_LATENCY_MODEL_H_
+#define VUSION_SRC_SIM_LATENCY_MODEL_H_
+
+#include "src/sim/clock.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+// Latency constants in nanoseconds. Members are mutable configuration so tests and
+// ablation benches can stress specific costs.
+struct LatencyConfig {
+  // Address translation.
+  SimTime tlb_hit = 1;
+  SimTime tlb_lookup = 1;           // charged even on miss, before the walk
+  SimTime page_walk_step_cached = 4;  // PT entry found in LLC
+  SimTime page_walk_step_memory = 70; // PT entry fetched from DRAM
+
+  // Data access.
+  SimTime l1_hit = 4;
+  SimTime llc_hit = 14;
+  SimTime dram_row_hit = 60;
+  SimTime dram_row_miss = 110;      // activate + precharge
+  SimTime uncached_access = 180;    // PTE cache-disable bit set: always DRAM, stronger penalty
+
+  SimTime clflush = 40;             // cache line flush instruction
+  SimTime page_cache_fill = 6000;   // guest FS read filling one page-cache page
+
+  // Kernel paths.
+  SimTime fault_entry_exit = 1400;  // trap, handler dispatch, return
+  SimTime page_copy_4k = 950;       // copy_user_highpage equivalent
+  SimTime buddy_alloc = 420;
+  SimTime buddy_free = 380;
+  SimTime pte_update = 90;          // incl. TLB shootdown cost, single CPU
+  SimTime tree_step = 25;           // one comparison+descend in a fusion tree
+  SimTime content_compare = 600;    // memcmp of two 4 KB pages
+  SimTime content_hash = 350;       // hash of one 4 KB page
+  SimTime queue_op = 60;            // deferred-free queue push (also the dummy push)
+  SimTime huge_collapse = 12000;    // khugepaged copying 512 pages
+  SimTime huge_split = 2100;        // splitting a THP into 512 PTEs
+
+  // Relative sigma of the log-normal noise applied by Noisy(); 0 disables noise.
+  double noise_sigma = 0.04;
+};
+
+// Applies latencies to a clock, with optional noise from a dedicated RNG stream.
+class LatencyModel {
+ public:
+  LatencyModel(const LatencyConfig& config, VirtualClock& clock, Rng noise_rng)
+      : config_(config), clock_(&clock), rng_(noise_rng) {}
+
+  // Charges `base` nanoseconds with multiplicative log-normal noise.
+  SimTime Charge(SimTime base);
+
+  // Charges without noise (for bookkeeping costs where jitter is irrelevant).
+  SimTime ChargeExact(SimTime base);
+
+  [[nodiscard]] const LatencyConfig& config() const { return config_; }
+  LatencyConfig& mutable_config() { return config_; }
+  [[nodiscard]] VirtualClock& clock() { return *clock_; }
+
+ private:
+  LatencyConfig config_;
+  VirtualClock* clock_;
+  Rng rng_;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_SIM_LATENCY_MODEL_H_

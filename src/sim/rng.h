@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All randomness in the repository flows through Rng so that every experiment is
+// reproducible from a single seed. The generator is xoshiro256++ seeded via
+// SplitMix64, which is fast, well distributed, and has no global state.
+
+#ifndef VUSION_SRC_SIM_RNG_H_
+#define VUSION_SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vusion {
+
+// xoshiro256++ PRNG. Not cryptographic; used only for simulation decisions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire rejection to avoid bias.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double NextGaussian();
+
+  // Log-normal with the given median and sigma of the underlying normal. Used by the
+  // latency model for realistic timing noise.
+  double NextLogNormal(double median, double sigma);
+
+  // Fisher-Yates shuffle of an index vector.
+  void Shuffle(std::vector<std::uint32_t>& values);
+
+  // Derives an independent child generator; convenient for giving each subsystem its
+  // own stream so call-order changes in one subsystem do not perturb another.
+  [[nodiscard]] Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_SIM_RNG_H_

@@ -1,0 +1,129 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace vusion {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples[0];
+  }
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string RenderSeries(const std::vector<std::string>& names,
+                         const std::vector<std::vector<double>>& series,
+                         std::size_t height) {
+  if (series.empty() || series[0].empty() || height < 2) {
+    return "";
+  }
+  double lo = series[0][0];
+  double hi = lo;
+  std::size_t width = 0;
+  for (const auto& s : series) {
+    width = std::max(width, s.size());
+    for (const double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= lo) {
+    hi = lo + 1.0;
+  }
+  std::vector<std::string> rows(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const char mark = static_cast<char>('A' + (i % 26));
+    for (std::size_t x = 0; x < series[i].size(); ++x) {
+      const double frac = (series[i][x] - lo) / (hi - lo);
+      const auto y = static_cast<std::size_t>(frac * static_cast<double>(height - 1));
+      rows[height - 1 - y][x] = mark;
+    }
+  }
+  std::ostringstream out;
+  out << std::llround(hi) << "\n";
+  for (const std::string& row : rows) {
+    out << "  |" << row << "\n";
+  }
+  out << std::llround(lo) << " +" << std::string(width, '-') << "\n  legend: ";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << static_cast<char>('A' + (i % 26)) << "=" << names[i] << " ";
+  }
+  out << "\n";
+  return out.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::Add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::Render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / peak;
+    out << "  " << static_cast<std::uint64_t>(bin_low(i)) << "\t" << counts_[i] << "\t"
+        << std::string(bar, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vusion

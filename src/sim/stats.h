@@ -1,0 +1,69 @@
+// Small statistics toolkit used by benches and the security evaluation: running
+// moments, percentiles, and fixed-bin histograms for the paper's frequency plots.
+
+#ifndef VUSION_SRC_SIM_STATS_H_
+#define VUSION_SRC_SIM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vusion {
+
+// Welford running mean/variance with min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Returns the p-th percentile (0..100) by linear interpolation. Sorts a copy.
+double Percentile(std::vector<double> samples, double p);
+
+// Geometric mean of strictly positive values; used for SPEC/PARSEC aggregate overhead.
+double GeometricMean(const std::vector<double>& values);
+
+// Renders several time series as an ASCII line chart (one character column per
+// sample, one letter per series), for the figure benches' terminal output.
+std::string RenderSeries(const std::vector<std::string>& names,
+                         const std::vector<std::vector<double>>& series,
+                         std::size_t height = 16);
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  // Renders an ASCII frequency plot (one row per bin) like the paper's Figures 5/6.
+  [[nodiscard]] std::string Render(std::size_t width) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_SIM_STATS_H_

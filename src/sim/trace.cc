@@ -1,0 +1,82 @@
+#include "src/sim/trace.h"
+
+#include <sstream>
+
+namespace vusion {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFault:
+      return "fault";
+    case TraceEventType::kMerge:
+      return "merge";
+    case TraceEventType::kFakeMerge:
+      return "fake_merge";
+    case TraceEventType::kUnmergeCow:
+      return "unmerge_cow";
+    case TraceEventType::kUnmergeCoa:
+      return "unmerge_coa";
+    case TraceEventType::kRelocate:
+      return "relocate";
+    case TraceEventType::kSwapOut:
+      return "swap_out";
+    case TraceEventType::kCollapse:
+      return "collapse";
+    case TraceEventType::kSplit:
+      return "split";
+    case TraceEventType::kCount:
+      break;
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) { buffer_.reserve(capacity); }
+
+void TraceBuffer::Emit(SimTime time, TraceEventType type, std::uint32_t process_id,
+                       std::uint64_t vpn, std::uint32_t frame) {
+  if (!enabled_) {
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(type)];
+  ++total_;
+  const TraceEvent event{time, type, process_id, vpn, frame};
+  if (buffer_.size() < buffer_.capacity()) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_ % buffer_.size()] = event;
+  }
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  if (buffer_.size() < buffer_.capacity() || buffer_.empty()) {
+    return buffer_;
+  }
+  // Ring wrapped: oldest entry is at next_ % size.
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(buffer_.size());
+  const std::size_t start = next_ % buffer_.size();
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    ordered.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return ordered;
+}
+
+void TraceBuffer::Clear() {
+  buffer_.clear();
+  next_ = 0;
+  total_ = 0;
+  counts_.fill(0);
+}
+
+std::string TraceBuffer::Summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) {
+      out << TraceEventTypeName(static_cast<TraceEventType>(i)) << "=" << counts_[i] << " ";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace vusion

@@ -1,0 +1,76 @@
+// Event tracing: a bounded ring buffer of typed, timestamped events emitted by the
+// kernel and the fusion engines (the simulator's equivalent of the kernel
+// tracepoints the original VUsion patch reused). Disabled by default; tests and
+// tools enable it to assert on event sequences or summarize behaviour.
+
+#ifndef VUSION_SRC_SIM_TRACE_H_
+#define VUSION_SRC_SIM_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace vusion {
+
+enum class TraceEventType : std::uint8_t {
+  kFault,       // any page fault entering the handler
+  kMerge,       // page joined a shared copy
+  kFakeMerge,   // VUsion fake merge / MC new compressed record
+  kUnmergeCow,  // copy-on-write unmerge (or swap-in major fault)
+  kUnmergeCoa,  // copy-on-access unmerge
+  kRelocate,    // per-round backing re-randomization
+  kSwapOut,     // page left resident memory for the swap cache
+  kCollapse,    // khugepaged built a THP
+  kSplit,       // a THP was broken into small pages
+  kCount,       // sentinel
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  SimTime time = 0;
+  TraceEventType type = TraceEventType::kFault;
+  std::uint32_t process_id = 0;
+  std::uint64_t vpn = 0;
+  std::uint32_t frame = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1u << 16);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void Emit(SimTime time, TraceEventType type, std::uint32_t process_id, std::uint64_t vpn,
+            std::uint32_t frame);
+
+  // Events in emission order (oldest first), bounded by capacity.
+  [[nodiscard]] std::vector<TraceEvent> Events() const;
+  [[nodiscard]] std::uint64_t count(TraceEventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t total_emitted() const { return total_; }
+  [[nodiscard]] std::size_t dropped() const {
+    return total_ > buffer_.size() ? total_ - buffer_.size() : 0;
+  }
+
+  void Clear();
+
+  // One line per event type with its count.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> buffer_;  // ring
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(TraceEventType::kCount)> counts_{};
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_SIM_TRACE_H_

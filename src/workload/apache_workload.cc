@@ -1,0 +1,96 @@
+#include "src/workload/apache_workload.h"
+
+#include <algorithm>
+
+#include "src/sim/stats.h"
+
+namespace vusion {
+
+namespace {
+constexpr std::uint64_t kWorkerTemplateSeed = 0x40ac4e00ULL;
+}
+
+ApacheWorkload::ApacheWorkload(Process& server, const Config& config, std::uint64_t seed)
+    : server_(&server), config_(config), rng_(seed) {
+  cache_ = std::make_unique<PageCache>(server, config.page_cache_capacity);
+  for (std::size_t i = 0; i < config.initial_workers; ++i) {
+    SpawnWorker();
+  }
+}
+
+void ApacheWorkload::SpawnWorker() {
+  // A forked worker: most pages identical to every other worker (the httpd image
+  // and preloaded modules), some private scratch.
+  const VirtAddr region = server_->AllocateRegion(config_.worker_pages, PageType::kAnonymous,
+                                                  /*mergeable=*/true, /*thp_eligible=*/true);
+  for (std::size_t i = 0; i < config_.worker_pages; ++i) {
+    const std::uint64_t seed = rng_.NextBool(config_.worker_shared_frac)
+                                   ? kWorkerTemplateSeed + i
+                                   : rng_.Next();
+    server_->SetupMapPattern(VaddrToVpn(region) + i, seed);
+  }
+  worker_regions_.push_back(region);
+}
+
+SimTime ApacheWorkload::ServeRequest() {
+  Machine& machine = server_->machine();
+  LatencyModel& lm = machine.latency();
+  const SimTime start = machine.clock().now();
+
+  lm.Charge(config_.base_service);
+  // Round-robin worker touches its hot pages (request parsing, buffers).
+  const VirtAddr worker = worker_regions_[next_worker_++ % worker_regions_.size()];
+  for (std::size_t i = 0; i < config_.worker_touch_pages; ++i) {
+    const std::size_t page = rng_.NextBelow(config_.worker_pages / 4);  // hot quarter
+    server_->Write64(worker + page * kPageSize, start + i);
+  }
+  // Zipf-ish file popularity: squaring the uniform skews toward low file ids.
+  const double u = rng_.NextDouble();
+  const auto file = static_cast<std::uint64_t>(u * u * static_cast<double>(config_.files));
+  for (std::uint32_t p = 0; p < config_.file_pages; ++p) {
+    cache_->ReadPage(file, p);
+  }
+  return machine.clock().now() - start;
+}
+
+ApacheResult ApacheWorkload::Run(SimTime duration, SimTime sample_interval,
+                                 const std::function<void()>& sample) {
+  Machine& machine = server_->machine();
+  const SimTime start = machine.clock().now();
+  const SimTime end = start + duration;
+  SimTime next_spawn = start + config_.worker_spawn_interval;
+  SimTime next_sample = sample_interval > 0 ? start : ~SimTime{0};
+
+  std::vector<double> latencies;
+  while (machine.clock().now() < end) {
+    if (machine.clock().now() >= next_spawn && worker_regions_.size() < config_.max_workers) {
+      SpawnWorker();
+      next_spawn += config_.worker_spawn_interval;
+    }
+    if (machine.clock().now() >= next_sample) {
+      sample();
+      next_sample += sample_interval;
+    }
+    latencies.push_back(static_cast<double>(ServeRequest()));
+  }
+
+  ApacheResult result;
+  result.requests = latencies.size();
+  const double elapsed_s = static_cast<double>(machine.clock().now() - start) / 1e9;
+  if (elapsed_s > 0 && !latencies.empty()) {
+    // Closed-loop: `concurrency` connections each waiting one service time.
+    result.kreq_per_s = static_cast<double>(config_.concurrency) *
+                        static_cast<double>(latencies.size()) /
+                        (elapsed_s * 1000.0);
+  }
+  // Per-connection latency includes its queueing behind the single service pipe.
+  auto to_ms = [this](double ns) {
+    return ns * static_cast<double>(config_.concurrency) / 1e6;
+  };
+  result.lat_p75_ms = to_ms(Percentile(latencies, 75));
+  result.lat_p90_ms = to_ms(Percentile(latencies, 90));
+  result.lat_p99_ms = to_ms(Percentile(latencies, 99));
+  return result;
+}
+
+}  // namespace vusion

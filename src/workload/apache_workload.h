@@ -1,0 +1,66 @@
+// Apache httpd prefork model (paper Tables 5, Figures 9 and 12): a pool of worker
+// processes that grows under load (the paper's "self-balancing strategy" behind the
+// memory growth in Figure 12), serving files through the guest page cache under a
+// wrk-style closed-loop load.
+
+#ifndef VUSION_SRC_WORKLOAD_APACHE_WORKLOAD_H_
+#define VUSION_SRC_WORKLOAD_APACHE_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/page_cache.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+struct ApacheResult {
+  double kreq_per_s = 0.0;
+  double lat_p75_ms = 0.0;
+  double lat_p90_ms = 0.0;
+  double lat_p99_ms = 0.0;
+  std::uint64_t requests = 0;
+};
+
+class ApacheWorkload {
+ public:
+  struct Config {
+    std::size_t initial_workers = 4;
+    std::size_t max_workers = 40;
+    SimTime worker_spawn_interval = 15 * kSecond;  // pool growth under load
+    std::size_t worker_pages = 200;                // per-worker anon memory
+    double worker_shared_frac = 0.85;              // identical across workers
+    std::size_t files = 400;
+    std::size_t file_pages = 3;
+    std::size_t page_cache_capacity = 2048;
+    std::size_t concurrency = 20;                  // wrk connections
+    SimTime base_service = 500 * kMicrosecond;     // CPU + network per request
+    std::size_t worker_touch_pages = 6;            // hot pages touched per request
+  };
+
+  ApacheWorkload(Process& server, const Config& config, std::uint64_t seed);
+
+  // Serves requests until `duration` simulated time has passed. `sample`, if set,
+  // is invoked roughly every sample_interval of simulated time (for the Fig 9/12
+  // time series).
+  ApacheResult Run(SimTime duration, SimTime sample_interval = 0,
+                   const std::function<void()>& sample = {});
+
+  [[nodiscard]] std::size_t workers() const { return worker_regions_.size(); }
+
+ private:
+  void SpawnWorker();
+  SimTime ServeRequest();
+
+  Process* server_;
+  Config config_;
+  Rng rng_;
+  std::unique_ptr<PageCache> cache_;
+  std::vector<VirtAddr> worker_regions_;
+  std::size_t next_worker_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_APACHE_WORKLOAD_H_

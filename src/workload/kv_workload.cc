@@ -1,0 +1,82 @@
+#include "src/workload/kv_workload.h"
+
+#include "src/sim/stats.h"
+
+namespace vusion {
+
+KvWorkload::Config KvWorkload::MemcachedConfig() {
+  Config config;
+  config.slab_pages = 4096;
+  config.accesses_per_op = 1;
+  config.base_service = 4 * kMicrosecond;
+  return config;
+}
+
+KvWorkload::Config KvWorkload::RedisConfig() {
+  Config config;
+  config.slab_pages = 5120;
+  config.accesses_per_op = 2;  // dict entry + value object
+  config.base_service = 5 * kMicrosecond;
+  return config;
+}
+
+KvWorkload::KvWorkload(Process& server, const Config& config, std::uint64_t seed)
+    : server_(&server), config_(config), rng_(seed) {
+  slab_ = server.AllocateRegion(config.slab_pages, PageType::kAnonymous,
+                                /*mergeable=*/true, /*thp_eligible=*/true);
+  for (std::size_t i = 0; i < config.slab_pages; ++i) {
+    server.SetupMapPattern(VaddrToVpn(slab_) + i, 0x51ab0000ULL + rng_.Next());
+  }
+}
+
+KvResult KvWorkload::Run() {
+  Machine& machine = server_->machine();
+  LatencyModel& lm = machine.latency();
+  const SimTime start = machine.clock().now();
+
+  std::vector<double> get_service;
+  std::vector<double> set_service;
+  for (std::size_t op = 0; op < config_.ops; ++op) {
+    const std::uint64_t key = rng_.NextBelow(config_.key_space);
+    const bool is_set = rng_.NextBool(config_.set_ratio);
+    const SimTime op_start = machine.clock().now();
+    lm.Charge(config_.base_service);
+    // 32-byte objects: 64 per page after slab overhead.
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    for (std::size_t a = 0; a < config_.accesses_per_op; ++a) {
+      h ^= h >> 29;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      const std::size_t page = h % config_.slab_pages;
+      const std::size_t offset = ((h >> 24) % 64) * 64;
+      const VirtAddr addr = slab_ + page * kPageSize + offset;
+      if (is_set && a + 1 == config_.accesses_per_op) {
+        server_->Write64(addr, key);
+      } else {
+        server_->Read64(addr);
+      }
+    }
+    const auto service = static_cast<double>(machine.clock().now() - op_start);
+    (is_set ? set_service : get_service).push_back(service);
+  }
+
+  KvResult result;
+  const double elapsed_s = static_cast<double>(machine.clock().now() - start) / 1e9;
+  if (elapsed_s > 0) {
+    result.kreq_per_s = static_cast<double>(config_.ops) / (elapsed_s * 1000.0);
+  }
+  // Client-visible latency: network RTT plus queueing behind `concurrency` clients.
+  auto to_ms = [this](double service_ns) {
+    return (static_cast<double>(config_.network_rtt) +
+            service_ns * static_cast<double>(config_.concurrency) / 4.0) /
+           1e6;
+  };
+  result.get_p90_ms = to_ms(Percentile(get_service, 90));
+  result.get_p99_ms = to_ms(Percentile(get_service, 99));
+  result.get_p999_ms = to_ms(Percentile(get_service, 99.9));
+  result.set_p90_ms = to_ms(Percentile(set_service, 90));
+  result.set_p99_ms = to_ms(Percentile(set_service, 99));
+  result.set_p999_ms = to_ms(Percentile(set_service, 99.9));
+  return result;
+}
+
+}  // namespace vusion

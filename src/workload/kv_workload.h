@@ -1,0 +1,53 @@
+// Key-value store model for Redis and memcached (paper Tables 6-7): a slab of
+// resident value memory accessed by memtier-style random GET/SET traffic (1:10
+// SET:GET, 32-byte objects). Redis is modeled with an extra pointer-chase per
+// operation and a larger footprint; memcached with direct slab addressing.
+
+#ifndef VUSION_SRC_WORKLOAD_KV_WORKLOAD_H_
+#define VUSION_SRC_WORKLOAD_KV_WORKLOAD_H_
+
+#include "src/kernel/process.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+struct KvResult {
+  double kreq_per_s = 0.0;
+  double set_p90_ms = 0.0;
+  double set_p99_ms = 0.0;
+  double set_p999_ms = 0.0;
+  double get_p90_ms = 0.0;
+  double get_p99_ms = 0.0;
+  double get_p999_ms = 0.0;
+};
+
+class KvWorkload {
+ public:
+  struct Config {
+    std::size_t slab_pages = 4096;
+    std::size_t key_space = 1u << 20;
+    double set_ratio = 1.0 / 11.0;           // memtier 1:10 SET:GET
+    std::size_t ops = 60000;
+    SimTime base_service = 4 * kMicrosecond; // per-request CPU
+    SimTime network_rtt = 1400 * kMicrosecond;
+    std::size_t accesses_per_op = 1;         // redis: 2 (dict + value)
+    std::size_t concurrency = 50;            // memtier clients
+  };
+
+  static Config MemcachedConfig();
+  static Config RedisConfig();
+
+  KvWorkload(Process& server, const Config& config, std::uint64_t seed);
+
+  KvResult Run();
+
+ private:
+  Process* server_;
+  Config config_;
+  Rng rng_;
+  VirtAddr slab_ = 0;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_KV_WORKLOAD_H_

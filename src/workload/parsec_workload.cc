@@ -1,0 +1,28 @@
+#include "src/workload/parsec_workload.h"
+
+#include <array>
+
+namespace vusion {
+
+namespace {
+
+constexpr std::array<SyntheticBenchmark, 12> kParsecSuite = {{
+    {"blackscholes", 150, 0.30, 0.90, 0.25, 1000000},
+    {"bodytrack", 225, 0.35, 0.85, 0.30, 1000000},
+    {"canneal", 650, 0.65, 0.50, 0.30, 1000000},
+    {"dedup", 450, 0.45, 0.70, 0.40, 1000000},
+    {"facesim", 525, 0.50, 0.70, 0.35, 1000000},
+    {"ferret", 325, 0.40, 0.75, 0.30, 1000000},
+    {"fluidanimate", 375, 0.45, 0.75, 0.40, 1000000},
+    {"freqmine", 300, 0.40, 0.80, 0.30, 1000000},
+    {"streamcluster", 425, 0.70, 0.55, 0.25, 1000000},
+    {"swaptions", 100, 0.15, 0.95, 0.25, 1000000},
+    {"vips", 250, 0.35, 0.85, 0.35, 1000000},
+    {"x264", 350, 0.40, 0.80, 0.35, 1000000},
+}};
+
+}  // namespace
+
+std::span<const SyntheticBenchmark> ParsecWorkload::Suite() { return kParsecSuite; }
+
+}  // namespace vusion

@@ -1,0 +1,20 @@
+// Synthetic PARSEC-style benchmarks (paper Figure 8): same harness as the SPEC
+// suite but with the PARSEC applications' profiles (streaming vs pointer-chasing,
+// larger shared datasets). fmm/barnes and the netapps category are excluded, as in
+// the paper.
+
+#ifndef VUSION_SRC_WORKLOAD_PARSEC_WORKLOAD_H_
+#define VUSION_SRC_WORKLOAD_PARSEC_WORKLOAD_H_
+
+#include "src/workload/spec_workload.h"
+
+namespace vusion {
+
+class ParsecWorkload {
+ public:
+  static std::span<const SyntheticBenchmark> Suite();
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_PARSEC_WORKLOAD_H_

@@ -1,0 +1,48 @@
+#include "src/workload/postmark_workload.h"
+
+namespace vusion {
+
+PostmarkWorkload::PostmarkWorkload(Process& process, PageCache& cache, const Config& config,
+                                   std::uint64_t seed)
+    : process_(&process), cache_(&cache), config_(config), rng_(seed) {}
+
+PostmarkResult PostmarkWorkload::Run() {
+  Machine& machine = process_->machine();
+  LatencyModel& lm = machine.latency();
+  const SimTime start = machine.clock().now();
+
+  for (std::uint64_t tx = 0; tx < config_.transactions; ++tx) {
+    lm.Charge(config_.per_tx_fs_overhead);
+    const std::uint64_t file = rng_.NextBelow(config_.file_pool);
+    const auto pages = static_cast<std::uint32_t>(1 + rng_.NextBelow(config_.max_file_pages));
+    switch (rng_.NextBelow(4)) {
+      case 0:  // create/overwrite: write all pages
+        for (std::uint32_t p = 0; p < pages; ++p) {
+          cache_->WritePage(file, p, tx);
+        }
+        break;
+      case 1:  // read whole file
+        for (std::uint32_t p = 0; p < pages; ++p) {
+          cache_->ReadPage(file, p);
+        }
+        break;
+      case 2:  // append one page
+        cache_->WritePage(file, pages - 1, tx);
+        break;
+      default:  // delete
+        cache_->DeleteFile(file);
+        break;
+    }
+  }
+
+  PostmarkResult result;
+  result.transactions = config_.transactions;
+  const SimTime elapsed = machine.clock().now() - start;
+  if (elapsed > 0) {
+    result.tx_per_s =
+        static_cast<double>(config_.transactions) / (static_cast<double>(elapsed) / 1e9);
+  }
+  return result;
+}
+
+}  // namespace vusion

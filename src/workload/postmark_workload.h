@@ -1,0 +1,41 @@
+// Postmark-style mailserver workload (paper Table 4): a pool of small files churned
+// by create/read/append/delete transactions through the guest page cache - the
+// filesystem-intensive case where fusion finds most of its page-cache savings.
+
+#ifndef VUSION_SRC_WORKLOAD_POSTMARK_WORKLOAD_H_
+#define VUSION_SRC_WORKLOAD_POSTMARK_WORKLOAD_H_
+
+#include "src/kernel/page_cache.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+struct PostmarkResult {
+  double tx_per_s = 0.0;
+  std::uint64_t transactions = 0;
+};
+
+class PostmarkWorkload {
+ public:
+  struct Config {
+    std::size_t file_pool = 500;       // simultaneous files
+    std::size_t max_file_pages = 4;    // file sizes 1..max pages
+    std::size_t transactions = 20000;
+    SimTime per_tx_fs_overhead = 150 * kMicrosecond;  // metadata, journaling
+  };
+
+  PostmarkWorkload(Process& process, PageCache& cache, const Config& config,
+                   std::uint64_t seed);
+
+  PostmarkResult Run();
+
+ private:
+  Process* process_;
+  PageCache* cache_;
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_POSTMARK_WORKLOAD_H_

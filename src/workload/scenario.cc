@@ -1,0 +1,38 @@
+#include "src/workload/scenario.h"
+
+namespace vusion {
+
+Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+  machine_ = std::make_unique<Machine>(config.machine);
+  if (config.enable_khugepaged) {
+    machine_->EnableKhugepaged(config.khugepaged);
+  }
+  engine_ = MakeEngine(config.engine, *machine_, config.fusion);
+  if (engine_ != nullptr) {
+    engine_->Install();
+  }
+}
+
+Scenario::~Scenario() {
+  if (engine_ != nullptr) {
+    engine_->Uninstall();
+  }
+}
+
+Process& Scenario::BootVm(const VmImageSpec& spec, std::uint64_t instance_seed) {
+  return VmImage::Boot(*machine_, spec, instance_seed);
+}
+
+std::uint64_t Scenario::consumed_frames() const {
+  std::uint64_t frames = machine_->memory().allocated_count();
+  if (engine_ != nullptr) {
+    frames -= engine_->reserved_frames();
+  }
+  return frames;
+}
+
+double Scenario::consumed_mb() const {
+  return static_cast<double>(consumed_frames()) * kPageSize / (1024.0 * 1024.0);
+}
+
+}  // namespace vusion

@@ -1,0 +1,49 @@
+// Scenario driver: a machine + fusion engine + booted VMs, with the memory
+// accounting the paper's consumption figures plot.
+
+#ifndef VUSION_SRC_WORKLOAD_SCENARIO_H_
+#define VUSION_SRC_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/khugepaged.h"
+#include "src/workload/vm_image.h"
+
+namespace vusion {
+
+struct ScenarioConfig {
+  MachineConfig machine;
+  FusionConfig fusion;
+  EngineKind engine = EngineKind::kKsm;
+  bool enable_khugepaged = false;
+  KhugepagedConfig khugepaged;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+  ~Scenario();
+
+  [[nodiscard]] Machine& machine() { return *machine_; }
+  [[nodiscard]] FusionEngine* engine() { return engine_.get(); }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  Process& BootVm(const VmImageSpec& spec, std::uint64_t instance_seed);
+
+  // Advances simulated time (daemons run at their deadlines).
+  void RunFor(SimTime duration) { machine_->Idle(duration); }
+
+  // Physical frames consumed by guests: allocated minus the engine's reserve pool.
+  [[nodiscard]] std::uint64_t consumed_frames() const;
+  [[nodiscard]] double consumed_mb() const;
+
+ private:
+  ScenarioConfig config_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<FusionEngine> engine_;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_SCENARIO_H_

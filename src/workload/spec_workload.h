@@ -1,0 +1,50 @@
+// Synthetic SPEC CPU2006-style benchmarks (paper Figure 7): each named benchmark
+// has a memory footprint, a working-set (hot fraction), a write ratio, and a
+// locality profile. The harness runs a fixed amount of work and reports simulated
+// runtime; overhead relative to a no-fusion baseline reproduces the figure.
+
+#ifndef VUSION_SRC_WORKLOAD_SPEC_WORKLOAD_H_
+#define VUSION_SRC_WORKLOAD_SPEC_WORKLOAD_H_
+
+#include <span>
+
+#include "src/kernel/process.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+struct SyntheticBenchmark {
+  const char* name;
+  std::size_t footprint_pages;  // total resident memory
+  double hot_fraction;          // fraction of pages forming the working set
+  double hot_access_prob;       // probability an access goes to the working set
+  double write_ratio;
+  std::size_t ops;              // accesses constituting one run
+};
+
+class SpecWorkload {
+ public:
+  // The SPEC CPU2006-like suite.
+  static std::span<const SyntheticBenchmark> Suite();
+
+  struct Prepared {
+    VirtAddr base = 0;
+    const SyntheticBenchmark* bench = nullptr;
+  };
+
+  // Allocates and populates the benchmark's footprint (the "load the inputs"
+  // phase). Separated from Run so harnesses can let the fusion engine process the
+  // resident-but-idle footprint first, as happens over a real benchmark's
+  // multi-minute runtime.
+  static Prepared Prepare(Process& process, const SyntheticBenchmark& bench);
+
+  // Runs the prepared benchmark's access work; returns simulated runtime.
+  static SimTime Run(Process& process, const Prepared& prepared, Rng& rng);
+
+  // Prepare + Run in one step.
+  static SimTime Run(Process& process, const SyntheticBenchmark& bench, Rng& rng);
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_SPEC_WORKLOAD_H_

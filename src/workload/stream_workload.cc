@@ -1,0 +1,60 @@
+#include "src/workload/stream_workload.h"
+
+namespace vusion {
+
+namespace {
+constexpr std::size_t kLine = 64;
+}
+
+StreamWorkload::StreamWorkload(Process& process, std::size_t array_pages)
+    : process_(&process), array_pages_(array_pages) {
+  a_ = process.AllocateRegion(array_pages, PageType::kAnonymous, /*mergeable=*/true, false);
+  b_ = process.AllocateRegion(array_pages, PageType::kAnonymous, /*mergeable=*/true, false);
+  c_ = process.AllocateRegion(array_pages, PageType::kAnonymous, /*mergeable=*/true, false);
+  for (std::size_t i = 0; i < array_pages; ++i) {
+    process.SetupMapPattern(VaddrToVpn(a_) + i, 0xa000 + i);
+    process.SetupMapPattern(VaddrToVpn(b_) + i, 0xb000 + i);
+    process.SetupMapPattern(VaddrToVpn(c_) + i, 0xc000 + i);
+  }
+}
+
+double StreamWorkload::Kernel(std::size_t streams, std::size_t iterations) {
+  Machine& machine = process_->machine();
+  const SimTime start = machine.clock().now();
+  std::uint64_t bytes = 0;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    for (std::size_t page = 0; page < array_pages_; ++page) {
+      for (std::size_t off = 0; off < kPageSize; off += kLine) {
+        const std::uint64_t delta = page * kPageSize + off;
+        // Kernels read streams-1 arrays and write one; the untouched array is
+        // still swept once per iteration (Stream alternates which arrays each
+        // kernel uses, so none of them ever goes idle).
+        process_->Read64(a_ + delta);
+        if (streams >= 3) {
+          process_->Read64(b_ + delta);
+        } else if (off == 0) {
+          process_->Read64(b_ + delta);
+        }
+        process_->Write64(c_ + delta, delta);
+        bytes += streams * kLine;
+      }
+    }
+  }
+  const SimTime elapsed = machine.clock().now() - start;
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / (static_cast<double>(elapsed) / 1e9) / (1024.0 * 1024.0);
+}
+
+StreamResult StreamWorkload::Run(std::size_t iterations) {
+  Kernel(3, 1);  // warm-up sweep over all three arrays (untimed)
+  StreamResult result;
+  result.copy_mbps = Kernel(2, iterations);   // c = a
+  result.scale_mbps = Kernel(2, iterations);  // c = s*a
+  result.add_mbps = Kernel(3, iterations);    // c = a + b
+  result.triad_mbps = Kernel(3, iterations);  // c = a + s*b
+  return result;
+}
+
+}  // namespace vusion

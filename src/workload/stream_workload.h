@@ -1,0 +1,43 @@
+// Stream-style memory bandwidth workload (paper Table 2): copy/scale/add/triad
+// kernels over large arrays, reporting effective MB/s of simulated bandwidth.
+// Accesses are issued per cache line, which is the granularity the memory system
+// resolves.
+
+#ifndef VUSION_SRC_WORKLOAD_STREAM_WORKLOAD_H_
+#define VUSION_SRC_WORKLOAD_STREAM_WORKLOAD_H_
+
+#include "src/kernel/process.h"
+
+namespace vusion {
+
+struct StreamResult {
+  double copy_mbps = 0.0;
+  double scale_mbps = 0.0;
+  double add_mbps = 0.0;
+  double triad_mbps = 0.0;
+};
+
+class StreamWorkload {
+ public:
+  // Allocates three arrays of array_pages each in the process.
+  StreamWorkload(Process& process, std::size_t array_pages);
+
+  // Runs all four kernels `iterations` times each, after one untimed warm-up
+  // sweep (standard Stream practice; also re-activates pages a fusion engine may
+  // have treated as idle between construction and measurement).
+  StreamResult Run(std::size_t iterations);
+
+ private:
+  // Runs one kernel touching `streams` arrays per element; returns MB/s.
+  double Kernel(std::size_t streams, std::size_t iterations);
+
+  Process* process_;
+  std::size_t array_pages_;
+  VirtAddr a_;
+  VirtAddr b_;
+  VirtAddr c_;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_STREAM_WORKLOAD_H_

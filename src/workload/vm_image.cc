@@ -1,0 +1,130 @@
+#include "src/workload/vm_image.h"
+
+#include <vector>
+
+namespace vusion {
+
+namespace {
+
+std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b * 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Category tags keep seed namespaces disjoint.
+constexpr std::uint64_t kKernelTag = 0x11;
+constexpr std::uint64_t kCacheTag = 0x22;
+constexpr std::uint64_t kStaleTag = 0x33;
+constexpr std::uint64_t kAnonTag = 0x44;
+
+// Seed 0 marks a zero-filled page.
+constexpr std::uint64_t kZeroContent = 0;
+
+// Maps a region from precomputed per-page content seeds, using huge pages for
+// full aligned chunks when requested (KVM guests' memory is one THP-backed
+// host-anonymous region, so guest page cache and free pages ride on THPs too).
+void MapRegion(Process& vm, VirtAddr base, const std::vector<std::uint64_t>& seeds,
+               bool huge) {
+  const Vpn base_vpn = VaddrToVpn(base);
+  std::size_t i = 0;
+  if (huge) {
+    for (; i + kPagesPerHugePage <= seeds.size(); i += kPagesPerHugePage) {
+      if (!vm.SetupMapHugeSeeds(base_vpn + i,
+                                std::span(seeds.data() + i, kPagesPerHugePage))) {
+        break;  // no contiguous block; fall back to small pages
+      }
+    }
+  }
+  for (; i < seeds.size(); ++i) {
+    if (seeds[i] == kZeroContent) {
+      vm.SetupMapZero(base_vpn + i);
+    } else {
+      vm.SetupMapPattern(base_vpn + i, seeds[i]);
+    }
+  }
+}
+
+}  // namespace
+
+Process& VmImage::Boot(Machine& machine, const VmImageSpec& spec,
+                       std::uint64_t instance_seed) {
+  Process& vm = machine.CreateProcess();
+  Rng rng(MixSeed(instance_seed, 0xb007));
+
+  const auto kernel_pages = static_cast<std::uint64_t>(spec.kernel_frac * spec.total_pages);
+  const auto cache_pages =
+      static_cast<std::uint64_t>(spec.page_cache_frac * spec.total_pages);
+  const auto buddy_pages = static_cast<std::uint64_t>(spec.buddy_frac * spec.total_pages);
+  const std::uint64_t anon_pages =
+      spec.total_pages - kernel_pages - cache_pages - buddy_pages;
+
+  // Guest kernel: identical across all VMs of the same distro.
+  std::vector<std::uint64_t> kernel_seeds(kernel_pages);
+  for (std::uint64_t i = 0; i < kernel_pages; ++i) {
+    kernel_seeds[i] = MixSeed(spec.distro_seed, (kKernelTag << 32) | i);
+  }
+
+  // Page cache: distro base files, image stack files, and VM-private files.
+  std::vector<std::uint64_t> cache_seeds(cache_pages);
+  for (std::uint64_t i = 0; i < cache_pages; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < spec.cache_distro_shared) {
+      cache_seeds[i] = MixSeed(spec.distro_seed, (kCacheTag << 32) | i);
+    } else if (roll < spec.cache_distro_shared + spec.cache_stack_shared) {
+      cache_seeds[i] = MixSeed(spec.stack_seed, (kCacheTag << 32) | i);
+    } else {
+      cache_seeds[i] = MixSeed(instance_seed, (kCacheTag << 32) | i);
+    }
+  }
+
+  // Guest-free ("buddy") pages: mostly zero, some stale content from a small pool
+  // of previously-used pages (identical within and across same-distro VMs).
+  std::vector<std::uint64_t> buddy_seeds(buddy_pages);
+  for (std::uint64_t i = 0; i < buddy_pages; ++i) {
+    buddy_seeds[i] = rng.NextBool(spec.buddy_zero_frac)
+                         ? kZeroContent
+                         : MixSeed(spec.distro_seed, (kStaleTag << 32) | (i % 128));
+  }
+
+  // Anonymous process memory: shared-library images plus private heap.
+  std::vector<std::uint64_t> anon_seeds(anon_pages);
+  for (std::uint64_t i = 0; i < anon_pages; ++i) {
+    anon_seeds[i] = rng.NextBool(spec.anon_shared_frac)
+                        ? MixSeed(spec.stack_seed, (kAnonTag << 32) | i)
+                        : MixSeed(instance_seed, (kAnonTag << 32) | i);
+  }
+
+  MapRegion(vm,
+            vm.AllocateRegion(kernel_pages, PageType::kGuestKernel, /*mergeable=*/true,
+                              spec.map_anon_as_thp),
+            kernel_seeds, spec.map_anon_as_thp);
+  MapRegion(vm,
+            vm.AllocateRegion(cache_pages, PageType::kPageCache, /*mergeable=*/true,
+                              spec.map_anon_as_thp),
+            cache_seeds, spec.map_anon_as_thp);
+  MapRegion(vm,
+            vm.AllocateRegion(buddy_pages, PageType::kGuestBuddy, /*mergeable=*/true,
+                              spec.map_anon_as_thp),
+            buddy_seeds, spec.map_anon_as_thp);
+  MapRegion(vm,
+            vm.AllocateRegion(anon_pages, PageType::kAnonymous, /*mergeable=*/true,
+                              spec.map_anon_as_thp),
+            anon_seeds, spec.map_anon_as_thp);
+  return vm;
+}
+
+VmImageSpec VmImage::CatalogImage(std::size_t index) {
+  VmImageSpec spec;
+  const std::size_t distro = index % 7;
+  spec.distro_seed = 0xd15720 + distro;
+  spec.stack_seed = 0x57ac4 + index;
+  // Vary the composition a little per image so fusion opportunity differs.
+  spec.page_cache_frac = 0.36 + 0.02 * static_cast<double>(index % 8);
+  spec.buddy_frac = 0.22 + 0.02 * static_cast<double>(index % 6);
+  spec.cache_distro_shared = 0.55 + 0.05 * static_cast<double>(distro % 4);
+  return spec;
+}
+
+}  // namespace vusion

@@ -1,0 +1,53 @@
+// Guest VM memory-image generator. A booted VM's memory is populated by category -
+// guest kernel, page cache, free ("buddy") pages, anonymous memory - with content
+// seeds arranged so that VMs sharing a distro/image produce the cross-VM duplicate
+// pages the paper's fusion-rate experiments (Figures 10-12, Table 3) rely on. A
+// 44-image catalog models the paper's DAS4 cloud deployment.
+
+#ifndef VUSION_SRC_WORKLOAD_VM_IMAGE_H_
+#define VUSION_SRC_WORKLOAD_VM_IMAGE_H_
+
+#include <cstdint>
+
+#include "src/kernel/process.h"
+
+namespace vusion {
+
+struct VmImageSpec {
+  std::uint64_t distro_seed = 1;  // kernel + base system content (shared per distro)
+  std::uint64_t stack_seed = 1;   // software stack content (shared per image)
+  std::uint64_t total_pages = 16384;  // 64 MB guest by default
+
+  // Memory composition (fractions of total_pages).
+  double kernel_frac = 0.06;
+  double page_cache_frac = 0.46;
+  double buddy_frac = 0.28;  // pages sitting free in the guest allocator
+  // Remainder is anonymous process memory.
+
+  // Content sharing knobs.
+  double cache_distro_shared = 0.70;  // page-cache pages from the distro base
+  double cache_stack_shared = 0.20;   // page-cache pages from the image's stack
+  double buddy_zero_frac = 0.60;      // free pages that are zero (vs stale content)
+  double anon_shared_frac = 0.25;     // anon pages from shared library images
+
+  // Back guest memory with host huge pages where 2 MB-aligned chunks allow. This
+  // models KVM guests whose whole (host-anonymous) memory is THP-backed - guest
+  // page cache and free pages included.
+  bool map_anon_as_thp = false;
+};
+
+class VmImage {
+ public:
+  // Creates a process in the machine and populates it per the spec. instance_seed
+  // differentiates the VM-private contents. All regions are madvise-registered.
+  static Process& Boot(Machine& machine, const VmImageSpec& spec,
+                       std::uint64_t instance_seed);
+
+  // The diverse-VM catalog: 44 images over 7 distro bases (paper §9.3).
+  static VmImageSpec CatalogImage(std::size_t index);
+  static constexpr std::size_t kCatalogSize = 44;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_WORKLOAD_VM_IMAGE_H_

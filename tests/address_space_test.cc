@@ -1,0 +1,81 @@
+#include "src/mmu/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include "src/phys/buddy_allocator.h"
+
+namespace vusion {
+namespace {
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  AddressSpaceTest() : mem_(4096), buddy_(mem_), as_(1, buddy_, mem_) {}
+
+  PhysicalMemory mem_;
+  BuddyAllocator buddy_;
+  AddressSpace as_;
+};
+
+TEST_F(AddressSpaceTest, MapUnmap) {
+  as_.MapPage(0x100, 42, kPtePresent | kPteWritable);
+  ASSERT_NE(as_.GetPte(0x100), nullptr);
+  EXPECT_EQ(as_.GetPte(0x100)->frame, 42u);
+  as_.UnmapPage(0x100);
+  EXPECT_EQ(as_.GetPte(0x100)->flags, 0);
+}
+
+TEST_F(AddressSpaceTest, UpdateFlagsSetAndClear) {
+  as_.MapPage(0x100, 1, kPtePresent | kPteWritable);
+  EXPECT_TRUE(as_.UpdateFlags(0x100, kPteAccessed, kPteWritable));
+  const Pte* pte = as_.GetPte(0x100);
+  EXPECT_TRUE(pte->accessed());
+  EXPECT_FALSE(pte->writable());
+  EXPECT_FALSE(as_.UpdateFlags(0x999, kPteAccessed, 0));  // unmapped
+}
+
+TEST_F(AddressSpaceTest, PteModificationInvalidatesTlb) {
+  as_.MapPage(0x100, 1, kPtePresent);
+  as_.tlb().Insert(0x100, *as_.GetPte(0x100));
+  ASSERT_TRUE(as_.tlb().Lookup(0x100).has_value());
+  as_.UpdateFlags(0x100, kPteReserved, 0);
+  EXPECT_FALSE(as_.tlb().Lookup(0x100).has_value());  // shootdown modeled
+}
+
+TEST_F(AddressSpaceTest, HugeMappingLifecycle) {
+  const FrameId block = buddy_.AllocateOrder(kHugePageOrder);
+  as_.MapHugeRange(0x200, block, kPtePresent | kPteWritable);
+  EXPECT_TRUE(as_.IsHuge(0x200 + 17));
+  ASSERT_TRUE(as_.SplitHuge(0x200 + 17));
+  EXPECT_FALSE(as_.IsHuge(0x200 + 17));
+  EXPECT_EQ(as_.GetPte(0x200 + 17)->frame, block + 17);
+  // Collapse back.
+  const FrameId block2 = buddy_.AllocateOrder(kHugePageOrder);
+  as_.CollapseToHuge(0x200, block2, kPtePresent | kPteWritable);
+  EXPECT_TRUE(as_.IsHuge(0x200));
+  EXPECT_EQ(as_.GetPte(0x200)->frame, block2);
+}
+
+TEST_F(AddressSpaceTest, VmaRegistrationAndMadvise) {
+  as_.AddVma(VmArea{0x100, 64, false, false, PageType::kAnonymous});
+  as_.AddVma(VmArea{0x400, 32, false, false, PageType::kPageCache});
+  EXPECT_EQ(as_.vmas().total_pages(), 96u);
+  EXPECT_EQ(as_.vmas().mergeable_pages(), 0u);
+  as_.MadviseMergeable(0x110, 8);  // overlaps only the first VMA
+  EXPECT_EQ(as_.vmas().mergeable_pages(), 64u);
+  const VmArea* vma = as_.vmas().FindContaining(0x120);
+  ASSERT_NE(vma, nullptr);
+  EXPECT_TRUE(vma->mergeable);
+  EXPECT_EQ(as_.vmas().FindContaining(0x200), nullptr);
+  EXPECT_EQ(as_.vmas().FindContaining(0x400 + 31)->type, PageType::kPageCache);
+  EXPECT_EQ(as_.vmas().FindContaining(0x400 + 32), nullptr);  // end exclusive
+}
+
+TEST_F(AddressSpaceTest, PageTypeNames) {
+  EXPECT_STREQ(PageTypeName(PageType::kPageCache), "page cache");
+  EXPECT_STREQ(PageTypeName(PageType::kGuestBuddy), "buddy");
+  EXPECT_STREQ(PageTypeName(PageType::kGuestKernel), "kernel");
+  EXPECT_STREQ(PageTypeName(PageType::kAnonymous), "anonymous");
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,173 @@
+// Tests for the LinearAllocator (WPF's end-of-memory model) and the RandomizedPool
+// (VUsion's Randomized Allocation).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/phys/linear_allocator.h"
+#include "src/phys/randomized_pool.h"
+#include "src/sim/ks_test.h"
+
+namespace vusion {
+namespace {
+
+TEST(LinearAllocatorTest, AllocatesFromEndOfMemory) {
+  PhysicalMemory mem(1024);
+  BuddyAllocator buddy(mem);
+  LinearAllocator linear(buddy, mem);
+  const std::vector<FrameId> run = linear.AllocateRun(8);
+  ASSERT_EQ(run.size(), 8u);
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    EXPECT_EQ(run[i], 1023u - i);  // contiguous, descending from the top
+  }
+}
+
+TEST(LinearAllocatorTest, SkipsHolesLeftByInUseFrames) {
+  PhysicalMemory mem(1024);
+  BuddyAllocator buddy(mem);
+  ASSERT_TRUE(buddy.AllocateSpecific(1022));  // someone else owns 1022
+  LinearAllocator linear(buddy, mem);
+  const std::vector<FrameId> run = linear.AllocateRun(3);
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_EQ(run[0], 1023u);
+  EXPECT_EQ(run[1], 1021u);  // 1022 is a hole
+  EXPECT_EQ(run[2], 1020u);
+}
+
+TEST(LinearAllocatorTest, ResetScanReusesFreedFrames) {
+  // The reuse property behind the paper's Figure 3.
+  PhysicalMemory mem(1024);
+  BuddyAllocator buddy(mem);
+  LinearAllocator linear(buddy, mem);
+  const std::vector<FrameId> first = linear.AllocateRun(16);
+  for (const FrameId f : first) {
+    linear.Free(f);
+  }
+  linear.ResetScan();
+  const std::vector<FrameId> second = linear.AllocateRun(16);
+  EXPECT_EQ(first, second);  // near-perfect reuse
+}
+
+TEST(LinearAllocatorTest, StopsAtMemoryExhaustion) {
+  PhysicalMemory mem(32);
+  BuddyAllocator buddy(mem);
+  LinearAllocator linear(buddy, mem);
+  const std::vector<FrameId> run = linear.AllocateRun(64);
+  EXPECT_EQ(run.size(), 32u);
+  EXPECT_EQ(linear.Allocate(), kInvalidFrame);
+}
+
+TEST(RandomizedPoolTest, MaintainsPoolSize) {
+  PhysicalMemory mem(4096);
+  BuddyAllocator buddy(mem);
+  RandomizedPool pool(buddy, 256, Rng(1));
+  EXPECT_EQ(pool.pool_size(), 256u);
+  EXPECT_NEAR(pool.entropy_bits(), 8.0, 1e-9);
+  std::vector<FrameId> out;
+  for (int i = 0; i < 100; ++i) {
+    out.push_back(pool.Allocate());
+    EXPECT_EQ(pool.pool_size(), 256u);  // refilled from buddy
+  }
+  for (const FrameId f : out) {
+    pool.Free(f);
+    EXPECT_EQ(pool.pool_size(), 256u);
+  }
+}
+
+TEST(RandomizedPoolTest, NeverDoubleAllocates) {
+  PhysicalMemory mem(2048);
+  BuddyAllocator buddy(mem);
+  RandomizedPool pool(buddy, 128, Rng(2));
+  std::set<FrameId> live;
+  Rng rng(3);
+  std::vector<FrameId> held;
+  for (int op = 0; op < 2000; ++op) {
+    if (held.empty() || rng.NextBool(0.6)) {
+      const FrameId f = pool.Allocate();
+      ASSERT_NE(f, kInvalidFrame);
+      ASSERT_TRUE(live.insert(f).second) << "frame " << f << " double-allocated";
+      held.push_back(f);
+    } else {
+      const std::size_t idx = rng.NextBelow(held.size());
+      pool.Free(held[idx]);
+      live.erase(held[idx]);
+      held[idx] = held.back();
+      held.pop_back();
+    }
+  }
+}
+
+// Backing allocator handing out sequential frame ids, for observing pool behaviour
+// independent of buddy-allocator ordering.
+class SequentialAllocator final : public FrameAllocator {
+ public:
+  explicit SequentialAllocator(FrameId start) : next_(start) {}
+  FrameId Allocate() override { return next_++; }
+  void Free(FrameId) override {}
+  [[nodiscard]] std::size_t free_count() const override { return ~std::size_t{0}; }
+
+ private:
+  FrameId next_;
+};
+
+TEST(RandomizedPoolTest, AllocationsAreUniformOverPool) {
+  // The RA security property: allocation draws are uniform over the pool (KS test,
+  // §9.1 style). The pool is preloaded with ids [0, 4096); refills start at 4096,
+  // so every draw below 4096 is an original slot - their values must be uniform.
+  SequentialAllocator backing(0);
+  RandomizedPool pool(backing, 4096, Rng(4));
+  std::vector<double> originals;
+  for (int i = 0; i < 3000; ++i) {
+    const FrameId f = pool.Allocate();
+    if (f < 4096) {
+      originals.push_back(static_cast<double>(f));
+    }
+  }
+  ASSERT_GT(originals.size(), 2000u);
+  const KsResult result = KsUniform(originals, 0.0, 4096.0);
+  EXPECT_GT(result.p_value, 0.01) << "allocations not uniform, D=" << result.statistic;
+}
+
+TEST(RandomizedPoolTest, SpecificFrameReuseIsRare) {
+  // The 2^-entropy reuse bound against reuse-based Flip Feng Shui.
+  PhysicalMemory mem(8192);
+  BuddyAllocator buddy(mem);
+  RandomizedPool pool(buddy, 1024, Rng(5));
+  int immediate_reuse = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const FrameId f = pool.Allocate();
+    pool.Free(f);
+    const FrameId g = pool.Allocate();
+    immediate_reuse += (g == f) ? 1 : 0;
+    pool.Free(g);
+  }
+  // Expected reuse probability 1/1024; allow generous slack.
+  EXPECT_LT(immediate_reuse, 12);
+}
+
+TEST(RandomizedPoolTest, FallsBackWhenEmpty) {
+  PhysicalMemory mem(64);
+  BuddyAllocator buddy(mem);
+  RandomizedPool pool(buddy, 0, Rng(6));
+  EXPECT_EQ(pool.pool_size(), 0u);
+  const FrameId f = pool.Allocate();
+  EXPECT_NE(f, kInvalidFrame);  // plain buddy fallback
+  pool.Free(f);
+}
+
+TEST(RandomizedPoolTest, ShrinksGracefullyUnderOom) {
+  PhysicalMemory mem(128);
+  BuddyAllocator buddy(mem);
+  RandomizedPool pool(buddy, 128, Rng(7));  // consumes everything
+  EXPECT_EQ(pool.pool_size(), 128u);
+  // Buddy is empty: allocations shrink the pool instead of failing.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NE(pool.Allocate(), kInvalidFrame);
+  }
+  EXPECT_EQ(pool.pool_size(), 64u);
+}
+
+}  // namespace
+}  // namespace vusion

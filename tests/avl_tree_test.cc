@@ -1,0 +1,109 @@
+#include "src/container/avl_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace vusion {
+namespace {
+
+struct IntCompare {
+  int operator()(const int& a, const int& b) const { return (a > b) - (a < b); }
+};
+
+using IntTree = AvlTree<int, IntCompare>;
+
+auto Probe(int target) {
+  return [target](const int& v) { return (target > v) - (target < v); };
+}
+
+TEST(AvlTreeTest, InsertAndFind) {
+  IntTree tree;
+  tree.Insert(10);
+  tree.Insert(20);
+  tree.Insert(5);
+  EXPECT_EQ(tree.size(), 3u);
+  auto [found, steps] = tree.Find(Probe(20));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, 20);
+  EXPECT_EQ(tree.Find(Probe(99)).first, nullptr);
+}
+
+TEST(AvlTreeTest, SequentialInsertStaysBalanced) {
+  IntTree tree;
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(i);
+  }
+  EXPECT_TRUE(tree.ValidateInvariants());
+  // A balanced tree of 1000 nodes resolves lookups in <= ~12 steps.
+  auto [found, steps] = tree.Find(Probe(999));
+  ASSERT_NE(found, nullptr);
+  EXPECT_LE(steps, 12u);
+}
+
+TEST(AvlTreeTest, RemoveIf) {
+  IntTree tree;
+  tree.Insert(1);
+  tree.Insert(2);
+  tree.Insert(3);
+  EXPECT_TRUE(tree.RemoveIf(Probe(2)));
+  EXPECT_FALSE(tree.RemoveIf(Probe(2)));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.ValidateInvariants());
+}
+
+TEST(AvlTreeTest, InOrderSorted) {
+  IntTree tree;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    tree.Insert(static_cast<int>(rng.NextBelow(10000)));
+  }
+  std::vector<int> values;
+  tree.InOrder([&](const int& v) { values.push_back(v); });
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+}
+
+class AvlPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvlPropertyTest, RandomOperationsKeepBalance) {
+  const int operations = GetParam();
+  IntTree tree;
+  Rng rng(3000 + operations);
+  std::multiset<int> reference;
+  for (int op = 0; op < operations; ++op) {
+    if (reference.empty() || rng.NextBool(0.6)) {
+      const int value = static_cast<int>(rng.NextBelow(300));
+      tree.Insert(value);
+      reference.insert(value);
+    } else {
+      auto it = reference.begin();
+      std::advance(it, rng.NextBelow(reference.size()));
+      ASSERT_TRUE(tree.RemoveIf(Probe(*it)));
+      reference.erase(it);
+    }
+    ASSERT_TRUE(tree.ValidateInvariants()) << "after op " << op;
+    ASSERT_EQ(tree.size(), reference.size());
+  }
+  std::vector<int> values;
+  tree.InOrder([&](const int& v) { values.push_back(v); });
+  EXPECT_TRUE(std::equal(values.begin(), values.end(), reference.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AvlPropertyTest, ::testing::Values(10, 100, 1000));
+
+TEST(AvlTreeTest, ClearThenReuse) {
+  IntTree tree;
+  for (int i = 0; i < 20; ++i) {
+    tree.Insert(i);
+  }
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  tree.Insert(42);
+  EXPECT_EQ(*tree.Find(Probe(42)).first, 42);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,161 @@
+#include "src/phys/buddy_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace vusion {
+namespace {
+
+TEST(BuddyAllocatorTest, StartsFullyFree) {
+  PhysicalMemory mem(1024);
+  BuddyAllocator buddy(mem);
+  EXPECT_EQ(buddy.free_count(), 1024u);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+}
+
+TEST(BuddyAllocatorTest, AllocateFreeRoundTrip) {
+  PhysicalMemory mem(1024);
+  BuddyAllocator buddy(mem);
+  const FrameId f = buddy.Allocate();
+  ASSERT_NE(f, kInvalidFrame);
+  EXPECT_EQ(buddy.free_count(), 1023u);
+  EXPECT_TRUE(mem.allocated(f));
+  buddy.Free(f);
+  EXPECT_EQ(buddy.free_count(), 1024u);
+  EXPECT_FALSE(mem.allocated(f));
+  EXPECT_TRUE(buddy.ValidateInvariants());
+}
+
+TEST(BuddyAllocatorTest, ExhaustionReturnsInvalid) {
+  PhysicalMemory mem(64);
+  BuddyAllocator buddy(mem);
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 64; ++i) {
+    const FrameId f = buddy.Allocate();
+    ASSERT_NE(f, kInvalidFrame);
+    frames.push_back(f);
+  }
+  EXPECT_EQ(buddy.Allocate(), kInvalidFrame);
+  // Frames are unique.
+  EXPECT_EQ(std::set<FrameId>(frames.begin(), frames.end()).size(), 64u);
+}
+
+TEST(BuddyAllocatorTest, OrderAllocationAlignedAndCoalesces) {
+  PhysicalMemory mem(4096);
+  BuddyAllocator buddy(mem);
+  const FrameId block = buddy.AllocateOrder(kHugePageOrder);
+  ASSERT_NE(block, kInvalidFrame);
+  EXPECT_EQ(block % kPagesPerHugePage, 0u);
+  EXPECT_EQ(buddy.free_count(), 4096u - kPagesPerHugePage);
+  for (FrameId f = block; f < block + kPagesPerHugePage; ++f) {
+    EXPECT_TRUE(mem.allocated(f));
+  }
+  buddy.FreeOrder(block, kHugePageOrder);
+  EXPECT_EQ(buddy.free_count(), 4096u);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  // After coalescing, a max-order allocation must succeed again.
+  EXPECT_NE(buddy.AllocateOrder(kMaxBuddyOrder), kInvalidFrame);
+}
+
+TEST(BuddyAllocatorTest, SingleFreesCoalesceBackToLargeBlocks) {
+  PhysicalMemory mem(256);
+  BuddyAllocator buddy(mem);
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 256; ++i) {
+    frames.push_back(buddy.Allocate());
+  }
+  for (const FrameId f : frames) {
+    buddy.Free(f);
+  }
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  EXPECT_NE(buddy.AllocateOrder(8), kInvalidFrame);  // 256-page block reassembled
+}
+
+TEST(BuddyAllocatorTest, AllocateSpecificSplitsContainingBlock) {
+  PhysicalMemory mem(1024);
+  BuddyAllocator buddy(mem);
+  EXPECT_TRUE(buddy.AllocateSpecific(513));
+  EXPECT_TRUE(mem.allocated(513));
+  EXPECT_FALSE(mem.allocated(512));
+  EXPECT_EQ(buddy.free_count(), 1023u);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  EXPECT_FALSE(buddy.AllocateSpecific(513));  // no longer free
+  buddy.Free(513);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+}
+
+TEST(BuddyAllocatorTest, IsFreeTracksState) {
+  PhysicalMemory mem(128);
+  BuddyAllocator buddy(mem);
+  EXPECT_TRUE(buddy.IsFree(77));
+  ASSERT_TRUE(buddy.AllocateSpecific(77));
+  EXPECT_FALSE(buddy.IsFree(77));
+}
+
+TEST(BuddyAllocatorTest, LifoReuseIsPredictable) {
+  // The property the paper calls "fairly predictable standard page allocator":
+  // free then allocate returns the same frame.
+  PhysicalMemory mem(512);
+  BuddyAllocator buddy(mem);
+  const FrameId a = buddy.Allocate();
+  const FrameId b = buddy.Allocate();
+  (void)b;
+  buddy.Free(a);
+  EXPECT_EQ(buddy.Allocate(), a);
+}
+
+TEST(BuddyAllocatorTest, NonPowerOfTwoMemorySize) {
+  PhysicalMemory mem(1000);  // not a power of two
+  BuddyAllocator buddy(mem);
+  EXPECT_EQ(buddy.free_count(), 1000u);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  std::set<FrameId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const FrameId f = buddy.Allocate();
+    ASSERT_NE(f, kInvalidFrame);
+    ASSERT_LT(f, 1000u);
+    EXPECT_TRUE(seen.insert(f).second);
+  }
+  EXPECT_EQ(buddy.Allocate(), kInvalidFrame);
+}
+
+class BuddyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyPropertyTest, RandomOpsPreserveInvariants) {
+  PhysicalMemory mem(2048);
+  BuddyAllocator buddy(mem);
+  Rng rng(GetParam());
+  std::vector<std::pair<FrameId, std::size_t>> held;  // (start, order)
+  for (int op = 0; op < 3000; ++op) {
+    if (held.empty() || rng.NextBool(0.55)) {
+      const std::size_t order = rng.NextBelow(5);
+      const FrameId block = buddy.AllocateOrder(order);
+      if (block != kInvalidFrame) {
+        held.emplace_back(block, order);
+      }
+    } else {
+      const std::size_t idx = rng.NextBelow(held.size());
+      buddy.FreeOrder(held[idx].first, held[idx].second);
+      held[idx] = held.back();
+      held.pop_back();
+    }
+    if (op % 100 == 0) {
+      ASSERT_TRUE(buddy.ValidateInvariants()) << "op " << op;
+    }
+  }
+  std::size_t held_frames = 0;
+  for (const auto& [start, order] : held) {
+    held_frames += std::size_t{1} << order;
+  }
+  EXPECT_EQ(buddy.free_count(), 2048u - held_frames);
+  ASSERT_TRUE(buddy.ValidateInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace vusion

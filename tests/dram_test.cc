@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+#include <array>
+
+#include "src/dram/rowhammer.h"
+
+namespace vusion {
+namespace {
+
+DramConfig TestDram() {
+  DramConfig config;
+  config.hammer_threshold = 100;  // cheap hammering in tests
+  config.vulnerable_row_fraction = 1.0;
+  return config;
+}
+
+TEST(DramMappingTest, LocateRoundTrips) {
+  DramMapping mapping(TestDram());
+  const PhysAddr paddr = 0x123456;
+  const DramLocation loc = mapping.Locate(paddr);
+  EXPECT_EQ(mapping.RowBase(loc.bank, loc.row) + loc.column, paddr);
+}
+
+TEST(DramMappingTest, AdjacentRowsStride) {
+  DramMapping mapping(TestDram());
+  EXPECT_EQ(mapping.SameBankRowStride(), 8192u * 16u);
+  const DramLocation a = mapping.Locate(0);
+  const DramLocation b = mapping.Locate(mapping.SameBankRowStride());
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.row + 1, b.row);
+  EXPECT_EQ(mapping.pages_per_row(), 2u);
+}
+
+TEST(RowBufferTest, HitsWithinOpenRow) {
+  DramMapping mapping(TestDram());
+  VirtualClock clock;
+  RowBuffer rb(mapping, clock);
+  auto first = rb.Access(0x0);
+  EXPECT_FALSE(first.row_hit);
+  EXPECT_TRUE(first.activated);
+  auto second = rb.Access(0x40);  // same row
+  EXPECT_TRUE(second.row_hit);
+  auto other_bank = rb.Access(8192);  // next bank, does not close row 0 of bank 0
+  EXPECT_FALSE(other_bank.row_hit);
+  auto back = rb.Access(0x80);
+  EXPECT_TRUE(back.row_hit);
+}
+
+TEST(RowBufferTest, ActivationCountsAndEpochReset) {
+  DramMapping mapping(TestDram());
+  VirtualClock clock;
+  RowBuffer rb(mapping, clock);
+  const PhysAddr row0 = 0;
+  const PhysAddr row1 = mapping.SameBankRowStride();
+  for (int i = 0; i < 5; ++i) {
+    rb.Access(row0);
+    rb.Access(row1);  // closes row0, so next access re-activates
+  }
+  EXPECT_EQ(rb.activations(0, 0), 5u);
+  EXPECT_EQ(rb.activations(0, 1), 5u);
+  // Refresh epoch rolls over: counters clear.
+  clock.Advance(65 * kMillisecond);
+  rb.Access(row0);
+  EXPECT_EQ(rb.activations(0, 0), 1u);
+}
+
+TEST(RowhammerTest, TemplateIsDeterministic) {
+  DramMapping mapping(TestDram());
+  VirtualClock clock;
+  RowBuffer rb(mapping, clock);
+  PhysicalMemory mem(4096);
+  RowhammerEngine engine(mapping, rb, mem);
+  const auto t1 = engine.TemplateFor(3, 17);
+  const auto t2 = engine.TemplateFor(3, 17);
+  ASSERT_EQ(t1.size(), t2.size());
+  ASSERT_FALSE(t1.empty());  // vulnerable_row_fraction = 1.0
+  EXPECT_EQ(t1[0].byte_in_row, t2[0].byte_in_row);
+  EXPECT_EQ(t1[0].bit, t2[0].bit);
+}
+
+TEST(RowhammerTest, DoubleSidedHammerFlipsVictimRow) {
+  DramMapping mapping(TestDram());
+  VirtualClock clock;
+  PhysicalMemory mem(4096);
+  // Victim row 1 of bank 0 covers paddr [128K, 128K+8K) => frames 32, 33.
+  // All-ones content so every templated cell holds a dischargeable 1.
+  const std::array<std::uint8_t, kPageSize> ones = [] {
+    std::array<std::uint8_t, kPageSize> buf;
+    buf.fill(0xff);
+    return buf;
+  }();
+  for (FrameId f = 0; f < 200; ++f) {
+    mem.MarkAllocated(f);
+    mem.WriteBytes(f, 0, ones);
+  }
+  RowBuffer rb(mapping, clock);
+  RowhammerEngine engine(mapping, rb, mem);
+  const std::uint64_t hash_before = mem.HashContent(32) ^ mem.HashContent(33);
+
+  const PhysAddr row0 = mapping.RowBase(0, 0);
+  const PhysAddr row2 = mapping.RowBase(0, 2);
+  std::vector<FlipEvent> flips;
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    auto f1 = engine.OnActivation(rb.Access(row0));
+    auto f2 = engine.OnActivation(rb.Access(row2));
+    flips.insert(flips.end(), f1.begin(), f1.end());
+    flips.insert(flips.end(), f2.begin(), f2.end());
+  }
+  ASSERT_FALSE(flips.empty());
+  for (const FlipEvent& flip : flips) {
+    EXPECT_TRUE(flip.frame == 32 || flip.frame == 33) << "flip outside victim row";
+  }
+  EXPECT_NE(mem.HashContent(32) ^ mem.HashContent(33), hash_before);
+}
+
+TEST(RowhammerTest, SingleSidedFlipsOnlyAtMuchHigherCounts) {
+  DramConfig config = TestDram();
+  config.single_sided_factor = 4;  // flips at 400 activations
+  DramMapping mapping(config);
+  VirtualClock clock;
+  PhysicalMemory mem(4096);
+  const std::array<std::uint8_t, kPageSize> ones = [] {
+    std::array<std::uint8_t, kPageSize> buf;
+    buf.fill(0xff);
+    return buf;
+  }();
+  for (FrameId f = 0; f < 200; ++f) {
+    mem.MarkAllocated(f);
+    mem.WriteBytes(f, 0, ones);
+  }
+  RowBuffer rb(mapping, clock);
+  RowhammerEngine engine(mapping, rb, mem);
+  const PhysAddr hot = mapping.RowBase(0, 2);
+  const PhysAddr far_row = mapping.RowBase(0, 20);  // same bank: forces re-activation
+  std::size_t flips = 0;
+  std::uint32_t below_threshold_flips = 0;
+  for (std::uint32_t i = 0; i < 450; ++i) {
+    engine.OnActivation(rb.Access(far_row));
+    const auto f = engine.OnActivation(rb.Access(hot));
+    flips += f.size();
+    if (i < 380) {
+      below_threshold_flips += f.size();
+    }
+  }
+  EXPECT_EQ(below_threshold_flips, 0u);  // nothing until ~4x the threshold
+  EXPECT_GT(flips, 0u);                  // then the neighbours flip
+}
+
+TEST(RowhammerTest, SingleSidedDoesNotFlip) {
+  DramMapping mapping(TestDram());
+  VirtualClock clock;
+  PhysicalMemory mem(4096);
+  for (FrameId f = 0; f < 200; ++f) {
+    mem.MarkAllocated(f);
+    mem.FillPattern(f, f);
+  }
+  RowBuffer rb(mapping, clock);
+  RowhammerEngine engine(mapping, rb, mem);
+  const PhysAddr row0 = mapping.RowBase(0, 0);
+  const PhysAddr far_row = mapping.RowBase(0, 40);  // far away: no shared victim
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    EXPECT_TRUE(engine.OnActivation(rb.Access(row0)).empty());
+    EXPECT_TRUE(engine.OnActivation(rb.Access(far_row)).empty());
+  }
+}
+
+TEST(RowhammerTest, OnlyOneToZeroFlips) {
+  DramMapping mapping(TestDram());
+  VirtualClock clock;
+  PhysicalMemory mem(4096);
+  for (FrameId f = 0; f < 200; ++f) {
+    mem.MarkAllocated(f);
+    mem.FillZero(f);  // all bits already 0: nothing can discharge
+  }
+  RowBuffer rb(mapping, clock);
+  RowhammerEngine engine(mapping, rb, mem);
+  const PhysAddr row0 = mapping.RowBase(0, 0);
+  const PhysAddr row2 = mapping.RowBase(0, 2);
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    for (const FlipEvent& flip : engine.OnActivation(rb.Access(row0))) {
+      EXPECT_FALSE(flip.applied);
+    }
+    for (const FlipEvent& flip : engine.OnActivation(rb.Access(row2))) {
+      EXPECT_FALSE(flip.applied);
+    }
+  }
+  EXPECT_TRUE(mem.IsZero(32));
+  EXPECT_TRUE(mem.IsZero(33));
+}
+
+TEST(RowhammerTest, FlipsOncePerEpoch) {
+  DramMapping mapping(TestDram());
+  VirtualClock clock;
+  PhysicalMemory mem(4096);
+  for (FrameId f = 0; f < 200; ++f) {
+    mem.MarkAllocated(f);
+    mem.FillPattern(f, f);
+  }
+  RowBuffer rb(mapping, clock);
+  RowhammerEngine engine(mapping, rb, mem);
+  const PhysAddr row0 = mapping.RowBase(0, 0);
+  const PhysAddr row2 = mapping.RowBase(0, 2);
+  std::size_t flip_events = 0;
+  for (std::uint32_t i = 0; i < 400; ++i) {  // far beyond threshold
+    flip_events += engine.OnActivation(rb.Access(row0)).size();
+    flip_events += engine.OnActivation(rb.Access(row2)).size();
+  }
+  const auto expected = engine.TemplateFor(0, 1).size();
+  EXPECT_EQ(flip_events, expected);  // victim row 1 flipped exactly once
+}
+
+}  // namespace
+}  // namespace vusion

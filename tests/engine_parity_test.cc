@@ -1,0 +1,175 @@
+// Cross-engine property test: page fusion must be semantically invisible. Under
+// every engine, a randomized workload of writes, reads, and idle periods must
+// always read back exactly what it wrote, copy-on-write must isolate sharers, and
+// the engine's savings accounting must stay consistent.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+struct ParityParam {
+  EngineKind kind;
+  std::uint64_t seed;
+};
+
+class EngineParityTest : public ::testing::TestWithParam<ParityParam> {};
+
+TEST_P(EngineParityTest, RandomWorkloadReadsBackWrites) {
+  const ParityParam param = GetParam();
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;
+  machine_config.seed = param.seed;
+  Machine machine(machine_config);
+  FusionConfig fusion_config;
+  fusion_config.wake_period = 1 * kMillisecond;
+  fusion_config.pages_per_wake = 256;
+  fusion_config.pool_frames = 1024;
+  fusion_config.wpf_period = 20 * kMillisecond;
+  auto engine = MakeEngine(param.kind, machine, fusion_config);
+  if (engine != nullptr) {
+    engine->Install();
+  }
+
+  constexpr std::size_t kProcesses = 3;
+  constexpr std::size_t kPagesPerProcess = 96;
+  std::vector<Process*> procs;
+  std::vector<VirtAddr> bases;
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    Process& proc = machine.CreateProcess();
+    procs.push_back(&proc);
+    const VirtAddr base =
+        proc.AllocateRegion(kPagesPerProcess, PageType::kAnonymous, true, false);
+    bases.push_back(base);
+    for (std::size_t i = 0; i < kPagesPerProcess; ++i) {
+      // Deliberately many cross-process duplicates: seed space of 16.
+      proc.SetupMapPattern(VaddrToVpn(base) + i, 0x9000 + (i % 16));
+    }
+  }
+
+  // Reference model: (process, offset) -> last written value, or the pattern seed.
+  std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t> written;
+  PhysicalMemory probe(1);
+  Rng rng(param.seed * 77 + 1);
+
+  for (int step = 0; step < 1500; ++step) {
+    const std::size_t p = rng.NextBelow(kProcesses);
+    const std::size_t page = rng.NextBelow(kPagesPerProcess);
+    const std::uint64_t offset = page * kPageSize + rng.NextBelow(kPageSize / 8) * 8;
+    const VirtAddr addr = bases[p] + offset;
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        const std::uint64_t value = rng.Next();
+        procs[p]->Write64(addr, value);
+        written[{p, offset}] = value;
+        break;
+      }
+      case 1: {
+        const std::uint64_t got = procs[p]->Read64(addr);
+        const auto it = written.find({p, offset});
+        std::uint64_t want;
+        if (it != written.end()) {
+          want = it->second;
+        } else {
+          probe.FillPattern(0, 0x9000 + (page % 16));
+          want = probe.ReadU64(0, offset % kPageSize);
+        }
+        ASSERT_EQ(got, want) << "engine=" << EngineKindName(param.kind) << " step=" << step
+                             << " proc=" << p << " offset=" << offset;
+        break;
+      }
+      case 2:
+        machine.Idle(rng.NextInRange(1, 5) * kMillisecond);
+        break;
+      default:
+        procs[p]->Prefetch(addr);
+        break;
+    }
+  }
+
+  // Long idle: give the engine time to fuse aggressively, then re-verify all state.
+  machine.Idle(200 * kMillisecond);
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    for (std::size_t page = 0; page < kPagesPerProcess; page += 7) {
+      const std::uint64_t offset = page * kPageSize;
+      const auto it = written.find({p, offset});
+      std::uint64_t want;
+      if (it != written.end()) {
+        want = it->second;
+      } else {
+        probe.FillPattern(0, 0x9000 + (page % 16));
+        want = probe.ReadU64(0, 0);
+      }
+      ASSERT_EQ(procs[p]->Read64(bases[p] + offset), want)
+          << "engine=" << EngineKindName(param.kind) << " final proc=" << p << " page=" << page;
+    }
+  }
+
+  if (engine != nullptr) {
+    // Savings accounting sanity: saved frames never exceed total mergeable pages.
+    EXPECT_LE(engine->frames_saved(), kProcesses * kPagesPerProcess);
+    engine->Uninstall();
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<ParityParam>& info) {
+  std::string name = EngineKindName(info.param.kind);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineParityTest,
+    ::testing::Values(ParityParam{EngineKind::kNone, 1}, ParityParam{EngineKind::kKsm, 1},
+                      ParityParam{EngineKind::kKsm, 2}, ParityParam{EngineKind::kKsmCoA, 1},
+                      ParityParam{EngineKind::kKsmZeroOnly, 1},
+                      ParityParam{EngineKind::kWpf, 1}, ParityParam{EngineKind::kWpf, 2},
+                      ParityParam{EngineKind::kVUsion, 1},
+                      ParityParam{EngineKind::kVUsion, 2},
+                      ParityParam{EngineKind::kVUsionThp, 1}),
+    ParamName);
+
+// Savings comparison: with heavy duplication, every fusing engine must save a
+// significant fraction, and VUsion's savings must be in the same ballpark as KSM's
+// (the paper's central capacity claim).
+TEST(EngineComparisonTest, SavingsBallpark) {
+  std::map<EngineKind, std::uint64_t> saved;
+  for (const EngineKind kind : {EngineKind::kKsm, EngineKind::kWpf, EngineKind::kVUsion}) {
+    MachineConfig machine_config;
+    machine_config.frame_count = 1u << 14;
+    Machine machine(machine_config);
+    FusionConfig fusion_config;
+    fusion_config.wake_period = 1 * kMillisecond;
+    fusion_config.pages_per_wake = 512;
+    fusion_config.pool_frames = 1024;
+    fusion_config.wpf_period = 20 * kMillisecond;
+    auto engine = MakeEngine(kind, machine, fusion_config);
+    engine->Install();
+    for (int p = 0; p < 4; ++p) {
+      Process& proc = machine.CreateProcess();
+      const VirtAddr base = proc.AllocateRegion(256, PageType::kAnonymous, true, false);
+      for (std::size_t i = 0; i < 256; ++i) {
+        proc.SetupMapPattern(VaddrToVpn(base) + i, 0x7100 + i);  // same across VMs
+      }
+    }
+    machine.Idle(500 * kMillisecond);
+    saved[kind] = engine->frames_saved();
+    engine->Uninstall();
+  }
+  // 4 x 256 identical images: ideal saving is 3 * 256 = 768 frames.
+  EXPECT_GT(saved[EngineKind::kKsm], 700u);
+  EXPECT_GT(saved[EngineKind::kWpf], 700u);
+  EXPECT_GT(saved[EngineKind::kVUsion], 700u);
+}
+
+}  // namespace
+}  // namespace vusion

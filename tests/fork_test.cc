@@ -1,0 +1,203 @@
+// fork(): kernel-level copy-on-write sharing, and its coexistence with the fusion
+// engines' own CoW machinery.
+
+#include <gtest/gtest.h>
+
+#include "src/fusion/ksm.h"
+#include "src/fusion/vusion_engine.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 1u << 14;
+  return config;
+}
+
+FusionConfig FastFusion() {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.pages_per_wake = 256;
+  config.pool_frames = 512;
+  return config;
+}
+
+TEST(ForkTest, ChildSharesFramesCopyOnWrite) {
+  Machine machine(SmallMachine());
+  Process& parent = machine.CreateProcess();
+  const VirtAddr base = parent.AllocateRegion(8, PageType::kAnonymous, false, false);
+  for (int i = 0; i < 8; ++i) {
+    parent.SetupMapPattern(VaddrToVpn(base) + i, 0x10 + i);
+  }
+  const std::size_t allocated_before = machine.memory().allocated_count();
+  Process& child = machine.ForkProcess(parent);
+
+  // Shared frames: no page copies happened (only the child's page tables).
+  EXPECT_LT(machine.memory().allocated_count(), allocated_before + 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(parent.TranslateFrame(VaddrToVpn(base) + i),
+              child.TranslateFrame(VaddrToVpn(base) + i));
+    EXPECT_EQ(machine.memory().refcount(parent.TranslateFrame(VaddrToVpn(base) + i)), 2u);
+    // Reads see identical content without faulting.
+    EXPECT_EQ(parent.Read64(base + i * kPageSize), child.Read64(base + i * kPageSize));
+  }
+  EXPECT_EQ(machine.total_faults(), 0u);
+}
+
+TEST(ForkTest, WriteIsolatesBothDirections) {
+  Machine machine(SmallMachine());
+  Process& parent = machine.CreateProcess();
+  const VirtAddr base = parent.AllocateRegion(4, PageType::kAnonymous, false, false);
+  parent.SetupMapPattern(VaddrToVpn(base), 0x20);
+  parent.SetupMapPattern(VaddrToVpn(base) + 1, 0x21);
+  Process& child = machine.ForkProcess(parent);
+
+  // Child writes: parent unaffected.
+  const std::uint64_t parent_word = parent.Read64(base);
+  child.Write64(base, 0xc1);
+  EXPECT_EQ(child.Read64(base), 0xc1u);
+  EXPECT_EQ(parent.Read64(base), parent_word);
+  EXPECT_NE(parent.TranslateFrame(VaddrToVpn(base)), child.TranslateFrame(VaddrToVpn(base)));
+  // Parent's page is now the last sharer: its next write reclaims in place.
+  const FrameId parent_frame = parent.TranslateFrame(VaddrToVpn(base));
+  parent.Write64(base, 0xa1);
+  EXPECT_EQ(parent.TranslateFrame(VaddrToVpn(base)), parent_frame);
+  EXPECT_EQ(parent.Read64(base), 0xa1u);
+  EXPECT_EQ(machine.memory().refcount(parent_frame), 0u);
+
+  // Parent writes the other page first: child keeps the original.
+  const std::uint64_t original = child.Read64(base + kPageSize);
+  parent.Write64(base + kPageSize, 0xa2);
+  EXPECT_EQ(child.Read64(base + kPageSize), original);
+  EXPECT_EQ(parent.Read64(base + kPageSize), 0xa2u);
+}
+
+TEST(ForkTest, GrandchildSharesThreeWays) {
+  Machine machine(SmallMachine());
+  Process& parent = machine.CreateProcess();
+  const VirtAddr base = parent.AllocateRegion(2, PageType::kAnonymous, false, false);
+  parent.SetupMapPattern(VaddrToVpn(base), 0x30);
+  Process& child = machine.ForkProcess(parent);
+  Process& grandchild = machine.ForkProcess(child);
+  const FrameId shared = parent.TranslateFrame(VaddrToVpn(base));
+  EXPECT_EQ(machine.memory().refcount(shared), 3u);
+  EXPECT_EQ(grandchild.TranslateFrame(VaddrToVpn(base)), shared);
+  grandchild.Write64(base, 1);
+  EXPECT_EQ(machine.memory().refcount(shared), 2u);
+  EXPECT_EQ(parent.TranslateFrame(VaddrToVpn(base)), shared);
+}
+
+TEST(ForkTest, UnmapAndDestroyRespectSharing) {
+  Machine machine(SmallMachine());
+  Process& parent = machine.CreateProcess();
+  const VirtAddr base = parent.AllocateRegion(4, PageType::kAnonymous, false, false);
+  parent.SetupMapPattern(VaddrToVpn(base), 0x40);
+  Process& child = machine.ForkProcess(parent);
+  const FrameId shared = parent.TranslateFrame(VaddrToVpn(base));
+  const std::uint64_t content = child.Read64(base);
+
+  parent.SetupUnmap(VaddrToVpn(base));
+  EXPECT_TRUE(machine.memory().allocated(shared));  // child still holds it
+  EXPECT_EQ(child.Read64(base), content);
+
+  machine.DestroyProcess(child);
+  EXPECT_FALSE(machine.memory().allocated(shared));  // last sharer gone
+}
+
+TEST(ForkTest, HugeMappingsAreCopiedEagerly) {
+  Machine machine(SmallMachine());
+  Process& parent = machine.CreateProcess();
+  const VirtAddr base =
+      parent.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, false, true);
+  ASSERT_TRUE(parent.SetupMapHuge(VaddrToVpn(base), 0x50000));
+  Process& child = machine.ForkProcess(parent);
+  EXPECT_TRUE(child.address_space().IsHuge(VaddrToVpn(base)));
+  EXPECT_NE(parent.TranslateFrame(VaddrToVpn(base)), child.TranslateFrame(VaddrToVpn(base)));
+  EXPECT_EQ(parent.Read64(base + 5 * kPageSize), child.Read64(base + 5 * kPageSize));
+}
+
+TEST(ForkTest, EnginesSkipForkSharedPages) {
+  // A fork-shared page must not be fused even if its content duplicates another
+  // page: the kernel owns that CoW state (documented conservative rule).
+  Machine machine(SmallMachine());
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  Process& parent = machine.CreateProcess();
+  const VirtAddr base = parent.AllocateRegion(4, PageType::kAnonymous, true, false);
+  parent.SetupMapPattern(VaddrToVpn(base), 0x61);
+  parent.SetupMapPattern(VaddrToVpn(base) + 1, 0x61);  // intra-process duplicate
+  Process& child = machine.ForkProcess(parent);
+  machine.Idle(100 * kMillisecond);
+  EXPECT_EQ(ksm.frames_saved(), 0u);  // both pages fork-shared: skipped
+  // Break the sharing by writing; now fusion may proceed on the private copies.
+  parent.Write64(base, 0);
+  parent.Write64(base + kPageSize, 0);
+  child.Write64(base, 0);
+  child.Write64(base + kPageSize, 0);
+  machine.Idle(200 * kMillisecond);
+  EXPECT_GT(ksm.frames_saved(), 0u);
+  ksm.Uninstall();
+}
+
+TEST(ForkTest, ForkCopiesEngineManagedPagesPrivately) {
+  Machine machine(SmallMachine());
+  VUsionEngine engine(machine, FastFusion());
+  engine.Install();
+  Process& parent = machine.CreateProcess();
+  const VirtAddr base = parent.AllocateRegion(4, PageType::kAnonymous, true, false);
+  parent.SetupMapPattern(VaddrToVpn(base), 0x71);
+  for (int i = 0; i < 400 && !engine.IsManaged(parent, VaddrToVpn(base)); ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_TRUE(engine.IsManaged(parent, VaddrToVpn(base)));
+
+  Process& child = machine.ForkProcess(parent);
+  // Parent's page stays managed; the child got a plain private copy.
+  EXPECT_TRUE(engine.IsManaged(parent, VaddrToVpn(base)));
+  EXPECT_FALSE(engine.IsManaged(child, VaddrToVpn(base)));
+  const Pte* child_pte = child.address_space().GetPte(VaddrToVpn(base));
+  ASSERT_NE(child_pte, nullptr);
+  EXPECT_TRUE(child_pte->writable());
+  EXPECT_FALSE(child_pte->reserved_trap());
+  PhysicalMemory probe(1);
+  probe.FillPattern(0, 0x71);
+  EXPECT_EQ(child.Read64(base), probe.ReadU64(0, 0));
+  engine.Uninstall();
+}
+
+TEST(ForkTest, ApachePreforkStyleWorkerPool) {
+  // The real prefork pattern: one template process, N forked workers. Until the
+  // workers dirty their pages, the pool costs almost nothing beyond the template.
+  Machine machine(SmallMachine());
+  Process& httpd = machine.CreateProcess();
+  const std::size_t pages = 256;
+  const VirtAddr base = httpd.AllocateRegion(pages, PageType::kAnonymous, false, false);
+  for (std::size_t i = 0; i < pages; ++i) {
+    httpd.SetupMapPattern(VaddrToVpn(base) + i, 0x80 + i);
+  }
+  const std::size_t before = machine.memory().allocated_count();
+  std::vector<Process*> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.push_back(&machine.ForkProcess(httpd));
+  }
+  // Eight workers cost only their page tables, not 8x256 pages.
+  EXPECT_LT(machine.memory().allocated_count(), before + 8 * 8);
+  // Each worker dirties a small scratch area.
+  for (Process* worker : workers) {
+    for (int i = 0; i < 8; ++i) {
+      worker->Write64(base + i * kPageSize, worker->id());
+    }
+  }
+  EXPECT_GE(machine.memory().allocated_count(), before + 8 * 8);
+  // Template content still intact everywhere else.
+  PhysicalMemory probe(1);
+  probe.FillPattern(0, 0x80 + 100);
+  for (Process* worker : workers) {
+    EXPECT_EQ(worker->Read64(base + 100 * kPageSize), probe.ReadU64(0, 0));
+  }
+}
+
+}  // namespace
+}  // namespace vusion

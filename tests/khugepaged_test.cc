@@ -1,0 +1,204 @@
+#include "src/kernel/khugepaged.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 8192;
+  return config;
+}
+
+KhugepagedConfig FastKhugepaged() {
+  KhugepagedConfig config;
+  config.period = 1 * kMillisecond;
+  config.ranges_per_wake = 64;
+  return config;
+}
+
+// Maps a fully-populated, recently-accessed 512-page range.
+VirtAddr MapActiveRange(Process& p) {
+  const VirtAddr base =
+      p.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, false, true);
+  for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+    p.SetupMapPattern(VaddrToVpn(base) + i, 0x4000 + i);
+    p.address_space().UpdateFlags(VaddrToVpn(base) + i, kPteAccessed, 0);
+  }
+  return base;
+}
+
+TEST(KhugepagedTest, CollapsesActiveRange) {
+  Machine machine(SmallMachine());
+  Khugepaged& khp = machine.EnableKhugepaged(FastKhugepaged());
+  Process& p = machine.CreateProcess();
+  const VirtAddr base = MapActiveRange(p);
+  const std::uint64_t word_before = machine.memory().ReadU64(
+      p.TranslateFrame(VaddrToVpn(base) + 9), 16);
+  machine.Idle(10 * kMillisecond);
+  EXPECT_GE(khp.collapses(), 1u);
+  EXPECT_TRUE(p.address_space().IsHuge(VaddrToVpn(base)));
+  // Contents preserved across the collapse copy.
+  EXPECT_EQ(p.Read64(base + 9 * kPageSize + 16), word_before);
+}
+
+TEST(KhugepagedTest, SkipsIdleRange) {
+  Machine machine(SmallMachine());
+  KhugepagedConfig config = FastKhugepaged();
+  config.min_active_subpages = 1;
+  machine.EnableKhugepaged(config);
+  Process& p = machine.CreateProcess();
+  const VirtAddr base =
+      p.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, false, true);
+  for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+    p.SetupMapPattern(VaddrToVpn(base) + i, 0x5000 + i);  // accessed bit NOT set
+  }
+  machine.Idle(10 * kMillisecond);
+  EXPECT_FALSE(p.address_space().IsHuge(VaddrToVpn(base)));
+}
+
+TEST(KhugepagedTest, ActivityThresholdGates) {
+  Machine machine(SmallMachine());
+  KhugepagedConfig config = FastKhugepaged();
+  config.min_active_subpages = 64;
+  machine.EnableKhugepaged(config);
+  Process& p = machine.CreateProcess();
+  const VirtAddr base =
+      p.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, false, true);
+  for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+    p.SetupMapPattern(VaddrToVpn(base) + i, 0x6000 + i);
+  }
+  // Only 32 active subpages: below the n=64 threshold.
+  for (std::size_t i = 0; i < 32; ++i) {
+    p.address_space().UpdateFlags(VaddrToVpn(base) + i, kPteAccessed, 0);
+  }
+  machine.Idle(5 * kMillisecond);
+  EXPECT_FALSE(p.address_space().IsHuge(VaddrToVpn(base)));
+  // Raise activity above the threshold.
+  for (std::size_t i = 0; i < 80; ++i) {
+    p.address_space().UpdateFlags(VaddrToVpn(base) + i, kPteAccessed, 0);
+  }
+  machine.Idle(5 * kMillisecond);
+  EXPECT_TRUE(p.address_space().IsHuge(VaddrToVpn(base)));
+}
+
+TEST(KhugepagedTest, SkipsPartiallyMappedRange) {
+  Machine machine(SmallMachine());
+  machine.EnableKhugepaged(FastKhugepaged());
+  Process& p = machine.CreateProcess();
+  const VirtAddr base = MapActiveRange(p);
+  p.SetupUnmap(VaddrToVpn(base) + 100);  // hole
+  machine.Idle(10 * kMillisecond);
+  EXPECT_FALSE(p.address_space().IsHuge(VaddrToVpn(base)));
+}
+
+namespace policy_test {
+
+class VetoPolicy final : public SharingPolicy {
+ public:
+  bool HandleFault(Process&, const PageFault&) override { return false; }
+  bool OnUnmap(Process&, Vpn) override { return false; }
+  bool AllowCollapse(Process&, Vpn) override {
+    ++asked;
+    return allow;
+  }
+  void PrepareCollapse(Process&, Vpn) override { ++prepared; }
+
+  bool allow = false;
+  int asked = 0;
+  int prepared = 0;
+};
+
+}  // namespace policy_test
+
+TEST(KhugepagedTest, PolicyVetoBlocksCollapse) {
+  Machine machine(SmallMachine());
+  machine.EnableKhugepaged(FastKhugepaged());
+  policy_test::VetoPolicy policy;
+  machine.SetSharingPolicy(&policy);
+  Process& p = machine.CreateProcess();
+  const VirtAddr base = MapActiveRange(p);
+  machine.Idle(10 * kMillisecond);
+  EXPECT_GT(policy.asked, 0);
+  EXPECT_EQ(policy.prepared, 0);  // Prepare must not run after a veto
+  EXPECT_FALSE(p.address_space().IsHuge(VaddrToVpn(base)));
+  policy.allow = true;
+  machine.Idle(10 * kMillisecond);
+  EXPECT_GT(policy.prepared, 0);
+  EXPECT_TRUE(p.address_space().IsHuge(VaddrToVpn(base)));
+}
+
+TEST(KhugepagedTest, CollapseFreesOldFrames) {
+  Machine machine(SmallMachine());
+  machine.EnableKhugepaged(FastKhugepaged());
+  Process& p = machine.CreateProcess();
+  MapActiveRange(p);
+  const std::size_t before = machine.memory().allocated_count();
+  machine.Idle(10 * kMillisecond);
+  // 512 small frames freed, one 512-frame block allocated, and the now-unneeded
+  // page-table leaf node freed: net minus one frame.
+  EXPECT_EQ(machine.memory().allocated_count(), before - 1);
+}
+
+
+TEST(AdaptiveKhugepagedTest, ThresholdTracksMemoryPressure) {
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;  // 16384 frames
+  Machine machine(machine_config);
+  KhugepagedConfig config;
+  config.period = 1 * kMillisecond;
+  config.adaptive_n = true;
+  config.pressure_low_frames = 4096;
+  config.pressure_high_frames = 12288;
+  Khugepaged& khp = machine.EnableKhugepaged(config);
+  machine.Idle(2 * kMillisecond);
+  EXPECT_EQ(khp.current_n(), config.n_min);  // fresh machine: ample memory
+
+  // Consume memory until pressure: the threshold must climb.
+  Process& p = machine.CreateProcess();
+  const VirtAddr hog = p.AllocateRegion(13000, PageType::kAnonymous, false, false);
+  for (std::size_t i = 0; i < 13000; ++i) {
+    p.SetupMapPattern(VaddrToVpn(hog) + i, i);
+  }
+  machine.Idle(2 * kMillisecond);
+  EXPECT_EQ(khp.current_n(), config.n_max);
+
+  // Release half: the threshold interpolates between the extremes.
+  for (std::size_t i = 0; i < 7000; ++i) {
+    p.SetupUnmap(VaddrToVpn(hog) + i);
+  }
+  machine.Idle(2 * kMillisecond);
+  EXPECT_GT(khp.current_n(), config.n_min);
+  EXPECT_LT(khp.current_n(), config.n_max);
+}
+
+TEST(AdaptiveKhugepagedTest, PressureStopsCollapses) {
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;
+  Machine machine(machine_config);
+  KhugepagedConfig config = FastKhugepaged();
+  config.adaptive_n = true;
+  config.pressure_low_frames = 2048;
+  config.pressure_high_frames = 12000;
+  Khugepaged& khp = machine.EnableKhugepaged(config);
+  Process& p = machine.CreateProcess();
+  // Fill most of memory so the machine is under pressure.
+  const VirtAddr hog = p.AllocateRegion(11500, PageType::kAnonymous, false, false);
+  for (std::size_t i = 0; i < 11500; ++i) {
+    p.SetupMapPattern(VaddrToVpn(hog) + i, i);
+  }
+  // A sparsely-active candidate range: only a handful of hot subpages.
+  const VirtAddr range = MapActiveRange(p);
+  for (std::size_t i = 8; i < kPagesPerHugePage; ++i) {
+    p.address_space().UpdateFlags(VaddrToVpn(range) + i, 0, kPteAccessed);
+  }
+  machine.Idle(10 * kMillisecond);
+  EXPECT_FALSE(p.address_space().IsHuge(VaddrToVpn(range)));  // n is high: refused
+  EXPECT_GE(khp.current_n(), 100u);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,88 @@
+#include "src/sim/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+
+namespace vusion {
+namespace {
+
+TEST(KolmogorovQTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(KolmogorovQ(0.0), 1.0);
+  EXPECT_NEAR(KolmogorovQ(10.0), 0.0, 1e-12);
+  // Known reference point: Q(1.0) ~= 0.27.
+  EXPECT_NEAR(KolmogorovQ(1.0), 0.27, 0.01);
+  // Monotonically decreasing.
+  EXPECT_GT(KolmogorovQ(0.5), KolmogorovQ(1.0));
+  EXPECT_GT(KolmogorovQ(1.0), KolmogorovQ(2.0));
+}
+
+TEST(KsTwoSampleTest, SameDistributionHighP) {
+  Rng rng(1);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian());
+  }
+  const KsResult result = KsTwoSample(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.15);
+}
+
+TEST(KsTwoSampleTest, ShiftedDistributionLowP) {
+  Rng rng(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian() + 1.0);
+  }
+  const KsResult result = KsTwoSample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.statistic, 0.3);
+}
+
+TEST(KsTwoSampleTest, BimodalVsUnimodal) {
+  // The Figure 5 vs Figure 6 situation: a bimodal timing distribution against a
+  // unimodal one must be flagged decisively.
+  Rng rng(3);
+  std::vector<double> bimodal;
+  std::vector<double> unimodal;
+  for (int i = 0; i < 500; ++i) {
+    bimodal.push_back((i % 2 == 0 ? 100.0 : 4000.0) + rng.NextGaussian() * 20.0);
+    unimodal.push_back(4000.0 + rng.NextGaussian() * 20.0);
+  }
+  EXPECT_LT(KsTwoSample(bimodal, unimodal).p_value, 1e-10);
+}
+
+TEST(KsUniformTest, UniformSampleAccepted) {
+  Rng rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(rng.NextDouble() * 32768.0);
+  }
+  const KsResult result = KsUniform(samples, 0.0, 32768.0);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KsUniformTest, ClusteredSampleRejected) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(100.0 + (i % 10));  // everything near 100
+  }
+  const KsResult result = KsUniform(samples, 0.0, 32768.0);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(KsUniformTest, HalfRangeRejected) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(rng.NextDouble() * 16384.0);  // only lower half
+  }
+  EXPECT_LT(KsUniform(samples, 0.0, 32768.0).p_value, 1e-10);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,61 @@
+#include "src/sim/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace vusion {
+namespace {
+
+TEST(LatencyModelTest, ChargeAdvancesClock) {
+  VirtualClock clock;
+  LatencyConfig config;
+  config.noise_sigma = 0.0;
+  LatencyModel model(config, clock, Rng(1));
+  const SimTime charged = model.Charge(100);
+  EXPECT_EQ(charged, 100u);
+  EXPECT_EQ(clock.now(), 100u);
+}
+
+TEST(LatencyModelTest, ChargeExactIgnoresNoise) {
+  VirtualClock clock;
+  LatencyConfig config;
+  config.noise_sigma = 0.5;
+  LatencyModel model(config, clock, Rng(2));
+  EXPECT_EQ(model.ChargeExact(1000), 1000u);
+  EXPECT_EQ(clock.now(), 1000u);
+}
+
+TEST(LatencyModelTest, NoiseStaysNearBase) {
+  VirtualClock clock;
+  LatencyConfig config;
+  config.noise_sigma = 0.04;
+  LatencyModel model(config, clock, Rng(3));
+  double total = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const SimTime c = model.Charge(1000);
+    EXPECT_GT(c, 700u);
+    EXPECT_LT(c, 1400u);
+    total += static_cast<double>(c);
+  }
+  EXPECT_NEAR(total / n, 1000.0, 15.0);
+}
+
+TEST(LatencyModelTest, ZeroChargeIsFree) {
+  VirtualClock clock;
+  LatencyModel model(LatencyConfig{}, clock, Rng(4));
+  EXPECT_EQ(model.Charge(0), 0u);
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(VirtualClockTest, AdvanceAndReset) {
+  VirtualClock clock;
+  clock.Advance(5 * kSecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond);
+  clock.Advance(3);
+  EXPECT_EQ(clock.now(), 5 * kSecond + 3);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,130 @@
+#include "src/cache/llc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cache/eviction_set.h"
+
+namespace vusion {
+namespace {
+
+CacheConfig SmallCache() {
+  CacheConfig config;
+  config.sets = 256;
+  config.ways = 4;
+  return config;
+}
+
+TEST(LlcTest, GeometryDerivation) {
+  CacheConfig config;  // paper default
+  EXPECT_EQ(config.size_bytes(), 8u * 1024 * 1024);
+  EXPECT_EQ(config.page_colors(), 128u);
+  Llc llc(config);
+  EXPECT_EQ(llc.ColorOf(0), 0u);
+  EXPECT_EQ(llc.ColorOf(128), 0u);
+  EXPECT_EQ(llc.ColorOf(129), 1u);
+}
+
+TEST(LlcTest, MissThenHit) {
+  Llc llc(SmallCache());
+  EXPECT_FALSE(llc.Access(0x1000));
+  EXPECT_TRUE(llc.Access(0x1000));
+  EXPECT_TRUE(llc.Access(0x1038));  // same 64B line
+  EXPECT_FALSE(llc.Access(0x1040));  // next line
+  EXPECT_EQ(llc.hits(), 2u);
+  EXPECT_EQ(llc.misses(), 2u);
+}
+
+TEST(LlcTest, LruEvictionWithinSet) {
+  const CacheConfig config = SmallCache();
+  Llc llc(config);
+  const PhysAddr stride = config.sets * config.line_size;  // same set, different tags
+  for (std::size_t i = 0; i < config.ways; ++i) {
+    EXPECT_FALSE(llc.Access(i * stride));
+  }
+  // All ways hit.
+  for (std::size_t i = 0; i < config.ways; ++i) {
+    EXPECT_TRUE(llc.Access(i * stride));
+  }
+  // A fifth tag evicts the least recently used (tag 0).
+  EXPECT_FALSE(llc.Access(config.ways * stride));
+  EXPECT_FALSE(llc.Contains(0));
+  EXPECT_TRUE(llc.Contains(1 * stride));
+}
+
+TEST(LlcTest, FlushRemovesLine) {
+  Llc llc(SmallCache());
+  llc.Access(0x2000);
+  EXPECT_TRUE(llc.Contains(0x2000));
+  llc.Flush(0x2000);
+  EXPECT_FALSE(llc.Contains(0x2000));
+  EXPECT_FALSE(llc.Access(0x2000));  // miss again
+}
+
+TEST(LlcTest, FlushFrameRemovesAllLines) {
+  Llc llc(SmallCache());
+  const FrameId frame = 7;
+  for (std::size_t off = 0; off < kPageSize; off += 64) {
+    llc.Access(static_cast<PhysAddr>(frame) * kPageSize + off);
+  }
+  llc.FlushFrame(frame);
+  for (std::size_t off = 0; off < kPageSize; off += 64) {
+    EXPECT_FALSE(llc.Contains(static_cast<PhysAddr>(frame) * kPageSize + off));
+  }
+}
+
+TEST(EvictionSetTest, GroupsByColorAndDetectsCompleteness) {
+  CacheConfig config;
+  std::vector<FrameId> frames;
+  // ways frames for every color: frames 0..(colors*ways-1) cover colors cyclically.
+  for (FrameId f = 0; f < config.page_colors() * config.ways; ++f) {
+    frames.push_back(f);
+  }
+  ColorEvictionSets sets(frames, config);
+  EXPECT_TRUE(sets.complete());
+  EXPECT_EQ(sets.colors(), config.page_colors());
+  EXPECT_EQ(sets.frames_for(5).size(), config.ways);
+  for (const FrameId f : sets.frames_for(5)) {
+    EXPECT_EQ(f % config.page_colors(), 5u);
+  }
+}
+
+TEST(EvictionSetTest, IncompleteWhenColorsMissing) {
+  CacheConfig config;
+  std::vector<FrameId> frames{0, 1, 2};
+  ColorEvictionSets sets(frames, config);
+  EXPECT_FALSE(sets.complete());
+}
+
+TEST(EvictionSetTest, TraversePrimesTheColor) {
+  CacheConfig config;
+  config.sets = 512;  // 8 colors
+  config.ways = 4;
+  Llc llc(config);
+  std::vector<FrameId> frames;
+  for (FrameId f = 0; f < config.page_colors() * config.ways; ++f) {
+    frames.push_back(f);
+  }
+  ColorEvictionSets sets(frames, config);
+  ASSERT_TRUE(sets.complete());
+  // A victim line of color 3, chosen outside the eviction set's frames.
+  const FrameId victim_frame = 3 + 8 * config.ways;
+  const PhysAddr victim = static_cast<PhysAddr>(victim_frame) * kPageSize;
+  llc.Access(victim);
+  ASSERT_TRUE(llc.Contains(victim));
+  // Priming color 3 walks ways*lines addresses of that color and evicts the victim.
+  sets.Traverse(3, [&](FrameId frame, std::size_t offset) {
+    llc.Access(static_cast<PhysAddr>(frame) * kPageSize + offset);
+    return SimTime{0};
+  });
+  EXPECT_FALSE(llc.Contains(victim));
+  // Priming a different color leaves lines of color 3 alone.
+  llc.Access(victim);
+  sets.Traverse(5, [&](FrameId frame, std::size_t offset) {
+    llc.Access(static_cast<PhysAddr>(frame) * kPageSize + offset);
+    return SimTime{0};
+  });
+  EXPECT_TRUE(llc.Contains(victim));
+}
+
+}  // namespace
+}  // namespace vusion

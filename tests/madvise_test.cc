@@ -1,0 +1,121 @@
+// madvise(MADV_UNMERGEABLE): withdrawing a range from the fusion system must give
+// every merged page a private copy back, under every engine.
+
+#include <gtest/gtest.h>
+
+#include "src/fusion/ksm.h"
+#include "src/fusion/vusion_engine.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 8192;
+  return config;
+}
+
+FusionConfig FastFusion() {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.pages_per_wake = 256;
+  config.pool_frames = 512;
+  return config;
+}
+
+TEST(MadviseTest, KsmUnregisterBreaksMerges) {
+  Machine machine(SmallMachine());
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  Process& a = machine.CreateProcess();
+  Process& b = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(4, PageType::kAnonymous, true, false);
+  const VirtAddr pb = b.AllocateRegion(4, PageType::kAnonymous, true, false);
+  a.SetupMapPattern(VaddrToVpn(pa), 0x11);
+  b.SetupMapPattern(VaddrToVpn(pb), 0x11);
+  for (int i = 0; i < 200 && ksm.frames_saved() == 0; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_TRUE(ksm.IsMerged(a, VaddrToVpn(pa)));
+  const std::uint64_t content = a.Read64(pa);
+
+  a.MadviseUnmergeable(pa, 4);
+  EXPECT_FALSE(ksm.IsMerged(a, VaddrToVpn(pa)));
+  EXPECT_NE(a.TranslateFrame(VaddrToVpn(pa)), b.TranslateFrame(VaddrToVpn(pb)));
+  EXPECT_EQ(a.Read64(pa), content);  // private copy has the same bytes
+  // b's side still merged/intact.
+  EXPECT_EQ(b.Read64(pb), content);
+  // The range never re-merges.
+  machine.Idle(100 * kMillisecond);
+  EXPECT_FALSE(ksm.IsMerged(a, VaddrToVpn(pa)));
+  ksm.Uninstall();
+}
+
+TEST(MadviseTest, VUsionUnregisterRestoresAccess) {
+  Machine machine(SmallMachine());
+  VUsionEngine engine(machine, FastFusion());
+  engine.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(8, PageType::kAnonymous, true, false);
+  for (int i = 0; i < 8; ++i) {
+    a.SetupMapPattern(VaddrToVpn(pa) + i, 0x20 + i);
+  }
+  for (int i = 0; i < 400 && engine.stats().fake_merges < 8; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_TRUE(engine.IsManaged(a, VaddrToVpn(pa)));
+
+  a.MadviseUnmergeable(pa, 8);
+  PhysicalMemory probe(1);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(engine.IsManaged(a, VaddrToVpn(pa) + i));
+    const Pte* pte = a.address_space().GetPte(VaddrToVpn(pa) + i);
+    EXPECT_TRUE(pte->present());
+    EXPECT_TRUE(pte->writable());
+    EXPECT_FALSE(pte->reserved_trap());
+    probe.FillPattern(0, 0x20 + i);
+    EXPECT_EQ(a.Read64(pa + i * kPageSize), probe.ReadU64(0, 0));
+  }
+  // The scanner leaves the range alone afterwards.
+  machine.Idle(100 * kMillisecond);
+  EXPECT_FALSE(engine.IsManaged(a, VaddrToVpn(pa)));
+  engine.Uninstall();
+}
+
+TEST(MadviseTest, UnregisterOutsideManagedRangeIsNoop) {
+  Machine machine(SmallMachine());
+  VUsionEngine engine(machine, FastFusion());
+  engine.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(4, PageType::kAnonymous, false, false);
+  a.SetupMapPattern(VaddrToVpn(pa), 0x31);
+  a.MadviseUnmergeable(pa, 4);  // never registered: nothing to do
+  EXPECT_EQ(engine.stats().unmerges_coa, 0u);
+  engine.Uninstall();
+}
+
+TEST(MadviseTest, ReRegisteringResumesFusion) {
+  Machine machine(SmallMachine());
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(4, PageType::kAnonymous, true, false);
+  a.SetupMapPattern(VaddrToVpn(pa), 0x41);
+  a.SetupMapPattern(VaddrToVpn(pa) + 1, 0x41);
+  for (int i = 0; i < 200 && ksm.frames_saved() == 0; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_EQ(ksm.frames_saved(), 1u);
+  a.MadviseUnmergeable(pa, 4);
+  EXPECT_EQ(ksm.frames_saved(), 0u);
+  a.Madvise(pa, 4);
+  for (int i = 0; i < 200 && ksm.frames_saved() == 0; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  EXPECT_EQ(ksm.frames_saved(), 1u);
+  ksm.Uninstall();
+}
+
+}  // namespace
+}  // namespace vusion

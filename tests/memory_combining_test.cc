@@ -1,0 +1,174 @@
+#include "src/fusion/memory_combining.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine(FrameId frames = 4096) {
+  MachineConfig config;
+  config.frame_count = frames;
+  return config;
+}
+
+FusionConfig McConfig(std::size_t low_watermark) {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.mc_low_watermark = low_watermark;
+  config.mc_swap_batch = 128;
+  return config;
+}
+
+VirtAddr MapPages(Process& p, std::size_t count, std::uint64_t seed_base,
+                  std::uint64_t dup_classes = ~std::uint64_t{0}) {
+  const VirtAddr base = p.AllocateRegion(count, PageType::kAnonymous, true, false);
+  for (std::size_t i = 0; i < count; ++i) {
+    p.SetupMapPattern(VaddrToVpn(base) + i, seed_base + (i % dup_classes));
+  }
+  return base;
+}
+
+TEST(MemoryCombiningTest, NoPressureNoSwap) {
+  Machine machine(SmallMachine());
+  MemoryCombining mc(machine, McConfig(/*low_watermark=*/64));
+  mc.Install();
+  MapPages(machine.CreateProcess(), 256, 0x100);
+  machine.Idle(100 * kMillisecond);
+  EXPECT_EQ(mc.swapped_pages(), 0u);  // plenty of free memory: the pager is idle
+  EXPECT_EQ(mc.frames_saved(), 0u);
+  mc.Uninstall();
+}
+
+TEST(MemoryCombiningTest, PressureTriggersSwapOfIdlePages) {
+  Machine machine(SmallMachine(2048));
+  MemoryCombining mc(machine, McConfig(/*low_watermark=*/1024));
+  mc.Install();
+  Process& p = machine.CreateProcess();
+  MapPages(p, 1200, 0x200);  // free drops below the watermark
+  machine.Idle(50 * kMillisecond);
+  EXPECT_GT(mc.swapped_pages(), 0u);
+  EXPECT_GT(mc.frames_saved(), 0u);
+  EXPECT_GT(machine.buddy().free_count(), 800u);  // pressure relieved
+  mc.Uninstall();
+}
+
+TEST(MemoryCombiningTest, DuplicatesShareOneRecord) {
+  Machine machine(SmallMachine(2048));
+  MemoryCombining mc(machine, McConfig(1024));
+  mc.Install();
+  Process& p = machine.CreateProcess();
+  MapPages(p, 1200, 0x300, /*dup_classes=*/4);  // only 4 distinct contents
+  machine.Idle(50 * kMillisecond);
+  ASSERT_GT(mc.swapped_pages(), 100u);
+  EXPECT_LE(mc.unique_records(), 4u);
+  EXPECT_GT(mc.stats().merges, 0u);  // dedup hits inside the store
+  // Compressed store is tiny: far fewer frames than pages swapped.
+  EXPECT_LT(mc.cache_frames(), mc.swapped_pages() / 8);
+  mc.Uninstall();
+}
+
+TEST(MemoryCombiningTest, SwapInRestoresExactContent) {
+  Machine machine(SmallMachine(2048));
+  MemoryCombining mc(machine, McConfig(1024));
+  mc.Install();
+  Process& p = machine.CreateProcess();
+  const VirtAddr base = MapPages(p, 1200, 0x400);
+  // Make one page's content unique and partially written.
+  p.Write64(base + 7 * kPageSize + 64, 0xfeedf00d);
+  machine.Idle(50 * kMillisecond);
+  // Find a swapped page and fault it back in.
+  ASSERT_GT(mc.swapped_pages(), 0u);
+  std::uint64_t checked = 0;
+  PhysicalMemory probe(1);
+  for (std::size_t i = 0; i < 1200 && checked < 20; ++i) {
+    if (!mc.IsSwapped(p, VaddrToVpn(base) + i)) {
+      continue;
+    }
+    ++checked;
+    const std::uint64_t got = p.Read64(base + i * kPageSize);  // major fault
+    if (i == 7) {
+      continue;  // the dirtied page: checked below
+    }
+    probe.FillPattern(0, 0x400 + i);
+    ASSERT_EQ(got, probe.ReadU64(0, 0)) << "page " << i;
+    EXPECT_FALSE(mc.IsSwapped(p, VaddrToVpn(base) + i));
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(p.Read64(base + 7 * kPageSize + 64), 0xfeedf00du);
+  mc.Uninstall();
+}
+
+TEST(MemoryCombiningTest, MajorFaultIsExpensive) {
+  Machine machine(SmallMachine(2048));
+  MemoryCombining mc(machine, McConfig(1024));
+  mc.Install();
+  Process& p = machine.CreateProcess();
+  const VirtAddr base = MapPages(p, 1200, 0x500);
+  machine.Idle(50 * kMillisecond);
+  Vpn swapped_vpn = 0;
+  for (std::size_t i = 0; i < 1200; ++i) {
+    if (mc.IsSwapped(p, VaddrToVpn(base) + i)) {
+      swapped_vpn = VaddrToVpn(base) + i;
+      break;
+    }
+  }
+  ASSERT_NE(swapped_vpn, 0u);
+  const SimTime major = p.TimedRead(VpnToVaddr(swapped_vpn));
+  const SimTime warm = p.TimedRead(VpnToVaddr(swapped_vpn));
+  EXPECT_GT(major, warm * 10);  // decompress + allocate dominates
+  mc.Uninstall();
+}
+
+TEST(MemoryCombiningTest, NoCrossProcessSharingEver) {
+  // The security property that makes this design immune to the fusion attacks:
+  // two processes with identical content never map the same frame.
+  Machine machine(SmallMachine(2048));
+  MemoryCombining mc(machine, McConfig(1024));
+  mc.Install();
+  Process& a = machine.CreateProcess();
+  Process& b = machine.CreateProcess();
+  const VirtAddr pa = MapPages(a, 600, 0x600, 8);
+  const VirtAddr pb = MapPages(b, 600, 0x600, 8);
+  machine.Idle(50 * kMillisecond);
+  for (std::size_t i = 0; i < 600; i += 17) {
+    const FrameId fa = a.TranslateFrame(VaddrToVpn(pa) + i);
+    const FrameId fb = b.TranslateFrame(VaddrToVpn(pb) + i);
+    if (fa != kInvalidFrame && fb != kInvalidFrame) {
+      EXPECT_NE(fa, fb);
+    }
+  }
+  mc.Uninstall();
+}
+
+TEST(MemoryCombiningTest, UnmapOfSwappedPageDropsRecord) {
+  Machine machine(SmallMachine(2048));
+  MemoryCombining mc(machine, McConfig(1024));
+  mc.Install();
+  Process& p = machine.CreateProcess();
+  const VirtAddr base = MapPages(p, 1200, 0x700);
+  machine.Idle(50 * kMillisecond);
+  const std::size_t swapped_before = mc.swapped_pages();
+  ASSERT_GT(swapped_before, 0u);
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < 1200 && dropped < 10; ++i) {
+    if (mc.IsSwapped(p, VaddrToVpn(base) + i)) {
+      p.SetupUnmap(VaddrToVpn(base) + i);
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(mc.swapped_pages(), swapped_before - dropped);
+  mc.Uninstall();
+}
+
+TEST(MemoryCombiningTest, FactoryConstructsIt) {
+  Machine machine(SmallMachine());
+  auto engine = MakeEngine(EngineKind::kMemoryCombining, machine, FusionConfig{});
+  ASSERT_NE(engine, nullptr);
+  EXPECT_STREQ(engine->name(), "MemoryCombining");
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,120 @@
+// Live replacement of one fusion system by another (the deployment path for
+// VUsion on hosts where KSM is running): TearDown breaks every merge into private
+// pages, the old engine detaches, the new one takes over, and no content or frame
+// accounting is disturbed.
+
+#include <gtest/gtest.h>
+
+#include "src/fusion/ksm.h"
+#include "src/fusion/vusion_engine.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 1u << 14;
+  return config;
+}
+
+FusionConfig FastFusion() {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.pages_per_wake = 256;
+  config.pool_frames = 512;
+  return config;
+}
+
+TEST(MigrationTest, TearDownBreaksEveryMerge) {
+  Machine machine(SmallMachine());
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  Process& a = machine.CreateProcess();
+  Process& b = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(32, PageType::kAnonymous, true, false);
+  const VirtAddr pb = b.AllocateRegion(32, PageType::kAnonymous, true, false);
+  for (int i = 0; i < 32; ++i) {
+    a.SetupMapPattern(VaddrToVpn(pa) + i, 0x900 + i);
+    b.SetupMapPattern(VaddrToVpn(pb) + i, 0x900 + i);
+  }
+  for (int i = 0; i < 400 && ksm.frames_saved() < 32; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_EQ(ksm.frames_saved(), 32u);
+
+  ksm.TearDown();
+  EXPECT_EQ(ksm.frames_saved(), 0u);
+  EXPECT_EQ(ksm.stable_size(), 0u);
+  PhysicalMemory probe(1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_NE(a.TranslateFrame(VaddrToVpn(pa) + i), b.TranslateFrame(VaddrToVpn(pb) + i));
+    probe.FillPattern(0, 0x900 + i);
+    EXPECT_EQ(a.Read64(pa + i * kPageSize), probe.ReadU64(0, 0));
+    EXPECT_EQ(b.Read64(pb + i * kPageSize), probe.ReadU64(0, 0));
+  }
+  ksm.Uninstall();
+}
+
+TEST(MigrationTest, KsmToVUsionHandOff) {
+  Machine machine(SmallMachine());
+  auto ksm = std::make_unique<Ksm>(machine, FastFusion());
+  ksm->Install();
+  Process& a = machine.CreateProcess();
+  Process& b = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(16, PageType::kAnonymous, true, false);
+  const VirtAddr pb = b.AllocateRegion(16, PageType::kAnonymous, true, false);
+  for (int i = 0; i < 16; ++i) {
+    a.SetupMapPattern(VaddrToVpn(pa) + i, 0xa00 + i);
+    b.SetupMapPattern(VaddrToVpn(pb) + i, 0xa00 + i);
+  }
+  for (int i = 0; i < 400 && ksm->frames_saved() < 16; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_EQ(ksm->frames_saved(), 16u);
+
+  // The secure-fusion upgrade: break out, swap engines, let VUsion re-fuse.
+  ksm->TearDown();
+  ksm->Uninstall();
+  ksm.reset();
+  VUsionEngine vusion(machine, FastFusion());
+  vusion.Install();
+  for (int i = 0; i < 800 && vusion.frames_saved() < 16; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  EXPECT_EQ(vusion.frames_saved(), 16u);
+  EXPECT_TRUE(vusion.IsShared(a, VaddrToVpn(pa)));
+  // Content still intact, now under secure management.
+  PhysicalMemory probe(1);
+  probe.FillPattern(0, 0xa00);
+  EXPECT_EQ(a.Read64(pa), probe.ReadU64(0, 0));
+  vusion.Uninstall();
+}
+
+TEST(MigrationTest, VUsionTearDownRestoresFullAccess) {
+  Machine machine(SmallMachine());
+  VUsionEngine engine(machine, FastFusion());
+  engine.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(16, PageType::kAnonymous, true, false);
+  for (int i = 0; i < 16; ++i) {
+    a.SetupMapPattern(VaddrToVpn(pa) + i, 0xb00 + i);
+  }
+  for (int i = 0; i < 400 && engine.stats().fake_merges < 16; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_TRUE(engine.IsManaged(a, VaddrToVpn(pa)));
+  engine.TearDown();
+  EXPECT_EQ(engine.stable_size(), 0u);
+  for (int i = 0; i < 16; ++i) {
+    const Pte* pte = a.address_space().GetPte(VaddrToVpn(pa) + i);
+    EXPECT_TRUE(pte->present());
+    EXPECT_TRUE(pte->writable());
+    EXPECT_FALSE(pte->reserved_trap());
+    EXPECT_FALSE(pte->cache_disabled());
+  }
+  engine.Uninstall();
+}
+
+}  // namespace
+}  // namespace vusion

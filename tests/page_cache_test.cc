@@ -1,0 +1,98 @@
+#include "src/kernel/page_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 4096;
+  return config;
+}
+
+TEST(PageCacheTest, MissThenHit) {
+  Machine machine(SmallMachine());
+  Process& p = machine.CreateProcess();
+  PageCache cache(p, 64);
+  cache.ReadPage(1, 0);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.ReadPage(1, 0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.resident_pages(), 1u);
+}
+
+TEST(PageCacheTest, ContentIsDeterministicPerFilePage) {
+  Machine machine(SmallMachine());
+  Process& p1 = machine.CreateProcess();
+  Process& p2 = machine.CreateProcess();
+  PageCache c1(p1, 32);
+  PageCache c2(p2, 32);
+  // Two VMs caching the same file page see identical content - the fusion
+  // opportunity behind Table 3's page-cache share.
+  EXPECT_EQ(c1.ReadPage(7, 3), c2.ReadPage(7, 3));
+  EXPECT_NE(c1.ReadPage(7, 3), c1.ReadPage(7, 4));
+  EXPECT_EQ(PageCache::FileSeed(7, 3), PageCache::FileSeed(7, 3));
+  EXPECT_NE(PageCache::FileSeed(7, 3), PageCache::FileSeed(8, 3));
+}
+
+TEST(PageCacheTest, LruEvictionAtCapacity) {
+  Machine machine(SmallMachine());
+  Process& p = machine.CreateProcess();
+  PageCache cache(p, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    cache.ReadPage(1, i);
+  }
+  EXPECT_EQ(cache.resident_pages(), 4u);
+  cache.ReadPage(1, 0);     // refresh page 0
+  cache.ReadPage(2, 0);     // evicts LRU = (1,1)
+  EXPECT_EQ(cache.resident_pages(), 4u);
+  const std::uint64_t misses = cache.misses();
+  cache.ReadPage(1, 1);  // must be a miss again
+  EXPECT_EQ(cache.misses(), misses + 1);
+  const std::uint64_t hits = cache.hits();
+  cache.ReadPage(1, 0);  // still resident
+  EXPECT_EQ(cache.hits(), hits + 1);
+}
+
+TEST(PageCacheTest, WriteDivergesContent) {
+  Machine machine(SmallMachine());
+  Process& p1 = machine.CreateProcess();
+  Process& p2 = machine.CreateProcess();
+  PageCache c1(p1, 32);
+  PageCache c2(p2, 32);
+  c1.WritePage(9, 0, 0xabcdef);
+  EXPECT_EQ(c1.ReadPage(9, 0), 0xabcdefu);
+  EXPECT_NE(c1.ReadPage(9, 0), c2.ReadPage(9, 0));  // dirty copy diverged
+}
+
+TEST(PageCacheTest, DeleteFileDropsPages) {
+  Machine machine(SmallMachine());
+  Process& p = machine.CreateProcess();
+  PageCache cache(p, 32);
+  cache.ReadPage(3, 0);
+  cache.ReadPage(3, 1);
+  cache.ReadPage(4, 0);
+  EXPECT_EQ(cache.resident_pages(), 3u);
+  cache.DeleteFile(3);
+  EXPECT_EQ(cache.resident_pages(), 1u);
+  const std::uint64_t misses = cache.misses();
+  cache.ReadPage(3, 0);  // refetched
+  EXPECT_EQ(cache.misses(), misses + 1);
+}
+
+TEST(PageCacheTest, EvictionReleasesFrames) {
+  Machine machine(SmallMachine());
+  Process& p = machine.CreateProcess();
+  PageCache cache(p, 8);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    cache.ReadPage(1, i);
+  }
+  EXPECT_EQ(cache.resident_pages(), 8u);
+  // Only ~8 cache frames (plus page tables) stay allocated.
+  EXPECT_LT(machine.memory().allocated_count(), 32u);
+}
+
+}  // namespace
+}  // namespace vusion

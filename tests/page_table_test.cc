@@ -1,0 +1,119 @@
+#include "src/mmu/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/phys/buddy_allocator.h"
+
+namespace vusion {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PageTableTest() : mem_(4096), buddy_(mem_), table_(buddy_, mem_) {}
+
+  PhysicalMemory mem_;
+  BuddyAllocator buddy_;
+  PageTable table_;
+};
+
+TEST_F(PageTableTest, ResolveAbsentWithoutCreate) {
+  EXPECT_EQ(table_.Resolve(0x1234, /*create=*/false), nullptr);
+}
+
+TEST_F(PageTableTest, MapAndResolve) {
+  Pte* pte = table_.Resolve(0x1234, /*create=*/true);
+  ASSERT_NE(pte, nullptr);
+  *pte = Pte{77, kPtePresent | kPteWritable};
+  const Pte* read_back = table_.Resolve(0x1234);
+  ASSERT_NE(read_back, nullptr);
+  EXPECT_EQ(read_back->frame, 77u);
+  EXPECT_TRUE(read_back->present());
+  EXPECT_TRUE(read_back->writable());
+}
+
+TEST_F(PageTableTest, DistinctVpnsDistinctSlots) {
+  Pte* a = table_.Resolve(0x1000, true);
+  Pte* b = table_.Resolve(0x1001, true);
+  EXPECT_NE(a, b);
+  a->frame = 1;
+  b->frame = 2;
+  EXPECT_EQ(table_.Resolve(0x1000)->frame, 1u);
+  EXPECT_EQ(table_.Resolve(0x1001)->frame, 2u);
+}
+
+TEST_F(PageTableTest, TimedWalkTouchesFourLevelsForSmallPage) {
+  table_.Resolve(0x2000, true)->flags = kPtePresent;
+  const PageTable::WalkResult walk = table_.TimedWalk(0x2000);
+  ASSERT_NE(walk.pte, nullptr);
+  EXPECT_EQ(walk.touched.size(), 4u);  // PGD, PUD, PMD, PT
+  // Entry addresses are distinct physical locations.
+  for (std::size_t i = 1; i < walk.touched.size(); ++i) {
+    EXPECT_NE(walk.touched[i - 1], walk.touched[i]);
+  }
+}
+
+TEST_F(PageTableTest, TimedWalkTouchesThreeLevelsForHugePage) {
+  const FrameId block = buddy_.AllocateOrder(kHugePageOrder);
+  table_.MapHuge(0x200, block, kPtePresent | kPteWritable);
+  const PageTable::WalkResult walk = table_.TimedWalk(0x200 + 5);
+  ASSERT_NE(walk.pte, nullptr);
+  EXPECT_TRUE(walk.pte->huge());
+  EXPECT_EQ(walk.touched.size(), 3u);  // stops at the PMD
+}
+
+TEST_F(PageTableTest, SplitHugeProducesSmallMappings) {
+  const FrameId block = buddy_.AllocateOrder(kHugePageOrder);
+  table_.MapHuge(0x200, block, kPtePresent | kPteWritable);
+  EXPECT_TRUE(table_.IsHuge(0x200 + 100));
+  ASSERT_TRUE(table_.SplitHuge(0x200 + 100));
+  EXPECT_FALSE(table_.IsHuge(0x200));
+  for (std::size_t i = 0; i < kPagesPerHugePage; i += 37) {
+    const Pte* pte = table_.Resolve(0x200 + i);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->frame, block + i);
+    EXPECT_FALSE(pte->huge());
+    EXPECT_TRUE(pte->writable());
+  }
+  EXPECT_EQ(table_.TimedWalk(0x200 + 5).touched.size(), 4u);
+  EXPECT_FALSE(table_.SplitHuge(0x200));  // already split
+}
+
+TEST_F(PageTableTest, MapHugeReplacesSmallMappings) {
+  table_.Resolve(0x200 + 3, true)->flags = kPtePresent;
+  const std::size_t nodes_before = table_.node_count();
+  const FrameId block = buddy_.AllocateOrder(kHugePageOrder);
+  table_.MapHuge(0x200, block, kPtePresent);
+  EXPECT_TRUE(table_.IsHuge(0x200 + 3));
+  EXPECT_EQ(table_.node_count(), nodes_before - 1);  // leaf node freed
+}
+
+TEST_F(PageTableTest, ForEachEntryVisitsMappedRange) {
+  for (Vpn vpn = 100; vpn < 110; ++vpn) {
+    table_.Resolve(vpn, true)->flags = kPtePresent;
+  }
+  const FrameId block = buddy_.AllocateOrder(kHugePageOrder);
+  table_.MapHuge(0x400, block, kPtePresent);
+
+  std::vector<Vpn> visited;
+  table_.ForEachEntry(0, Vpn{1} << 36, [&](Vpn vpn, Pte& pte) {
+    visited.push_back(vpn);
+    if (vpn == 0x400) {
+      EXPECT_TRUE(pte.huge());
+    }
+  });
+  EXPECT_EQ(visited.size(), 11u);  // 10 small + 1 huge (visited once at its base)
+  // Range filtering.
+  visited.clear();
+  table_.ForEachEntry(105, 108, [&](Vpn vpn, Pte&) { visited.push_back(vpn); });
+  EXPECT_EQ(visited, (std::vector<Vpn>{105, 106, 107}));
+}
+
+TEST_F(PageTableTest, NodeFramesComeFromAllocator) {
+  const std::size_t free_before = buddy_.free_count();
+  table_.Resolve(0x5000, true);
+  EXPECT_LT(buddy_.free_count(), free_before);  // intermediate tables allocated
+  EXPECT_GE(table_.node_count(), 4u);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,184 @@
+#include "src/phys/physical_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace vusion {
+namespace {
+
+TEST(PhysicalMemoryTest, PatternFillIsDeterministic) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 42);
+  mem.FillPattern(1, 42);
+  EXPECT_EQ(mem.Compare(0, 1), 0);
+  EXPECT_EQ(mem.HashContent(0), mem.HashContent(1));
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(mem.ReadByte(0, i), mem.ReadByte(1, i));
+    EXPECT_EQ(mem.ReadByte(0, i), PatternByte(42, i));
+  }
+}
+
+TEST(PhysicalMemoryTest, DifferentSeedsDiffer) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 1);
+  mem.FillPattern(1, 2);
+  EXPECT_NE(mem.Compare(0, 1), 0);
+  EXPECT_NE(mem.HashContent(0), mem.HashContent(1));
+}
+
+TEST(PhysicalMemoryTest, CompareIsConsistentAntisymmetric) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 10);
+  mem.FillPattern(1, 20);
+  EXPECT_EQ(mem.Compare(0, 1), -mem.Compare(1, 0));
+  EXPECT_EQ(mem.Compare(0, 0), 0);
+}
+
+TEST(PhysicalMemoryTest, ZeroFrames) {
+  PhysicalMemory mem(16);
+  mem.FillZero(0);
+  mem.FillZero(1);
+  EXPECT_TRUE(mem.IsZero(0));
+  EXPECT_EQ(mem.Compare(0, 1), 0);
+  EXPECT_EQ(mem.ReadU64(0, 128), 0u);
+  mem.FillPattern(2, 5);
+  EXPECT_FALSE(mem.IsZero(2));
+  EXPECT_NE(mem.Compare(0, 2), 0);
+}
+
+TEST(PhysicalMemoryTest, WriteMaterializesAndChangesHash) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 7);
+  const std::uint64_t before = mem.HashContent(0);
+  EXPECT_EQ(mem.materialized_bytes(), 0u);
+  mem.WriteU64(0, 256, 0xdeadbeef);
+  EXPECT_EQ(mem.materialized_bytes(), kPageSize);
+  EXPECT_NE(mem.HashContent(0), before);
+  EXPECT_EQ(mem.ReadU64(0, 256), 0xdeadbeefu);
+  // Bytes outside the write still follow the pattern.
+  EXPECT_EQ(mem.ReadByte(0, 0), PatternByte(7, 0));
+}
+
+TEST(PhysicalMemoryTest, MaterializedEqualsPatternComparesEqual) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 9);
+  mem.FillPattern(1, 9);
+  // Materialize frame 1 with an identity write.
+  const std::uint64_t word = mem.ReadU64(1, 0);
+  mem.WriteU64(1, 0, word);
+  EXPECT_EQ(mem.Compare(0, 1), 0);
+  EXPECT_EQ(mem.HashContent(0), mem.HashContent(1));
+}
+
+TEST(PhysicalMemoryTest, CopyFrame) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 11);
+  mem.WriteU64(0, 8, 1234);
+  mem.FillPattern(1, 99);
+  mem.CopyFrame(1, 0);
+  EXPECT_EQ(mem.Compare(0, 1), 0);
+  EXPECT_EQ(mem.ReadU64(1, 8), 1234u);
+  // Copy of a pattern frame stays cheap (no materialization).
+  mem.FillPattern(2, 13);
+  mem.CopyFrame(3, 2);
+  EXPECT_EQ(mem.Compare(2, 3), 0);
+}
+
+TEST(PhysicalMemoryTest, FlipBit) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 21);
+  const std::uint8_t before = mem.ReadByte(0, 100);
+  mem.FlipBit(0, 100 * 8 + 3);
+  EXPECT_EQ(mem.ReadByte(0, 100), before ^ 0x08);
+  mem.FlipBit(0, 100 * 8 + 3);
+  EXPECT_EQ(mem.ReadByte(0, 100), before);
+}
+
+TEST(PhysicalMemoryTest, HashCacheInvalidation) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 31);
+  const std::uint64_t h1 = mem.HashContent(0);
+  EXPECT_EQ(mem.HashContent(0), h1);  // cached
+  mem.FlipBit(0, 5);
+  const std::uint64_t h2 = mem.HashContent(0);
+  EXPECT_NE(h2, h1);
+  mem.FlipBit(0, 5);
+  EXPECT_EQ(mem.HashContent(0), h1);  // back to original content
+}
+
+TEST(PhysicalMemoryTest, AllocationAccounting) {
+  PhysicalMemory mem(8);
+  EXPECT_EQ(mem.allocated_count(), 0u);
+  mem.MarkAllocated(3);
+  mem.MarkAllocated(5);
+  EXPECT_EQ(mem.allocated_count(), 2u);
+  EXPECT_TRUE(mem.allocated(3));
+  mem.MarkFree(3);
+  EXPECT_EQ(mem.allocated_count(), 1u);
+  EXPECT_FALSE(mem.allocated(3));
+}
+
+TEST(PhysicalMemoryTest, Refcounting) {
+  PhysicalMemory mem(8);
+  mem.MarkAllocated(0);
+  mem.SetRefcount(0, 2);
+  EXPECT_EQ(mem.IncRef(0), 3u);
+  EXPECT_EQ(mem.DecRef(0), 2u);
+  EXPECT_EQ(mem.refcount(0), 2u);
+}
+
+TEST(PhysicalMemoryTest, ZeroVsPatternCompareOrdering) {
+  PhysicalMemory mem(8);
+  mem.FillZero(0);
+  mem.FillPattern(1, 3);
+  const int ab = mem.Compare(0, 1);
+  EXPECT_NE(ab, 0);
+  // Consistent with byte-wise comparison of the first differing byte.
+  std::size_t i = 0;
+  while (PatternByte(3, i) == 0) {
+    ++i;
+  }
+  EXPECT_EQ(ab, PatternByte(3, i) > 0 ? -1 : 1);
+}
+
+
+TEST(PhysicalMemoryTest, SnapshotRestoreRoundTripsAllKinds) {
+  PhysicalMemory mem(16);
+  // Zero frame.
+  mem.FillZero(0);
+  // Pattern frame.
+  mem.FillPattern(1, 77);
+  // Materialized frame.
+  mem.FillPattern(2, 78);
+  mem.WriteU64(2, 96, 0x5a5a);
+  for (FrameId f = 0; f < 3; ++f) {
+    const PhysicalMemory::ContentSnapshot snapshot = mem.Snapshot(f);
+    mem.FillPattern(8, 0xdead);  // scribble a scratch frame
+    mem.Restore(8, snapshot);
+    EXPECT_EQ(mem.Compare(f, 8), 0) << "kind " << f;
+    EXPECT_EQ(mem.HashContent(f), mem.HashContent(8));
+  }
+}
+
+TEST(PhysicalMemoryTest, SnapshotsEqualSemantics) {
+  PhysicalMemory mem(16);
+  mem.FillPattern(0, 5);
+  mem.FillPattern(1, 5);
+  mem.FillPattern(2, 6);
+  // Materialized copy of the same content.
+  mem.FillPattern(3, 5);
+  mem.WriteU64(3, 0, mem.ReadU64(3, 0));  // identity write materializes
+  const auto s0 = mem.Snapshot(0);
+  const auto s1 = mem.Snapshot(1);
+  const auto s2 = mem.Snapshot(2);
+  const auto s3 = mem.Snapshot(3);
+  EXPECT_TRUE(PhysicalMemory::SnapshotsEqual(s0, s1));
+  EXPECT_FALSE(PhysicalMemory::SnapshotsEqual(s0, s2));
+  EXPECT_TRUE(PhysicalMemory::SnapshotsEqual(s0, s3));  // pattern vs materialized
+  mem.FillZero(4);
+  mem.FillZero(5);
+  EXPECT_TRUE(PhysicalMemory::SnapshotsEqual(mem.Snapshot(4), mem.Snapshot(5)));
+  EXPECT_FALSE(PhysicalMemory::SnapshotsEqual(mem.Snapshot(4), s0));
+}
+
+}  // namespace
+}  // namespace vusion

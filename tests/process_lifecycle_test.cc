@@ -1,0 +1,160 @@
+// VM/process teardown: destroying a process must release every frame through the
+// fusion-aware paths, keep the other sharers intact, and leave no dangling engine
+// state - under every engine, including repeated boot/destroy churn.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/fusion/engine_factory.h"
+#include "src/fusion/ksm.h"
+#include "src/fusion/vusion_engine.h"
+#include "src/kernel/process.h"
+#include "src/workload/vm_image.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 1u << 14;
+  return config;
+}
+
+FusionConfig FastFusion() {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.pages_per_wake = 256;
+  config.pool_frames = 512;
+  config.wpf_period = 10 * kMillisecond;
+  return config;
+}
+
+TEST(ProcessLifecycleTest, DestroyReleasesAllFrames) {
+  Machine machine(SmallMachine());
+  Process& p = machine.CreateProcess();
+  const std::size_t before = machine.memory().allocated_count();
+  const VirtAddr base = p.AllocateRegion(128, PageType::kAnonymous, false, true);
+  for (std::size_t i = 0; i < 128; ++i) {
+    p.SetupMapPattern(VaddrToVpn(base) + i, i);
+  }
+  const VirtAddr huge =
+      p.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, false, true);
+  ASSERT_TRUE(p.SetupMapHuge(VaddrToVpn(huge), 0x9000));
+  EXPECT_GT(machine.memory().allocated_count(), before + 128);
+  machine.DestroyProcess(p);
+  EXPECT_EQ(machine.processes()[0], nullptr);
+  // Only the other processes' (none) and the dead process's... nothing remains but
+  // what existed before it was created, minus its own page-table root.
+  EXPECT_LE(machine.memory().allocated_count(), before);
+}
+
+TEST(ProcessLifecycleTest, DestroySharerKeepsOtherSideIntactUnderKsm) {
+  Machine machine(SmallMachine());
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  Process& a = machine.CreateProcess();
+  Process& b = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(4, PageType::kAnonymous, true, false);
+  const VirtAddr pb = b.AllocateRegion(4, PageType::kAnonymous, true, false);
+  a.SetupMapPattern(VaddrToVpn(pa), 0x77);
+  b.SetupMapPattern(VaddrToVpn(pb), 0x77);
+  for (int i = 0; i < 200 && ksm.frames_saved() == 0; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_TRUE(ksm.IsMerged(b, VaddrToVpn(pb)));
+  const std::uint64_t content = b.Read64(pb);
+
+  machine.DestroyProcess(a);
+  EXPECT_EQ(ksm.frames_saved(), 0u);
+  EXPECT_EQ(b.Read64(pb), content);
+  // The engine keeps running without touching freed state.
+  machine.Idle(20 * kMillisecond);
+  EXPECT_TRUE(ksm.ValidateTrees());
+  ksm.Uninstall();
+}
+
+TEST(ProcessLifecycleTest, DestroySharerKeepsOtherSideIntactUnderVUsion) {
+  Machine machine(SmallMachine());
+  VUsionEngine engine(machine, FastFusion());
+  engine.Install();
+  Process& a = machine.CreateProcess();
+  Process& b = machine.CreateProcess();
+  const VirtAddr pa = a.AllocateRegion(4, PageType::kAnonymous, true, false);
+  const VirtAddr pb = b.AllocateRegion(4, PageType::kAnonymous, true, false);
+  a.SetupMapPattern(VaddrToVpn(pa), 0x88);
+  b.SetupMapPattern(VaddrToVpn(pb), 0x88);
+  for (int i = 0; i < 400 && !engine.IsShared(b, VaddrToVpn(pb)); ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_TRUE(engine.IsShared(b, VaddrToVpn(pb)));
+
+  machine.DestroyProcess(a);
+  EXPECT_TRUE(engine.IsManaged(b, VaddrToVpn(pb)));
+  EXPECT_FALSE(engine.IsShared(b, VaddrToVpn(pb)));
+  PhysicalMemory probe(1);
+  probe.FillPattern(0, 0x88);
+  EXPECT_EQ(b.Read64(pb), probe.ReadU64(0, 0));
+  machine.Idle(20 * kMillisecond);
+  EXPECT_TRUE(engine.ValidateTree());
+  engine.Uninstall();
+}
+
+class ChurnTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ChurnTest, BootDestroyChurnLeaksNothing) {
+  Machine machine(SmallMachine());
+  FusionConfig fusion = FastFusion();
+  fusion.mc_low_watermark = 1u << 14;  // keep the MC variant swapping
+  auto engine = MakeEngine(GetParam(), machine, fusion);
+  if (engine != nullptr) {
+    engine->Install();
+  }
+  VmImageSpec image;
+  image.total_pages = 512;
+  std::size_t baseline = 0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    Process& vm1 = VmImage::Boot(machine, image, 100 + cycle);
+    Process& vm2 = VmImage::Boot(machine, image, 200 + cycle);
+    machine.Idle(30 * kMillisecond);
+    machine.DestroyProcess(vm1);
+    machine.Idle(10 * kMillisecond);
+    machine.DestroyProcess(vm2);
+    machine.Idle(10 * kMillisecond);
+    if (engine != nullptr && dynamic_cast<VUsionEngine*>(engine.get()) != nullptr) {
+      // Let the deferred-free worker drain before auditing.
+      machine.Idle(5 * kMillisecond);
+    }
+    const std::size_t now = machine.memory().allocated_count();
+    if (cycle == 0) {
+      baseline = now;
+    } else {
+      // No growth across cycles: everything a dead VM owned was reclaimed.
+      EXPECT_LE(now, baseline + 8) << "cycle " << cycle;
+    }
+    if (engine != nullptr) {
+      EXPECT_EQ(engine->frames_saved(), 0u) << "cycle " << cycle;
+    }
+  }
+  if (engine != nullptr) {
+    engine->Uninstall();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ChurnTest,
+                         ::testing::Values(EngineKind::kNone, EngineKind::kKsm,
+                                           EngineKind::kWpf, EngineKind::kVUsion,
+                                           EngineKind::kVUsionThp,
+                                           EngineKind::kMemoryCombining),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           std::string name = EngineKindName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,133 @@
+#include "src/container/rbtree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace vusion {
+namespace {
+
+struct IntCompare {
+  int operator()(const int& a, const int& b) const { return (a > b) - (a < b); }
+};
+
+using IntTree = RbTree<int, IntCompare>;
+
+int ProbeFor(int target, const int& value) { return (target > value) - (target < value); }
+
+TEST(RbTreeTest, InsertAndFind) {
+  IntTree tree;
+  tree.Insert(5);
+  tree.Insert(3);
+  tree.Insert(8);
+  EXPECT_EQ(tree.size(), 3u);
+  auto [node, steps] = tree.Find([](const int& v) { return ProbeFor(3, v); });
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->value, 3);
+  EXPECT_GE(steps, 1u);
+  auto [missing, missing_steps] = tree.Find([](const int& v) { return ProbeFor(42, v); });
+  EXPECT_EQ(missing, nullptr);
+}
+
+TEST(RbTreeTest, InOrderIsSorted) {
+  IntTree tree;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(static_cast<int>(rng.NextBelow(1000)));
+  }
+  std::vector<int> values;
+  tree.InOrder([&](const int& v) { values.push_back(v); });
+  EXPECT_EQ(values.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+}
+
+TEST(RbTreeTest, RemoveLeafRootAndInner) {
+  IntTree tree;
+  auto [n5, s5] = tree.Insert(5);
+  auto [n3, s3] = tree.Insert(3);
+  auto [n8, s8] = tree.Insert(8);
+  auto [n7, s7] = tree.Insert(7);
+  (void)n5;
+  (void)n7;
+  tree.Remove(n3);  // leaf
+  EXPECT_TRUE(tree.ValidateInvariants());
+  tree.Remove(n8);  // inner with child
+  EXPECT_TRUE(tree.ValidateInvariants());
+  EXPECT_EQ(tree.size(), 2u);
+  std::vector<int> values;
+  tree.InOrder([&](const int& v) { values.push_back(v); });
+  EXPECT_EQ(values, (std::vector<int>{5, 7}));
+}
+
+TEST(RbTreeTest, DuplicatesAllowed) {
+  IntTree tree;
+  tree.Insert(4);
+  tree.Insert(4);
+  tree.Insert(4);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.ValidateInvariants());
+}
+
+TEST(RbTreeTest, ClearEmptiesTree) {
+  IntTree tree;
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert(i);
+  }
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.ValidateInvariants());
+  tree.Insert(1);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+// Property test: random insert/remove interleavings preserve the red-black
+// invariants and match a reference multiset.
+class RbTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RbTreePropertyTest, RandomOperationsKeepInvariants) {
+  const int operations = GetParam();
+  IntTree tree;
+  Rng rng(100 + operations);
+  std::multimap<int, IntTree::Node*> live;
+  for (int op = 0; op < operations; ++op) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const int value = static_cast<int>(rng.NextBelow(500));
+      auto [node, steps] = tree.Insert(value);
+      live.emplace(value, node);
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.NextBelow(live.size()));
+      tree.Remove(it->second);
+      live.erase(it);
+    }
+    ASSERT_TRUE(tree.ValidateInvariants()) << "after op " << op;
+    ASSERT_EQ(tree.size(), live.size());
+  }
+  // Final content check.
+  std::vector<int> tree_values;
+  tree.InOrder([&](const int& v) { tree_values.push_back(v); });
+  std::vector<int> expected;
+  for (const auto& [v, node] : live) {
+    expected.push_back(v);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(tree_values, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RbTreePropertyTest,
+                         ::testing::Values(10, 100, 500, 2000));
+
+TEST(RbTreeTest, MoveConstruction) {
+  IntTree tree;
+  tree.Insert(1);
+  tree.Insert(2);
+  IntTree moved(std::move(tree));
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_TRUE(moved.ValidateInvariants());
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,83 @@
+// Parameterized security sweeps: the Same Behaviour and Randomized Allocation
+// guarantees must hold across configurations - pool sizes, scan rates, timing-noise
+// levels, and seeds - not just at the defaults the headline benches use.
+
+#include <gtest/gtest.h>
+
+#include "src/attack/cow_side_channel.h"
+#include "src/sim/ks_test.h"
+
+namespace vusion {
+namespace {
+
+struct SweepParam {
+  std::size_t pool_frames;
+  double noise_sigma;
+  std::uint64_t seed;
+};
+
+class SbSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SbSweepTest, MergedAndUnmergedTimingsIndistinguishable) {
+  const SweepParam param = GetParam();
+  MachineConfig machine_config = AttackMachineConfig();
+  machine_config.latency.noise_sigma = param.noise_sigma;
+  FusionConfig fusion_config = AttackFusionConfig();
+  fusion_config.pool_frames = param.pool_frames;
+  AttackEnvironment env(EngineKind::kVUsion, param.seed, machine_config, fusion_config);
+  const CowSideChannel::Samples samples =
+      CowSideChannel::Collect(env, /*pages_per_class=*/200, /*use_reads=*/true);
+  const KsResult ks = KsTwoSample(samples.hit_times, samples.miss_times);
+  EXPECT_GT(ks.p_value, 0.01) << "SB violated: D=" << ks.statistic
+                              << " pool=" << param.pool_frames
+                              << " sigma=" << param.noise_sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SbSweepTest,
+    ::testing::Values(SweepParam{256, 0.04, 1}, SweepParam{1024, 0.04, 1},
+                      SweepParam{4096, 0.04, 1}, SweepParam{2048, 0.0, 1},
+                      SweepParam{2048, 0.10, 1}, SweepParam{2048, 0.04, 2},
+                      SweepParam{2048, 0.04, 3}));
+
+class KsmChannelSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KsmChannelSweepTest, CowChannelPresentAcrossSeeds) {
+  // The control side of the sweep: the channel must be detectable on KSM for every
+  // seed, or the SB assertions above would be vacuous.
+  AttackEnvironment env(EngineKind::kKsm, GetParam(), AttackMachineConfig(),
+                        AttackFusionConfig());
+  const CowSideChannel::Samples samples =
+      CowSideChannel::Collect(env, /*pages_per_class=*/200, /*use_reads=*/false);
+  const KsResult ks = KsTwoSample(samples.hit_times, samples.miss_times);
+  EXPECT_LT(ks.p_value, 1e-6);
+  EXPECT_GT(ks.statistic, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsmChannelSweepTest, ::testing::Values(1, 2, 3, 4));
+
+class RaSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaSweepTest, SlotDrawsUniformAcrossSeeds) {
+  MachineConfig machine_config = AttackMachineConfig();
+  machine_config.seed = GetParam();
+  FusionConfig fusion_config = AttackFusionConfig();
+  AttackEnvironment env(EngineKind::kVUsion, GetParam(), machine_config, fusion_config);
+  env.engine()->stats().log_allocations = true;
+  Process& p = env.attacker();
+  const VirtAddr base = p.AllocateRegion(512, PageType::kAnonymous, true, false);
+  Rng rng(GetParam() * 3 + 1);
+  for (int i = 0; i < 512; ++i) {
+    p.SetupMapPattern(VaddrToVpn(base) + i, rng.Next());
+  }
+  env.WaitFusionRounds(8);
+  const auto& slots = env.engine()->stats().slot_log;
+  ASSERT_GT(slots.size(), 500u);
+  const KsResult ks = KsUniform(slots, 0.0, 1.0);
+  EXPECT_GT(ks.p_value, 0.01) << "RA violated: D=" << ks.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaSweepTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace vusion

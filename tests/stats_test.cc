@@ -1,0 +1,79 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vusion {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(PercentileTest, KnownValues) {
+  std::vector<double> samples{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 5.5);
+  EXPECT_NEAR(Percentile(samples, 90), 9.1, 1e-9);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  std::vector<double> samples{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 5.0);
+}
+
+TEST(PercentileTest, EmptyReturnsNaN) {
+  EXPECT_TRUE(std::isnan(Percentile({}, 50)));
+}
+
+TEST(GeometricMeanTest, KnownValue) {
+  EXPECT_NEAR(GeometricMean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram hist(0.0, 100.0, 10);
+  hist.Add(5.0);    // bin 0
+  hist.Add(15.0);   // bin 1
+  hist.Add(95.0);   // bin 9
+  hist.Add(-3.0);   // clamps to bin 0
+  hist.Add(250.0);  // clamps to bin 9
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(1), 1u);
+  EXPECT_EQ(hist.bin_count(9), 2u);
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_DOUBLE_EQ(hist.bin_low(1), 10.0);
+}
+
+TEST(HistogramTest, RenderContainsAllBins) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(1.0);
+  hist.Add(1.0);
+  hist.Add(9.0);
+  const std::string rendered = hist.Render(20);
+  // One line per bin.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 5);
+  EXPECT_NE(rendered.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vusion

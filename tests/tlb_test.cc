@@ -1,0 +1,73 @@
+#include "src/mmu/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace vusion {
+namespace {
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.Lookup(1).has_value());
+  tlb.Insert(1, Pte{10, kPtePresent});
+  const auto hit = tlb.Lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->frame, 10u);
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbTest, LruEvictionAtCapacity) {
+  Tlb tlb(3);
+  tlb.Insert(1, Pte{1, kPtePresent});
+  tlb.Insert(2, Pte{2, kPtePresent});
+  tlb.Insert(3, Pte{3, kPtePresent});
+  tlb.Lookup(1);  // 1 most recent; 2 is LRU
+  tlb.Insert(4, Pte{4, kPtePresent});
+  EXPECT_TRUE(tlb.Lookup(1).has_value());
+  EXPECT_FALSE(tlb.Lookup(2).has_value());  // evicted
+  EXPECT_TRUE(tlb.Lookup(3).has_value());
+  EXPECT_TRUE(tlb.Lookup(4).has_value());
+}
+
+TEST(TlbTest, InsertUpdatesExisting) {
+  Tlb tlb(4);
+  tlb.Insert(7, Pte{1, kPtePresent});
+  tlb.Insert(7, Pte{2, kPtePresent | kPteWritable});
+  EXPECT_EQ(tlb.size(), 1u);
+  const auto entry = tlb.Lookup(7);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->frame, 2u);
+  EXPECT_TRUE(entry->writable());
+}
+
+TEST(TlbTest, InvalidateSingle) {
+  Tlb tlb(4);
+  tlb.Insert(5, Pte{5, kPtePresent});
+  tlb.Invalidate(5);
+  EXPECT_FALSE(tlb.Lookup(5).has_value());
+  tlb.Invalidate(99);  // no-op on absent entry
+}
+
+TEST(TlbTest, InvalidateRange) {
+  Tlb tlb(8);
+  for (Vpn vpn = 10; vpn < 18; ++vpn) {
+    tlb.Insert(vpn, Pte{static_cast<FrameId>(vpn), kPtePresent});
+  }
+  tlb.InvalidateRange(12, 15);
+  EXPECT_TRUE(tlb.Lookup(10).has_value());
+  EXPECT_FALSE(tlb.Lookup(12).has_value());
+  EXPECT_FALSE(tlb.Lookup(14).has_value());
+  EXPECT_TRUE(tlb.Lookup(15).has_value());
+}
+
+TEST(TlbTest, Flush) {
+  Tlb tlb(8);
+  tlb.Insert(1, Pte{1, kPtePresent});
+  tlb.Insert(2, Pte{2, kPtePresent});
+  tlb.Flush();
+  EXPECT_EQ(tlb.size(), 0u);
+  EXPECT_FALSE(tlb.Lookup(1).has_value());
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,169 @@
+// Tests for the event-tracing subsystem and the runtime scan controls.
+
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fusion/ksm.h"
+#include "src/fusion/vusion_engine.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+TEST(TraceBufferTest, DisabledByDefault) {
+  TraceBuffer trace;
+  trace.Emit(1, TraceEventType::kMerge, 0, 0, 0);
+  EXPECT_EQ(trace.total_emitted(), 0u);
+  EXPECT_TRUE(trace.Events().empty());
+}
+
+TEST(TraceBufferTest, RecordsInOrder) {
+  TraceBuffer trace(8);
+  trace.set_enabled(true);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    trace.Emit(i * 10, TraceEventType::kFault, 1, i, 0);
+  }
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].time, i * 10);
+    EXPECT_EQ(events[i].vpn, i);
+  }
+  EXPECT_EQ(trace.count(TraceEventType::kFault), 5u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceBufferTest, RingWrapsKeepingNewest) {
+  TraceBuffer trace(4);
+  trace.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.Emit(i, TraceEventType::kMerge, 0, i, 0);
+  }
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().vpn, 6u);  // oldest retained
+  EXPECT_EQ(events.back().vpn, 9u);   // newest
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(trace.total_emitted(), 10u);
+}
+
+TEST(TraceBufferTest, SummaryAndClear) {
+  TraceBuffer trace;
+  trace.set_enabled(true);
+  trace.Emit(0, TraceEventType::kMerge, 0, 0, 0);
+  trace.Emit(0, TraceEventType::kMerge, 0, 1, 0);
+  trace.Emit(0, TraceEventType::kSplit, 0, 2, 0);
+  const std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("merge=2"), std::string::npos);
+  EXPECT_NE(summary.find("split=1"), std::string::npos);
+  trace.Clear();
+  EXPECT_EQ(trace.total_emitted(), 0u);
+  EXPECT_TRUE(trace.Events().empty());
+}
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 8192;
+  return config;
+}
+
+FusionConfig FastFusion() {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.pages_per_wake = 256;
+  config.pool_frames = 512;
+  return config;
+}
+
+TEST(TraceIntegrationTest, KsmEmitsMergeThenCowSequence) {
+  Machine machine(SmallMachine());
+  machine.trace().set_enabled(true);
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr base = a.AllocateRegion(2, PageType::kAnonymous, true, false);
+  a.SetupMapPattern(VaddrToVpn(base), 0x11);
+  a.SetupMapPattern(VaddrToVpn(base) + 1, 0x11);
+  for (int i = 0; i < 200 && ksm.frames_saved() == 0; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  ASSERT_EQ(machine.trace().count(TraceEventType::kMerge), 1u);
+  a.Write64(base, 1);
+  EXPECT_EQ(machine.trace().count(TraceEventType::kUnmergeCow), 1u);
+  EXPECT_GE(machine.trace().count(TraceEventType::kFault), 1u);
+  // Sequence: the merge precedes the unmerge.
+  const auto events = machine.trace().Events();
+  std::size_t merge_at = 0;
+  std::size_t unmerge_at = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == TraceEventType::kMerge) {
+      merge_at = i;
+    }
+    if (events[i].type == TraceEventType::kUnmergeCow) {
+      unmerge_at = i;
+    }
+  }
+  EXPECT_LT(merge_at, unmerge_at);
+  ksm.Uninstall();
+}
+
+TEST(TraceIntegrationTest, VUsionEmitsFakeMergeAndRelocations) {
+  Machine machine(SmallMachine());
+  machine.trace().set_enabled(true);
+  VUsionEngine engine(machine, FastFusion());
+  engine.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr base = a.AllocateRegion(4, PageType::kAnonymous, true, false);
+  for (int i = 0; i < 4; ++i) {
+    a.SetupMapPattern(VaddrToVpn(base) + i, 0x20 + i);
+  }
+  machine.Idle(30 * kMillisecond);
+  EXPECT_GE(machine.trace().count(TraceEventType::kFakeMerge), 4u);
+  EXPECT_GE(machine.trace().count(TraceEventType::kRelocate), 4u);
+  a.Read64(base);
+  EXPECT_EQ(machine.trace().count(TraceEventType::kUnmergeCoa), 1u);
+  engine.Uninstall();
+}
+
+TEST(RuntimeControlTest, PauseStopsScanningResumeContinues) {
+  Machine machine(SmallMachine());
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  ksm.Pause();
+  Process& a = machine.CreateProcess();
+  const VirtAddr base = a.AllocateRegion(2, PageType::kAnonymous, true, false);
+  a.SetupMapPattern(VaddrToVpn(base), 0x31);
+  a.SetupMapPattern(VaddrToVpn(base) + 1, 0x31);
+  machine.Idle(100 * kMillisecond);
+  EXPECT_EQ(ksm.stats().pages_scanned, 0u);
+  EXPECT_EQ(ksm.frames_saved(), 0u);
+  ksm.Resume();
+  for (int i = 0; i < 200 && ksm.frames_saved() == 0; ++i) {
+    machine.Idle(1 * kMillisecond);
+  }
+  EXPECT_EQ(ksm.frames_saved(), 1u);
+  ksm.Uninstall();
+}
+
+TEST(RuntimeControlTest, ScanRateAdjustsThroughput) {
+  Machine machine(SmallMachine());
+  Ksm ksm(machine, FastFusion());
+  ksm.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr base = a.AllocateRegion(256, PageType::kAnonymous, true, false);
+  for (int i = 0; i < 256; ++i) {
+    a.SetupMapPattern(VaddrToVpn(base) + i, 0x4000 + i);
+  }
+  ksm.SetScanRate(10 * kMillisecond, 10);  // slow: 1000 pages/s
+  machine.Idle(100 * kMillisecond);
+  const std::uint64_t slow_scanned = ksm.stats().pages_scanned;
+  EXPECT_LE(slow_scanned, 150u);
+  ksm.SetScanRate(1 * kMillisecond, 100);  // fast: 100000 pages/s
+  machine.Idle(100 * kMillisecond);
+  EXPECT_GT(ksm.stats().pages_scanned - slow_scanned, slow_scanned * 3);
+  ksm.Uninstall();
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,115 @@
+#include "src/workload/vm_image.h"
+
+#include <gtest/gtest.h>
+
+namespace vusion {
+namespace {
+
+MachineConfig BigMachine() {
+  MachineConfig config;
+  config.frame_count = 1u << 15;  // 128 MB
+  return config;
+}
+
+TEST(VmImageTest, BootPopulatesAllCategories) {
+  Machine machine(BigMachine());
+  VmImageSpec spec;
+  spec.total_pages = 2048;
+  Process& vm = VmImage::Boot(machine, spec, /*instance_seed=*/1);
+  const VmaList& vmas = vm.address_space().vmas();
+  ASSERT_EQ(vmas.areas().size(), 4u);
+  std::uint64_t by_type[4] = {0, 0, 0, 0};
+  for (const VmArea& vma : vmas.areas()) {
+    by_type[static_cast<std::size_t>(vma.type)] += vma.pages;
+    EXPECT_TRUE(vma.mergeable);  // all guest memory registered with the host
+    // Every page mapped.
+    for (Vpn vpn = vma.start; vpn < vma.end(); ++vpn) {
+      EXPECT_NE(vm.TranslateFrame(vpn), kInvalidFrame);
+    }
+  }
+  EXPECT_EQ(by_type[0] + by_type[1] + by_type[2] + by_type[3], 2048u);
+  EXPECT_NEAR(static_cast<double>(by_type[static_cast<int>(PageType::kPageCache)]) / 2048.0,
+              spec.page_cache_frac, 0.01);
+  EXPECT_NEAR(static_cast<double>(by_type[static_cast<int>(PageType::kGuestBuddy)]) / 2048.0,
+              spec.buddy_frac, 0.01);
+}
+
+TEST(VmImageTest, SameImageVmsShareContent) {
+  Machine machine(BigMachine());
+  VmImageSpec spec;
+  spec.total_pages = 1024;
+  Process& vm1 = VmImage::Boot(machine, spec, 1);
+  Process& vm2 = VmImage::Boot(machine, spec, 2);
+  // Count cross-VM duplicate pages by content hash.
+  auto hashes_of = [&machine](Process& vm) {
+    std::multiset<std::uint64_t> hashes;
+    for (const VmArea& vma : vm.address_space().vmas().areas()) {
+      for (Vpn vpn = vma.start; vpn < vma.end(); ++vpn) {
+        hashes.insert(machine.memory().HashContent(vm.TranslateFrame(vpn)));
+      }
+    }
+    return hashes;
+  };
+  const auto h1 = hashes_of(vm1);
+  const auto h2 = hashes_of(vm2);
+  std::size_t shared = 0;
+  for (const std::uint64_t h : h1) {
+    shared += h2.contains(h) ? 1 : 0;
+  }
+  // Kernel (all), distro page cache (~60% of 40%), zero buddy pages etc. add up to
+  // well over a third of the image.
+  EXPECT_GT(shared, 1024u / 3);
+}
+
+TEST(VmImageTest, DifferentDistrosShareLess) {
+  Machine machine(BigMachine());
+  VmImageSpec spec_a = VmImage::CatalogImage(0);
+  VmImageSpec spec_b = VmImage::CatalogImage(1);  // different distro base
+  spec_a.total_pages = 1024;
+  spec_b.total_pages = 1024;
+  ASSERT_NE(spec_a.distro_seed, spec_b.distro_seed);
+  Process& vm_same1 = VmImage::Boot(machine, spec_a, 1);
+  Process& vm_same2 = VmImage::Boot(machine, spec_a, 2);
+  Process& vm_other = VmImage::Boot(machine, spec_b, 3);
+
+  auto shared_pages = [&machine](Process& x, Process& y) {
+    std::multiset<std::uint64_t> hx;
+    for (const VmArea& vma : x.address_space().vmas().areas()) {
+      for (Vpn vpn = vma.start; vpn < vma.end(); ++vpn) {
+        hx.insert(machine.memory().HashContent(x.TranslateFrame(vpn)));
+      }
+    }
+    std::size_t shared = 0;
+    for (const VmArea& vma : y.address_space().vmas().areas()) {
+      for (Vpn vpn = vma.start; vpn < vma.end(); ++vpn) {
+        shared += hx.contains(machine.memory().HashContent(y.TranslateFrame(vpn))) ? 1 : 0;
+      }
+    }
+    return shared;
+  };
+  EXPECT_GT(shared_pages(vm_same1, vm_same2), shared_pages(vm_same1, vm_other));
+}
+
+TEST(VmImageTest, CatalogCoversDistinctImages) {
+  std::set<std::uint64_t> stacks;
+  std::set<std::uint64_t> distros;
+  for (std::size_t i = 0; i < VmImage::kCatalogSize; ++i) {
+    const VmImageSpec spec = VmImage::CatalogImage(i);
+    stacks.insert(spec.stack_seed);
+    distros.insert(spec.distro_seed);
+  }
+  EXPECT_EQ(stacks.size(), VmImage::kCatalogSize);  // every image unique
+  EXPECT_EQ(distros.size(), 7u);                    // over 7 distro bases
+}
+
+TEST(VmImageTest, ThpImagesUseHugeMappings) {
+  Machine machine(BigMachine());
+  VmImageSpec spec;
+  spec.total_pages = 4096;
+  spec.map_anon_as_thp = true;
+  VmImage::Boot(machine, spec, 1);
+  EXPECT_GT(machine.CountHugeMappings(), 0u);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,319 @@
+#include "src/fusion/vusion_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/kernel/khugepaged.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.frame_count = 16384;
+  return config;
+}
+
+FusionConfig FastVUsion() {
+  FusionConfig config;
+  config.wake_period = 1 * kMillisecond;
+  config.pages_per_wake = 256;
+  config.pool_frames = 1024;
+  return config;
+}
+
+class VUsionTest : public ::testing::Test {
+ protected:
+  VUsionTest() : VUsionTest(FastVUsion()) {}
+  explicit VUsionTest(const FusionConfig& config)
+      : machine_(SmallMachine()), engine_(machine_, config) {
+    engine_.Install();
+  }
+  ~VUsionTest() override { engine_.Uninstall(); }
+
+  VirtAddr MapPages(Process& p, std::initializer_list<std::uint64_t> seeds) {
+    const VirtAddr base =
+        p.AllocateRegion(seeds.size(), PageType::kAnonymous, /*mergeable=*/true, false);
+    std::size_t i = 0;
+    for (const std::uint64_t seed : seeds) {
+      p.SetupMapPattern(VaddrToVpn(base) + i++, seed);
+    }
+    return base;
+  }
+
+  void RunRounds(std::uint64_t rounds) {
+    const std::uint64_t target = engine_.stats().full_scans + rounds;
+    for (int i = 0; i < 100000 && engine_.stats().full_scans < target; ++i) {
+      machine_.Idle(1 * kMillisecond);
+    }
+  }
+
+  Machine machine_;
+  VUsionEngine engine_;
+};
+
+TEST_F(VUsionTest, DuplicatePagesMergeToSharedRandomFrame) {
+  Process& a = machine_.CreateProcess();
+  Process& b = machine_.CreateProcess();
+  const VirtAddr pa = MapPages(a, {0x111});
+  const VirtAddr pb = MapPages(b, {0x111});
+  const FrameId fa = a.TranslateFrame(VaddrToVpn(pa));
+  const FrameId fb = b.TranslateFrame(VaddrToVpn(pb));
+  RunRounds(4);
+  const FrameId shared_a = a.TranslateFrame(VaddrToVpn(pa));
+  EXPECT_EQ(shared_a, b.TranslateFrame(VaddrToVpn(pb)));
+  // RA: neither sharer's original frame backs the shared copy.
+  EXPECT_NE(shared_a, fa);
+  EXPECT_NE(shared_a, fb);
+  EXPECT_TRUE(engine_.IsShared(a, VaddrToVpn(pa)));
+  EXPECT_EQ(engine_.frames_saved(), 1u);
+  EXPECT_TRUE(engine_.ValidateTree());
+}
+
+TEST_F(VUsionTest, UniqueIdlePagesAreFakeMerged) {
+  // Same Behaviour: a page with no duplicate anywhere is treated exactly like a
+  // merged one - no access, in the stable tree, refcount 1.
+  Process& a = machine_.CreateProcess();
+  const VirtAddr pa = MapPages(a, {0x222});
+  RunRounds(4);
+  EXPECT_TRUE(engine_.IsManaged(a, VaddrToVpn(pa)));
+  EXPECT_FALSE(engine_.IsShared(a, VaddrToVpn(pa)));
+  EXPECT_GE(engine_.stats().fake_merges, 1u);
+  const Pte* pte = a.address_space().GetPte(VaddrToVpn(pa));
+  EXPECT_TRUE(pte->reserved_trap());
+  EXPECT_TRUE(pte->cache_disabled());
+  EXPECT_EQ(engine_.frames_saved(), 0u);
+}
+
+TEST_F(VUsionTest, CopyOnAccessRestoresContentOnRead) {
+  Process& a = machine_.CreateProcess();
+  Process& b = machine_.CreateProcess();
+  const VirtAddr pa = MapPages(a, {0x333});
+  const VirtAddr pb = MapPages(b, {0x333});
+  RunRounds(4);
+  ASSERT_TRUE(engine_.IsManaged(a, VaddrToVpn(pa)));
+  const std::uint64_t coa_before = engine_.stats().unmerges_coa;
+  const std::uint64_t value = a.Read64(pa);  // ANY access unmerges (S xor F)
+  PhysicalMemory probe(1);
+  probe.FillPattern(0, 0x333);
+  EXPECT_EQ(value, probe.ReadU64(0, 0));
+  EXPECT_FALSE(engine_.IsManaged(a, VaddrToVpn(pa)));
+  EXPECT_EQ(engine_.stats().unmerges_coa, coa_before + 1);
+  // b's still-managed copy keeps the content.
+  EXPECT_EQ(b.Read64(pb), value);
+  EXPECT_NE(a.TranslateFrame(VaddrToVpn(pa)), b.TranslateFrame(VaddrToVpn(pb)));
+}
+
+TEST_F(VUsionTest, WriteAfterMergePreservesCowSemantics) {
+  Process& a = machine_.CreateProcess();
+  Process& b = machine_.CreateProcess();
+  const VirtAddr pa = MapPages(a, {0x444});
+  const VirtAddr pb = MapPages(b, {0x444});
+  RunRounds(4);
+  a.Write64(pa, 0xdead);
+  EXPECT_EQ(a.Read64(pa), 0xdeadu);
+  PhysicalMemory probe(1);
+  probe.FillPattern(0, 0x444);
+  EXPECT_EQ(b.Read64(pb), probe.ReadU64(0, 0));
+}
+
+TEST_F(VUsionTest, WorkingSetEstimationSkipsHotPages) {
+  Process& a = machine_.CreateProcess();
+  const VirtAddr hot = MapPages(a, {0x551});
+  const VirtAddr cold = MapPages(a, {0x552});
+  // Realistic regime: enough mergeable memory that one scan round spans several
+  // wake-ups (600 pages vs 256 pages/wake), so the hot page is re-touched between
+  // the idle checks.
+  const VirtAddr filler = a.AllocateRegion(600, PageType::kAnonymous, true, false);
+  Rng rng(9);
+  for (std::size_t i = 0; i < 600; ++i) {
+    a.SetupMapPattern(VaddrToVpn(filler) + i, rng.Next());
+  }
+  for (int i = 0; i < 200; ++i) {
+    a.Write64(hot, i);
+    machine_.Idle(1 * kMillisecond);
+  }
+  EXPECT_FALSE(engine_.IsManaged(a, VaddrToVpn(hot)));
+  EXPECT_TRUE(engine_.IsManaged(a, VaddrToVpn(cold)));
+}
+
+TEST(VUsionRoundTest, WaitsOneFullRoundBeforeActing) {
+  // Drive the scanner wake-by-wake: with pages_per_wake equal to the mergeable page
+  // count, each Run() covers exactly one round.
+  Machine machine(SmallMachine());
+  FusionConfig config = FastVUsion();
+  config.pages_per_wake = 4;
+  VUsionEngine engine(machine, config);
+  engine.Install();
+  Process& a = machine.CreateProcess();
+  const VirtAddr base = a.AllocateRegion(4, PageType::kAnonymous, true, false);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.SetupMapPattern(VaddrToVpn(base) + i, 0x660 + i);
+  }
+  engine.Run();  // round 1: pages become candidates only
+  EXPECT_FALSE(engine.IsManaged(a, VaddrToVpn(base)));
+  engine.Run();  // round 2: still idle -> (fake) merged
+  EXPECT_TRUE(engine.IsManaged(a, VaddrToVpn(base)));
+  engine.Uninstall();
+}
+
+TEST_F(VUsionTest, RerandomizesBackingFrameEveryRound) {
+  Process& a = machine_.CreateProcess();
+  const VirtAddr pa = MapPages(a, {0x771});
+  RunRounds(4);
+  ASSERT_TRUE(engine_.IsManaged(a, VaddrToVpn(pa)));
+  const FrameId f1 = a.TranslateFrame(VaddrToVpn(pa));
+  RunRounds(2);
+  const FrameId f2 = a.TranslateFrame(VaddrToVpn(pa));
+  EXPECT_NE(f1, f2);  // §7.1(iii): page-coloring across rounds learns nothing
+  EXPECT_TRUE(engine_.IsManaged(a, VaddrToVpn(pa)));
+}
+
+TEST_F(VUsionTest, AllocationLogCoversPoolUniformly) {
+  engine_.stats().log_allocations = true;
+  Process& a = machine_.CreateProcess();
+  const std::size_t pages = 128;
+  const VirtAddr base = a.AllocateRegion(pages, PageType::kAnonymous, true, false);
+  Rng rng(1);
+  for (std::size_t i = 0; i < pages; ++i) {
+    a.SetupMapPattern(VaddrToVpn(base) + i, rng.Next());
+  }
+  RunRounds(6);
+  EXPECT_GT(engine_.stats().allocation_log.size(), pages);
+  // Allocations spread over many distinct frames (not clustered).
+  std::set<FrameId> distinct(engine_.stats().allocation_log.begin(),
+                             engine_.stats().allocation_log.end());
+  EXPECT_GT(distinct.size(), engine_.stats().allocation_log.size() / 2);
+}
+
+TEST_F(VUsionTest, DeferredQueueStaysBounded) {
+  Process& a = machine_.CreateProcess();
+  MapPages(a, {0x881, 0x882, 0x883});
+  RunRounds(4);
+  // Every wake drains the previous wake's queue before scanning, so the backlog is
+  // bounded by one wake's worth of (re-randomization) frees and never accumulates.
+  for (int i = 0; i < 20; ++i) {
+    machine_.Idle(1 * kMillisecond);
+    EXPECT_LE(engine_.deferred_queue().pending(), engine_.config().pages_per_wake);
+  }
+}
+
+TEST_F(VUsionTest, ThpIsSplitWhenConsidered) {
+  Process& a = machine_.CreateProcess();
+  const VirtAddr thp = a.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, true, true);
+  ASSERT_TRUE(a.SetupMapHuge(VaddrToVpn(thp), 0x991000));
+  RunRounds(6);
+  EXPECT_FALSE(a.address_space().IsHuge(VaddrToVpn(thp)));
+  EXPECT_GE(engine_.stats().thp_splits, 1u);
+  // Subpages become managed over subsequent rounds.
+  EXPECT_TRUE(engine_.IsManaged(a, VaddrToVpn(thp)));
+}
+
+TEST_F(VUsionTest, BaseVUsionBlocksCollapseOfManagedRanges) {
+  Process& a = machine_.CreateProcess();
+  const VirtAddr region =
+      a.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, true, true);
+  for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+    a.SetupMapPattern(VaddrToVpn(region) + i, 0xaa2000 + i);
+  }
+  RunRounds(4);
+  ASSERT_TRUE(engine_.IsManaged(a, VaddrToVpn(region)));
+  EXPECT_FALSE(engine_.AllowCollapse(a, VaddrToVpn(region)));
+}
+
+TEST_F(VUsionTest, OnUnmapReleasesManagedPage) {
+  Process& a = machine_.CreateProcess();
+  Process& b = machine_.CreateProcess();
+  const VirtAddr pa = MapPages(a, {0xbb1});
+  const VirtAddr pb = MapPages(b, {0xbb1});
+  RunRounds(4);
+  ASSERT_EQ(engine_.frames_saved(), 1u);
+  a.SetupUnmap(VaddrToVpn(pa));
+  EXPECT_EQ(engine_.frames_saved(), 0u);
+  EXPECT_FALSE(engine_.IsManaged(a, VaddrToVpn(pa)));
+  EXPECT_TRUE(engine_.IsManaged(b, VaddrToVpn(pb)));
+  b.SetupUnmap(VaddrToVpn(pb));
+  EXPECT_EQ(engine_.stable_size(), 0u);
+}
+
+class VUsionThpTest : public VUsionTest {
+ protected:
+  VUsionThpTest()
+      : VUsionTest([] {
+          FusionConfig config = FastVUsion();
+          config.thp_aware = true;
+          return config;
+        }()) {}
+};
+
+TEST_F(VUsionThpTest, SecuredCollapseUnmergesFirst) {
+  KhugepagedConfig khp_config;
+  khp_config.period = 2 * kMillisecond;
+  khp_config.ranges_per_wake = 64;
+  Khugepaged& khp = machine_.EnableKhugepaged(khp_config);
+  Process& a = machine_.CreateProcess();
+  const VirtAddr region =
+      a.AllocateRegion(kPagesPerHugePage, PageType::kAnonymous, true, true);
+  for (std::size_t i = 0; i < kPagesPerHugePage; ++i) {
+    a.SetupMapPattern(VaddrToVpn(region) + i, 0xcc3000 + i);
+  }
+  RunRounds(4);
+  ASSERT_TRUE(engine_.IsManaged(a, VaddrToVpn(region)));
+  // Stop the scanner (but keep the fault/collapse policy hooks) so the idle range
+  // is not immediately re-considered after the collapse we want to observe.
+  machine_.RemoveDaemon(&engine_);
+  // The range turns active again: touch one subpage (CoA) to set accessed bits.
+  a.Write64(region, 1);
+  machine_.Idle(20 * kMillisecond);
+  EXPECT_GE(khp.collapses(), 1u);
+  EXPECT_TRUE(a.address_space().IsHuge(VaddrToVpn(region)));
+  // Contents survived the unmerge-then-collapse dance.
+  PhysicalMemory probe(1);
+  probe.FillPattern(0, 0xcc3000 + 7);
+  EXPECT_EQ(a.Read64(region + 7 * kPageSize), probe.ReadU64(0, 0));
+}
+
+TEST_F(VUsionTest, ScanningNeverChangesObservableContent) {
+  // Property: fusion is semantically invisible. Map 64 pages with known seeds,
+  // run many rounds with interleaved reads, verify every word read matches.
+  Process& a = machine_.CreateProcess();
+  const std::size_t pages = 64;
+  const VirtAddr base = a.AllocateRegion(pages, PageType::kAnonymous, true, false);
+  for (std::size_t i = 0; i < pages; ++i) {
+    a.SetupMapPattern(VaddrToVpn(base) + i, 0xdd4000 + i % 7);  // many duplicates
+  }
+  PhysicalMemory probe(1);
+  for (int round = 0; round < 5; ++round) {
+    RunRounds(1);
+    for (std::size_t i = 0; i < pages; i += 5) {
+      probe.FillPattern(0, 0xdd4000 + i % 7);
+      ASSERT_EQ(a.Read64(base + i * kPageSize + 8 * (i % 512)),
+                probe.ReadU64(0, 8 * (i % 512)))
+          << "page " << i << " round " << round;
+    }
+  }
+}
+
+
+TEST_F(VUsionTest, PrefetchCannotWarmManagedPages) {
+  // The Gruss et al. prefetch side channel (§7.1, §9.1): software prefetch of a
+  // (fake) merged page must neither fault nor bring its lines into the cache.
+  Process& a = machine_.CreateProcess();
+  const VirtAddr pa = MapPages(a, {0xcafe1});
+  RunRounds(4);
+  ASSERT_TRUE(engine_.IsManaged(a, VaddrToVpn(pa)));
+  const FrameId backing = a.TranslateFrame(VaddrToVpn(pa));
+  const std::uint64_t faults_before = machine_.total_faults();
+  a.Prefetch(pa);
+  a.Prefetch(pa + 128);
+  EXPECT_EQ(machine_.total_faults(), faults_before);  // prefetch is silent
+  EXPECT_TRUE(engine_.IsManaged(a, VaddrToVpn(pa)));  // and does not unmerge
+  for (std::size_t off = 0; off < kPageSize; off += 64) {
+    EXPECT_FALSE(machine_.llc().Contains(static_cast<PhysAddr>(backing) * kPageSize + off));
+  }
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/workload/apache_workload.h"
+#include "src/workload/kv_workload.h"
+#include "src/workload/parsec_workload.h"
+#include "src/workload/postmark_workload.h"
+#include "src/workload/spec_workload.h"
+#include "src/workload/stream_workload.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig BigMachine() {
+  MachineConfig config;
+  config.frame_count = 1u << 15;
+  return config;
+}
+
+TEST(StreamWorkloadTest, ReportsPositiveBandwidth) {
+  Machine machine(BigMachine());
+  Process& p = machine.CreateProcess();
+  StreamWorkload stream(p, /*array_pages=*/128);
+  const StreamResult result = stream.Run(/*iterations=*/2);
+  EXPECT_GT(result.copy_mbps, 0.0);
+  EXPECT_GT(result.scale_mbps, 0.0);
+  EXPECT_GT(result.add_mbps, 0.0);
+  EXPECT_GT(result.triad_mbps, 0.0);
+  // Bandwidth is in a plausible range for the modeled DRAM (GB/s scale).
+  EXPECT_LT(result.copy_mbps, 100000.0);
+  EXPECT_GT(result.copy_mbps, 100.0);
+}
+
+TEST(SpecWorkloadTest, SuiteRunsAndTakesTime) {
+  Machine machine(BigMachine());
+  ASSERT_GE(SpecWorkload::Suite().size(), 16u);
+  Process& p = machine.CreateProcess();
+  Rng rng(1);
+  SyntheticBenchmark bench = SpecWorkload::Suite()[0];
+  bench.ops = 5000;
+  const SimTime elapsed = SpecWorkload::Run(p, bench, rng);
+  EXPECT_GT(elapsed, 0u);
+  EXPECT_EQ(machine.clock().now(), elapsed);
+}
+
+TEST(SpecWorkloadTest, BenchmarksHaveDistinctProfiles) {
+  std::set<std::string> names;
+  for (const SyntheticBenchmark& bench : SpecWorkload::Suite()) {
+    names.insert(bench.name);
+    EXPECT_GT(bench.footprint_pages, 0u);
+    EXPECT_GT(bench.hot_fraction, 0.0);
+    EXPECT_LE(bench.hot_fraction, 1.0);
+  }
+  EXPECT_EQ(names.size(), SpecWorkload::Suite().size());
+}
+
+TEST(ParsecWorkloadTest, SuiteIsDistinctFromSpec) {
+  ASSERT_GE(ParsecWorkload::Suite().size(), 12u);
+  std::set<std::string> spec_names;
+  for (const SyntheticBenchmark& bench : SpecWorkload::Suite()) {
+    spec_names.insert(bench.name);
+  }
+  for (const SyntheticBenchmark& bench : ParsecWorkload::Suite()) {
+    EXPECT_FALSE(spec_names.contains(bench.name));
+  }
+}
+
+TEST(ApacheWorkloadTest, ServesRequestsAndGrowsWorkerPool) {
+  Machine machine(BigMachine());
+  Process& server = machine.CreateProcess();
+  ApacheWorkload::Config config;
+  config.initial_workers = 2;
+  config.max_workers = 8;
+  config.worker_spawn_interval = 2 * kSecond;
+  ApacheWorkload apache(server, config, /*seed=*/1);
+  EXPECT_EQ(apache.workers(), 2u);
+  int samples = 0;
+  const ApacheResult result =
+      apache.Run(20 * kSecond, 5 * kSecond, [&samples] { ++samples; });
+  EXPECT_GT(result.requests, 100u);
+  EXPECT_GT(result.kreq_per_s, 0.0);
+  EXPECT_GT(result.lat_p99_ms, result.lat_p75_ms);
+  EXPECT_GT(apache.workers(), 2u);  // the self-balancing growth of Figure 12
+  EXPECT_LE(apache.workers(), 8u);
+  EXPECT_GE(samples, 3);
+}
+
+TEST(KvWorkloadTest, RunsBothPresets) {
+  Machine machine(BigMachine());
+  Process& redis = machine.CreateProcess();
+  KvWorkload::Config redis_config = KvWorkload::RedisConfig();
+  redis_config.ops = 4000;
+  KvWorkload redis_wl(redis, redis_config, 1);
+  const KvResult redis_result = redis_wl.Run();
+  EXPECT_GT(redis_result.kreq_per_s, 0.0);
+  EXPECT_GE(redis_result.get_p99_ms, redis_result.get_p90_ms);
+  EXPECT_GE(redis_result.get_p999_ms, redis_result.get_p99_ms);
+  EXPECT_GT(redis_result.set_p90_ms, 0.0);
+
+  Process& memcached = machine.CreateProcess();
+  KvWorkload::Config mc_config = KvWorkload::MemcachedConfig();
+  mc_config.ops = 4000;
+  KvWorkload mc_wl(memcached, mc_config, 2);
+  const KvResult mc_result = mc_wl.Run();
+  EXPECT_GT(mc_result.kreq_per_s, 0.0);
+  // Redis does more work per op (pointer chase): lower throughput.
+  EXPECT_LT(redis_result.kreq_per_s, mc_result.kreq_per_s * 1.2);
+}
+
+TEST(PostmarkWorkloadTest, ReportsTransactionRate) {
+  Machine machine(BigMachine());
+  Process& p = machine.CreateProcess();
+  PageCache cache(p, 512);
+  PostmarkWorkload::Config config;
+  config.transactions = 2000;
+  config.file_pool = 100;
+  PostmarkWorkload postmark(p, cache, config, 1);
+  const PostmarkResult result = postmark.Run();
+  EXPECT_EQ(result.transactions, 2000u);
+  EXPECT_GT(result.tx_per_s, 0.0);
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace vusion
