@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptive_n.dir/bench_ablation_adaptive_n.cc.o"
+  "CMakeFiles/bench_ablation_adaptive_n.dir/bench_ablation_adaptive_n.cc.o.d"
+  "bench_ablation_adaptive_n"
+  "bench_ablation_adaptive_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deferred_free.dir/bench_ablation_deferred_free.cc.o"
+  "CMakeFiles/bench_ablation_deferred_free.dir/bench_ablation_deferred_free.cc.o.d"
+  "bench_ablation_deferred_free"
+  "bench_ablation_deferred_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deferred_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

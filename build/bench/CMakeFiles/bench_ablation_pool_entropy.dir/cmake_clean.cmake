@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pool_entropy.dir/bench_ablation_pool_entropy.cc.o"
+  "CMakeFiles/bench_ablation_pool_entropy.dir/bench_ablation_pool_entropy.cc.o.d"
+  "bench_ablation_pool_entropy"
+  "bench_ablation_pool_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pool_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

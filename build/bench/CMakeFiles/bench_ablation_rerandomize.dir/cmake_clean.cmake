@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rerandomize.dir/bench_ablation_rerandomize.cc.o"
+  "CMakeFiles/bench_ablation_rerandomize.dir/bench_ablation_rerandomize.cc.o.d"
+  "bench_ablation_rerandomize"
+  "bench_ablation_rerandomize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rerandomize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

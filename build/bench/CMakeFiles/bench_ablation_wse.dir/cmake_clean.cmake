@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wse.dir/bench_ablation_wse.cc.o"
+  "CMakeFiles/bench_ablation_wse.dir/bench_ablation_wse.cc.o.d"
+  "bench_ablation_wse"
+  "bench_ablation_wse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

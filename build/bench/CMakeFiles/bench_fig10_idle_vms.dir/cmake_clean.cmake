@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_idle_vms.dir/bench_fig10_idle_vms.cc.o"
+  "CMakeFiles/bench_fig10_idle_vms.dir/bench_fig10_idle_vms.cc.o.d"
+  "bench_fig10_idle_vms"
+  "bench_fig10_idle_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_idle_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

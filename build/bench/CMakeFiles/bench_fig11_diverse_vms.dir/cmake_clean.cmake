@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_diverse_vms.dir/bench_fig11_diverse_vms.cc.o"
+  "CMakeFiles/bench_fig11_diverse_vms.dir/bench_fig11_diverse_vms.cc.o.d"
+  "bench_fig11_diverse_vms"
+  "bench_fig11_diverse_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_diverse_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

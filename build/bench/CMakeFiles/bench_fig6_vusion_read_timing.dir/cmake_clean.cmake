@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_vusion_read_timing.dir/bench_fig6_vusion_read_timing.cc.o"
+  "CMakeFiles/bench_fig6_vusion_read_timing.dir/bench_fig6_vusion_read_timing.cc.o.d"
+  "bench_fig6_vusion_read_timing"
+  "bench_fig6_vusion_read_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vusion_read_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

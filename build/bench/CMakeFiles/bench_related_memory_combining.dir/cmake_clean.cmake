@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_memory_combining.dir/bench_related_memory_combining.cc.o"
+  "CMakeFiles/bench_related_memory_combining.dir/bench_related_memory_combining.cc.o.d"
+  "bench_related_memory_combining"
+  "bench_related_memory_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_memory_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

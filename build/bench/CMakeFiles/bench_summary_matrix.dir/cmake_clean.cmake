@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_matrix.dir/bench_summary_matrix.cc.o"
+  "CMakeFiles/bench_summary_matrix.dir/bench_summary_matrix.cc.o.d"
+  "bench_summary_matrix"
+  "bench_summary_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_postmark.dir/bench_table4_postmark.cc.o"
+  "CMakeFiles/bench_table4_postmark.dir/bench_table4_postmark.cc.o.d"
+  "bench_table4_postmark"
+  "bench_table4_postmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

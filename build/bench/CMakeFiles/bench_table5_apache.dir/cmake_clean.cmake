@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_apache.dir/bench_table5_apache.cc.o"
+  "CMakeFiles/bench_table5_apache.dir/bench_table5_apache.cc.o.d"
+  "bench_table5_apache"
+  "bench_table5_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_inspector.dir/fusion_inspector.cc.o"
+  "CMakeFiles/fusion_inspector.dir/fusion_inspector.cc.o.d"
+  "fusion_inspector"
+  "fusion_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thp_tuning.dir/thp_tuning.cc.o"
+  "CMakeFiles/thp_tuning.dir/thp_tuning.cc.o.d"
+  "thp_tuning"
+  "thp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/cain_attack.cc" "src/CMakeFiles/vusion_attack.dir/attack/cain_attack.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/cain_attack.cc.o.d"
+  "/root/repo/src/attack/cow_side_channel.cc" "src/CMakeFiles/vusion_attack.dir/attack/cow_side_channel.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/cow_side_channel.cc.o.d"
+  "/root/repo/src/attack/dedup_est_machina.cc" "src/CMakeFiles/vusion_attack.dir/attack/dedup_est_machina.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/dedup_est_machina.cc.o.d"
+  "/root/repo/src/attack/flip_feng_shui.cc" "src/CMakeFiles/vusion_attack.dir/attack/flip_feng_shui.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/flip_feng_shui.cc.o.d"
+  "/root/repo/src/attack/flush_reload_attack.cc" "src/CMakeFiles/vusion_attack.dir/attack/flush_reload_attack.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/flush_reload_attack.cc.o.d"
+  "/root/repo/src/attack/page_color_attack.cc" "src/CMakeFiles/vusion_attack.dir/attack/page_color_attack.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/page_color_attack.cc.o.d"
+  "/root/repo/src/attack/reuse_flip_feng_shui.cc" "src/CMakeFiles/vusion_attack.dir/attack/reuse_flip_feng_shui.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/reuse_flip_feng_shui.cc.o.d"
+  "/root/repo/src/attack/row_buffer_attack.cc" "src/CMakeFiles/vusion_attack.dir/attack/row_buffer_attack.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/row_buffer_attack.cc.o.d"
+  "/root/repo/src/attack/timing_probe.cc" "src/CMakeFiles/vusion_attack.dir/attack/timing_probe.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/timing_probe.cc.o.d"
+  "/root/repo/src/attack/translation_attack.cc" "src/CMakeFiles/vusion_attack.dir/attack/translation_attack.cc.o" "gcc" "src/CMakeFiles/vusion_attack.dir/attack/translation_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vusion_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_attack.dir/attack/cain_attack.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/cain_attack.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/cow_side_channel.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/cow_side_channel.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/dedup_est_machina.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/dedup_est_machina.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/flip_feng_shui.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/flip_feng_shui.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/flush_reload_attack.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/flush_reload_attack.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/page_color_attack.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/page_color_attack.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/reuse_flip_feng_shui.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/reuse_flip_feng_shui.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/row_buffer_attack.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/row_buffer_attack.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/timing_probe.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/timing_probe.cc.o.d"
+  "CMakeFiles/vusion_attack.dir/attack/translation_attack.cc.o"
+  "CMakeFiles/vusion_attack.dir/attack/translation_attack.cc.o.d"
+  "libvusion_attack.a"
+  "libvusion_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

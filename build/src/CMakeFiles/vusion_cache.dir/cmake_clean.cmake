@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_cache.dir/cache/eviction_set.cc.o"
+  "CMakeFiles/vusion_cache.dir/cache/eviction_set.cc.o.d"
+  "CMakeFiles/vusion_cache.dir/cache/llc.cc.o"
+  "CMakeFiles/vusion_cache.dir/cache/llc.cc.o.d"
+  "libvusion_cache.a"
+  "libvusion_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/dram_mapping.cc" "src/CMakeFiles/vusion_dram.dir/dram/dram_mapping.cc.o" "gcc" "src/CMakeFiles/vusion_dram.dir/dram/dram_mapping.cc.o.d"
+  "/root/repo/src/dram/row_buffer.cc" "src/CMakeFiles/vusion_dram.dir/dram/row_buffer.cc.o" "gcc" "src/CMakeFiles/vusion_dram.dir/dram/row_buffer.cc.o.d"
+  "/root/repo/src/dram/rowhammer.cc" "src/CMakeFiles/vusion_dram.dir/dram/rowhammer.cc.o" "gcc" "src/CMakeFiles/vusion_dram.dir/dram/rowhammer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_dram.dir/dram/dram_mapping.cc.o"
+  "CMakeFiles/vusion_dram.dir/dram/dram_mapping.cc.o.d"
+  "CMakeFiles/vusion_dram.dir/dram/row_buffer.cc.o"
+  "CMakeFiles/vusion_dram.dir/dram/row_buffer.cc.o.d"
+  "CMakeFiles/vusion_dram.dir/dram/rowhammer.cc.o"
+  "CMakeFiles/vusion_dram.dir/dram/rowhammer.cc.o.d"
+  "libvusion_dram.a"
+  "libvusion_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

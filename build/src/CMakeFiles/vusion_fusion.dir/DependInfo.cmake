@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/content.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/content.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/content.cc.o.d"
+  "/root/repo/src/fusion/deferred_free.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/deferred_free.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/deferred_free.cc.o.d"
+  "/root/repo/src/fusion/engine_factory.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/engine_factory.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/engine_factory.cc.o.d"
+  "/root/repo/src/fusion/fusion_stats.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/fusion_stats.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/fusion_stats.cc.o.d"
+  "/root/repo/src/fusion/ksm.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/ksm.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/ksm.cc.o.d"
+  "/root/repo/src/fusion/memory_combining.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/memory_combining.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/memory_combining.cc.o.d"
+  "/root/repo/src/fusion/vusion_engine.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/vusion_engine.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/vusion_engine.cc.o.d"
+  "/root/repo/src/fusion/wpf.cc" "src/CMakeFiles/vusion_fusion.dir/fusion/wpf.cc.o" "gcc" "src/CMakeFiles/vusion_fusion.dir/fusion/wpf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vusion_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

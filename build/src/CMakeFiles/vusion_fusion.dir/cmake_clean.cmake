@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_fusion.dir/fusion/content.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/content.cc.o.d"
+  "CMakeFiles/vusion_fusion.dir/fusion/deferred_free.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/deferred_free.cc.o.d"
+  "CMakeFiles/vusion_fusion.dir/fusion/engine_factory.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/engine_factory.cc.o.d"
+  "CMakeFiles/vusion_fusion.dir/fusion/fusion_stats.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/fusion_stats.cc.o.d"
+  "CMakeFiles/vusion_fusion.dir/fusion/ksm.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/ksm.cc.o.d"
+  "CMakeFiles/vusion_fusion.dir/fusion/memory_combining.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/memory_combining.cc.o.d"
+  "CMakeFiles/vusion_fusion.dir/fusion/vusion_engine.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/vusion_engine.cc.o.d"
+  "CMakeFiles/vusion_fusion.dir/fusion/wpf.cc.o"
+  "CMakeFiles/vusion_fusion.dir/fusion/wpf.cc.o.d"
+  "libvusion_fusion.a"
+  "libvusion_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

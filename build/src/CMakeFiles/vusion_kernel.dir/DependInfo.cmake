@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/idle_tracker.cc" "src/CMakeFiles/vusion_kernel.dir/kernel/idle_tracker.cc.o" "gcc" "src/CMakeFiles/vusion_kernel.dir/kernel/idle_tracker.cc.o.d"
+  "/root/repo/src/kernel/khugepaged.cc" "src/CMakeFiles/vusion_kernel.dir/kernel/khugepaged.cc.o" "gcc" "src/CMakeFiles/vusion_kernel.dir/kernel/khugepaged.cc.o.d"
+  "/root/repo/src/kernel/machine.cc" "src/CMakeFiles/vusion_kernel.dir/kernel/machine.cc.o" "gcc" "src/CMakeFiles/vusion_kernel.dir/kernel/machine.cc.o.d"
+  "/root/repo/src/kernel/page_cache.cc" "src/CMakeFiles/vusion_kernel.dir/kernel/page_cache.cc.o" "gcc" "src/CMakeFiles/vusion_kernel.dir/kernel/page_cache.cc.o.d"
+  "/root/repo/src/kernel/page_fault_handler.cc" "src/CMakeFiles/vusion_kernel.dir/kernel/page_fault_handler.cc.o" "gcc" "src/CMakeFiles/vusion_kernel.dir/kernel/page_fault_handler.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/CMakeFiles/vusion_kernel.dir/kernel/process.cc.o" "gcc" "src/CMakeFiles/vusion_kernel.dir/kernel/process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vusion_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

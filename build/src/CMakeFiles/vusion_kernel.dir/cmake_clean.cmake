@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_kernel.dir/kernel/idle_tracker.cc.o"
+  "CMakeFiles/vusion_kernel.dir/kernel/idle_tracker.cc.o.d"
+  "CMakeFiles/vusion_kernel.dir/kernel/khugepaged.cc.o"
+  "CMakeFiles/vusion_kernel.dir/kernel/khugepaged.cc.o.d"
+  "CMakeFiles/vusion_kernel.dir/kernel/machine.cc.o"
+  "CMakeFiles/vusion_kernel.dir/kernel/machine.cc.o.d"
+  "CMakeFiles/vusion_kernel.dir/kernel/page_cache.cc.o"
+  "CMakeFiles/vusion_kernel.dir/kernel/page_cache.cc.o.d"
+  "CMakeFiles/vusion_kernel.dir/kernel/page_fault_handler.cc.o"
+  "CMakeFiles/vusion_kernel.dir/kernel/page_fault_handler.cc.o.d"
+  "CMakeFiles/vusion_kernel.dir/kernel/process.cc.o"
+  "CMakeFiles/vusion_kernel.dir/kernel/process.cc.o.d"
+  "libvusion_kernel.a"
+  "libvusion_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

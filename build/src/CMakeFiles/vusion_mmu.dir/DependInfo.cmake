@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmu/address_space.cc" "src/CMakeFiles/vusion_mmu.dir/mmu/address_space.cc.o" "gcc" "src/CMakeFiles/vusion_mmu.dir/mmu/address_space.cc.o.d"
+  "/root/repo/src/mmu/page_table.cc" "src/CMakeFiles/vusion_mmu.dir/mmu/page_table.cc.o" "gcc" "src/CMakeFiles/vusion_mmu.dir/mmu/page_table.cc.o.d"
+  "/root/repo/src/mmu/tlb.cc" "src/CMakeFiles/vusion_mmu.dir/mmu/tlb.cc.o" "gcc" "src/CMakeFiles/vusion_mmu.dir/mmu/tlb.cc.o.d"
+  "/root/repo/src/mmu/vma.cc" "src/CMakeFiles/vusion_mmu.dir/mmu/vma.cc.o" "gcc" "src/CMakeFiles/vusion_mmu.dir/mmu/vma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vusion_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

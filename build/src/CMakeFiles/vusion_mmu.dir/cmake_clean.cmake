@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_mmu.dir/mmu/address_space.cc.o"
+  "CMakeFiles/vusion_mmu.dir/mmu/address_space.cc.o.d"
+  "CMakeFiles/vusion_mmu.dir/mmu/page_table.cc.o"
+  "CMakeFiles/vusion_mmu.dir/mmu/page_table.cc.o.d"
+  "CMakeFiles/vusion_mmu.dir/mmu/tlb.cc.o"
+  "CMakeFiles/vusion_mmu.dir/mmu/tlb.cc.o.d"
+  "CMakeFiles/vusion_mmu.dir/mmu/vma.cc.o"
+  "CMakeFiles/vusion_mmu.dir/mmu/vma.cc.o.d"
+  "libvusion_mmu.a"
+  "libvusion_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvusion_mmu.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/buddy_allocator.cc" "src/CMakeFiles/vusion_phys.dir/phys/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/vusion_phys.dir/phys/buddy_allocator.cc.o.d"
+  "/root/repo/src/phys/linear_allocator.cc" "src/CMakeFiles/vusion_phys.dir/phys/linear_allocator.cc.o" "gcc" "src/CMakeFiles/vusion_phys.dir/phys/linear_allocator.cc.o.d"
+  "/root/repo/src/phys/physical_memory.cc" "src/CMakeFiles/vusion_phys.dir/phys/physical_memory.cc.o" "gcc" "src/CMakeFiles/vusion_phys.dir/phys/physical_memory.cc.o.d"
+  "/root/repo/src/phys/randomized_pool.cc" "src/CMakeFiles/vusion_phys.dir/phys/randomized_pool.cc.o" "gcc" "src/CMakeFiles/vusion_phys.dir/phys/randomized_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vusion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_phys.dir/phys/buddy_allocator.cc.o"
+  "CMakeFiles/vusion_phys.dir/phys/buddy_allocator.cc.o.d"
+  "CMakeFiles/vusion_phys.dir/phys/linear_allocator.cc.o"
+  "CMakeFiles/vusion_phys.dir/phys/linear_allocator.cc.o.d"
+  "CMakeFiles/vusion_phys.dir/phys/physical_memory.cc.o"
+  "CMakeFiles/vusion_phys.dir/phys/physical_memory.cc.o.d"
+  "CMakeFiles/vusion_phys.dir/phys/randomized_pool.cc.o"
+  "CMakeFiles/vusion_phys.dir/phys/randomized_pool.cc.o.d"
+  "libvusion_phys.a"
+  "libvusion_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ks_test.cc" "src/CMakeFiles/vusion_sim.dir/sim/ks_test.cc.o" "gcc" "src/CMakeFiles/vusion_sim.dir/sim/ks_test.cc.o.d"
+  "/root/repo/src/sim/latency_model.cc" "src/CMakeFiles/vusion_sim.dir/sim/latency_model.cc.o" "gcc" "src/CMakeFiles/vusion_sim.dir/sim/latency_model.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/vusion_sim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/vusion_sim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/vusion_sim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/vusion_sim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/vusion_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/vusion_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_sim.dir/sim/ks_test.cc.o"
+  "CMakeFiles/vusion_sim.dir/sim/ks_test.cc.o.d"
+  "CMakeFiles/vusion_sim.dir/sim/latency_model.cc.o"
+  "CMakeFiles/vusion_sim.dir/sim/latency_model.cc.o.d"
+  "CMakeFiles/vusion_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/vusion_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/vusion_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/vusion_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/vusion_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/vusion_sim.dir/sim/trace.cc.o.d"
+  "libvusion_sim.a"
+  "libvusion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apache_workload.cc" "src/CMakeFiles/vusion_workload.dir/workload/apache_workload.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/apache_workload.cc.o.d"
+  "/root/repo/src/workload/kv_workload.cc" "src/CMakeFiles/vusion_workload.dir/workload/kv_workload.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/kv_workload.cc.o.d"
+  "/root/repo/src/workload/parsec_workload.cc" "src/CMakeFiles/vusion_workload.dir/workload/parsec_workload.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/parsec_workload.cc.o.d"
+  "/root/repo/src/workload/postmark_workload.cc" "src/CMakeFiles/vusion_workload.dir/workload/postmark_workload.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/postmark_workload.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/vusion_workload.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/scenario.cc.o.d"
+  "/root/repo/src/workload/spec_workload.cc" "src/CMakeFiles/vusion_workload.dir/workload/spec_workload.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/spec_workload.cc.o.d"
+  "/root/repo/src/workload/stream_workload.cc" "src/CMakeFiles/vusion_workload.dir/workload/stream_workload.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/stream_workload.cc.o.d"
+  "/root/repo/src/workload/vm_image.cc" "src/CMakeFiles/vusion_workload.dir/workload/vm_image.cc.o" "gcc" "src/CMakeFiles/vusion_workload.dir/workload/vm_image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vusion_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vusion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_workload.dir/workload/apache_workload.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/apache_workload.cc.o.d"
+  "CMakeFiles/vusion_workload.dir/workload/kv_workload.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/kv_workload.cc.o.d"
+  "CMakeFiles/vusion_workload.dir/workload/parsec_workload.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/parsec_workload.cc.o.d"
+  "CMakeFiles/vusion_workload.dir/workload/postmark_workload.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/postmark_workload.cc.o.d"
+  "CMakeFiles/vusion_workload.dir/workload/scenario.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/scenario.cc.o.d"
+  "CMakeFiles/vusion_workload.dir/workload/spec_workload.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/spec_workload.cc.o.d"
+  "CMakeFiles/vusion_workload.dir/workload/stream_workload.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/stream_workload.cc.o.d"
+  "CMakeFiles/vusion_workload.dir/workload/vm_image.cc.o"
+  "CMakeFiles/vusion_workload.dir/workload/vm_image.cc.o.d"
+  "libvusion_workload.a"
+  "libvusion_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

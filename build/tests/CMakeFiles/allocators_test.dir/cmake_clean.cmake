@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocators_test.dir/allocators_test.cc.o"
+  "CMakeFiles/allocators_test.dir/allocators_test.cc.o.d"
+  "allocators_test"
+  "allocators_test.pdb"
+  "allocators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

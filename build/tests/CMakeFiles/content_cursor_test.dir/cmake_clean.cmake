@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_cursor_test.dir/content_cursor_test.cc.o"
+  "CMakeFiles/content_cursor_test.dir/content_cursor_test.cc.o.d"
+  "content_cursor_test"
+  "content_cursor_test.pdb"
+  "content_cursor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

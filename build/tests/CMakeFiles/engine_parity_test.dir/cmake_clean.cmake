@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_parity_test.dir/engine_parity_test.cc.o"
+  "CMakeFiles/engine_parity_test.dir/engine_parity_test.cc.o.d"
+  "engine_parity_test"
+  "engine_parity_test.pdb"
+  "engine_parity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_audit_test.dir/frame_audit_test.cc.o"
+  "CMakeFiles/frame_audit_test.dir/frame_audit_test.cc.o.d"
+  "frame_audit_test"
+  "frame_audit_test.pdb"
+  "frame_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

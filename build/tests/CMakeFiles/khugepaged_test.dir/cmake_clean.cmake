@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khugepaged_test.dir/khugepaged_test.cc.o"
+  "CMakeFiles/khugepaged_test.dir/khugepaged_test.cc.o.d"
+  "khugepaged_test"
+  "khugepaged_test.pdb"
+  "khugepaged_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khugepaged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

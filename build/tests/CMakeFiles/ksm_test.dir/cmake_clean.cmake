@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksm_test.dir/ksm_test.cc.o"
+  "CMakeFiles/ksm_test.dir/ksm_test.cc.o.d"
+  "ksm_test"
+  "ksm_test.pdb"
+  "ksm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oom_test.dir/oom_test.cc.o"
+  "CMakeFiles/oom_test.dir/oom_test.cc.o.d"
+  "oom_test"
+  "oom_test.pdb"
+  "oom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physical_memory_test.dir/physical_memory_test.cc.o"
+  "CMakeFiles/physical_memory_test.dir/physical_memory_test.cc.o.d"
+  "physical_memory_test"
+  "physical_memory_test.pdb"
+  "physical_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

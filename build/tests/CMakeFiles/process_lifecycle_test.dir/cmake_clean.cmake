@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_lifecycle_test.dir/process_lifecycle_test.cc.o"
+  "CMakeFiles/process_lifecycle_test.dir/process_lifecycle_test.cc.o.d"
+  "process_lifecycle_test"
+  "process_lifecycle_test.pdb"
+  "process_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vusion_engine_test.dir/vusion_engine_test.cc.o"
+  "CMakeFiles/vusion_engine_test.dir/vusion_engine_test.cc.o.d"
+  "vusion_engine_test"
+  "vusion_engine_test.pdb"
+  "vusion_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vusion_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

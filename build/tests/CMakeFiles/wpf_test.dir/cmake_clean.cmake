@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpf_test.dir/wpf_test.cc.o"
+  "CMakeFiles/wpf_test.dir/wpf_test.cc.o.d"
+  "wpf_test"
+  "wpf_test.pdb"
+  "wpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
