@@ -31,6 +31,7 @@ class AvlTree {
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] Compare& comparator() { return compare_; }
 
   // Inserts a value (duplicates descend right). Returns comparisons performed.
   std::size_t Insert(T value) {

@@ -19,6 +19,46 @@ void ChargedContent::ChargeTreeStep() const {
   lm.Charge(lm.config().tree_step);
 }
 
+void ChargedContent::ChargeTreeDescend(std::size_t tree_size) const {
+  if (tree_size == 0) {
+    return;
+  }
+  std::size_t steps = 1;
+  while (tree_size >>= 1) {
+    ++steps;
+  }
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(steps * (lm.config().tree_step + lm.config().content_compare));
+}
+
+bool ChargedContent::Matches(FrameId a, FrameId b) const {
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().content_compare);
+  PhysicalMemory& memory = machine_->memory();
+  if (memory.HashContent(a) != memory.HashContent(b)) {
+    return false;
+  }
+  return memory.Compare(a, b) == 0;
+}
+
+std::uint64_t ChargedContent::HostFingerprint(FrameId frame) const {
+  return machine_->memory().HashContent(frame);
+}
+
+int ChargedContent::HostOrder(FrameId a, FrameId b) const {
+  PhysicalMemory& memory = machine_->memory();
+  if (byte_ordered_) {
+    return memory.Compare(a, b);
+  }
+  const std::uint64_t ha = memory.HashContent(a);
+  const std::uint64_t hb = memory.HashContent(b);
+  if (ha != hb) {
+    return ha < hb ? -1 : 1;
+  }
+  // Hash collision (or a true match): resolve by bytes, keeping a total order.
+  return memory.Compare(a, b);
+}
+
 bool ScanCursor::Next(Process*& process, Vpn& vpn, bool& wrapped) {
   wrapped = false;
   const auto& processes = machine_->processes();

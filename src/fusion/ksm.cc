@@ -2,17 +2,19 @@
 
 namespace vusion {
 
+// Tree comparators are pure host-side content orderings; the modeled descent cost
+// is charged explicitly (ChargeTreeDescend) at each lookup/insert site.
 int Ksm::StableCompare::operator()(StableEntry* const& a, StableEntry* const& b) const {
-  return ksm->content_.Compare(a->frame, b->frame);
+  return ksm->content_.HostOrder(a->frame, b->frame);
 }
 
 int Ksm::UnstableCompare::operator()(const UnstableItem& a, const UnstableItem& b) const {
-  return ksm->content_.Compare(a.frame, b.frame);
+  return ksm->content_.HostOrder(a.frame, b.frame);
 }
 
 Ksm::Ksm(Machine& machine, const FusionConfig& config)
     : FusionEngine(machine, config),
-      content_(machine),
+      content_(machine, config.byte_ordered_trees),
       cursor_(machine),
       stable_(StableCompare{this}),
       unstable_(UnstableCompare{this}) {}
@@ -85,16 +87,18 @@ void Ksm::ScanOne(Process& process, Vpn vpn) {
   content_.Hash(frame);  // the per-scan checksum KSM computes
 
   // 1) Stable tree lookup (Figure 1-A).
+  content_.ChargeTreeDescend(stable_.size());
   auto [stable_node, stable_steps] = stable_.Find(
-      [&](StableEntry* const& e) { return content_.Compare(frame, e->frame); });
+      [&](StableEntry* const& e) { return content_.HostOrder(frame, e->frame); });
   if (stable_node != nullptr) {
     MergeInto(process, vpn, stable_node->value);
     return;
   }
 
   // 2) Unstable tree lookup (Figure 1-B).
+  content_.ChargeTreeDescend(unstable_.size());
   auto [unstable_node, unstable_steps] = unstable_.Find(
-      [&](const UnstableItem& u) { return content_.Compare(frame, u.frame); });
+      [&](const UnstableItem& u) { return content_.HostOrder(frame, u.frame); });
   if (unstable_node != nullptr) {
     const UnstableItem item = unstable_node->value;
     unstable_.Remove(unstable_node);
@@ -112,11 +116,13 @@ void Ksm::ScanOne(Process& process, Vpn vpn) {
   // 3) No match: insert into the unstable tree (Figure 1-C) - but only pages whose
   // contents were stable since the previous scan (KSM's checksum gate).
   const std::uint64_t checksum = machine_->memory().HashContent(frame);
-  const auto it = checksums_.find(key);
-  if (it == checksums_.end() || it->second != checksum) {
-    checksums_[key] = checksum;
+  auto& proc_checksums = checksums_[process.id()];
+  const auto it = proc_checksums.find(vpn);
+  if (it == proc_checksums.end() || it->second != checksum) {
+    proc_checksums[vpn] = checksum;
     return;
   }
+  content_.ChargeTreeDescend(unstable_.size());
   unstable_.Insert(UnstableItem{frame, &process, vpn});
 }
 
@@ -163,6 +169,7 @@ Ksm::StableEntry* Ksm::Stabilize(const UnstableItem& item) {
     return nullptr;
   }
   auto* entry = new StableEntry{pte->frame, 1, nullptr};
+  content_.ChargeTreeDescend(stable_.size());
   auto [node, steps] = stable_.Insert(entry);
   entry->node = node;
   const auto accessed = static_cast<std::uint16_t>(pte->flags & kPteAccessed);
@@ -282,7 +289,10 @@ void Ksm::OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
     if (BreakCow(process, vpn, it->second, 0)) {
       ++stats_.unmerges_cow;
     }
-    checksums_.erase(KeyOf(process, vpn));
+    const auto proc_it = checksums_.find(process.id());
+    if (proc_it != checksums_.end()) {
+      proc_it->second.erase(vpn);
+    }
   }
 }
 
@@ -300,16 +310,10 @@ bool Ksm::OnUnmap(Process& process, Vpn vpn) {
 void Ksm::OnProcessDestroy(Process& process) {
   // The unstable tree holds raw (process, vpn) references; it is rebuilt every
   // round anyway, so clearing it is the faithful equivalent of the kernel's
-  // remove_node_from_tree on exit. Checksums of the dead process are purged too.
+  // remove_node_from_tree on exit. Checksums of the dead process are dropped in
+  // O(its pages) thanks to the per-process index.
   unstable_.Clear();
-  const std::uint64_t prefix = static_cast<std::uint64_t>(process.id()) << 40;
-  for (auto it = checksums_.begin(); it != checksums_.end();) {
-    if ((it->first & ~((std::uint64_t{1} << 40) - 1)) == prefix) {
-      it = checksums_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  checksums_.erase(process.id());
 }
 
 bool Ksm::AllowCollapse(Process& process, Vpn base) {

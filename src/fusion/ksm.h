@@ -97,7 +97,9 @@ class Ksm final : public FusionEngine {
   StableTree stable_;
   UnstableTree unstable_;
   std::unordered_map<std::uint64_t, StableEntry*> rmap_;
-  std::unordered_map<std::uint64_t, std::uint64_t> checksums_;  // volatility gate
+  // Volatility gate, indexed per process so teardown drops a dead process's
+  // checksums in O(its pages) instead of sweeping every tracked page.
+  std::unordered_map<std::uint32_t, std::unordered_map<Vpn, std::uint64_t>> checksums_;
   std::uint64_t frames_saved_ = 0;
 };
 

@@ -5,7 +5,9 @@
 namespace vusion {
 
 MemoryCombining::MemoryCombining(Machine& machine, const FusionConfig& config)
-    : FusionEngine(machine, config), content_(machine), cursor_(machine) {}
+    : FusionEngine(machine, config),
+      content_(machine, config.byte_ordered_trees),
+      cursor_(machine) {}
 
 MemoryCombining::~MemoryCombining() {
   for (const FrameId frame : cache_backing_) {

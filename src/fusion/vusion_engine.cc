@@ -6,12 +6,12 @@ namespace vusion {
 
 int VUsionEngine::StableCompare::operator()(StableEntry* const& a,
                                             StableEntry* const& b) const {
-  return engine->content_.Compare(a->frame, b->frame);
+  return engine->content_.HostOrder(a->frame, b->frame);
 }
 
 VUsionEngine::VUsionEngine(Machine& machine, const FusionConfig& config)
     : FusionEngine(machine, config),
-      content_(machine),
+      content_(machine, config.byte_ordered_trees),
       cursor_(machine),
       stable_(StableCompare{this}),
       pool_(machine.buddy(), config.pool_frames, machine.rng().Fork()),
@@ -83,9 +83,9 @@ void VUsionEngine::ScanOne(Process& process, Vpn vpn) {
       return;
     }
   }
-  const std::uint64_t key = KeyOf(process, vpn);
-  const auto it = pages_.find(key);
-  if (it != pages_.end() && it->second.managed) {
+  ProcessPages& proc_pages = pages_[process.id()];
+  const auto it = proc_pages.find(vpn);
+  if (it != proc_pages.end() && it->second.managed) {
     // §7.1(iii): (fake) merged pages get a fresh random backing frame each round so
     // cross-round page coloring on the fault path learns nothing.
     if (config_.rerandomize_each_scan) {
@@ -97,15 +97,15 @@ void VUsionEngine::ScanOne(Process& process, Vpn vpn) {
     const bool accessed = IdleTracker::TestAndClearAccessed(as, vpn);
     if (accessed) {
       // In the working set: not a fusion candidate; forget any candidacy.
-      if (it != pages_.end()) {
-        pages_.erase(it);
+      if (it != proc_pages.end()) {
+        proc_pages.erase(it);
       }
       return;
     }
-    if (it == pages_.end()) {
+    if (it == proc_pages.end()) {
       // First time seen idle: becomes a candidate; act only after it stays idle
       // for min_idle_rounds full rounds (the one-round delay of Figure 10).
-      pages_[key] = PageInfo{false, round_, nullptr};
+      proc_pages[vpn] = PageInfo{false, round_, nullptr};
       return;
     }
     if (round_ < it->second.candidate_round + config_.min_idle_rounds) {
@@ -137,12 +137,15 @@ void VUsionEngine::Act(Process& process, Vpn vpn, Pte* pte) {
   }
   const FrameId old = pte->frame;
   content_.Hash(old);
+  // Charged descent cost depends only on the tree's size, never its shape, so the
+  // latency (and noise-RNG) stream is identical in hash- and byte-ordered modes.
+  content_.ChargeTreeDescend(stable_.size());
   auto [node, steps] =
-      stable_.Find([&](StableEntry* const& e) { return content_.Compare(old, e->frame); });
+      stable_.Find([&](StableEntry* const& e) { return content_.HostOrder(old, e->frame); });
 
   const FrameId backing = AllocBacking();
   if (backing == kInvalidFrame) {
-    pages_.erase(KeyOf(process, vpn));
+    pages_[process.id()].erase(vpn);
     return;  // OOM: do not act this round
   }
   lm.Charge(lm.config().page_copy_4k);
@@ -179,6 +182,7 @@ void VUsionEngine::Act(Process& process, Vpn vpn, Pte* pte) {
     deferred_.Push(old);
     deferred_.PushDummy();
     entry = new StableEntry{backing, {}, round_, nullptr};
+    content_.ChargeTreeDescend(stable_.size());
     auto [inserted, insert_steps] = stable_.Insert(entry);
     entry->node = inserted;
     ++stats_.fake_merges;
@@ -190,7 +194,7 @@ void VUsionEngine::Act(Process& process, Vpn vpn, Pte* pte) {
   as.SetPte(vpn, Pte{entry->frame, kManagedFlags});
   machine_->memory().SetRefcount(entry->frame,
                                  static_cast<std::uint32_t>(entry->sharers.size()));
-  pages_[KeyOf(process, vpn)] = PageInfo{true, round_, entry};
+  pages_[process.id()][vpn] = PageInfo{true, round_, entry};
 }
 
 void VUsionEngine::RelocateEntry(StableEntry* entry) {
@@ -266,8 +270,12 @@ void VUsionEngine::UnmergeTo(Process& process, Vpn vpn, PageInfo& info,
 }
 
 bool VUsionEngine::HandleFault(Process& process, const PageFault& fault) {
-  const auto it = pages_.find(KeyOf(process, fault.vpn));
-  if (it == pages_.end() || !it->second.managed) {
+  const auto pit = pages_.find(process.id());
+  if (pit == pages_.end()) {
+    return false;
+  }
+  const auto it = pit->second.find(fault.vpn);
+  if (it == pit->second.end() || !it->second.managed) {
     return false;
   }
   // Copy-on-access: identical for merged and fake-merged pages (SB).
@@ -275,7 +283,7 @@ bool VUsionEngine::HandleFault(Process& process, const PageFault& fault) {
       kPtePresent | kPteWritable | kPteAccessed |
       (fault.access == AccessType::kWrite ? kPteDirty : 0));
   UnmergeTo(process, fault.vpn, it->second, flags);
-  pages_.erase(it);
+  pit->second.erase(it);
   ++stats_.unmerges_coa;
   machine_->trace().Emit(machine_->clock().now(), TraceEventType::kUnmergeCoa, process.id(),
                          fault.vpn, 0);
@@ -283,12 +291,16 @@ bool VUsionEngine::HandleFault(Process& process, const PageFault& fault) {
 }
 
 bool VUsionEngine::OnUnmap(Process& process, Vpn vpn) {
-  const auto it = pages_.find(KeyOf(process, vpn));
-  if (it == pages_.end()) {
+  const auto pit = pages_.find(process.id());
+  if (pit == pages_.end()) {
+    return false;
+  }
+  const auto it = pit->second.find(vpn);
+  if (it == pit->second.end()) {
     return false;
   }
   if (!it->second.managed) {
-    pages_.erase(it);
+    pit->second.erase(it);
     return false;  // candidate only: the kernel still owns the frame
   }
   StableEntry* entry = it->second.entry;
@@ -302,7 +314,7 @@ bool VUsionEngine::OnUnmap(Process& process, Vpn vpn) {
     machine_->memory().SetRefcount(entry->frame,
                                    static_cast<std::uint32_t>(entry->sharers.size()));
   }
-  pages_.erase(it);
+  pit->second.erase(it);
   return true;
 }
 
@@ -310,9 +322,13 @@ bool VUsionEngine::AllowCollapse(Process& process, Vpn base) {
   if (config_.thp_aware) {
     return true;  // PrepareCollapse will (fake) unmerge managed subpages (§8.2)
   }
+  const auto pit = pages_.find(process.id());
+  if (pit == pages_.end()) {
+    return true;
+  }
   for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {
-    const auto it = pages_.find(KeyOf(process, vpn));
-    if (it != pages_.end() && it->second.managed) {
+    const auto it = pit->second.find(vpn);
+    if (it != pit->second.end() && it->second.managed) {
       return false;
     }
   }
@@ -320,9 +336,13 @@ bool VUsionEngine::AllowCollapse(Process& process, Vpn base) {
 }
 
 void VUsionEngine::PrepareCollapse(Process& process, Vpn base) {
+  const auto pit = pages_.find(process.id());
+  if (pit == pages_.end()) {
+    return;
+  }
   for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {
-    const auto it = pages_.find(KeyOf(process, vpn));
-    if (it == pages_.end()) {
+    const auto it = pit->second.find(vpn);
+    if (it == pit->second.end()) {
       continue;
     }
     if (it->second.managed) {
@@ -330,35 +350,32 @@ void VUsionEngine::PrepareCollapse(Process& process, Vpn base) {
       UnmergeTo(process, vpn, it->second, kPtePresent | kPteWritable | kPteAccessed);
       ++stats_.unmerges_coa;
     }
-    pages_.erase(it);
+    pit->second.erase(it);
   }
 }
 
 void VUsionEngine::OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
+  const auto pit = pages_.find(process.id());
+  if (pit == pages_.end()) {
+    return;
+  }
   for (Vpn vpn = start; vpn < start + pages; ++vpn) {
-    const auto it = pages_.find(KeyOf(process, vpn));
-    if (it == pages_.end()) {
+    const auto it = pit->second.find(vpn);
+    if (it == pit->second.end()) {
       continue;
     }
     if (it->second.managed) {
       UnmergeTo(process, vpn, it->second, kPtePresent | kPteWritable | kPteAccessed);
       ++stats_.unmerges_coa;
     }
-    pages_.erase(it);
+    pit->second.erase(it);
   }
 }
 
 void VUsionEngine::OnProcessDestroy(Process& process) {
-  // Managed pages were detached through OnUnmap during teardown; only candidate
-  // bookkeeping can remain.
-  const std::uint64_t prefix = static_cast<std::uint64_t>(process.id()) << 40;
-  for (auto it = pages_.begin(); it != pages_.end();) {
-    if ((it->first & ~((std::uint64_t{1} << 40) - 1)) == prefix) {
-      it = pages_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Managed pages were detached through OnUnmap during teardown; dropping the
+  // process's bucket releases any remaining candidate bookkeeping in O(its pages).
+  pages_.erase(process.id());
 }
 
 void VUsionEngine::ForEachStableEntry(
@@ -374,13 +391,21 @@ void VUsionEngine::ForEachStableEntry(
 }
 
 bool VUsionEngine::IsManaged(const Process& process, Vpn vpn) const {
-  const auto it = pages_.find(KeyOf(process, vpn));
-  return it != pages_.end() && it->second.managed;
+  const auto pit = pages_.find(process.id());
+  if (pit == pages_.end()) {
+    return false;
+  }
+  const auto it = pit->second.find(vpn);
+  return it != pit->second.end() && it->second.managed;
 }
 
 bool VUsionEngine::IsShared(const Process& process, Vpn vpn) const {
-  const auto it = pages_.find(KeyOf(process, vpn));
-  return it != pages_.end() && it->second.managed && it->second.entry->sharers.size() > 1;
+  const auto pit = pages_.find(process.id());
+  if (pit == pages_.end()) {
+    return false;
+  }
+  const auto it = pit->second.find(vpn);
+  return it != pit->second.end() && it->second.managed && it->second.entry->sharers.size() > 1;
 }
 
 }  // namespace vusion

@@ -98,10 +98,10 @@ class VUsionEngine final : public FusionEngine {
     std::uint64_t candidate_round = 0;
     StableEntry* entry = nullptr;
   };
+  // Tracked pages, indexed per process so VM teardown drops a process's
+  // bookkeeping in O(its pages) instead of sweeping the whole map.
+  using ProcessPages = std::unordered_map<Vpn, PageInfo>;
 
-  static std::uint64_t KeyOf(const Process& process, Vpn vpn) {
-    return (static_cast<std::uint64_t>(process.id()) << 40) ^ vpn;
-  }
   static constexpr std::uint16_t kManagedFlags =
       kPtePresent | kPteReserved | kPteCacheDisable;
 
@@ -120,7 +120,7 @@ class VUsionEngine final : public FusionEngine {
   Tree stable_;
   RandomizedPool pool_;
   DeferredFreeQueue deferred_;
-  std::unordered_map<std::uint64_t, PageInfo> pages_;
+  std::unordered_map<std::uint32_t, ProcessPages> pages_;
   std::uint64_t round_ = 1;
   std::uint64_t frames_saved_ = 0;
 };

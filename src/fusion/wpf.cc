@@ -5,12 +5,22 @@
 namespace vusion {
 
 int Wpf::CombinedCompare::operator()(Combined* const& a, Combined* const& b) const {
-  return wpf->content_.Compare(a->frame, b->frame);
+  if (!wpf->content_.byte_ordered()) {
+    // Immutable (insert-time hash, frame) key: total order, no content reads.
+    if (a->sort_hash != b->sort_hash) {
+      return a->sort_hash < b->sort_hash ? -1 : 1;
+    }
+    if (a->frame != b->frame) {
+      return a->frame < b->frame ? -1 : 1;
+    }
+    return 0;
+  }
+  return wpf->content_.HostOrder(a->frame, b->frame);
 }
 
 Wpf::Wpf(Machine& machine, const FusionConfig& config)
     : FusionEngine(machine, config),
-      content_(machine),
+      content_(machine, config.byte_ordered_trees),
       linear_(machine.buddy(), machine.memory()) {
   trees_.reserve(kShards);
   for (std::size_t i = 0; i < kShards; ++i) {
@@ -87,8 +97,17 @@ void Wpf::DoFusionPass() {
   remaining.reserve(candidates.size());
   for (const Candidate& c : candidates) {
     Tree& tree = *trees_[c.hash % kShards];
-    auto [entry, steps] =
-        tree.Find([&](Combined* const& e) { return content_.Compare(c.frame, e->frame); });
+    content_.ChargeTreeDescend(tree.size());
+    auto [entry, steps] = tree.Find([&](Combined* const& e) {
+      if (!content_.byte_ordered()) {
+        if (c.hash != e->sort_hash) {
+          return c.hash < e->sort_hash ? -1 : 1;
+        }
+        // Equal fingerprint: verify by bytes (collisions partition further down).
+        return machine_->memory().Compare(c.frame, e->frame);
+      }
+      return content_.HostOrder(c.frame, e->frame);
+    });
     if (entry != nullptr) {
       MergeIntoCombined(c, *entry);
     } else {
@@ -113,7 +132,7 @@ void Wpf::DoFusionPass() {
         }
         std::vector<const Candidate*> group{&remaining[a]};
         for (std::size_t b = a + 1; b < j; ++b) {
-          if (!used[b - i] && content_.Compare(remaining[a].frame, remaining[b].frame) == 0) {
+          if (!used[b - i] && content_.Matches(remaining[a].frame, remaining[b].frame)) {
             used[b - i] = true;
             group.push_back(&remaining[b]);
           }
@@ -166,7 +185,9 @@ void Wpf::DoFusionPass() {
     const FrameId combined_frame = fresh[g];
     lm.Charge(lm.config().page_copy_4k);
     machine_->memory().CopyFrame(combined_frame, groups[g][0]->frame);
-    auto* entry = new Combined{combined_frame, 0, groups[g][0]->hash % kShards};
+    auto* entry = new Combined{combined_frame, 0, groups[g][0]->hash % kShards,
+                               groups[g][0]->hash};
+    content_.ChargeTreeDescend(trees_[entry->shard]->size());
     trees_[entry->shard]->Insert(entry);
     ++rmap_bucket_count_;
     pass_allocations_.back().push_back(combined_frame);
@@ -216,10 +237,23 @@ void Wpf::DropRef(Combined* entry) {
   }
   --entry->refs;
   if (entry->refs == 0) {
-    // Remove by content navigation (combined contents are unique per tree).
+    // Remove by navigation; the probe must order exactly like the tree comparator
+    // or the descent goes wrong. In fingerprint mode the immutable (sort_hash,
+    // frame) key guarantees the entry is found even if its content was mutated.
     Tree& tree = *trees_[entry->shard];
-    const bool removed =
-        tree.RemoveIf([&](Combined* const& e) { return content_.Compare(entry->frame, e->frame); });
+    content_.ChargeTreeDescend(tree.size());
+    const bool removed = tree.RemoveIf([&](Combined* const& e) {
+      if (!content_.byte_ordered()) {
+        if (entry->sort_hash != e->sort_hash) {
+          return entry->sort_hash < e->sort_hash ? -1 : 1;
+        }
+        if (entry->frame != e->frame) {
+          return entry->frame < e->frame ? -1 : 1;
+        }
+        return 0;
+      }
+      return content_.HostOrder(entry->frame, e->frame);
+    });
     (void)removed;
     --rmap_bucket_count_;
     machine_->FlushFrame(entry->frame);

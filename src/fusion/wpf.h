@@ -60,6 +60,10 @@ class Wpf final : public FusionEngine {
     FrameId frame = kInvalidFrame;
     std::uint32_t refs = 0;
     std::size_t shard = 0;
+    // Content hash captured at insertion. Fingerprint-ordered trees sort by
+    // (sort_hash, frame) — both immutable — so removal navigation stays correct
+    // even if the frame's content is later mutated (e.g. by a Rowhammer flip).
+    std::uint64_t sort_hash = 0;
   };
   struct CombinedCompare {
     Wpf* wpf;

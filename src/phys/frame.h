@@ -33,11 +33,19 @@ struct Frame {
   std::uint32_t refcount = 0;  // mappings sharing this frame (fusion refcounting)
   ContentKind kind = ContentKind::kZero;
   std::uint64_t pattern_seed = 0;
-  std::unique_ptr<PageBytes> bytes;
-  // Content-hash cache; fusion engines hash every scanned page, so recomputing on
-  // unchanged contents would dominate simulation cost.
+  // Materialized contents, shared copy-on-write between frames: CopyFrame aliases
+  // the buffer (O(1) host cost) and any mutator clones it first if aliased. Purely
+  // a host-side optimization — simulated copy costs are still charged in full.
+  std::shared_ptr<PageBytes> bytes;
+  // Content generation: bumped by every mutating operation. A cached hash is valid
+  // exactly when hash_gen == content_gen; generation 0 is never current, so a
+  // default-constructed cache entry is invalid. Fusion engines fingerprint every
+  // scanned page, so recomputing on unchanged contents would dominate host cost.
+  std::uint64_t content_gen = 1;
   mutable std::uint64_t cached_hash = 0;
-  mutable bool hash_valid = false;
+  mutable std::uint64_t hash_gen = 0;
+
+  [[nodiscard]] bool hash_cached() const { return hash_gen == content_gen; }
 };
 
 }  // namespace vusion

@@ -58,7 +58,7 @@ void PhysicalMemory::FillZero(FrameId f) {
   }
   fr.kind = ContentKind::kZero;
   fr.pattern_seed = 0;
-  fr.hash_valid = false;
+  ++fr.content_gen;
 }
 
 void PhysicalMemory::FillPattern(FrameId f, std::uint64_t seed) {
@@ -69,7 +69,14 @@ void PhysicalMemory::FillPattern(FrameId f, std::uint64_t seed) {
   }
   fr.kind = ContentKind::kPattern;
   fr.pattern_seed = seed;
-  fr.hash_valid = false;
+  ++fr.content_gen;
+}
+
+void PhysicalMemory::Unshare(FrameId f) {
+  Frame& fr = frames_[f];
+  if (fr.bytes.use_count() > 1) {
+    fr.bytes = std::make_shared<PageBytes>(*fr.bytes);
+  }
 }
 
 void PhysicalMemory::Materialize(FrameId f) {
@@ -77,7 +84,7 @@ void PhysicalMemory::Materialize(FrameId f) {
   if (fr.kind == ContentKind::kBytes) {
     return;
   }
-  auto buf = std::make_unique<PageBytes>();
+  auto buf = std::make_shared<PageBytes>();
   if (fr.kind == ContentKind::kZero) {
     buf->fill(0);
   } else {
@@ -95,8 +102,9 @@ void PhysicalMemory::WriteBytes(FrameId f, std::size_t offset,
                                 std::span<const std::uint8_t> data) {
   assert(offset + data.size() <= kPageSize);
   Materialize(f);
+  Unshare(f);
   std::memcpy(frames_[f].bytes->data() + offset, data.data(), data.size());
-  frames_[f].hash_valid = false;
+  ++frames_[f].content_gen;
 }
 
 void PhysicalMemory::WriteU64(FrameId f, std::size_t offset, std::uint64_t value) {
@@ -141,11 +149,18 @@ std::uint8_t PhysicalMemory::ReadByte(FrameId f, std::size_t offset) const {
 void PhysicalMemory::CopyFrame(FrameId dst, FrameId src) {
   Frame& d = frames_[dst];
   const Frame& s = frames_[src];
-  d.hash_valid = s.hash_valid;
+  ++d.content_gen;
+  // The copy inherits the source's cached hash (valid or not at the new generation).
   d.cached_hash = s.cached_hash;
+  d.hash_gen = s.hash_cached() ? d.content_gen : 0;
   if (s.kind == ContentKind::kBytes) {
-    Materialize(dst);
-    *d.bytes = *s.bytes;
+    // Alias the buffer copy-on-write instead of copying 4 KB; a later write to
+    // either frame clones it (Unshare).
+    if (d.bytes == nullptr) {
+      ++materialized_count_;
+    }
+    d.bytes = s.bytes;
+    d.kind = ContentKind::kBytes;
     return;
   }
   if (d.bytes != nullptr) {
@@ -159,8 +174,9 @@ void PhysicalMemory::CopyFrame(FrameId dst, FrameId src) {
 void PhysicalMemory::FlipBit(FrameId f, std::size_t bit_index) {
   assert(bit_index < kPageSize * 8);
   Materialize(f);
+  Unshare(f);
   (*frames_[f].bytes)[bit_index / 8] ^= static_cast<std::uint8_t>(1U << (bit_index % 8));
-  frames_[f].hash_valid = false;
+  ++frames_[f].content_gen;
 }
 
 int PhysicalMemory::Compare(FrameId a, FrameId b) const {
@@ -178,6 +194,9 @@ int PhysicalMemory::Compare(FrameId a, FrameId b) const {
     return 0;
   }
   if (fa.kind == ContentKind::kBytes && fb.kind == ContentKind::kBytes) {
+    if (fa.bytes == fb.bytes) {
+      return 0;  // CoW-aliased buffers are byte-identical by construction
+    }
     return std::memcmp(fa.bytes->data(), fb.bytes->data(), kPageSize);
   }
   for (std::size_t i = 0; i < kPageSize; ++i) {
@@ -192,7 +211,7 @@ int PhysicalMemory::Compare(FrameId a, FrameId b) const {
 
 std::uint64_t PhysicalMemory::HashContent(FrameId f) const {
   const Frame& fr = frames_[f];
-  if (fr.hash_valid) {
+  if (fr.hash_cached()) {
     return fr.cached_hash;
   }
   std::uint64_t h = kFnvOffset;
@@ -208,16 +227,22 @@ std::uint64_t PhysicalMemory::HashContent(FrameId f) const {
   } else {
     const auto it = pattern_hash_cache_.find(fr.pattern_seed);
     if (it != pattern_hash_cache_.end()) {
+      ++pattern_hash_hits_;
       h = it->second;
     } else {
+      ++pattern_hash_misses_;
       for (std::size_t i = 0; i < kPageSize; ++i) {
         h = (h ^ ByteAt(f, i)) * kFnvPrime;
+      }
+      if (pattern_hash_cache_.size() >= kPatternHashCacheCap) {
+        pattern_hash_cache_.clear();
+        ++pattern_hash_evictions_;
       }
       pattern_hash_cache_.emplace(fr.pattern_seed, h);
     }
   }
   fr.cached_hash = h;
-  fr.hash_valid = true;
+  fr.hash_gen = fr.content_gen;
   return h;
 }
 
@@ -246,7 +271,7 @@ void PhysicalMemory::Restore(FrameId f, const ContentSnapshot& snapshot) {
       break;
   }
   frames_[f].cached_hash = snapshot.hash;
-  frames_[f].hash_valid = true;
+  frames_[f].hash_gen = frames_[f].content_gen;
 }
 
 bool PhysicalMemory::SnapshotsEqual(const ContentSnapshot& a, const ContentSnapshot& b) {

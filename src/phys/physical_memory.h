@@ -59,7 +59,33 @@ class PhysicalMemory {
   [[nodiscard]] int Compare(FrameId a, FrameId b) const;
 
   // 64-bit content hash (FNV-1a over the byte stream); equal contents hash equal.
+  // Memoized per frame via the content generation counter: recomputed only after a
+  // mutating operation, O(1) on every other call.
   [[nodiscard]] std::uint64_t HashContent(FrameId f) const;
+
+  // Monotonic per-frame content version; bumped by every mutating operation
+  // (WriteBytes/WriteU64/FlipBit/CopyFrame/FillZero/FillPattern/Restore). Lets
+  // callers memoize any content-derived value with a single integer compare.
+  [[nodiscard]] std::uint64_t content_generation(FrameId f) const {
+    return frames_[f].content_gen;
+  }
+
+  // Hit/miss accounting for the seed-keyed pattern hash cache (bounded; see
+  // kPatternHashCacheCap).
+  struct PatternHashCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+    std::uint64_t evictions = 0;  // full clears forced by the size cap
+  };
+  [[nodiscard]] PatternHashCacheStats pattern_hash_cache_stats() const {
+    return {pattern_hash_hits_, pattern_hash_misses_, pattern_hash_cache_.size(),
+            pattern_hash_evictions_};
+  }
+
+  // Size cap for pattern_hash_cache_; VM images churn through seeds, so an
+  // unbounded cache grows for the lifetime of the simulation.
+  static constexpr std::size_t kPatternHashCacheCap = 8192;
 
   [[nodiscard]] bool IsZero(FrameId f) const;
 
@@ -83,13 +109,21 @@ class PhysicalMemory {
 
  private:
   void Materialize(FrameId f);
+  // Clones the frame's buffer if it is CoW-aliased with another frame; every
+  // mutator of materialized bytes must call this before writing.
+  void Unshare(FrameId f);
   [[nodiscard]] std::uint8_t ByteAt(FrameId f, std::size_t offset) const;
 
   std::vector<Frame> frames_;
   std::size_t allocated_count_ = 0;
   std::size_t materialized_count_ = 0;
-  // Hash cache for pattern contents, keyed by seed (many frames share an image seed).
+  // Hash cache for pattern contents, keyed by seed (many frames share an image
+  // seed). Bounded by kPatternHashCacheCap: once full, it is cleared and refilled
+  // on demand.
   mutable std::unordered_map<std::uint64_t, std::uint64_t> pattern_hash_cache_;
+  mutable std::uint64_t pattern_hash_hits_ = 0;
+  mutable std::uint64_t pattern_hash_misses_ = 0;
+  mutable std::uint64_t pattern_hash_evictions_ = 0;
 };
 
 // Deterministic byte expansion of a pattern seed; exposed for tests.

@@ -138,6 +138,112 @@ INSTANTIATE_TEST_SUITE_P(
                       ParityParam{EngineKind::kVUsionThp, 1}),
     ParamName);
 
+// --- Fingerprint-ordering parity ---
+//
+// The fusion trees are ordered by (cached content hash, bytes-on-collision); the
+// FusionConfig::byte_ordered_trees ablation restores the reference raw-memcmp
+// ordering. The two orderings are a host-side implementation detail: every
+// simulated statistic and every charged latency must be bit-identical. The clock
+// comparison is the strong probe — daemon wake-ups reschedule relative to the
+// charged time, so any divergence in the charge (or noise-RNG) stream shows up in
+// the final simulated timestamp.
+
+struct FingerprintResult {
+  std::uint64_t pages_scanned = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t fake_merges = 0;
+  std::uint64_t unmerges_cow = 0;
+  std::uint64_t unmerges_coa = 0;
+  std::uint64_t zero_page_merges = 0;
+  std::uint64_t full_scans = 0;
+  std::uint64_t frames_saved = 0;
+  SimTime final_time = 0;
+};
+
+FingerprintResult RunFingerprintScenario(EngineKind kind, bool byte_ordered) {
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;
+  machine_config.seed = 99;
+  Machine machine(machine_config);
+  FusionConfig fusion_config;
+  fusion_config.wake_period = 1 * kMillisecond;
+  fusion_config.pages_per_wake = 256;
+  fusion_config.pool_frames = 1024;
+  fusion_config.wpf_period = 20 * kMillisecond;
+  fusion_config.byte_ordered_trees = byte_ordered;
+  auto engine = MakeEngine(kind, machine, fusion_config);
+  engine->Install();
+
+  // Idle diverse VMs: cross-VM duplicates, per-VM unique pages, and some zero
+  // pages. No writes after setup, so the trees never go stale and both orderings
+  // must discover exactly the same matches.
+  constexpr std::size_t kVms = 3;
+  constexpr std::size_t kPages = 128;
+  for (std::size_t p = 0; p < kVms; ++p) {
+    Process& proc = machine.CreateProcess();
+    const VirtAddr base = proc.AllocateRegion(kPages, PageType::kAnonymous, true, false);
+    for (std::size_t i = 0; i < kPages; ++i) {
+      if (i % 4 == 0) {
+        proc.SetupMapPattern(VaddrToVpn(base) + i, 0x4400 + (i % 24));  // duplicates
+      } else {
+        proc.SetupMapPattern(VaddrToVpn(base) + i, 0x880000 + p * 4096 + i);  // unique
+      }
+    }
+  }
+  machine.Idle(300 * kMillisecond);
+
+  const FusionStats& stats = engine->stats();
+  FingerprintResult result;
+  result.pages_scanned = stats.pages_scanned;
+  result.merges = stats.merges;
+  result.fake_merges = stats.fake_merges;
+  result.unmerges_cow = stats.unmerges_cow;
+  result.unmerges_coa = stats.unmerges_coa;
+  result.zero_page_merges = stats.zero_page_merges;
+  result.full_scans = stats.full_scans;
+  result.frames_saved = engine->frames_saved();
+  result.final_time = machine.clock().now();
+  engine->Uninstall();
+  return result;
+}
+
+class FingerprintParityTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(FingerprintParityTest, HashAndByteOrderingsAreBitIdentical) {
+  const EngineKind kind = GetParam();
+  const FingerprintResult hashed = RunFingerprintScenario(kind, /*byte_ordered=*/false);
+  const FingerprintResult bytes = RunFingerprintScenario(kind, /*byte_ordered=*/true);
+
+  EXPECT_EQ(hashed.pages_scanned, bytes.pages_scanned);
+  EXPECT_EQ(hashed.merges, bytes.merges);
+  EXPECT_EQ(hashed.fake_merges, bytes.fake_merges);
+  EXPECT_EQ(hashed.unmerges_cow, bytes.unmerges_cow);
+  EXPECT_EQ(hashed.unmerges_coa, bytes.unmerges_coa);
+  EXPECT_EQ(hashed.zero_page_merges, bytes.zero_page_merges);
+  EXPECT_EQ(hashed.full_scans, bytes.full_scans);
+  EXPECT_EQ(hashed.frames_saved, bytes.frames_saved);
+  EXPECT_EQ(hashed.final_time, bytes.final_time);
+
+  // The scenario must actually exercise matching, not compare two no-ops.
+  if (kind != EngineKind::kMemoryCombining) {
+    EXPECT_GT(hashed.merges + hashed.fake_merges, 0u);
+    EXPECT_GT(hashed.frames_saved, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KsmVUsionMc, FingerprintParityTest,
+                         ::testing::Values(EngineKind::kKsm, EngineKind::kVUsion,
+                                           EngineKind::kMemoryCombining),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           std::string name = EngineKindName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
 // Savings comparison: with heavy duplication, every fusing engine must save a
 // significant fraction, and VUsion's savings must be in the same ballpark as KSM's
 // (the paper's central capacity claim).

@@ -180,5 +180,110 @@ TEST(PhysicalMemoryTest, SnapshotsEqualSemantics) {
   EXPECT_FALSE(PhysicalMemory::SnapshotsEqual(mem.Snapshot(4), s0));
 }
 
+// Every mutating operation must bump the frame's content generation; the memoized
+// hash is keyed on the generation, so a missed bump would serve a stale hash and
+// silently mis-order the fingerprint trees.
+TEST(PhysicalMemoryTest, ContentGenerationBumpsOnEveryMutatingOp) {
+  PhysicalMemory mem(16);
+  const std::uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const PhysicalMemory::ContentSnapshot snapshot = [&] {
+    PhysicalMemory scratch(1);
+    scratch.FillPattern(0, 99);
+    return scratch.Snapshot(0);
+  }();
+  mem.FillPattern(1, 7);  // CopyFrame source
+
+  struct Op {
+    const char* name;
+    void (*run)(PhysicalMemory&, const std::uint8_t*,
+                const PhysicalMemory::ContentSnapshot&);
+  };
+  const Op ops[] = {
+      {"FillZero", [](PhysicalMemory& m, const std::uint8_t*,
+                      const PhysicalMemory::ContentSnapshot&) { m.FillZero(0); }},
+      {"FillPattern", [](PhysicalMemory& m, const std::uint8_t*,
+                         const PhysicalMemory::ContentSnapshot&) { m.FillPattern(0, 5); }},
+      {"WriteBytes",
+       [](PhysicalMemory& m, const std::uint8_t* d,
+          const PhysicalMemory::ContentSnapshot&) { m.WriteBytes(0, 16, {d, 8}); }},
+      {"WriteU64", [](PhysicalMemory& m, const std::uint8_t*,
+                      const PhysicalMemory::ContentSnapshot&) { m.WriteU64(0, 8, 0xabcd); }},
+      {"FlipBit", [](PhysicalMemory& m, const std::uint8_t*,
+                     const PhysicalMemory::ContentSnapshot&) { m.FlipBit(0, 12345); }},
+      {"CopyFrame", [](PhysicalMemory& m, const std::uint8_t*,
+                       const PhysicalMemory::ContentSnapshot&) { m.CopyFrame(0, 1); }},
+      {"Restore",
+       [](PhysicalMemory& m, const std::uint8_t*,
+          const PhysicalMemory::ContentSnapshot& s) { m.Restore(0, s); }},
+  };
+  for (const Op& op : ops) {
+    const std::uint64_t before = mem.content_generation(0);
+    op.run(mem, data, snapshot);
+    EXPECT_GT(mem.content_generation(0), before) << op.name;
+  }
+}
+
+// The memoized hash must track content: recompute after mutation, not before.
+TEST(PhysicalMemoryTest, HashMemoizationInvalidatedByWrites) {
+  PhysicalMemory mem(4);
+  mem.FillPattern(0, 1234);
+  const std::uint64_t h0 = mem.HashContent(0);
+  EXPECT_EQ(mem.HashContent(0), h0);  // memoized: stable without mutation
+  mem.WriteU64(0, 0, ~mem.ReadU64(0, 0));
+  const std::uint64_t h1 = mem.HashContent(0);
+  EXPECT_NE(h1, h0);
+  mem.WriteU64(0, 0, ~mem.ReadU64(0, 0));  // write the original value back
+  EXPECT_EQ(mem.HashContent(0), h0);
+}
+
+// A single Rowhammer flip must change the content hash (FlipBit materializes and
+// mutates in place; a stale memoized hash here would hide the corruption from
+// every fingerprint-ordered tree).
+TEST(PhysicalMemoryTest, FlipBitChangesHashContent) {
+  PhysicalMemory mem(4);
+  mem.FillPattern(0, 42);
+  const std::uint64_t before = mem.HashContent(0);
+  mem.FlipBit(0, 8 * 100 + 3);
+  const std::uint64_t after = mem.HashContent(0);
+  EXPECT_NE(after, before);
+  mem.FlipBit(0, 8 * 100 + 3);  // flip back: content and hash return
+  EXPECT_EQ(mem.HashContent(0), before);
+}
+
+// CopyFrame propagates the source's memoized hash to the destination.
+TEST(PhysicalMemoryTest, CopyFramePropagatesHash) {
+  PhysicalMemory mem(4);
+  mem.FillPattern(0, 77);
+  const std::uint64_t h = mem.HashContent(0);
+  mem.CopyFrame(1, 0);
+  EXPECT_EQ(mem.HashContent(1), h);
+  EXPECT_EQ(mem.Compare(0, 1), 0);
+}
+
+// The seed-keyed pattern hash cache is bounded: filling it past the cap forces a
+// clear (counted as an eviction), and repeated seeds count as hits.
+TEST(PhysicalMemoryTest, PatternHashCacheIsBoundedAndCounted) {
+  PhysicalMemory mem(4);
+  mem.FillPattern(0, 1);
+  (void)mem.HashContent(0);
+  (void)mem.HashContent(0);  // memoized on the frame: no second cache probe
+  mem.FillPattern(1, 1);
+  (void)mem.HashContent(1);  // same seed, new frame: cache hit
+  PhysicalMemory::PatternHashCacheStats stats = mem.pattern_hash_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  for (std::uint64_t seed = 100; seed < 100 + PhysicalMemory::kPatternHashCacheCap + 8;
+       ++seed) {
+    mem.FillPattern(2, seed);
+    (void)mem.HashContent(2);
+  }
+  stats = mem.pattern_hash_cache_stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.entries, PhysicalMemory::kPatternHashCacheCap);
+}
+
 }  // namespace
 }  // namespace vusion
