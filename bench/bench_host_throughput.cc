@@ -1,16 +1,32 @@
-// Host (wall-clock) scan throughput: how fast the *simulator* chews through the
-// scan hot path, in scanned pages per host second, with fingerprint-ordered trees
-// versus the reference byte-ordered ablation (FusionConfig::byte_ordered_trees).
+// Host (wall-clock) scan throughput. Two experiments, one JSON:
 //
-// This measures the simulator's own cost, not modeled latency: simulated
-// statistics and charged latencies are bit-identical in both modes (see the
-// fingerprint-parity test); only the host time differs. The scenario is the
-// diverse-VM setup (catalog images, mostly-idle guests) where content comparisons
-// dominate the scan path. Results go to stdout and BENCH_host_throughput.json.
+// 1. Fingerprint-ordered trees versus the byte-ordered ablation
+//    (FusionConfig::byte_ordered_trees) on the diverse-VM scenario. Best-of-3
+//    wall time per (engine, mode) so scheduler jitter cannot invert the ratio.
+//
+// 2. A --threads sweep (default 1,2,4,8) of the parallel scan pipeline
+//    (FusionConfig::scan_threads) on a churn variant of the same scenario where
+//    guests keep dirtying their unique pages, so per-wake content hashing — the
+//    phase-1 work the pipeline shards across workers — dominates the scan path.
+//
+// Both experiments measure the simulator's own cost, not modeled latency:
+// simulated statistics and charged latencies are bit-identical across modes and
+// thread counts (the bench re-checks this; engine_parity_test proves it). The
+// sweep reports scan-section throughput from ScanTiming::scan_ns, both measured
+// and projected: on hosts with fewer cores than threads the measured wall time
+// cannot speed up, so the critical path is projected from the measured phase-1
+// aggregate as scan_ns - phase1_ns + phase1_ns / threads (serial phase
+// unchanged, sharded phase divided across workers). The JSON records which
+// basis ("measured" when host_cpus >= threads, else "projected") produced the
+// headline. Results go to stdout and BENCH_host_throughput.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -21,6 +37,7 @@ namespace {
 constexpr std::size_t kVms = 4;            // 2-4 VMs per the harness spec
 constexpr std::size_t kGuestPages = 4096;  // 16 MB guests
 constexpr SimTime kRunTime = 120 * kSecond;
+constexpr int kRepeats = 3;  // best-of-3: min wall time per configuration
 
 // Diverse-VM content model: near-duplicate pages. Every page shares one long
 // common prefix (think zeroed-then-initialized structures, common library/page
@@ -33,23 +50,62 @@ constexpr std::uint64_t kCommonSeed = 0xc0ffee;
 constexpr std::size_t kTailOffset = kPageSize - 8;
 constexpr std::size_t kDuplicateGroups = 512;
 
-struct RunResult {
-  std::string engine;
-  std::string mode;
+// Churn sweep: smaller guests, more steps. Each step rewrites the tag of every
+// unique page (duplicates stay merged), so the next scan round re-hashes ~3/4 of
+// all pages — the hash-bound regime the parallel pipeline targets.
+constexpr std::size_t kChurnGuestPages = 2048;
+constexpr std::size_t kChurnSteps = 40;
+constexpr SimTime kChurnStepTime = 500 * kMillisecond;
+
+struct SimOutcome {
   std::uint64_t pages_scanned = 0;
   std::uint64_t merges = 0;
   std::uint64_t frames_saved = 0;
+
+  bool operator==(const SimOutcome&) const = default;
+};
+
+struct RunResult {
+  std::string engine;
+  std::string mode;
+  SimOutcome sim;
   double wall_seconds = 0.0;
   double pages_per_second = 0.0;
   double end_to_end_seconds = 0.0;  // whole scenario incl. boot
 };
 
-RunResult RunOne(EngineKind kind, bool byte_ordered) {
-  const auto t0 = std::chrono::steady_clock::now();
+struct SweepResult {
+  std::string engine;
+  std::size_t threads = 1;
+  SimOutcome sim;
+  double wall_seconds = 0.0;      // whole churn loop (writes + scans)
+  double scan_seconds = 0.0;      // scan sections only (ScanTiming::scan_ns)
+  double phase1_seconds = 0.0;    // aggregate phase-1 chunk time
+  double projected_seconds = 0.0; // scan - phase1 + phase1/threads
+  std::uint64_t items = 0;
+  double measured_pps = 0.0;
+  double projected_pps = 0.0;
+};
+
+SimOutcome CaptureOutcome(Scenario& scenario) {
+  SimOutcome out;
+  out.pages_scanned = scenario.engine()->stats().pages_scanned;
+  out.merges = scenario.engine()->stats().merges;
+  out.frames_saved = scenario.engine()->frames_saved();
+  return out;
+}
+
+ScenarioConfig ThroughputScenario(EngineKind kind) {
   ScenarioConfig config = EvalScenario(kind);
   config.machine.frame_count = 1u << 17;  // 512 MB host
   config.fusion.pages_per_wake = 400;     // scan-heavy: stress the hot path
   config.fusion.pool_frames = 8192;
+  return config;
+}
+
+RunResult RunModeOnce(EngineKind kind, bool byte_ordered) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ScenarioConfig config = ThroughputScenario(kind);
   config.fusion.byte_ordered_trees = byte_ordered;
   Scenario scenario(config);
   for (std::size_t p = 0; p < kVms; ++p) {
@@ -74,18 +130,119 @@ RunResult RunOne(EngineKind kind, bool byte_ordered) {
   RunResult result;
   result.engine = scenario.engine()->name();
   result.mode = byte_ordered ? "byte-ordered" : "fingerprint";
-  result.pages_scanned = scenario.engine()->stats().pages_scanned;
-  result.merges = scenario.engine()->stats().merges;
-  result.frames_saved = scenario.engine()->frames_saved();
+  result.sim = CaptureOutcome(scenario);
   result.wall_seconds = std::chrono::duration<double>(t2 - t1).count();
   result.pages_per_second =
-      result.wall_seconds > 0 ? static_cast<double>(result.pages_scanned) / result.wall_seconds
+      result.wall_seconds > 0 ? static_cast<double>(result.sim.pages_scanned) / result.wall_seconds
                               : 0.0;
   result.end_to_end_seconds = std::chrono::duration<double>(t2 - t0).count();
   return result;
 }
 
-void Run() {
+// Best-of-kRepeats wall time, with the two modes interleaved (byte, fp, byte,
+// fp, ...) so a slow environmental window penalizes both modes equally instead
+// of whichever happened to run inside it. Simulated outcomes must agree across
+// repeats (the simulator is deterministic); the bench aborts loudly otherwise.
+std::pair<RunResult, RunResult> RunModePair(EngineKind kind) {
+  std::pair<RunResult, RunResult> best = {RunModeOnce(kind, true),
+                                          RunModeOnce(kind, false)};
+  for (int r = 1; r < kRepeats; ++r) {
+    for (RunResult* slot : {&best.first, &best.second}) {
+      RunResult next = RunModeOnce(kind, slot->mode == "byte-ordered");
+      if (!(next.sim == slot->sim)) {
+        std::fprintf(stderr, "FATAL: nondeterministic outcome for %s/%s\n",
+                     next.engine.c_str(), next.mode.c_str());
+        std::exit(1);
+      }
+      if (next.wall_seconds < slot->wall_seconds) {
+        *slot = next;
+      }
+    }
+  }
+  return best;
+}
+
+SweepResult RunSweepOnce(EngineKind kind, std::size_t threads) {
+  ScenarioConfig config = ThroughputScenario(kind);
+  config.fusion.scan_threads = threads;
+  config.fusion.wpf_period = 2 * kSecond;  // several full passes within the churn window
+  Scenario scenario(config);
+  std::vector<std::pair<Process*, VirtAddr>> vms;
+  for (std::size_t p = 0; p < kVms; ++p) {
+    Process& vm = scenario.machine().CreateProcess();
+    const VirtAddr base =
+        vm.AllocateRegion(kChurnGuestPages, PageType::kAnonymous, true, false);
+    for (std::size_t i = 0; i < kChurnGuestPages; ++i) {
+      vm.SetupMapPattern(VaddrToVpn(base) + i, kCommonSeed);
+      const bool duplicate = i % 4 == 0;
+      const std::uint64_t tag = duplicate
+                                    ? 0x1000000 + i % kDuplicateGroups
+                                    : 0x2000000 + (p << 32) + i;
+      vm.Write64(base + i * kPageSize + kTailOffset, tag);
+    }
+    vms.emplace_back(&vm, base);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t step = 0; step < kChurnSteps; ++step) {
+    // Rewrite every unique page's tag; merged duplicates are left alone so the
+    // churn does not trigger COW unmerges, only re-hashing on the next scan.
+    for (std::size_t p = 0; p < vms.size(); ++p) {
+      for (std::size_t i = 0; i < kChurnGuestPages; ++i) {
+        if (i % 4 == 0) continue;
+        vms[p].first->Write64(vms[p].second + i * kPageSize + kTailOffset,
+                              0x3000000 + (p << 40) + (i << 8) + step);
+      }
+    }
+    scenario.RunFor(kChurnStepTime);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.engine = scenario.engine()->name();
+  result.threads = threads;
+  result.sim = CaptureOutcome(scenario);
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  const host::ScanTiming* timing = scenario.engine()->scan_timing();
+  if (timing != nullptr) {
+    result.scan_seconds = timing->scan_ns * 1e-9;
+    result.phase1_seconds = timing->phase1_ns * 1e-9;
+    result.items = timing->items;
+  }
+  // On an oversubscribed host the per-chunk wall times can overlap, so their sum
+  // can exceed the scan wall; clamp the parallelizable share to keep the
+  // projection sublinear in the thread count.
+  const double parallelizable = std::min(result.phase1_seconds, result.scan_seconds);
+  result.projected_seconds = (result.scan_seconds - parallelizable) +
+                             parallelizable / static_cast<double>(threads);
+  result.measured_pps =
+      result.scan_seconds > 0 ? static_cast<double>(result.items) / result.scan_seconds : 0.0;
+  result.projected_pps = result.projected_seconds > 0
+                             ? static_cast<double>(result.items) / result.projected_seconds
+                             : 0.0;
+  return result;
+}
+
+SweepResult RunSweep(EngineKind kind, std::size_t threads) {
+  SweepResult best = RunSweepOnce(kind, threads);
+  for (int r = 1; r < kRepeats; ++r) {
+    SweepResult next = RunSweepOnce(kind, threads);
+    if (!(next.sim == best.sim) || next.items != best.items) {
+      std::fprintf(stderr, "FATAL: nondeterministic outcome for %s threads=%zu\n",
+                   next.engine.c_str(), threads);
+      std::exit(1);
+    }
+    if (next.scan_seconds < best.scan_seconds) {
+      best = next;
+    }
+  }
+  return best;
+}
+
+void Run(const std::vector<std::size_t>& thread_counts) {
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  // --- Experiment 1: fingerprint vs byte-ordered trees (best-of-3). ---
   PrintHeader("Host scan throughput: fingerprint-ordered vs byte-ordered trees");
   const std::array<EngineKind, 4> engines = {EngineKind::kKsm, EngineKind::kWpf,
                                              EngineKind::kVUsion, EngineKind::kVUsionThp};
@@ -93,20 +250,51 @@ void Run() {
   std::printf("%-12s %-14s %12s %10s %14s %10s\n", "engine", "mode", "scanned", "wall(s)",
               "pages/s", "e2e(s)");
   for (const EngineKind kind : engines) {
-    for (const bool byte_ordered : {true, false}) {
-      RunResult r = RunOne(kind, byte_ordered);
-      std::printf("%-12s %-14s %12llu %10.3f %14.0f %10.3f\n", r.engine.c_str(),
-                  r.mode.c_str(), static_cast<unsigned long long>(r.pages_scanned),
-                  r.wall_seconds, r.pages_per_second, r.end_to_end_seconds);
-      results.push_back(std::move(r));
+    auto [bytes, hashed] = RunModePair(kind);
+    for (RunResult* r : {&bytes, &hashed}) {
+      std::printf("%-12s %-14s %12llu %10.3f %14.0f %10.3f\n", r->engine.c_str(),
+                  r->mode.c_str(), static_cast<unsigned long long>(r->sim.pages_scanned),
+                  r->wall_seconds, r->pages_per_second, r->end_to_end_seconds);
+      results.push_back(std::move(*r));
     }
   }
 
+  // --- Experiment 2: scan_threads sweep on the churn scenario. ---
+  PrintHeader("Parallel scan pipeline: scan_threads sweep (churn scenario)");
+  std::printf("%-12s %8s %12s %10s %10s %12s %12s\n", "engine", "threads", "items",
+              "scan(s)", "phase1(s)", "meas pg/s", "proj pg/s");
+  std::vector<std::vector<SweepResult>> sweeps;
+  for (const EngineKind kind : engines) {
+    std::vector<SweepResult> series;
+    for (const std::size_t threads : thread_counts) {
+      SweepResult r = RunSweep(kind, threads);
+      if (!series.empty() && !(r.sim == series.front().sim)) {
+        std::fprintf(stderr,
+                     "FATAL: %s simulated outcome differs between threads=%zu and threads=%zu\n",
+                     r.engine.c_str(), series.front().threads, r.threads);
+        std::exit(1);
+      }
+      std::printf("%-12s %8zu %12llu %10.3f %10.3f %12.0f %12.0f\n", r.engine.c_str(),
+                  r.threads, static_cast<unsigned long long>(r.items), r.scan_seconds,
+                  r.phase1_seconds, r.measured_pps, r.projected_pps);
+      series.push_back(std::move(r));
+    }
+    std::printf("  %s: simulated outcome identical across all thread counts\n",
+                series.front().engine.c_str());
+    sweeps.push_back(std::move(series));
+  }
+
+  const bool measured_basis =
+      host_cpus >= *std::max_element(thread_counts.begin(), thread_counts.end());
+  const char* basis = measured_basis ? "measured" : "projected";
+
+  // --- JSON + summary. ---
   std::FILE* json = std::fopen("BENCH_host_throughput.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"scenario\": {\"vms\": %zu, \"guest_pages\": %zu, "
-                       "\"sim_seconds\": %llu},\n  \"runs\": [\n",
-                 kVms, kGuestPages, static_cast<unsigned long long>(kRunTime / kSecond));
+                       "\"sim_seconds\": %llu, \"repeats\": %d},\n  \"runs\": [\n",
+                 kVms, kGuestPages, static_cast<unsigned long long>(kRunTime / kSecond),
+                 kRepeats);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
       std::fprintf(json,
@@ -114,15 +302,15 @@ void Run() {
                    "\"merges\": %llu, \"frames_saved\": %llu, \"wall_seconds\": %.4f, "
                    "\"pages_per_second\": %.1f, \"end_to_end_seconds\": %.4f}%s\n",
                    r.engine.c_str(), r.mode.c_str(),
-                   static_cast<unsigned long long>(r.pages_scanned),
-                   static_cast<unsigned long long>(r.merges),
-                   static_cast<unsigned long long>(r.frames_saved), r.wall_seconds,
+                   static_cast<unsigned long long>(r.sim.pages_scanned),
+                   static_cast<unsigned long long>(r.sim.merges),
+                   static_cast<unsigned long long>(r.sim.frames_saved), r.wall_seconds,
                    r.pages_per_second, r.end_to_end_seconds,
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n  \"speedup\": {\n");
   }
-  std::printf("\nscan-throughput speedup (fingerprint / byte-ordered):\n");
+  std::printf("\nscan-throughput speedup (fingerprint / byte-ordered, best of %d):\n", kRepeats);
   double ksm_speedup = 0.0;
   for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
     const RunResult& bytes = results[i];
@@ -143,18 +331,101 @@ void Run() {
   // both modes), so its ratio stays near 1 by design.
   std::printf("\nheadline: KSM diverse-VM scan-throughput speedup %.2fx (target >= 5x)\n",
               ksm_speedup);
+
+  double ksm_parallel = 0.0;
   if (json != nullptr) {
-    std::fprintf(json, "  },\n  \"headline_ksm_speedup\": %.3f,\n  \"target\": 5.0\n}\n",
+    std::fprintf(json, "  },\n  \"headline_ksm_speedup\": %.3f,\n  \"target\": 5.0,\n",
                  ksm_speedup);
+    std::fprintf(json,
+                 "  \"threads_sweep\": {\n"
+                 "    \"scenario\": {\"vms\": %zu, \"guest_pages\": %zu, "
+                 "\"churn_steps\": %zu, \"step_ms\": %llu, \"repeats\": %d},\n"
+                 "    \"host_cpus\": %u,\n    \"basis\": \"%s\",\n    \"engines\": {\n",
+                 kVms, kChurnGuestPages, kChurnSteps,
+                 static_cast<unsigned long long>(kChurnStepTime / kMillisecond), kRepeats,
+                 host_cpus, basis);
+    for (std::size_t e = 0; e < sweeps.size(); ++e) {
+      const std::vector<SweepResult>& series = sweeps[e];
+      std::fprintf(json, "      \"%s\": [\n", series.front().engine.c_str());
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        const SweepResult& r = series[i];
+        std::fprintf(json,
+                     "        {\"threads\": %zu, \"items\": %llu, \"scan_seconds\": %.4f, "
+                     "\"phase1_seconds\": %.4f, \"projected_scan_seconds\": %.4f, "
+                     "\"pages_per_second\": %.1f, \"projected_pages_per_second\": %.1f}%s\n",
+                     r.threads, static_cast<unsigned long long>(r.items), r.scan_seconds,
+                     r.phase1_seconds, r.projected_seconds, r.measured_pps, r.projected_pps,
+                     i + 1 < series.size() ? "," : "");
+      }
+      std::fprintf(json, "      ]%s\n", e + 1 < sweeps.size() ? "," : "");
+    }
+    std::fprintf(json, "    },\n    \"parallel_speedup\": {\n");
+  }
+  std::printf("\nparallel scan speedup vs 1 thread (%s basis, host has %u cpu%s):\n", basis,
+              host_cpus, host_cpus == 1 ? "" : "s");
+  for (std::size_t e = 0; e < sweeps.size(); ++e) {
+    const std::vector<SweepResult>& series = sweeps[e];
+    const double base_pps = series.front().measured_pps;
+    std::printf("  %-12s", series.front().engine.c_str());
+    if (json != nullptr) {
+      std::fprintf(json, "      \"%s\": {", series.front().engine.c_str());
+    }
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const SweepResult& r = series[i];
+      const double pps = measured_basis ? r.measured_pps : r.projected_pps;
+      const double speedup = base_pps > 0 ? pps / base_pps : 0.0;
+      if (series.front().engine == "KSM" && r.threads == 8) {
+        ksm_parallel = speedup;
+      }
+      std::printf("  %zut=%.2fx", r.threads, speedup);
+      if (json != nullptr) {
+        std::fprintf(json, "\"%zu\": %.3f%s", r.threads, speedup,
+                     i + 1 < series.size() ? ", " : "");
+      }
+    }
+    std::printf("\n");
+    if (json != nullptr) {
+      std::fprintf(json, "}%s\n", e + 1 < sweeps.size() ? "," : "");
+    }
+  }
+  std::printf("\nheadline: KSM 8-thread parallel scan speedup %.2fx (%s, target >= 3x)\n",
+              ksm_parallel, basis);
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "    },\n    \"headline_ksm_parallel_speedup_8t\": %.3f,\n"
+                 "    \"target\": 3.0\n  }\n}\n",
+                 ksm_parallel);
     std::fclose(json);
     std::printf("wrote BENCH_host_throughput.json\n");
   }
 }
 
+std::vector<std::size_t> ParseThreads(int argc, char** argv) {
+  std::string spec = "1,2,4,8";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      spec = argv[i + 1];
+    }
+  }
+  std::vector<std::size_t> threads;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const long v = std::strtol(spec.substr(pos, next - pos).c_str(), nullptr, 10);
+    if (v > 0) threads.push_back(static_cast<std::size_t>(v));
+    pos = next + 1;
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
+}
+
 }  // namespace
 }  // namespace vusion
 
-int main() {
-  vusion::Run();
+int main(int argc, char** argv) {
+  // The env override exists for CI; the bench owns its thread counts.
+  unsetenv("VUSION_SCAN_THREADS");
+  vusion::Run(vusion::ParseThreads(argc, argv));
   return 0;
 }

@@ -1,8 +1,21 @@
 #include "src/cache/llc.h"
 
+#include <algorithm>
+
 namespace vusion {
 
-Llc::Llc(const CacheConfig& config) : config_(config), lines_(config.sets * config.ways) {}
+Llc::Llc(const CacheConfig& config)
+    : config_(config),
+      lines_per_page_(std::max<std::size_t>(1, kPageSize / config.line_size)),
+      lines_(config.sets * config.ways) {}
+
+void Llc::AdjustFrameLines(std::uint64_t tag, int delta) {
+  const std::size_t frame = FrameOfTag(tag);
+  if (frame >= frame_lines_.size()) {
+    frame_lines_.resize(frame + 1, 0);
+  }
+  frame_lines_[frame] = static_cast<std::uint16_t>(frame_lines_[frame] + delta);
+}
 
 bool Llc::Access(PhysAddr paddr) {
   const std::uint64_t tag = paddr / config_.line_size;
@@ -23,9 +36,13 @@ bool Llc::Access(PhysAddr paddr) {
       victim = &line;
     }
   }
+  if (victim->valid) {
+    AdjustFrameLines(victim->tag, -1);
+  }
   victim->valid = true;
   victim->tag = tag;
   victim->lru = tick_;
+  AdjustFrameLines(tag, +1);
   ++misses_;
   return false;
 }
@@ -37,15 +54,24 @@ void Llc::Flush(PhysAddr paddr) {
   for (std::size_t w = 0; w < config_.ways; ++w) {
     if (base[w].valid && base[w].tag == tag) {
       base[w].valid = false;
+      AdjustFrameLines(tag, -1);
       return;
     }
   }
 }
 
 void Llc::FlushFrame(FrameId frame) {
+  // Freed and remapped frames almost never have cached lines; the exact counter
+  // makes those calls O(1) and lets the probe sweep stop as soon as it drains.
+  if (frame >= frame_lines_.size() || frame_lines_[frame] == 0) {
+    return;
+  }
   const PhysAddr start = static_cast<PhysAddr>(frame) * kPageSize;
   for (std::size_t off = 0; off < kPageSize; off += config_.line_size) {
     Flush(start + off);
+    if (frame_lines_[frame] == 0) {
+      return;
+    }
   }
 }
 

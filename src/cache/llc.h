@@ -60,8 +60,19 @@ class Llc {
     std::uint64_t lru = 0;  // last-touched stamp
   };
 
+  [[nodiscard]] std::size_t FrameOfTag(std::uint64_t tag) const {
+    return static_cast<std::size_t>(tag / lines_per_page_);
+  }
+  // Exact per-frame cached-line accounting, maintained on every fill, eviction,
+  // and flush. FlushFrame is called for every freed/remapped frame — the vast
+  // majority holding zero cached lines — so the counter turns its
+  // lines-per-page × ways probe sweep into an O(1) skip.
+  void AdjustFrameLines(std::uint64_t tag, int delta);
+
   CacheConfig config_;
+  std::size_t lines_per_page_;
   std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::vector<std::uint16_t> frame_lines_;  // cached-line count per frame, grown lazily
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

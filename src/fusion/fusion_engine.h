@@ -5,7 +5,10 @@
 #ifndef VUSION_SRC_FUSION_FUSION_ENGINE_H_
 #define VUSION_SRC_FUSION_FUSION_ENGINE_H_
 
+#include <cstdlib>
+
 #include "src/fusion/fusion_stats.h"
+#include "src/host/parallel_scan.h"
 #include "src/kernel/daemon.h"
 #include "src/kernel/machine.h"
 #include "src/kernel/sharing_policy.h"
@@ -15,7 +18,14 @@ namespace vusion {
 class FusionEngine : public Daemon, public SharingPolicy {
  public:
   FusionEngine(Machine& machine, const FusionConfig& config)
-      : machine_(&machine), config_(config) {}
+      : machine_(&machine), config_(config) {
+    if (const char* env = std::getenv("VUSION_SCAN_THREADS")) {
+      const long threads = std::strtol(env, nullptr, 10);
+      if (threads > 0) {
+        config_.scan_threads = static_cast<std::size_t>(threads);
+      }
+    }
+  }
   ~FusionEngine() override = default;
 
   [[nodiscard]] virtual const char* name() const = 0;
@@ -63,6 +73,10 @@ class FusionEngine : public Daemon, public SharingPolicy {
   [[nodiscard]] const FusionStats& stats() const { return stats_; }
   [[nodiscard]] const FusionConfig& config() const { return config_; }
   [[nodiscard]] Machine& machine() { return *machine_; }
+
+  // Host wall-clock accounting of the engine's scan sections (null for engines
+  // without a scan loop). Benches use it for scan-only throughput numbers.
+  [[nodiscard]] virtual const host::ScanTiming* scan_timing() const { return nullptr; }
 
  protected:
   // True when the engine should skip its scan work this wake-up (and reschedule).

@@ -48,6 +48,13 @@ struct FusionConfig {
   SimTime wake_period = 20 * kMillisecond;
   std::size_t pages_per_wake = 100;
 
+  // Host threads for the parallel scan pipeline (phase-1 hashing); 1 = the serial
+  // reference path. Simulated stats, traces, and charged latencies are
+  // bit-identical for every value (see DESIGN.md, "Parallel host, serial sim").
+  // The VUSION_SCAN_THREADS environment variable overrides this at engine
+  // construction (used by the TSan CI job to run the whole suite threaded).
+  std::size_t scan_threads = 1;
+
   // Fig 4 comparison knobs (on KSM).
   bool zero_pages_only = false;
   bool unmerge_on_any_access = false;  // "copy-on-access" KSM variant

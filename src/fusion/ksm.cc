@@ -1,5 +1,7 @@
 #include "src/fusion/ksm.h"
 
+#include <chrono>
+
 namespace vusion {
 
 // Tree comparators are pure host-side content orderings; the modeled descent cost
@@ -16,6 +18,7 @@ Ksm::Ksm(Machine& machine, const FusionConfig& config)
     : FusionEngine(machine, config),
       content_(machine, config.byte_ordered_trees),
       cursor_(machine),
+      pipeline_(machine.memory(), machine.HostPool(config_.scan_threads)),
       stable_(StableCompare{this}),
       unstable_(UnstableCompare{this}) {}
 
@@ -43,6 +46,21 @@ void Ksm::Run() {
   if (SkipWake()) {
     return;
   }
+  const auto scan_start = std::chrono::steady_clock::now();
+  if (config_.scan_threads > 1) {
+    ScanQuantumPipelined();
+  } else {
+    ScanQuantumSerial();
+  }
+  timing_.scan_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - scan_start)
+          .count());
+  ++timing_.batches;
+  next_run_ = machine_->clock().now() + config_.wake_period;
+}
+
+void Ksm::ScanQuantumSerial() {
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
     Process* process = nullptr;
     Vpn vpn = 0;
@@ -55,9 +73,37 @@ void Ksm::Run() {
       unstable_.Clear();
       ++stats_.full_scans;
     }
+    timing_.items += 1;
     ScanOne(*process, vpn);
   }
-  next_run_ = machine_->clock().now() + config_.wake_period;
+}
+
+void Ksm::ScanQuantumPipelined() {
+  // Collect the quantum first. ScanOne never changes the process list, VMA
+  // layout, or mergeable flags (only PTEs and frame contents), so the cursor
+  // yields the exact sequence the serial interleaving would.
+  batch_.clear();
+  for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    Process* process = nullptr;
+    Vpn vpn = 0;
+    bool wrapped = false;
+    if (!cursor_.Next(process, vpn, wrapped)) {
+      break;
+    }
+    host::ScanItem item;
+    item.process = process;
+    item.as = &process->address_space();
+    item.vpn = vpn;
+    item.wrapped = wrapped;
+    batch_.push_back(item);
+  }
+  pipeline_.Run(batch_, timing_, nullptr, [this](host::ScanItem& item) {
+    if (item.wrapped) {
+      unstable_.Clear();
+      ++stats_.full_scans;
+    }
+    ScanOne(*item.process, item.vpn);
+  });
 }
 
 void Ksm::ScanOne(Process& process, Vpn vpn) {

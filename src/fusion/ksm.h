@@ -14,6 +14,7 @@
 #define VUSION_SRC_FUSION_KSM_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "src/container/rbtree.h"
 #include "src/fusion/content.h"
@@ -31,6 +32,8 @@ class Ksm final : public FusionEngine {
 
   // Daemon: scans pages_per_wake pages every wake_period.
   void Run() override;
+
+  [[nodiscard]] const host::ScanTiming* scan_timing() const override { return &timing_; }
 
   // SharingPolicy.
   bool HandleFault(Process& process, const PageFault& fault) override;
@@ -80,6 +83,10 @@ class Ksm final : public FusionEngine {
   }
 
   void ScanOne(Process& process, Vpn vpn);
+  // The wake quantum's scan loop: serial reference (scan_threads<=1) or the
+  // two-phase parallel pipeline. Both produce bit-identical simulated results.
+  void ScanQuantumSerial();
+  void ScanQuantumPipelined();
   // Promotes an unstable match to the stable tree (write-protecting it).
   StableEntry* Stabilize(const UnstableItem& item);
   // Points (process, vpn) at the entry's frame and releases its duplicate.
@@ -94,6 +101,9 @@ class Ksm final : public FusionEngine {
 
   ChargedContent content_;
   ScanCursor cursor_;
+  host::ParallelScanPipeline pipeline_;
+  host::ScanTiming timing_;
+  std::vector<host::ScanItem> batch_;
   StableTree stable_;
   UnstableTree unstable_;
   std::unordered_map<std::uint64_t, StableEntry*> rmap_;

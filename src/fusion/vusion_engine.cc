@@ -1,5 +1,7 @@
 #include "src/fusion/vusion_engine.h"
 
+#include <chrono>
+
 #include "src/kernel/idle_tracker.h"
 
 namespace vusion {
@@ -13,6 +15,7 @@ VUsionEngine::VUsionEngine(Machine& machine, const FusionConfig& config)
     : FusionEngine(machine, config),
       content_(machine, config.byte_ordered_trees),
       cursor_(machine),
+      pipeline_(machine.memory(), machine.HostPool(config_.scan_threads)),
       stable_(StableCompare{this}),
       pool_(machine.buddy(), config.pool_frames, machine.rng().Fork()),
       deferred_(machine) {}
@@ -40,6 +43,21 @@ void VUsionEngine::Run() {
   }
   // Background deferred-free worker: queued frames re-enter the entropy pool.
   deferred_.Drain(pool_);
+  const auto scan_start = std::chrono::steady_clock::now();
+  if (config_.scan_threads > 1) {
+    ScanQuantumPipelined();
+  } else {
+    ScanQuantumSerial();
+  }
+  timing_.scan_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - scan_start)
+          .count());
+  ++timing_.batches;
+  next_run_ = machine_->clock().now() + config_.wake_period;
+}
+
+void VUsionEngine::ScanQuantumSerial() {
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
     Process* process = nullptr;
     Vpn vpn = 0;
@@ -51,9 +69,75 @@ void VUsionEngine::Run() {
       ++round_;
       ++stats_.full_scans;
     }
+    timing_.items += 1;
     ScanOne(*process, vpn);
   }
-  next_run_ = machine_->clock().now() + config_.wake_period;
+}
+
+void VUsionEngine::ScanQuantumPipelined() {
+  // Collect the quantum first; ScanOne mutates only PTEs and frames, never the
+  // process/VMA structure the cursor iterates, so the sequence matches the serial
+  // interleaving.
+  batch_.clear();
+  for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    Process* process = nullptr;
+    Vpn vpn = 0;
+    bool wrapped = false;
+    if (!cursor_.Next(process, vpn, wrapped)) {
+      break;
+    }
+    host::ScanItem item;
+    item.process = process;
+    item.as = &process->address_space();
+    item.vpn = vpn;
+    item.wrapped = wrapped;
+    batch_.push_back(item);
+  }
+  // Phase-1 filter: hash only pages the serial scan body would hash. The
+  // predicate mirrors ScanOne's path to Act (managed pages only relocate,
+  // accessed/young candidates are skipped), reading engine state that nothing
+  // mutates during phase 1. It is advisory: a wrong guess costs host time only —
+  // a skipped page that phase 2 does hash goes through HashContent serially, and
+  // a wasted snapshot is dropped by PrimeHash's generation check. (Items after a
+  // cursor wrap see the pre-wrap round_ here; same advisory slack.)
+  const auto filter = [this](const Pte& pte, const host::ScanItem& item) {
+    if (pte.huge() && config_.thp_aware &&
+        (item.vpn & (kPagesPerHugePage - 1)) != 0) {
+      return false;  // THP considered only at its base VPN
+    }
+    const PageInfo* info = nullptr;
+    const auto pit = pages_.find(item.process->id());
+    if (pit != pages_.end()) {
+      const auto it = pit->second.find(item.vpn);
+      if (it != pit->second.end()) {
+        info = &it->second;
+      }
+    }
+    if (info != nullptr && info->managed) {
+      return false;  // (fake) merged: re-randomized without rehashing
+    }
+    if (config_.working_set_estimation) {
+      if (IdleTracker::IsAccessed(*item.as, item.vpn)) {
+        return false;  // in the working set: candidacy is dropped, no hash
+      }
+      if (info == nullptr) {
+        return false;  // first idle sighting only records candidacy
+      }
+      if (round_ < info->candidate_round + config_.min_idle_rounds) {
+        return false;  // not idle long enough yet
+      }
+    }
+    const FrameId frame =
+        pte.frame + (pte.huge() ? (item.vpn & (kPagesPerHugePage - 1)) : 0);
+    return machine_->memory().refcount(frame) == 0;  // fork-shared: kernel's CoW
+  };
+  pipeline_.Run(batch_, timing_, filter, [this](host::ScanItem& item) {
+    if (item.wrapped) {
+      ++round_;
+      ++stats_.full_scans;
+    }
+    ScanOne(*item.process, item.vpn);
+  });
 }
 
 void VUsionEngine::ScanOne(Process& process, Vpn vpn) {

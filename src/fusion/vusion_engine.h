@@ -50,6 +50,8 @@ class VUsionEngine final : public FusionEngine {
 
   void Run() override;
 
+  [[nodiscard]] const host::ScanTiming* scan_timing() const override { return &timing_; }
+
   bool HandleFault(Process& process, const PageFault& fault) override;
   bool OnUnmap(Process& process, Vpn vpn) override;
   bool AllowCollapse(Process& process, Vpn base) override;
@@ -106,6 +108,10 @@ class VUsionEngine final : public FusionEngine {
       kPtePresent | kPteReserved | kPteCacheDisable;
 
   void ScanOne(Process& process, Vpn vpn);
+  // The wake quantum's scan loop: serial reference (scan_threads<=1) or the
+  // two-phase parallel pipeline. Both produce bit-identical simulated results.
+  void ScanQuantumSerial();
+  void ScanQuantumPipelined();
   // Removes all access and (fake) merges the page (the SB-enforcing action).
   void Act(Process& process, Vpn vpn, Pte* pte);
   // Moves an entry's backing to a fresh random frame (per-round re-randomization).
@@ -117,6 +123,9 @@ class VUsionEngine final : public FusionEngine {
 
   ChargedContent content_;
   ScanCursor cursor_;
+  host::ParallelScanPipeline pipeline_;
+  host::ScanTiming timing_;
+  std::vector<host::ScanItem> batch_;
   Tree stable_;
   RandomizedPool pool_;
   DeferredFreeQueue deferred_;

@@ -1,6 +1,7 @@
 #include "src/fusion/wpf.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace vusion {
 
@@ -21,6 +22,7 @@ int Wpf::CombinedCompare::operator()(Combined* const& a, Combined* const& b) con
 Wpf::Wpf(Machine& machine, const FusionConfig& config)
     : FusionEngine(machine, config),
       content_(machine, config.byte_ordered_trees),
+      pipeline_(machine.memory(), machine.HostPool(config_.scan_threads)),
       linear_(machine.buddy(), machine.memory()) {
   trees_.reserve(kShards);
   for (std::size_t i = 0; i < kShards; ++i) {
@@ -43,6 +45,7 @@ void Wpf::Run() {
 }
 
 void Wpf::DoFusionPass() {
+  const auto scan_start = std::chrono::steady_clock::now();
   // MiAllocatePagesForMdl restarts its reclaim scan from the top of memory on
   // every pass - the root of the predictable-reuse behaviour.
   linear_.ResetScan();
@@ -73,11 +76,16 @@ void Wpf::DoFusionPass() {
         c.process = process.get();
         c.vpn = vpn;
         c.frame = pte->frame;
-        c.hash = content_.Hash(c.frame);
         candidates.push_back(c);
       }
     }
   }
+  HashCandidates(candidates);
+  timing_.scan_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - scan_start)
+          .count());
+  ++timing_.batches;
 
   // The sorted-hash list of Figure 2; ties broken by (process, vpn) so passes are
   // deterministic.
@@ -196,6 +204,28 @@ void Wpf::DoFusionPass() {
     }
   }
   ++stats_.full_scans;
+}
+
+void Wpf::HashCandidates(std::vector<Candidate>& candidates) {
+  if (config_.scan_threads > 1 && candidates.size() > 1) {
+    // Parallel phase 1: warm the host-side hash memos. Frames are preset, so the
+    // pipeline skips PTE resolution; the serial merge phase below then issues the
+    // same charged Hash calls the reference path does, hitting the primed memo.
+    std::vector<host::ScanItem> items(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      items[i].frame = candidates[i].frame;
+      items[i].index = i;
+    }
+    pipeline_.Run(items, timing_, nullptr, [&](host::ScanItem& item) {
+      Candidate& c = candidates[item.index];
+      c.hash = content_.Hash(c.frame);
+    });
+    return;
+  }
+  timing_.items += candidates.size();
+  for (Candidate& c : candidates) {
+    c.hash = content_.Hash(c.frame);
+  }
 }
 
 void Wpf::MergeIntoCombined(const Candidate& candidate, Combined* entry) {

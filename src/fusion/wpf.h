@@ -33,6 +33,8 @@ class Wpf final : public FusionEngine {
 
   void Run() override;
 
+  [[nodiscard]] const host::ScanTiming* scan_timing() const override { return &timing_; }
+
   bool HandleFault(Process& process, const PageFault& fault) override;
   bool OnUnmap(Process& process, Vpn vpn) override;
   bool AllowCollapse(Process& process, Vpn base) override;
@@ -83,10 +85,16 @@ class Wpf final : public FusionEngine {
   }
 
   void DoFusionPass();
+  // Fills every candidate's hash, charging content_.Hash in candidate order. With
+  // scan_threads>1 the host hash values are precomputed in parallel first (phase
+  // 1); the charge stream is identical either way.
+  void HashCandidates(std::vector<Candidate>& candidates);
   void MergeIntoCombined(const Candidate& candidate, Combined* entry);
   void DropRef(Combined* entry);
 
   ChargedContent content_;
+  host::ParallelScanPipeline pipeline_;
+  host::ScanTiming timing_;
   LinearAllocator linear_;
   std::vector<std::unique_ptr<Tree>> trees_;
   std::unordered_map<std::uint64_t, Combined*> rmap_;

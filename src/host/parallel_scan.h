@@ -1,0 +1,88 @@
+// Two-phase deterministic scan pipeline shared by the fusion engines.
+//
+// Phase 1 (parallel, host-only): the pages selected for a wake quantum are sharded
+// across the worker pool; each worker resolves the page's PTE read-only, applies an
+// optional engine-supplied read-only filter, and computes the frame's content-hash
+// snapshot with PhysicalMemory::PeekHash — no tree, stats, RNG, clock, or trace
+// access, and no writes to any simulated state.
+//
+// Phase 2 (serial, canonical order): on the calling thread, in the exact order the
+// scan cursor produced the pages, each snapshot is primed into the frame memo
+// (PrimeHash drops stale snapshots) and the engine's unchanged per-page scan body
+// runs, charging simulated latencies exactly as the serial reference path does.
+// Because priming only ever installs the value HashContent itself would compute,
+// simulated stats, traces, and charged timestamps are bit-identical for every
+// thread count; see DESIGN.md, "Parallel host, serial sim".
+
+#ifndef VUSION_SRC_HOST_PARALLEL_SCAN_H_
+#define VUSION_SRC_HOST_PARALLEL_SCAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/host/thread_pool.h"
+#include "src/mmu/address_space.h"
+#include "src/phys/physical_memory.h"
+
+namespace vusion {
+
+class Process;
+
+namespace host {
+
+// One page selected for a wake quantum. The engine fills the identity fields at
+// collection time; phase 1 fills frame/snapshot; phase 2 hands the item back to
+// the engine's merge callback.
+struct ScanItem {
+  Process* process = nullptr;       // engine cookie; filters may read it (immutable fields only)
+  const AddressSpace* as = nullptr; // PTE resolution target; null if frame is preset
+  Vpn vpn = 0;
+  bool wrapped = false;             // cursor completed a full round before this page
+  std::size_t index = 0;            // engine cookie (e.g. candidate array position)
+  FrameId frame = kInvalidFrame;    // preset by the engine, or resolved in phase 1
+  PhysicalMemory::HashSnapshot snapshot{};
+  bool hashed = false;
+};
+
+// Host wall-clock accounting for the scan sections, exposed so benches can report
+// scan-only throughput and project the parallel critical path (sum of phase-1
+// chunk times / thread count).
+struct ScanTiming {
+  std::uint64_t batches = 0;
+  std::uint64_t scan_ns = 0;    // whole scan section (collection + both phases)
+  std::uint64_t phase1_ns = 0;  // aggregate time inside phase-1 chunks
+  std::uint64_t items = 0;      // pages pushed through the pipeline
+};
+
+class ParallelScanPipeline {
+ public:
+  // pool may be null (or single-threaded); phase 1 then runs inline on the caller,
+  // which is the degenerate-but-identical form of the same pipeline.
+  ParallelScanPipeline(PhysicalMemory& memory, ThreadPool* pool)
+      : memory_(&memory), pool_(pool) {}
+
+  // Engine-supplied phase-1 predicate deciding whether a resolved page is worth
+  // hashing. Runs on worker threads: it MUST only read state that no phase-2 code
+  // is concurrently mutating (there is none during phase 1) and must not write
+  // anything. Null = hash every present page.
+  using Phase1Filter = std::function<bool(const Pte&, const ScanItem&)>;
+
+  // Runs both phases over `items` and invokes merge_one(item) serially for every
+  // item, in order. Timing for the phase-1 chunks is accumulated into `timing`
+  // (the engine wraps the whole scan section for scan_ns itself).
+  void Run(std::vector<ScanItem>& items, ScanTiming& timing,
+           const Phase1Filter& filter,
+           const std::function<void(ScanItem&)>& merge_one);
+
+ private:
+  void ResolveAndPeek(ScanItem& item, const Phase1Filter& filter) const;
+
+  PhysicalMemory* memory_;
+  ThreadPool* pool_;
+};
+
+}  // namespace host
+}  // namespace vusion
+
+#endif  // VUSION_SRC_HOST_PARALLEL_SCAN_H_

@@ -1,0 +1,110 @@
+#include "src/host/thread_pool.h"
+
+#include <algorithm>
+
+namespace vusion::host {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (std::size_t i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count, std::size_t grain,
+                             const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (grain == 0) {
+    // A few chunks per thread so dynamic dispatch can balance uneven chunk costs.
+    grain = std::max<std::size_t>(1, count / (thread_count() * 4));
+  }
+  if (workers_.empty() || count <= grain) {
+    body(0, count);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    next_ = 0;
+    end_ = count;
+    grain_ = grain;
+    first_error_ = nullptr;
+  }
+  work_ready_.notify_all();
+  DrainChunks();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [this] { return next_ >= end_ && in_flight_ == 0; });
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::DrainChunks() {
+  for (;;) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= end_) {
+        return;
+      }
+      begin = next_;
+      end = std::min(end_, begin + grain_);
+      next_ = end;
+      ++in_flight_;
+      body = body_;
+    }
+    try {
+      (*body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (next_ >= end_ && in_flight_ == 0) {
+        batch_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutdown_ || (body_ != nullptr && next_ < end_); });
+      if (shutdown_) {
+        return;
+      }
+    }
+    DrainChunks();
+  }
+}
+
+}  // namespace vusion::host

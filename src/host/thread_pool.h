@@ -1,0 +1,70 @@
+// Fixed-size host worker pool for the parallel scan pipeline.
+//
+// This is HOST-side machinery only: it parallelizes the simulator's own wall-clock
+// work and must never touch simulated state (VirtualClock, Rng, LatencyModel,
+// TraceBuffer, FusionStats) — those are single-threaded by contract; see DESIGN.md,
+// "Parallel host, serial sim".
+//
+// Dispatch model: ParallelFor splits [0, count) into fixed-size chunks handed out
+// from a shared cursor under the pool mutex (dynamic load balancing), the calling
+// thread participates as a worker, and the join barrier is a plain condition
+// variable on (cursor exhausted && no chunk in flight) — no futures, no per-task
+// allocation. The first exception thrown by any chunk is captured and rethrown on
+// the calling thread after the barrier; remaining chunks still run.
+
+#ifndef VUSION_SRC_HOST_THREAD_POOL_H_
+#define VUSION_SRC_HOST_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vusion::host {
+
+class ThreadPool {
+ public:
+  // `threads` is the total concurrency including the calling thread, so the pool
+  // spawns threads-1 background workers. threads<=1 spawns none and ParallelFor
+  // runs inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size() + 1; }
+
+  // Runs body(begin, end) over disjoint chunks covering [0, count), concurrently
+  // on all pool threads plus the caller, and returns after every chunk completed.
+  // grain=0 picks a chunk size targeting a few chunks per thread. Not reentrant:
+  // one batch at a time (the scan pipeline is the only dispatcher).
+  void ParallelFor(std::size_t count, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs chunks until the current batch's cursor is exhausted.
+  void DrainChunks();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  // Current batch (guarded by mu_; body_ is only dereferenced for a chunk claimed
+  // while it was non-null, and cleared only after the barrier).
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t next_ = 0;
+  std::size_t end_ = 0;
+  std::size_t grain_ = 1;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace vusion::host
+
+#endif  // VUSION_SRC_HOST_THREAD_POOL_H_

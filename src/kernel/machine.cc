@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/host/thread_pool.h"
 #include "src/kernel/khugepaged.h"
 #include "src/kernel/process.h"
 
@@ -22,6 +23,16 @@ Machine::Machine(const MachineConfig& config) : config_(config), rng_(config.see
 }
 
 Machine::~Machine() = default;
+
+host::ThreadPool* Machine::HostPool(std::size_t threads) {
+  if (threads <= 1) {
+    return nullptr;
+  }
+  if (host_pool_ == nullptr || host_pool_->thread_count() < threads) {
+    host_pool_ = std::make_unique<host::ThreadPool>(threads);
+  }
+  return host_pool_.get();
+}
 
 Process& Machine::CreateProcess() {
   const auto id = static_cast<std::uint32_t>(processes_.size());

@@ -21,6 +21,10 @@
 
 namespace vusion {
 
+namespace host {
+class ThreadPool;
+}  // namespace host
+
 class Process;
 class Khugepaged;
 struct KhugepagedConfig;
@@ -59,6 +63,13 @@ class Machine {
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] TraceBuffer& trace() { return trace_; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  // Lazily-created host worker pool for the parallel scan pipeline (host-side
+  // wall-clock machinery only; never touches simulated state). Returns null for
+  // threads<=1 — the serial reference path. The pool is shared by all engines on
+  // this machine and grown if a later caller asks for more threads; it is joined
+  // and destroyed with the machine.
+  host::ThreadPool* HostPool(std::size_t threads);
 
   // --- Processes ---
 
@@ -144,6 +155,7 @@ class Machine {
   SharingPolicy* policy_ = nullptr;
   std::vector<Daemon*> daemons_;
   std::unique_ptr<Khugepaged> khugepaged_;
+  std::unique_ptr<host::ThreadPool> host_pool_;
   TraceBuffer trace_;
   std::uint64_t total_faults_ = 0;
   bool in_daemon_ = false;  // prevents daemon re-entry from daemon-issued work

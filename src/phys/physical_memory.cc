@@ -209,11 +209,8 @@ int PhysicalMemory::Compare(FrameId a, FrameId b) const {
   return 0;
 }
 
-std::uint64_t PhysicalMemory::HashContent(FrameId f) const {
+std::uint64_t PhysicalMemory::HashContentSlow(FrameId f) const {
   const Frame& fr = frames_[f];
-  if (fr.hash_cached()) {
-    return fr.cached_hash;
-  }
   std::uint64_t h = kFnvOffset;
   if (fr.kind == ContentKind::kBytes) {
     for (std::uint8_t byte : *fr.bytes) {
@@ -244,6 +241,51 @@ std::uint64_t PhysicalMemory::HashContent(FrameId f) const {
   fr.cached_hash = h;
   fr.hash_gen = fr.content_gen;
   return h;
+}
+
+PhysicalMemory::HashSnapshot PhysicalMemory::PeekHash(FrameId f) const {
+  const Frame& fr = frames_[f];
+  HashSnapshot snapshot{fr.content_gen, 0};
+  if (fr.hash_gen == snapshot.content_gen) {
+    snapshot.hash = fr.cached_hash;
+    return snapshot;
+  }
+  std::uint64_t h = kFnvOffset;
+  switch (fr.kind) {
+    case ContentKind::kBytes:
+      for (std::uint8_t byte : *fr.bytes) {
+        h = (h ^ byte) * kFnvPrime;
+      }
+      break;
+    case ContentKind::kZero:
+      for (std::size_t i = 0; i < kPageSize; ++i) {
+        h = h * kFnvPrime;
+      }
+      break;
+    case ContentKind::kPattern: {
+      // Read-only probe of the pattern cache: concurrent finds are safe; on a miss
+      // we recompute without inserting or bumping the (unsynchronized) counters.
+      const auto it = pattern_hash_cache_.find(fr.pattern_seed);
+      if (it != pattern_hash_cache_.end()) {
+        h = it->second;
+      } else {
+        for (std::size_t i = 0; i < kPageSize; ++i) {
+          h = (h ^ PatternByte(fr.pattern_seed, i)) * kFnvPrime;
+        }
+      }
+      break;
+    }
+  }
+  snapshot.hash = h;
+  return snapshot;
+}
+
+void PhysicalMemory::PrimeHash(FrameId f, const HashSnapshot& snapshot) {
+  const Frame& fr = frames_[f];
+  if (fr.content_gen == snapshot.content_gen && fr.hash_gen != fr.content_gen) {
+    fr.cached_hash = snapshot.hash;
+    fr.hash_gen = fr.content_gen;
+  }
 }
 
 PhysicalMemory::ContentSnapshot PhysicalMemory::Snapshot(FrameId f) const {

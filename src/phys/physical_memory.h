@@ -60,8 +60,30 @@ class PhysicalMemory {
 
   // 64-bit content hash (FNV-1a over the byte stream); equal contents hash equal.
   // Memoized per frame via the content generation counter: recomputed only after a
-  // mutating operation, O(1) on every other call.
-  [[nodiscard]] std::uint64_t HashContent(FrameId f) const;
+  // mutating operation, O(1) on every other call. The cached fast path is inline;
+  // scanners call this once or twice per tree-descend step.
+  [[nodiscard]] std::uint64_t HashContent(FrameId f) const {
+    const Frame& fr = frames_[f];
+    return fr.hash_cached() ? fr.cached_hash : HashContentSlow(f);
+  }
+
+  // --- Lock-free snapshot accessors (host parallel scan, phase 1) ---
+  //
+  // PeekHash is HashContent minus every side effect: it never writes the per-frame
+  // memo, never touches the pattern-hash cache counters, and never inserts into the
+  // cache, so any number of host worker threads may call it concurrently while no
+  // mutator runs (the scan pipeline's phase-1 contract). PrimeHash installs a
+  // snapshot into the frame memo from the serial thread, and only if the frame's
+  // content generation still matches — a stale snapshot is simply dropped, so a
+  // primed memo is always exactly what HashContent would have computed itself.
+
+  struct HashSnapshot {
+    std::uint64_t content_gen = 0;
+    std::uint64_t hash = 0;
+  };
+
+  [[nodiscard]] HashSnapshot PeekHash(FrameId f) const;
+  void PrimeHash(FrameId f, const HashSnapshot& snapshot);
 
   // Monotonic per-frame content version; bumped by every mutating operation
   // (WriteBytes/WriteU64/FlipBit/CopyFrame/FillZero/FillPattern/Restore). Lets
@@ -108,6 +130,7 @@ class PhysicalMemory {
   [[nodiscard]] static bool SnapshotsEqual(const ContentSnapshot& a, const ContentSnapshot& b);
 
  private:
+  [[nodiscard]] std::uint64_t HashContentSlow(FrameId f) const;
   void Materialize(FrameId f);
   // Clones the frame's buffer if it is CoW-aliased with another frame; every
   // mutator of materialized bytes must call this before writing.

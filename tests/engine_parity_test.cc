@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 
 #include "src/fusion/engine_factory.h"
@@ -243,6 +244,149 @@ INSTANTIATE_TEST_SUITE_P(KsmVUsionMc, FingerprintParityTest,
                            }
                            return name;
                          });
+
+// --- Serial-vs-parallel scan parity ---
+//
+// FusionConfig::scan_threads parallelizes only phase 1 of the scan pipeline (host
+// hashing against immutable frame snapshots); phase 2 replays the engine's scan
+// body serially in canonical page order. Everything simulated — stats, saved
+// frames, the full trace event stream, and the final clock value — must therefore
+// be bit-identical for every thread count, with threads=1 as the serial reference.
+// The workload deliberately churns page contents mid-run so the parallel hash
+// phase races real invalidations (stale snapshots must be dropped, not installed).
+
+struct ThreadedResult {
+  FingerprintResult base;
+  std::vector<TraceEvent> trace;
+};
+
+ThreadedResult RunThreadedScenario(EngineKind kind, std::uint64_t seed,
+                                   std::size_t threads) {
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;
+  machine_config.seed = seed;
+  Machine machine(machine_config);
+  machine.trace().set_enabled(true);
+  FusionConfig fusion_config;
+  fusion_config.wake_period = 1 * kMillisecond;
+  fusion_config.pages_per_wake = 256;
+  fusion_config.pool_frames = 1024;
+  fusion_config.wpf_period = 10 * kMillisecond;
+  fusion_config.scan_threads = threads;
+  auto engine = MakeEngine(kind, machine, fusion_config);
+  engine->Install();
+
+  constexpr std::size_t kVms = 3;
+  constexpr std::size_t kPages = 128;
+  std::vector<Process*> procs;
+  std::vector<VirtAddr> bases;
+  for (std::size_t p = 0; p < kVms; ++p) {
+    Process& proc = machine.CreateProcess();
+    procs.push_back(&proc);
+    const VirtAddr base = proc.AllocateRegion(kPages, PageType::kAnonymous, true, false);
+    bases.push_back(base);
+    for (std::size_t i = 0; i < kPages; ++i) {
+      if (i % 3 == 0) {
+        proc.SetupMapPattern(VaddrToVpn(base) + i, 0x5100 + (i % 20));  // duplicates
+      } else {
+        proc.SetupMapPattern(VaddrToVpn(base) + i, 0x770000 + p * 4096 + i);  // unique
+      }
+    }
+  }
+
+  // Deterministic churn: timed writes mutate contents (invalidating hash memos and
+  // unmerging fused pages), interleaved with idle periods where the engine scans.
+  Rng rng(seed * 131 + 7);
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t p = rng.NextBelow(kVms);
+    const std::size_t page = rng.NextBelow(kPages);
+    if (rng.NextBelow(3) == 0) {
+      machine.Idle(rng.NextInRange(1, 4) * kMillisecond);
+    } else {
+      procs[p]->Write64(bases[p] + page * kPageSize + rng.NextBelow(kPageSize / 8) * 8,
+                        rng.Next());
+    }
+  }
+  machine.Idle(150 * kMillisecond);
+
+  const FusionStats& stats = engine->stats();
+  ThreadedResult result;
+  result.base.pages_scanned = stats.pages_scanned;
+  result.base.merges = stats.merges;
+  result.base.fake_merges = stats.fake_merges;
+  result.base.unmerges_cow = stats.unmerges_cow;
+  result.base.unmerges_coa = stats.unmerges_coa;
+  result.base.zero_page_merges = stats.zero_page_merges;
+  result.base.full_scans = stats.full_scans;
+  result.base.frames_saved = engine->frames_saved();
+  result.base.final_time = machine.clock().now();
+  result.trace = machine.trace().Events();
+  engine->Uninstall();
+  return result;
+}
+
+struct ThreadedParam {
+  EngineKind kind;
+  std::uint64_t seed;
+};
+
+class ScanThreadsParityTest : public ::testing::TestWithParam<ThreadedParam> {
+ protected:
+  void SetUp() override {
+    // The TSan CI job forces scan_threads via the environment; this test owns the
+    // thread count explicitly, so drop the override for the comparison to be real.
+    unsetenv("VUSION_SCAN_THREADS");
+  }
+};
+
+TEST_P(ScanThreadsParityTest, SerialAndParallelScansAreBitIdentical) {
+  const ThreadedParam param = GetParam();
+  const ThreadedResult serial = RunThreadedScenario(param.kind, param.seed, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const ThreadedResult parallel = RunThreadedScenario(param.kind, param.seed, threads);
+    EXPECT_EQ(serial.base.pages_scanned, parallel.base.pages_scanned) << threads;
+    EXPECT_EQ(serial.base.merges, parallel.base.merges) << threads;
+    EXPECT_EQ(serial.base.fake_merges, parallel.base.fake_merges) << threads;
+    EXPECT_EQ(serial.base.unmerges_cow, parallel.base.unmerges_cow) << threads;
+    EXPECT_EQ(serial.base.unmerges_coa, parallel.base.unmerges_coa) << threads;
+    EXPECT_EQ(serial.base.zero_page_merges, parallel.base.zero_page_merges) << threads;
+    EXPECT_EQ(serial.base.full_scans, parallel.base.full_scans) << threads;
+    EXPECT_EQ(serial.base.frames_saved, parallel.base.frames_saved) << threads;
+    EXPECT_EQ(serial.base.final_time, parallel.base.final_time) << threads;
+    ASSERT_EQ(serial.trace.size(), parallel.trace.size()) << threads;
+    for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+      const TraceEvent& a = serial.trace[i];
+      const TraceEvent& b = parallel.trace[i];
+      ASSERT_TRUE(a.time == b.time && a.type == b.type && a.process_id == b.process_id &&
+                  a.vpn == b.vpn && a.frame == b.frame)
+          << "threads=" << threads << " event " << i << " diverged at time " << a.time
+          << " vs " << b.time;
+    }
+  }
+  // The scenario must exercise fusion and unmerge churn, not compare no-ops.
+  EXPECT_GT(serial.base.merges + serial.base.fake_merges, 0u);
+  EXPECT_GT(serial.trace.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScanningEngines, ScanThreadsParityTest,
+    ::testing::Values(ThreadedParam{EngineKind::kKsm, 1}, ThreadedParam{EngineKind::kKsm, 2},
+                      ThreadedParam{EngineKind::kKsm, 3}, ThreadedParam{EngineKind::kWpf, 1},
+                      ThreadedParam{EngineKind::kWpf, 2}, ThreadedParam{EngineKind::kWpf, 3},
+                      ThreadedParam{EngineKind::kVUsion, 1},
+                      ThreadedParam{EngineKind::kVUsion, 2},
+                      ThreadedParam{EngineKind::kVUsion, 3},
+                      ThreadedParam{EngineKind::kVUsionThp, 1},
+                      ThreadedParam{EngineKind::kVUsionThp, 2}),
+    [](const ::testing::TestParamInfo<ThreadedParam>& info) {
+      std::string name = EngineKindName(info.param.kind);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_s" + std::to_string(info.param.seed);
+    });
 
 // Savings comparison: with heavy duplication, every fusing engine must save a
 // significant fraction, and VUsion's savings must be in the same ballpark as KSM's

@@ -1,0 +1,102 @@
+// host::ThreadPool unit tests: chunk dispatch must cover [0, count) exactly once
+// for every boundary shape, and worker exceptions must surface on the caller.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/host/thread_pool.h"
+
+namespace vusion::host {
+namespace {
+
+// Marks every index in [begin, end); the atomic counters catch double dispatch.
+std::vector<std::atomic<int>> MakeCounters(std::size_t count) {
+  return std::vector<std::atomic<int>>(count);
+}
+
+void ExpectExactCoverage(ThreadPool& pool, std::size_t count, std::size_t grain) {
+  auto counters = MakeCounters(count);
+  pool.ParallelFor(count, grain, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, count);
+    for (std::size_t i = begin; i < end; ++i) {
+      counters[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(counters[i].load(), 1) << "index " << i << " count=" << count
+                                     << " grain=" << grain;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroItemsRunsNoBody) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  ExpectExactCoverage(pool, 3, 1);
+}
+
+TEST(ThreadPoolTest, NonDivisibleChunkSizes) {
+  ThreadPool pool(4);
+  // 17 items in chunks of 5: 5+5+5+2.
+  ExpectExactCoverage(pool, 17, 5);
+  // Grain larger than the count collapses to one inline chunk.
+  ExpectExactCoverage(pool, 7, 64);
+  // Auto grain.
+  ExpectExactCoverage(pool, 1000, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  ExpectExactCoverage(pool, 100, 7);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  auto counters = MakeCounters(64);
+  EXPECT_THROW(
+      pool.ParallelFor(64, 4,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           counters[i].fetch_add(1, std::memory_order_relaxed);
+                         }
+                         if (begin <= 29 && 29 < end) {
+                           throw std::runtime_error("chunk failed");
+                         }
+                       }),
+      std::runtime_error);
+  // A chunk failure does not kill the batch: every index was still visited once.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(counters[i].load(), 1) << "index " << i;
+  }
+  // The pool stays usable after an exception.
+  ExpectExactCoverage(pool, 50, 3);
+}
+
+TEST(ThreadPoolTest, RepeatedBatchesAccumulate) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.ParallelFor(100, 9, [&](std::size_t begin, std::size_t end) {
+      std::uint64_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        local += i;
+      }
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 200ull * (99ull * 100ull / 2));
+}
+
+}  // namespace
+}  // namespace vusion::host
