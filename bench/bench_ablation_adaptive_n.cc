@@ -62,7 +62,8 @@ Row Measure(bool adaptive, FrameId host_frames, std::size_t vm_count) {
 }
 
 void Run() {
-  PrintHeader("Ablation: SmartMD-style adaptive n (paper §8.1 / [21])");
+  bench::Reporter reporter("ablation_adaptive_n");
+  reporter.Header("Ablation: SmartMD-style adaptive n (paper §8.1 / [21])");
   std::printf("%-16s %-10s %-12s %-11s %-10s %-8s\n", "host", "policy", "huge pages",
               "collapses", "saved MB", "n");
   struct Case {
@@ -79,6 +80,12 @@ void Run() {
                   static_cast<unsigned long long>(row.huge_pages),
                   static_cast<unsigned long long>(row.collapses), row.saved_mb,
                   row.final_n);
+      reporter.AddRow("adaptive_n", {{"host", c.label},
+                                     {"policy", adaptive ? "adaptive" : "fixed n=1"},
+                                     {"huge_pages", row.huge_pages},
+                                     {"collapses", row.collapses},
+                                     {"saved_mb", row.saved_mb},
+                                     {"final_n", row.final_n}});
     }
   }
   std::printf("\nexpected: equal when roomy; under pressure the adaptive policy stops\n"

@@ -24,13 +24,22 @@ KsResult Measure(bool deferred_free) {
 }
 
 void Run() {
-  PrintHeader("Ablation: deferred free (the dummy-queue trick of §7.1(ii))");
+  bench::Reporter reporter("ablation_deferred_free");
+  reporter.Header("Ablation: deferred free (the dummy-queue trick of §7.1(ii))");
   const KsResult with = Measure(true);
   const KsResult without = Measure(false);
   std::printf("deferred free ON : D=%.3f p=%-8.3g %s\n", with.statistic, with.p_value,
               with.p_value > 0.05 ? "(indistinguishable - secure)" : "(DISTINGUISHABLE)");
   std::printf("deferred free OFF: D=%.3f p=%-8.3g %s\n", without.statistic, without.p_value,
               without.p_value > 0.05 ? "(indistinguishable?!)" : "(channel reopened)");
+  reporter.AddRow("ks_tests", {{"deferred_free", true},
+                               {"statistic", with.statistic},
+                               {"p_value", with.p_value},
+                               {"secure", with.p_value > 0.05}});
+  reporter.AddRow("ks_tests", {{"deferred_free", false},
+                               {"statistic", without.statistic},
+                               {"p_value", without.p_value},
+                               {"secure", without.p_value > 0.05}});
 }
 
 }  // namespace

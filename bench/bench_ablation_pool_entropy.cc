@@ -31,13 +31,18 @@ double MeasureReuseProbability(std::size_t pool_size, int trials) {
 }
 
 void Run() {
-  PrintHeader("Ablation: randomized-pool entropy vs controlled reuse probability");
+  bench::Reporter reporter("ablation_pool_entropy");
+  reporter.Header("Ablation: randomized-pool entropy vs controlled reuse probability");
   std::printf("%-12s %-10s %-18s %-18s\n", "pool frames", "bits", "measured P(reuse)",
               "expected 1/size");
   for (const std::size_t size : {16u, 64u, 256u, 1024u, 4096u}) {
     const double measured = MeasureReuseProbability(size, 40000);
     std::printf("%-12zu %-10.0f %-18.5f %-18.5f\n", size, std::log2(double(size)), measured,
                 1.0 / static_cast<double>(size));
+    reporter.AddRow("reuse", {{"pool_frames", size},
+                              {"entropy_bits", std::log2(double(size))},
+                              {"measured_p_reuse", measured},
+                              {"expected_p_reuse", 1.0 / static_cast<double>(size)}});
   }
   std::printf("\npaper: 32768-frame (128 MB) pool -> controlled reuse probability 2^-15\n");
 }

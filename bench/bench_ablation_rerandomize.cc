@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "src/fusion/vusion_engine.h"
+#include "src/fusion/engine_factory.h"
 #include "src/kernel/process.h"
 #include "bench/bench_common.h"
 
@@ -21,8 +21,7 @@ double MeasureStableBackingFraction(bool rerandomize) {
   fusion.pages_per_wake = 64;
   fusion.pool_frames = 1024;
   fusion.rerandomize_each_scan = rerandomize;
-  VUsionEngine engine(machine, fusion);
-  engine.Install();
+  ScopedEngine engine(EngineKind::kVUsion, machine, fusion);
 
   Process& p = machine.CreateProcess();
   const std::size_t pages = 64;
@@ -33,7 +32,7 @@ double MeasureStableBackingFraction(bool rerandomize) {
   }
   // Let everything get (fake) merged.
   for (int i = 0; i < 16; ++i) {
-    engine.Run();
+    engine->Run();
   }
   // Observe backing frames across 8 further rounds.
   std::size_t stable = 0;
@@ -41,7 +40,7 @@ double MeasureStableBackingFraction(bool rerandomize) {
   std::vector<FrameId> last(pages, kInvalidFrame);
   for (int round = 0; round < 8; ++round) {
     for (int i = 0; i < 4; ++i) {
-      engine.Run();
+      engine->Run();
     }
     for (std::size_t i = 0; i < pages; ++i) {
       const FrameId frame = p.TranslateFrame(VaddrToVpn(base) + i);
@@ -52,18 +51,20 @@ double MeasureStableBackingFraction(bool rerandomize) {
       last[i] = frame;
     }
   }
-  engine.Uninstall();
   return observations > 0 ? static_cast<double>(stable) / observations : 0.0;
 }
 
 void Run() {
-  PrintHeader("Ablation: per-scan backing re-randomization (§7.1(iii))");
+  bench::Reporter reporter("ablation_rerandomize");
+  reporter.Header("Ablation: per-scan backing re-randomization (§7.1(iii))");
   const double with = MeasureStableBackingFraction(true);
   const double without = MeasureStableBackingFraction(false);
   std::printf("re-randomization ON : backing frame unchanged across rounds: %.0f%%\n",
               100.0 * with);
   std::printf("re-randomization OFF: backing frame unchanged across rounds: %.0f%%\n",
               100.0 * without);
+  reporter.AddRow("stable_backing", {{"rerandomize", true}, {"stable_fraction", with}});
+  reporter.AddRow("stable_backing", {{"rerandomize", false}, {"stable_fraction", without}});
   std::printf("\nOFF means an attacker coloring the CoA source across scans learns the\n"
               "frame (merge inference); ON gives a fresh random frame every round.\n");
 }

@@ -40,7 +40,8 @@ Result Measure(bool wse) {
 }
 
 void Run() {
-  PrintHeader("Ablation: working-set estimation (idle page tracking, §7.2)");
+  bench::Reporter reporter("ablation_wse");
+  reporter.Header("Ablation: working-set estimation (idle page tracking, §7.2)");
   const Result with = Measure(true);
   const Result without = Measure(false);
   std::printf("%-10s %-16s %-16s\n", "WSE", "runtime (ms)", "CoA faults in benchmark");
@@ -48,6 +49,12 @@ void Run() {
               static_cast<unsigned long long>(with.coa_faults));
   std::printf("%-10s %-16.1f %-16llu\n", "off", without.runtime_ms,
               static_cast<unsigned long long>(without.coa_faults));
+  reporter.AddRow("wse", {{"wse", true},
+                          {"runtime_ms", with.runtime_ms},
+                          {"coa_faults", with.coa_faults}});
+  reporter.AddRow("wse", {{"wse", false},
+                          {"runtime_ms", without.runtime_ms},
+                          {"coa_faults", without.coa_faults}});
   std::printf("\noverhead without WSE: %.1f%% more runtime, %.1fx the faults\n",
               100.0 * (without.runtime_ms - with.runtime_ms) / with.runtime_ms,
               with.coa_faults > 0

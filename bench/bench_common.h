@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/reporter.h"
 #include "src/workload/scenario.h"
 
 namespace vusion {
@@ -47,8 +48,11 @@ inline const std::array<EngineKind, 4>& EvalEngines() {
   return kEngines;
 }
 
-inline void PrintHeader(const std::string& title) {
-  std::printf("=== %s ===\n", title.c_str());
+// Config description every scenario bench attaches to its JSON artifact: the
+// shared evaluation scenario (under a representative engine) plus the guest image.
+inline void DescribeEval(bench::Reporter& reporter, EngineKind kind) {
+  reporter.SetConfig("scenario", Describe(EvalScenario(kind)));
+  reporter.SetConfig("image", Describe(EvalImage()));
 }
 
 }  // namespace vusion

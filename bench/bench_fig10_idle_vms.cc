@@ -15,7 +15,7 @@ constexpr SimTime kStagger = 20 * kSecond;
 constexpr SimTime kSample = 5 * kSecond;
 constexpr SimTime kTotal = 260 * kSecond;
 
-std::vector<double> RunSeries(EngineKind kind) {
+std::vector<double> RunSeries(EngineKind kind, bench::Reporter& reporter) {
   Scenario scenario(EvalScenario(kind));
   std::vector<double> series;
   std::size_t booted = 0;
@@ -29,14 +29,18 @@ std::vector<double> RunSeries(EngineKind kind) {
     scenario.RunFor(kSample);
     series.push_back(scenario.consumed_mb());
   }
+  reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   return series;
 }
 
 void Run() {
-  PrintHeader("Figure 10: memory consumption of 4 idle VMs (MB)");
+  bench::Reporter reporter("fig10_idle_vms");
+  reporter.Header("Figure 10: memory consumption of 4 idle VMs (MB)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::vector<std::vector<double>> all;
   for (const EngineKind kind : EvalEngines()) {
-    all.push_back(RunSeries(kind));
+    all.push_back(RunSeries(kind, reporter));
+    reporter.AddSeries(EngineKindName(kind), all.back());
   }
   std::printf("%-8s %-10s %-10s %-10s %-12s\n", "t(s)", "no-dedup", "KSM", "VUsion",
               "VUsion-THP");
@@ -49,6 +53,11 @@ void Run() {
   std::printf("\nfinal MB: no-dedup=%.1f KSM=%.1f VUsion=%.1f VUsion-THP=%.1f\n",
               all[0].back(), all[1].back(), all[2].back(), all[3].back());
   std::printf("paper: VUsion converges to KSM's consumption, one scan round later\n");
+  for (std::size_t e = 0; e < EvalEngines().size(); ++e) {
+    reporter.AddRow("final_mb", {{"system", EngineKindName(EvalEngines()[e])},
+                                 {"consumed_mb", all[e].back()}});
+  }
+  reporter.Note("paper: VUsion converges to KSM's consumption, one scan round later");
 }
 
 }  // namespace

@@ -14,7 +14,7 @@ namespace {
 constexpr SimTime kSample = 10 * kSecond;
 constexpr SimTime kTotal = 300 * kSecond;
 
-std::vector<double> RunSeries(EngineKind kind) {
+std::vector<double> RunSeries(EngineKind kind, bench::Reporter& reporter) {
   ScenarioConfig config = EvalScenario(kind);
   config.machine.frame_count = 1u << 17;  // 512 MB host for 16 larger guests
   Scenario scenario(config);
@@ -42,14 +42,18 @@ std::vector<double> RunSeries(EngineKind kind) {
     scenario.RunFor(kSample);
     series.push_back(scenario.consumed_mb());
   }
+  reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   return series;
 }
 
 void Run() {
-  PrintHeader("Figure 11: memory consumption of 16 diverse VMs (MB)");
+  bench::Reporter reporter("fig11_diverse_vms");
+  reporter.Header("Figure 11: memory consumption of 16 diverse VMs (MB)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::vector<std::vector<double>> all;
   for (const EngineKind kind : EvalEngines()) {
-    all.push_back(RunSeries(kind));
+    all.push_back(RunSeries(kind, reporter));
+    reporter.AddSeries(EngineKindName(kind), all.back());
   }
   std::printf("%-8s %-10s %-10s %-10s %-12s\n", "t(s)", "no-dedup", "KSM", "VUsion",
               "VUsion-THP");
@@ -66,6 +70,11 @@ void Run() {
               saved_ksm, saved_vusion, 100.0 * saved_vusion / saved_ksm, saved_thp,
               100.0 * saved_thp / saved_ksm);
   std::printf("paper: VUsion ~= KSM; VUsion-THP reduces fusion (~61%% less) to keep THPs\n");
+  reporter.AddRow("saved_mb", {{"ksm_mb", saved_ksm},
+                               {"vusion_mb", saved_vusion},
+                               {"vusion_pct_of_ksm", 100.0 * saved_vusion / saved_ksm},
+                               {"vusion_thp_mb", saved_thp},
+                               {"vusion_thp_pct_of_ksm", 100.0 * saved_thp / saved_ksm}});
 }
 
 }  // namespace

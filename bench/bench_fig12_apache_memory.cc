@@ -18,7 +18,7 @@ constexpr SimTime kSample = 10 * kSecond;
 constexpr SimTime kBenchStart = 30 * kSecond;
 constexpr SimTime kTotal = 200 * kSecond;
 
-std::vector<double> RunSeries(EngineKind kind) {
+std::vector<double> RunSeries(EngineKind kind, bench::Reporter& reporter) {
   Scenario scenario(EvalScenario(kind));
   std::vector<Process*> vms;
   for (int i = 0; i < 4; ++i) {
@@ -41,14 +41,18 @@ std::vector<double> RunSeries(EngineKind kind) {
     }
     series.push_back(scenario.consumed_mb());
   }
+  reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   return series;
 }
 
 void Run() {
-  PrintHeader("Figure 12: memory consumption during the Apache benchmark (MB)");
+  bench::Reporter reporter("fig12_apache_memory");
+  reporter.Header("Figure 12: memory consumption during the Apache benchmark (MB)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::vector<std::vector<double>> all;
   for (const EngineKind kind : EvalEngines()) {
-    all.push_back(RunSeries(kind));
+    all.push_back(RunSeries(kind, reporter));
+    reporter.AddSeries(EngineKindName(kind), all.back());
   }
   std::printf("%-8s %-10s %-10s %-10s %-12s\n", "t(s)", "no-dedup", "KSM", "VUsion",
               "VUsion-THP");

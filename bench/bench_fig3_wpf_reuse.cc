@@ -14,7 +14,8 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Figure 3: WPF fused-frame reuse across passes");
+  bench::Reporter reporter("fig3_wpf_reuse");
+  reporter.Header("Figure 3: WPF fused-frame reuse across passes");
   std::printf("%-12s %-18s\n", "system", "reuse fraction");
   for (const EngineKind kind : {EngineKind::kWpf, EngineKind::kKsm, EngineKind::kVUsion}) {
     double total = 0.0;
@@ -23,6 +24,9 @@ void Run() {
       total += ReuseFlipFengShui::MeasureReuseFraction(kind, 100 + t);
     }
     std::printf("%-12s %.3f\n", EngineKindName(kind), total / trials);
+    reporter.AddRow("reuse", {{"system", EngineKindName(kind)},
+                              {"trials", trials},
+                              {"reuse_fraction", total / trials}});
   }
   std::printf(
       "\npaper: WPF shows near-perfect reuse at the end of guest memory (Fig 3);\n"

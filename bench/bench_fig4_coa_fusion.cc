@@ -17,7 +17,7 @@ constexpr SimTime kStagger = 20 * kSecond;   // paper: 5 minutes, scaled
 constexpr SimTime kTotal = 200 * kSecond;
 constexpr SimTime kSample = 10 * kSecond;
 
-std::vector<double> RunSeries(EngineKind kind) {
+std::vector<double> RunSeries(EngineKind kind, bench::Reporter& reporter) {
   Scenario scenario(EvalScenario(kind));
   std::vector<double> series;
   std::vector<std::unique_ptr<ApacheWorkload>> servers;
@@ -43,15 +43,19 @@ std::vector<double> RunSeries(EngineKind kind) {
                                (1024.0 * 1024.0)
                          : 0.0);
   }
+  reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   return series;
 }
 
 void Run() {
-  PrintHeader("Figure 4: copy-on-access vs copy-on-write fusion rates (4 Apache VMs)");
+  bench::Reporter reporter("fig4_coa_fusion");
+  reporter.Header("Figure 4: copy-on-access vs copy-on-write fusion rates (4 Apache VMs)");
+  DescribeEval(reporter, EngineKind::kKsm);
   const EngineKind kinds[] = {EngineKind::kKsm, EngineKind::kKsmCoA, EngineKind::kKsmZeroOnly};
   std::vector<std::vector<double>> all;
   for (const EngineKind kind : kinds) {
-    all.push_back(RunSeries(kind));
+    all.push_back(RunSeries(kind, reporter));
+    reporter.AddSeries(EngineKindName(kind), all.back());
   }
   std::printf("%-8s %-14s %-14s %-14s\n", "t(s)", "CoW (KSM)", "CoA", "zero-only");
   for (std::size_t i = 0; i < all[0].size(); ++i) {
@@ -66,6 +70,11 @@ void Run() {
               final_cow, final_coa, 100.0 * final_coa / final_cow, final_zero,
               100.0 * final_zero / final_cow);
   std::printf("paper: CoA within ~1%% of CoW; zero pages only ~16%% of duplicates\n");
+  reporter.AddRow("final_saved_mb", {{"cow_mb", final_cow},
+                                     {"coa_mb", final_coa},
+                                     {"zero_only_mb", final_zero},
+                                     {"coa_pct_of_cow", 100.0 * final_coa / final_cow},
+                                     {"zero_pct_of_cow", 100.0 * final_zero / final_cow}});
 }
 
 }  // namespace

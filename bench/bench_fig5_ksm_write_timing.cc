@@ -13,7 +13,8 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Figure 5: freq. dist. of timing 1,000 writes in KSM");
+  bench::Reporter reporter("fig5_ksm_write_timing");
+  reporter.Header("Figure 5: freq. dist. of timing 1,000 writes in KSM");
   AttackEnvironment env(EngineKind::kKsm, 1, AttackMachineConfig(), AttackFusionConfig());
   const CowSideChannel::Samples samples =
       CowSideChannel::Collect(env, /*pages_per_class=*/500, /*use_reads=*/false);
@@ -49,6 +50,14 @@ void Run() {
               }());
   std::printf("KS test shared vs unshared: D=%.3f p=%.3g  (paper: two distinct peaks)\n",
               ks.statistic, ks.p_value);
+
+  reporter.AddSeries("shared_write_ns", samples.hit_times);
+  reporter.AddSeries("unshared_write_ns", samples.miss_times);
+  reporter.AddRow("ks_test", {{"statistic", ks.statistic}, {"p_value", ks.p_value}});
+  if (env.engine() != nullptr) {
+    env.engine()->ExportMetrics(env.machine().metrics());
+  }
+  reporter.AddMetrics(EngineKindName(env.kind()), env.machine().CollectMetrics());
 }
 
 }  // namespace

@@ -13,7 +13,8 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Figure 6: freq. dist. of timing 1,000 reads in VUsion");
+  bench::Reporter reporter("fig6_vusion_read_timing");
+  reporter.Header("Figure 6: freq. dist. of timing 1,000 reads in VUsion");
   AttackEnvironment env(EngineKind::kVUsion, 1, AttackMachineConfig(), AttackFusionConfig());
   const CowSideChannel::Samples samples =
       CowSideChannel::Collect(env, /*pages_per_class=*/500, /*use_reads=*/true);
@@ -34,6 +35,16 @@ void Run() {
   std::printf("\nKS test shared vs unshared reads: D=%.3f p=%.3f\n", ks.statistic, ks.p_value);
   std::printf("paper: p=0.36 -> same distribution, Same Behaviour enforced; %s\n",
               ks.p_value > 0.05 ? "REPRODUCED" : "NOT reproduced");
+
+  reporter.AddSeries("shared_read_ns", samples.hit_times);
+  reporter.AddSeries("unshared_read_ns", samples.miss_times);
+  reporter.AddRow("ks_test", {{"statistic", ks.statistic},
+                              {"p_value", ks.p_value},
+                              {"reproduced", ks.p_value > 0.05}});
+  if (env.engine() != nullptr) {
+    env.engine()->ExportMetrics(env.machine().metrics());
+  }
+  reporter.AddMetrics(EngineKindName(env.kind()), env.machine().CollectMetrics());
 }
 
 }  // namespace

@@ -14,8 +14,10 @@
 namespace vusion {
 namespace {
 
-void RunSuite(std::span<const SyntheticBenchmark> suite, const char* title) {
-  PrintHeader(title);
+void RunSuite(std::span<const SyntheticBenchmark> suite, const char* title,
+              bench::Reporter& reporter) {
+  reporter.Header(title);
+  DescribeEval(reporter, EngineKind::kVUsion);
   // runtime[kind][bench]
   std::map<EngineKind, std::vector<double>> runtime;
   for (const EngineKind kind : EvalEngines()) {
@@ -35,25 +37,35 @@ void RunSuite(std::span<const SyntheticBenchmark> suite, const char* title) {
     for (auto& [proc, prep] : prepared) {
       runtime[kind].push_back(static_cast<double>(SpecWorkload::Run(*proc, prep, rng)));
     }
+    reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   }
   std::printf("%-14s %-12s %-12s %-12s\n", "benchmark", "KSM %", "VUsion %", "VUsion-THP %");
   std::map<EngineKind, std::vector<double>> ratios;
   for (std::size_t b = 0; b < suite.size(); ++b) {
     const double base = runtime[EngineKind::kNone][b];
     std::printf("%-14s", suite[b].name);
+    Json row = Json::Object();
+    row.Set("benchmark", suite[b].name);
     for (const EngineKind kind :
          {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp}) {
       const double overhead = 100.0 * (runtime[kind][b] - base) / base;
       ratios[kind].push_back(runtime[kind][b] / base);
       std::printf(" %-12.2f", overhead);
+      row.Set(std::string(EngineKindName(kind)) + "_overhead_pct", overhead);
     }
+    reporter.AddRow("overhead", std::move(row));
     std::printf("\n");
   }
   std::printf("%-14s", "geomean");
+  Json geomean = Json::Object();
+  geomean.Set("benchmark", "geomean");
   for (const EngineKind kind :
        {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp}) {
-    std::printf(" %-12.2f", 100.0 * (GeometricMean(ratios[kind]) - 1.0));
+    const double overhead = 100.0 * (GeometricMean(ratios[kind]) - 1.0);
+    std::printf(" %-12.2f", overhead);
+    geomean.Set(std::string(EngineKindName(kind)) + "_overhead_pct", overhead);
   }
+  reporter.AddRow("overhead", std::move(geomean));
   std::printf("\n");
 }
 
@@ -61,8 +73,9 @@ void RunSuite(std::span<const SyntheticBenchmark> suite, const char* title) {
 }  // namespace vusion
 
 int main() {
+  vusion::bench::Reporter reporter("fig7_spec");
   vusion::RunSuite(vusion::SpecWorkload::Suite(),
-                   "Figure 7: SPEC CPU2006 overhead vs no-dedup (%)");
+                   "Figure 7: SPEC CPU2006 overhead vs no-dedup (%)", reporter);
   std::printf("\npaper: geomean KSM 2.2%%, VUsion 4.9%%, VUsion THP 4.6%% (absolute)\n");
   return 0;
 }

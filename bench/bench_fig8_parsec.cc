@@ -13,7 +13,9 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Figure 8: PARSEC overhead vs no-dedup (%)");
+  bench::Reporter reporter("fig8_parsec");
+  reporter.Header("Figure 8: PARSEC overhead vs no-dedup (%)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::map<EngineKind, std::vector<double>> runtime;
   for (const EngineKind kind : EvalEngines()) {
     Scenario scenario(EvalScenario(kind));
@@ -30,6 +32,7 @@ void Run() {
     for (auto& [proc, prep] : prepared) {
       runtime[kind].push_back(static_cast<double>(SpecWorkload::Run(*proc, prep, rng)));
     }
+    reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   }
   const auto suite = ParsecWorkload::Suite();
   std::printf("%-14s %-12s %-12s %-12s\n", "benchmark", "KSM %", "VUsion %",
@@ -38,18 +41,28 @@ void Run() {
   for (std::size_t b = 0; b < suite.size(); ++b) {
     const double base = runtime[EngineKind::kNone][b];
     std::printf("%-14s", suite[b].name);
+    Json row = Json::Object();
+    row.Set("benchmark", suite[b].name);
     for (const EngineKind kind :
          {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp}) {
+      const double overhead = 100.0 * (runtime[kind][b] - base) / base;
       ratios[kind].push_back(runtime[kind][b] / base);
-      std::printf(" %-12.2f", 100.0 * (runtime[kind][b] - base) / base);
+      std::printf(" %-12.2f", overhead);
+      row.Set(std::string(EngineKindName(kind)) + "_overhead_pct", overhead);
     }
+    reporter.AddRow("overhead", std::move(row));
     std::printf("\n");
   }
   std::printf("%-14s", "geomean");
+  Json geomean = Json::Object();
+  geomean.Set("benchmark", "geomean");
   for (const EngineKind kind :
        {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp}) {
-    std::printf(" %-12.2f", 100.0 * (GeometricMean(ratios[kind]) - 1.0));
+    const double overhead = 100.0 * (GeometricMean(ratios[kind]) - 1.0);
+    std::printf(" %-12.2f", overhead);
+    geomean.Set(std::string(EngineKindName(kind)) + "_overhead_pct", overhead);
   }
+  reporter.AddRow("overhead", std::move(geomean));
   std::printf("\n\npaper: geomean KSM 1.7%%, VUsion 2.2%%, VUsion THP 0.8%% (absolute)\n");
 }
 

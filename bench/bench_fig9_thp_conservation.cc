@@ -11,7 +11,7 @@
 namespace vusion {
 namespace {
 
-std::vector<std::uint64_t> RunSeries(EngineKind kind) {
+std::vector<std::uint64_t> RunSeries(EngineKind kind, bench::Reporter& reporter) {
   ScenarioConfig config = EvalScenario(kind);
   // khugepaged runs in every configuration for this experiment.
   config.enable_khugepaged = true;
@@ -39,15 +39,20 @@ std::vector<std::uint64_t> RunSeries(EngineKind kind) {
     apache.Run(10 * kSecond);
     series.push_back(scenario.machine().CountHugeMappings());
   }
+  reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   return series;
 }
 
 void Run() {
-  PrintHeader("Figure 9: huge pages over time during the Apache benchmark");
+  bench::Reporter reporter("fig9_thp_conservation");
+  reporter.Header("Figure 9: huge pages over time during the Apache benchmark");
+  DescribeEval(reporter, EngineKind::kVUsionThp);
   std::vector<std::vector<std::uint64_t>> all;
   const EngineKind kinds[] = {EngineKind::kKsm, EngineKind::kVUsion, EngineKind::kVUsionThp};
   for (const EngineKind kind : kinds) {
-    all.push_back(RunSeries(kind));
+    all.push_back(RunSeries(kind, reporter));
+    std::vector<double> as_double(all.back().begin(), all.back().end());
+    reporter.AddSeries(EngineKindName(kind), as_double);
   }
   std::printf("%-8s %-10s %-10s %-12s\n", "t(s)", "KSM", "VUsion", "VUsion-THP");
   for (std::size_t i = 0; i < all[0].size(); ++i) {
@@ -57,6 +62,10 @@ void Run() {
                 static_cast<unsigned long long>(all[2][i]));
   }
   std::printf("\npaper: VUsion THP retains clearly more huge pages than KSM/VUsion\n");
+  for (std::size_t e = 0; e < 3; ++e) {
+    reporter.AddRow("final_huge_pages", {{"system", EngineKindName(kinds[e])},
+                                         {"huge_pages", all[e].back()}});
+  }
 }
 
 }  // namespace

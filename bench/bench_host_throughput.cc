@@ -241,9 +241,18 @@ SweepResult RunSweep(EngineKind kind, std::size_t threads) {
 
 void Run(const std::vector<std::size_t>& thread_counts) {
   const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+  bench::Reporter reporter("host_throughput");
 
   // --- Experiment 1: fingerprint vs byte-ordered trees (best-of-3). ---
-  PrintHeader("Host scan throughput: fingerprint-ordered vs byte-ordered trees");
+  reporter.Header("Host scan throughput: fingerprint-ordered vs byte-ordered trees");
+  {
+    Json scenario = Json::Object();
+    scenario.Set("vms", kVms);
+    scenario.Set("guest_pages", kGuestPages);
+    scenario.Set("sim_seconds", kRunTime / kSecond);
+    scenario.Set("repeats", kRepeats);
+    reporter.SetConfig("scenario", std::move(scenario));
+  }
   const std::array<EngineKind, 4> engines = {EngineKind::kKsm, EngineKind::kWpf,
                                              EngineKind::kVUsion, EngineKind::kVUsionThp};
   std::vector<RunResult> results;
@@ -260,7 +269,7 @@ void Run(const std::vector<std::size_t>& thread_counts) {
   }
 
   // --- Experiment 2: scan_threads sweep on the churn scenario. ---
-  PrintHeader("Parallel scan pipeline: scan_threads sweep (churn scenario)");
+  reporter.Header("Parallel scan pipeline: scan_threads sweep (churn scenario)");
   std::printf("%-12s %8s %12s %10s %10s %12s %12s\n", "engine", "threads", "items",
               "scan(s)", "phase1(s)", "meas pg/s", "proj pg/s");
   std::vector<std::vector<SweepResult>> sweeps;
@@ -288,27 +297,28 @@ void Run(const std::vector<std::size_t>& thread_counts) {
       host_cpus >= *std::max_element(thread_counts.begin(), thread_counts.end());
   const char* basis = measured_basis ? "measured" : "projected";
 
-  // --- JSON + summary. ---
-  std::FILE* json = std::fopen("BENCH_host_throughput.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"scenario\": {\"vms\": %zu, \"guest_pages\": %zu, "
-                       "\"sim_seconds\": %llu, \"repeats\": %d},\n  \"runs\": [\n",
-                 kVms, kGuestPages, static_cast<unsigned long long>(kRunTime / kSecond),
-                 kRepeats);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const RunResult& r = results[i];
-      std::fprintf(json,
-                   "    {\"engine\": \"%s\", \"mode\": \"%s\", \"pages_scanned\": %llu, "
-                   "\"merges\": %llu, \"frames_saved\": %llu, \"wall_seconds\": %.4f, "
-                   "\"pages_per_second\": %.1f, \"end_to_end_seconds\": %.4f}%s\n",
-                   r.engine.c_str(), r.mode.c_str(),
-                   static_cast<unsigned long long>(r.sim.pages_scanned),
-                   static_cast<unsigned long long>(r.sim.merges),
-                   static_cast<unsigned long long>(r.sim.frames_saved), r.wall_seconds,
-                   r.pages_per_second, r.end_to_end_seconds,
-                   i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(json, "  ],\n  \"speedup\": {\n");
+  // --- Reporter rows + stdout summary. ---
+  {
+    Json sweep_config = Json::Object();
+    sweep_config.Set("vms", kVms);
+    sweep_config.Set("guest_pages", kChurnGuestPages);
+    sweep_config.Set("churn_steps", kChurnSteps);
+    sweep_config.Set("step_ms", kChurnStepTime / kMillisecond);
+    sweep_config.Set("repeats", kRepeats);
+    sweep_config.Set("host_cpus", host_cpus);
+    sweep_config.Set("basis", basis);
+    reporter.SetConfig("threads_sweep", std::move(sweep_config));
+  }
+  for (const RunResult& r : results) {
+    reporter.AddRow("runs", {{"engine", r.engine},
+                             {"mode", r.mode},
+                             {"pages_scanned", r.sim.pages_scanned},
+                             {"merges", r.sim.merges},
+                             {"frames_saved", r.sim.frames_saved},
+                             {"wall_seconds", r.wall_seconds},
+                             {"pages_per_second", r.pages_per_second},
+                             {"end_to_end_seconds", r.end_to_end_seconds}});
+    reporter.AddTiming(r.engine + "/" + r.mode + "_wall", r.wall_seconds * 1e3);
   }
   std::printf("\nscan-throughput speedup (fingerprint / byte-ordered, best of %d):\n", kRepeats);
   double ksm_speedup = 0.0;
@@ -321,82 +331,57 @@ void Run(const std::vector<std::size_t>& thread_counts) {
       ksm_speedup = speedup;
     }
     std::printf("  %-12s %.2fx\n", bytes.engine.c_str(), speedup);
-    if (json != nullptr) {
-      std::fprintf(json, "    \"%s\": %.3f%s\n", bytes.engine.c_str(), speedup,
-                   i + 3 < results.size() ? "," : "");
-    }
+    reporter.AddRow("speedup", {{"engine", bytes.engine}, {"speedup", speedup}});
   }
   // KSM is the headline: its scan path is pure tree matching. VUsion's scan cost
   // is dominated by per-round re-randomization (a security feature, identical in
   // both modes), so its ratio stays near 1 by design.
   std::printf("\nheadline: KSM diverse-VM scan-throughput speedup %.2fx (target >= 5x)\n",
               ksm_speedup);
+  reporter.AddRow("headlines", {{"name", "ksm_fingerprint_speedup"},
+                                {"value", ksm_speedup},
+                                {"target", 5.0}});
 
   double ksm_parallel = 0.0;
-  if (json != nullptr) {
-    std::fprintf(json, "  },\n  \"headline_ksm_speedup\": %.3f,\n  \"target\": 5.0,\n",
-                 ksm_speedup);
-    std::fprintf(json,
-                 "  \"threads_sweep\": {\n"
-                 "    \"scenario\": {\"vms\": %zu, \"guest_pages\": %zu, "
-                 "\"churn_steps\": %zu, \"step_ms\": %llu, \"repeats\": %d},\n"
-                 "    \"host_cpus\": %u,\n    \"basis\": \"%s\",\n    \"engines\": {\n",
-                 kVms, kChurnGuestPages, kChurnSteps,
-                 static_cast<unsigned long long>(kChurnStepTime / kMillisecond), kRepeats,
-                 host_cpus, basis);
-    for (std::size_t e = 0; e < sweeps.size(); ++e) {
-      const std::vector<SweepResult>& series = sweeps[e];
-      std::fprintf(json, "      \"%s\": [\n", series.front().engine.c_str());
-      for (std::size_t i = 0; i < series.size(); ++i) {
-        const SweepResult& r = series[i];
-        std::fprintf(json,
-                     "        {\"threads\": %zu, \"items\": %llu, \"scan_seconds\": %.4f, "
-                     "\"phase1_seconds\": %.4f, \"projected_scan_seconds\": %.4f, "
-                     "\"pages_per_second\": %.1f, \"projected_pages_per_second\": %.1f}%s\n",
-                     r.threads, static_cast<unsigned long long>(r.items), r.scan_seconds,
-                     r.phase1_seconds, r.projected_seconds, r.measured_pps, r.projected_pps,
-                     i + 1 < series.size() ? "," : "");
-      }
-      std::fprintf(json, "      ]%s\n", e + 1 < sweeps.size() ? "," : "");
+  for (const std::vector<SweepResult>& series : sweeps) {
+    for (const SweepResult& r : series) {
+      reporter.AddRow("threads_sweep", {{"engine", r.engine},
+                                        {"threads", r.threads},
+                                        {"items", r.items},
+                                        {"scan_seconds", r.scan_seconds},
+                                        {"phase1_seconds", r.phase1_seconds},
+                                        {"projected_scan_seconds", r.projected_seconds},
+                                        {"pages_per_second", r.measured_pps},
+                                        {"projected_pages_per_second", r.projected_pps}});
     }
-    std::fprintf(json, "    },\n    \"parallel_speedup\": {\n");
   }
   std::printf("\nparallel scan speedup vs 1 thread (%s basis, host has %u cpu%s):\n", basis,
               host_cpus, host_cpus == 1 ? "" : "s");
-  for (std::size_t e = 0; e < sweeps.size(); ++e) {
-    const std::vector<SweepResult>& series = sweeps[e];
+  for (const std::vector<SweepResult>& series : sweeps) {
     const double base_pps = series.front().measured_pps;
     std::printf("  %-12s", series.front().engine.c_str());
-    if (json != nullptr) {
-      std::fprintf(json, "      \"%s\": {", series.front().engine.c_str());
-    }
-    for (std::size_t i = 0; i < series.size(); ++i) {
-      const SweepResult& r = series[i];
+    for (const SweepResult& r : series) {
       const double pps = measured_basis ? r.measured_pps : r.projected_pps;
       const double speedup = base_pps > 0 ? pps / base_pps : 0.0;
       if (series.front().engine == "KSM" && r.threads == 8) {
         ksm_parallel = speedup;
       }
       std::printf("  %zut=%.2fx", r.threads, speedup);
-      if (json != nullptr) {
-        std::fprintf(json, "\"%zu\": %.3f%s", r.threads, speedup,
-                     i + 1 < series.size() ? ", " : "");
-      }
+      reporter.AddRow("parallel_speedup", {{"engine", r.engine},
+                                           {"threads", r.threads},
+                                           {"speedup", speedup}});
     }
     std::printf("\n");
-    if (json != nullptr) {
-      std::fprintf(json, "}%s\n", e + 1 < sweeps.size() ? "," : "");
-    }
   }
   std::printf("\nheadline: KSM 8-thread parallel scan speedup %.2fx (%s, target >= 3x)\n",
               ksm_parallel, basis);
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "    },\n    \"headline_ksm_parallel_speedup_8t\": %.3f,\n"
-                 "    \"target\": 3.0\n  }\n}\n",
-                 ksm_parallel);
-    std::fclose(json);
-    std::printf("wrote BENCH_host_throughput.json\n");
+  reporter.AddRow("headlines", {{"name", "ksm_parallel_speedup_8t"},
+                                {"value", ksm_parallel},
+                                {"target", 3.0},
+                                {"basis", basis}});
+  const std::string path = reporter.WriteJson();
+  if (!path.empty()) {
+    std::printf("wrote %s\n", path.c_str());
   }
 }
 

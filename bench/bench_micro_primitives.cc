@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/reporter.h"
 #include "src/container/rbtree.h"
 #include "src/kernel/process.h"
 #include "src/phys/buddy_allocator.h"
@@ -108,7 +109,39 @@ void BM_TimedProcessRead(benchmark::State& state) {
 }
 BENCHMARK(BM_TimedProcessRead);
 
+// Mirrors every google-benchmark run into the unified BENCH_*.json artifact while
+// leaving the console output exactly what ConsoleReporter prints.
+class JsonBridgeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBridgeReporter(bench::Reporter& reporter) : reporter_(reporter) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      reporter_.AddRow("benchmarks",
+                       {{"name", run.benchmark_name()},
+                        {"iterations", static_cast<long long>(run.iterations)},
+                        {"real_time_per_iter", run.GetAdjustedRealTime()},
+                        {"cpu_time_per_iter", run.GetAdjustedCPUTime()},
+                        {"time_unit", benchmark::GetTimeUnitString(run.time_unit)}});
+    }
+  }
+
+ private:
+  bench::Reporter& reporter_;
+};
+
 }  // namespace
 }  // namespace vusion
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  vusion::bench::Reporter reporter("micro_primitives");
+  vusion::JsonBridgeReporter bridge(reporter);
+  benchmark::RunSpecifiedBenchmarks(&bridge);
+  benchmark::Shutdown();
+  return 0;
+}

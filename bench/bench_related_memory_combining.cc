@@ -43,7 +43,8 @@ Row Measure(EngineKind kind, FrameId host_frames, int vms) {
 }
 
 void Run() {
-  PrintHeader("Related work: swap-cache-only dedup (Memory Combining) vs active fusion");
+  bench::Reporter reporter("related_memory_combining");
+  reporter.Header("Related work: swap-cache-only dedup (Memory Combining) vs active fusion");
   std::printf("%-14s %-16s %-16s %-14s\n", "host", "system", "saved MB", "major faults");
   struct Case {
     const char* label;
@@ -60,6 +61,10 @@ void Run() {
       const Row row = Measure(kind, c.frames, c.vms);
       std::printf("%-14s %-16s %-16.1f %-14llu\n", c.label, EngineKindName(kind),
                   row.saved_mb, static_cast<unsigned long long>(row.major_faults));
+      reporter.AddRow("savings", {{"host", c.label},
+                                  {"system", EngineKindName(kind)},
+                                  {"saved_mb", row.saved_mb},
+                                  {"major_faults", row.major_faults}});
     }
   }
   std::printf("\npaper: \"this design misses substantial fusion opportunities compared\n"

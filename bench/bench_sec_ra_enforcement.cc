@@ -15,7 +15,9 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Security: Randomized Allocation enforcement (KS vs uniform)");
+  bench::Reporter reporter("sec_ra_enforcement");
+  reporter.Header("Security: Randomized Allocation enforcement (KS vs uniform)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   Scenario scenario(EvalScenario(EngineKind::kVUsion));
   scenario.engine()->stats().log_allocations = true;
   scenario.BootVm(EvalImage(), 1);
@@ -35,6 +37,12 @@ void Run() {
   std::printf("KS vs uniform: D=%.4f p=%.3f -> uniformity %s\n", ks.statistic, ks.p_value,
               ks.p_value > 0.05 ? "NOT rejected (RA holds)" : "REJECTED");
   std::printf("\npaper: p=0.44, uniform allocation not rejected\n");
+  reporter.AddRow("ks_uniform", {{"system", "VUsion"},
+                                 {"samples", slots.size()},
+                                 {"statistic", ks.statistic},
+                                 {"p_value", ks.p_value},
+                                 {"ra_holds", ks.p_value > 0.05}});
+  reporter.AddMetrics("VUsion", scenario.CollectMetrics());
 
   // Contrast: KSM's "allocation" for a merge is the stable page's frame.
   Scenario ksm(EvalScenario(EngineKind::kKsm));
@@ -50,6 +58,11 @@ void Run() {
     std::printf("KSM stable-frame choices vs uniform over memory: D=%.3f p=%.3g (%s)\n",
                 ksm_ks.statistic, ksm_ks.p_value,
                 ksm_ks.p_value > 0.05 ? "uniform?!" : "predictable, as expected");
+    reporter.AddRow("ks_uniform", {{"system", "KSM"},
+                                   {"samples", values.size()},
+                                   {"statistic", ksm_ks.statistic},
+                                   {"p_value", ksm_ks.p_value},
+                                   {"ra_holds", ksm_ks.p_value > 0.05}});
   }
 }
 

@@ -11,20 +11,27 @@
 namespace vusion {
 namespace {
 
-void Row(EngineKind kind, bool use_reads) {
+void Row(EngineKind kind, bool use_reads, bench::Reporter& reporter) {
   AttackEnvironment env(kind, 1, AttackMachineConfig(), AttackFusionConfig());
   const CowSideChannel::Samples samples = CowSideChannel::Collect(env, 500, use_reads);
   const KsResult ks = KsTwoSample(samples.hit_times, samples.miss_times);
+  const bool sb_holds = ks.p_value > 0.05;
   std::printf("%-12s %-8s D=%.3f  p=%-8.3g %s\n", EngineKindName(kind),
               use_reads ? "reads" : "writes", ks.statistic, ks.p_value,
-              ks.p_value > 0.05 ? "same distribution (SB holds)" : "DISTINGUISHABLE");
+              sb_holds ? "same distribution (SB holds)" : "DISTINGUISHABLE");
+  reporter.AddRow("ks_tests", {{"system", EngineKindName(kind)},
+                               {"access", use_reads ? "reads" : "writes"},
+                               {"statistic", ks.statistic},
+                               {"p_value", ks.p_value},
+                               {"sb_holds", sb_holds}});
 }
 
 void Run() {
-  PrintHeader("Security: Same Behaviour enforcement (KS test, 1000 accesses/class)");
-  Row(EngineKind::kKsm, /*use_reads=*/false);
-  Row(EngineKind::kVUsion, /*use_reads=*/false);
-  Row(EngineKind::kVUsion, /*use_reads=*/true);
+  bench::Reporter reporter("sec_sb_enforcement");
+  reporter.Header("Security: Same Behaviour enforcement (KS test, 1000 accesses/class)");
+  Row(EngineKind::kKsm, /*use_reads=*/false, reporter);
+  Row(EngineKind::kVUsion, /*use_reads=*/false, reporter);
+  Row(EngineKind::kVUsion, /*use_reads=*/true, reporter);
   std::printf("\npaper: VUsion reads p=0.36 -> merged/unmerged timings indistinguishable\n");
 }
 

@@ -46,7 +46,9 @@ SummaryRow Measure(EngineKind kind) {
 }
 
 void Run() {
-  PrintHeader("Summary: security / capacity / performance across fusion designs");
+  bench::Reporter reporter("summary_matrix");
+  reporter.Header("Summary: security / capacity / performance across fusion designs");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::printf("%-14s %-12s %-16s %-14s %-12s\n", "system", "saved MB", "memcached kreq/s",
               "disclosure", "Flip F.S.");
   const EngineKind kinds[] = {EngineKind::kNone,   EngineKind::kKsm,
@@ -57,6 +59,11 @@ void Run() {
     std::printf("%-14s %-12.1f %-16.1f %-14s %-12s\n", EngineKindName(kind), row.saved_mb,
                 row.throughput, row.disclosure_safe ? "safe" : "LEAKS",
                 row.ffs_safe ? "safe" : "CORRUPTS");
+    reporter.AddRow("summary", {{"system", EngineKindName(kind)},
+                                {"saved_mb", row.saved_mb},
+                                {"memcached_kreq_per_s", row.throughput},
+                                {"disclosure_safe", row.disclosure_safe},
+                                {"ffs_safe", row.ffs_safe}});
   }
   std::printf("\n(Flip F.S. column = the classic merge-based attack; WPF's 'safe' there\n"
               "falls to the reuse-based variant - see bench_table1_attack_matrix.)\n"

@@ -27,7 +27,8 @@ struct AttackRow {
 };
 
 void Run() {
-  PrintHeader("Table 1: attacks against page fusion and their mitigations");
+  bench::Reporter reporter("table1_attack_matrix");
+  reporter.Header("Table 1: attacks against page fusion and their mitigations");
   const AttackRow rows[] = {
       {"Copy-on-write", "Unmerge", "SB", CowSideChannel::Run},
       {"CAIN ASLR brute-force", "Unmerge", "SB",
@@ -54,16 +55,23 @@ void Run() {
   bool vusion_secure = true;
   for (const AttackRow& row : rows) {
     std::printf("%-24s %-9s %-10s ", row.name, row.mechanism, row.mitigation);
+    Json json_row = Json::Object();
+    json_row.Set("attack", row.name);
+    json_row.Set("mechanism", row.mechanism);
+    json_row.Set("mitigation", row.mitigation);
     for (const EngineKind target : targets) {
       const AttackOutcome outcome = row.run(target, 1);
       std::printf("%-10s ", outcome.success ? "BROKEN" : "safe");
+      json_row.Set(EngineKindName(target), outcome.success ? "BROKEN" : "safe");
       if (target == EngineKind::kVUsion && outcome.success) {
         vusion_secure = false;
       }
     }
+    reporter.AddRow("attacks", std::move(json_row));
     std::printf("\n");
   }
   std::printf("\nVUsion stops all attacks: %s (paper: yes)\n", vusion_secure ? "yes" : "NO");
+  reporter.AddRow("verdict", {{"vusion_stops_all_attacks", vusion_secure}});
 }
 
 }  // namespace

@@ -11,7 +11,9 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Table 2: Stream bandwidth (MB/s)");
+  bench::Reporter reporter("table2_stream");
+  reporter.Header("Table 2: Stream bandwidth (MB/s)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::printf("%-12s %-10s %-10s %-10s %-10s\n", "system", "copy", "scale", "add", "triad");
   double baseline_copy = 0.0;
   for (const EngineKind kind : EvalEngines()) {
@@ -27,12 +29,20 @@ void Run() {
     const StreamResult result = stream.Run(/*iterations=*/2);
     std::printf("%-12s %-10.0f %-10.0f %-10.0f %-10.0f\n", EngineKindName(kind),
                 result.copy_mbps, result.scale_mbps, result.add_mbps, result.triad_mbps);
+    double overhead_pct = 0.0;
     if (kind == EngineKind::kNone) {
       baseline_copy = result.copy_mbps;
     } else if (baseline_copy > 0.0) {
-      std::printf("%12s overhead vs no-dedup: %.2f%%\n", "",
-                  100.0 * (baseline_copy - result.copy_mbps) / baseline_copy);
+      overhead_pct = 100.0 * (baseline_copy - result.copy_mbps) / baseline_copy;
+      std::printf("%12s overhead vs no-dedup: %.2f%%\n", "", overhead_pct);
     }
+    reporter.AddRow("bandwidth", {{"system", EngineKindName(kind)},
+                                  {"copy_mbps", result.copy_mbps},
+                                  {"scale_mbps", result.scale_mbps},
+                                  {"add_mbps", result.add_mbps},
+                                  {"triad_mbps", result.triad_mbps},
+                                  {"copy_overhead_pct", overhead_pct}});
+    reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   }
   std::printf(
       "\npaper: overhead below 1%% for every system. Note: this simulator models a\n"

@@ -10,7 +10,9 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Table 3: contribution of page types to page fusion (%)");
+  bench::Reporter reporter("table3_page_types");
+  reporter.Header("Table 3: contribution of page types to page fusion (%)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::printf("%-12s %-14s %-10s %-10s %-10s\n", "system", "page cache", "buddy", "kernel",
               "rest");
   for (const EngineKind kind :
@@ -28,11 +30,18 @@ void Run() {
     if (total == 0.0) {
       total = 1.0;
     }
-    std::printf("%-12s %-14.1f %-10.1f %-10.1f %-10.1f\n", EngineKindName(kind),
-                100.0 * by_type[static_cast<int>(PageType::kPageCache)] / total,
-                100.0 * by_type[static_cast<int>(PageType::kGuestBuddy)] / total,
-                100.0 * by_type[static_cast<int>(PageType::kGuestKernel)] / total,
-                100.0 * by_type[static_cast<int>(PageType::kAnonymous)] / total);
+    const double cache_pct = 100.0 * by_type[static_cast<int>(PageType::kPageCache)] / total;
+    const double buddy_pct = 100.0 * by_type[static_cast<int>(PageType::kGuestBuddy)] / total;
+    const double kernel_pct = 100.0 * by_type[static_cast<int>(PageType::kGuestKernel)] / total;
+    const double rest_pct = 100.0 * by_type[static_cast<int>(PageType::kAnonymous)] / total;
+    std::printf("%-12s %-14.1f %-10.1f %-10.1f %-10.1f\n", EngineKindName(kind), cache_pct,
+                buddy_pct, kernel_pct, rest_pct);
+    reporter.AddRow("page_types", {{"system", EngineKindName(kind)},
+                                   {"page_cache_pct", cache_pct},
+                                   {"buddy_pct", buddy_pct},
+                                   {"kernel_pct", kernel_pct},
+                                   {"rest_pct", rest_pct}});
+    reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   }
   std::printf("\npaper (KSM row): page cache 51.8, buddy 38.4, kernel 6.9, rest 2.9\n");
 }

@@ -12,7 +12,9 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Table 4: Postmark transactions per second");
+  bench::Reporter reporter("table4_postmark");
+  reporter.Header("Table 4: Postmark transactions per second");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::printf("%-12s %-12s %-12s %-12s\n", "system", "mean tx/s", "min tx/s", "max tx/s");
   for (const EngineKind kind : EvalEngines()) {
     double sum = 0.0;
@@ -33,8 +35,15 @@ void Run() {
       sum += result.tx_per_s;
       lo = std::min(lo, result.tx_per_s);
       hi = std::max(hi, result.tx_per_s);
+      if (run == 2) {
+        reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
+      }
     }
     std::printf("%-12s %-12.1f %-12.1f %-12.1f\n", EngineKindName(kind), sum / 3.0, lo, hi);
+    reporter.AddRow("postmark", {{"system", EngineKindName(kind)},
+                                 {"mean_tx_per_s", sum / 3.0},
+                                 {"min_tx_per_s", lo},
+                                 {"max_tx_per_s", hi}});
   }
   std::printf("\npaper: no-dedup 3237, KSM 3222 (-1.5%%), VUsion 3179 (-2.9%%), "
               "VUsion THP 3246 (+0.2%%)\n");

@@ -11,7 +11,9 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Table 5: Apache throughput and latency");
+  bench::Reporter reporter("table5_apache");
+  reporter.Header("Table 5: Apache throughput and latency");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::printf("%-12s %-14s %-10s %-10s %-10s\n", "system", "kreq/s (rel)", "lat 75%",
               "lat 90%", "lat 99%");
   double baseline = 0.0;
@@ -28,9 +30,17 @@ void Run() {
     if (kind == EngineKind::kNone) {
       baseline = result.kreq_per_s;
     }
+    const double rel_pct = baseline > 0 ? 100.0 * result.kreq_per_s / baseline : 100.0;
     std::printf("%-12s %6.2f (%5.1f%%) %-10.2f %-10.2f %-10.2f\n", EngineKindName(kind),
-                result.kreq_per_s, baseline > 0 ? 100.0 * result.kreq_per_s / baseline : 100.0,
-                result.lat_p75_ms, result.lat_p90_ms, result.lat_p99_ms);
+                result.kreq_per_s, rel_pct, result.lat_p75_ms, result.lat_p90_ms,
+                result.lat_p99_ms);
+    reporter.AddRow("apache", {{"system", EngineKindName(kind)},
+                               {"kreq_per_s", result.kreq_per_s},
+                               {"rel_pct", rel_pct},
+                               {"lat_p75_ms", result.lat_p75_ms},
+                               {"lat_p90_ms", result.lat_p90_ms},
+                               {"lat_p99_ms", result.lat_p99_ms}});
+    reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   }
   std::printf("\npaper: no-dedup 22.0 (100%%), KSM 18.4 (83.6%%), VUsion 18.3 (82.3%%),\n"
               "       VUsion THP 21.2 (96.1%%); latency follows the same trend\n");

@@ -10,7 +10,9 @@ namespace vusion {
 namespace {
 
 void Run() {
-  PrintHeader("Table 6: Redis / memcached throughput (kreq/s)");
+  bench::Reporter reporter("table6_kv_throughput");
+  reporter.Header("Table 6: Redis / memcached throughput (kreq/s)");
+  DescribeEval(reporter, EngineKind::kVUsion);
   std::printf("%-12s %-18s %-18s\n", "system", "Redis", "Memcached");
   double base_redis = 0.0;
   double base_mc = 0.0;
@@ -35,11 +37,16 @@ void Run() {
       base_redis = redis_result.kreq_per_s;
       base_mc = mc_result.kreq_per_s;
     }
+    const double redis_rel = base_redis > 0 ? 100.0 * redis_result.kreq_per_s / base_redis : 100.0;
+    const double mc_rel = base_mc > 0 ? 100.0 * mc_result.kreq_per_s / base_mc : 100.0;
     std::printf("%-12s %7.1f (%5.1f%%)   %7.1f (%5.1f%%)\n", EngineKindName(kind),
-                redis_result.kreq_per_s,
-                base_redis > 0 ? 100.0 * redis_result.kreq_per_s / base_redis : 100.0,
-                mc_result.kreq_per_s,
-                base_mc > 0 ? 100.0 * mc_result.kreq_per_s / base_mc : 100.0);
+                redis_result.kreq_per_s, redis_rel, mc_result.kreq_per_s, mc_rel);
+    reporter.AddRow("throughput", {{"system", EngineKindName(kind)},
+                                   {"redis_kreq_per_s", redis_result.kreq_per_s},
+                                   {"redis_rel_pct", redis_rel},
+                                   {"memcached_kreq_per_s", mc_result.kreq_per_s},
+                                   {"memcached_rel_pct", mc_rel}});
+    reporter.AddMetrics(EngineKindName(kind), scenario.CollectMetrics());
   }
   std::printf("\npaper: Redis 100/88.8/88.4/93.4%%, Memcached 100/97.9/92.6/97.8%%\n");
 }

@@ -9,7 +9,8 @@
 namespace vusion {
 namespace {
 
-void RunStore(const char* store, const KvWorkload::Config& base_config, std::uint64_t seed) {
+void RunStore(const char* store, const KvWorkload::Config& base_config, std::uint64_t seed,
+              bench::Reporter& reporter) {
   std::printf("\n--- %s ---\n", store);
   std::printf("%-12s | SET p90/p99/p99.9 (ms)    | GET p90/p99/p99.9 (ms)\n", "system");
   for (const EngineKind kind : EvalEngines()) {
@@ -27,13 +28,24 @@ void RunStore(const char* store, const KvWorkload::Config& base_config, std::uin
                 EngineKindName(kind), result.set_p90_ms, result.set_p99_ms,
                 result.set_p999_ms, result.get_p90_ms, result.get_p99_ms,
                 result.get_p999_ms);
+    reporter.AddRow(store, {{"system", EngineKindName(kind)},
+                            {"set_p90_ms", result.set_p90_ms},
+                            {"set_p99_ms", result.set_p99_ms},
+                            {"set_p999_ms", result.set_p999_ms},
+                            {"get_p90_ms", result.get_p90_ms},
+                            {"get_p99_ms", result.get_p99_ms},
+                            {"get_p999_ms", result.get_p999_ms}});
+    reporter.AddMetrics(std::string(store) + "/" + EngineKindName(kind),
+                        scenario.CollectMetrics());
   }
 }
 
 void Run() {
-  PrintHeader("Table 7: Redis / memcached latency percentiles");
-  RunStore("Redis", KvWorkload::RedisConfig(), 5);
-  RunStore("Memcached", KvWorkload::MemcachedConfig(), 6);
+  bench::Reporter reporter("table7_kv_latency");
+  reporter.Header("Table 7: Redis / memcached latency percentiles");
+  DescribeEval(reporter, EngineKind::kVUsion);
+  RunStore("Redis", KvWorkload::RedisConfig(), 5, reporter);
+  RunStore("Memcached", KvWorkload::MemcachedConfig(), 6, reporter);
   std::printf("\npaper: VUsion tails slightly above KSM; THP enhancements recover them\n");
 }
 

@@ -1,0 +1,113 @@
+#include "bench/reporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vusion {
+namespace bench {
+
+Reporter::Reporter(const std::string& name)
+    : name_(name),
+      start_(std::chrono::steady_clock::now()),
+      titles_(Json::Array()),
+      config_(Json::Object()),
+      tables_(Json::Object()),
+      series_(Json::Object()),
+      metrics_(Json::Object()),
+      timings_(Json::Object()),
+      notes_(Json::Array()) {}
+
+Reporter::~Reporter() {
+  if (!written_) {
+    WriteJson();
+  }
+}
+
+void Reporter::Header(const std::string& title) {
+  std::printf("=== %s ===\n", title.c_str());
+  titles_.Push(title);
+}
+
+void Reporter::SetConfig(const std::string& key, Json value) {
+  config_.Set(key, std::move(value));
+}
+
+Json* Reporter::FindOrInsert(Json& object, const std::string& key, Json empty) {
+  Json* slot = object.FindMutable(key);
+  if (slot == nullptr) {
+    object.Set(key, std::move(empty));
+    slot = object.FindMutable(key);
+  }
+  return slot;
+}
+
+void Reporter::AddRow(const std::string& table, Json row) {
+  FindOrInsert(tables_, table, Json::Array())->Push(std::move(row));
+}
+
+void Reporter::AddRow(const std::string& table,
+                      std::initializer_list<std::pair<const char*, Json>> fields) {
+  Json row = Json::Object();
+  for (const auto& [key, value] : fields) {
+    row.Set(key, value);
+  }
+  AddRow(table, std::move(row));
+}
+
+void Reporter::AddSeries(const std::string& name, const std::vector<double>& values) {
+  Json array = Json::Array();
+  for (const double v : values) {
+    array.Push(v);
+  }
+  series_.Set(name, std::move(array));
+}
+
+void Reporter::AddMetrics(const std::string& key, const MetricsSnapshot& snapshot) {
+  metrics_.Set(key, snapshot.ToJson());
+}
+
+void Reporter::AddTiming(const std::string& label, double ms) {
+  timings_.Set(label + "_ms", ms);
+}
+
+void Reporter::Note(const std::string& text) { notes_.Push(text); }
+
+double Reporter::ElapsedMs() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+std::string Reporter::WriteJson() {
+  written_ = true;
+  timings_.Set("wall_ms", ElapsedMs());
+
+  Json root = Json::Object();
+  root.Set("bench", name_);
+  root.Set("schema_version", 1);
+  root.Set("titles", std::move(titles_));
+  root.Set("config", std::move(config_));
+  root.Set("tables", std::move(tables_));
+  root.Set("series", std::move(series_));
+  root.Set("metrics", std::move(metrics_));
+  root.Set("timings", std::move(timings_));
+  root.Set("notes", std::move(notes_));
+
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("VUSION_BENCH_JSON_DIR"); dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[reporter] cannot write %s\n", path.c_str());
+    return std::string{};
+  }
+  const std::string text = root.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  // stderr so the human-facing stdout tables stay byte-identical to before.
+  std::fprintf(stderr, "[reporter] wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace bench
+}  // namespace vusion

@@ -1,0 +1,97 @@
+// Machine-readable bench reporting: every bench binary routes its results through
+// a bench::Reporter, which leaves the human-facing ASCII tables/figures on stdout
+// untouched and additionally writes a BENCH_<name>.json artifact (config, tables,
+// series, per-engine metrics snapshots, host wall-clock timings).
+//
+// Reporting is host-side observation only: nothing here reads or advances the
+// simulated clock, so artifacts never perturb the simulation.
+
+#ifndef VUSION_BENCH_REPORTER_H_
+#define VUSION_BENCH_REPORTER_H_
+
+#include <chrono>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/json.h"
+#include "src/sim/metrics.h"
+
+namespace vusion {
+namespace bench {
+
+// Collects one bench run's results and writes BENCH_<name>.json on destruction
+// (or on an explicit WriteJson()). The artifact goes to the current directory,
+// or to $VUSION_BENCH_JSON_DIR when set.
+//
+// Schema (schema_version 1):
+//   {
+//     "bench": "<name>", "schema_version": 1,
+//     "titles": ["..."],
+//     "config": { "<key>": {...}, ... },
+//     "tables": { "<table>": [ {row}, ... ], ... },
+//     "series": { "<series>": [v, ...], ... },
+//     "metrics": { "<engine>": { metrics snapshot }, ... },
+//     "timings": { "wall_ms": <host wall clock>, "<label>_ms": ..., ... },
+//     "notes": ["..."]
+//   }
+class Reporter {
+ public:
+  explicit Reporter(const std::string& name);
+  ~Reporter();
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  // Prints the bench's ASCII header ("=== <title> ===") exactly as the old
+  // PrintHeader did, and records the title in the artifact.
+  void Header(const std::string& title);
+
+  // Attaches a config description (e.g. Describe(ScenarioConfig)) under
+  // config.<key>. Re-setting a key replaces it.
+  void SetConfig(const std::string& key, Json value);
+
+  // Appends a row object to the named table.
+  void AddRow(const std::string& table, Json row);
+  void AddRow(const std::string& table,
+              std::initializer_list<std::pair<const char*, Json>> fields);
+
+  // Stores a numeric series (one figure line) under the given name.
+  void AddSeries(const std::string& name, const std::vector<double>& values);
+
+  // Stores a metrics snapshot under metrics.<key> (typically the engine name).
+  void AddMetrics(const std::string& key, const MetricsSnapshot& snapshot);
+
+  // Records a host-side timing (milliseconds) under timings.<label>_ms.
+  void AddTiming(const std::string& label, double ms);
+
+  // Appends a free-form note to the artifact (not printed).
+  void Note(const std::string& text);
+
+  // Milliseconds of host wall-clock since construction.
+  [[nodiscard]] double ElapsedMs() const;
+
+  // Writes BENCH_<name>.json now; the destructor calls this if nobody did.
+  // Returns the path written, or an empty string on I/O failure.
+  std::string WriteJson();
+
+ private:
+  Json* FindOrInsert(Json& object, const std::string& key, Json empty);
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  Json titles_;
+  Json config_;
+  Json tables_;
+  Json series_;
+  Json metrics_;
+  Json timings_;
+  Json notes_;
+  bool written_ = false;
+};
+
+}  // namespace bench
+}  // namespace vusion
+
+#endif  // VUSION_BENCH_REPORTER_H_

@@ -42,28 +42,22 @@ AttackEnvironment::AttackEnvironment(EngineKind kind, std::uint64_t seed,
   // classic Flip Feng Shui steer KSM into keeping the attacker's frame.
   attacker_ = &machine_->CreateProcess();
   victim_ = &machine_->CreateProcess();
-  engine_ = MakeEngine(kind, *machine_, fusion_config);
-  if (engine_ != nullptr) {
-    engine_->Install();
-  }
+  engine_.emplace(kind, *machine_, std::move(fusion_config));
 }
 
-AttackEnvironment::~AttackEnvironment() {
-  if (engine_ != nullptr) {
-    engine_->Uninstall();
-  }
-}
+AttackEnvironment::~AttackEnvironment() = default;
 
 void AttackEnvironment::WaitFusionRounds(std::uint64_t rounds) {
-  if (engine_ == nullptr) {
+  FusionEngine* engine = engine_->get();
+  if (engine == nullptr) {
     machine_->Idle(10 * kMillisecond);
     return;
   }
-  const std::uint64_t target = engine_->stats().full_scans + rounds;
+  const std::uint64_t target = engine->stats().full_scans + rounds;
   // Bounded wait: enough wake-ups to cover `rounds` full sweeps of all mergeable
   // memory at the configured scan rate.
-  for (int i = 0; i < 2'000'000 && engine_->stats().full_scans < target; ++i) {
-    machine_->Idle(engine_->config().wake_period);
+  for (int i = 0; i < 2'000'000 && engine->stats().full_scans < target; ++i) {
+    machine_->Idle(engine->config().wake_period);
   }
 }
 

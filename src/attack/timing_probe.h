@@ -6,6 +6,7 @@
 #define VUSION_SRC_ATTACK_TIMING_PROBE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,7 @@ class AttackEnvironment {
   ~AttackEnvironment();
 
   [[nodiscard]] Machine& machine() { return *machine_; }
-  [[nodiscard]] FusionEngine* engine() { return engine_.get(); }
+  [[nodiscard]] FusionEngine* engine() { return engine_->get(); }
   [[nodiscard]] Process& attacker() { return *attacker_; }
   [[nodiscard]] Process& victim() { return *victim_; }
   [[nodiscard]] EngineKind kind() const { return kind_; }
@@ -47,7 +48,9 @@ class AttackEnvironment {
  private:
   EngineKind kind_;
   std::unique_ptr<Machine> machine_;
-  std::unique_ptr<FusionEngine> engine_;
+  // Engine install/uninstall ride on ScopedEngine's lifetime; optional only
+  // because the engine is created after the processes. Destroyed before machine_.
+  std::optional<ScopedEngine> engine_;
   Process* attacker_ = nullptr;
   Process* victim_ = nullptr;
 };

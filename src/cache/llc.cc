@@ -55,6 +55,7 @@ void Llc::Flush(PhysAddr paddr) {
     if (base[w].valid && base[w].tag == tag) {
       base[w].valid = false;
       AdjustFrameLines(tag, -1);
+      ++line_flushes_;
       return;
     }
   }
@@ -66,6 +67,7 @@ void Llc::FlushFrame(FrameId frame) {
   if (frame >= frame_lines_.size() || frame_lines_[frame] == 0) {
     return;
   }
+  ++frame_flushes_;
   const PhysAddr start = static_cast<PhysAddr>(frame) * kPageSize;
   for (std::size_t off = 0; off < kPageSize; off += config_.line_size) {
     Flush(start + off);

@@ -52,6 +52,9 @@ class Llc {
   [[nodiscard]] const CacheConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  // Lines actually evicted by Flush()/FlushFrame() (not no-op flush calls).
+  [[nodiscard]] std::uint64_t line_flushes() const { return line_flushes_; }
+  [[nodiscard]] std::uint64_t frame_flushes() const { return frame_flushes_; }
 
  private:
   struct Line {
@@ -76,6 +79,8 @@ class Llc {
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t line_flushes_ = 0;
+  std::uint64_t frame_flushes_ = 0;
 };
 
 }  // namespace vusion

@@ -24,10 +24,15 @@ RowBuffer::AccessResult RowBuffer::Access(PhysAddr paddr) {
   const auto row_signed = static_cast<std::int64_t>(result.location.row);
   if (open_rows_[result.location.bank] == row_signed) {
     result.row_hit = true;
+    ++row_hits_;
     return result;
+  }
+  if (open_rows_[result.location.bank] != -1) {
+    ++row_conflicts_;
   }
   open_rows_[result.location.bank] = row_signed;
   result.activated = true;
+  ++total_activations_;
   result.activation_count = ++activation_counts_[Key(result.location.bank, result.location.row)];
   return result;
 }

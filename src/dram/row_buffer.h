@@ -32,6 +32,12 @@ class RowBuffer {
   [[nodiscard]] std::uint32_t activations(std::size_t bank, std::uint64_t row) const;
   [[nodiscard]] std::uint64_t current_epoch() const;
 
+  // Lifetime totals (never reset by refresh epochs). A conflict is an activation
+  // that had to close a different open row; empty-bank activations are the rest.
+  [[nodiscard]] std::uint64_t row_hits() const { return row_hits_; }
+  [[nodiscard]] std::uint64_t row_conflicts() const { return row_conflicts_; }
+  [[nodiscard]] std::uint64_t total_activations() const { return total_activations_; }
+
  private:
   void MaybeRollEpoch();
   static std::uint64_t Key(std::size_t bank, std::uint64_t row) {
@@ -43,6 +49,9 @@ class RowBuffer {
   std::vector<std::int64_t> open_rows_;  // per bank; -1 = closed
   std::unordered_map<std::uint64_t, std::uint32_t> activation_counts_;
   std::uint64_t epoch_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_conflicts_ = 0;
+  std::uint64_t total_activations_ = 0;
 };
 
 }  // namespace vusion

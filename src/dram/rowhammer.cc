@@ -104,6 +104,7 @@ std::vector<FlipEvent> RowhammerEngine::HammerVictim(std::size_t bank, std::uint
     }
     flips.push_back(event);
     all_flips_.push_back(event);
+    ++total_flips_;
   }
   return flips;
 }

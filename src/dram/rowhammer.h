@@ -46,6 +46,8 @@ class RowhammerEngine {
 
   [[nodiscard]] const std::vector<FlipEvent>& flips() const { return all_flips_; }
   void ClearFlipLog() { all_flips_.clear(); }
+  // Lifetime flip count; survives ClearFlipLog (telemetry harvests this).
+  [[nodiscard]] std::uint64_t total_flips() const { return total_flips_; }
 
  private:
   std::vector<FlipEvent> HammerVictim(std::size_t bank, std::uint64_t victim_row);
@@ -57,6 +59,7 @@ class RowhammerEngine {
   std::unordered_set<std::uint64_t> flipped_this_epoch_;
   std::uint64_t epoch_seen_ = 0;
   std::vector<FlipEvent> all_flips_;
+  std::uint64_t total_flips_ = 0;
 };
 
 }  // namespace vusion

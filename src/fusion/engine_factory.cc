@@ -9,6 +9,23 @@
 
 namespace vusion {
 
+void FusionEngine::ExportMetrics(MetricsRegistry& registry) const {
+  registry.GetCounter("fusion.pages_scanned").Set(stats_.pages_scanned);
+  registry.GetCounter("fusion.merges").Set(stats_.merges);
+  registry.GetCounter("fusion.fake_merges").Set(stats_.fake_merges);
+  registry.GetCounter("fusion.unmerges_cow").Set(stats_.unmerges_cow);
+  registry.GetCounter("fusion.unmerges_coa").Set(stats_.unmerges_coa);
+  registry.GetCounter("fusion.zero_page_merges").Set(stats_.zero_page_merges);
+  registry.GetCounter("fusion.full_scans").Set(stats_.full_scans);
+  registry.GetCounter("fusion.thp_splits").Set(stats_.thp_splits);
+  for (std::size_t i = 0; i < stats_.merges_by_type.size(); ++i) {
+    registry.GetCounter("fusion.merges_by_type", {{"type", PageTypeName(static_cast<PageType>(i))}})
+        .Set(stats_.merges_by_type[i]);
+  }
+  registry.GetGauge("fusion.frames_saved").Set(static_cast<double>(frames_saved()));
+  registry.GetGauge("fusion.reserved_frames").Set(static_cast<double>(reserved_frames()));
+}
+
 void FusionEngine::TearDown() {
   for (const auto& process : machine_->processes()) {
     if (process == nullptr) {
@@ -46,6 +63,7 @@ const char* EngineKindName(EngineKind kind) {
 
 std::unique_ptr<FusionEngine> MakeEngine(EngineKind kind, Machine& machine,
                                          FusionConfig config) {
+  config.ApplyEnvOverrides();
   switch (kind) {
     case EngineKind::kNone:
       return nullptr;

@@ -4,6 +4,7 @@
 #define VUSION_SRC_FUSION_ENGINE_FACTORY_H_
 
 #include <memory>
+#include <utility>
 
 #include "src/fusion/fusion_engine.h"
 
@@ -23,8 +24,40 @@ enum class EngineKind {
 const char* EngineKindName(EngineKind kind);
 
 // Returns nullptr for kNone. The engine is not installed; call Install().
+// Applies FusionConfig::ApplyEnvOverrides before construction.
 std::unique_ptr<FusionEngine> MakeEngine(EngineKind kind, Machine& machine,
                                          FusionConfig config);
+
+// RAII engine lifetime: MakeEngine + Install() on construction, Uninstall() on
+// destruction. kNone yields a null engine and installs nothing, so baseline
+// ("no dedup") rows need no special casing at call sites.
+class ScopedEngine {
+ public:
+  ScopedEngine(EngineKind kind, Machine& machine, FusionConfig config)
+      : engine_(MakeEngine(kind, machine, std::move(config))) {
+    if (engine_ != nullptr) {
+      engine_->Install();
+    }
+  }
+  ~ScopedEngine() {
+    if (engine_ != nullptr) {
+      engine_->Uninstall();
+    }
+  }
+
+  ScopedEngine(const ScopedEngine&) = delete;
+  ScopedEngine& operator=(const ScopedEngine&) = delete;
+  ScopedEngine(ScopedEngine&&) noexcept = default;
+  ScopedEngine& operator=(ScopedEngine&&) = delete;
+
+  [[nodiscard]] FusionEngine* get() const { return engine_.get(); }
+  [[nodiscard]] FusionEngine* operator->() const { return engine_.get(); }
+  [[nodiscard]] FusionEngine& operator*() const { return *engine_; }
+  explicit operator bool() const { return engine_ != nullptr; }
+
+ private:
+  std::unique_ptr<FusionEngine> engine_;
+};
 
 }  // namespace vusion
 

@@ -5,8 +5,6 @@
 #ifndef VUSION_SRC_FUSION_FUSION_ENGINE_H_
 #define VUSION_SRC_FUSION_FUSION_ENGINE_H_
 
-#include <cstdlib>
-
 #include "src/fusion/fusion_stats.h"
 #include "src/host/parallel_scan.h"
 #include "src/kernel/daemon.h"
@@ -17,15 +15,11 @@ namespace vusion {
 
 class FusionEngine : public Daemon, public SharingPolicy {
  public:
+  // Construction is pure: the config is taken as given, with no environment
+  // reads. Callers wanting env overrides (VUSION_SCAN_THREADS) go through
+  // FusionConfig::ApplyEnvOverrides — MakeEngine and Scenario apply it for you.
   FusionEngine(Machine& machine, const FusionConfig& config)
-      : machine_(&machine), config_(config) {
-    if (const char* env = std::getenv("VUSION_SCAN_THREADS")) {
-      const long threads = std::strtol(env, nullptr, 10);
-      if (threads > 0) {
-        config_.scan_threads = static_cast<std::size_t>(threads);
-      }
-    }
-  }
+      : machine_(&machine), config_(config) {}
   ~FusionEngine() override = default;
 
   [[nodiscard]] virtual const char* name() const = 0;
@@ -77,6 +71,10 @@ class FusionEngine : public Daemon, public SharingPolicy {
   // Host wall-clock accounting of the engine's scan sections (null for engines
   // without a scan loop). Benches use it for scan-only throughput numbers.
   [[nodiscard]] virtual const host::ScanTiming* scan_timing() const { return nullptr; }
+
+  // Bridges FusionStats (and any engine-specific state) into a metrics registry,
+  // usually the machine's. Overrides must call the base first.
+  virtual void ExportMetrics(MetricsRegistry& registry) const;
 
  protected:
   // True when the engine should skip its scan work this wake-up (and reschedule).

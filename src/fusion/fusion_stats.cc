@@ -1,8 +1,18 @@
 #include "src/fusion/fusion_stats.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace vusion {
+
+void FusionConfig::ApplyEnvOverrides() {
+  if (const char* env = std::getenv("VUSION_SCAN_THREADS")) {
+    const long threads = std::strtol(env, nullptr, 10);
+    if (threads > 0) {
+      scan_threads = static_cast<std::size_t>(threads);
+    }
+  }
+}
 
 std::string FusionStats::Summary() const {
   std::ostringstream out;

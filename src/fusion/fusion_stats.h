@@ -51,8 +51,8 @@ struct FusionConfig {
   // Host threads for the parallel scan pipeline (phase-1 hashing); 1 = the serial
   // reference path. Simulated stats, traces, and charged latencies are
   // bit-identical for every value (see DESIGN.md, "Parallel host, serial sim").
-  // The VUSION_SCAN_THREADS environment variable overrides this at engine
-  // construction (used by the TSan CI job to run the whole suite threaded).
+  // The VUSION_SCAN_THREADS environment variable overrides this via
+  // ApplyEnvOverrides (used by the TSan CI job to run the whole suite threaded).
   std::size_t scan_threads = 1;
 
   // Fig 4 comparison knobs (on KSM).
@@ -81,6 +81,12 @@ struct FusionConfig {
   std::size_t mc_low_watermark = 1024;   // swap out when free frames drop below
   std::size_t mc_swap_batch = 512;       // pages swapped per pressure episode
   double mc_compression_ratio = 3.0;     // modeled compression of the cache
+
+  // Applies recognized environment overrides (see README "Environment overrides"):
+  //   VUSION_SCAN_THREADS  — scan_threads (positive integer)
+  // MakeEngine and Scenario call this; direct engine construction does not, so
+  // building an engine never silently reads the environment.
+  void ApplyEnvOverrides();
 };
 
 }  // namespace vusion

@@ -24,6 +24,20 @@ VUsionEngine::~VUsionEngine() {
   stable_.InOrder([](StableEntry* const& e) { delete e; });
 }
 
+void VUsionEngine::ExportMetrics(MetricsRegistry& registry) const {
+  FusionEngine::ExportMetrics(registry);
+  registry.GetCounter("pool.draws").Set(pool_.draw_count());
+  registry.GetCounter("pool.refills").Set(pool_.refill_count());
+  registry.GetCounter("pool.bypasses").Set(pool_.bypass_count());
+  registry.GetCounter("pool.inserts").Set(pool_.insert_count());
+  registry.GetGauge("pool.size").Set(static_cast<double>(pool_.pool_size()));
+  registry.GetGauge("pool.entropy_bits").Set(pool_.entropy_bits());
+  registry.GetCounter("deferred_free.dummies").Set(deferred_.dummies_pushed());
+  registry.GetGauge("deferred_free.pending").Set(static_cast<double>(deferred_.pending()));
+  registry.GetGauge("fusion.round").Set(static_cast<double>(round_));
+  registry.GetGauge("fusion.stable_tree_size").Set(static_cast<double>(stable_.size()));
+}
+
 FrameId VUsionEngine::AllocBacking() {
   LatencyModel& lm = machine_->latency();
   lm.Charge(lm.config().buddy_alloc);

@@ -52,6 +52,8 @@ class VUsionEngine final : public FusionEngine {
 
   [[nodiscard]] const host::ScanTiming* scan_timing() const override { return &timing_; }
 
+  void ExportMetrics(MetricsRegistry& registry) const override;
+
   bool HandleFault(Process& process, const PageFault& fault) override;
   bool OnUnmap(Process& process, Vpn vpn) override;
   bool AllowCollapse(Process& process, Vpn base) override;

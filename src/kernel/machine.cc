@@ -20,6 +20,15 @@ Machine::Machine(const MachineConfig& config) : config_(config), rng_(config.see
   dram_mapping_ = std::make_unique<DramMapping>(config.dram);
   row_buffer_ = std::make_unique<RowBuffer>(*dram_mapping_, clock_);
   rowhammer_ = std::make_unique<RowhammerEngine>(*dram_mapping_, *row_buffer_, *memory_);
+
+  fault_count_policy_ = &metrics_.GetCounter("fault.count", {{"kind", "policy"}});
+  fault_count_demand_zero_ = &metrics_.GetCounter("fault.count", {{"kind", "demand_zero"}});
+  fault_count_cow_ = &metrics_.GetCounter("fault.count", {{"kind", "cow"}});
+  fault_count_unresolved_ = &metrics_.GetCounter("fault.count", {{"kind", "unresolved"}});
+  fault_latency_policy_ = &metrics_.GetHistogram("fault.latency_ns", {{"kind", "policy"}});
+  fault_latency_demand_zero_ =
+      &metrics_.GetHistogram("fault.latency_ns", {{"kind", "demand_zero"}});
+  fault_latency_cow_ = &metrics_.GetHistogram("fault.latency_ns", {{"kind", "cow"}});
 }
 
 Machine::~Machine() = default;
@@ -195,6 +204,39 @@ void Machine::UnmapAndFree(Process& process, Vpn vpn) {
     FlushFrame(frame);
     buddy_->Free(frame);
   }
+}
+
+MetricsSnapshot Machine::CollectMetrics() {
+  metrics_.GetCounter("fault.total").Set(total_faults_);
+  const auto harvest_cache = [this](const Llc& cache, const char* level) {
+    const MetricLabels labels{{"level", level}};
+    metrics_.GetCounter("cache.hits", labels).Set(cache.hits());
+    metrics_.GetCounter("cache.misses", labels).Set(cache.misses());
+    metrics_.GetCounter("cache.line_flushes", labels).Set(cache.line_flushes());
+    metrics_.GetCounter("cache.frame_flushes", labels).Set(cache.frame_flushes());
+  };
+  harvest_cache(*llc_, "llc");
+  if (l1_ != nullptr) {
+    harvest_cache(*l1_, "l1");
+  }
+  metrics_.GetCounter("dram.row_hits").Set(row_buffer_->row_hits());
+  metrics_.GetCounter("dram.row_conflicts").Set(row_buffer_->row_conflicts());
+  metrics_.GetCounter("dram.activations").Set(row_buffer_->total_activations());
+  metrics_.GetCounter("dram.rowhammer_flips").Set(rowhammer_->total_flips());
+  metrics_.GetCounter("buddy.allocs").Set(buddy_->alloc_count());
+  metrics_.GetCounter("buddy.frees").Set(buddy_->free_op_count());
+  metrics_.GetCounter("buddy.splits").Set(buddy_->split_count());
+  metrics_.GetCounter("buddy.coalesces").Set(buddy_->coalesce_count());
+  metrics_.GetCounter("buddy.failed_allocs").Set(buddy_->failed_alloc_count());
+  metrics_.GetGauge("buddy.free_frames").Set(static_cast<double>(buddy_->free_count()));
+  if (khugepaged_ != nullptr) {
+    metrics_.GetCounter("khugepaged.collapses").Set(khugepaged_->collapses());
+    metrics_.GetCounter("khugepaged.collapse_attempts").Set(khugepaged_->collapse_attempts());
+    metrics_.GetGauge("khugepaged.current_n").Set(static_cast<double>(khugepaged_->current_n()));
+  }
+  metrics_.GetCounter("trace.emitted").Set(trace_.total_emitted());
+  metrics_.GetCounter("trace.dropped").Set(trace_.dropped());
+  return metrics_.Snapshot();
 }
 
 std::uint64_t Machine::CountHugeMappings() const {

@@ -16,6 +16,7 @@
 #include "src/mmu/address_space.h"
 #include "src/phys/buddy_allocator.h"
 #include "src/sim/latency_model.h"
+#include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 #include "src/sim/rng.h"
 
@@ -131,13 +132,23 @@ class Machine {
   [[nodiscard]] std::uint64_t total_faults() const { return total_faults_; }
   [[nodiscard]] std::uint64_t CountHugeMappings() const;
 
+  // --- Telemetry (host-side observation; never touches simulated state) ---
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  // Harvests every pull-side component counter (caches, DRAM, allocators,
+  // khugepaged, trace) into the registry and returns a snapshot. Push-side
+  // metrics (the fault path) are always current.
+  MetricsSnapshot CollectMetrics();
+
  private:
   friend class Process;
+
+  enum class DefaultFaultOutcome { kUnhandled, kDemandZero, kCow };
 
   // Charges fault entry cost and dispatches to the policy, then the default
   // handler. Throws std::runtime_error on an unresolvable fault.
   void HandleFault(Process& process, const PageFault& fault);
-  bool HandleFaultDefault(Process& process, const PageFault& fault);
+  DefaultFaultOutcome HandleFaultDefault(Process& process, const PageFault& fault);
   void ChargedDataAccess(const Pte& pte, PhysAddr paddr);
 
   MachineConfig config_;
@@ -159,6 +170,17 @@ class Machine {
   TraceBuffer trace_;
   std::uint64_t total_faults_ = 0;
   bool in_daemon_ = false;  // prevents daemon re-entry from daemon-issued work
+
+  // Fault-path metric handles, pre-registered in the constructor so the hot path
+  // is a pointer deref + enabled check (see src/sim/metrics.h).
+  MetricsRegistry metrics_;
+  Counter* fault_count_policy_ = nullptr;
+  Counter* fault_count_demand_zero_ = nullptr;
+  Counter* fault_count_cow_ = nullptr;
+  Counter* fault_count_unresolved_ = nullptr;
+  HistogramMetric* fault_latency_policy_ = nullptr;
+  HistogramMetric* fault_latency_demand_zero_ = nullptr;
+  HistogramMetric* fault_latency_cow_ = nullptr;
 };
 
 }  // namespace vusion

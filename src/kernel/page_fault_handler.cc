@@ -147,20 +147,39 @@ void Machine::FlushCacheLine(Process& process, VirtAddr vaddr) {
 }
 
 void Machine::HandleFault(Process& process, const PageFault& fault) {
+  const SimTime fault_start = clock_.now();
   latency_->Charge(latency_->config().fault_entry_exit);
   ++total_faults_;
   trace_.Emit(clock_.now(), TraceEventType::kFault, process.id(), fault.vpn,
               fault.pte.frame);
+  Counter* count = nullptr;
+  HistogramMetric* latency_hist = nullptr;
   if (policy_ != nullptr && policy_->HandleFault(process, fault)) {
-    return;
+    count = fault_count_policy_;
+    latency_hist = fault_latency_policy_;
+  } else {
+    switch (HandleFaultDefault(process, fault)) {
+      case DefaultFaultOutcome::kDemandZero:
+        count = fault_count_demand_zero_;
+        latency_hist = fault_latency_demand_zero_;
+        break;
+      case DefaultFaultOutcome::kCow:
+        count = fault_count_cow_;
+        latency_hist = fault_latency_cow_;
+        break;
+      case DefaultFaultOutcome::kUnhandled:
+        fault_count_unresolved_->Add();
+        throw std::runtime_error("unhandled page fault");
+    }
   }
-  if (HandleFaultDefault(process, fault)) {
-    return;
-  }
-  throw std::runtime_error("unhandled page fault");
+  // Host-side observation of the simulated service time; the charged clock is
+  // the source, so this records nothing the simulation didn't already decide.
+  count->Add();
+  latency_hist->Record(static_cast<double>(clock_.now() - fault_start));
 }
 
-bool Machine::HandleFaultDefault(Process& process, const PageFault& fault) {
+Machine::DefaultFaultOutcome Machine::HandleFaultDefault(Process& process,
+                                                         const PageFault& fault) {
   AddressSpace& as = process.address_space();
   Pte* pte = as.GetPte(fault.vpn);
   const LatencyConfig& lc = latency_->config();
@@ -169,11 +188,11 @@ bool Machine::HandleFaultDefault(Process& process, const PageFault& fault) {
   if (pte == nullptr || pte->flags == 0) {
     const VmArea* vma = as.vmas().FindContaining(fault.vpn);
     if (vma == nullptr) {
-      return false;  // segfault
+      return DefaultFaultOutcome::kUnhandled;  // segfault
     }
     const FrameId frame = buddy_->Allocate();
     if (frame == kInvalidFrame) {
-      return false;  // OOM
+      return DefaultFaultOutcome::kUnhandled;  // OOM
     }
     latency_->Charge(lc.buddy_alloc);
     memory_->FillZero(frame);
@@ -181,7 +200,7 @@ bool Machine::HandleFaultDefault(Process& process, const PageFault& fault) {
     as.MapPage(fault.vpn, frame,
                kPtePresent | kPteWritable | kPteAccessed |
                    (fault.access == AccessType::kWrite ? kPteDirty : 0));
-    return true;
+    return DefaultFaultOutcome::kDemandZero;
   }
 
   // Kernel copy-on-write: a write to a fork-shared page (engine-managed CoW pages
@@ -194,7 +213,7 @@ bool Machine::HandleFaultDefault(Process& process, const PageFault& fault) {
       latency_->Charge(lc.buddy_alloc);
       const FrameId fresh = buddy_->Allocate();
       if (fresh == kInvalidFrame) {
-        return false;
+        return DefaultFaultOutcome::kUnhandled;
       }
       latency_->Charge(lc.page_copy_4k);
       memory_->CopyFrame(fresh, shared);
@@ -210,9 +229,9 @@ bool Machine::HandleFaultDefault(Process& process, const PageFault& fault) {
       latency_->Charge(lc.pte_update);
       as.UpdateFlags(fault.vpn, kPteWritable | kPteAccessed | kPteDirty, kPteCow);
     }
-    return true;
+    return DefaultFaultOutcome::kCow;
   }
-  return false;
+  return DefaultFaultOutcome::kUnhandled;
 }
 
 }  // namespace vusion

@@ -58,6 +58,7 @@ FrameId BuddyAllocator::AllocateOrder(std::size_t order) {
     ++have;
   }
   if (have > kMaxBuddyOrder) {
+    ++failed_alloc_count_;
     return kInvalidFrame;
   }
   FrameId block = free_lists_[have].back();
@@ -68,7 +69,9 @@ FrameId BuddyAllocator::AllocateOrder(std::size_t order) {
     --have;
     const FrameId upper = block + (FrameId{1} << have);
     PushBlock(upper, have);
+    ++split_count_;
   }
+  ++alloc_count_;
   free_frames_ -= std::size_t{1} << order;
   MarkRangeAllocated(block, order);
   return block;
@@ -78,6 +81,7 @@ void BuddyAllocator::FreeOrder(FrameId start, std::size_t order) {
   assert(order <= kMaxBuddyOrder);
   MarkRangeFree(start, order);
   free_frames_ += std::size_t{1} << order;
+  ++free_op_count_;
   // Coalesce with the buddy while it is free and of the same order.
   while (order < kMaxBuddyOrder) {
     const FrameId buddy = start ^ (FrameId{1} << order);
@@ -88,6 +92,7 @@ void BuddyAllocator::FreeOrder(FrameId start, std::size_t order) {
     RemoveBlock(buddy, order);
     start = std::min(start, buddy);
     ++order;
+    ++coalesce_count_;
   }
   PushBlock(start, order);
 }
@@ -133,7 +138,9 @@ bool BuddyAllocator::AllocateSpecific(FrameId frame) {
       PushBlock(high, o);
       start = low;
     }
+    ++split_count_;
   }
+  ++alloc_count_;
   --free_frames_;
   memory_->MarkAllocated(frame);
   return true;

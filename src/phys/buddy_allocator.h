@@ -41,6 +41,14 @@ class BuddyAllocator final : public FrameAllocator {
   // Validates internal consistency (free list vs. per-frame order map); for tests.
   [[nodiscard]] bool ValidateInvariants() const;
 
+  // Lifetime operation counts (telemetry). Splits/coalesces count individual
+  // block split/merge steps, not allocations.
+  [[nodiscard]] std::uint64_t alloc_count() const { return alloc_count_; }
+  [[nodiscard]] std::uint64_t free_op_count() const { return free_op_count_; }
+  [[nodiscard]] std::uint64_t split_count() const { return split_count_; }
+  [[nodiscard]] std::uint64_t coalesce_count() const { return coalesce_count_; }
+  [[nodiscard]] std::uint64_t failed_alloc_count() const { return failed_alloc_count_; }
+
  private:
   static constexpr std::uint8_t kNotFreeHead = 0xff;
 
@@ -56,6 +64,11 @@ class BuddyAllocator final : public FrameAllocator {
   // For each frame: if it heads a free block, that block's order; else kNotFreeHead.
   std::vector<std::uint8_t> head_order_;
   std::size_t free_frames_ = 0;
+  std::uint64_t alloc_count_ = 0;
+  std::uint64_t free_op_count_ = 0;
+  std::uint64_t split_count_ = 0;
+  std::uint64_t coalesce_count_ = 0;
+  std::uint64_t failed_alloc_count_ = 0;
 };
 
 }  // namespace vusion

@@ -25,17 +25,20 @@ RandomizedPool::~RandomizedPool() {
 FrameId RandomizedPool::Allocate() {
   if (slots_.empty()) {
     last_slot_fraction_ = -1.0;
+    ++bypass_count_;
     return backing_->Allocate();
   }
   const std::size_t idx = rng_.NextBelow(slots_.size());
   last_slot_fraction_ = static_cast<double>(idx) / static_cast<double>(slots_.size());
   const FrameId out = slots_[idx];
+  ++draw_count_;
   const FrameId refill = backing_->Allocate();
   if (refill == kInvalidFrame) {
     slots_[idx] = slots_.back();
     slots_.pop_back();
   } else {
     slots_[idx] = refill;
+    ++refill_count_;
   }
   return out;
 }
@@ -48,6 +51,7 @@ void RandomizedPool::Free(FrameId frame) {
   const std::size_t idx = rng_.NextBelow(slots_.size());
   backing_->Free(slots_[idx]);
   slots_[idx] = frame;
+  ++insert_count_;
 }
 
 double RandomizedPool::entropy_bits() const {

@@ -41,11 +41,23 @@ class RandomizedPool final : public FrameAllocator {
   // evaluation (§9.1) KS-tests these draws against the uniform distribution.
   [[nodiscard]] double last_slot_fraction() const { return last_slot_fraction_; }
 
+  // Lifetime operation counts (telemetry): random draws served from the pool,
+  // slot refills from the backing allocator, allocations that bypassed an empty
+  // pool, and frees inserted (evicting a resident back to the backing allocator).
+  [[nodiscard]] std::uint64_t draw_count() const { return draw_count_; }
+  [[nodiscard]] std::uint64_t refill_count() const { return refill_count_; }
+  [[nodiscard]] std::uint64_t bypass_count() const { return bypass_count_; }
+  [[nodiscard]] std::uint64_t insert_count() const { return insert_count_; }
+
  private:
   FrameAllocator* backing_;
   Rng rng_;
   std::vector<FrameId> slots_;
   double last_slot_fraction_ = -1.0;
+  std::uint64_t draw_count_ = 0;
+  std::uint64_t refill_count_ = 0;
+  std::uint64_t bypass_count_ = 0;
+  std::uint64_t insert_count_ = 0;
 };
 
 }  // namespace vusion

@@ -1,0 +1,184 @@
+#include "src/sim/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vusion {
+
+Json& Json::Set(const std::string& key, Json value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : items_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  items_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  kind_ = Kind::kArray;
+  items_.emplace_back(std::string{}, std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : items_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+Json* Json::FindMutable(const std::string& key) {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (auto& [k, v] : items_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void Json::AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+  // Keep a numeric-looking token ("1" stays valid JSON, but "1.0" reads as a float
+  // downstream); nothing to fix if an exponent or dot is already present.
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) * d, ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out += buf;
+      return;
+    }
+    case Kind::kUint: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(uint_));
+      out += buf;
+      return;
+    }
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        newline_pad(depth + 1);
+        items_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < items_.size()) {
+          out += ',';
+          if (indent == 0) {
+            out += ' ';
+          }
+        }
+      }
+      newline_pad(depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (items_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        newline_pad(depth + 1);
+        AppendEscaped(out, items_[i].first);
+        out += ": ";
+        items_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < items_.size()) {
+          out += ',';
+          if (indent == 0) {
+            out += ' ';
+          }
+        }
+      }
+      newline_pad(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  if (indent > 0) {
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vusion

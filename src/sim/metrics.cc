@@ -1,0 +1,265 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vusion {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::vector<double> LatencyBucketsNs() {
+  // 100ns .. ~100ms, x4 per bucket: covers a single cache hit through a full
+  // CoW copy with TLB shootdowns, in 11 buckets.
+  std::vector<double> bounds;
+  for (double b = 100.0; b <= 110.0e6; b *= 4.0) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+std::string MetricsSnapshot::Entry::Key() const {
+  std::string key = name;
+  if (!labels.empty()) {
+    key += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) {
+        key += ',';
+      }
+      key += labels[i].first;
+      key += '=';
+      key += labels[i].second;
+    }
+    key += '}';
+  }
+  return key;
+}
+
+MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta;
+  delta.entries.reserve(entries.size());
+  for (const Entry& after : entries) {
+    const Entry* before = base.Find(after.name, after.labels);
+    Entry e = after;
+    if (before != nullptr && before->kind == after.kind) {
+      switch (after.kind) {
+        case MetricKind::kCounter:
+          e.count = after.count >= before->count ? after.count - before->count : 0;
+          break;
+        case MetricKind::kGauge:
+          break;  // gauges keep the later value
+        case MetricKind::kHistogram:
+          e.count = after.count >= before->count ? after.count - before->count : 0;
+          e.value = after.value - before->value;  // sum delta
+          for (std::size_t i = 0; i < e.buckets.size() && i < before->buckets.size(); ++i) {
+            e.buckets[i] = after.buckets[i] >= before->buckets[i]
+                               ? after.buckets[i] - before->buckets[i]
+                               : 0;
+          }
+          // min/max keep the later (cumulative) value: not recoverable per-phase.
+          break;
+      }
+    }
+    delta.entries.push_back(std::move(e));
+  }
+  return delta;
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(const std::string& name,
+                                                    const MetricLabels& labels) const {
+  for (const Entry& e : entries) {
+    if (e.name == name && e.labels == labels) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                            const MetricLabels& labels) const {
+  const Entry* e = Find(name, labels);
+  return e != nullptr ? e->count : 0;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name, const MetricLabels& labels) const {
+  const Entry* e = Find(name, labels);
+  return e != nullptr ? e->value : 0.0;
+}
+
+Json MetricsSnapshot::ToJson() const {
+  Json out = Json::Array();
+  for (const Entry& e : entries) {
+    Json j = Json::Object();
+    j.Set("name", e.name);
+    if (!e.labels.empty()) {
+      Json labels = Json::Object();
+      for (const auto& [k, v] : e.labels) {
+        labels.Set(k, v);
+      }
+      j.Set("labels", std::move(labels));
+    }
+    j.Set("kind", MetricKindName(e.kind));
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        j.Set("value", e.count);
+        break;
+      case MetricKind::kGauge:
+        j.Set("value", e.value);
+        break;
+      case MetricKind::kHistogram: {
+        j.Set("count", e.count);
+        j.Set("sum", e.value);
+        if (e.count > 0) {
+          j.Set("min", e.min);
+          j.Set("max", e.max);
+        }
+        Json bounds = Json::Array();
+        for (const double b : e.bounds) {
+          bounds.Push(b);
+        }
+        j.Set("bounds", std::move(bounds));
+        Json buckets = Json::Array();
+        for (const std::uint64_t c : e.buckets) {
+          buckets.Push(c);
+        }
+        j.Set("buckets", std::move(buckets));
+        break;
+      }
+    }
+    out.Push(std::move(j));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::RenderTable() const {
+  std::size_t width = 0;
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(entries.size());
+  for (const Entry& e : entries) {
+    char buf[128];
+    std::string value;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        if (e.count == 0) {
+          continue;
+        }
+        std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(e.count));
+        value = buf;
+        break;
+      case MetricKind::kGauge:
+        if (e.value == 0.0) {
+          continue;
+        }
+        std::snprintf(buf, sizeof(buf), "%.6g", e.value);
+        value = buf;
+        break;
+      case MetricKind::kHistogram:
+        if (e.count == 0) {
+          continue;
+        }
+        std::snprintf(buf, sizeof(buf), "count=%llu mean=%.6g min=%.6g max=%.6g",
+                      static_cast<unsigned long long>(e.count),
+                      e.value / static_cast<double>(e.count), e.min, e.max);
+        value = buf;
+        break;
+    }
+    std::string key = e.Key();
+    width = std::max(width, key.size());
+    rows.emplace_back(std::move(key), std::move(value));
+  }
+  std::string out;
+  for (const auto& [key, value] : rows) {
+    out += key;
+    out.append(width - key.size() + 2, ' ');
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SlotKey(const std::string& name, const MetricLabels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  const std::string key = SlotKey(name, labels);
+  if (const auto it = lookup_.find(key); it != lookup_.end()) {
+    return counters_[order_[it->second].index];
+  }
+  lookup_.emplace(key, order_.size());
+  order_.push_back({name, labels, MetricKind::kCounter, counters_.size()});
+  counters_.push_back(Counter(&enabled_));
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  const std::string key = SlotKey(name, labels);
+  if (const auto it = lookup_.find(key); it != lookup_.end()) {
+    return gauges_[order_[it->second].index];
+  }
+  lookup_.emplace(key, order_.size());
+  order_.push_back({name, labels, MetricKind::kGauge, gauges_.size()});
+  gauges_.push_back(Gauge(&enabled_));
+  return gauges_.back();
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name, const MetricLabels& labels,
+                                               std::vector<double> bounds) {
+  const std::string key = SlotKey(name, labels);
+  if (const auto it = lookup_.find(key); it != lookup_.end()) {
+    return histograms_[order_[it->second].index];
+  }
+  lookup_.emplace(key, order_.size());
+  order_.push_back({name, labels, MetricKind::kHistogram, histograms_.size()});
+  histograms_.push_back(HistogramMetric(&enabled_, std::move(bounds)));
+  return histograms_.back();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(order_.size());
+  for (const Slot& slot : order_) {
+    MetricsSnapshot::Entry e;
+    e.name = slot.name;
+    e.labels = slot.labels;
+    e.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        e.count = counters_[slot.index].value();
+        break;
+      case MetricKind::kGauge:
+        e.value = gauges_[slot.index].value();
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramMetric& h = histograms_[slot.index];
+        e.count = h.count();
+        e.value = h.sum();
+        e.min = h.min();
+        e.max = h.max();
+        e.bounds = h.bounds();
+        e.buckets = h.buckets();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+}  // namespace vusion

@@ -44,6 +44,7 @@ void TraceBuffer::Emit(SimTime time, TraceEventType type, std::uint32_t process_
     buffer_.push_back(event);
   } else {
     buffer_[next_ % buffer_.size()] = event;
+    ++dropped_;
   }
   ++next_;
 }
@@ -65,8 +66,9 @@ std::vector<TraceEvent> TraceBuffer::Events() const {
 void TraceBuffer::Clear() {
   buffer_.clear();
   next_ = 0;
-  total_ = 0;
   counts_.fill(0);
+  // total_ and dropped_ are lifetime counters: a consumer draining the ring
+  // mid-run must not erase the record of events already lost to overwrites.
 }
 
 std::string TraceBuffer::Summary() const {

@@ -53,11 +53,13 @@ class TraceBuffer {
   [[nodiscard]] std::uint64_t count(TraceEventType type) const {
     return counts_[static_cast<std::size_t>(type)];
   }
+  // Lifetime counters; they survive Clear(). Deriving dropped() from
+  // total_ - occupancy would forget pre-Clear drops, underreporting after a
+  // mid-run drain — hence the explicit counter.
   [[nodiscard]] std::uint64_t total_emitted() const { return total_; }
-  [[nodiscard]] std::size_t dropped() const {
-    return total_ > buffer_.size() ? total_ - buffer_.size() : 0;
-  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
+  // Drains the ring and per-type counts; lifetime totals are preserved.
   void Clear();
 
   // One line per event type with its count.
@@ -68,6 +70,7 @@ class TraceBuffer {
   std::vector<TraceEvent> buffer_;  // ring
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
   std::array<std::uint64_t, static_cast<std::size_t>(TraceEventType::kCount)> counts_{};
 };
 

@@ -8,6 +8,7 @@
 
 #include "src/fusion/engine_factory.h"
 #include "src/kernel/khugepaged.h"
+#include "src/sim/json.h"
 #include "src/workload/vm_image.h"
 
 namespace vusion {
@@ -19,6 +20,10 @@ struct ScenarioConfig {
   bool enable_khugepaged = false;
   KhugepagedConfig khugepaged;
 };
+
+// Self-describing config summary for machine-readable bench artifacts.
+Json Describe(const ScenarioConfig& config);
+Json Describe(const VmImageSpec& spec);
 
 class Scenario {
  public:
@@ -38,10 +43,18 @@ class Scenario {
   [[nodiscard]] std::uint64_t consumed_frames() const;
   [[nodiscard]] double consumed_mb() const;
 
+  // Harvests machine components plus the engine's FusionStats into the machine's
+  // registry and returns the combined snapshot (host-side observation only).
+  MetricsSnapshot CollectMetrics();
+
  private:
+  // khugepaged is enabled before the engine installs so daemon scheduling order
+  // (and thus the simulation) is unchanged from the pre-ScopedEngine code.
+  static ScopedEngine MakeScenarioEngine(Machine& machine, const ScenarioConfig& config);
+
   ScenarioConfig config_;
   std::unique_ptr<Machine> machine_;
-  std::unique_ptr<FusionEngine> engine_;
+  ScopedEngine engine_;
 };
 
 }  // namespace vusion

@@ -32,10 +32,7 @@ TEST_P(EngineParityTest, RandomWorkloadReadsBackWrites) {
   fusion_config.pages_per_wake = 256;
   fusion_config.pool_frames = 1024;
   fusion_config.wpf_period = 20 * kMillisecond;
-  auto engine = MakeEngine(param.kind, machine, fusion_config);
-  if (engine != nullptr) {
-    engine->Install();
-  }
+  ScopedEngine engine(param.kind, machine, fusion_config);
 
   constexpr std::size_t kProcesses = 3;
   constexpr std::size_t kPagesPerProcess = 96;
@@ -111,10 +108,9 @@ TEST_P(EngineParityTest, RandomWorkloadReadsBackWrites) {
     }
   }
 
-  if (engine != nullptr) {
+  if (engine) {
     // Savings accounting sanity: saved frames never exceed total mergeable pages.
     EXPECT_LE(engine->frames_saved(), kProcesses * kPagesPerProcess);
-    engine->Uninstall();
   }
 }
 
@@ -172,8 +168,7 @@ FingerprintResult RunFingerprintScenario(EngineKind kind, bool byte_ordered) {
   fusion_config.pool_frames = 1024;
   fusion_config.wpf_period = 20 * kMillisecond;
   fusion_config.byte_ordered_trees = byte_ordered;
-  auto engine = MakeEngine(kind, machine, fusion_config);
-  engine->Install();
+  ScopedEngine engine(kind, machine, fusion_config);
 
   // Idle diverse VMs: cross-VM duplicates, per-VM unique pages, and some zero
   // pages. No writes after setup, so the trees never go stale and both orderings
@@ -204,7 +199,6 @@ FingerprintResult RunFingerprintScenario(EngineKind kind, bool byte_ordered) {
   result.full_scans = stats.full_scans;
   result.frames_saved = engine->frames_saved();
   result.final_time = machine.clock().now();
-  engine->Uninstall();
   return result;
 }
 
@@ -273,8 +267,7 @@ ThreadedResult RunThreadedScenario(EngineKind kind, std::uint64_t seed,
   fusion_config.pool_frames = 1024;
   fusion_config.wpf_period = 10 * kMillisecond;
   fusion_config.scan_threads = threads;
-  auto engine = MakeEngine(kind, machine, fusion_config);
-  engine->Install();
+  ScopedEngine engine(kind, machine, fusion_config);
 
   constexpr std::size_t kVms = 3;
   constexpr std::size_t kPages = 128;
@@ -321,7 +314,6 @@ ThreadedResult RunThreadedScenario(EngineKind kind, std::uint64_t seed,
   result.base.frames_saved = engine->frames_saved();
   result.base.final_time = machine.clock().now();
   result.trace = machine.trace().Events();
-  engine->Uninstall();
   return result;
 }
 
@@ -402,8 +394,7 @@ TEST(EngineComparisonTest, SavingsBallpark) {
     fusion_config.pages_per_wake = 512;
     fusion_config.pool_frames = 1024;
     fusion_config.wpf_period = 20 * kMillisecond;
-    auto engine = MakeEngine(kind, machine, fusion_config);
-    engine->Install();
+    ScopedEngine engine(kind, machine, fusion_config);
     for (int p = 0; p < 4; ++p) {
       Process& proc = machine.CreateProcess();
       const VirtAddr base = proc.AllocateRegion(256, PageType::kAnonymous, true, false);
@@ -413,7 +404,6 @@ TEST(EngineComparisonTest, SavingsBallpark) {
     }
     machine.Idle(500 * kMillisecond);
     saved[kind] = engine->frames_saved();
-    engine->Uninstall();
   }
   // 4 x 256 identical images: ideal saving is 3 * 256 = 768 frames.
   EXPECT_GT(saved[EngineKind::kKsm], 700u);

@@ -1,0 +1,128 @@
+// Telemetry must be a pure observer (the "third clock", see DESIGN.md): running
+// the same scenario with the metrics registry enabled and disabled must yield
+// bit-identical simulated results — fusion stats, trace events, and charged
+// simulated timestamps. A divergence here means a recording site leaked into
+// simulated state, latency, or randomness.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/workload/scenario.h"
+
+namespace vusion {
+namespace {
+
+struct SimResult {
+  FusionStats stats;
+  SimTime final_time = 0;
+  std::uint64_t consumed_frames = 0;
+  std::uint64_t trace_total = 0;
+  std::uint64_t trace_dropped = 0;
+  std::vector<TraceEvent> events;
+};
+
+SimResult RunScenario(EngineKind kind, bool metrics_enabled) {
+  ScenarioConfig config;
+  config.machine.frame_count = 1u << 15;
+  config.fusion.wake_period = 1 * kMillisecond;
+  config.fusion.pages_per_wake = 512;
+  config.fusion.pool_frames = 2048;
+  config.fusion.wpf_period = 100 * kMillisecond;
+  config.engine = kind;
+  Scenario scenario(config);
+  scenario.machine().metrics().set_enabled(metrics_enabled);
+  scenario.machine().trace().set_enabled(true);
+
+  VmImageSpec image;
+  image.total_pages = 2048;
+  scenario.BootVm(image, 1);
+  scenario.BootVm(image, 2);
+  scenario.RunFor(3 * kSecond);
+  // Harvesting must also be side-effect free on the simulation.
+  (void)scenario.CollectMetrics();
+  scenario.RunFor(1 * kSecond);
+
+  SimResult result;
+  if (scenario.engine() != nullptr) {
+    result.stats = scenario.engine()->stats();
+  }
+  result.final_time = scenario.machine().clock().now();
+  result.consumed_frames = scenario.consumed_frames();
+  result.trace_total = scenario.machine().trace().total_emitted();
+  result.trace_dropped = scenario.machine().trace().dropped();
+  result.events = scenario.machine().trace().Events();
+  return result;
+}
+
+void ExpectIdentical(const SimResult& on, const SimResult& off) {
+  EXPECT_EQ(on.stats.pages_scanned, off.stats.pages_scanned);
+  EXPECT_EQ(on.stats.merges, off.stats.merges);
+  EXPECT_EQ(on.stats.fake_merges, off.stats.fake_merges);
+  EXPECT_EQ(on.stats.unmerges_cow, off.stats.unmerges_cow);
+  EXPECT_EQ(on.stats.unmerges_coa, off.stats.unmerges_coa);
+  EXPECT_EQ(on.stats.zero_page_merges, off.stats.zero_page_merges);
+  EXPECT_EQ(on.stats.full_scans, off.stats.full_scans);
+  EXPECT_EQ(on.stats.thp_splits, off.stats.thp_splits);
+  EXPECT_EQ(on.stats.merges_by_type, off.stats.merges_by_type);
+  EXPECT_EQ(on.final_time, off.final_time);
+  EXPECT_EQ(on.consumed_frames, off.consumed_frames);
+  EXPECT_EQ(on.trace_total, off.trace_total);
+  EXPECT_EQ(on.trace_dropped, off.trace_dropped);
+  ASSERT_EQ(on.events.size(), off.events.size());
+  for (std::size_t i = 0; i < on.events.size(); ++i) {
+    EXPECT_EQ(on.events[i].time, off.events[i].time) << "event " << i;
+    EXPECT_EQ(on.events[i].type, off.events[i].type) << "event " << i;
+    EXPECT_EQ(on.events[i].process_id, off.events[i].process_id) << "event " << i;
+    EXPECT_EQ(on.events[i].vpn, off.events[i].vpn) << "event " << i;
+    EXPECT_EQ(on.events[i].frame, off.events[i].frame) << "event " << i;
+  }
+}
+
+class MetricsParityTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(MetricsParityTest, SimulationIsBitIdenticalWithMetricsOnAndOff) {
+  const SimResult on = RunScenario(GetParam(), /*metrics_enabled=*/true);
+  const SimResult off = RunScenario(GetParam(), /*metrics_enabled=*/false);
+  ExpectIdentical(on, off);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, MetricsParityTest,
+                         ::testing::Values(EngineKind::kNone, EngineKind::kKsm,
+                                           EngineKind::kVUsion, EngineKind::kVUsionThp),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           switch (info.param) {
+                             case EngineKind::kNone:
+                               return "None";
+                             case EngineKind::kKsm:
+                               return "Ksm";
+                             case EngineKind::kVUsion:
+                               return "VUsion";
+                             case EngineKind::kVUsionThp:
+                               return "VUsionThp";
+                             default:
+                               return "Other";
+                           }
+                         });
+
+// Disabling metrics must also leave the registry untouched by the instrumented
+// hot paths (the fault path records through pre-registered handles).
+TEST(MetricsParityTest, DisabledRegistryStaysEmptyValued) {
+  ScenarioConfig config;
+  config.machine.frame_count = 1u << 14;
+  config.engine = EngineKind::kKsm;
+  Scenario scenario(config);
+  scenario.machine().metrics().set_enabled(false);
+  VmImageSpec image;
+  image.total_pages = 512;
+  scenario.BootVm(image, 1);
+  scenario.RunFor(1 * kSecond);
+  const MetricsSnapshot snap = scenario.machine().metrics().Snapshot();
+  for (const MetricsSnapshot::Entry& e : snap.entries) {
+    EXPECT_EQ(e.count, 0u) << e.Key();
+    EXPECT_DOUBLE_EQ(e.value, 0.0) << e.Key();
+  }
+}
+
+}  // namespace
+}  // namespace vusion

@@ -58,8 +58,29 @@ TEST(TraceBufferTest, SummaryAndClear) {
   EXPECT_NE(summary.find("merge=2"), std::string::npos);
   EXPECT_NE(summary.find("split=1"), std::string::npos);
   trace.Clear();
-  EXPECT_EQ(trace.total_emitted(), 0u);
+  // Clear drains the ring and per-type counts; lifetime totals survive.
+  EXPECT_EQ(trace.total_emitted(), 3u);
   EXPECT_TRUE(trace.Events().empty());
+  EXPECT_EQ(trace.count(TraceEventType::kMerge), 0u);
+}
+
+TEST(TraceBufferTest, DroppedSurvivesMidRunClear) {
+  // Regression: dropped() used to be derived as total_ - occupancy, so a Clear()
+  // mid-run erased the record of events already lost to ring overwrites.
+  TraceBuffer trace(4);
+  trace.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.Emit(i, TraceEventType::kFault, 0, i, 0);
+  }
+  EXPECT_EQ(trace.dropped(), 6u);
+  trace.Clear();
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(trace.total_emitted(), 10u);
+  trace.Emit(10, TraceEventType::kFault, 0, 10, 0);
+  trace.Emit(11, TraceEventType::kFault, 0, 11, 0);
+  EXPECT_EQ(trace.dropped(), 6u);  // ring not full again: nothing new dropped
+  EXPECT_EQ(trace.total_emitted(), 12u);
+  EXPECT_EQ(trace.Events().size(), 2u);
 }
 
 MachineConfig SmallMachine() {

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts emitted by bench::Reporter.
+
+Checks the schema_version-1 shape without external dependencies:
+
+  {
+    "bench": str,
+    "schema_version": 1,
+    "titles": [str, ...],
+    "config": {str: any, ...},
+    "tables": {str: [{str: any, ...}, ...], ...},
+    "series": {str: [number, ...], ...},
+    "metrics": {str: [metric-entry, ...], ...},
+    "timings": {str: number, ...},   # always includes wall_ms
+    "notes": [str, ...],
+  }
+
+where a metric-entry is an object with at least "name" (str) and "kind"
+("counter" | "gauge" | "histogram"), plus "labels" (object of str) when the
+metric carries labels; histograms
+additionally carry "count", "sum", "bounds", and "buckets"
+(len(buckets) == len(bounds) + 1).
+
+Usage: check_bench_json.py FILE [FILE...]
+Exits non-zero on the first malformed artifact.
+"""
+
+import json
+import numbers
+import sys
+
+TOP_LEVEL_KEYS = [
+    "bench",
+    "schema_version",
+    "titles",
+    "config",
+    "tables",
+    "series",
+    "metrics",
+    "timings",
+    "notes",
+]
+
+METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, path, message):
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_metric_entry(entry, path):
+    expect(isinstance(entry, dict), path, "metric entry must be an object")
+    expect(isinstance(entry.get("name"), str), path, "missing string 'name'")
+    labels = entry.get("labels", {})
+    expect(isinstance(labels, dict), path, "'labels' must be an object when present")
+    for key, value in labels.items():
+        expect(isinstance(value, str), f"{path}.labels.{key}", "label values must be strings")
+    kind = entry.get("kind")
+    expect(kind in METRIC_KINDS, path, f"bad kind {kind!r}")
+    if kind == "histogram":
+        for field in ("count", "sum", "bounds", "buckets"):
+            expect(field in entry, path, f"histogram missing {field!r}")
+        bounds, buckets = entry["bounds"], entry["buckets"]
+        expect(isinstance(bounds, list) and isinstance(buckets, list), path,
+               "bounds/buckets must be lists")
+        expect(len(buckets) == len(bounds) + 1, path,
+               f"len(buckets)={len(buckets)} != len(bounds)+1={len(bounds) + 1}")
+    else:
+        expect(isinstance(entry.get("value"), numbers.Number), path,
+               "counter/gauge missing numeric 'value'")
+
+
+def check_artifact(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    expect(isinstance(doc, dict), path, "root must be an object")
+    for key in TOP_LEVEL_KEYS:
+        expect(key in doc, path, f"missing top-level key {key!r}")
+    expect(isinstance(doc["bench"], str) and doc["bench"], path, "'bench' must be a non-empty string")
+    expect(doc["schema_version"] == 1, path, f"unsupported schema_version {doc['schema_version']!r}")
+    expect(isinstance(doc["titles"], list), path, "'titles' must be a list")
+    for i, title in enumerate(doc["titles"]):
+        expect(isinstance(title, str), f"{path}.titles[{i}]", "must be a string")
+    expect(isinstance(doc["config"], dict), path, "'config' must be an object")
+    expect(isinstance(doc["tables"], dict), path, "'tables' must be an object")
+    for name, rows in doc["tables"].items():
+        expect(isinstance(rows, list), f"{path}.tables.{name}", "must be a list of rows")
+        for i, row in enumerate(rows):
+            expect(isinstance(row, dict), f"{path}.tables.{name}[{i}]", "row must be an object")
+    expect(isinstance(doc["series"], dict), path, "'series' must be an object")
+    for name, values in doc["series"].items():
+        expect(isinstance(values, list), f"{path}.series.{name}", "must be a list")
+        for i, v in enumerate(values):
+            expect(isinstance(v, numbers.Number) and not isinstance(v, bool),
+                   f"{path}.series.{name}[{i}]", "series values must be numbers")
+    expect(isinstance(doc["metrics"], dict), path, "'metrics' must be an object")
+    for group, entries in doc["metrics"].items():
+        expect(isinstance(entries, list), f"{path}.metrics.{group}", "must be a list of entries")
+        for i, entry in enumerate(entries):
+            check_metric_entry(entry, f"{path}.metrics.{group}[{i}]")
+    timings = doc["timings"]
+    expect(isinstance(timings, dict), path, "'timings' must be an object")
+    expect(isinstance(timings.get("wall_ms"), numbers.Number), path,
+           "'timings' must include numeric 'wall_ms'")
+    for label, value in timings.items():
+        expect(isinstance(value, numbers.Number) and not isinstance(value, bool),
+               f"{path}.timings.{label}", "timings must be numbers")
+    expect(isinstance(doc["notes"], list), path, "'notes' must be a list")
+    for i, note in enumerate(doc["notes"]):
+        expect(isinstance(note, str), f"{path}.notes[{i}]", "must be a string")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            check_artifact(path)
+        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            return 1
+        print(f"ok   {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
