@@ -89,6 +89,23 @@ bool Llc::Contains(PhysAddr paddr) const {
   return false;
 }
 
+bool Llc::ValidateFrameLineCounters() const {
+  std::vector<std::uint16_t> recomputed(frame_lines_.size(), 0);
+  for (const Line& line : lines_) {
+    if (!line.valid) {
+      continue;
+    }
+    const std::size_t frame = FrameOfTag(line.tag);
+    if (frame >= recomputed.size()) {
+      // A valid line for a frame the incremental counter never saw: impossible
+      // unless the accounting broke.
+      return false;
+    }
+    ++recomputed[frame];
+  }
+  return recomputed == frame_lines_;
+}
+
 std::size_t Llc::ColorOf(FrameId frame) const { return frame % config_.page_colors(); }
 
 std::size_t Llc::SetIndexOf(PhysAddr paddr) const {

@@ -56,6 +56,11 @@ class Llc {
   [[nodiscard]] std::uint64_t line_flushes() const { return line_flushes_; }
   [[nodiscard]] std::uint64_t frame_flushes() const { return frame_flushes_; }
 
+  // Recomputes per-frame cached-line counts from the line array and compares
+  // against the incremental frame_lines_ counters; false on any mismatch.
+  // Audit/test use only (O(sets * ways)).
+  [[nodiscard]] bool ValidateFrameLineCounters() const;
+
  private:
   struct Line {
     std::uint64_t tag = 0;

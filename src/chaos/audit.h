@@ -1,0 +1,75 @@
+// Shared vocabulary between the machine-wide InvariantAuditor (src/chaos) and
+// the per-engine AuditInvariants hooks (src/fusion). Header-only so the fusion
+// library can implement its hooks without linking against the chaos harness.
+//
+// An AuditContext carries the frame census the auditor computed from the page
+// tables (how many PTEs map each frame, how many of those are writable) plus an
+// ownership ledger: every component that holds frames outside the page tables
+// (fusion trees, randomized pool, deferred-free queue, swap cache) claims them
+// via OwnFrame, and the auditor then checks that mapped, page-table, and
+// engine-owned frames exactly partition the allocated set.
+
+#ifndef VUSION_SRC_CHAOS_AUDIT_H_
+#define VUSION_SRC_CHAOS_AUDIT_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/phys/frame.h"
+
+namespace vusion {
+
+class Machine;
+
+struct AuditContext {
+  Machine* machine = nullptr;
+  // Indexed by frame: number of small-page PTE slots mapping the frame (huge
+  // mappings expanded to their subframes; swapped-out markers excluded).
+  const std::vector<std::uint32_t>* mapping_count = nullptr;
+  // Indexed by frame: number of those mappings that are writable.
+  const std::vector<std::uint32_t>* writable_count = nullptr;
+
+  std::uint64_t checks = 0;
+  std::vector<std::string> violations;
+
+  [[nodiscard]] std::uint32_t mapped(FrameId frame) const {
+    return (*mapping_count)[frame];
+  }
+  [[nodiscard]] std::uint32_t writable(FrameId frame) const {
+    return (*writable_count)[frame];
+  }
+
+  // Records one invariant evaluation. The message callback is only invoked on
+  // failure so audit hot loops never pay for string formatting.
+  template <typename MessageFn>
+  bool Check(bool ok, MessageFn&& message) {
+    ++checks;
+    if (!ok) {
+      violations.push_back(message());
+    }
+    return ok;
+  }
+
+  // Claims a frame for a non-page-table owner; flags double ownership.
+  void OwnFrame(FrameId frame, const char* owner) {
+    ++checks;
+    auto [it, inserted] = engine_owned.emplace(frame, owner);
+    if (!inserted) {
+      std::ostringstream msg;
+      msg << "frame " << frame << " owned by both " << it->second << " and "
+          << owner;
+      violations.push_back(msg.str());
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+
+  std::unordered_map<FrameId, const char*> engine_owned;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_CHAOS_AUDIT_H_

@@ -1,0 +1,126 @@
+#include "src/chaos/fault_injector.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/sim/metrics.h"
+
+namespace vusion {
+
+thread_local int FaultInjector::ScopedSuppress::depth_ = 0;
+
+namespace {
+constexpr std::size_t kSiteCount = static_cast<std::size_t>(FaultSite::kCount);
+constexpr const char* kSiteNames[kSiteCount] = {
+    "buddy_alloc", "linear_alloc",  "pool_alloc",     "scan_interrupt",
+    "merge_abort", "stale_checksum", "spurious_fault", "teardown",
+};
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  const auto index = static_cast<std::size_t>(site);
+  return index < kSiteCount ? kSiteNames[index] : "invalid";
+}
+
+FaultSite ParseFaultSite(const std::string& name) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) {
+      return static_cast<FaultSite>(i);
+    }
+  }
+  return FaultSite::kCount;
+}
+
+std::string FormatSchedule(const std::vector<FaultRecord>& schedule) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i != 0) {
+      out << ',';
+    }
+    out << FaultSiteName(schedule[i].site) << '@' << schedule[i].visit;
+  }
+  return out.str();
+}
+
+bool ParseSchedule(const std::string& text, std::vector<FaultRecord>* out) {
+  out->clear();
+  if (text.empty()) {
+    return true;
+  }
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos) {
+      return false;
+    }
+    const FaultSite site = ParseFaultSite(token.substr(0, at));
+    if (site == FaultSite::kCount) {
+      return false;
+    }
+    char* end = nullptr;
+    const std::uint64_t visit = std::strtoull(token.c_str() + at + 1, &end, 10);
+    if (end == token.c_str() + at + 1 || *end != '\0') {
+      return false;
+    }
+    out->push_back(FaultRecord{site, visit});
+  }
+  return true;
+}
+
+FaultInjector::FaultInjector(const ChaosConfig& config)
+    : config_(config), rng_(config.seed ^ 0xc4a0517e5u) {}
+
+FaultInjector::FaultInjector(const ChaosConfig& config,
+                             const std::vector<FaultRecord>& schedule)
+    : config_(config), explicit_mode_(true), rng_(config.seed ^ 0xc4a0517e5u) {
+  for (const FaultRecord& record : schedule) {
+    if (record.site != FaultSite::kCount) {
+      planned_[static_cast<std::size_t>(record.site)].insert(record.visit);
+    }
+  }
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  if (ScopedSuppress::active()) {
+    return false;
+  }
+  const auto index = static_cast<std::size_t>(site);
+  const std::uint64_t visit = visits_[index]++;
+  bool fire = false;
+  if (explicit_mode_) {
+    fire = planned_[index].count(visit) != 0;
+  } else {
+    const double rate = config_.rates[index];
+    // Rate zero means "site disabled": skip the draw entirely so enabling the
+    // injector with all-zero rates consumes no randomness anywhere.
+    fire = rate > 0.0 && rng_.NextBool(rate);
+  }
+  if (fire) {
+    ++injected_[index];
+    schedule_log_.push_back(FaultRecord{site, visit});
+  }
+  return fire;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : injected_) {
+    total += count;
+  }
+  return total;
+}
+
+void FaultInjector::ExportMetrics(MetricsRegistry& metrics) const {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    metrics.GetCounter("chaos.faults_injected", {{"site", FaultSiteName(site)}})
+        .Set(injected_[i]);
+    metrics.GetCounter("chaos.site_visits", {{"site", FaultSiteName(site)}})
+        .Set(visits_[i]);
+  }
+  metrics.GetCounter("chaos.retries").Set(retries_);
+  metrics.GetCounter("chaos.degradations").Set(degradations_);
+}
+
+}  // namespace vusion

@@ -1,0 +1,152 @@
+// Deterministic fault injection for the simulated MM stack. A FaultInjector is a
+// seeded, policy-driven source of "should this operation fail right now?"
+// decisions, hung off Machine and consulted at a fixed set of injection sites:
+// the frame allocators (transient allocation failure), the fusion engines (scan
+// interruption, merge abort, stale-checksum forcing), the page-fault handler
+// (spurious retry), and process lifecycle (VM teardown mid-scan).
+//
+// Determinism contract: the fault schedule is a pure function of the 64-bit
+// seed and the per-site visit ordinals — never wall-clock, never host thread
+// timing. Every fault that fires is recorded as a (site, visit) pair, so a run
+// can be replayed byte-for-byte by handing the recorded schedule to a second
+// injector (explicit-schedule mode), and a failing schedule can be shrunk by
+// bisection while preserving exact replay of the surviving faults.
+
+#ifndef VUSION_SRC_CHAOS_FAULT_INJECTOR_H_
+#define VUSION_SRC_CHAOS_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace vusion {
+
+class MetricsRegistry;
+
+// Every place the injector can force a failure. kBuddyAlloc covers Allocate()
+// and AllocateOrder() (the former routes through the latter); the scan-side
+// sites are checked by whichever engine is running.
+enum class FaultSite : std::uint8_t {
+  kBuddyAlloc,      // buddy AllocateOrder returns kInvalidFrame (transient OOM)
+  kLinearAlloc,     // linear allocator skips a candidate frame
+  kPoolAlloc,       // randomized pool draw/refill fails
+  kScanInterrupt,   // engine abandons the rest of the current scan batch
+  kMergeAbort,      // a single merge/fake-merge attempt is abandoned
+  kStaleChecksum,   // engine's stored checksum is corrupted (forces re-hash path)
+  kSpuriousFault,   // fault handler returns without resolving (hardware retry)
+  kTeardown,        // campaign driver tears down a VM at a scan phase boundary
+  kCount,           // sentinel
+};
+
+[[nodiscard]] const char* FaultSiteName(FaultSite site);
+// Returns kCount when the name is unknown.
+[[nodiscard]] FaultSite ParseFaultSite(const std::string& name);
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  // Per-site probability that a visit fires. Zero disables the site entirely
+  // (no RNG draw, so enabling chaos with all-zero rates is still bit-identical
+  // to chaos-off at every site).
+  std::array<double, static_cast<std::size_t>(FaultSite::kCount)> rates{};
+
+  void SetAllRates(double rate) { rates.fill(rate); }
+  void SetRate(FaultSite site, double rate) {
+    rates[static_cast<std::size_t>(site)] = rate;
+  }
+  [[nodiscard]] double rate(FaultSite site) const {
+    return rates[static_cast<std::size_t>(site)];
+  }
+};
+
+// One fired fault: the site and the per-site visit ordinal (0-based) at which
+// it fired. The full ordered list of these is the fault schedule.
+struct FaultRecord {
+  FaultSite site = FaultSite::kCount;
+  std::uint64_t visit = 0;
+
+  friend bool operator==(const FaultRecord&, const FaultRecord&) = default;
+};
+
+// Serializes a schedule as "site@visit,site@visit,..." for repro command lines.
+[[nodiscard]] std::string FormatSchedule(const std::vector<FaultRecord>& schedule);
+// Parses the FormatSchedule format; returns false on malformed input.
+bool ParseSchedule(const std::string& text, std::vector<FaultRecord>* out);
+
+class FaultInjector {
+ public:
+  // Probabilistic mode: each visit to a site with rate > 0 draws from a private
+  // RNG forked off the seed. Fired faults are recorded in injected_schedule().
+  explicit FaultInjector(const ChaosConfig& config);
+
+  // Explicit-schedule mode: exactly the listed (site, visit) pairs fire; no RNG
+  // is consulted. Used for replay and for shrinking.
+  FaultInjector(const ChaosConfig& config, const std::vector<FaultRecord>& schedule);
+
+  // Hot-path query: advances the site's visit counter and reports whether this
+  // visit fails. Returns false (without advancing) while suppressed (see
+  // ScopedSuppress) so must-not-fail allocations stay exempt.
+  bool ShouldFail(FaultSite site);
+
+  // Bookkeeping for the recovery paths: a retry after a transient fault, or a
+  // graceful degradation (skip page / requeue / shrink pool).
+  void RecordRetry() { ++retries_; }
+  void RecordDegradation() { ++degradations_; }
+
+  [[nodiscard]] std::uint64_t visits(FaultSite site) const {
+    return visits_[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] std::uint64_t injected(FaultSite site) const {
+    return injected_[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] std::uint64_t total_injected() const;
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t degradations() const { return degradations_; }
+  [[nodiscard]] const std::vector<FaultRecord>& injected_schedule() const {
+    return schedule_log_;
+  }
+  [[nodiscard]] const ChaosConfig& config() const { return config_; }
+
+  // Publishes chaos.* counters (faults by site, visits by site, retries,
+  // degradations) into the registry. Pull-harvest style: call before snapshot.
+  void ExportMetrics(MetricsRegistry& metrics) const;
+
+  // RAII exemption for allocations that model kernel __GFP_NOFAIL paths (page
+  // table node allocation, test setup scaffolding). While at least one
+  // ScopedSuppress is live on this thread, ShouldFail is inert: it neither
+  // fires nor advances visit counters, so suppressed code paths do not perturb
+  // the schedule of the surrounding run.
+  class ScopedSuppress {
+   public:
+    ScopedSuppress() { ++depth_; }
+    ~ScopedSuppress() { --depth_; }
+    ScopedSuppress(const ScopedSuppress&) = delete;
+    ScopedSuppress& operator=(const ScopedSuppress&) = delete;
+
+    [[nodiscard]] static bool active() { return depth_ > 0; }
+
+   private:
+    static thread_local int depth_;
+  };
+
+ private:
+  ChaosConfig config_;
+  bool explicit_mode_ = false;
+  Rng rng_;
+  // Explicit mode: per-site set of visit ordinals that must fire.
+  std::array<std::unordered_set<std::uint64_t>,
+             static_cast<std::size_t>(FaultSite::kCount)>
+      planned_;
+  std::array<std::uint64_t, static_cast<std::size_t>(FaultSite::kCount)> visits_{};
+  std::array<std::uint64_t, static_cast<std::size_t>(FaultSite::kCount)> injected_{};
+  std::uint64_t retries_ = 0;
+  std::uint64_t degradations_ = 0;
+  std::vector<FaultRecord> schedule_log_;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_CHAOS_FAULT_INJECTOR_H_

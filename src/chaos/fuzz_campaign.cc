@@ -1,0 +1,268 @@
+#include "src/chaos/fuzz_campaign.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/chaos/invariant_auditor.h"
+#include "src/kernel/machine.h"
+#include "src/kernel/process.h"
+
+namespace vusion {
+
+const char* CampaignEngineToken(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNone:
+      return "none";
+    case EngineKind::kKsm:
+      return "ksm";
+    case EngineKind::kKsmCoA:
+      return "ksm-coa";
+    case EngineKind::kKsmZeroOnly:
+      return "ksm-zero";
+    case EngineKind::kWpf:
+      return "wpf";
+    case EngineKind::kVUsion:
+      return "vusion";
+    case EngineKind::kVUsionThp:
+      return "vusion-thp";
+    case EngineKind::kMemoryCombining:
+      return "mc";
+  }
+  return "none";
+}
+
+bool ParseCampaignEngine(const std::string& token, EngineKind& kind) {
+  for (const EngineKind candidate :
+       {EngineKind::kNone, EngineKind::kKsm, EngineKind::kKsmCoA,
+        EngineKind::kKsmZeroOnly, EngineKind::kWpf, EngineKind::kVUsion,
+        EngineKind::kVUsionThp, EngineKind::kMemoryCombining}) {
+    if (token == CampaignEngineToken(candidate)) {
+      kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FuzzCampaign::ReproCommand(
+    const std::vector<FaultRecord>* schedule) const {
+  std::ostringstream cmd;
+  cmd << "tools/chaos_fuzz --engine " << CampaignEngineToken(options_.engine)
+      << " --seed " << options_.seed << " --steps " << options_.steps
+      << " --threads " << options_.scan_threads << " --rate "
+      << options_.fault_rate << " --audit-epoch " << options_.audit_epoch;
+  if (schedule != nullptr && !schedule->empty()) {
+    cmd << " --schedule " << FormatSchedule(*schedule);
+  }
+  return cmd.str();
+}
+
+CampaignResult FuzzCampaign::RunOnce(const std::vector<FaultRecord>* schedule,
+                                     bool dump_artifacts) {
+  CampaignResult result;
+
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;
+  machine_config.seed = options_.seed;
+  Machine machine(machine_config);
+  machine.trace().set_enabled(true);
+
+  ChaosConfig chaos_config;
+  chaos_config.seed = options_.seed;
+  chaos_config.SetAllRates(options_.fault_rate);
+  FaultInjector& injector =
+      schedule != nullptr
+          ? machine.EnableChaosWithSchedule(chaos_config, *schedule)
+          : machine.EnableChaos(chaos_config);
+
+  FusionConfig fusion_config;
+  fusion_config.wake_period = 1 * kMillisecond;
+  fusion_config.pages_per_wake = 256;
+  fusion_config.pool_frames = 512;
+  fusion_config.wpf_period = 10 * kMillisecond;
+  fusion_config.scan_threads = options_.scan_threads;
+  if (options_.engine == EngineKind::kMemoryCombining) {
+    // Permanent pressure so the swap-cache engine actually acts.
+    fusion_config.mc_low_watermark = machine_config.frame_count;
+  }
+  ScopedEngine engine(options_.engine, machine, fusion_config);
+
+  // VM-teardown injection: a fired kTeardown at any scan phase boundary
+  // destroys the youngest forked VM while the engine is mid-quantum. The
+  // ShouldFail call always advances the site's visit counter (even with no
+  // children alive) so the schedule replays independently of workload state.
+  std::vector<Process*> children;
+  if (engine) {
+    engine->SetPhaseHook([&machine, &injector, &children](FusionEngine&,
+                                                          ScanPhase) {
+      if (injector.ShouldFail(FaultSite::kTeardown) && !children.empty()) {
+        machine.DestroyProcess(*children.back());
+        children.pop_back();
+        injector.RecordDegradation();
+      }
+    });
+  }
+
+  InvariantAuditor auditor(machine);
+  auto audit_now = [&](std::size_t step) {
+    AuditReport report = auditor.Audit(engine.get());
+    if (!report.ok) {
+      result.ok = false;
+      result.failed_step = step;
+      result.violations = std::move(report.violations);
+    }
+    return result.ok;
+  };
+
+  // The workload: the frame-audit property test's event mix (map, write, read,
+  // idle, unmap, prefetch, fork/exit churn) driven by the campaign seed.
+  constexpr std::size_t kPages = 512;
+  Process& a = machine.CreateProcess();
+  Process& b = machine.CreateProcess();
+  const VirtAddr base_a = a.AllocateRegion(kPages, PageType::kAnonymous, true, false);
+  const VirtAddr base_b = b.AllocateRegion(kPages, PageType::kAnonymous, true, true);
+  for (std::size_t i = 0; i < kPages; ++i) {
+    a.SetupMapPattern(VaddrToVpn(base_a) + i, 0x5000 + (i % 32));
+    b.SetupMapPattern(VaddrToVpn(base_b) + i, 0x5000 + (i % 32));
+  }
+  Rng rng(options_.seed * 13 + 5);
+  for (std::size_t step = 0; step < options_.steps && result.ok; ++step) {
+    const std::size_t page = rng.NextBelow(kPages);
+    Process& proc = rng.NextBool(0.5) ? a : b;
+    const VirtAddr base = (&proc == &a) ? base_a : base_b;
+    try {
+      switch (rng.NextBelow(6)) {
+        case 0:
+          proc.Write64(base + page * kPageSize, step);
+          break;
+        case 1:
+          proc.Read64(base + page * kPageSize);
+          break;
+        case 2:
+          machine.Idle(rng.NextInRange(1, 4) * kMillisecond);
+          break;
+        case 3:
+          if (&proc == &a) {
+            a.SetupUnmap(VaddrToVpn(base_a) + page);
+          }
+          break;
+        case 4:
+          proc.Prefetch(base + page * kPageSize);
+          break;
+        default:
+          if (children.size() < 4) {
+            Process& child = machine.ForkProcess(b);
+            child.Write64(base_b + page * kPageSize, step);
+            children.push_back(&child);
+          } else {
+            machine.DestroyProcess(*children.back());
+            children.pop_back();
+          }
+          break;
+      }
+    } catch (const std::runtime_error&) {
+      // A fault-retry limit tripped by clustered injections: the access was
+      // abandoned, which is fine as long as the machine stayed consistent —
+      // the audit below is the judge.
+      ++result.tolerated_throws;
+    }
+    if (options_.audit_epoch <= 1 || step % options_.audit_epoch == 0) {
+      audit_now(step);
+    }
+  }
+  if (result.ok) {
+    machine.Idle(50 * kMillisecond);
+    audit_now(options_.steps);
+  }
+
+  result.schedule = injector.injected_schedule();
+  result.faults_injected = injector.total_injected();
+  result.audits = auditor.audits_run();
+  result.checks = auditor.checks_total();
+
+  if (!result.ok && dump_artifacts && !options_.artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.artifact_dir, ec);
+    const std::string path = options_.artifact_dir + "/chaos_" +
+                             CampaignEngineToken(options_.engine) + "_seed" +
+                             std::to_string(options_.seed) + ".txt";
+    std::ofstream out(path);
+    out << "repro: " << ReproCommand(&result.schedule) << "\n";
+    out << "failed_step: " << result.failed_step << "\n";
+    out << "schedule: " << FormatSchedule(result.schedule) << "\n\n";
+    out << "violations:\n";
+    for (const std::string& violation : result.violations) {
+      out << "  " << violation << "\n";
+    }
+    out << "\ntrace summary:\n" << machine.trace().Summary() << "\n";
+    out << "trace tail:\n";
+    const auto events = machine.trace().Events();
+    const std::size_t start = events.size() > 200 ? events.size() - 200 : 0;
+    for (std::size_t i = start; i < events.size(); ++i) {
+      const TraceEvent& event = events[i];
+      out << "  t=" << event.time << " " << TraceEventTypeName(event.type)
+          << " pid=" << event.process_id << " vpn=" << event.vpn
+          << " frame=" << event.frame << "\n";
+    }
+    auditor.ExportMetrics(machine.metrics());
+    out << "\nmetrics:\n" << machine.CollectMetrics().RenderTable() << "\n";
+  }
+  return result;
+}
+
+std::vector<FaultRecord> FuzzCampaign::ShrinkSchedule(
+    const std::vector<FaultRecord>& failing) {
+  std::size_t budget = 40;  // replay bound: shrinking is best-effort
+  auto fails = [&](const std::vector<FaultRecord>& candidate) {
+    --budget;
+    return !RunOnce(&candidate, /*dump_artifacts=*/false).ok;
+  };
+
+  // Pass 1: bisection — keep halving while one half alone still fails.
+  std::vector<FaultRecord> current = failing;
+  while (current.size() > 1 && budget > 1) {
+    const auto mid =
+        current.begin() + static_cast<std::ptrdiff_t>(current.size() / 2);
+    std::vector<FaultRecord> front(current.begin(), mid);
+    std::vector<FaultRecord> back(mid, current.end());
+    if (fails(front)) {
+      current = std::move(front);
+    } else if (budget > 0 && fails(back)) {
+      current = std::move(back);
+    } else {
+      break;
+    }
+  }
+  // Pass 2: one-at-a-time removal of the survivors.
+  for (std::size_t i = 0; i < current.size() && budget > 0;) {
+    std::vector<FaultRecord> candidate = current;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+    if (fails(candidate)) {
+      current = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+  return current;
+}
+
+CampaignResult FuzzCampaign::Run() {
+  const std::vector<FaultRecord>* schedule =
+      options_.use_schedule ? &options_.schedule : nullptr;
+  CampaignResult result = RunOnce(schedule, /*dump_artifacts=*/true);
+  if (!result.ok) {
+    if (options_.shrink && !options_.use_schedule && !result.schedule.empty()) {
+      result.shrunk_schedule = ShrinkSchedule(result.schedule);
+    } else {
+      result.shrunk_schedule = result.schedule;
+    }
+    result.repro = ReproCommand(
+        result.shrunk_schedule.empty() ? nullptr : &result.shrunk_schedule);
+  }
+  return result;
+}
+
+}  // namespace vusion

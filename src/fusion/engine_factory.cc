@@ -9,6 +9,20 @@
 
 namespace vusion {
 
+const char* ScanPhaseName(ScanPhase phase) {
+  switch (phase) {
+    case ScanPhase::kQuantumStart:
+      return "quantum_start";
+    case ScanPhase::kBatchCollected:
+      return "batch_collected";
+    case ScanPhase::kHashed:
+      return "hashed";
+    case ScanPhase::kQuantumEnd:
+      return "quantum_end";
+  }
+  return "?";
+}
+
 void FusionEngine::ExportMetrics(MetricsRegistry& registry) const {
   registry.GetCounter("fusion.pages_scanned").Set(stats_.pages_scanned);
   registry.GetCounter("fusion.merges").Set(stats_.merges);

@@ -5,6 +5,9 @@
 #ifndef VUSION_SRC_FUSION_FUSION_ENGINE_H_
 #define VUSION_SRC_FUSION_FUSION_ENGINE_H_
 
+#include <functional>
+
+#include "src/chaos/audit.h"
 #include "src/fusion/fusion_stats.h"
 #include "src/host/parallel_scan.h"
 #include "src/kernel/daemon.h"
@@ -12,6 +15,20 @@
 #include "src/kernel/sharing_policy.h"
 
 namespace vusion {
+
+// Boundaries inside one scan wake-up at which the outside world (chaos
+// campaigns, tests) may intervene — e.g. tear down a VM mid-scan. Engines
+// announce each boundary through the phase hook; after kBatchCollected and
+// kHashed the engine re-validates its batch against the live process table, so
+// a hook destroying a process is safe at every announced point.
+enum class ScanPhase : std::uint8_t {
+  kQuantumStart,    // wake-up began, nothing collected yet
+  kBatchCollected,  // candidate batch chosen, before hashing
+  kHashed,          // content hashed, before any merge decision
+  kQuantumEnd,      // wake-up finished, state quiescent
+};
+
+const char* ScanPhaseName(ScanPhase phase);
 
 class FusionEngine : public Daemon, public SharingPolicy {
  public:
@@ -76,7 +93,29 @@ class FusionEngine : public Daemon, public SharingPolicy {
   // usually the machine's. Overrides must call the base first.
   virtual void ExportMetrics(MetricsRegistry& registry) const;
 
+  // Observation hook fired at every ScanPhase boundary of every wake-up. The
+  // callback may mutate the machine (destroy processes, unmap pages); the
+  // engine re-validates afterwards. Null (the default) costs nothing.
+  using PhaseHook = std::function<void(FusionEngine&, ScanPhase)>;
+  void SetPhaseHook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
+  // Engine-specific invariants for the machine-wide auditor: every internal
+  // structure (stable tree, rmap, sharer lists, pool, deferred queue) must agree
+  // with the page tables and frame refcounts. Engines claim their reserve
+  // frames via ctx.OwnFrame. Default: no engine-private state to check.
+  virtual void AuditInvariants(AuditContext& ctx) const { (void)ctx; }
+
  protected:
+  void NotifyPhase(ScanPhase phase) {
+    if (phase_hook_) {
+      phase_hook_(*this, phase);
+    }
+  }
+
+  // The machine's fault injector, or null when chaos is off. Engines consult
+  // this at their injection sites (scan interruption, merge abort, stale
+  // checksum) and re-sync their private allocators' injector pointers.
+  [[nodiscard]] FaultInjector* chaos() { return machine_->chaos(); }
   // True when the engine should skip its scan work this wake-up (and reschedule).
   bool SkipWake() {
     if (paused_) {
@@ -91,6 +130,7 @@ class FusionEngine : public Daemon, public SharingPolicy {
   FusionStats stats_;
   SimTime next_run_ = 0;
   bool paused_ = false;
+  PhaseHook phase_hook_;
 };
 
 }  // namespace vusion

@@ -1,6 +1,7 @@
 #include "src/fusion/ksm.h"
 
 #include <chrono>
+#include <string>
 
 namespace vusion {
 
@@ -47,11 +48,13 @@ void Ksm::Run() {
     return;
   }
   const auto scan_start = std::chrono::steady_clock::now();
+  NotifyPhase(ScanPhase::kQuantumStart);
   if (config_.scan_threads > 1) {
     ScanQuantumPipelined();
   } else {
     ScanQuantumSerial();
   }
+  NotifyPhase(ScanPhase::kQuantumEnd);
   timing_.scan_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - scan_start)
@@ -61,7 +64,14 @@ void Ksm::Run() {
 }
 
 void Ksm::ScanQuantumSerial() {
+  FaultInjector* injector = chaos();
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    // Injected scan interruption: abandon the rest of the quantum (pages not
+    // yet consumed from the cursor are simply picked up next wake).
+    if (injector != nullptr && injector->ShouldFail(FaultSite::kScanInterrupt)) {
+      injector->RecordDegradation();
+      break;
+    }
     Process* process = nullptr;
     Vpn vpn = 0;
     bool wrapped = false;
@@ -82,8 +92,13 @@ void Ksm::ScanQuantumPipelined() {
   // Collect the quantum first. ScanOne never changes the process list, VMA
   // layout, or mergeable flags (only PTEs and frame contents), so the cursor
   // yields the exact sequence the serial interleaving would.
+  FaultInjector* injector = chaos();
   batch_.clear();
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    if (injector != nullptr && injector->ShouldFail(FaultSite::kScanInterrupt)) {
+      injector->RecordDegradation();
+      break;
+    }
     Process* process = nullptr;
     Vpn vpn = 0;
     bool wrapped = false;
@@ -93,17 +108,44 @@ void Ksm::ScanQuantumPipelined() {
     host::ScanItem item;
     item.process = process;
     item.as = &process->address_space();
+    item.pid = process->id();
     item.vpn = vpn;
     item.wrapped = wrapped;
     batch_.push_back(item);
   }
-  pipeline_.Run(batch_, timing_, nullptr, [this](host::ScanItem& item) {
-    if (item.wrapped) {
-      unstable_.Clear();
-      ++stats_.full_scans;
+  NotifyPhase(ScanPhase::kBatchCollected);
+  PruneDeadItems();
+  pipeline_.Run(
+      batch_, timing_, nullptr,
+      [this](host::ScanItem& item) {
+        // A phase hook may have torn the process down after collection; the
+        // cursor-side effects (round wrap) still apply, the page itself is
+        // skipped.
+        if (item.wrapped) {
+          unstable_.Clear();
+          ++stats_.full_scans;
+        }
+        if (item.process == nullptr ||
+            machine_->processes()[item.pid] == nullptr) {
+          return;
+        }
+        ScanOne(*item.process, item.vpn);
+      },
+      [this] {
+        NotifyPhase(ScanPhase::kHashed);
+        PruneDeadItems();
+      });
+}
+
+void Ksm::PruneDeadItems() {
+  // Null out batch items whose process died in a phase hook, keeping the items
+  // themselves (their wrapped flags still drive round bookkeeping).
+  for (host::ScanItem& item : batch_) {
+    if (item.process != nullptr && machine_->processes()[item.pid] == nullptr) {
+      item.process = nullptr;
+      item.as = nullptr;
     }
-    ScanOne(*item.process, item.vpn);
-  });
+  }
 }
 
 void Ksm::ScanOne(Process& process, Vpn vpn) {
@@ -163,6 +205,14 @@ void Ksm::ScanOne(Process& process, Vpn vpn) {
   // contents were stable since the previous scan (KSM's checksum gate).
   const std::uint64_t checksum = machine_->memory().HashContent(frame);
   auto& proc_checksums = checksums_[process.id()];
+  if (FaultInjector* injector = chaos();
+      injector != nullptr && injector->ShouldFail(FaultSite::kStaleChecksum)) {
+    // Forced-stale checksum: the page reads as volatile, deferring its
+    // unstable-tree insertion to a later round (graceful skip, never corrupt).
+    injector->RecordDegradation();
+    proc_checksums[vpn] = ~checksum;
+    return;
+  }
   const auto it = proc_checksums.find(vpn);
   if (it == proc_checksums.end() || it->second != checksum) {
     proc_checksums[vpn] = checksum;
@@ -210,6 +260,13 @@ Pte* Ksm::EnsureSmallMapping(Process& process, Vpn vpn) {
 }
 
 Ksm::StableEntry* Ksm::Stabilize(const UnstableItem& item) {
+  // Injected merge abort before any state is touched: the caller falls through
+  // to the unmatched-page path, nothing to roll back.
+  if (FaultInjector* injector = chaos();
+      injector != nullptr && injector->ShouldFail(FaultSite::kMergeAbort)) {
+    injector->RecordDegradation();
+    return nullptr;
+  }
   Pte* pte = EnsureSmallMapping(*item.process, item.vpn);
   if (pte == nullptr || !pte->present()) {
     return nullptr;
@@ -228,6 +285,11 @@ Ksm::StableEntry* Ksm::Stabilize(const UnstableItem& item) {
 }
 
 void Ksm::MergeInto(Process& process, Vpn vpn, StableEntry* entry) {
+  if (FaultInjector* injector = chaos();
+      injector != nullptr && injector->ShouldFail(FaultSite::kMergeAbort)) {
+    injector->RecordDegradation();
+    return;  // this page simply stays unmerged until a later round
+  }
   Pte* pte = EnsureSmallMapping(process, vpn);
   if (pte == nullptr || !pte->present()) {
     return;
@@ -310,7 +372,11 @@ bool Ksm::HandleFault(Process& process, const PageFault& fault) {
   const auto dirty = static_cast<std::uint16_t>(
       fault.access == AccessType::kWrite ? kPteDirty : 0);
   if (!BreakCow(process, fault.vpn, it->second, dirty)) {
-    return false;
+    // Allocation failed (transient or genuine OOM): the page stays merged and
+    // the access path retries the fault. Returning false would hand this
+    // engine-owned CoW PTE to the kernel's fork-CoW handler, which would
+    // decrement the refcount behind the rmap's back.
+    return true;
   }
   if (fault.access == AccessType::kWrite) {
     ++stats_.unmerges_cow;
@@ -374,6 +440,80 @@ bool Ksm::AllowCollapse(Process& process, Vpn base) {
 
 bool Ksm::IsMerged(const Process& process, Vpn vpn) const {
   return rmap_.contains(KeyOf(process, vpn));
+}
+
+void Ksm::AuditInvariants(AuditContext& ctx) const {
+  const auto& processes = machine_->processes();
+  PhysicalMemory& memory = machine_->memory();
+
+  // Count the rmap's view of each stable entry while checking every mapping it
+  // claims: the (pid, vpn) must be a live process whose PTE points at the
+  // entry's frame with merged (read-only CoW) permissions.
+  std::unordered_map<const StableEntry*, std::uint32_t> rmap_refs;
+  for (const auto& [key, entry] : rmap_) {
+    const auto pid = static_cast<std::uint32_t>(key >> 40);
+    const Vpn vpn = key ^ (static_cast<std::uint64_t>(pid) << 40);
+    ++rmap_refs[entry];
+    if (!ctx.Check(pid < processes.size() && processes[pid] != nullptr, [&] {
+          return "ksm: rmap entry for dead process " + std::to_string(pid);
+        })) {
+      continue;
+    }
+    const Pte* pte = processes[pid]->address_space().GetPte(vpn);
+    ctx.Check(pte != nullptr && pte->present() && pte->frame == entry->frame,
+              [&] {
+                return "ksm: rmap (" + std::to_string(pid) + "," +
+                       std::to_string(vpn) + ") does not map stable frame " +
+                       std::to_string(entry->frame);
+              });
+    ctx.Check(pte == nullptr || (!pte->writable() && pte->cow()), [&] {
+      return "ksm: merged page (" + std::to_string(pid) + "," +
+             std::to_string(vpn) + ") is not read-only CoW";
+    });
+  }
+
+  std::size_t tree_entries = 0;
+  stable_.InOrder([&](StableEntry* const& entry) {
+    ++tree_entries;
+    const std::string frame_str = std::to_string(entry->frame);
+    ctx.Check(entry->refs >= 1, [&] {
+      return "ksm: stable entry for frame " + frame_str + " has zero refs";
+    });
+    ctx.Check(memory.allocated(entry->frame), [&] {
+      return "ksm: stable entry points at free frame " + frame_str;
+    });
+    ctx.Check(memory.refcount(entry->frame) == entry->refs, [&] {
+      return "ksm: frame " + frame_str + " refcount " +
+             std::to_string(memory.refcount(entry->frame)) + " != entry refs " +
+             std::to_string(entry->refs);
+    });
+    ctx.Check(ctx.mapped(entry->frame) == entry->refs, [&] {
+      return "ksm: frame " + frame_str + " mapped by " +
+             std::to_string(ctx.mapped(entry->frame)) + " PTEs, entry refs " +
+             std::to_string(entry->refs);
+    });
+    ctx.Check(ctx.writable(entry->frame) == 0, [&] {
+      return "ksm: fused frame " + frame_str + " has a writable mapping";
+    });
+    const auto it = rmap_refs.find(entry);
+    ctx.Check(it != rmap_refs.end() && it->second == entry->refs, [&] {
+      return "ksm: frame " + frame_str + " rmap count " +
+             std::to_string(it == rmap_refs.end() ? 0 : it->second) +
+             " != entry refs " + std::to_string(entry->refs);
+    });
+  });
+  ctx.Check(tree_entries == rmap_refs.size(), [&] {
+    return "ksm: stable tree has " + std::to_string(tree_entries) +
+           " entries but rmap references " + std::to_string(rmap_refs.size());
+  });
+
+  // The per-process checksum index must not reference dead processes.
+  for (const auto& [pid, vpns] : checksums_) {
+    (void)vpns;
+    ctx.Check(pid < processes.size() && processes[pid] != nullptr, [&] {
+      return "ksm: checksum index for dead process " + std::to_string(pid);
+    });
+  }
 }
 
 }  // namespace vusion

@@ -39,7 +39,7 @@ class Ksm final : public FusionEngine {
   bool HandleFault(Process& process, const PageFault& fault) override;
   bool OnUnmap(Process& process, Vpn vpn) override;
   bool AllowCollapse(Process& process, Vpn base) override;
-  void PrepareCollapse(Process& /*process*/, Vpn /*base*/) override {}
+  bool PrepareCollapse(Process& /*process*/, Vpn /*base*/) override { return true; }
   void OnUnregister(Process& process, Vpn start, std::uint64_t pages) override;
   void OnProcessDestroy(Process& process) override;
   bool Owns(const Process& process, Vpn vpn) const override {
@@ -53,6 +53,10 @@ class Ksm final : public FusionEngine {
   }
   // True if (process, vpn) is currently merged (test helper).
   [[nodiscard]] bool IsMerged(const Process& process, Vpn vpn) const;
+
+  // Machine-wide consistency check: stable tree, rmap, checksum index, and the
+  // kernel's refcounts/PTEs must all agree. See src/chaos/invariant_auditor.h.
+  void AuditInvariants(AuditContext& ctx) const override;
 
  private:
   struct StableEntry;
@@ -87,6 +91,8 @@ class Ksm final : public FusionEngine {
   // two-phase parallel pipeline. Both produce bit-identical simulated results.
   void ScanQuantumSerial();
   void ScanQuantumPipelined();
+  // Invalidates batch items whose process a phase hook tore down mid-scan.
+  void PruneDeadItems();
   // Promotes an unstable match to the stable tree (write-protecting it).
   StableEntry* Stabilize(const UnstableItem& item);
   // Points (process, vpn) at the entry's frame and releases its duplicate.

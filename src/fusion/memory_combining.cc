@@ -1,5 +1,7 @@
 #include "src/fusion/memory_combining.h"
 
+#include <string>
+
 #include "src/kernel/idle_tracker.h"
 
 namespace vusion {
@@ -180,7 +182,12 @@ bool MemoryCombining::HandleFault(Process& process, const PageFault& fault) {
   if (it == swapped_.end()) {
     return false;
   }
-  return SwapIn(process, fault.vpn, it->second, fault);
+  if (!SwapIn(process, fault.vpn, it->second, fault)) {
+    // Transient OOM: claim the fault so the access retries. Falling through to
+    // the kernel would demand-zero over the swapped marker and lose the page.
+    return true;
+  }
+  return true;
 }
 
 bool MemoryCombining::OnUnmap(Process& process, Vpn vpn) {
@@ -217,6 +224,74 @@ void MemoryCombining::OnUnregister(Process& process, Vpn start, std::uint64_t pa
 
 bool MemoryCombining::IsSwapped(const Process& process, Vpn vpn) const {
   return swapped_.contains(KeyOf(process, vpn));
+}
+
+void MemoryCombining::AuditInvariants(AuditContext& ctx) const {
+  const auto& processes = machine_->processes();
+  PhysicalMemory& memory = machine_->memory();
+
+  // Swap map: each swapped page belongs to a live process, sits behind the
+  // swapped marker PTE, and references a live record.
+  std::unordered_map<const Record*, std::uint32_t> swap_refs;
+  for (const auto& [key, record] : swapped_) {
+    ++swap_refs[record];
+    const auto pid = static_cast<std::uint32_t>(key >> 40);
+    const Vpn vpn = key ^ (static_cast<std::uint64_t>(pid) << 40);
+    if (!ctx.Check(pid < processes.size() && processes[pid] != nullptr, [&] {
+          return "mc: swap map holds page of dead process " +
+                 std::to_string(pid);
+        })) {
+      continue;
+    }
+    const Pte* pte = processes[pid]->address_space().GetPte(vpn);
+    ctx.Check(pte != nullptr && pte->flags == kPteSwapped &&
+                  pte->frame == kInvalidFrame,
+              [&] {
+                return "mc: swapped page (" + std::to_string(pid) + "," +
+                       std::to_string(vpn) +
+                       ") is not behind the swapped marker PTE";
+              });
+  }
+
+  // Record store: refcounts equal the swap map's references, hash keys match
+  // the stored snapshots.
+  std::size_t record_refs = 0;
+  for (const auto& [hash, record] : records_) {
+    record_refs += record->refs;
+    ctx.Check(record->refs >= 1, [&] {
+      return "mc: compressed record with zero refs survives in the store";
+    });
+    ctx.Check(record->snapshot.hash == hash, [&] {
+      return "mc: record stored under hash " + std::to_string(hash) +
+             " snapshots hash " + std::to_string(record->snapshot.hash);
+    });
+    const auto it = swap_refs.find(record.get());
+    ctx.Check(it != swap_refs.end() && it->second == record->refs, [&] {
+      return "mc: record refs " + std::to_string(record->refs) +
+             " != " + std::to_string(it == swap_refs.end() ? 0 : it->second) +
+             " swap-map references";
+    });
+  }
+  ctx.Check(record_refs == swapped_.size(), [&] {
+    return "mc: records claim " + std::to_string(record_refs) +
+           " references but the swap map holds " +
+           std::to_string(swapped_.size()) + " pages";
+  });
+
+  // Cache backing: really-reserved frames, unmapped and owned only here.
+  ctx.Check(cache_frames_ == cache_backing_.size(), [&] {
+    return "mc: cache_frames_ " + std::to_string(cache_frames_) +
+           " != backing vector size " + std::to_string(cache_backing_.size());
+  });
+  for (const FrameId frame : cache_backing_) {
+    ctx.OwnFrame(frame, "mc.cache");
+    ctx.Check(memory.allocated(frame) && memory.refcount(frame) == 0 &&
+                  ctx.mapped(frame) == 0,
+              [&] {
+                return "mc: cache backing frame " + std::to_string(frame) +
+                       " is still live (mapped or refcounted)";
+              });
+  }
 }
 
 }  // namespace vusion

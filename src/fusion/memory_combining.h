@@ -36,7 +36,7 @@ class MemoryCombining final : public FusionEngine {
   bool HandleFault(Process& process, const PageFault& fault) override;
   bool OnUnmap(Process& process, Vpn vpn) override;
   bool AllowCollapse(Process& process, Vpn base) override;
-  void PrepareCollapse(Process& /*process*/, Vpn /*base*/) override {}
+  bool PrepareCollapse(Process& /*process*/, Vpn /*base*/) override { return true; }
   void OnUnregister(Process& process, Vpn start, std::uint64_t pages) override;
   bool Owns(const Process& process, Vpn vpn) const override { return IsSwapped(process, vpn); }
 
@@ -47,6 +47,10 @@ class MemoryCombining final : public FusionEngine {
   [[nodiscard]] std::size_t cache_frames() const { return cache_frames_; }
   [[nodiscard]] bool IsSwapped(const Process& process, Vpn vpn) const;
   [[nodiscard]] const std::vector<FrameId>& cache_backing() const { return cache_backing_; }
+
+  // Machine-wide consistency check: swap map, record store, and cache backing
+  // must all agree. See src/chaos/invariant_auditor.h.
+  void AuditInvariants(AuditContext& ctx) const override;
 
  private:
   struct Record {

@@ -1,6 +1,7 @@
 #include "src/fusion/vusion_engine.h"
 
 #include <chrono>
+#include <string>
 
 #include "src/kernel/idle_tracker.h"
 
@@ -55,14 +56,18 @@ void VUsionEngine::Run() {
   if (SkipWake()) {
     return;
   }
+  // Chaos may be enabled after engine construction; resync the pool's hook here.
+  pool_.set_fault_injector(machine_->chaos());
   // Background deferred-free worker: queued frames re-enter the entropy pool.
   deferred_.Drain(pool_);
   const auto scan_start = std::chrono::steady_clock::now();
+  NotifyPhase(ScanPhase::kQuantumStart);
   if (config_.scan_threads > 1) {
     ScanQuantumPipelined();
   } else {
     ScanQuantumSerial();
   }
+  NotifyPhase(ScanPhase::kQuantumEnd);
   timing_.scan_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - scan_start)
@@ -72,7 +77,14 @@ void VUsionEngine::Run() {
 }
 
 void VUsionEngine::ScanQuantumSerial() {
+  FaultInjector* injector = chaos();
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    // Injected scan interruption: abandon the rest of the quantum (pages not
+    // yet consumed from the cursor are simply picked up next wake).
+    if (injector != nullptr && injector->ShouldFail(FaultSite::kScanInterrupt)) {
+      injector->RecordDegradation();
+      break;
+    }
     Process* process = nullptr;
     Vpn vpn = 0;
     bool wrapped = false;
@@ -92,8 +104,13 @@ void VUsionEngine::ScanQuantumPipelined() {
   // Collect the quantum first; ScanOne mutates only PTEs and frames, never the
   // process/VMA structure the cursor iterates, so the sequence matches the serial
   // interleaving.
+  FaultInjector* injector = chaos();
   batch_.clear();
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
+    if (injector != nullptr && injector->ShouldFail(FaultSite::kScanInterrupt)) {
+      injector->RecordDegradation();
+      break;
+    }
     Process* process = nullptr;
     Vpn vpn = 0;
     bool wrapped = false;
@@ -103,10 +120,13 @@ void VUsionEngine::ScanQuantumPipelined() {
     host::ScanItem item;
     item.process = process;
     item.as = &process->address_space();
+    item.pid = process->id();
     item.vpn = vpn;
     item.wrapped = wrapped;
     batch_.push_back(item);
   }
+  NotifyPhase(ScanPhase::kBatchCollected);
+  PruneDeadItems();
   // Phase-1 filter: hash only pages the serial scan body would hash. The
   // predicate mirrors ScanOne's path to Act (managed pages only relocate,
   // accessed/young candidates are skipped), reading engine state that nothing
@@ -145,13 +165,37 @@ void VUsionEngine::ScanQuantumPipelined() {
         pte.frame + (pte.huge() ? (item.vpn & (kPagesPerHugePage - 1)) : 0);
     return machine_->memory().refcount(frame) == 0;  // fork-shared: kernel's CoW
   };
-  pipeline_.Run(batch_, timing_, filter, [this](host::ScanItem& item) {
-    if (item.wrapped) {
-      ++round_;
-      ++stats_.full_scans;
+  pipeline_.Run(
+      batch_, timing_, filter,
+      [this](host::ScanItem& item) {
+        // A phase hook may have torn the process down after collection; the
+        // cursor-side effects (round wrap) still apply, the page itself is
+        // skipped.
+        if (item.wrapped) {
+          ++round_;
+          ++stats_.full_scans;
+        }
+        if (item.process == nullptr ||
+            machine_->processes()[item.pid] == nullptr) {
+          return;
+        }
+        ScanOne(*item.process, item.vpn);
+      },
+      [this] {
+        NotifyPhase(ScanPhase::kHashed);
+        PruneDeadItems();
+      });
+}
+
+void VUsionEngine::PruneDeadItems() {
+  // Null out batch items whose process died in a phase hook, keeping the items
+  // themselves (their wrapped flags still drive round bookkeeping).
+  for (host::ScanItem& item : batch_) {
+    if (item.process != nullptr && machine_->processes()[item.pid] == nullptr) {
+      item.process = nullptr;
+      item.as = nullptr;
     }
-    ScanOne(*item.process, item.vpn);
-  });
+  }
 }
 
 void VUsionEngine::ScanOne(Process& process, Vpn vpn) {
@@ -241,6 +285,14 @@ void VUsionEngine::Act(Process& process, Vpn vpn, Pte* pte) {
   auto [node, steps] =
       stable_.Find([&](StableEntry* const& e) { return content_.HostOrder(old, e->frame); });
 
+  // Injected merge abort, taking exactly the existing OOM bail-out: the page
+  // stays unmanaged (its candidacy is forgotten) and no state was touched.
+  if (FaultInjector* injector = chaos();
+      injector != nullptr && injector->ShouldFail(FaultSite::kMergeAbort)) {
+    injector->RecordDegradation();
+    pages_[process.id()].erase(vpn);
+    return;
+  }
   const FrameId backing = AllocBacking();
   if (backing == kInvalidFrame) {
     pages_[process.id()].erase(vpn);
@@ -329,13 +381,19 @@ void VUsionEngine::DetachSharer(StableEntry* entry, const Process& process, Vpn 
   }
 }
 
-void VUsionEngine::UnmergeTo(Process& process, Vpn vpn, PageInfo& info,
+bool VUsionEngine::UnmergeTo(Process& process, Vpn vpn, PageInfo& info,
                              std::uint16_t new_flags) {
   StableEntry* entry = info.entry;
   LatencyModel& lm = machine_->latency();
   const FrameId fresh = AllocBacking();
   if (fresh == kInvalidFrame) {
-    return;
+    // Transient OOM (or an injected pool failure): leave the page (fake)
+    // merged — PTE, entry, and refcount are untouched, so the caller can
+    // simply retry later.
+    if (FaultInjector* injector = chaos(); injector != nullptr) {
+      injector->RecordRetry();
+    }
+    return false;
   }
   lm.Charge(lm.config().page_copy_4k);
   machine_->memory().CopyFrame(fresh, entry->frame);
@@ -365,6 +423,7 @@ void VUsionEngine::UnmergeTo(Process& process, Vpn vpn, PageInfo& info,
     }
     delete entry;
   }
+  return true;
 }
 
 bool VUsionEngine::HandleFault(Process& process, const PageFault& fault) {
@@ -380,7 +439,12 @@ bool VUsionEngine::HandleFault(Process& process, const PageFault& fault) {
   const auto flags = static_cast<std::uint16_t>(
       kPtePresent | kPteWritable | kPteAccessed |
       (fault.access == AccessType::kWrite ? kPteDirty : 0));
-  UnmergeTo(process, fault.vpn, it->second, flags);
+  if (!UnmergeTo(process, fault.vpn, it->second, flags)) {
+    // Nothing changed: keep the bookkeeping and claim the fault so the access
+    // retries. Dropping the entry here would strand a managed PTE behind the
+    // kernel's CoW handler and corrupt the shared frame's refcount.
+    return true;
+  }
   pit->second.erase(it);
   ++stats_.unmerges_coa;
   machine_->trace().Emit(machine_->clock().now(), TraceEventType::kUnmergeCoa, process.id(),
@@ -433,10 +497,10 @@ bool VUsionEngine::AllowCollapse(Process& process, Vpn base) {
   return true;
 }
 
-void VUsionEngine::PrepareCollapse(Process& process, Vpn base) {
+bool VUsionEngine::PrepareCollapse(Process& process, Vpn base) {
   const auto pit = pages_.find(process.id());
   if (pit == pages_.end()) {
-    return;
+    return true;
   }
   for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {
     const auto it = pit->second.find(vpn);
@@ -445,11 +509,17 @@ void VUsionEngine::PrepareCollapse(Process& process, Vpn base) {
     }
     if (it->second.managed) {
       // (Fake) unmerge so khugepaged may copy the page into the new huge block.
-      UnmergeTo(process, vpn, it->second, kPtePresent | kPteWritable | kPteAccessed);
+      if (!UnmergeTo(process, vpn, it->second,
+                     kPtePresent | kPteWritable | kPteAccessed)) {
+        // Transient OOM: this subpage is still (fake) merged, so the range
+        // cannot be collapsed. khugepaged simply retries the range later.
+        return false;
+      }
       ++stats_.unmerges_coa;
     }
     pit->second.erase(it);
   }
+  return true;
 }
 
 void VUsionEngine::OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
@@ -463,7 +533,13 @@ void VUsionEngine::OnUnregister(Process& process, Vpn start, std::uint64_t pages
       continue;
     }
     if (it->second.managed) {
-      UnmergeTo(process, vpn, it->second, kPtePresent | kPteWritable | kPteAccessed);
+      if (!UnmergeTo(process, vpn, it->second,
+                     kPtePresent | kPteWritable | kPteAccessed)) {
+        // Transient OOM: keep the page managed (and tracked) rather than
+        // stranding a fused PTE with no bookkeeping; a later access or scan
+        // round unmerges it.
+        continue;
+      }
       ++stats_.unmerges_coa;
     }
     pit->second.erase(it);
@@ -474,6 +550,123 @@ void VUsionEngine::OnProcessDestroy(Process& process) {
   // Managed pages were detached through OnUnmap during teardown; dropping the
   // process's bucket releases any remaining candidate bookkeeping in O(its pages).
   pages_.erase(process.id());
+}
+
+void VUsionEngine::AuditInvariants(AuditContext& ctx) const {
+  const auto& processes = machine_->processes();
+  PhysicalMemory& memory = machine_->memory();
+
+  // Per-process page map: every tracked page belongs to a live process, managed
+  // pages sit behind the exact SB PTE encoding, candidates carry no entry.
+  std::unordered_map<const StableEntry*, std::size_t> tracked_sharers;
+  std::size_t managed_pages = 0;
+  for (const auto& [pid, proc_pages] : pages_) {
+    if (!ctx.Check(pid < processes.size() && processes[pid] != nullptr, [&] {
+          return "vusion: page map holds bucket for dead process " +
+                 std::to_string(pid);
+        })) {
+      continue;
+    }
+    const AddressSpace& as = processes[pid]->address_space();
+    for (const auto& [vpn, info] : proc_pages) {
+      if (!info.managed) {
+        ctx.Check(info.entry == nullptr, [&] {
+          return "vusion: candidate (" + std::to_string(pid) + "," +
+                 std::to_string(vpn) + ") carries a stable entry";
+        });
+        continue;
+      }
+      ++managed_pages;
+      if (!ctx.Check(info.entry != nullptr, [&] {
+            return "vusion: managed page (" + std::to_string(pid) + "," +
+                   std::to_string(vpn) + ") has no stable entry";
+          })) {
+        continue;
+      }
+      ++tracked_sharers[info.entry];
+      const Pte* pte = as.GetPte(vpn);
+      ctx.Check(
+          pte != nullptr && pte->flags == kManagedFlags &&
+              pte->frame == info.entry->frame,
+          [&] {
+            return "vusion: managed page (" + std::to_string(pid) + "," +
+                   std::to_string(vpn) +
+                   ") PTE does not carry the SB encoding for frame " +
+                   std::to_string(info.entry->frame);
+          });
+    }
+  }
+
+  // Stable tree: refcounts, census counts, and sharer lists must agree, and the
+  // sharer lists must be exactly the managed pages above (bijection).
+  std::size_t tree_sharers = 0;
+  stable_.InOrder([&](StableEntry* const& entry) {
+    const std::string frame_str = std::to_string(entry->frame);
+    tree_sharers += entry->sharers.size();
+    ctx.Check(!entry->sharers.empty(), [&] {
+      return "vusion: stable entry for frame " + frame_str + " has no sharers";
+    });
+    ctx.Check(memory.allocated(entry->frame), [&] {
+      return "vusion: stable entry points at free frame " + frame_str;
+    });
+    ctx.Check(memory.refcount(entry->frame) == entry->sharers.size(), [&] {
+      return "vusion: frame " + frame_str + " refcount " +
+             std::to_string(memory.refcount(entry->frame)) + " != " +
+             std::to_string(entry->sharers.size()) + " sharers";
+    });
+    ctx.Check(ctx.mapped(entry->frame) == entry->sharers.size(), [&] {
+      return "vusion: frame " + frame_str + " mapped by " +
+             std::to_string(ctx.mapped(entry->frame)) + " PTEs, " +
+             std::to_string(entry->sharers.size()) + " sharers";
+    });
+    ctx.Check(ctx.writable(entry->frame) == 0, [&] {
+      return "vusion: (fake) merged frame " + frame_str +
+             " has a writable mapping";
+    });
+    const auto it = tracked_sharers.find(entry);
+    ctx.Check(it != tracked_sharers.end() && it->second == entry->sharers.size(),
+              [&] {
+                return "vusion: frame " + frame_str + " tracked by " +
+                       std::to_string(
+                           it == tracked_sharers.end() ? 0 : it->second) +
+                       " page-map entries, " +
+                       std::to_string(entry->sharers.size()) + " sharers";
+              });
+    for (const Sharer& sharer : entry->sharers) {
+      const std::uint32_t pid = sharer.process->id();
+      ctx.Check(pid < processes.size() && processes[pid].get() == sharer.process,
+                [&] {
+        return "vusion: frame " + frame_str +
+               " sharer points at dead process " + std::to_string(pid);
+      });
+    }
+  });
+  ctx.Check(tree_sharers == managed_pages, [&] {
+    return "vusion: tree lists " + std::to_string(tree_sharers) +
+           " sharers but page map tracks " + std::to_string(managed_pages) +
+           " managed pages";
+  });
+
+  // Engine-held reserves: deferred-free frames and pool slots are allocated,
+  // unmapped, refcount-0, and owned by exactly one holder.
+  for (const FrameId frame : deferred_.pending_frames()) {
+    ctx.OwnFrame(frame, "vusion.deferred");
+    ctx.Check(memory.allocated(frame) && memory.refcount(frame) == 0 &&
+                  ctx.mapped(frame) == 0,
+              [&] {
+                return "vusion: deferred-free frame " + std::to_string(frame) +
+                       " is still live (mapped or refcounted)";
+              });
+  }
+  for (const FrameId frame : pool_.slots()) {
+    ctx.OwnFrame(frame, "vusion.pool");
+    ctx.Check(memory.allocated(frame) && memory.refcount(frame) == 0 &&
+                  ctx.mapped(frame) == 0,
+              [&] {
+                return "vusion: pool slot frame " + std::to_string(frame) +
+                       " is still live (mapped or refcounted)";
+              });
+  }
 }
 
 void VUsionEngine::ForEachStableEntry(

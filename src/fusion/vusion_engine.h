@@ -57,7 +57,7 @@ class VUsionEngine final : public FusionEngine {
   bool HandleFault(Process& process, const PageFault& fault) override;
   bool OnUnmap(Process& process, Vpn vpn) override;
   bool AllowCollapse(Process& process, Vpn base) override;
-  void PrepareCollapse(Process& process, Vpn base) override;
+  bool PrepareCollapse(Process& process, Vpn base) override;
   void OnUnregister(Process& process, Vpn start, std::uint64_t pages) override;
   void OnProcessDestroy(Process& process) override;
   bool Owns(const Process& process, Vpn vpn) const override { return IsManaged(process, vpn); }
@@ -69,6 +69,12 @@ class VUsionEngine final : public FusionEngine {
   [[nodiscard]] bool IsShared(const Process& process, Vpn vpn) const;
   [[nodiscard]] std::size_t stable_size() const { return stable_.size(); }
   [[nodiscard]] bool ValidateTree() const { return stable_.ValidateInvariants(); }
+
+  // Machine-wide consistency check: stable tree, per-process page map, deferred
+  // queue, entropy pool, and the kernel's refcounts/PTEs must all agree. See
+  // src/chaos/invariant_auditor.h.
+  void AuditInvariants(AuditContext& ctx) const override;
+
   [[nodiscard]] RandomizedPool& pool() { return pool_; }
   [[nodiscard]] DeferredFreeQueue& deferred_queue() { return deferred_; }
   [[nodiscard]] std::uint64_t round() const { return round_; }
@@ -114,12 +120,17 @@ class VUsionEngine final : public FusionEngine {
   // two-phase parallel pipeline. Both produce bit-identical simulated results.
   void ScanQuantumSerial();
   void ScanQuantumPipelined();
+  // Invalidates batch items whose process a phase hook tore down mid-scan.
+  void PruneDeadItems();
   // Removes all access and (fake) merges the page (the SB-enforcing action).
   void Act(Process& process, Vpn vpn, Pte* pte);
   // Moves an entry's backing to a fresh random frame (per-round re-randomization).
   void RelocateEntry(StableEntry* entry);
-  // Copy-on-access body, shared by the fault handler and PrepareCollapse.
-  void UnmergeTo(Process& process, Vpn vpn, PageInfo& info, std::uint16_t new_flags);
+  // Copy-on-access body, shared by the fault handler and PrepareCollapse. False
+  // means the backing allocation failed transiently and nothing was changed: the
+  // page stays (fake) merged and the caller must not drop its bookkeeping.
+  [[nodiscard]] bool UnmergeTo(Process& process, Vpn vpn, PageInfo& info,
+                               std::uint16_t new_flags);
   void DetachSharer(StableEntry* entry, const Process& process, Vpn vpn);
   FrameId AllocBacking();
 

@@ -46,6 +46,9 @@ void Wpf::Run() {
 
 void Wpf::DoFusionPass() {
   const auto scan_start = std::chrono::steady_clock::now();
+  NotifyPhase(ScanPhase::kQuantumStart);
+  FaultInjector* injector = chaos();
+  linear_.set_fault_injector(injector);
   // MiAllocatePagesForMdl restarts its reclaim scan from the top of memory on
   // every pass - the root of the predictable-reuse behaviour.
   linear_.ResetScan();
@@ -54,13 +57,24 @@ void Wpf::DoFusionPass() {
   // Phase 1: hash every candidate page (WPF has no opt-in; all mapped small pages
   // of every process are candidates).
   std::vector<Candidate> candidates;
+  bool interrupted = false;
   for (const auto& process : machine_->processes()) {
-    if (process == nullptr) {
+    if (process == nullptr || interrupted) {
       continue;
     }
     AddressSpace& as = process->address_space();
     for (const VmArea& vma : as.vmas().areas()) {
+      if (interrupted) {
+        break;
+      }
       for (Vpn vpn = vma.start; vpn < vma.end(); ++vpn) {
+        // Injected scan interruption: the pass proceeds with the candidates
+        // collected so far (the rest wait for the next 15-minute pass).
+        if (injector != nullptr && injector->ShouldFail(FaultSite::kScanInterrupt)) {
+          injector->RecordDegradation();
+          interrupted = true;
+          break;
+        }
         const Pte* pte = as.GetPte(vpn);
         if (pte == nullptr || !pte->present() || pte->huge() || pte->reserved_trap()) {
           continue;
@@ -71,21 +85,32 @@ void Wpf::DoFusionPass() {
         if (machine_->memory().refcount(pte->frame) > 0) {
           continue;  // fork-shared: the kernel owns this CoW state
         }
+        // Injected stale content fingerprint: treat the page as too volatile
+        // to be a candidate this pass.
+        if (injector != nullptr && injector->ShouldFail(FaultSite::kStaleChecksum)) {
+          injector->RecordDegradation();
+          continue;
+        }
         ++stats_.pages_scanned;
         Candidate c;
         c.process = process.get();
+        c.pid = process->id();
         c.vpn = vpn;
         c.frame = pte->frame;
         candidates.push_back(c);
       }
     }
   }
+  NotifyPhase(ScanPhase::kBatchCollected);
+  PruneDeadCandidates(candidates);
   HashCandidates(candidates);
   timing_.scan_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - scan_start)
           .count());
   ++timing_.batches;
+  NotifyPhase(ScanPhase::kHashed);
+  PruneDeadCandidates(candidates);
 
   // The sorted-hash list of Figure 2; ties broken by (process, vpn) so passes are
   // deterministic.
@@ -93,8 +118,8 @@ void Wpf::DoFusionPass() {
     if (a.hash != b.hash) {
       return a.hash < b.hash;
     }
-    if (a.process->id() != b.process->id()) {
-      return a.process->id() < b.process->id();
+    if (a.pid != b.pid) {
+      return a.pid < b.pid;
     }
     return a.vpn < b.vpn;
   });
@@ -202,8 +227,44 @@ void Wpf::DoFusionPass() {
     for (const Candidate* member : groups[g]) {
       MergeIntoCombined(*member, entry);
     }
+    if (entry->refs == 0) {
+      // Every member's merge aborted (pages changed under us / injected
+      // aborts): an unreferenced Combined entry would leak its frame forever.
+      // Undo the insertion entirely.
+      content_.ChargeTreeDescend(trees_[entry->shard]->size());
+      trees_[entry->shard]->RemoveIf([&](Combined* const& e) {
+        if (!content_.byte_ordered()) {
+          if (entry->sort_hash != e->sort_hash) {
+            return entry->sort_hash < e->sort_hash ? -1 : 1;
+          }
+          if (entry->frame != e->frame) {
+            return entry->frame < e->frame ? -1 : 1;
+          }
+          return 0;
+        }
+        return content_.HostOrder(entry->frame, e->frame);
+      });
+      --rmap_bucket_count_;
+      machine_->FlushFrame(entry->frame);
+      lm.Charge(lm.config().buddy_free);
+      machine_->buddy().Free(entry->frame);
+      pass_allocations_.back().pop_back();
+      if (injector != nullptr) {
+        injector->RecordDegradation();
+      }
+      delete entry;
+    }
   }
   ++stats_.full_scans;
+  NotifyPhase(ScanPhase::kQuantumEnd);
+}
+
+void Wpf::PruneDeadCandidates(std::vector<Candidate>& candidates) const {
+  // A phase hook may tear processes down mid-pass; drop their candidates before
+  // anything dereferences the stale Process pointers or recycled frames.
+  std::erase_if(candidates, [this](const Candidate& c) {
+    return machine_->processes()[c.pid] == nullptr;
+  });
 }
 
 void Wpf::HashCandidates(std::vector<Candidate>& candidates) {
@@ -229,6 +290,11 @@ void Wpf::HashCandidates(std::vector<Candidate>& candidates) {
 }
 
 void Wpf::MergeIntoCombined(const Candidate& candidate, Combined* entry) {
+  if (FaultInjector* injector = chaos();
+      injector != nullptr && injector->ShouldFail(FaultSite::kMergeAbort)) {
+    injector->RecordDegradation();
+    return;  // the page stays private; a later pass may retry
+  }
   AddressSpace& as = candidate.process->address_space();
   Pte* pte = as.GetPte(candidate.vpn);
   if (pte == nullptr || !pte->present() || pte->huge() || pte->frame != candidate.frame) {
@@ -307,7 +373,10 @@ bool Wpf::HandleFault(Process& process, const PageFault& fault) {
   lm.Charge(lm.config().buddy_alloc);
   const FrameId fresh = machine_->buddy().Allocate();
   if (fresh == kInvalidFrame) {
-    return false;
+    // Allocation failed (transient or genuine OOM): keep the page fused and
+    // let the access path retry the fault. Returning false would let the
+    // kernel's CoW handler unshare an engine-owned frame behind the rmap.
+    return true;
   }
   lm.Charge(lm.config().page_copy_4k);
   machine_->memory().CopyFrame(fresh, entry->frame);
@@ -355,6 +424,71 @@ bool Wpf::ValidateTrees() const {
     }
   }
   return true;
+}
+
+void Wpf::AuditInvariants(AuditContext& ctx) const {
+  const auto& processes = machine_->processes();
+  PhysicalMemory& memory = machine_->memory();
+
+  std::unordered_map<const Combined*, std::uint32_t> rmap_refs;
+  for (const auto& [key, entry] : rmap_) {
+    const auto pid = static_cast<std::uint32_t>(key >> 40);
+    const Vpn vpn = key ^ (static_cast<std::uint64_t>(pid) << 40);
+    ++rmap_refs[entry];
+    if (!ctx.Check(pid < processes.size() && processes[pid] != nullptr, [&] {
+          return "wpf: rmap entry for dead process " + std::to_string(pid);
+        })) {
+      continue;
+    }
+    const Pte* pte = processes[pid]->address_space().GetPte(vpn);
+    ctx.Check(pte != nullptr && pte->present() && pte->frame == entry->frame,
+              [&] {
+                return "wpf: rmap (" + std::to_string(pid) + "," +
+                       std::to_string(vpn) + ") does not map combined frame " +
+                       std::to_string(entry->frame);
+              });
+    ctx.Check(pte == nullptr || (!pte->writable() && pte->cow()), [&] {
+      return "wpf: fused page (" + std::to_string(pid) + "," +
+             std::to_string(vpn) + ") is not read-only CoW";
+    });
+  }
+
+  std::size_t tree_entries = 0;
+  for (const auto& tree : trees_) {
+    tree->InOrder([&](Combined* const& entry) {
+      ++tree_entries;
+      const std::string frame_str = std::to_string(entry->frame);
+      ctx.Check(entry->refs >= 1, [&] {
+        return "wpf: combined entry for frame " + frame_str + " has zero refs";
+      });
+      ctx.Check(memory.allocated(entry->frame), [&] {
+        return "wpf: combined entry points at free frame " + frame_str;
+      });
+      ctx.Check(memory.refcount(entry->frame) == entry->refs, [&] {
+        return "wpf: frame " + frame_str + " refcount " +
+               std::to_string(memory.refcount(entry->frame)) +
+               " != entry refs " + std::to_string(entry->refs);
+      });
+      ctx.Check(ctx.mapped(entry->frame) == entry->refs, [&] {
+        return "wpf: frame " + frame_str + " mapped by " +
+               std::to_string(ctx.mapped(entry->frame)) + " PTEs, entry refs " +
+               std::to_string(entry->refs);
+      });
+      ctx.Check(ctx.writable(entry->frame) == 0, [&] {
+        return "wpf: fused frame " + frame_str + " has a writable mapping";
+      });
+      const auto it = rmap_refs.find(entry);
+      ctx.Check(it != rmap_refs.end() && it->second == entry->refs, [&] {
+        return "wpf: frame " + frame_str + " rmap count " +
+               std::to_string(it == rmap_refs.end() ? 0 : it->second) +
+               " != entry refs " + std::to_string(entry->refs);
+      });
+    });
+  }
+  ctx.Check(tree_entries == rmap_bucket_count_, [&] {
+    return "wpf: trees hold " + std::to_string(tree_entries) +
+           " entries but bucket count is " + std::to_string(rmap_bucket_count_);
+  });
 }
 
 }  // namespace vusion

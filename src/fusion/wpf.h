@@ -38,7 +38,7 @@ class Wpf final : public FusionEngine {
   bool HandleFault(Process& process, const PageFault& fault) override;
   bool OnUnmap(Process& process, Vpn vpn) override;
   bool AllowCollapse(Process& process, Vpn base) override;
-  void PrepareCollapse(Process& /*process*/, Vpn /*base*/) override {}
+  bool PrepareCollapse(Process& /*process*/, Vpn /*base*/) override { return true; }
   bool Owns(const Process& process, Vpn vpn) const override {
     return rmap_.contains(KeyOf(process, vpn));
   }
@@ -51,6 +51,10 @@ class Wpf final : public FusionEngine {
   [[nodiscard]] std::size_t combined_pages() const { return rmap_bucket_count_; }
   [[nodiscard]] bool IsMerged(const Process& process, Vpn vpn) const;
   [[nodiscard]] bool ValidateTrees() const;
+
+  // Machine-wide consistency check: shard trees, rmap, and the kernel's
+  // refcounts/PTEs must all agree. See src/chaos/invariant_auditor.h.
+  void AuditInvariants(AuditContext& ctx) const override;
 
   // Runs one full fusion pass immediately (benches drive passes explicitly).
   void RunPassNow() { DoFusionPass(); }
@@ -76,6 +80,7 @@ class Wpf final : public FusionEngine {
   struct Candidate {
     std::uint64_t hash = 0;
     Process* process = nullptr;
+    std::uint32_t pid = 0;  // stable identity even if the process dies mid-pass
     Vpn vpn = 0;
     FrameId frame = kInvalidFrame;
   };
@@ -85,6 +90,8 @@ class Wpf final : public FusionEngine {
   }
 
   void DoFusionPass();
+  // Drops candidates whose process a phase hook tore down mid-pass.
+  void PruneDeadCandidates(std::vector<Candidate>& candidates) const;
   // Fills every candidate's hash, charging content_.Hash in candidate order. With
   // scan_threads>1 the host hash values are precomputed in parallel first (phase
   // 1); the charge stream is identical either way.

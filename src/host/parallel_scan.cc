@@ -40,7 +40,8 @@ void ParallelScanPipeline::ResolveAndPeek(ScanItem& item, const Phase1Filter& fi
 
 void ParallelScanPipeline::Run(std::vector<ScanItem>& items, ScanTiming& timing,
                                const Phase1Filter& filter,
-                               const std::function<void(ScanItem&)>& merge_one) {
+                               const std::function<void(ScanItem&)>& merge_one,
+                               const std::function<void()>& between_phases) {
   // Phase 1: shard the quantum across workers; each chunk only reads simulated
   // state and writes its own disjoint items.
   std::atomic<std::uint64_t> phase1_ns{0};
@@ -58,6 +59,10 @@ void ParallelScanPipeline::Run(std::vector<ScanItem>& items, ScanTiming& timing,
   }
   timing.phase1_ns += phase1_ns.load(std::memory_order_relaxed);
   timing.items += items.size();
+
+  if (between_phases) {
+    between_phases();
+  }
 
   // Phase 2: serial canonical-order merge. Priming right before each page keeps
   // the snapshot's generation check maximally fresh; the engine body then runs

@@ -37,6 +37,7 @@ namespace host {
 struct ScanItem {
   Process* process = nullptr;       // engine cookie; filters may read it (immutable fields only)
   const AddressSpace* as = nullptr; // PTE resolution target; null if frame is preset
+  std::uint32_t pid = 0;            // process id, valid even after the process dies
   Vpn vpn = 0;
   bool wrapped = false;             // cursor completed a full round before this page
   std::size_t index = 0;            // engine cookie (e.g. candidate array position)
@@ -71,9 +72,14 @@ class ParallelScanPipeline {
   // Runs both phases over `items` and invokes merge_one(item) serially for every
   // item, in order. Timing for the phase-1 chunks is accumulated into `timing`
   // (the engine wraps the whole scan section for scan_ns itself).
+  // `between_phases`, when set, fires on the calling thread after all phase-1
+  // workers have joined and before the first merge — the engine uses it to
+  // announce the kHashed scan-phase boundary (a hook there may tear down
+  // processes, so the engine's merge body re-validates each item).
   void Run(std::vector<ScanItem>& items, ScanTiming& timing,
            const Phase1Filter& filter,
-           const std::function<void(ScanItem&)>& merge_one);
+           const std::function<void(ScanItem&)>& merge_one,
+           const std::function<void()>& between_phases = nullptr);
 
  private:
   void ResolveAndPeek(ScanItem& item, const Phase1Filter& filter) const;

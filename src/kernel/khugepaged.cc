@@ -86,7 +86,9 @@ bool Khugepaged::TryCollapse(Process& process, Vpn base) {
     if (!policy->AllowCollapse(process, base)) {
       return false;
     }
-    policy->PrepareCollapse(process, base);
+    if (!policy->PrepareCollapse(process, base)) {
+      return false;  // unmerge incomplete (e.g. transient OOM): abandon collapse
+    }
   }
   // Re-verify after preparation: all subpages must now be plain, exclusive pages.
   for (Vpn vpn = base; vpn < base + kPagesPerHugePage; ++vpn) {

@@ -25,6 +25,8 @@ Machine::Machine(const MachineConfig& config) : config_(config), rng_(config.see
   fault_count_demand_zero_ = &metrics_.GetCounter("fault.count", {{"kind", "demand_zero"}});
   fault_count_cow_ = &metrics_.GetCounter("fault.count", {{"kind", "cow"}});
   fault_count_unresolved_ = &metrics_.GetCounter("fault.count", {{"kind", "unresolved"}});
+  fault_count_transient_ = &metrics_.GetCounter("fault.count", {{"kind", "transient"}});
+  fault_count_spurious_ = &metrics_.GetCounter("fault.count", {{"kind", "spurious"}});
   fault_latency_policy_ = &metrics_.GetHistogram("fault.latency_ns", {{"kind", "policy"}});
   fault_latency_demand_zero_ =
       &metrics_.GetHistogram("fault.latency_ns", {{"kind", "demand_zero"}});
@@ -32,6 +34,19 @@ Machine::Machine(const MachineConfig& config) : config_(config), rng_(config.see
 }
 
 Machine::~Machine() = default;
+
+FaultInjector& Machine::EnableChaos(const ChaosConfig& config) {
+  chaos_ = std::make_unique<FaultInjector>(config);
+  buddy_->set_fault_injector(chaos_.get());
+  return *chaos_;
+}
+
+FaultInjector& Machine::EnableChaosWithSchedule(const ChaosConfig& config,
+                                                const std::vector<FaultRecord>& schedule) {
+  chaos_ = std::make_unique<FaultInjector>(config, schedule);
+  buddy_->set_fault_injector(chaos_.get());
+  return *chaos_;
+}
 
 host::ThreadPool* Machine::HostPool(std::size_t threads) {
   if (threads <= 1) {
@@ -236,6 +251,9 @@ MetricsSnapshot Machine::CollectMetrics() {
   }
   metrics_.GetCounter("trace.emitted").Set(trace_.total_emitted());
   metrics_.GetCounter("trace.dropped").Set(trace_.dropped());
+  if (chaos_ != nullptr) {
+    chaos_->ExportMetrics(metrics_);
+  }
   return metrics_.Snapshot();
 }
 

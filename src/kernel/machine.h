@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/cache/llc.h"
+#include "src/chaos/fault_injector.h"
 #include "src/dram/rowhammer.h"
 #include "src/kernel/daemon.h"
 #include "src/kernel/sharing_policy.h"
@@ -64,6 +65,17 @@ class Machine {
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] TraceBuffer& trace() { return trace_; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  // --- Chaos (deterministic fault injection; see src/chaos/) ---
+
+  // Installs a fault injector (probabilistic mode) and wires it into the buddy
+  // allocator. Engines pick it up at their next Run(). Null until enabled, and
+  // every injection site no-ops on null, so chaos-off runs are bit-identical.
+  FaultInjector& EnableChaos(const ChaosConfig& config);
+  // Replay mode: exactly the given (site, visit) schedule fires.
+  FaultInjector& EnableChaosWithSchedule(const ChaosConfig& config,
+                                         const std::vector<FaultRecord>& schedule);
+  [[nodiscard]] FaultInjector* chaos() { return chaos_.get(); }
 
   // Lazily-created host worker pool for the parallel scan pipeline (host-side
   // wall-clock machinery only; never touches simulated state). Returns null for
@@ -143,7 +155,9 @@ class Machine {
  private:
   friend class Process;
 
-  enum class DefaultFaultOutcome { kUnhandled, kDemandZero, kCow };
+  // kTransient: an allocation failed while free frames remain (injected OOM);
+  // the fault is left unresolved so the access path retries it.
+  enum class DefaultFaultOutcome { kUnhandled, kDemandZero, kCow, kTransient };
 
   // Charges fault entry cost and dispatches to the policy, then the default
   // handler. Throws std::runtime_error on an unresolvable fault.
@@ -167,6 +181,7 @@ class Machine {
   std::vector<Daemon*> daemons_;
   std::unique_ptr<Khugepaged> khugepaged_;
   std::unique_ptr<host::ThreadPool> host_pool_;
+  std::unique_ptr<FaultInjector> chaos_;
   TraceBuffer trace_;
   std::uint64_t total_faults_ = 0;
   bool in_daemon_ = false;  // prevents daemon re-entry from daemon-issued work
@@ -178,6 +193,8 @@ class Machine {
   Counter* fault_count_demand_zero_ = nullptr;
   Counter* fault_count_cow_ = nullptr;
   Counter* fault_count_unresolved_ = nullptr;
+  Counter* fault_count_transient_ = nullptr;
+  Counter* fault_count_spurious_ = nullptr;
   HistogramMetric* fault_latency_policy_ = nullptr;
   HistogramMetric* fault_latency_demand_zero_ = nullptr;
   HistogramMetric* fault_latency_cow_ = nullptr;

@@ -152,6 +152,14 @@ void Machine::HandleFault(Process& process, const PageFault& fault) {
   ++total_faults_;
   trace_.Emit(clock_.now(), TraceEventType::kFault, process.id(), fault.vpn,
               fault.pte.frame);
+  // Injected spurious fault: the handler returns without resolving anything,
+  // modeling the hardware-retry races real kernels tolerate (the access path
+  // simply walks and faults again).
+  if (chaos_ != nullptr && chaos_->ShouldFail(FaultSite::kSpuriousFault)) {
+    fault_count_spurious_->Add();
+    chaos_->RecordRetry();
+    return;
+  }
   Counter* count = nullptr;
   HistogramMetric* latency_hist = nullptr;
   if (policy_ != nullptr && policy_->HandleFault(process, fault)) {
@@ -167,6 +175,14 @@ void Machine::HandleFault(Process& process, const PageFault& fault) {
         count = fault_count_cow_;
         latency_hist = fault_latency_cow_;
         break;
+      case DefaultFaultOutcome::kTransient:
+        // Allocation failed but free frames remain (injected OOM): leave the
+        // fault unresolved and let the access path retry.
+        fault_count_transient_->Add();
+        if (chaos_ != nullptr) {
+          chaos_->RecordRetry();
+        }
+        return;
       case DefaultFaultOutcome::kUnhandled:
         fault_count_unresolved_->Add();
         throw std::runtime_error("unhandled page fault");
@@ -192,7 +208,11 @@ Machine::DefaultFaultOutcome Machine::HandleFaultDefault(Process& process,
     }
     const FrameId frame = buddy_->Allocate();
     if (frame == kInvalidFrame) {
-      return DefaultFaultOutcome::kUnhandled;  // OOM
+      // Free frames remaining means the failure was injected, not genuine
+      // exhaustion — retryable. (An order-0 buddy allocation can only fail for
+      // real when free_count() == 0.)
+      return buddy_->free_count() > 0 ? DefaultFaultOutcome::kTransient
+                                      : DefaultFaultOutcome::kUnhandled;  // OOM
     }
     latency_->Charge(lc.buddy_alloc);
     memory_->FillZero(frame);
@@ -213,7 +233,8 @@ Machine::DefaultFaultOutcome Machine::HandleFaultDefault(Process& process,
       latency_->Charge(lc.buddy_alloc);
       const FrameId fresh = buddy_->Allocate();
       if (fresh == kInvalidFrame) {
-        return DefaultFaultOutcome::kUnhandled;
+        return buddy_->free_count() > 0 ? DefaultFaultOutcome::kTransient
+                                        : DefaultFaultOutcome::kUnhandled;
       }
       latency_->Charge(lc.page_copy_4k);
       memory_->CopyFrame(fresh, shared);

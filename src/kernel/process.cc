@@ -55,6 +55,9 @@ void Process::MadviseUnmergeable(VirtAddr vaddr, std::uint64_t pages) {
 }
 
 void Process::SetupMapPattern(Vpn vpn, std::uint64_t seed) {
+  // Setup scaffolding asserts on OOM, so it is exempt from fault injection
+  // (like the page-table __GFP_NOFAIL path).
+  const FaultInjector::ScopedSuppress no_chaos;
   const FrameId frame = machine_->buddy().Allocate();
   assert(frame != kInvalidFrame && "machine out of memory during setup");
   machine_->memory().FillPattern(frame, seed);
@@ -62,6 +65,7 @@ void Process::SetupMapPattern(Vpn vpn, std::uint64_t seed) {
 }
 
 void Process::SetupMapZero(Vpn vpn) {
+  const FaultInjector::ScopedSuppress no_chaos;
   const FrameId frame = machine_->buddy().Allocate();
   assert(frame != kInvalidFrame && "machine out of memory during setup");
   machine_->memory().FillZero(frame);

@@ -29,8 +29,10 @@ class SharingPolicy {
   virtual bool AllowCollapse(Process& process, Vpn base) = 0;
 
   // Called right before a permitted collapse so the policy can (fake) unmerge any
-  // managed subpages (VUsion's secured khugepaged, paper §8.2).
-  virtual void PrepareCollapse(Process& process, Vpn base) = 0;
+  // managed subpages (VUsion's secured khugepaged, paper §8.2). Returns false when
+  // the unmerge could not complete (e.g. transient allocation failure); the
+  // collapse must then be abandoned.
+  virtual bool PrepareCollapse(Process& process, Vpn base) = 0;
 
   // madvise(MADV_UNMERGEABLE): the range leaves the fusion system; every managed
   // page in it must be given back a private, fully-accessible copy.

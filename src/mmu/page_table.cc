@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/chaos/fault_injector.h"
+
 namespace vusion {
 
 PageTable::PageTable(FrameAllocator& allocator, PhysicalMemory& memory)
@@ -18,6 +20,10 @@ PageTable::~PageTable() {
 std::unique_ptr<PageTable::Node> PageTable::NewNode(int level) {
   auto node = std::make_unique<Node>();
   node->level = level;
+  // Page-table node allocations are the simulator's __GFP_NOFAIL path: the
+  // kernel cannot tolerate losing a translation level, so fault injection is
+  // suppressed here (the allocation still fails on genuine exhaustion).
+  const FaultInjector::ScopedSuppress no_chaos;
   node->frame = allocator_->Allocate();
   assert(node->frame != kInvalidFrame && "out of memory for page tables");
   if (level > 0) {

@@ -27,6 +27,14 @@ class Tlb {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 
+  // Visits every cached translation (no LRU side effects); audit use only.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& entry : lru_) {
+      fn(entry.vpn, entry.pte);
+    }
+  }
+
  private:
   struct Entry {
     Vpn vpn;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/chaos/fault_injector.h"
+
 namespace vusion {
 
 BuddyAllocator::BuddyAllocator(PhysicalMemory& memory)
@@ -53,6 +55,14 @@ void BuddyAllocator::MarkRangeFree(FrameId start, std::size_t order) {
 
 FrameId BuddyAllocator::AllocateOrder(std::size_t order) {
   assert(order <= kMaxBuddyOrder);
+  // Injected transient failure: fail before touching any free list so the
+  // allocator state is exactly as if the call never happened. Because a real
+  // order-0 failure implies free_frames_ == 0, callers can tell an injected
+  // failure apart by seeing free_count() > 0 and treat it as retryable.
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kBuddyAlloc)) {
+    ++failed_alloc_count_;
+    return kInvalidFrame;
+  }
   std::size_t have = order;
   while (have <= kMaxBuddyOrder && free_lists_[have].empty()) {
     ++have;

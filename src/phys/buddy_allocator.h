@@ -15,12 +15,18 @@
 
 namespace vusion {
 
+class FaultInjector;
+
 constexpr std::size_t kMaxBuddyOrder = 10;  // up to 4 MB blocks, like Linux MAX_ORDER
 
 class BuddyAllocator final : public FrameAllocator {
  public:
   // Manages frames [0, memory.frame_count()). All frames start free.
   explicit BuddyAllocator(PhysicalMemory& memory);
+
+  // Optional chaos hook: when set, AllocateOrder may fail transiently even with
+  // free memory (simulated OOM). Null disables injection entirely.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   FrameId Allocate() override;
   void Free(FrameId frame) override;
@@ -60,6 +66,7 @@ class BuddyAllocator final : public FrameAllocator {
   void MarkRangeFree(FrameId start, std::size_t order);
 
   PhysicalMemory* memory_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::vector<FrameId>> free_lists_;  // per order, LIFO
   // For each frame: if it heads a free block, that block's order; else kNotFreeHead.
   std::vector<std::uint8_t> head_order_;

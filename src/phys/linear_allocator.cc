@@ -1,5 +1,7 @@
 #include "src/phys/linear_allocator.h"
 
+#include "src/chaos/fault_injector.h"
+
 namespace vusion {
 
 LinearAllocator::LinearAllocator(BuddyAllocator& buddy, PhysicalMemory& memory)
@@ -18,6 +20,12 @@ std::vector<FrameId> LinearAllocator::AllocateRunWithSteal(
   while (frames.size() < count && cursor_ > 0) {
     const FrameId candidate = cursor_ - 1;
     --cursor_;
+    // Injected failure: this candidate becomes a hole (as if unreclaimable),
+    // the scan degrades to a shorter / more fragmented run.
+    if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kLinearAlloc)) {
+      injector_->RecordDegradation();
+      continue;
+    }
     if (buddy_->AllocateSpecific(candidate)) {
       frames.push_back(candidate);
       continue;

@@ -16,11 +16,17 @@
 
 namespace vusion {
 
+class FaultInjector;
+
 class LinearAllocator final : public FrameAllocator {
  public:
   // Claims frames out of the buddy allocator's inventory so the two cannot hand out
   // the same frame twice.
   explicit LinearAllocator(BuddyAllocator& buddy, PhysicalMemory& memory);
+
+  // Optional chaos hook: injected failures turn individual candidate frames into
+  // holes, shortening runs the way unreclaimable pages do.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Starts a new scan from the end of physical memory (called once per fusion pass).
   void ResetScan();
@@ -42,6 +48,7 @@ class LinearAllocator final : public FrameAllocator {
  private:
   BuddyAllocator* buddy_;
   PhysicalMemory* memory_;
+  FaultInjector* injector_ = nullptr;
   FrameId cursor_;  // next frame to examine (scans downward)
 };
 

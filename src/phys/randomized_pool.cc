@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/chaos/fault_injector.h"
+
 namespace vusion {
 
 RandomizedPool::RandomizedPool(FrameAllocator& backing, std::size_t pool_size, Rng rng)
@@ -10,7 +12,14 @@ RandomizedPool::RandomizedPool(FrameAllocator& backing, std::size_t pool_size, R
   for (std::size_t i = 0; i < pool_size; ++i) {
     const FrameId f = backing_->Allocate();
     if (f == kInvalidFrame) {
-      break;
+      // A genuine order-0 failure means memory is exhausted; stop filling. A
+      // transient (injected) failure leaves free frames behind — skip just
+      // this slot instead of abandoning the whole fill, which would collapse
+      // the pool's entropy for the lifetime of the engine.
+      if (backing_->free_count() == 0) {
+        break;
+      }
+      continue;
     }
     slots_.push_back(f);
   }
@@ -23,6 +32,10 @@ RandomizedPool::~RandomizedPool() {
 }
 
 FrameId RandomizedPool::Allocate() {
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kPoolAlloc)) {
+    injector_->RecordDegradation();
+    return kInvalidFrame;
+  }
   if (slots_.empty()) {
     last_slot_fraction_ = -1.0;
     ++bypass_count_;

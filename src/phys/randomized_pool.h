@@ -15,12 +15,18 @@
 
 namespace vusion {
 
+class FaultInjector;
+
 class RandomizedPool final : public FrameAllocator {
  public:
   // Reserves up to pool_size frames from the buddy allocator (fewer if memory is
   // tight; the effective entropy shrinks accordingly).
   RandomizedPool(FrameAllocator& backing, std::size_t pool_size, Rng rng);
   ~RandomizedPool() override;
+
+  // Optional chaos hook: injected failures make a draw fail outright (the
+  // caller sees a transient OOM and must degrade gracefully).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Draws a uniformly random frame from the pool and refills the slot from the buddy
   // allocator. Falls back to a plain buddy allocation if the pool is empty.
@@ -51,6 +57,7 @@ class RandomizedPool final : public FrameAllocator {
 
  private:
   FrameAllocator* backing_;
+  FaultInjector* injector_ = nullptr;
   Rng rng_;
   std::vector<FrameId> slots_;
   double last_slot_fraction_ = -1.0;

@@ -1,0 +1,169 @@
+// Allocator fault-path regressions: an injected (transient) allocation failure
+// must leave the allocator exactly as if the call never happened — no
+// partially-updated free lists, no frames lost, no double-resident pool slots.
+// Exercises both the explicit-schedule injector (pinpoint failures) and
+// probabilistic churn.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/chaos/fault_injector.h"
+#include "src/phys/buddy_allocator.h"
+#include "src/phys/physical_memory.h"
+#include "src/phys/randomized_pool.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+namespace {
+
+TEST(AllocatorFaultTest, InjectedBuddyFailureLeavesStateUntouched) {
+  PhysicalMemory memory(1u << 10);
+  BuddyAllocator buddy(memory);
+  ChaosConfig config;
+  // Fire exactly visits 0 and 2 of the buddy-alloc site.
+  FaultInjector injector(config, {{FaultSite::kBuddyAlloc, 0},
+                                  {FaultSite::kBuddyAlloc, 2}});
+  buddy.set_fault_injector(&injector);
+
+  const std::size_t free_before = buddy.free_count();
+  EXPECT_EQ(buddy.Allocate(), kInvalidFrame);  // visit 0: injected
+  EXPECT_EQ(buddy.free_count(), free_before);  // failed call touched nothing
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  EXPECT_EQ(buddy.failed_alloc_count(), 1u);
+  // The failure is recognizably transient: memory is demonstrably not exhausted.
+  EXPECT_GT(buddy.free_count(), 0u);
+
+  const FrameId frame = buddy.Allocate();  // visit 1: succeeds normally
+  ASSERT_NE(frame, kInvalidFrame);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+
+  EXPECT_EQ(buddy.AllocateOrder(3), kInvalidFrame);  // visit 2: injected
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  EXPECT_EQ(buddy.free_count(), free_before - 1);
+
+  buddy.Free(frame);
+  EXPECT_EQ(buddy.free_count(), free_before);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  EXPECT_EQ(injector.visits(FaultSite::kBuddyAlloc), 3u);
+  EXPECT_EQ(injector.injected(FaultSite::kBuddyAlloc), 2u);
+}
+
+TEST(AllocatorFaultTest, BuddyChurnUnderProbabilisticInjectionStaysConsistent) {
+  constexpr FrameId kFrames = 1u << 12;
+  PhysicalMemory memory(kFrames);
+  BuddyAllocator buddy(memory);
+  ChaosConfig config;
+  config.seed = 42;
+  config.SetRate(FaultSite::kBuddyAlloc, 0.25);
+  FaultInjector injector(config);
+  buddy.set_fault_injector(&injector);
+
+  Rng rng(7);
+  std::vector<std::pair<FrameId, std::size_t>> blocks;  // (start, order)
+  for (int step = 0; step < 4000; ++step) {
+    if (blocks.empty() || rng.NextBool(0.6)) {
+      const std::size_t order = rng.NextBelow(4);
+      const FrameId start = buddy.AllocateOrder(order);
+      if (start != kInvalidFrame) {
+        blocks.emplace_back(start, order);
+      }
+    } else {
+      const std::size_t idx = rng.NextBelow(blocks.size());
+      buddy.FreeOrder(blocks[idx].first, blocks[idx].second);
+      blocks[idx] = blocks.back();
+      blocks.pop_back();
+    }
+    if (step % 256 == 0) {
+      ASSERT_TRUE(buddy.ValidateInvariants()) << "step " << step;
+    }
+  }
+  EXPECT_GT(injector.injected(FaultSite::kBuddyAlloc), 0u);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+
+  // Returning every surviving block reconstitutes all of memory: an injected
+  // failure never leaked a frame or half-split a block.
+  for (const auto& [start, order] : blocks) {
+    buddy.FreeOrder(start, order);
+  }
+  EXPECT_TRUE(buddy.ValidateInvariants());
+  EXPECT_EQ(buddy.free_count(), static_cast<std::size_t>(kFrames));
+}
+
+TEST(AllocatorFaultTest, PoolDrawFailureIsTransientAndKeepsAccounting) {
+  PhysicalMemory memory(1u << 10);
+  BuddyAllocator buddy(memory);
+  RandomizedPool pool(buddy, 64, Rng(3));
+  ASSERT_EQ(pool.pool_size(), 64u);
+  ChaosConfig config;
+  FaultInjector injector(config, {{FaultSite::kPoolAlloc, 0}});
+  pool.set_fault_injector(&injector);
+
+  EXPECT_EQ(pool.Allocate(), kInvalidFrame);  // injected: caller must degrade
+  EXPECT_EQ(pool.pool_size(), 64u);           // reserve untouched by the failure
+  EXPECT_EQ(injector.degradations(), 1u);
+
+  const FrameId drawn = pool.Allocate();  // visit 1: a normal randomized draw
+  ASSERT_NE(drawn, kInvalidFrame);
+  EXPECT_EQ(pool.pool_size(), 64u);  // slot refilled from the buddy
+  const std::vector<FrameId>& slots = pool.slots();
+  EXPECT_EQ(std::count(slots.begin(), slots.end(), drawn), 0)
+      << "drawn frame still resident in the pool";
+  const std::set<FrameId> distinct(slots.begin(), slots.end());
+  EXPECT_EQ(distinct.size(), slots.size()) << "duplicate pool slot";
+  pool.Free(drawn);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+}
+
+TEST(AllocatorFaultTest, PoolShrinksWhenBackingRefillFails) {
+  PhysicalMemory memory(256);
+  BuddyAllocator buddy(memory);
+  RandomizedPool pool(buddy, 32, Rng(5));
+  ASSERT_EQ(pool.pool_size(), 32u);
+  ChaosConfig config;
+  // Injector on the BACKING allocator: the draw itself succeeds but the slot
+  // refill fails, so the pool must shed entropy instead of corrupting a slot.
+  FaultInjector injector(config, {{FaultSite::kBuddyAlloc, 0},
+                                  {FaultSite::kBuddyAlloc, 1}});
+  buddy.set_fault_injector(&injector);
+
+  const FrameId first = pool.Allocate();
+  ASSERT_NE(first, kInvalidFrame);
+  EXPECT_EQ(pool.pool_size(), 31u);
+  const FrameId second = pool.Allocate();
+  ASSERT_NE(second, kInvalidFrame);
+  EXPECT_EQ(pool.pool_size(), 30u);
+
+  const std::vector<FrameId>& slots = pool.slots();
+  EXPECT_EQ(std::count(slots.begin(), slots.end(), first), 0);
+  EXPECT_EQ(std::count(slots.begin(), slots.end(), second), 0);
+  const std::set<FrameId> distinct(slots.begin(), slots.end());
+  EXPECT_EQ(distinct.size(), slots.size());
+  pool.Free(first);
+  pool.Free(second);
+  EXPECT_TRUE(buddy.ValidateInvariants());
+}
+
+TEST(AllocatorFaultTest, ScopedSuppressExemptsMustNotFailPaths) {
+  ChaosConfig config;
+  config.SetRate(FaultSite::kBuddyAlloc, 1.0);
+  FaultInjector injector(config);
+  {
+    FaultInjector::ScopedSuppress suppress;
+    EXPECT_FALSE(injector.ShouldFail(FaultSite::kBuddyAlloc));
+    // Suppressed queries consume no visit ordinal, so they cannot shift the
+    // schedule of the surrounding run.
+    EXPECT_EQ(injector.visits(FaultSite::kBuddyAlloc), 0u);
+  }
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kBuddyAlloc));  // rate 1.0
+  EXPECT_EQ(injector.visits(FaultSite::kBuddyAlloc), 1u);
+  EXPECT_EQ(injector.injected_schedule().size(), 1u);
+  EXPECT_EQ(injector.injected_schedule().front(),
+            (FaultRecord{FaultSite::kBuddyAlloc, 0}));
+}
+
+}  // namespace
+}  // namespace vusion

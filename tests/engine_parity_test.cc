@@ -8,11 +8,23 @@
 #include <cstdlib>
 #include <map>
 
+#include "src/chaos/invariant_auditor.h"
 #include "src/fusion/engine_factory.h"
 #include "src/kernel/process.h"
 
 namespace vusion {
 namespace {
+
+// Post-run oracle: the whole machine (PTEs, refcounts, TLBs, caches, engine
+// structures) must be consistent after any workload.
+void ExpectAuditClean(Machine& machine, FusionEngine* engine) {
+  InvariantAuditor auditor(machine);
+  const AuditReport report = auditor.Audit(engine);
+  EXPECT_GT(report.checks, 0u);
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
+}
 
 struct ParityParam {
   EngineKind kind;
@@ -112,6 +124,7 @@ TEST_P(EngineParityTest, RandomWorkloadReadsBackWrites) {
     // Savings accounting sanity: saved frames never exceed total mergeable pages.
     EXPECT_LE(engine->frames_saved(), kProcesses * kPagesPerProcess);
   }
+  ExpectAuditClean(machine, engine.get());
 }
 
 std::string ParamName(const ::testing::TestParamInfo<ParityParam>& info) {
@@ -199,6 +212,7 @@ FingerprintResult RunFingerprintScenario(EngineKind kind, bool byte_ordered) {
   result.full_scans = stats.full_scans;
   result.frames_saved = engine->frames_saved();
   result.final_time = machine.clock().now();
+  ExpectAuditClean(machine, engine.get());
   return result;
 }
 
@@ -314,6 +328,7 @@ ThreadedResult RunThreadedScenario(EngineKind kind, std::uint64_t seed,
   result.base.frames_saved = engine->frames_saved();
   result.base.final_time = machine.clock().now();
   result.trace = machine.trace().Events();
+  ExpectAuditClean(machine, engine.get());
   return result;
 }
 

@@ -105,7 +105,10 @@ class VetoPolicy final : public SharingPolicy {
     ++asked;
     return allow;
   }
-  void PrepareCollapse(Process&, Vpn) override { ++prepared; }
+  bool PrepareCollapse(Process&, Vpn) override {
+    ++prepared;
+    return true;
+  }
 
   bool allow = false;
   int asked = 0;

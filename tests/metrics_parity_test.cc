@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "src/chaos/invariant_auditor.h"
 #include "src/workload/scenario.h"
 
 namespace vusion {
@@ -52,6 +53,15 @@ SimResult RunScenario(EngineKind kind, bool metrics_enabled) {
   result.trace_total = scenario.machine().trace().total_emitted();
   result.trace_dropped = scenario.machine().trace().dropped();
   result.events = scenario.machine().trace().Events();
+
+  // Post-run oracle: the machine must end in a globally consistent state
+  // regardless of whether telemetry was recording.
+  InvariantAuditor auditor(scenario.machine());
+  const AuditReport report = auditor.Audit(scenario.engine());
+  EXPECT_GT(report.checks, 0u);
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
   return result;
 }
 
