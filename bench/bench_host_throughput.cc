@@ -1,8 +1,17 @@
 // Host (wall-clock) scan throughput. Two experiments, one JSON:
 //
-// 1. Fingerprint-ordered trees versus the byte-ordered ablation
-//    (FusionConfig::byte_ordered_trees) on the diverse-VM scenario. Best-of-3
-//    wall time per (engine, mode) so scheduler jitter cannot invert the ratio.
+// 1. Three scan modes on the diverse-VM scenario, best-of-N wall time per
+//    (engine, mode) so scheduler jitter cannot invert the ratios:
+//      byte-ordered — the ablation (FusionConfig::byte_ordered_trees);
+//      fingerprint  — fingerprint-ordered trees (the committed baseline);
+//      delta        — fingerprint trees plus the epoch-based pass cache
+//                     (FusionConfig::delta_scan): steady-state passes replay
+//                     recorded conclusions for unchanged pages instead of
+//                     resolving, hashing, and descending the trees.
+//    The delta mode's simulated outcome must be bit-identical to the
+//    fingerprint mode's (the replay-ledger contract; delta_scan_test proves
+//    stats/trace/timestamps equality, the bench re-checks the stats here and
+//    aborts loudly on any divergence).
 //
 // 2. A --threads sweep (default 1,2,4,8) of the parallel scan pipeline
 //    (FusionConfig::scan_threads) on a churn variant of the same scenario where
@@ -19,8 +28,14 @@
 // unchanged, sharded phase divided across workers). The JSON records which
 // basis ("measured" when host_cpus >= threads, else "projected") produced the
 // headline. Results go to stdout and BENCH_host_throughput.json.
+//
+// --quick shrinks the run for CI regression gating (1 repeat, shorter simulated
+// windows, a 1,8 thread sweep). Rates and speedup ratios stay comparable to the
+// full run; absolute page counts do not — tools/bench_diff.py compares only the
+// ratio tables for exactly this reason.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -36,8 +51,11 @@ namespace {
 
 constexpr std::size_t kVms = 4;            // 2-4 VMs per the harness spec
 constexpr std::size_t kGuestPages = 4096;  // 16 MB guests
-constexpr SimTime kRunTime = 120 * kSecond;
-constexpr int kRepeats = 3;  // best-of-3: min wall time per configuration
+
+// Full-run defaults; --quick shrinks them for the CI regression gate.
+SimTime g_run_time = 120 * kSecond;
+int g_repeats = 3;  // best-of-N: min wall time per configuration
+std::size_t g_churn_steps = 40;
 
 // Diverse-VM content model: near-duplicate pages. Every page shares one long
 // common prefix (think zeroed-then-initialized structures, common library/page
@@ -54,8 +72,26 @@ constexpr std::size_t kDuplicateGroups = 512;
 // unique page (duplicates stay merged), so the next scan round re-hashes ~3/4 of
 // all pages — the hash-bound regime the parallel pipeline targets.
 constexpr std::size_t kChurnGuestPages = 2048;
-constexpr std::size_t kChurnSteps = 40;
 constexpr SimTime kChurnStepTime = 500 * kMillisecond;
+
+// Experiment-1 scan modes, in run order. Delta rides on fingerprint trees, so
+// fingerprint is both the byte-ordered comparison's numerator and the delta
+// comparison's denominator.
+enum class ScanMode { kByteOrdered, kFingerprint, kDelta };
+constexpr std::array<ScanMode, 3> kScanModes = {
+    ScanMode::kByteOrdered, ScanMode::kFingerprint, ScanMode::kDelta};
+
+const char* ModeName(ScanMode mode) {
+  switch (mode) {
+    case ScanMode::kByteOrdered:
+      return "byte-ordered";
+    case ScanMode::kFingerprint:
+      return "fingerprint";
+    case ScanMode::kDelta:
+      return "delta";
+  }
+  return "?";
+}
 
 struct SimOutcome {
   std::uint64_t pages_scanned = 0;
@@ -67,11 +103,15 @@ struct SimOutcome {
 
 struct RunResult {
   std::string engine;
+  ScanMode mode_kind = ScanMode::kFingerprint;
   std::string mode;
   SimOutcome sim;
   double wall_seconds = 0.0;
   double pages_per_second = 0.0;
   double end_to_end_seconds = 0.0;  // whole scenario incl. boot
+  // Delta runs only: engine + machine metrics (delta.* replay counters,
+  // pattern_hash_cache.*) for the JSON artifact.
+  MetricsSnapshot metrics;
 };
 
 struct SweepResult {
@@ -103,10 +143,11 @@ ScenarioConfig ThroughputScenario(EngineKind kind) {
   return config;
 }
 
-RunResult RunModeOnce(EngineKind kind, bool byte_ordered) {
+RunResult RunModeOnce(EngineKind kind, ScanMode mode) {
   const auto t0 = std::chrono::steady_clock::now();
   ScenarioConfig config = ThroughputScenario(kind);
-  config.fusion.byte_ordered_trees = byte_ordered;
+  config.fusion.byte_ordered_trees = mode == ScanMode::kByteOrdered;
+  config.fusion.delta_scan = mode == ScanMode::kDelta;
   Scenario scenario(config);
   for (std::size_t p = 0; p < kVms; ++p) {
     Process& vm = scenario.machine().CreateProcess();
@@ -124,13 +165,17 @@ RunResult RunModeOnce(EngineKind kind, bool byte_ordered) {
   }
 
   const auto t1 = std::chrono::steady_clock::now();
-  scenario.RunFor(kRunTime);
+  scenario.RunFor(g_run_time);
   const auto t2 = std::chrono::steady_clock::now();
 
   RunResult result;
   result.engine = scenario.engine()->name();
-  result.mode = byte_ordered ? "byte-ordered" : "fingerprint";
+  result.mode_kind = mode;
+  result.mode = ModeName(mode);
   result.sim = CaptureOutcome(scenario);
+  if (mode == ScanMode::kDelta) {
+    result.metrics = scenario.CollectMetrics();
+  }
   result.wall_seconds = std::chrono::duration<double>(t2 - t1).count();
   result.pages_per_second =
       result.wall_seconds > 0 ? static_cast<double>(result.sim.pages_scanned) / result.wall_seconds
@@ -139,25 +184,35 @@ RunResult RunModeOnce(EngineKind kind, bool byte_ordered) {
   return result;
 }
 
-// Best-of-kRepeats wall time, with the two modes interleaved (byte, fp, byte,
-// fp, ...) so a slow environmental window penalizes both modes equally instead
-// of whichever happened to run inside it. Simulated outcomes must agree across
-// repeats (the simulator is deterministic); the bench aborts loudly otherwise.
-std::pair<RunResult, RunResult> RunModePair(EngineKind kind) {
-  std::pair<RunResult, RunResult> best = {RunModeOnce(kind, true),
-                                          RunModeOnce(kind, false)};
-  for (int r = 1; r < kRepeats; ++r) {
-    for (RunResult* slot : {&best.first, &best.second}) {
-      RunResult next = RunModeOnce(kind, slot->mode == "byte-ordered");
-      if (!(next.sim == slot->sim)) {
+// Best-of-g_repeats wall time, with the three modes interleaved (byte, fp,
+// delta, byte, fp, delta, ...) so a slow environmental window penalizes every
+// mode equally instead of whichever happened to run inside it. Simulated
+// outcomes must agree across repeats (the simulator is deterministic), and the
+// delta mode's outcome must equal the fingerprint mode's (the replay-ledger
+// contract); the bench aborts loudly on either violation.
+std::array<RunResult, 3> RunModeSet(EngineKind kind) {
+  std::array<RunResult, 3> best = {RunModeOnce(kind, kScanModes[0]),
+                                   RunModeOnce(kind, kScanModes[1]),
+                                   RunModeOnce(kind, kScanModes[2])};
+  for (int r = 1; r < g_repeats; ++r) {
+    for (RunResult& slot : best) {
+      RunResult next = RunModeOnce(kind, slot.mode_kind);
+      if (!(next.sim == slot.sim)) {
         std::fprintf(stderr, "FATAL: nondeterministic outcome for %s/%s\n",
                      next.engine.c_str(), next.mode.c_str());
         std::exit(1);
       }
-      if (next.wall_seconds < slot->wall_seconds) {
-        *slot = next;
+      if (next.wall_seconds < slot.wall_seconds) {
+        slot = std::move(next);
       }
     }
+  }
+  if (!(best[2].sim == best[1].sim)) {
+    std::fprintf(stderr,
+                 "FATAL: delta scanning changed the simulated outcome for %s "
+                 "(replay-ledger contract violated)\n",
+                 best[2].engine.c_str());
+    std::exit(1);
   }
   return best;
 }
@@ -184,7 +239,7 @@ SweepResult RunSweepOnce(EngineKind kind, std::size_t threads) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t step = 0; step < kChurnSteps; ++step) {
+  for (std::size_t step = 0; step < g_churn_steps; ++step) {
     // Rewrite every unique page's tag; merged duplicates are left alone so the
     // churn does not trigger COW unmerges, only re-hashing on the next scan.
     for (std::size_t p = 0; p < vms.size(); ++p) {
@@ -225,7 +280,7 @@ SweepResult RunSweepOnce(EngineKind kind, std::size_t threads) {
 
 SweepResult RunSweep(EngineKind kind, std::size_t threads) {
   SweepResult best = RunSweepOnce(kind, threads);
-  for (int r = 1; r < kRepeats; ++r) {
+  for (int r = 1; r < g_repeats; ++r) {
     SweepResult next = RunSweepOnce(kind, threads);
     if (!(next.sim == best.sim) || next.items != best.items) {
       std::fprintf(stderr, "FATAL: nondeterministic outcome for %s threads=%zu\n",
@@ -243,14 +298,15 @@ void Run(const std::vector<std::size_t>& thread_counts) {
   const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
   bench::Reporter reporter("host_throughput");
 
-  // --- Experiment 1: fingerprint vs byte-ordered trees (best-of-3). ---
-  reporter.Header("Host scan throughput: fingerprint-ordered vs byte-ordered trees");
+  // --- Experiment 1: byte-ordered vs fingerprint vs delta (best-of-N). ---
+  reporter.Header(
+      "Host scan throughput: byte-ordered vs fingerprint trees vs delta pass cache");
   {
     Json scenario = Json::Object();
     scenario.Set("vms", kVms);
     scenario.Set("guest_pages", kGuestPages);
-    scenario.Set("sim_seconds", kRunTime / kSecond);
-    scenario.Set("repeats", kRepeats);
+    scenario.Set("sim_seconds", g_run_time / kSecond);
+    scenario.Set("repeats", g_repeats);
     reporter.SetConfig("scenario", std::move(scenario));
   }
   const std::array<EngineKind, 4> engines = {EngineKind::kKsm, EngineKind::kWpf,
@@ -259,12 +315,12 @@ void Run(const std::vector<std::size_t>& thread_counts) {
   std::printf("%-12s %-14s %12s %10s %14s %10s\n", "engine", "mode", "scanned", "wall(s)",
               "pages/s", "e2e(s)");
   for (const EngineKind kind : engines) {
-    auto [bytes, hashed] = RunModePair(kind);
-    for (RunResult* r : {&bytes, &hashed}) {
-      std::printf("%-12s %-14s %12llu %10.3f %14.0f %10.3f\n", r->engine.c_str(),
-                  r->mode.c_str(), static_cast<unsigned long long>(r->sim.pages_scanned),
-                  r->wall_seconds, r->pages_per_second, r->end_to_end_seconds);
-      results.push_back(std::move(*r));
+    std::array<RunResult, 3> set = RunModeSet(kind);
+    for (RunResult& r : set) {
+      std::printf("%-12s %-14s %12llu %10.3f %14.0f %10.3f\n", r.engine.c_str(),
+                  r.mode.c_str(), static_cast<unsigned long long>(r.sim.pages_scanned),
+                  r.wall_seconds, r.pages_per_second, r.end_to_end_seconds);
+      results.push_back(std::move(r));
     }
   }
 
@@ -302,9 +358,9 @@ void Run(const std::vector<std::size_t>& thread_counts) {
     Json sweep_config = Json::Object();
     sweep_config.Set("vms", kVms);
     sweep_config.Set("guest_pages", kChurnGuestPages);
-    sweep_config.Set("churn_steps", kChurnSteps);
+    sweep_config.Set("churn_steps", g_churn_steps);
     sweep_config.Set("step_ms", kChurnStepTime / kMillisecond);
-    sweep_config.Set("repeats", kRepeats);
+    sweep_config.Set("repeats", g_repeats);
     sweep_config.Set("host_cpus", host_cpus);
     sweep_config.Set("basis", basis);
     reporter.SetConfig("threads_sweep", std::move(sweep_config));
@@ -320,27 +376,49 @@ void Run(const std::vector<std::size_t>& thread_counts) {
                              {"end_to_end_seconds", r.end_to_end_seconds}});
     reporter.AddTiming(r.engine + "/" + r.mode + "_wall", r.wall_seconds * 1e3);
   }
-  std::printf("\nscan-throughput speedup (fingerprint / byte-ordered, best of %d):\n", kRepeats);
+  std::printf(
+      "\nscan-throughput speedups (fingerprint/byte-ordered and delta/fingerprint, "
+      "best of %d):\n",
+      g_repeats);
   double ksm_speedup = 0.0;
-  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+  double ksm_delta_speedup = 0.0;
+  for (std::size_t i = 0; i + 2 < results.size(); i += 3) {
     const RunResult& bytes = results[i];
     const RunResult& hashed = results[i + 1];
+    const RunResult& delta = results[i + 2];
     const double speedup =
         bytes.pages_per_second > 0 ? hashed.pages_per_second / bytes.pages_per_second : 0.0;
+    const double delta_speedup =
+        hashed.pages_per_second > 0 ? delta.pages_per_second / hashed.pages_per_second : 0.0;
     if (bytes.engine == "KSM") {
       ksm_speedup = speedup;
+      ksm_delta_speedup = delta_speedup;
     }
-    std::printf("  %-12s %.2fx\n", bytes.engine.c_str(), speedup);
-    reporter.AddRow("speedup", {{"engine", bytes.engine}, {"speedup", speedup}});
+    const std::uint64_t probes = delta.metrics.CounterValue("delta.probes");
+    const std::uint64_t replays = delta.metrics.CounterValue("delta.replays");
+    std::printf("  %-12s fingerprint %.2fx  delta %.2fx  (replays %llu / probes %llu)\n",
+                bytes.engine.c_str(), speedup, delta_speedup,
+                static_cast<unsigned long long>(replays),
+                static_cast<unsigned long long>(probes));
+    reporter.AddRow("speedup", {{"engine", bytes.engine},
+                                {"speedup", speedup},
+                                {"delta_speedup", delta_speedup}});
+    reporter.AddMetrics(bytes.engine + "/delta", delta.metrics);
   }
   // KSM is the headline: its scan path is pure tree matching. VUsion's scan cost
   // is dominated by per-round re-randomization (a security feature, identical in
-  // both modes), so its ratio stays near 1 by design.
+  // both modes), so its tree ratio stays near 1 by design, and its delta replay
+  // still pays the relocation — only the tree descend and hashing are skipped.
   std::printf("\nheadline: KSM diverse-VM scan-throughput speedup %.2fx (target >= 5x)\n",
               ksm_speedup);
   reporter.AddRow("headlines", {{"name", "ksm_fingerprint_speedup"},
                                 {"value", ksm_speedup},
                                 {"target", 5.0}});
+  std::printf("headline: KSM steady-state delta-scan speedup %.2fx (target >= 3x)\n",
+              ksm_delta_speedup);
+  reporter.AddRow("headlines", {{"name", "ksm_delta_speedup"},
+                                {"value", ksm_delta_speedup},
+                                {"target", 3.0}});
 
   double ksm_parallel = 0.0;
   for (const std::vector<SweepResult>& series : sweeps) {
@@ -385,12 +463,25 @@ void Run(const std::vector<std::size_t>& thread_counts) {
   }
 }
 
-std::vector<std::size_t> ParseThreads(int argc, char** argv) {
-  std::string spec = "1,2,4,8";
+std::vector<std::size_t> ParseArgs(int argc, char** argv) {
+  bool quick = false;
+  std::string spec;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       spec = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     }
+  }
+  if (quick) {
+    // CI regression gate: one repeat, short simulated windows, sweep endpoints
+    // only. Rates and ratios stay comparable to the full run; raw counts don't.
+    g_repeats = 1;
+    g_run_time = 20 * kSecond;
+    g_churn_steps = 8;
+  }
+  if (spec.empty()) {
+    spec = quick ? "1,8" : "1,2,4,8";
   }
   std::vector<std::size_t> threads;
   std::size_t pos = 0;
@@ -409,8 +500,9 @@ std::vector<std::size_t> ParseThreads(int argc, char** argv) {
 }  // namespace vusion
 
 int main(int argc, char** argv) {
-  // The env override exists for CI; the bench owns its thread counts.
+  // The env overrides exist for CI; the bench owns its thread counts and modes.
   unsetenv("VUSION_SCAN_THREADS");
-  vusion::Run(vusion::ParseThreads(argc, argv));
+  unsetenv("VUSION_DELTA_SCAN");
+  vusion::Run(vusion::ParseArgs(argc, argv));
   return 0;
 }

@@ -54,6 +54,9 @@ std::string FuzzCampaign::ReproCommand(
       << " --seed " << options_.seed << " --steps " << options_.steps
       << " --threads " << options_.scan_threads << " --rate "
       << options_.fault_rate << " --audit-epoch " << options_.audit_epoch;
+  if (options_.delta_scan) {
+    cmd << " --delta";
+  }
   if (schedule != nullptr && !schedule->empty()) {
     cmd << " --schedule " << FormatSchedule(*schedule);
   }
@@ -84,6 +87,7 @@ CampaignResult FuzzCampaign::RunOnce(const std::vector<FaultRecord>* schedule,
   fusion_config.pool_frames = 512;
   fusion_config.wpf_period = 10 * kMillisecond;
   fusion_config.scan_threads = options_.scan_threads;
+  fusion_config.delta_scan = options_.delta_scan;
   if (options_.engine == EngineKind::kMemoryCombining) {
     // Permanent pressure so the swap-cache engine actually acts.
     fusion_config.mc_low_watermark = machine_config.frame_count;

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "src/container/arena.h"
+
 namespace vusion {
 
 template <typename T, typename Compare>
@@ -32,6 +34,13 @@ class AvlTree {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] Compare& comparator() { return compare_; }
+
+  // Routes node allocation through an arena (see src/container/arena.h). Must be
+  // called while the tree is empty; the arena must outlive the tree.
+  void SetNodeArena(Arena* arena) {
+    assert(root_ == nullptr);
+    arena_ = arena;
+  }
 
   // Inserts a value (duplicates descend right). Returns comparisons performed.
   std::size_t Insert(T value) {
@@ -132,7 +141,7 @@ class AvlTree {
 
   Node* InsertRecursive(Node* n, T value, std::size_t& steps) {
     if (n == nullptr) {
-      return new Node{std::move(value)};
+      return NewNode(std::move(value));
     }
     ++steps;
     if (compare_(value, n->value) < 0) {
@@ -157,7 +166,7 @@ class AvlTree {
       removed = true;
       if (n->left == nullptr || n->right == nullptr) {
         Node* child = (n->left != nullptr) ? n->left : n->right;
-        delete n;
+        DeleteNode(n);
         return child;
       }
       // Two children: replace with in-order successor's value.
@@ -184,7 +193,7 @@ class AvlTree {
     if (n == target) {
       removed = true;
       Node* child = (n->left != nullptr) ? n->left : n->right;
-      delete n;
+      DeleteNode(n);
       return child;
     }
     n->left = RemoveExact(n->left, target, probe, removed);
@@ -197,7 +206,22 @@ class AvlTree {
     }
     ClearRecursive(n->left);
     ClearRecursive(n->right);
-    delete n;
+    DeleteNode(n);
+  }
+
+  Node* NewNode(T value) {
+    if (arena_ != nullptr) {
+      return arena_->template New<Node>(Node{std::move(value)});
+    }
+    return new Node{std::move(value)};
+  }
+
+  void DeleteNode(Node* n) {
+    if (arena_ != nullptr) {
+      arena_->Delete(n);
+    } else {
+      delete n;
+    }
   }
 
   template <typename Visitor>
@@ -225,6 +249,7 @@ class AvlTree {
   Compare compare_;
   Node* root_ = nullptr;
   std::size_t size_ = 0;
+  Arena* arena_ = nullptr;
 };
 
 }  // namespace vusion

@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "src/container/arena.h"
+
 namespace vusion {
 
 template <typename T, typename Compare>
@@ -35,7 +37,10 @@ class RbTree {
   RbTree(const RbTree&) = delete;
   RbTree& operator=(const RbTree&) = delete;
   RbTree(RbTree&& other) noexcept
-      : compare_(std::move(other.compare_)), root_(other.root_), size_(other.size_) {
+      : compare_(std::move(other.compare_)),
+        root_(other.root_),
+        size_(other.size_),
+        arena_(other.arena_) {
     other.root_ = nullptr;
     other.size_ = 0;
   }
@@ -45,10 +50,18 @@ class RbTree {
       compare_ = std::move(other.compare_);
       root_ = other.root_;
       size_ = other.size_;
+      arena_ = other.arena_;
       other.root_ = nullptr;
       other.size_ = 0;
     }
     return *this;
+  }
+
+  // Routes node allocation through an arena (see src/container/arena.h). Must be
+  // called while the tree is empty; the arena must outlive the tree.
+  void SetNodeArena(Arena* arena) {
+    assert(root_ == nullptr);
+    arena_ = arena;
   }
 
   [[nodiscard]] std::size_t size() const { return size_; }
@@ -58,7 +71,7 @@ class RbTree {
   // tie-breaking by page address is irrelevant here). Returns the new node and the
   // number of comparisons performed (for the latency model).
   std::pair<Node*, std::size_t> Insert(T value) {
-    Node* node = new Node{std::move(value)};
+    Node* node = NewNode(std::move(value));
     Node* parent = nullptr;
     Node* cur = root_;
     std::size_t steps = 0;
@@ -97,6 +110,36 @@ class RbTree {
     return {nullptr, steps};
   }
 
+  // Leftmost node matching a three-way probe (probe == 0), or nullptr. Unlike
+  // Find, which stops at the first match on the descent path, this pins down a
+  // deterministic element of an equal-key run.
+  template <typename Probe>
+  [[nodiscard]] Node* LowerBound(Probe&& probe) const {
+    Node* cur = root_;
+    Node* match = nullptr;
+    while (cur != nullptr) {
+      const int c = probe(cur->value);
+      if (c == 0) {
+        match = cur;
+      }
+      cur = (c <= 0) ? cur->left : cur->right;
+    }
+    return match;
+  }
+
+  // In-order successor via parent pointers; nullptr past the maximum.
+  [[nodiscard]] static Node* Successor(Node* n) {
+    if (n->right != nullptr) {
+      return Minimum(n->right);
+    }
+    Node* p = n->parent;
+    while (p != nullptr && n == p->right) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
   // Removes a node previously returned by Insert/Find. The node is deleted.
   void Remove(Node* z) {
     assert(z != nullptr);
@@ -132,7 +175,7 @@ class RbTree {
     if (!y_was_red) {
       RemoveFixup(x, x_parent);
     }
-    delete z;
+    DeleteNode(z);
     --size_;
   }
 
@@ -338,7 +381,22 @@ class RbTree {
     }
     ClearRecursive(n->left);
     ClearRecursive(n->right);
-    delete n;
+    DeleteNode(n);
+  }
+
+  Node* NewNode(T value) {
+    if (arena_ != nullptr) {
+      return arena_->template New<Node>(Node{std::move(value)});
+    }
+    return new Node{std::move(value)};
+  }
+
+  void DeleteNode(Node* n) {
+    if (arena_ != nullptr) {
+      arena_->Delete(n);
+    } else {
+      delete n;
+    }
   }
 
   template <typename Visitor>
@@ -371,6 +429,7 @@ class RbTree {
   Compare compare_;
   Node* root_ = nullptr;
   std::size_t size_ = 0;
+  Arena* arena_ = nullptr;
 };
 
 }  // namespace vusion

@@ -1,0 +1,19 @@
+#include "src/fusion/delta_scan.h"
+
+#include "src/sim/metrics.h"
+
+namespace vusion {
+
+void DeltaPassCache::ExportMetrics(MetricsRegistry& registry) const {
+  registry.GetCounter("delta.probes").Set(stats_.probes);
+  registry.GetCounter("delta.replays").Set(stats_.replays);
+  registry.GetCounter("delta.misses").Set(stats_.misses);
+  registry.GetCounter("delta.stale").Set(stats_.stale);
+  registry.GetCounter("delta.records").Set(stats_.records);
+  registry.GetCounter("delta.invalidations").Set(stats_.invalidations);
+  registry.GetCounter("delta.process_drops").Set(stats_.process_drops);
+  registry.GetGauge("delta.entries").Set(static_cast<double>(size()));
+  registry.GetGauge("delta.arena_bytes").Set(static_cast<double>(arena_.total_bytes()));
+}
+
+}  // namespace vusion

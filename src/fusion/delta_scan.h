@@ -1,0 +1,296 @@
+// Epoch-based delta scanning: the per-engine pass cache (ISSUE/DESIGN.md §10).
+//
+// Steady-state fusion scanning is dominated by re-deriving the same conclusion
+// about unchanged pages, pass after pass: resolve the PTE, hash the frame,
+// descend the trees, decide "nothing to do". The pass cache memoizes that
+// conclusion per (process, vpn) together with everything it depended on — the
+// page's write epoch (src/mmu/write_epoch.h), the backing frame, the frame's
+// content generation, and engine-specific guards (KSM's stable-tree version,
+// the machine-wide shared-content mutation count). On the next pass, a page
+// whose guards all still hold takes the engine's *replay* path: the recorded
+// charge sequence is re-issued Charge() by Charge() (never summed — each charge
+// draws noise from the RNG stream) and the same stats/trace effects applied, so
+// simulated results are bit-identical to a full scan while the host skips the
+// PTE walk, the hashing, and the tree descents.
+//
+// The cache stores only host-side memoization; it is never consulted for a
+// simulated decision that the guards don't fully determine. Anything that could
+// change a scan conclusion must either move one of the guards (PTE writes bump
+// the epoch, content writes bump the generation) or explicitly invalidate the
+// entry (engine hooks on merge/unmerge/teardown and chaos fault paths).
+//
+// Storage: per process, a radix of fixed arena-backed entry chunks (vpn high
+// bits -> array of 512 entries, kind 0 = empty slot) with a last-chunk memo on
+// the serial mutating paths. The replay probe — the hottest read in a delta
+// scan — is therefore one memo compare plus an array index, not a hash lookup;
+// scans walk vpns sequentially so the memo almost always hits. Chunks of dead
+// processes are recycled through a free list, so steady-state churn allocates
+// nothing.
+
+#ifndef VUSION_SRC_FUSION_DELTA_SCAN_H_
+#define VUSION_SRC_FUSION_DELTA_SCAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/container/arena.h"
+#include "src/mmu/pte.h"
+#include "src/phys/frame.h"
+
+namespace vusion {
+
+class MetricsRegistry;
+
+class DeltaPassCache {
+ public:
+  // One memoized scan conclusion. `kind` is an engine-defined discriminator
+  // (each engine declares its own enum, all values nonzero — 0 marks an empty
+  // slot); the remaining fields are the recorded guards and replay inputs,
+  // interpreted per kind.
+  struct Entry {
+    std::uint8_t kind = 0;
+    FrameId frame = kInvalidFrame;     // backing frame at record time
+    std::uint64_t epoch = 0;           // write epoch at record time
+    std::uint64_t content_gen = 0;     // frame content generation at record time
+    std::uint64_t hash = 0;            // content hash at record time
+    std::uint64_t stable_version = 0;  // engine tree-membership version
+    std::uint64_t shared_muts = 0;     // PhysicalMemory::shared_content_mutations
+    void* ref = nullptr;               // engine-owned pointer (hook-invalidated)
+  };
+
+  struct Stats {
+    std::uint64_t probes = 0;
+    std::uint64_t replays = 0;        // valid entries whose conclusion was replayed
+    std::uint64_t misses = 0;         // no entry for the page
+    std::uint64_t stale = 0;          // entry found but a guard moved; full scan
+    std::uint64_t records = 0;
+    std::uint64_t invalidations = 0;  // explicit erases (hooks, chaos fault paths)
+    std::uint64_t process_drops = 0;
+  };
+
+  DeltaPassCache() = default;
+  DeltaPassCache(const DeltaPassCache&) = delete;
+  DeltaPassCache& operator=(const DeltaPassCache&) = delete;
+
+  // Returns the entry for (pid, vpn) iff its recorded write epoch matches;
+  // otherwise null (a mismatched entry is erased and counted stale). Any further
+  // kind-specific validation is the engine's job — on failure it must call
+  // Reject() and run the full path.
+  Entry* Probe(std::uint32_t pid, Vpn vpn, std::uint64_t epoch) {
+    ++stats_.probes;
+    Entry* e = FindSlot(pid, vpn);
+    if (e == nullptr || e->kind == 0) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    if (e->epoch != epoch) {
+      ++stats_.stale;
+      e->kind = 0;
+      --last_pp_->live;
+      return nullptr;
+    }
+    return e;
+  }
+
+  // Read-only lookup with no stats, no memo, no erasure (tests, audits, and the
+  // parallel pipeline's phase-1 workers — touch-nothing, so any number of
+  // threads may call it concurrently while no mutator runs).
+  [[nodiscard]] const Entry* Peek(std::uint32_t pid, Vpn vpn) const {
+    const auto pit = map_.find(pid);
+    if (pit == map_.end()) {
+      return nullptr;
+    }
+    const auto it = pit->second.chunks.find(vpn >> kChunkBits);
+    if (it == pit->second.chunks.end()) {
+      return nullptr;
+    }
+    const Entry* e = &it->second[vpn & kChunkMask];
+    return e->kind == 0 ? nullptr : e;
+  }
+
+  // Read-only epoch check for phase-1 workers: true if an entry exists whose
+  // recorded epoch matches. Advisory — Probe() in phase 2 is authoritative.
+  [[nodiscard]] bool PeekValid(std::uint32_t pid, Vpn vpn, std::uint64_t epoch) const {
+    const Entry* e = Peek(pid, vpn);
+    return e != nullptr && e->epoch == epoch;
+  }
+
+  // Visits every (pid, vpn, entry), read-only (audits).
+  template <typename Visitor>
+  void ForEach(Visitor&& visit) const {
+    for (const auto& [pid, pp] : map_) {
+      for (const auto& [key, chunk] : pp.chunks) {
+        for (std::uint64_t i = 0; i < kChunkEntries; ++i) {
+          if (chunk[i].kind != 0) {
+            visit(pid, (key << kChunkBits) | i, chunk[i]);
+          }
+        }
+      }
+    }
+  }
+
+  // Counts a successful replay (the engine decided the probed entry is valid).
+  void NoteReplay() { ++stats_.replays; }
+
+  // Engine-side validation failed after Probe(): drop the entry, full scan runs.
+  void Reject(std::uint32_t pid, Vpn vpn) {
+    Entry* e = FindSlot(pid, vpn);
+    if (e != nullptr && e->kind != 0) {
+      ++stats_.stale;
+      e->kind = 0;
+      --last_pp_->live;
+    }
+  }
+
+  // Upserts the entry for (pid, vpn); the caller fills in the fields and must
+  // set a nonzero kind (an existing entry keeps its previous field values, as
+  // an unordered_map upsert would).
+  Entry& Record(std::uint32_t pid, Vpn vpn) {
+    ++stats_.records;
+    Entry& e = EnsureSlot(pid, vpn);
+    last_pp_->live += e.kind == 0;
+    return e;
+  }
+
+  // Hook invalidation: merge/unmerge/CoW-break/teardown and chaos fault paths.
+  void Invalidate(std::uint32_t pid, Vpn vpn) {
+    Entry* e = FindSlot(pid, vpn);
+    if (e != nullptr && e->kind != 0) {
+      ++stats_.invalidations;
+      e->kind = 0;
+      --last_pp_->live;
+    }
+  }
+
+  void InvalidateRange(std::uint32_t pid, Vpn start, std::uint64_t pages) {
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      Invalidate(pid, start + i);
+    }
+  }
+
+  // O(1 + its chunks) teardown of a dead process's bucket; chunks are recycled.
+  void DropProcess(std::uint32_t pid) {
+    const auto it = map_.find(pid);
+    if (it == map_.end()) {
+      return;
+    }
+    ++stats_.process_drops;
+    stats_.invalidations += it->second.live;
+    for (auto& [key, chunk] : it->second.chunks) {
+      free_chunks_.push_back(chunk);
+    }
+    if (last_pid_ == pid) {
+      last_pp_ = nullptr;
+      last_chunk_ = nullptr;
+    }
+    map_.erase(it);
+  }
+
+  void Clear() {
+    for (auto& [pid, pp] : map_) {
+      for (auto& [key, chunk] : pp.chunks) {
+        free_chunks_.push_back(chunk);
+      }
+    }
+    map_.clear();
+    last_pp_ = nullptr;
+    last_chunk_ = nullptr;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& [pid, pp] : map_) {
+      total += pp.live;
+    }
+    return total;
+  }
+
+  // Registers the delta.* counters/gauges (called from engine ExportMetrics).
+  void ExportMetrics(MetricsRegistry& registry) const;
+
+ private:
+  static constexpr std::uint64_t kChunkBits = 9;  // 512 entries / 32 KB per chunk
+  static constexpr std::uint64_t kChunkEntries = 1ull << kChunkBits;
+  static constexpr std::uint64_t kChunkMask = kChunkEntries - 1;
+
+  struct PerProcess {
+    std::unordered_map<std::uint64_t, Entry*> chunks;
+    std::size_t live = 0;  // slots with kind != 0
+  };
+
+  Entry* NewChunk() {
+    Entry* chunk;
+    if (!free_chunks_.empty()) {
+      chunk = free_chunks_.back();
+      free_chunks_.pop_back();
+      for (std::uint64_t i = 0; i < kChunkEntries; ++i) {
+        chunk[i] = Entry{};
+      }
+    } else {
+      chunk = static_cast<Entry*>(arena_.Allocate(kChunkEntries * sizeof(Entry)));
+      for (std::uint64_t i = 0; i < kChunkEntries; ++i) {
+        new (&chunk[i]) Entry{};
+      }
+    }
+    return chunk;
+  }
+
+  // Serial-path slot lookup with a (pid, chunk) memo; null if the process or
+  // chunk was never recorded. The returned slot may have kind 0 (empty).
+  Entry* FindSlot(std::uint32_t pid, Vpn vpn) {
+    const std::uint64_t key = vpn >> kChunkBits;
+    if (last_chunk_ != nullptr && last_pid_ == pid && last_key_ == key) {
+      return &last_chunk_[vpn & kChunkMask];
+    }
+    if (last_pp_ == nullptr || last_pid_ != pid) {
+      const auto it = map_.find(pid);
+      if (it == map_.end()) {
+        return nullptr;
+      }
+      last_pid_ = pid;
+      last_pp_ = &it->second;
+      last_chunk_ = nullptr;
+    }
+    const auto it = last_pp_->chunks.find(key);
+    if (it == last_pp_->chunks.end()) {
+      return nullptr;
+    }
+    last_key_ = key;
+    last_chunk_ = it->second;
+    return &last_chunk_[vpn & kChunkMask];
+  }
+
+  Entry& EnsureSlot(std::uint32_t pid, Vpn vpn) {
+    const std::uint64_t key = vpn >> kChunkBits;
+    if (last_chunk_ != nullptr && last_pid_ == pid && last_key_ == key) {
+      return last_chunk_[vpn & kChunkMask];
+    }
+    if (last_pp_ == nullptr || last_pid_ != pid) {
+      last_pid_ = pid;
+      last_pp_ = &map_[pid];
+      last_chunk_ = nullptr;
+    }
+    Entry*& chunk = last_pp_->chunks[key];
+    if (chunk == nullptr) {
+      chunk = NewChunk();
+    }
+    last_key_ = key;
+    last_chunk_ = chunk;
+    return last_chunk_[vpn & kChunkMask];
+  }
+
+  Arena arena_;
+  std::unordered_map<std::uint32_t, PerProcess> map_;
+  std::vector<Entry*> free_chunks_;
+  std::uint32_t last_pid_ = 0;
+  std::uint64_t last_key_ = 0;
+  PerProcess* last_pp_ = nullptr;
+  Entry* last_chunk_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_FUSION_DELTA_SCAN_H_

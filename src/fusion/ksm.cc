@@ -11,8 +11,21 @@ int Ksm::StableCompare::operator()(StableEntry* const& a, StableEntry* const& b)
   return ksm->content_.HostOrder(a->frame, b->frame);
 }
 
+// Fingerprint mode orders by immutable keys — insert-time hash, then frame id —
+// so the tree's shape depends only on the insert sequence, never on content that
+// mutated after insertion (unstable pages are not write-protected). Byte mode
+// keeps the reference live byte order.
 int Ksm::UnstableCompare::operator()(const UnstableItem& a, const UnstableItem& b) const {
-  return ksm->content_.HostOrder(a.frame, b.frame);
+  if (ksm->content_.byte_ordered()) {
+    return ksm->content_.HostOrder(a.frame, b.frame);
+  }
+  if (a.sort_hash != b.sort_hash) {
+    return a.sort_hash < b.sort_hash ? -1 : 1;
+  }
+  if (a.frame != b.frame) {
+    return a.frame < b.frame ? -1 : 1;
+  }
+  return 0;
 }
 
 Ksm::Ksm(Machine& machine, const FusionConfig& config)
@@ -21,10 +34,26 @@ Ksm::Ksm(Machine& machine, const FusionConfig& config)
       cursor_(machine),
       pipeline_(machine.memory(), machine.HostPool(config_.scan_threads)),
       stable_(StableCompare{this}),
-      unstable_(UnstableCompare{this}) {}
+      unstable_(UnstableCompare{this}),
+      rmap_(/*bucket_count=*/8, std::hash<std::uint64_t>(), std::equal_to<std::uint64_t>(),
+            RmapAlloc(&arena_)),
+      delta_mode_(config.delta_scan && !config.byte_ordered_trees) {
+  stable_.SetNodeArena(&arena_);
+  unstable_.SetNodeArena(&arena_);
+  if (delta_mode_) {
+    machine.EnableWriteEpochs();
+  }
+}
 
 Ksm::~Ksm() {
-  stable_.InOrder([](StableEntry* const& e) { delete e; });
+  stable_.InOrder([this](StableEntry* const& e) { arena_.Delete(e); });
+}
+
+void Ksm::ExportMetrics(MetricsRegistry& registry) const {
+  FusionEngine::ExportMetrics(registry);
+  if (delta_mode_) {
+    delta_.ExportMetrics(registry);
+  }
 }
 
 const char* Ksm::name() const {
@@ -80,7 +109,7 @@ void Ksm::ScanQuantumSerial() {
     }
     if (wrapped) {
       // A full round completed: the unstable tree is rebuilt from scratch.
-      unstable_.Clear();
+      UnstableClear();
       ++stats_.full_scans;
     }
     timing_.items += 1;
@@ -115,6 +144,16 @@ void Ksm::ScanQuantumPipelined() {
   }
   NotifyPhase(ScanPhase::kBatchCollected);
   PruneDeadItems();
+  // With delta scanning on, phase-1 workers skip the resolve-and-hash for pages
+  // whose pass-cache entry passes the (read-only) epoch check; phase 2's
+  // TryReplay revalidates authoritatively.
+  host::ParallelScanPipeline::Phase1Probe probe;
+  if (delta_mode_) {
+    probe = [this](const host::ScanItem& item) {
+      return item.as != nullptr &&
+             delta_.PeekValid(item.pid, item.vpn, item.as->write_epochs().Get(item.vpn));
+    };
+  }
   pipeline_.Run(
       batch_, timing_, nullptr,
       [this](host::ScanItem& item) {
@@ -122,7 +161,7 @@ void Ksm::ScanQuantumPipelined() {
         // cursor-side effects (round wrap) still apply, the page itself is
         // skipped.
         if (item.wrapped) {
-          unstable_.Clear();
+          UnstableClear();
           ++stats_.full_scans;
         }
         if (item.process == nullptr ||
@@ -134,7 +173,8 @@ void Ksm::ScanQuantumPipelined() {
       [this] {
         NotifyPhase(ScanPhase::kHashed);
         PruneDeadItems();
-      });
+      },
+      probe);
 }
 
 void Ksm::PruneDeadItems() {
@@ -149,30 +189,62 @@ void Ksm::PruneDeadItems() {
 }
 
 void Ksm::ScanOne(Process& process, Vpn vpn) {
+  if (delta_mode_ && TryReplay(process, vpn)) {
+    return;
+  }
+  ScanOneFull(process, vpn);
+}
+
+void Ksm::RecordSimple(std::uint32_t pid, Vpn vpn, std::uint64_t epoch, std::uint8_t kind,
+                       FrameId frame, std::uint64_t content_gen) {
+  if (!delta_mode_) {
+    return;
+  }
+  DeltaPassCache::Entry& e = delta_.Record(pid, vpn);
+  e.kind = kind;
+  e.epoch = epoch;
+  e.frame = frame;
+  e.content_gen = content_gen;
+}
+
+void Ksm::ScanOneFull(Process& process, Vpn vpn) {
   ++stats_.pages_scanned;
   AddressSpace& as = process.address_space();
+  const std::uint32_t pid = process.id();
+  // Snapshot the guards before the scan body: none of the recording paths below
+  // mutate this page's PTE, so the snapshot is the entry's valid-from point.
+  const std::uint64_t epoch = delta_mode_ ? as.write_epochs().GetFast(vpn) : 0;
   Pte* pte = as.GetPte(vpn);
   if (pte == nullptr || !pte->present()) {
+    RecordSimple(pid, vpn, epoch, kDeltaSkip, kInvalidFrame, 0);
     return;
   }
   const std::uint64_t key = KeyOf(process, vpn);
   if (rmap_.contains(key)) {
+    RecordSimple(pid, vpn, epoch, kDeltaMerged, kInvalidFrame, 0);
     return;  // already merged
   }
   if (pte->reserved_trap()) {
+    RecordSimple(pid, vpn, epoch, kDeltaSkip, kInvalidFrame, 0);
     return;
   }
   FrameId frame = pte->frame;
   if (pte->huge()) {
     frame += static_cast<FrameId>(vpn & (kPagesPerHugePage - 1));
   }
-  if (machine_->memory().refcount(frame) > 0) {
-    return;  // fork-shared with another process: the kernel owns this CoW state
-  }
-  if (config_.zero_pages_only && !machine_->memory().IsZero(frame)) {
+  PhysicalMemory& memory = machine_->memory();
+  if (memory.refcount(frame) > 0) {
+    // Fork-shared with another process: the kernel owns this CoW state. The
+    // refcount can drop without this page's PTE moving, so the replay rechecks
+    // it live.
+    RecordSimple(pid, vpn, epoch, kDeltaForkShared, frame, 0);
     return;
   }
-  content_.Hash(frame);  // the per-scan checksum KSM computes
+  if (config_.zero_pages_only && !memory.IsZero(frame)) {
+    RecordSimple(pid, vpn, epoch, kDeltaNotZero, frame, memory.content_generation(frame));
+    return;
+  }
+  const std::uint64_t hash = content_.Hash(frame);  // the per-scan checksum KSM computes
 
   // 1) Stable tree lookup (Figure 1-A).
   content_.ChargeTreeDescend(stable_.size());
@@ -183,43 +255,314 @@ void Ksm::ScanOne(Process& process, Vpn vpn) {
     return;
   }
 
-  // 2) Unstable tree lookup (Figure 1-B).
-  content_.ChargeTreeDescend(unstable_.size());
-  auto [unstable_node, unstable_steps] = unstable_.Find(
-      [&](const UnstableItem& u) { return content_.HostOrder(frame, u.frame); });
+  // 2) + 3) Unstable lookup and checksum-gated insert, shared with the replay.
+  UniqueTail(process, vpn, frame, hash, epoch, /*replay=*/false);
+}
+
+// Replays the recorded conclusion for one page. The hard contract: the charge
+// sequence (each Charge() call, in order, with the same base costs), the stats
+// and trace effects, and every chaos-site consultation must be exactly those of
+// ScanOneFull on an unchanged page — the parity suite compares all of them
+// bit-for-bit. Host-side, the replay skips the PTE walk, rmap/checksum lookups,
+// the hashing (memoized), and both tree descents.
+bool Ksm::TryReplay(Process& process, Vpn vpn) {
+  AddressSpace& as = process.address_space();
+  const std::uint32_t pid = process.id();
+  DeltaPassCache::Entry* e = delta_.Probe(pid, vpn, as.write_epochs().GetFast(vpn));
+  if (e == nullptr) {
+    return false;
+  }
+  PhysicalMemory& memory = machine_->memory();
+  switch (e->kind) {
+    case kDeltaSkip:
+    case kDeltaMerged:
+      // Unmapping, unmerging, or re-mapping all bump the write epoch; with the
+      // epoch unchanged the full path would conclude "nothing to do" again.
+      delta_.NoteReplay();
+      ++stats_.pages_scanned;
+      return true;
+    case kDeltaForkShared:
+      if (memory.refcount(e->frame) == 0) {
+        delta_.Reject(pid, vpn);
+        return false;
+      }
+      delta_.NoteReplay();
+      ++stats_.pages_scanned;
+      return true;
+    case kDeltaNotZero:
+      if (memory.content_generation(e->frame) != e->content_gen ||
+          memory.refcount(e->frame) != 0) {
+        delta_.Reject(pid, vpn);
+        return false;
+      }
+      delta_.NoteReplay();
+      ++stats_.pages_scanned;
+      return true;
+    case kDeltaUnique: {
+      if (memory.content_generation(e->frame) != e->content_gen ||
+          memory.refcount(e->frame) != 0) {
+        delta_.Reject(pid, vpn);
+        return false;
+      }
+      delta_.NoteReplay();
+      ++stats_.pages_scanned;
+      const FrameId frame = e->frame;
+      const std::uint64_t epoch = e->epoch;
+      // Same content generation => content_.Hash re-issues the same charge and
+      // returns the same (frame-memoized) hash the full path computed.
+      const std::uint64_t hash = content_.Hash(frame);
+      content_.ChargeTreeDescend(stable_.size());
+      if (e->stable_version != stable_version_ ||
+          e->shared_muts != memory.shared_content_mutations()) {
+        // The stable tree's membership (or a shared frame's content) moved since
+        // the verdict was recorded: the "no stable match" conclusion may be
+        // stale, so run the real lookup this pass.
+        auto [stable_node, stable_steps] = stable_.Find(
+            [&](StableEntry* const& en) { return content_.HostOrder(frame, en->frame); });
+        if (stable_node != nullptr) {
+          delta_.Invalidate(pid, vpn);
+          MergeInto(process, vpn, stable_node->value);
+          return true;
+        }
+        e->stable_version = stable_version_;
+        e->shared_muts = memory.shared_content_mutations();
+      }
+      UniqueTail(process, vpn, frame, hash, epoch, /*replay=*/true);
+      return true;
+    }
+    default:
+      delta_.Reject(pid, vpn);
+      return false;
+  }
+}
+
+// Steps 2 (unstable lookup, Figure 1-B) and 3 (checksum-gated unstable insert,
+// Figure 1-C) of the scan flow. Shared verbatim between ScanOneFull and the
+// kDeltaUnique replay so their charge/stats/trace streams cannot diverge; the
+// only replay differences are the checksum-map read (provably gate-pass, see
+// below) and pass-cache maintenance.
+void Ksm::UniqueTail(Process& process, Vpn vpn, FrameId frame, std::uint64_t hash,
+                     std::uint64_t epoch, bool replay) {
+  const std::uint32_t pid = process.id();
+  // One descend charge covers both the lookup and the insert below: KSM's
+  // unstable_tree_search_insert is a single rb-tree walk that either finds a
+  // match or links the new node at the leaf the search ended on, so charging
+  // the insert as a second full descent would double-count the walk.
+  content_.ChargeTreeDescend(UnstableSize());
+  UnstableTree::Node* unstable_node = UnstableFind(hash, frame);
   if (unstable_node != nullptr) {
     const UnstableItem item = unstable_node->value;
     unstable_.Remove(unstable_node);
+    EraseFp(item.sort_hash);
     const bool self = item.process == &process && item.vpn == vpn;
     if (!self && UnstableStillValid(item)) {
       StableEntry* entry = Stabilize(item);
       if (entry != nullptr) {
+        if (replay) {
+          // The page is merging (or the merge aborts below): either way the
+          // memoized "unique" verdict is dead. Dropping it before MergeInto also
+          // guarantees a chaos merge-abort can never leave a stale entry whose
+          // recorded hash outlives the aborted merge.
+          delta_.Invalidate(pid, vpn);
+        }
         MergeInto(process, vpn, entry);
         return;
       }
     }
     // Stale match: fall through and treat the scanned page as unmatched.
   }
-
-  // 3) No match: insert into the unstable tree (Figure 1-C) - but only pages whose
-  // contents were stable since the previous scan (KSM's checksum gate).
-  const std::uint64_t checksum = machine_->memory().HashContent(frame);
-  auto& proc_checksums = checksums_[process.id()];
+  // The checksum KSM would recompute here is the hash from above (same frame,
+  // same pass, same FNV stream).
+  const std::uint64_t checksum = hash;
   if (FaultInjector* injector = chaos();
       injector != nullptr && injector->ShouldFail(FaultSite::kStaleChecksum)) {
     // Forced-stale checksum: the page reads as volatile, deferring its
     // unstable-tree insertion to a later round (graceful skip, never corrupt).
     injector->RecordDegradation();
-    proc_checksums[vpn] = ~checksum;
+    checksums_[pid][vpn] = ~checksum;
+    if (replay) {
+      // The stored checksum no longer matches the page's hash, so the uniform
+      // replay shape below would be wrong next pass: force a full rescan.
+      delta_.Invalidate(pid, vpn);
+    }
     return;
   }
-  const auto it = proc_checksums.find(vpn);
-  if (it == proc_checksums.end() || it->second != checksum) {
-    proc_checksums[vpn] = checksum;
+  if (!replay) {
+    auto& proc_checksums = checksums_[pid];
+    const auto it = proc_checksums.find(vpn);
+    const bool gate_pass = it != proc_checksums.end() && it->second == checksum;
+    if (!gate_pass) {
+      proc_checksums[vpn] = checksum;
+    }
+    // Whether the gate passed (and we insert below) or failed (we just stored
+    // the checksum), the stored value now equals the page's hash — so an
+    // unchanged page provably gate-passes on its NEXT pass and inserts. That is
+    // the single conclusion the entry memoizes, which is why both sub-paths
+    // record the same kDeltaUnique entry and the replay never reads the map.
+    RecordUnique(pid, vpn, epoch, frame, hash);
+    if (!gate_pass) {
+      return;
+    }
+  }
+  UnstableInsert(UnstableItem{frame, &process, vpn, hash});
+}
+
+void Ksm::RecordUnique(std::uint32_t pid, Vpn vpn, std::uint64_t epoch, FrameId frame,
+                       std::uint64_t hash) {
+  if (!delta_mode_) {
     return;
   }
-  content_.ChargeTreeDescend(unstable_.size());
-  unstable_.Insert(UnstableItem{frame, &process, vpn});
+  PhysicalMemory& memory = machine_->memory();
+  DeltaPassCache::Entry& e = delta_.Record(pid, vpn);
+  e.kind = kDeltaUnique;
+  e.epoch = epoch;
+  e.frame = frame;
+  e.content_gen = memory.content_generation(frame);
+  e.hash = hash;
+  e.stable_version = stable_version_;
+  e.shared_muts = memory.shared_content_mutations();
+}
+
+Ksm::UnstableTree::Node* Ksm::UnstableFind(std::uint64_t hash, FrameId frame) {
+  if (content_.byte_ordered()) {
+    auto [node, steps] = unstable_.Find(
+        [&](const UnstableItem& u) { return content_.HostOrder(frame, u.frame); });
+    return node;
+  }
+  // No conceptual item was inserted with this hash => no node can match (the
+  // sort_hash key is immutable), so the whole descent — and under delta, the
+  // tree itself — is skipped.
+  const FpSlot* fp = FpFind(hash);
+  if (fp == nullptr || fp->stamp != fps_round_ || fp->count == 0) {
+    return nullptr;
+  }
+  MaterializePending();
+  // Deterministic choice within an equal-hash run: the leftmost node whose
+  // content still matches the probe. (A node whose content mutated after insert
+  // keeps its insert-time key and simply fails the byte check.)
+  UnstableTree::Node* node = unstable_.LowerBound([&](const UnstableItem& u) {
+    if (hash != u.sort_hash) {
+      return hash < u.sort_hash ? -1 : 1;
+    }
+    return 0;
+  });
+  PhysicalMemory& memory = machine_->memory();
+  for (; node != nullptr && node->value.sort_hash == hash;
+       node = UnstableTree::Successor(node)) {
+    if (memory.Compare(frame, node->value.frame) == 0) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void Ksm::UnstableInsert(UnstableItem item) {
+  if (!content_.byte_ordered()) {
+    if ((fps_used_ + 1) * 2 > fps_slots_.size()) {
+      FpGrow();
+    }
+    std::size_t i = FpIndex(item.sort_hash);
+    while (true) {
+      FpSlot& s = fps_slots_[i];
+      if (s.stamp == 0) {
+        s.hash = item.sort_hash;
+        ++fps_used_;
+      } else if (s.hash != item.sort_hash) {
+        i = (i + 1) & fps_mask_;
+        continue;
+      }
+      if (s.stamp != fps_round_) {
+        s.stamp = fps_round_;
+        s.count = 0;
+        ++fps_stamped_;
+      }
+      ++s.count;
+      break;
+    }
+  }
+  if (delta_mode_) {
+    // Deferred ("virtual") insert: the tree materializes only if a later probe
+    // this round could actually match. pending_unstable_ is always the suffix of
+    // the conceptual insert sequence, so flushing preserves the tree shape.
+    pending_unstable_.push_back(item);
+  } else {
+    unstable_.Insert(item);
+  }
+}
+
+void Ksm::MaterializePending() {
+  for (const UnstableItem& item : pending_unstable_) {
+    unstable_.Insert(item);
+  }
+  pending_unstable_.clear();
+}
+
+void Ksm::UnstableClear() {
+  unstable_.Clear();
+  // The round-stamp IS the clear; old-stamped slots are dead weight kept for
+  // reuse next round (the same unique pages re-claim the same slots). Under
+  // content churn the key set drifts and dead slots accumulate; FpGrow — which
+  // drops everything not stamped this round — runs from the insert path once
+  // the table passes half-used, so no compaction is needed here.
+  ++fps_round_;
+  fps_stamped_ = 0;
+  pending_unstable_.clear();
+}
+
+void Ksm::EraseFp(std::uint64_t hash) {
+  if (content_.byte_ordered()) {
+    return;
+  }
+  const FpSlot* fp = FpFind(hash);
+  if (fp != nullptr && fp->stamp == fps_round_ && fp->count > 0) {
+    --const_cast<FpSlot*>(fp)->count;
+  }
+}
+
+const Ksm::FpSlot* Ksm::FpFind(std::uint64_t hash) const {
+  if (fps_slots_.empty()) {
+    return nullptr;
+  }
+  std::size_t i = FpIndex(hash);
+  while (true) {
+    const FpSlot& s = fps_slots_[i];
+    if (s.stamp == 0) {
+      return nullptr;  // linear-probe chains never cross a never-used slot
+    }
+    if (s.hash == hash) {
+      return &s;
+    }
+    i = (i + 1) & fps_mask_;
+  }
+}
+
+// Rebuilds the table keeping only slots stamped this round (dead slots from
+// earlier rounds are the only other occupants, and the conceptual multiset
+// they encoded is gone), growing until the live set fits at <= 1/4 load.
+void Ksm::FpGrow() {
+  std::vector<FpSlot> old = std::move(fps_slots_);
+  std::size_t live = 0;
+  for (const FpSlot& s : old) {
+    live += s.stamp == fps_round_;
+  }
+  std::size_t cap = old.empty() ? 1024 : old.size();
+  while (live * 4 > cap) {
+    cap *= 2;
+  }
+  fps_slots_.assign(cap, FpSlot{});
+  fps_mask_ = cap - 1;
+  fps_used_ = 0;
+  for (const FpSlot& s : old) {
+    if (s.stamp != fps_round_) {
+      continue;
+    }
+    std::size_t i = FpIndex(s.hash);
+    while (fps_slots_[i].stamp != 0) {
+      i = (i + 1) & fps_mask_;
+    }
+    fps_slots_[i] = s;
+    ++fps_used_;
+  }
 }
 
 bool Ksm::UnstableStillValid(const UnstableItem& item) const {
@@ -271,16 +614,20 @@ Ksm::StableEntry* Ksm::Stabilize(const UnstableItem& item) {
   if (pte == nullptr || !pte->present()) {
     return nullptr;
   }
-  auto* entry = new StableEntry{pte->frame, 1, nullptr};
+  auto* entry = arena_.New<StableEntry>(StableEntry{pte->frame, 1, nullptr});
   content_.ChargeTreeDescend(stable_.size());
   auto [node, steps] = stable_.Insert(entry);
   entry->node = node;
+  ++stable_version_;
   const auto accessed = static_cast<std::uint16_t>(pte->flags & kPteAccessed);
   LatencyModel& lm = machine_->latency();
   lm.Charge(lm.config().pte_update);
   item.process->address_space().SetPte(item.vpn, Pte{entry->frame, MergedFlags(accessed)});
   machine_->memory().SetRefcount(entry->frame, 1);
   rmap_[KeyOf(*item.process, item.vpn)] = entry;
+  if (delta_mode_) {
+    delta_.Invalidate(item.process->id(), item.vpn);
+  }
   return entry;
 }
 
@@ -303,6 +650,9 @@ void Ksm::MergeInto(Process& process, Vpn vpn, StableEntry* entry) {
   LatencyModel& lm = machine_->latency();
   lm.Charge(lm.config().pte_update);
   as.SetPte(vpn, Pte{entry->frame, MergedFlags(accessed)});
+  if (delta_mode_) {
+    delta_.Invalidate(process.id(), vpn);
+  }
   ++entry->refs;
   ++frames_saved_;
   machine_->memory().SetRefcount(entry->frame, entry->refs);
@@ -334,11 +684,12 @@ void Ksm::DropRef(StableEntry* entry) {
   --entry->refs;
   if (entry->refs == 0) {
     stable_.Remove(entry->node);
+    ++stable_version_;
     machine_->FlushFrame(entry->frame);
     LatencyModel& lm = machine_->latency();
     lm.Charge(lm.config().buddy_free);
     machine_->buddy().Free(entry->frame);
-    delete entry;
+    arena_.Delete(entry);
   } else {
     machine_->memory().SetRefcount(entry->frame, entry->refs);
   }
@@ -361,6 +712,9 @@ bool Ksm::BreakCow(Process& process, Vpn vpn, StableEntry* entry,
                                                        kPteAccessed | extra_flags)});
   rmap_.erase(KeyOf(process, vpn));
   DropRef(entry);
+  if (delta_mode_) {
+    delta_.Invalidate(process.id(), vpn);
+  }
   return true;
 }
 
@@ -416,6 +770,9 @@ bool Ksm::OnUnmap(Process& process, Vpn vpn) {
   StableEntry* entry = it->second;
   rmap_.erase(it);
   DropRef(entry);
+  if (delta_mode_) {
+    delta_.Invalidate(process.id(), vpn);
+  }
   return true;
 }
 
@@ -423,9 +780,12 @@ void Ksm::OnProcessDestroy(Process& process) {
   // The unstable tree holds raw (process, vpn) references; it is rebuilt every
   // round anyway, so clearing it is the faithful equivalent of the kernel's
   // remove_node_from_tree on exit. Checksums of the dead process are dropped in
-  // O(its pages) thanks to the per-process index.
-  unstable_.Clear();
+  // O(its pages) thanks to the per-process index, and so is its pass-cache
+  // bucket (the address space dies with the process, so no epoch will ever
+  // re-validate those entries).
+  UnstableClear();
   checksums_.erase(process.id());
+  delta_.DropProcess(process.id());
 }
 
 bool Ksm::AllowCollapse(Process& process, Vpn base) {
@@ -514,6 +874,35 @@ void Ksm::AuditInvariants(AuditContext& ctx) const {
       return "ksm: checksum index for dead process " + std::to_string(pid);
     });
   }
+
+  // Delta pass cache: entries may be stale (guards catch that at probe time) but
+  // must never reference dead processes, and an epoch-current entry must agree
+  // with the world it claims to memoize.
+  delta_.ForEach([&](std::uint32_t pid, Vpn vpn, const DeltaPassCache::Entry& e) {
+    if (!ctx.Check(pid < processes.size() && processes[pid] != nullptr, [&] {
+          return "ksm: delta entry for dead process " + std::to_string(pid);
+        })) {
+      return;
+    }
+    const AddressSpace& as = processes[pid]->address_space();
+    if (as.write_epochs().Get(vpn) != e.epoch) {
+      return;  // stale; the next probe drops it
+    }
+    if (e.kind == kDeltaMerged) {
+      ctx.Check(rmap_.contains((static_cast<std::uint64_t>(pid) << 40) ^ vpn), [&] {
+        return "ksm: epoch-current kDeltaMerged entry for unmerged page (" +
+               std::to_string(pid) + "," + std::to_string(vpn) + ")";
+      });
+    }
+    if (e.kind == kDeltaUnique &&
+        machine_->memory().content_generation(e.frame) == e.content_gen) {
+      ctx.Check(machine_->memory().HashContent(e.frame) == e.hash, [&] {
+        return "ksm: delta entry for (" + std::to_string(pid) + "," +
+               std::to_string(vpn) + ") memoizes a stale hash for frame " +
+               std::to_string(e.frame);
+      });
+    }
+  });
 }
 
 }  // namespace vusion

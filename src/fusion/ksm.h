@@ -14,10 +14,13 @@
 #define VUSION_SRC_FUSION_KSM_H_
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/container/arena.h"
 #include "src/container/rbtree.h"
 #include "src/fusion/content.h"
+#include "src/fusion/delta_scan.h"
 #include "src/fusion/fusion_engine.h"
 
 namespace vusion {
@@ -47,7 +50,10 @@ class Ksm final : public FusionEngine {
   }
 
   [[nodiscard]] std::size_t stable_size() const { return stable_.size(); }
-  [[nodiscard]] std::size_t unstable_size() const { return unstable_.size(); }
+  [[nodiscard]] std::size_t unstable_size() const { return UnstableSize(); }
+  [[nodiscard]] const DeltaPassCache& delta_cache() const { return delta_; }
+
+  void ExportMetrics(MetricsRegistry& registry) const override;
   [[nodiscard]] bool ValidateTrees() const {
     return stable_.ValidateInvariants() && unstable_.ValidateInvariants();
   }
@@ -64,10 +70,16 @@ class Ksm final : public FusionEngine {
     Ksm* ksm;
     int operator()(StableEntry* const& a, StableEntry* const& b) const;
   };
+  // sort_hash is the frame's content hash at insert time and, in fingerprint
+  // mode, the tree key (with the frame id as tie-break). Both keys are immutable,
+  // so the unstable tree's shape is a pure function of the insert sequence — the
+  // property that lets the delta scanner defer inserts (pending_unstable_) and
+  // still materialize the exact tree a full scan would have built.
   struct UnstableItem {
     FrameId frame = kInvalidFrame;
     Process* process = nullptr;
     Vpn vpn = 0;
+    std::uint64_t sort_hash = 0;
   };
   struct UnstableCompare {
     Ksm* ksm;
@@ -82,11 +94,49 @@ class Ksm final : public FusionEngine {
     StableTree::Node* node = nullptr;
   };
 
+  // Pass-cache entry kinds (DeltaPassCache::Entry::kind): the first conclusive
+  // branch the full scan took for the page. See TryReplay for each kind's
+  // validity guards and replayed effects.
+  enum DeltaKind : std::uint8_t {
+    kDeltaSkip = 1,        // PTE absent / not present / reserved trap
+    kDeltaMerged = 2,      // rmap hit: page already merged
+    kDeltaForkShared = 3,  // frame refcount > 0: kernel-owned CoW state
+    kDeltaNotZero = 4,     // zero_pages_only mode, frame not zero
+    kDeltaUnique = 5,      // full flow ended in the checksum-gate/insert tail
+  };
+
   static std::uint64_t KeyOf(const Process& process, Vpn vpn) {
     return (static_cast<std::uint64_t>(process.id()) << 40) ^ vpn;
   }
 
   void ScanOne(Process& process, Vpn vpn);
+  // Replays the memoized conclusion for (process, vpn) if its guards hold;
+  // returns false (after dropping the entry) to fall back to the full scan.
+  bool TryReplay(Process& process, Vpn vpn);
+  void ScanOneFull(Process& process, Vpn vpn);
+  // The unstable-tree lookup/match and checksum-gated insert shared verbatim by
+  // the full scan and the kDeltaUnique replay (see DESIGN.md §10).
+  void UniqueTail(Process& process, Vpn vpn, FrameId frame, std::uint64_t hash,
+                  std::uint64_t epoch, bool replay);
+  void RecordSimple(std::uint32_t pid, Vpn vpn, std::uint64_t epoch, std::uint8_t kind,
+                    FrameId frame, std::uint64_t content_gen);
+  void RecordUnique(std::uint32_t pid, Vpn vpn, std::uint64_t epoch, FrameId frame,
+                    std::uint64_t hash);
+
+  // --- Unstable-tree facade ---
+  //
+  // All unstable-tree access goes through these so the conceptual tree — real
+  // nodes plus delta-deferred pending inserts — stays consistent with the
+  // fingerprint multiset used for the Find fast-out, and so charged descend
+  // costs (a function of conceptual size) are identical with delta on or off.
+  [[nodiscard]] std::size_t UnstableSize() const {
+    return unstable_.size() + pending_unstable_.size();
+  }
+  UnstableTree::Node* UnstableFind(std::uint64_t hash, FrameId frame);
+  void UnstableInsert(UnstableItem item);
+  void UnstableClear();
+  void MaterializePending();
+  void EraseFp(std::uint64_t hash);
   // The wake quantum's scan loop: serial reference (scan_threads<=1) or the
   // two-phase parallel pipeline. Both produce bit-identical simulated results.
   void ScanQuantumSerial();
@@ -110,13 +160,55 @@ class Ksm final : public FusionEngine {
   host::ParallelScanPipeline pipeline_;
   host::ScanTiming timing_;
   std::vector<host::ScanItem> batch_;
+  // Node storage for both trees; declared before them so it outlives their
+  // destructors (members are destroyed in reverse declaration order).
+  Arena arena_;
   StableTree stable_;
   UnstableTree unstable_;
-  std::unordered_map<std::uint64_t, StableEntry*> rmap_;
+  // Insert-time hashes of every conceptual unstable item (fingerprint mode
+  // only). A probe hash absent here cannot match any node — sort_hash keys are
+  // immutable — so UnstableFind skips the descent (and, under delta, skips
+  // materializing the tree at all). Stored as a round-stamped open-addressed
+  // table (linear probing, 16-byte slots): a slot counts only while its stamp
+  // matches fps_round_, so the per-round clear is one round bump and the
+  // steady-state insert re-stamps the slot the same hash claimed last round —
+  // one cache line touched, nothing allocated. stamp 0 marks a never-used slot
+  // (rounds start at 1); old-stamped slots are dead weight that FpGrow()
+  // compacts away when they come to dominate the table.
+  struct FpSlot {
+    std::uint64_t hash = 0;
+    std::uint64_t stamp = 0;
+    std::uint32_t count = 0;
+    std::uint32_t pad = 0;
+  };
+  [[nodiscard]] std::size_t FpIndex(std::uint64_t hash) const {
+    return static_cast<std::size_t>(hash ^ (hash >> 32)) & fps_mask_;
+  }
+  [[nodiscard]] const FpSlot* FpFind(std::uint64_t hash) const;
+  void FpGrow();
+  std::vector<FpSlot> fps_slots_;  // power-of-2; lazily sized on first insert
+  std::size_t fps_mask_ = 0;
+  std::size_t fps_used_ = 0;  // slots with stamp != 0 (monotonic until FpGrow)
+  std::uint64_t fps_round_ = 1;
+  std::uint64_t fps_stamped_ = 0;  // distinct hashes stamped this round
+  // Delta mode: inserts deferred until a probe could actually match (its hash is
+  // in unstable_fps_). Always the suffix of the conceptual insert sequence, so
+  // flushing in order rebuilds the exact reference tree shape.
+  std::vector<UnstableItem> pending_unstable_;
+  using RmapAlloc = ArenaStlAllocator<std::pair<const std::uint64_t, StableEntry*>>;
+  std::unordered_map<std::uint64_t, StableEntry*, std::hash<std::uint64_t>,
+                     std::equal_to<std::uint64_t>, RmapAlloc>
+      rmap_;
   // Volatility gate, indexed per process so teardown drops a dead process's
   // checksums in O(its pages) instead of sweeping every tracked page.
   std::unordered_map<std::uint32_t, std::unordered_map<Vpn, std::uint64_t>> checksums_;
   std::uint64_t frames_saved_ = 0;
+  // Bumped on every stable-tree membership change; with an unchanged version
+  // (and no shared-frame content mutation) a recorded "no stable match" verdict
+  // for an unchanged page is still exact, so the replay skips the stable Find.
+  std::uint64_t stable_version_ = 0;
+  DeltaPassCache delta_;
+  bool delta_mode_ = false;
 };
 
 }  // namespace vusion

@@ -41,13 +41,17 @@ void ParallelScanPipeline::ResolveAndPeek(ScanItem& item, const Phase1Filter& fi
 void ParallelScanPipeline::Run(std::vector<ScanItem>& items, ScanTiming& timing,
                                const Phase1Filter& filter,
                                const std::function<void(ScanItem&)>& merge_one,
-                               const std::function<void()>& between_phases) {
+                               const std::function<void()>& between_phases,
+                               const Phase1Probe& probe) {
   // Phase 1: shard the quantum across workers; each chunk only reads simulated
   // state and writes its own disjoint items.
   std::atomic<std::uint64_t> phase1_ns{0};
   const auto chunk = [&](std::size_t begin, std::size_t end) {
     const std::uint64_t t0 = NowNs();
     for (std::size_t i = begin; i < end; ++i) {
+      if (probe && probe(items[i])) {
+        continue;  // expected pass-cache replay: skip the resolve and the hash
+      }
       ResolveAndPeek(items[i], filter);
     }
     phase1_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);

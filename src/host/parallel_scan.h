@@ -69,6 +69,13 @@ class ParallelScanPipeline {
   // anything. Null = hash every present page.
   using Phase1Filter = std::function<bool(const Pte&, const ScanItem&)>;
 
+  // Engine-supplied phase-1 fast-out for delta scanning: true means the engine
+  // expects to replay this page from its pass cache, so resolving and hashing it
+  // would be wasted work. Advisory only — phase 2 revalidates authoritatively,
+  // and a page skipped here but rejected there simply hashes on demand. Same
+  // worker-thread contract as Phase1Filter: read-only, no simulated writes.
+  using Phase1Probe = std::function<bool(const ScanItem&)>;
+
   // Runs both phases over `items` and invokes merge_one(item) serially for every
   // item, in order. Timing for the phase-1 chunks is accumulated into `timing`
   // (the engine wraps the whole scan section for scan_ns itself).
@@ -79,7 +86,8 @@ class ParallelScanPipeline {
   void Run(std::vector<ScanItem>& items, ScanTiming& timing,
            const Phase1Filter& filter,
            const std::function<void(ScanItem&)>& merge_one,
-           const std::function<void()>& between_phases = nullptr);
+           const std::function<void()>& between_phases = nullptr,
+           const Phase1Probe& probe = nullptr);
 
  private:
   void ResolveAndPeek(ScanItem& item, const Phase1Filter& filter) const;

@@ -61,7 +61,19 @@ host::ThreadPool* Machine::HostPool(std::size_t threads) {
 Process& Machine::CreateProcess() {
   const auto id = static_cast<std::uint32_t>(processes_.size());
   processes_.push_back(std::make_unique<Process>(*this, id));
+  if (write_epochs_enabled_) {
+    processes_.back()->address_space().write_epochs().Enable();
+  }
   return *processes_.back();
+}
+
+void Machine::EnableWriteEpochs() {
+  write_epochs_enabled_ = true;
+  for (const auto& process : processes_) {
+    if (process != nullptr) {
+      process->address_space().write_epochs().Enable();
+    }
+  }
 }
 
 Process& Machine::ForkProcess(Process& parent) {
@@ -251,6 +263,25 @@ MetricsSnapshot Machine::CollectMetrics() {
   }
   metrics_.GetCounter("trace.emitted").Set(trace_.total_emitted());
   metrics_.GetCounter("trace.dropped").Set(trace_.dropped());
+  const auto pattern_stats = memory_->pattern_hash_cache_stats();
+  metrics_.GetCounter("pattern_hash_cache.hits").Set(pattern_stats.hits);
+  metrics_.GetCounter("pattern_hash_cache.misses").Set(pattern_stats.misses);
+  metrics_.GetCounter("pattern_hash_cache.evictions").Set(pattern_stats.evictions);
+  metrics_.GetGauge("pattern_hash_cache.entries")
+      .Set(static_cast<double>(pattern_stats.entries));
+  if (write_epochs_enabled_) {
+    std::uint64_t bumps = 0;
+    std::uint64_t tracked = 0;
+    for (const auto& process : processes_) {
+      if (process != nullptr) {
+        const WriteEpochMap& epochs = process->address_space().write_epochs();
+        bumps += epochs.bumps();
+        tracked += epochs.tracked_pages();
+      }
+    }
+    metrics_.GetCounter("write_epoch.bumps").Set(bumps);
+    metrics_.GetGauge("write_epoch.tracked_pages").Set(static_cast<double>(tracked));
+  }
   if (chaos_ != nullptr) {
     chaos_->ExportMetrics(metrics_);
   }

@@ -1,0 +1,116 @@
+// Per-address-space write epochs: the simulated soft-dirty bit feeding the delta
+// scanner's pass cache (src/fusion/delta_scan.h).
+//
+// Every mapping mutation that could change what a scanner would conclude about a
+// page — MapPage/UnmapPage/SetPte, flag updates, huge map/split/collapse — bumps
+// the page's epoch (AddressSpace routes all of them here; the only in-place PTE
+// writes in the tree are the fault path's accessed/dirty bit fills, which are
+// deliberately epoch-free: the accessed bit never changes a scan conclusion, and
+// the dirty bit is always accompanied by a content write that moves the frame's
+// content generation, which the pass cache checks separately).
+//
+// Disabled (the default) it is a single branch per PTE write; Machine enables it
+// machine-wide when an engine with FusionConfig::delta_scan installs.
+//
+// Storage is a radix of fixed chunks (vpn high bits -> array of epochs) rather
+// than a hash map: the scan path reads one epoch per page per pass, and scans
+// walk vpns sequentially, so GetFast's last-chunk memo turns the common case
+// into a single array index. Get is the memo-free variant for the parallel
+// pipeline's phase-1 workers — const and touch-nothing, so any number of
+// threads may call it concurrently while no mutator runs.
+
+#ifndef VUSION_SRC_MMU_WRITE_EPOCH_H_
+#define VUSION_SRC_MMU_WRITE_EPOCH_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/mmu/pte.h"
+
+namespace vusion {
+
+class WriteEpochMap {
+ public:
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+
+  void Bump(Vpn vpn) {
+    if (enabled_) {
+      std::uint64_t& epoch = EnsureSlot(vpn);
+      tracked_ += epoch == 0;
+      ++epoch;
+      ++bumps_;
+    }
+  }
+
+  void BumpRange(Vpn base, std::uint64_t pages) {
+    if (enabled_) {
+      for (std::uint64_t i = 0; i < pages; ++i) {
+        std::uint64_t& epoch = EnsureSlot(base + i);
+        tracked_ += epoch == 0;
+        ++epoch;
+      }
+      bumps_ += pages;
+    }
+  }
+
+  // Epoch of a page never written since enable is 0; cache entries recorded
+  // against epoch 0 stay valid until the first mutation, which is exactly right.
+  // Memo-free and side-effect-free: safe for concurrent phase-1 readers.
+  [[nodiscard]] std::uint64_t Get(Vpn vpn) const {
+    const auto it = chunks_.find(vpn >> kChunkBits);
+    return it == chunks_.end() ? 0 : it->second->epochs[vpn & kChunkMask];
+  }
+
+  // Get with a last-chunk memo for the serial scan path (sequential vpns hit
+  // the memo almost always). Not for concurrent use.
+  [[nodiscard]] std::uint64_t GetFast(Vpn vpn) {
+    const std::uint64_t key = vpn >> kChunkBits;
+    if (memo_ != nullptr && memo_key_ == key) {
+      return memo_->epochs[vpn & kChunkMask];
+    }
+    const auto it = chunks_.find(key);
+    if (it == chunks_.end()) {
+      return 0;
+    }
+    memo_key_ = key;
+    memo_ = it->second.get();
+    return memo_->epochs[vpn & kChunkMask];
+  }
+
+  [[nodiscard]] std::uint64_t bumps() const { return bumps_; }
+  [[nodiscard]] std::size_t tracked_pages() const { return tracked_; }
+
+ private:
+  static constexpr std::uint64_t kChunkBits = 10;  // 1024 pages / 8 KB per chunk
+  static constexpr std::uint64_t kChunkMask = (1ull << kChunkBits) - 1;
+  struct Chunk {
+    std::array<std::uint64_t, 1ull << kChunkBits> epochs{};
+  };
+
+  std::uint64_t& EnsureSlot(Vpn vpn) {
+    const std::uint64_t key = vpn >> kChunkBits;
+    if (memo_ == nullptr || memo_key_ != key) {
+      std::unique_ptr<Chunk>& chunk = chunks_[key];
+      if (chunk == nullptr) {
+        chunk = std::make_unique<Chunk>();
+      }
+      memo_key_ = key;
+      memo_ = chunk.get();
+    }
+    return memo_->epochs[vpn & kChunkMask];
+  }
+
+  bool enabled_ = false;
+  std::uint64_t bumps_ = 0;
+  std::uint64_t tracked_ = 0;  // slots ever bumped (epochs are monotonic)
+  std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+  std::uint64_t memo_key_ = 0;
+  Chunk* memo_ = nullptr;
+};
+
+}  // namespace vusion
+
+#endif  // VUSION_SRC_MMU_WRITE_EPOCH_H_

@@ -59,6 +59,7 @@ void PhysicalMemory::FillZero(FrameId f) {
   fr.kind = ContentKind::kZero;
   fr.pattern_seed = 0;
   ++fr.content_gen;
+  NoteMutation(f);
 }
 
 void PhysicalMemory::FillPattern(FrameId f, std::uint64_t seed) {
@@ -70,6 +71,7 @@ void PhysicalMemory::FillPattern(FrameId f, std::uint64_t seed) {
   fr.kind = ContentKind::kPattern;
   fr.pattern_seed = seed;
   ++fr.content_gen;
+  NoteMutation(f);
 }
 
 void PhysicalMemory::Unshare(FrameId f) {
@@ -105,6 +107,7 @@ void PhysicalMemory::WriteBytes(FrameId f, std::size_t offset,
   Unshare(f);
   std::memcpy(frames_[f].bytes->data() + offset, data.data(), data.size());
   ++frames_[f].content_gen;
+  NoteMutation(f);
 }
 
 void PhysicalMemory::WriteU64(FrameId f, std::size_t offset, std::uint64_t value) {
@@ -150,6 +153,7 @@ void PhysicalMemory::CopyFrame(FrameId dst, FrameId src) {
   Frame& d = frames_[dst];
   const Frame& s = frames_[src];
   ++d.content_gen;
+  NoteMutation(dst);
   // The copy inherits the source's cached hash (valid or not at the new generation).
   d.cached_hash = s.cached_hash;
   d.hash_gen = s.hash_cached() ? d.content_gen : 0;
@@ -177,6 +181,7 @@ void PhysicalMemory::FlipBit(FrameId f, std::size_t bit_index) {
   Unshare(f);
   (*frames_[f].bytes)[bit_index / 8] ^= static_cast<std::uint8_t>(1U << (bit_index % 8));
   ++frames_[f].content_gen;
+  NoteMutation(f);
 }
 
 int PhysicalMemory::Compare(FrameId a, FrameId b) const {

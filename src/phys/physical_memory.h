@@ -92,6 +92,15 @@ class PhysicalMemory {
     return frames_[f].content_gen;
   }
 
+  // Machine-wide count of content mutations that hit a *shared* (refcount > 0)
+  // frame — i.e. a fused stable copy changing underneath the engines (rowhammer
+  // flips, direct corruption). Shared frames are write-protected, so this almost
+  // never moves; the delta scanner uses it as a cheap global guard for its
+  // memoized "no stable-tree match" conclusions.
+  [[nodiscard]] std::uint64_t shared_content_mutations() const {
+    return shared_content_mutations_;
+  }
+
   // Hit/miss accounting for the seed-keyed pattern hash cache (bounded; see
   // kPatternHashCacheCap).
   struct PatternHashCacheStats {
@@ -137,9 +146,18 @@ class PhysicalMemory {
   void Unshare(FrameId f);
   [[nodiscard]] std::uint8_t ByteAt(FrameId f, std::size_t offset) const;
 
+  // Every mutator of frame contents must call this alongside the content_gen
+  // bump so shared_content_mutations() stays complete.
+  void NoteMutation(FrameId f) {
+    if (frames_[f].refcount > 0) {
+      ++shared_content_mutations_;
+    }
+  }
+
   std::vector<Frame> frames_;
   std::size_t allocated_count_ = 0;
   std::size_t materialized_count_ = 0;
+  std::uint64_t shared_content_mutations_ = 0;
   // Hash cache for pattern contents, keyed by seed (many frames share an image
   // seed). Bounded by kPatternHashCacheCap: once full, it is cleared and refilled
   // on demand.

@@ -71,13 +71,25 @@ bool Rng::NextBool(double p) {
 }
 
 double Rng::NextGaussian() {
-  // Box-Muller; guard against log(0).
+  // Box-Muller produces two independent normals per (u1, u2) pair; returning
+  // the cached sine-term on alternate calls halves the transcendental cost,
+  // which is the dominant host expense of the latency model's noise draws
+  // (sin and cos on the same angle compile to one sincos call).
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Guard against log(0).
   double u1 = NextDouble();
   while (u1 <= 0.0) {
     u1 = NextDouble();
   }
   const double u2 = NextDouble();
-  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return r * std::cos(theta);
 }
 
 double Rng::NextLogNormal(double median, double sigma) {

@@ -32,7 +32,10 @@ class Rng {
   // True with probability p (clamped to [0,1]).
   bool NextBool(double p);
 
-  // Standard normal via Box-Muller (no cached spare; simple and stateless).
+  // Standard normal via Box-Muller. The transform yields two independent
+  // normals per uniform pair; the second is cached and returned by the next
+  // call, so consecutive calls alternate between consuming two uniforms and
+  // consuming none. Fork() does not inherit the cached spare.
   double NextGaussian();
 
   // Log-normal with the given median and sigma of the underlying normal. Used by the
@@ -48,6 +51,8 @@ class Rng {
 
  private:
   std::uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
 };
 
 }  // namespace vusion

@@ -1,0 +1,403 @@
+// Delta-scanning parity and invalidation tests (DESIGN.md §10).
+//
+// Epoch-based delta scanning (FusionConfig::delta_scan) is a host-side
+// optimisation: on every pass, unchanged pages replay their memoized scan
+// conclusion instead of re-deriving it. The contract is bit-identical simulated
+// behaviour — stats, the full trace event stream, and the final charged clock
+// value must match the reference full scan for every engine and thread count,
+// under a workload that churns the pass cache hard (content writes, CoW breaks,
+// remaps, and a mid-run VM teardown).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/chaos/invariant_auditor.h"
+#include "src/chaos/fuzz_campaign.h"
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/process.h"
+#include "src/sim/metrics.h"
+
+namespace vusion {
+namespace {
+
+void ExpectAuditClean(Machine& machine, FusionEngine* engine) {
+  InvariantAuditor auditor(machine);
+  const AuditReport report = auditor.Audit(engine);
+  EXPECT_GT(report.checks, 0u);
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
+}
+
+struct DeltaResult {
+  std::uint64_t pages_scanned = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t fake_merges = 0;
+  std::uint64_t unmerges_cow = 0;
+  std::uint64_t unmerges_coa = 0;
+  std::uint64_t zero_page_merges = 0;
+  std::uint64_t full_scans = 0;
+  std::uint64_t frames_saved = 0;
+  SimTime final_time = 0;
+  std::vector<TraceEvent> trace;
+  std::uint64_t delta_replays = 0;
+  std::uint64_t delta_records = 0;
+};
+
+// The churn workload: duplicate-heavy VMs scanned across many wake quanta,
+// interleaved with content writes (CoW breaks on fused pages, generation bumps
+// on unique ones), remaps (unmap + remap with fresh content), reads, and one
+// phase-hook VM teardown while the engine is mid-scan.
+DeltaResult RunDeltaScenario(EngineKind kind, std::uint64_t seed, std::size_t threads,
+                             bool delta) {
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;
+  machine_config.seed = seed;
+  Machine machine(machine_config);
+  machine.trace().set_enabled(true);
+  FusionConfig fusion_config;
+  fusion_config.wake_period = 1 * kMillisecond;
+  fusion_config.pages_per_wake = 256;
+  fusion_config.pool_frames = 1024;
+  fusion_config.wpf_period = 10 * kMillisecond;
+  fusion_config.scan_threads = threads;
+  fusion_config.delta_scan = delta;
+  ScopedEngine engine(kind, machine, fusion_config);
+
+  constexpr std::size_t kVms = 3;
+  constexpr std::size_t kPages = 128;
+  std::vector<Process*> procs;
+  std::vector<VirtAddr> bases;
+  for (std::size_t p = 0; p < kVms; ++p) {
+    Process& proc = machine.CreateProcess();
+    procs.push_back(&proc);
+    const VirtAddr base = proc.AllocateRegion(kPages, PageType::kAnonymous, true, false);
+    bases.push_back(base);
+    for (std::size_t i = 0; i < kPages; ++i) {
+      if (i % 16 == 5) {
+        proc.SetupMapZero(VaddrToVpn(base) + i);  // zero pages (zero-only KSM)
+      } else if (i % 3 == 0) {
+        proc.SetupMapPattern(VaddrToVpn(base) + i, 0x6200 + (i % 20));  // duplicates
+      } else {
+        proc.SetupMapPattern(VaddrToVpn(base) + i, 0x990000 + p * 4096 + i);  // unique
+      }
+    }
+  }
+  // The teardown victim: shares content with the main VMs so its pages merge
+  // (leaving delta entries and engine references behind to invalidate).
+  Process& victim = machine.CreateProcess();
+  const std::uint32_t victim_pid = victim.id();
+  const VirtAddr victim_base =
+      victim.AllocateRegion(kPages, PageType::kAnonymous, true, false);
+  for (std::size_t i = 0; i < kPages; ++i) {
+    victim.SetupMapPattern(VaddrToVpn(victim_base) + i, 0x6200 + (i % 20));
+  }
+
+  // Mid-scan teardown: on the 10th wake quantum, destroy the victim VM from
+  // inside the engine's own scan loop. Quantum boundaries fire identically with
+  // delta on and off, so both runs tear down at the same simulated instant.
+  std::size_t quantum_starts = 0;
+  engine->SetPhaseHook([&](FusionEngine&, ScanPhase phase) {
+    if (phase != ScanPhase::kQuantumStart) {
+      return;
+    }
+    if (++quantum_starts == 10 && machine.processes()[victim_pid] != nullptr) {
+      machine.DestroyProcess(*machine.processes()[victim_pid]);
+    }
+  });
+
+  Rng rng(seed * 131 + 7);
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t p = rng.NextBelow(kVms);
+    const std::size_t page = rng.NextBelow(kPages);
+    const VirtAddr addr = bases[p] + page * kPageSize + rng.NextBelow(kPageSize / 8) * 8;
+    switch (rng.NextBelow(6)) {
+      case 0:
+      case 1:
+        // Content write: breaks CoW on fused pages, moves the write epoch and
+        // content generation on private ones.
+        procs[p]->Write64(addr, rng.Next());
+        break;
+      case 2:
+        machine.Idle(rng.NextInRange(1, 4) * kMillisecond);
+        break;
+      case 3: {
+        // Remap: the page leaves and re-enters the address space with fresh
+        // content; any memoized conclusion for its vpn must not survive.
+        const Vpn vpn = VaddrToVpn(bases[p]) + page;
+        procs[p]->SetupUnmap(vpn);
+        procs[p]->SetupMapPattern(vpn, 0x6200 + (rng.NextBelow(40)));
+        break;
+      }
+      case 4:
+        (void)procs[p]->Read64(addr);
+        break;
+      default:
+        procs[p]->Prefetch(addr);
+        break;
+    }
+  }
+  // Long steady-state stretch: this is where delta replays dominate.
+  machine.Idle(150 * kMillisecond);
+
+  engine->SetPhaseHook(nullptr);
+  const FusionStats& stats = engine->stats();
+  DeltaResult result;
+  result.pages_scanned = stats.pages_scanned;
+  result.merges = stats.merges;
+  result.fake_merges = stats.fake_merges;
+  result.unmerges_cow = stats.unmerges_cow;
+  result.unmerges_coa = stats.unmerges_coa;
+  result.zero_page_merges = stats.zero_page_merges;
+  result.full_scans = stats.full_scans;
+  result.frames_saved = engine->frames_saved();
+  result.final_time = machine.clock().now();
+  result.trace = machine.trace().Events();
+  MetricsRegistry registry;
+  engine->ExportMetrics(registry);
+  result.delta_replays = registry.GetCounter("delta.replays").value();
+  result.delta_records = registry.GetCounter("delta.records").value();
+  ExpectAuditClean(machine, engine.get());
+  return result;
+}
+
+void ExpectBitIdentical(const DeltaResult& off, const DeltaResult& on,
+                        const std::string& label) {
+  EXPECT_EQ(off.pages_scanned, on.pages_scanned) << label;
+  EXPECT_EQ(off.merges, on.merges) << label;
+  EXPECT_EQ(off.fake_merges, on.fake_merges) << label;
+  EXPECT_EQ(off.unmerges_cow, on.unmerges_cow) << label;
+  EXPECT_EQ(off.unmerges_coa, on.unmerges_coa) << label;
+  EXPECT_EQ(off.zero_page_merges, on.zero_page_merges) << label;
+  EXPECT_EQ(off.full_scans, on.full_scans) << label;
+  EXPECT_EQ(off.frames_saved, on.frames_saved) << label;
+  EXPECT_EQ(off.final_time, on.final_time) << label;
+  ASSERT_EQ(off.trace.size(), on.trace.size()) << label;
+  for (std::size_t i = 0; i < off.trace.size(); ++i) {
+    const TraceEvent& a = off.trace[i];
+    const TraceEvent& b = on.trace[i];
+    ASSERT_TRUE(a.time == b.time && a.type == b.type && a.process_id == b.process_id &&
+                a.vpn == b.vpn && a.frame == b.frame)
+        << label << ": event " << i << " diverged at time " << a.time << " vs " << b.time;
+  }
+}
+
+struct DeltaParam {
+  EngineKind kind;
+  std::uint64_t seed;
+};
+
+class DeltaParityTest : public ::testing::TestWithParam<DeltaParam> {
+ protected:
+  void SetUp() override {
+    // The comparison owns both knobs explicitly; CI-level env overrides would
+    // make delta-off runs silently delta-on (or force a thread count).
+    unsetenv("VUSION_DELTA_SCAN");
+    unsetenv("VUSION_SCAN_THREADS");
+  }
+};
+
+TEST_P(DeltaParityTest, DeltaOnAndOffAreBitIdentical) {
+  const DeltaParam param = GetParam();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const DeltaResult off = RunDeltaScenario(param.kind, param.seed, threads, false);
+    const DeltaResult on = RunDeltaScenario(param.kind, param.seed, threads, true);
+    ExpectBitIdentical(off, on, "threads=" + std::to_string(threads));
+    // The delta run must actually replay, and the reference run must not: a
+    // zero-replay pass cache would make the parity above vacuous.
+    EXPECT_GT(on.delta_replays, 0u) << "threads=" << threads;
+    EXPECT_GT(on.delta_records, 0u) << "threads=" << threads;
+    EXPECT_EQ(off.delta_replays, 0u) << "threads=" << threads;
+    // And the scenario must exercise fusion churn, not compare no-ops.
+    EXPECT_GT(off.merges + off.fake_merges, 0u) << "threads=" << threads;
+    EXPECT_GT(off.trace.size(), 0u) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScanningEngines, DeltaParityTest,
+    ::testing::Values(DeltaParam{EngineKind::kKsm, 1}, DeltaParam{EngineKind::kKsm, 2},
+                      DeltaParam{EngineKind::kKsmCoA, 1},
+                      DeltaParam{EngineKind::kKsmZeroOnly, 1},
+                      DeltaParam{EngineKind::kWpf, 1}, DeltaParam{EngineKind::kWpf, 2},
+                      DeltaParam{EngineKind::kVUsion, 1},
+                      DeltaParam{EngineKind::kVUsion, 2},
+                      DeltaParam{EngineKind::kVUsionThp, 1}),
+    [](const ::testing::TestParamInfo<DeltaParam>& info) {
+      std::string name = EngineKindName(info.param.kind);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_s" + std::to_string(info.param.seed);
+    });
+
+// --- Chaos merge-abort regression ---
+//
+// An injected merge abort must never leave a pass-cache entry whose recorded
+// conclusion (in KSM's case, a memoized content hash and a "merge will succeed"
+// verdict) outlives the aborted merge. The chaos decision stream consumes one
+// ShouldFail per consult site, and the replay paths preserve every consult
+// ordinal, so the same seed fires the same aborts with delta on and off — the
+// runs must stay bit-identical even while aborts fire, and the machine-wide
+// auditor (which cross-checks every surviving delta entry against PTEs, rmaps,
+// and live frame content) must hold throughout.
+
+struct ChaosDeltaParam {
+  EngineKind kind;
+  std::uint64_t seed;
+};
+
+class DeltaChaosAbortTest : public ::testing::TestWithParam<ChaosDeltaParam> {
+ protected:
+  void SetUp() override {
+    unsetenv("VUSION_DELTA_SCAN");
+    unsetenv("VUSION_SCAN_THREADS");
+  }
+};
+
+struct ChaosDeltaResult {
+  DeltaResult base;
+  std::uint64_t degradations = 0;
+};
+
+ChaosDeltaResult RunChaosAbortScenario(EngineKind kind, std::uint64_t seed, bool delta) {
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 14;
+  machine_config.seed = seed;
+  Machine machine(machine_config);
+  machine.trace().set_enabled(true);
+  ChaosConfig chaos_config;
+  chaos_config.SetRate(FaultSite::kMergeAbort, 0.25);
+  chaos_config.SetRate(FaultSite::kStaleChecksum, 0.10);
+  FaultInjector& injector = machine.EnableChaos(chaos_config);
+  FusionConfig fusion_config;
+  fusion_config.wake_period = 1 * kMillisecond;
+  fusion_config.pages_per_wake = 256;
+  fusion_config.pool_frames = 1024;
+  fusion_config.wpf_period = 10 * kMillisecond;
+  fusion_config.delta_scan = delta;
+  ScopedEngine engine(kind, machine, fusion_config);
+
+  constexpr std::size_t kVms = 3;
+  constexpr std::size_t kPages = 96;
+  std::vector<Process*> procs;
+  std::vector<VirtAddr> bases;
+  for (std::size_t p = 0; p < kVms; ++p) {
+    Process& proc = machine.CreateProcess();
+    procs.push_back(&proc);
+    const VirtAddr base = proc.AllocateRegion(kPages, PageType::kAnonymous, true, false);
+    bases.push_back(base);
+    for (std::size_t i = 0; i < kPages; ++i) {
+      proc.SetupMapPattern(VaddrToVpn(base) + i, 0x3300 + (i % 12));  // heavy duplication
+    }
+  }
+  Rng rng(seed * 577 + 3);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.NextBelow(3) == 0) {
+      machine.Idle(rng.NextInRange(1, 4) * kMillisecond);
+    } else {
+      procs[rng.NextBelow(kVms)]->Write64(
+          bases[rng.NextBelow(kVms)] + rng.NextBelow(kPages) * kPageSize, rng.Next());
+    }
+  }
+  machine.Idle(120 * kMillisecond);
+
+  ChaosDeltaResult result;
+  const FusionStats& stats = engine->stats();
+  result.base.pages_scanned = stats.pages_scanned;
+  result.base.merges = stats.merges;
+  result.base.unmerges_cow = stats.unmerges_cow;
+  result.base.unmerges_coa = stats.unmerges_coa;
+  result.base.full_scans = stats.full_scans;
+  result.base.frames_saved = engine->frames_saved();
+  result.base.final_time = machine.clock().now();
+  result.base.trace = machine.trace().Events();
+  result.degradations = injector.degradations();
+  MetricsRegistry registry;
+  engine->ExportMetrics(registry);
+  result.base.delta_replays = registry.GetCounter("delta.replays").value();
+  ExpectAuditClean(machine, engine.get());
+  return result;
+}
+
+TEST_P(DeltaChaosAbortTest, AbortedMergesLeaveNoStaleMemo) {
+  const ChaosDeltaParam param = GetParam();
+  const ChaosDeltaResult off = RunChaosAbortScenario(param.kind, param.seed, false);
+  const ChaosDeltaResult on = RunChaosAbortScenario(param.kind, param.seed, true);
+  ExpectBitIdentical(off.base, on.base, "chaos");
+  EXPECT_EQ(off.degradations, on.degradations);
+  // Aborts must actually fire, and the delta run must actually replay — this
+  // is the regression pinning the "drop the memoized hash before the merge can
+  // abort" fix, not a quiet pass.
+  EXPECT_GT(on.degradations, 0u);
+  EXPECT_GT(on.base.delta_replays, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DeltaChaosAbortTest,
+    ::testing::Values(ChaosDeltaParam{EngineKind::kKsm, 11},
+                      ChaosDeltaParam{EngineKind::kWpf, 11},
+                      ChaosDeltaParam{EngineKind::kVUsion, 11}),
+    [](const ::testing::TestParamInfo<ChaosDeltaParam>& info) {
+      std::string name = EngineKindName(info.param.kind);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// --- Chaos fuzz with delta scanning on ---
+//
+// The full randomized campaign (map/write/unmap/fork/teardown churn with faults
+// injected at every site, machine-wide audits throughout) must stay green with
+// the pass cache enabled. The heavyweight sweep lives in CI
+// (tools/chaos_fuzz --delta); this keeps a deterministic slice in the suite.
+
+struct FuzzDeltaParam {
+  EngineKind kind;
+  std::uint64_t seed;
+};
+
+class DeltaFuzzTest : public ::testing::TestWithParam<FuzzDeltaParam> {};
+
+TEST_P(DeltaFuzzTest, CampaignInvariantsHoldWithDeltaOn) {
+  CampaignOptions options;
+  options.engine = GetParam().kind;
+  options.seed = GetParam().seed;
+  options.steps = 300;
+  options.delta_scan = true;
+  options.audit_epoch = 4;
+  options.shrink = false;
+  const CampaignResult result = FuzzCampaign(options).Run();
+  EXPECT_TRUE(result.ok) << result.repro;
+  for (const std::string& violation : result.violations) {
+    ADD_FAILURE() << violation;
+  }
+  EXPECT_GT(result.checks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DeltaFuzzTest,
+    ::testing::Values(FuzzDeltaParam{EngineKind::kKsm, 1}, FuzzDeltaParam{EngineKind::kKsm, 2},
+                      FuzzDeltaParam{EngineKind::kWpf, 1}, FuzzDeltaParam{EngineKind::kWpf, 2},
+                      FuzzDeltaParam{EngineKind::kVUsion, 1},
+                      FuzzDeltaParam{EngineKind::kVUsion, 2}),
+    [](const ::testing::TestParamInfo<FuzzDeltaParam>& info) {
+      std::string name = EngineKindName(info.param.kind);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace vusion
