@@ -5,13 +5,85 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench/reporter.h"
 #include "src/container/rbtree.h"
 #include "src/kernel/process.h"
 #include "src/phys/buddy_allocator.h"
+#include "src/phys/content_isa.h"
 
 namespace vusion {
 namespace {
+
+// --- Per-ISA content primitive tables ---
+//
+// One row per compiled implementation (scalar / wordwise / avx2) for each hot
+// primitive, so regressions in a single kernel are visible in the BENCH json.
+// The AVX2 rows are registered only when the table is genuinely distinct from
+// the wordwise fallback.
+
+alignas(32) std::array<std::uint8_t, kPageSize> g_page_a;
+alignas(32) std::array<std::uint8_t, kPageSize> g_page_b;
+
+void FillBenchPages() {
+  ExpandPattern(0xbe9c0de, g_page_a.data());
+  std::memcpy(g_page_b.data(), g_page_a.data(), kPageSize);
+}
+
+void BM_IsaHashPage(benchmark::State& state, const ContentOps* ops) {
+  FillBenchPages();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops->hash_page(g_page_a.data()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+
+void BM_IsaComparePagesEqual(benchmark::State& state, const ContentOps* ops) {
+  FillBenchPages();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops->compare_pages(g_page_a.data(), g_page_b.data()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+
+void BM_IsaComparePagesLastByteDiff(benchmark::State& state, const ContentOps* ops) {
+  FillBenchPages();
+  g_page_b[kPageSize - 1] ^= 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops->compare_pages(g_page_a.data(), g_page_b.data()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+
+void BM_IsaIsZero(benchmark::State& state, const ContentOps* ops) {
+  std::memset(g_page_a.data(), 0, kPageSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops->is_zero(g_page_a.data()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+
+void RegisterIsaBenches() {
+  std::vector<const ContentOps*> tables = {&GetContentOps(ContentIsa::kScalar),
+                                           &GetContentOps(ContentIsa::kWordwise)};
+  const ContentOps& avx2 = GetContentOps(ContentIsa::kAvx2);
+  if (avx2.isa == ContentIsa::kAvx2) {
+    tables.push_back(&avx2);
+  }
+  for (const ContentOps* ops : tables) {
+    const std::string tag = std::string("<") + ops->name + ">";
+    benchmark::RegisterBenchmark(("BM_IsaHashPage" + tag).c_str(), BM_IsaHashPage, ops);
+    benchmark::RegisterBenchmark(("BM_IsaComparePagesEqual" + tag).c_str(),
+                                 BM_IsaComparePagesEqual, ops);
+    benchmark::RegisterBenchmark(("BM_IsaComparePagesLastByteDiff" + tag).c_str(),
+                                 BM_IsaComparePagesLastByteDiff, ops);
+    benchmark::RegisterBenchmark(("BM_IsaIsZero" + tag).c_str(), BM_IsaIsZero, ops);
+  }
+}
 
 void BM_PatternHash(benchmark::State& state) {
   PhysicalMemory mem(64);
@@ -135,6 +207,7 @@ class JsonBridgeReporter : public benchmark::ConsoleReporter {
 }  // namespace vusion
 
 int main(int argc, char** argv) {
+  vusion::RegisterIsaBenches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

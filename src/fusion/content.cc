@@ -1,12 +1,8 @@
 #include "src/fusion/content.h"
 
-namespace vusion {
+#include <bit>
 
-std::uint64_t ChargedContent::Hash(FrameId frame) const {
-  LatencyModel& lm = machine_->latency();
-  lm.Charge(lm.config().content_hash);
-  return machine_->memory().HashContent(frame);
-}
+namespace vusion {
 
 int ChargedContent::Compare(FrameId a, FrameId b) const {
   LatencyModel& lm = machine_->latency();
@@ -17,18 +13,6 @@ int ChargedContent::Compare(FrameId a, FrameId b) const {
 void ChargedContent::ChargeTreeStep() const {
   LatencyModel& lm = machine_->latency();
   lm.Charge(lm.config().tree_step);
-}
-
-void ChargedContent::ChargeTreeDescend(std::size_t tree_size) const {
-  if (tree_size == 0) {
-    return;
-  }
-  std::size_t steps = 1;
-  while (tree_size >>= 1) {
-    ++steps;
-  }
-  LatencyModel& lm = machine_->latency();
-  lm.Charge(steps * (lm.config().tree_step + lm.config().content_compare));
 }
 
 bool ChargedContent::Matches(FrameId a, FrameId b) const {
@@ -59,7 +43,7 @@ int ChargedContent::HostOrder(FrameId a, FrameId b) const {
   return memory.Compare(a, b);
 }
 
-bool ScanCursor::Next(Process*& process, Vpn& vpn, bool& wrapped) {
+bool ScanCursor::NextSlow(Process*& process, Vpn& vpn, bool& wrapped) {
   wrapped = false;
   const auto& processes = machine_->processes();
   if (processes.empty()) {

@@ -4,6 +4,8 @@
 #ifndef VUSION_SRC_FUSION_CONTENT_H_
 #define VUSION_SRC_FUSION_CONTENT_H_
 
+#include <bit>
+
 #include "src/kernel/machine.h"
 #include "src/kernel/process.h"
 
@@ -35,8 +37,15 @@ class ChargedContent {
       : machine_(&machine), byte_ordered_(byte_ordered) {}
 
   // --- Charged (modeled cost) ---
+  //
+  // Hash and ChargeTreeDescend are defined inline: the scanners issue both on
+  // every unique page, and the cross-TU call overhead is measurable there.
 
-  std::uint64_t Hash(FrameId frame) const;
+  std::uint64_t Hash(FrameId frame) const {
+    LatencyModel& lm = machine_->latency();
+    lm.Charge(lm.config().content_hash);
+    return machine_->memory().HashContent(frame);
+  }
   int Compare(FrameId a, FrameId b) const;
   // One tree descend step's bookkeeping cost (pointer chasing).
   void ChargeTreeStep() const;
@@ -44,7 +53,15 @@ class ChargedContent {
   // `tree_size` entries: floor(log2(size))+1 steps, each a tree_step plus a
   // content_compare, charged as one noisy quantum. Deliberately a function of
   // size alone so the charge stream cannot depend on the host-side tree layout.
-  void ChargeTreeDescend(std::size_t tree_size) const;
+  void ChargeTreeDescend(std::size_t tree_size) const {
+    if (tree_size == 0) {
+      return;
+    }
+    // floor(log2(n)) + 1, identical to the obvious shift loop.
+    const std::size_t steps = std::bit_width(tree_size);
+    LatencyModel& lm = machine_->latency();
+    lm.Charge(steps * (lm.config().tree_step + lm.config().content_compare));
+  }
   // Charged equality check (one content_compare); host work is fingerprint-first.
   [[nodiscard]] bool Matches(FrameId a, FrameId b) const;
 
@@ -69,10 +86,42 @@ class ScanCursor {
  public:
   explicit ScanCursor(Machine& machine) : machine_(&machine) {}
 
-  // Returns false if there is no mergeable memory at all.
-  bool Next(Process*& process, Vpn& vpn, bool& wrapped);
+  // Returns false if there is no mergeable memory at all. The inline body is
+  // the loop's steady-state first iteration — the current indices still point
+  // at a live process/VMA/page — revalidated from scratch on every call (no
+  // derived state is memoized), so it is behaviorally identical to entering
+  // the out-of-line walk.
+  bool Next(Process*& process, Vpn& vpn, bool& wrapped) {
+    const auto& processes = machine_->processes();
+    if (process_idx_ < processes.size() && processes[process_idx_] != nullptr) {
+      Process& candidate = *processes[process_idx_];
+      const auto& areas = candidate.address_space().vmas().areas();
+      if (vma_idx_ < areas.size()) {
+        const VmArea& vma = areas[vma_idx_];
+        if (vma.mergeable && page_idx_ < vma.pages) {
+          wrapped = false;
+          process = &candidate;
+          vpn = vma.start + page_idx_;
+          ++page_idx_;
+          return true;
+        }
+      }
+    }
+    return NextSlow(process, vpn, wrapped);
+  }
+
+  // What the next Next() would yield, without advancing — the scan loop peeks
+  // one page ahead to prefetch its host-side state. Cursor state is four words,
+  // so peeking is a copy plus the normal skip logic.
+  bool Peek(Process*& process, Vpn& vpn) const {
+    ScanCursor copy = *this;
+    bool wrapped = false;
+    return copy.Next(process, vpn, wrapped);
+  }
 
  private:
+  bool NextSlow(Process*& process, Vpn& vpn, bool& wrapped);
+
   Machine* machine_;
   std::size_t process_idx_ = 0;
   std::size_t vma_idx_ = 0;

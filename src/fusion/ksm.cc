@@ -35,8 +35,6 @@ Ksm::Ksm(Machine& machine, const FusionConfig& config)
       pipeline_(machine.memory(), machine.HostPool(config_.scan_threads)),
       stable_(StableCompare{this}),
       unstable_(UnstableCompare{this}),
-      rmap_(/*bucket_count=*/8, std::hash<std::uint64_t>(), std::equal_to<std::uint64_t>(),
-            RmapAlloc(&arena_)),
       delta_mode_(config.delta_scan && !config.byte_ordered_trees) {
   stable_.SetNodeArena(&arena_);
   unstable_.SetNodeArena(&arena_);
@@ -93,6 +91,9 @@ void Ksm::Run() {
 }
 
 void Ksm::ScanQuantumSerial() {
+  // Batch the quantum's charges: noise is drawn per charge in the usual order,
+  // the clock advances once per flush (trace emits and phase hooks flush).
+  ChargeSpan span(machine_->latency());
   FaultInjector* injector = chaos();
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
     // Injected scan interruption: abandon the rest of the quantum (pages not
@@ -121,6 +122,7 @@ void Ksm::ScanQuantumPipelined() {
   // Collect the quantum first. ScanOne never changes the process list, VMA
   // layout, or mergeable flags (only PTEs and frame contents), so the cursor
   // yields the exact sequence the serial interleaving would.
+  ChargeSpan span(machine_->latency());
   FaultInjector* injector = chaos();
   batch_.clear();
   for (std::size_t i = 0; i < config_.pages_per_wake; ++i) {
@@ -219,12 +221,13 @@ void Ksm::ScanOneFull(Process& process, Vpn vpn) {
     RecordSimple(pid, vpn, epoch, kDeltaSkip, kInvalidFrame, 0);
     return;
   }
-  const std::uint64_t key = KeyOf(process, vpn);
-  if (rmap_.contains(key)) {
-    RecordSimple(pid, vpn, epoch, kDeltaMerged, kInvalidFrame, 0);
-    return;  // already merged
-  }
   if (pte->reserved_trap()) {
+    // In the copy-on-access variant merged pages themselves carry the reserved
+    // trap, so the rmap still decides merged-vs-skipped on this branch.
+    if (config_.unmerge_on_any_access && rmap_.contains(KeyOf(process, vpn))) {
+      RecordSimple(pid, vpn, epoch, kDeltaMerged, kInvalidFrame, 0);
+      return;
+    }
     RecordSimple(pid, vpn, epoch, kDeltaSkip, kInvalidFrame, 0);
     return;
   }
@@ -233,7 +236,27 @@ void Ksm::ScanOneFull(Process& process, Vpn vpn) {
     frame += static_cast<FrameId>(vpn & (kPagesPerHugePage - 1));
   }
   PhysicalMemory& memory = machine_->memory();
+  // Peek the next page's PTE — for 511 of 512 vpns it is the adjacent entry in
+  // the same leaf table, already in cache — and warm its frame's metadata line
+  // (refcount, hash memo) a whole page-scan ahead of its own scan. The rmap
+  // slot is likewise prefetched a page early; it is the one genuinely random
+  // access on the shared-frame path below.
+  if (!pte->huge() && (vpn & (kPagesPerHugePage - 1)) != kPagesPerHugePage - 1) {
+    const Pte& next = pte[1];
+    if (next.present() && !next.huge()) {
+      memory.PrefetchFrame(next.frame);
+    }
+  }
+  rmap_.Prefetch(KeyOf(process, vpn + 1));
   if (memory.refcount(frame) > 0) {
+    // A merged page always maps a stable frame, and stable frames keep
+    // refcount == entry->refs > 0 (AuditInvariants asserts exactly this), so
+    // the rmap probe is needed only on this shared-frame path — unique pages,
+    // the common case, skip it entirely.
+    if (rmap_.contains(KeyOf(process, vpn))) {
+      RecordSimple(pid, vpn, epoch, kDeltaMerged, kInvalidFrame, 0);
+      return;  // already merged
+    }
     // Fork-shared with another process: the kernel owns this CoW state. The
     // refcount can drop without this page's PTE moving, so the replay rechecks
     // it live.
@@ -244,14 +267,24 @@ void Ksm::ScanOneFull(Process& process, Vpn vpn) {
     RecordSimple(pid, vpn, epoch, kDeltaNotZero, frame, memory.content_generation(frame));
     return;
   }
-  const std::uint64_t hash = content_.Hash(frame);  // the per-scan checksum KSM computes
+  // content_.Hash(frame) — the per-scan checksum KSM computes — unrolled so the
+  // upcoming table probes (fingerprint slot, stable-content index bucket, this
+  // page's checksum-gate slot) prefetch while the charge's noise draw runs: the
+  // probes' cache misses hide behind the exp/log calls that dominate the scan
+  // profile. Charge order and value are exactly those of content_.Hash.
+  const std::uint64_t hash = memory.HashContent(frame);
+  if (!fps_slots_.empty()) {
+    __builtin_prefetch(&fps_slots_[FpIndex(hash)]);
+  }
+  stable_index_.Prefetch(hash);
+  ChecksumsFor(pid).Prefetch(vpn);
+  LatencyModel& lm = machine_->latency();
+  lm.Charge(lm.config().content_hash);
 
   // 1) Stable tree lookup (Figure 1-A).
   content_.ChargeTreeDescend(stable_.size());
-  auto [stable_node, stable_steps] = stable_.Find(
-      [&](StableEntry* const& e) { return content_.HostOrder(frame, e->frame); });
-  if (stable_node != nullptr) {
-    MergeInto(process, vpn, stable_node->value);
+  if (StableEntry* entry = StableLookup(frame, hash); entry != nullptr) {
+    MergeInto(process, vpn, entry);
     return;
   }
 
@@ -317,11 +350,9 @@ bool Ksm::TryReplay(Process& process, Vpn vpn) {
         // The stable tree's membership (or a shared frame's content) moved since
         // the verdict was recorded: the "no stable match" conclusion may be
         // stale, so run the real lookup this pass.
-        auto [stable_node, stable_steps] = stable_.Find(
-            [&](StableEntry* const& en) { return content_.HostOrder(frame, en->frame); });
-        if (stable_node != nullptr) {
+        if (StableEntry* entry = StableLookup(frame, hash); entry != nullptr) {
           delta_.Invalidate(pid, vpn);
-          MergeInto(process, vpn, stable_node->value);
+          MergeInto(process, vpn, entry);
           return true;
         }
         e->stable_version = stable_version_;
@@ -349,11 +380,8 @@ void Ksm::UniqueTail(Process& process, Vpn vpn, FrameId frame, std::uint64_t has
   // match or links the new node at the leaf the search ended on, so charging
   // the insert as a second full descent would double-count the walk.
   content_.ChargeTreeDescend(UnstableSize());
-  UnstableTree::Node* unstable_node = UnstableFind(hash, frame);
-  if (unstable_node != nullptr) {
-    const UnstableItem item = unstable_node->value;
-    unstable_.Remove(unstable_node);
-    EraseFp(item.sort_hash);
+  UnstableItem item;
+  if (UnstableFindRemove(hash, frame, &item)) {
     const bool self = item.process == &process && item.vpn == vpn;
     if (!self && UnstableStillValid(item)) {
       StableEntry* entry = Stabilize(item);
@@ -379,7 +407,7 @@ void Ksm::UniqueTail(Process& process, Vpn vpn, FrameId frame, std::uint64_t has
     // Forced-stale checksum: the page reads as volatile, deferring its
     // unstable-tree insertion to a later round (graceful skip, never corrupt).
     injector->RecordDegradation();
-    checksums_[pid][vpn] = ~checksum;
+    ChecksumsFor(pid)[vpn] = ~checksum;
     if (replay) {
       // The stored checksum no longer matches the page's hash, so the uniform
       // replay shape below would be wrong next pass: force a full rescan.
@@ -388,11 +416,11 @@ void Ksm::UniqueTail(Process& process, Vpn vpn, FrameId frame, std::uint64_t has
     return;
   }
   if (!replay) {
-    auto& proc_checksums = checksums_[pid];
-    const auto it = proc_checksums.find(vpn);
-    const bool gate_pass = it != proc_checksums.end() && it->second == checksum;
+    auto& proc_checksums = ChecksumsFor(pid);
+    const std::uint64_t* stored = proc_checksums.find(vpn);
+    const bool gate_pass = stored != nullptr && *stored == checksum;
     if (!gate_pass) {
-      proc_checksums[vpn] = checksum;
+      proc_checksums.insert_or_assign(vpn, checksum);
     }
     // Whether the gate passed (and we insert below) or failed (we just stored
     // the checksum), the stored value now equals the page's hash — so an
@@ -423,78 +451,54 @@ void Ksm::RecordUnique(std::uint32_t pid, Vpn vpn, std::uint64_t epoch, FrameId 
   e.shared_muts = memory.shared_content_mutations();
 }
 
-Ksm::UnstableTree::Node* Ksm::UnstableFind(std::uint64_t hash, FrameId frame) {
-  if (content_.byte_ordered()) {
-    auto [node, steps] = unstable_.Find(
-        [&](const UnstableItem& u) { return content_.HostOrder(frame, u.frame); });
-    return node;
+bool Ksm::UnstableFindRemoveTree(FrameId frame, UnstableItem* out) {
+  auto [node, steps] = unstable_.Find(
+      [&](const UnstableItem& u) { return content_.HostOrder(frame, u.frame); });
+  if (node == nullptr) {
+    return false;
   }
-  // No conceptual item was inserted with this hash => no node can match (the
-  // sort_hash key is immutable), so the whole descent — and under delta, the
-  // tree itself — is skipped.
-  const FpSlot* fp = FpFind(hash);
-  if (fp == nullptr || fp->stamp != fps_round_ || fp->count == 0) {
-    return nullptr;
-  }
-  MaterializePending();
-  // Deterministic choice within an equal-hash run: the leftmost node whose
-  // content still matches the probe. (A node whose content mutated after insert
-  // keeps its insert-time key and simply fails the byte check.)
-  UnstableTree::Node* node = unstable_.LowerBound([&](const UnstableItem& u) {
-    if (hash != u.sort_hash) {
-      return hash < u.sort_hash ? -1 : 1;
-    }
-    return 0;
-  });
-  PhysicalMemory& memory = machine_->memory();
-  for (; node != nullptr && node->value.sort_hash == hash;
-       node = UnstableTree::Successor(node)) {
-    if (memory.Compare(frame, node->value.frame) == 0) {
-      return node;
-    }
-  }
-  return nullptr;
+  *out = node->value;
+  unstable_.Remove(node);
+  return true;
 }
 
-void Ksm::UnstableInsert(UnstableItem item) {
-  if (!content_.byte_ordered()) {
-    if ((fps_used_ + 1) * 2 > fps_slots_.size()) {
-      FpGrow();
+bool Ksm::UnstableChainRemove(FpSlot* fp, FrameId frame, UnstableItem* out) {
+  // Deterministic choice within the equal-hash chain: the reference rb-tree
+  // ordered equal-hash items by (frame, insertion order) and returned the
+  // leftmost whose content still matches the probe, so pick the content match
+  // with the smallest frame, earliest-inserted on ties. (An item whose content
+  // mutated after insert keeps its insert-time hash and simply fails the byte
+  // check.) Chains are per-hash, so they are almost always a single node.
+  std::uint32_t best = kNoNode;
+  std::uint32_t best_prev = kNoNode;
+  std::uint32_t prev = kNoNode;
+  for (std::uint32_t idx = fp->head; idx != kNoNode;
+       prev = idx, idx = unstable_pool_[idx].next) {
+    const UnstableItem& u = unstable_pool_[idx].item;
+    if (best != kNoNode && unstable_pool_[best].item.frame <= u.frame) {
+      continue;
     }
-    std::size_t i = FpIndex(item.sort_hash);
-    while (true) {
-      FpSlot& s = fps_slots_[i];
-      if (s.stamp == 0) {
-        s.hash = item.sort_hash;
-        ++fps_used_;
-      } else if (s.hash != item.sort_hash) {
-        i = (i + 1) & fps_mask_;
-        continue;
-      }
-      if (s.stamp != fps_round_) {
-        s.stamp = fps_round_;
-        s.count = 0;
-        ++fps_stamped_;
-      }
-      ++s.count;
-      break;
+    if (content_.HostOrder(frame, u.frame) == 0) {
+      best = idx;
+      best_prev = prev;
     }
   }
-  if (delta_mode_) {
-    // Deferred ("virtual") insert: the tree materializes only if a later probe
-    // this round could actually match. pending_unstable_ is always the suffix of
-    // the conceptual insert sequence, so flushing preserves the tree shape.
-    pending_unstable_.push_back(item);
+  if (best == kNoNode) {
+    return false;
+  }
+  UnstableNode& node = unstable_pool_[best];
+  *out = node.item;
+  if (best_prev == kNoNode) {
+    fp->head = node.next;
   } else {
-    unstable_.Insert(item);
+    unstable_pool_[best_prev].next = node.next;
   }
-}
-
-void Ksm::MaterializePending() {
-  for (const UnstableItem& item : pending_unstable_) {
-    unstable_.Insert(item);
+  if (fp->tail == best) {
+    fp->tail = best_prev;
   }
-  pending_unstable_.clear();
+  --fp->count;
+  --unstable_live_;
+  return true;
 }
 
 void Ksm::UnstableClear() {
@@ -503,37 +507,12 @@ void Ksm::UnstableClear() {
   // reuse next round (the same unique pages re-claim the same slots). Under
   // content churn the key set drifts and dead slots accumulate; FpGrow — which
   // drops everything not stamped this round — runs from the insert path once
-  // the table passes half-used, so no compaction is needed here.
+  // the table passes half-used, so no compaction is needed here. The node pool
+  // is recycled wholesale, keeping its capacity.
   ++fps_round_;
   fps_stamped_ = 0;
-  pending_unstable_.clear();
-}
-
-void Ksm::EraseFp(std::uint64_t hash) {
-  if (content_.byte_ordered()) {
-    return;
-  }
-  const FpSlot* fp = FpFind(hash);
-  if (fp != nullptr && fp->stamp == fps_round_ && fp->count > 0) {
-    --const_cast<FpSlot*>(fp)->count;
-  }
-}
-
-const Ksm::FpSlot* Ksm::FpFind(std::uint64_t hash) const {
-  if (fps_slots_.empty()) {
-    return nullptr;
-  }
-  std::size_t i = FpIndex(hash);
-  while (true) {
-    const FpSlot& s = fps_slots_[i];
-    if (s.stamp == 0) {
-      return nullptr;  // linear-probe chains never cross a never-used slot
-    }
-    if (s.hash == hash) {
-      return &s;
-    }
-    i = (i + 1) & fps_mask_;
-  }
+  unstable_pool_.clear();
+  unstable_live_ = 0;
 }
 
 // Rebuilds the table keeping only slots stamped this round (dead slots from
@@ -552,6 +531,7 @@ void Ksm::FpGrow() {
   fps_slots_.assign(cap, FpSlot{});
   fps_mask_ = cap - 1;
   fps_used_ = 0;
+  fps_memo_idx_ = ~std::size_t{0};  // slots moved; the find memo is stale
   for (const FpSlot& s : old) {
     if (s.stamp != fps_round_) {
       continue;
@@ -563,6 +543,92 @@ void Ksm::FpGrow() {
     fps_slots_[i] = s;
     ++fps_used_;
   }
+}
+
+Ksm::StableEntry* Ksm::StableIndexLookup(FrameId frame, std::uint64_t hash) {
+  // Hash-index path. Exact, not heuristic: in uncorrupted operation the
+  // stable tree's contents are unique (every Stabilize is preceded by a
+  // stable-lookup miss on the same content in the same pass), so "the entry
+  // whose content equals the probe" has at most one answer, and any such
+  // entry's stabilize-time index_hash equals the probe hash (equal bytes =>
+  // equal hash, and stable frames are write-protected). The first shared-frame
+  // content mutation — rowhammer on a merged frame — breaks the
+  // write-protection premise, so from then on the live-keyed tree descent
+  // is used forever; it is the reference behavior for that regime.
+  StableEntry* const* head = stable_index_.find(hash);
+  for (StableEntry* e = head == nullptr ? nullptr : *head; e != nullptr;
+       e = e->index_next) {
+    if (content_.HostOrder(frame, e->frame) == 0) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+Ksm::StableEntry* Ksm::StableTreeLookup(FrameId frame) {
+  auto [node, steps] = stable_.Find(
+      [&](StableEntry* const& e) { return content_.HostOrder(frame, e->frame); });
+  return node == nullptr ? nullptr : node->value;
+}
+
+void Ksm::StableIndexInsert(StableEntry* entry) {
+  // The frame was hashed during this scan pass, so this re-read is memoized.
+  entry->index_hash = machine_->memory().HashContent(entry->frame);
+  StableEntry*& head = stable_index_[entry->index_hash];
+  entry->index_next = head;
+  head = entry;
+  std::uint8_t& bucket = stable_filter_[StableFilterBucket(entry->index_hash)];
+  if (bucket != 255) {
+    ++bucket;
+  }
+}
+
+void Ksm::StableIndexRemove(StableEntry* entry) {
+  StableEntry** link = stable_index_.find(entry->index_hash);
+  if (link == nullptr) {
+    return;
+  }
+  while (*link != nullptr && *link != entry) {
+    link = &(*link)->index_next;
+  }
+  if (*link == nullptr) {
+    return;
+  }
+  *link = entry->index_next;
+  if (StableEntry* const* head = stable_index_.find(entry->index_hash);
+      head != nullptr && *head == nullptr) {
+    stable_index_.erase(entry->index_hash);
+  }
+}
+
+bool Ksm::ValidateUnstableChains() const {
+  if (content_.byte_ordered()) {
+    return unstable_pool_.empty() && unstable_live_ == 0;
+  }
+  std::size_t live = 0;
+  for (const FpSlot& s : fps_slots_) {
+    if (s.stamp != fps_round_) {
+      continue;
+    }
+    std::uint32_t count = 0;
+    std::uint32_t idx = s.head;
+    std::uint32_t last = kNoNode;
+    while (idx != kNoNode) {
+      if (idx >= unstable_pool_.size() ||
+          unstable_pool_[idx].item.sort_hash != s.hash ||
+          count > s.count) {
+        return false;
+      }
+      ++count;
+      last = idx;
+      idx = unstable_pool_[idx].next;
+    }
+    if (count != s.count || last != s.tail) {
+      return false;
+    }
+    live += count;
+  }
+  return live == unstable_live_;
 }
 
 bool Ksm::UnstableStillValid(const UnstableItem& item) const {
@@ -594,6 +660,7 @@ Pte* Ksm::EnsureSmallMapping(Process& process, Vpn vpn) {
     LatencyModel& lm = machine_->latency();
     lm.Charge(lm.config().huge_split);
     as.SplitHuge(vpn);
+    lm.FlushPending();
     machine_->trace().Emit(machine_->clock().now(), TraceEventType::kSplit, process.id(),
                            vpn & ~(kPagesPerHugePage - 1), 0);
     ++stats_.thp_splits;
@@ -618,6 +685,7 @@ Ksm::StableEntry* Ksm::Stabilize(const UnstableItem& item) {
   content_.ChargeTreeDescend(stable_.size());
   auto [node, steps] = stable_.Insert(entry);
   entry->node = node;
+  StableIndexInsert(entry);
   ++stable_version_;
   const auto accessed = static_cast<std::uint16_t>(pte->flags & kPteAccessed);
   LatencyModel& lm = machine_->latency();
@@ -665,6 +733,7 @@ void Ksm::MergeInto(Process& process, Vpn vpn, StableEntry* entry) {
   machine_->buddy().Free(old);
 
   ++stats_.merges;
+  lm.FlushPending();
   machine_->trace().Emit(machine_->clock().now(), TraceEventType::kMerge, process.id(), vpn,
                          entry->frame);
   stats_.LogAllocation(entry->frame);
@@ -684,6 +753,7 @@ void Ksm::DropRef(StableEntry* entry) {
   --entry->refs;
   if (entry->refs == 0) {
     stable_.Remove(entry->node);
+    StableIndexRemove(entry);
     ++stable_version_;
     machine_->FlushFrame(entry->frame);
     LatencyModel& lm = machine_->latency();
@@ -719,13 +789,14 @@ bool Ksm::BreakCow(Process& process, Vpn vpn, StableEntry* entry,
 }
 
 bool Ksm::HandleFault(Process& process, const PageFault& fault) {
-  const auto it = rmap_.find(KeyOf(process, fault.vpn));
-  if (it == rmap_.end()) {
+  StableEntry* const* found = rmap_.find(KeyOf(process, fault.vpn));
+  if (found == nullptr) {
     return false;
   }
+  StableEntry* entry = *found;  // BreakCow erases the rmap slot under `found`
   const auto dirty = static_cast<std::uint16_t>(
       fault.access == AccessType::kWrite ? kPteDirty : 0);
-  if (!BreakCow(process, fault.vpn, it->second, dirty)) {
+  if (!BreakCow(process, fault.vpn, entry, dirty)) {
     // Allocation failed (transient or genuine OOM): the page stays merged and
     // the access path retries the fault. Returning false would hand this
     // engine-owned CoW PTE to the kernel's fork-CoW handler, which would
@@ -737,6 +808,7 @@ bool Ksm::HandleFault(Process& process, const PageFault& fault) {
   } else {
     ++stats_.unmerges_coa;
   }
+  machine_->latency().FlushPending();
   machine_->trace().Emit(machine_->clock().now(),
                          fault.access == AccessType::kWrite ? TraceEventType::kUnmergeCow
                                                             : TraceEventType::kUnmergeCoa,
@@ -748,11 +820,11 @@ void Ksm::OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
   // madvise(MADV_UNMERGEABLE): every merged page in the range gets a private copy
   // back (unmerge_ksm_pages equivalent).
   for (Vpn vpn = start; vpn < start + pages; ++vpn) {
-    const auto it = rmap_.find(KeyOf(process, vpn));
-    if (it == rmap_.end()) {
+    StableEntry* const* found = rmap_.find(KeyOf(process, vpn));
+    if (found == nullptr) {
       continue;
     }
-    if (BreakCow(process, vpn, it->second, 0)) {
+    if (BreakCow(process, vpn, *found, 0)) {
       ++stats_.unmerges_cow;
     }
     const auto proc_it = checksums_.find(process.id());
@@ -763,12 +835,13 @@ void Ksm::OnUnregister(Process& process, Vpn start, std::uint64_t pages) {
 }
 
 bool Ksm::OnUnmap(Process& process, Vpn vpn) {
-  const auto it = rmap_.find(KeyOf(process, vpn));
-  if (it == rmap_.end()) {
+  const std::uint64_t key = KeyOf(process, vpn);
+  StableEntry* const* found = rmap_.find(key);
+  if (found == nullptr) {
     return false;
   }
-  StableEntry* entry = it->second;
-  rmap_.erase(it);
+  StableEntry* entry = *found;
+  rmap_.erase(key);
   DropRef(entry);
   if (delta_mode_) {
     delta_.Invalidate(process.id(), vpn);
@@ -784,6 +857,7 @@ void Ksm::OnProcessDestroy(Process& process) {
   // bucket (the address space dies with the process, so no epoch will ever
   // re-validate those entries).
   UnstableClear();
+  checksum_memo_ = nullptr;
   checksums_.erase(process.id());
   delta_.DropProcess(process.id());
 }
@@ -810,14 +884,14 @@ void Ksm::AuditInvariants(AuditContext& ctx) const {
   // claims: the (pid, vpn) must be a live process whose PTE points at the
   // entry's frame with merged (read-only CoW) permissions.
   std::unordered_map<const StableEntry*, std::uint32_t> rmap_refs;
-  for (const auto& [key, entry] : rmap_) {
+  rmap_.ForEach([&](std::uint64_t key, StableEntry* const& entry) {
     const auto pid = static_cast<std::uint32_t>(key >> 40);
     const Vpn vpn = key ^ (static_cast<std::uint64_t>(pid) << 40);
     ++rmap_refs[entry];
     if (!ctx.Check(pid < processes.size() && processes[pid] != nullptr, [&] {
           return "ksm: rmap entry for dead process " + std::to_string(pid);
         })) {
-      continue;
+      return;
     }
     const Pte* pte = processes[pid]->address_space().GetPte(vpn);
     ctx.Check(pte != nullptr && pte->present() && pte->frame == entry->frame,
@@ -830,7 +904,7 @@ void Ksm::AuditInvariants(AuditContext& ctx) const {
       return "ksm: merged page (" + std::to_string(pid) + "," +
              std::to_string(vpn) + ") is not read-only CoW";
     });
-  }
+  });
 
   std::size_t tree_entries = 0;
   stable_.InOrder([&](StableEntry* const& entry) {
@@ -860,6 +934,19 @@ void Ksm::AuditInvariants(AuditContext& ctx) const {
       return "ksm: frame " + frame_str + " rmap count " +
              std::to_string(it == rmap_refs.end() ? 0 : it->second) +
              " != entry refs " + std::to_string(entry->refs);
+    });
+    // Every tree entry must be reachable in the content index under its
+    // stabilize-time hash (the index is maintained even after a corruption
+    // switches lookups back to the tree).
+    bool indexed = false;
+    StableEntry* const* head = stable_index_.find(entry->index_hash);
+    for (const StableEntry* e = head == nullptr ? nullptr : *head; e != nullptr;
+         e = e->index_next) {
+      indexed |= e == entry;
+    }
+    ctx.Check(indexed, [&] {
+      return "ksm: stable entry for frame " + frame_str +
+             " missing from the content index";
     });
   });
   ctx.Check(tree_entries == rmap_refs.size(), [&] {

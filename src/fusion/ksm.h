@@ -13,11 +13,13 @@
 #ifndef VUSION_SRC_FUSION_KSM_H_
 #define VUSION_SRC_FUSION_KSM_H_
 
+#include <array>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/container/arena.h"
+#include "src/container/flat_map.h"
 #include "src/container/rbtree.h"
 #include "src/fusion/content.h"
 #include "src/fusion/delta_scan.h"
@@ -55,7 +57,8 @@ class Ksm final : public FusionEngine {
 
   void ExportMetrics(MetricsRegistry& registry) const override;
   [[nodiscard]] bool ValidateTrees() const {
-    return stable_.ValidateInvariants() && unstable_.ValidateInvariants();
+    return stable_.ValidateInvariants() && unstable_.ValidateInvariants() &&
+           ValidateUnstableChains();
   }
   // True if (process, vpn) is currently merged (test helper).
   [[nodiscard]] bool IsMerged(const Process& process, Vpn vpn) const;
@@ -71,10 +74,11 @@ class Ksm final : public FusionEngine {
     int operator()(StableEntry* const& a, StableEntry* const& b) const;
   };
   // sort_hash is the frame's content hash at insert time and, in fingerprint
-  // mode, the tree key (with the frame id as tie-break). Both keys are immutable,
-  // so the unstable tree's shape is a pure function of the insert sequence — the
-  // property that lets the delta scanner defer inserts (pending_unstable_) and
-  // still materialize the exact tree a full scan would have built.
+  // mode, the conceptual tree key (with the frame id as tie-break). Both keys
+  // are immutable, so the conceptual unstable tree's shape is a pure function
+  // of the insert sequence — the property that lets fingerprint mode keep the
+  // items in flat per-hash chains and still resolve every lookup to exactly the
+  // node the reference rb-tree would have returned.
   struct UnstableItem {
     FrameId frame = kInvalidFrame;
     Process* process = nullptr;
@@ -87,11 +91,18 @@ class Ksm final : public FusionEngine {
   };
   using StableTree = RbTree<StableEntry*, StableCompare>;
   using UnstableTree = RbTree<UnstableItem, UnstableCompare>;
+  // Checksum-gate maps are keyed by plain vpns — dense per-process runs — so
+  // the identity mixer keeps the scan loop's probes on consecutive cache lines.
+  using ChecksumMap = FlatMap64<std::uint64_t, IdentityHash>;
 
   struct StableEntry {
     FrameId frame = kInvalidFrame;
     std::uint32_t refs = 0;
     StableTree::Node* node = nullptr;
+    // Content-index chain (see stable_index_): the entry's content hash at
+    // stabilize time and the next entry in its equal-hash bucket.
+    std::uint64_t index_hash = 0;
+    StableEntry* index_next = nullptr;
   };
 
   // Pass-cache entry kinds (DeltaPassCache::Entry::kind): the first conclusive
@@ -130,13 +141,110 @@ class Ksm final : public FusionEngine {
   // fingerprint multiset used for the Find fast-out, and so charged descend
   // costs (a function of conceptual size) are identical with delta on or off.
   [[nodiscard]] std::size_t UnstableSize() const {
-    return unstable_.size() + pending_unstable_.size();
+    return content_.byte_ordered() ? unstable_.size() : unstable_live_;
   }
-  UnstableTree::Node* UnstableFind(std::uint64_t hash, FrameId frame);
-  void UnstableInsert(UnstableItem item);
+  struct FpSlot;  // defined with the fingerprint structures below
+  // Finds the conceptual unstable item matching (hash, content-of-frame) — the
+  // leftmost (hash, frame)-ordered content match, exactly what the old rb-tree
+  // Find returned — and removes it, copying it into *out. Returns false if no
+  // item matches. Defined inline because the common outcome on a unique page —
+  // no live chain for the probe hash — is decided by one (prefetched) slot
+  // read; the rarer chain walk and the byte-ordered tree descent stay
+  // out of line.
+  bool UnstableFindRemove(std::uint64_t hash, FrameId frame, UnstableItem* out) {
+    if (content_.byte_ordered()) {
+      return UnstableFindRemoveTree(frame, out);
+    }
+    // No conceptual item was inserted with this hash => nothing can match (the
+    // sort_hash key is immutable), so the chain walk is skipped entirely.
+    FpSlot* fp = FpFind(hash);
+    if (fp == nullptr || fp->stamp != fps_round_ || fp->count == 0) {
+      return false;
+    }
+    return UnstableChainRemove(fp, frame, out);
+  }
+  bool UnstableFindRemoveTree(FrameId frame, UnstableItem* out);
+  bool UnstableChainRemove(FpSlot* fp, FrameId frame, UnstableItem* out);
+  // Inline for the same reason as UnstableFindRemove: one steady-state append
+  // per unique page, from the already-memoized slot.
+  void UnstableInsert(UnstableItem item) {
+    if (content_.byte_ordered()) {
+      unstable_.Insert(item);
+      return;
+    }
+    if ((fps_used_ + 1) * 2 > fps_slots_.size()) {
+      FpGrow();
+    }
+    // UniqueTail's find already walked this hash's probe chain; resume at its
+    // terminal slot (the match, or the empty slot the find stopped on) instead of
+    // re-probing from the home index.
+    std::size_t i = (fps_memo_idx_ != ~std::size_t{0} && fps_memo_hash_ == item.sort_hash)
+                        ? fps_memo_idx_
+                        : FpIndex(item.sort_hash);
+    while (true) {
+      FpSlot& s = fps_slots_[i];
+      if (s.stamp == 0) {
+        s.hash = item.sort_hash;
+        ++fps_used_;
+      } else if (s.hash != item.sort_hash) {
+        i = (i + 1) & fps_mask_;
+        continue;
+      }
+      if (s.stamp != fps_round_) {
+        // First touch this round: the stale chain (indices into a pool cleared at
+        // round end) dies with the restamp.
+        s.stamp = fps_round_;
+        s.count = 0;
+        s.head = kNoNode;
+        s.tail = kNoNode;
+        ++fps_stamped_;
+      }
+      const auto idx = static_cast<std::uint32_t>(unstable_pool_.size());
+      unstable_pool_.push_back(UnstableNode{item, kNoNode});
+      if (s.tail == kNoNode) {
+        s.head = idx;
+      } else {
+        unstable_pool_[s.tail].next = idx;
+      }
+      s.tail = idx;
+      ++s.count;
+      ++unstable_live_;
+      break;
+    }
+  }
+
   void UnstableClear();
-  void MaterializePending();
-  void EraseFp(std::uint64_t hash);
+  [[nodiscard]] bool ValidateUnstableChains() const;
+  // Stable-tree content lookup: the hash index in fingerprint mode (until the
+  // first shared-frame corruption), the reference tree descent otherwise.
+  // Inline so the common unique-page outcome — counting-filter bucket zero,
+  // hash provably not indexed — is one array read with no call.
+  StableEntry* StableLookup(FrameId frame, std::uint64_t hash) {
+    if (!content_.byte_ordered() &&
+        machine_->memory().shared_content_mutations() == 0) {
+      if (stable_filter_[StableFilterBucket(hash)] == 0) {
+        return nullptr;  // filter miss: hash provably not in the index
+      }
+      return StableIndexLookup(frame, hash);
+    }
+    return StableTreeLookup(frame);
+  }
+  StableEntry* StableIndexLookup(FrameId frame, std::uint64_t hash);
+  StableEntry* StableTreeLookup(FrameId frame);
+  void StableIndexInsert(StableEntry* entry);
+  void StableIndexRemove(StableEntry* entry);
+  // The pid's checksum-gate map, memoized across the scan loop's consecutive
+  // same-process pages so the steady state pays one unordered_map hop per
+  // process switch instead of per page.
+  ChecksumMap& ChecksumsFor(std::uint32_t pid) {
+    if (checksum_memo_ != nullptr && checksum_memo_pid_ == pid) {
+      return *checksum_memo_;
+    }
+    ChecksumMap& map = checksums_[pid];
+    checksum_memo_ = &map;
+    checksum_memo_pid_ = pid;
+    return map;
+  }
   // The wake quantum's scan loop: serial reference (scan_threads<=1) or the
   // two-phase parallel pipeline. Both produce bit-identical simulated results.
   void ScanQuantumSerial();
@@ -169,39 +277,92 @@ class Ksm final : public FusionEngine {
   // only). A probe hash absent here cannot match any node — sort_hash keys are
   // immutable — so UnstableFind skips the descent (and, under delta, skips
   // materializing the tree at all). Stored as a round-stamped open-addressed
-  // table (linear probing, 16-byte slots): a slot counts only while its stamp
+  // table (linear probing, fixed-size slots): a slot counts only while its stamp
   // matches fps_round_, so the per-round clear is one round bump and the
   // steady-state insert re-stamps the slot the same hash claimed last round —
   // one cache line touched, nothing allocated. stamp 0 marks a never-used slot
   // (rounds start at 1); old-stamped slots are dead weight that FpGrow()
   // compacts away when they come to dominate the table.
+  // A slot also heads this round's chain of items inserted with its hash: the
+  // chain (head -> tail through UnstableNode::next, insertion order) IS the
+  // fingerprint-mode unstable structure; no rb-tree is materialized at all.
   struct FpSlot {
     std::uint64_t hash = 0;
     std::uint64_t stamp = 0;
     std::uint32_t count = 0;
-    std::uint32_t pad = 0;
+    std::uint32_t head = kNoNode;
+    std::uint32_t tail = kNoNode;
   };
   [[nodiscard]] std::size_t FpIndex(std::uint64_t hash) const {
     return static_cast<std::size_t>(hash ^ (hash >> 32)) & fps_mask_;
   }
-  [[nodiscard]] const FpSlot* FpFind(std::uint64_t hash) const;
+  // Probes for the slot claimed by `hash` (any round), memoizing the terminal
+  // probe index — the matching slot, or the empty slot an insert of this hash
+  // would claim — so UniqueTail's find-then-insert pair walks the probe chain
+  // once, not twice.
+  [[nodiscard]] FpSlot* FpFind(std::uint64_t hash) {
+    if (fps_slots_.empty()) {
+      return nullptr;
+    }
+    std::size_t i = FpIndex(hash);
+    while (true) {
+      FpSlot& s = fps_slots_[i];
+      if (s.stamp == 0 || s.hash == hash) {
+        // Chains never cross a never-used slot, so stamp 0 proves absence.
+        fps_memo_hash_ = hash;
+        fps_memo_idx_ = i;
+        return s.stamp == 0 ? nullptr : &s;
+      }
+      i = (i + 1) & fps_mask_;
+    }
+  }
   void FpGrow();
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+  // Flat pool backing the per-hash chains. Append-only within a round (removed
+  // items are unlinked, their pool entries abandoned), recycled wholesale at
+  // round end with capacity retained — the arena discipline for the hottest
+  // allocation in the scanner.
+  struct UnstableNode {
+    UnstableItem item;
+    std::uint32_t next = kNoNode;
+  };
+  std::vector<UnstableNode> unstable_pool_;
+  std::size_t unstable_live_ = 0;  // conceptual unstable size (fingerprint mode)
   std::vector<FpSlot> fps_slots_;  // power-of-2; lazily sized on first insert
   std::size_t fps_mask_ = 0;
   std::size_t fps_used_ = 0;  // slots with stamp != 0 (monotonic until FpGrow)
   std::uint64_t fps_round_ = 1;
   std::uint64_t fps_stamped_ = 0;  // distinct hashes stamped this round
-  // Delta mode: inserts deferred until a probe could actually match (its hash is
-  // in unstable_fps_). Always the suffix of the conceptual insert sequence, so
-  // flushing in order rebuilds the exact reference tree shape.
-  std::vector<UnstableItem> pending_unstable_;
-  using RmapAlloc = ArenaStlAllocator<std::pair<const std::uint64_t, StableEntry*>>;
-  std::unordered_map<std::uint64_t, StableEntry*, std::hash<std::uint64_t>,
-                     std::equal_to<std::uint64_t>, RmapAlloc>
-      rmap_;
+  // FpFind's memoized terminal probe index for fps_memo_hash_ (~0 = invalid;
+  // dropped whenever FpGrow moves slots). Round bumps keep it valid: they move
+  // nothing, and the probe path for a hash is a function of slot layout alone.
+  std::size_t fps_memo_idx_ = ~std::size_t{0};
+  std::uint64_t fps_memo_hash_ = 0;
+  FlatMap64<StableEntry*> rmap_;
+  // Content-hash index over the stable tree's entries (head of an intrusive
+  // equal-hash chain per bucket). Maintained on every stabilize/drop; consulted
+  // by StableLookup only while no shared-frame content mutation has ever
+  // occurred — a mutated stable frame invalidates insert-time keys, and the
+  // live-keyed tree descent is the reference behavior for that corrupted
+  // regime.
+  FlatMap64<StableEntry*> stable_index_;
+  // Counting filter over stable_index_'s keys. Every unique page's stable
+  // lookup is a miss, and a zero bucket proves the probe hash absent without
+  // touching the index table at all; sized to stay L1-resident. Bytes saturate
+  // sticky at 255 (never decremented back below), which can only cost false
+  // positives, never a missed entry.
+  static constexpr std::size_t kStableFilterBuckets = 4096;
+  [[nodiscard]] std::size_t StableFilterBucket(std::uint64_t hash) const {
+    return static_cast<std::size_t>(hash ^ (hash >> 32)) & (kStableFilterBuckets - 1);
+  }
+  std::array<std::uint8_t, kStableFilterBuckets> stable_filter_{};
   // Volatility gate, indexed per process so teardown drops a dead process's
   // checksums in O(its pages) instead of sweeping every tracked page.
-  std::unordered_map<std::uint32_t, std::unordered_map<Vpn, std::uint64_t>> checksums_;
+  std::unordered_map<std::uint32_t, ChecksumMap> checksums_;
+  // ChecksumsFor memo; mapped references are stable under insertion, so the
+  // memo only drops when a pid's map is erased (process unregistration).
+  ChecksumMap* checksum_memo_ = nullptr;
+  std::uint32_t checksum_memo_pid_ = 0;
   std::uint64_t frames_saved_ = 0;
   // Bumped on every stable-tree membership change; with an unchanged version
   // (and no shared-frame content mutation) a recorded "no stable match" verdict

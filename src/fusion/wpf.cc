@@ -50,6 +50,8 @@ void Wpf::Run() {
 }
 
 void Wpf::DoFusionPass() {
+  // Batch the pass's charges; emits and phase hooks flush (see LatencyModel).
+  ChargeSpan span(machine_->latency());
   const auto scan_start = std::chrono::steady_clock::now();
   NotifyPhase(ScanPhase::kQuantumStart);
   FaultInjector* injector = chaos();
@@ -394,6 +396,7 @@ void Wpf::MergeIntoCombined(const Candidate& candidate, Combined* entry) {
   lm.Charge(lm.config().buddy_free);
   machine_->buddy().Free(candidate.frame);
   ++stats_.merges;
+  machine_->latency().FlushPending();
   machine_->trace().Emit(machine_->clock().now(), TraceEventType::kMerge,
                          candidate.process->id(), candidate.vpn, entry->frame);
   stats_.LogAllocation(entry->frame);
@@ -470,6 +473,7 @@ bool Wpf::HandleFault(Process& process, const PageFault& fault) {
     delta_.Invalidate(process.id(), fault.vpn);
   }
   ++stats_.unmerges_cow;
+  machine_->latency().FlushPending();
   machine_->trace().Emit(machine_->clock().now(), TraceEventType::kUnmergeCow, process.id(),
                          fault.vpn, fresh);
   return true;

@@ -37,6 +37,9 @@ std::unique_ptr<PageTable::Node> PageTable::NewNode(int level) {
 }
 
 void PageTable::FreeNode(Node* node) {
+  memo_region_ = ~Vpn{0};
+  memo_pmd_ = nullptr;
+  memo_leaf_ = nullptr;
   for (auto& child : node->children) {
     if (child != nullptr) {
       FreeNode(child.get());
@@ -47,27 +50,55 @@ void PageTable::FreeNode(Node* node) {
   --node_count_;
 }
 
-Pte* PageTable::Resolve(Vpn vpn, bool create) {
-  Node* node = root_.get();
+Pte* PageTable::ResolveSlow(Vpn vpn, bool create) {
+  const Vpn region = vpn >> 9;
+  Node* pmd = region == memo_region_ ? memo_pmd_ : nullptr;
+  if (pmd == nullptr) {
+    pmd = root_.get();
+    for (int level = kPageTableLevels - 1; level >= 2; --level) {
+      std::unique_ptr<Node>& child = pmd->children[IndexAt(vpn, level)];
+      if (child == nullptr) {
+        if (!create) {
+          return nullptr;
+        }
+        child = NewNode(level - 1);
+      }
+      pmd = child.get();
+    }
+    memo_region_ = region;
+    memo_pmd_ = pmd;
+  }
+  const std::size_t idx = IndexAt(vpn, 1);
+  if (pmd->entries[idx].huge()) {
+    memo_leaf_ = nullptr;
+    return &pmd->entries[idx];
+  }
+  std::unique_ptr<Node>& leaf = pmd->children[idx];
+  if (leaf == nullptr) {
+    if (!create) {
+      memo_leaf_ = nullptr;
+      return nullptr;
+    }
+    leaf = NewNode(0);
+  }
+  memo_leaf_ = leaf.get();
+  return &leaf->entries[IndexAt(vpn, 0)];
+}
+
+const Pte* PageTable::Resolve(Vpn vpn) const {
+  const Node* node = root_.get();
   for (int level = kPageTableLevels - 1; level >= 1; --level) {
     const std::size_t idx = IndexAt(vpn, level);
     if (level == 1 && node->entries[idx].huge()) {
       return &node->entries[idx];
     }
-    std::unique_ptr<Node>& child = node->children[idx];
+    const Node* child = node->children[idx].get();
     if (child == nullptr) {
-      if (!create) {
-        return nullptr;
-      }
-      child = NewNode(level - 1);
+      return nullptr;
     }
-    node = child.get();
+    node = child;
   }
   return &node->entries[IndexAt(vpn, 0)];
-}
-
-const Pte* PageTable::Resolve(Vpn vpn) const {
-  return const_cast<PageTable*>(this)->Resolve(vpn, /*create=*/false);
 }
 
 PageTable::WalkResult PageTable::TimedWalk(Vpn vpn) {

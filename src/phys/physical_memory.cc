@@ -3,31 +3,70 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/phys/content_isa.h"
+
 namespace vusion {
 
 namespace {
 
-// One SplitMix64 step; the pattern byte stream is the little-endian concatenation of
-// successive outputs seeded by the pattern seed.
-std::uint64_t Mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+// Scratch pages for hashing/comparing non-materialized (zero/pattern) contents
+// without allocating. Thread-local because phase-1 scan workers call PeekHash
+// concurrently.
+alignas(32) thread_local std::uint8_t g_scratch_a[kPageSize];
+alignas(32) thread_local std::uint8_t g_scratch_b[kPageSize];
 
-std::uint64_t PatternWord(std::uint64_t seed, std::size_t word_index) {
-  return Mix(seed + 0x632be59bd9b4e019ULL * (word_index + 1));
-}
+alignas(32) constexpr std::uint8_t kZeroPage[kPageSize] = {};
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+// Byte stream of a frame as a flat buffer: materialized frames expose their own
+// bytes; zero/pattern frames borrow `scratch`.
+const std::uint8_t* FrameBytes(const Frame& fr, std::uint8_t* scratch) {
+  switch (fr.kind) {
+    case ContentKind::kZero:
+      return kZeroPage;
+    case ContentKind::kPattern:
+      ExpandPattern(fr.pattern_seed, scratch);
+      return scratch;
+    case ContentKind::kBytes:
+      return fr.bytes->data();
+  }
+  return kZeroPage;
+}
 
 }  // namespace
 
 std::uint8_t PatternByte(std::uint64_t seed, std::size_t offset) {
   const std::uint64_t word = PatternWord(seed, offset / 8);
   return static_cast<std::uint8_t>(word >> (8 * (offset % 8)));
+}
+
+bool PhysicalMemory::PatternHashLookup(std::uint64_t seed, bool promote,
+                                       std::uint64_t* out) const {
+  const auto hot = pattern_hash_hot_.find(seed);
+  if (hot != pattern_hash_hot_.end()) {
+    *out = hot->second;
+    return true;
+  }
+  const auto cold = pattern_hash_cold_.find(seed);
+  if (cold != pattern_hash_cold_.end()) {
+    *out = cold->second;
+    if (promote) {
+      PatternHashInsert(seed, *out);
+    }
+    return true;
+  }
+  return false;
+}
+
+void PhysicalMemory::PatternHashInsert(std::uint64_t seed, std::uint64_t hash) const {
+  if (pattern_hash_hot_.size() >= kPatternHashCacheCap / 2) {
+    // Segment rotation: the hot half becomes the cold half and the previous
+    // cold half is dropped. Recently used seeds survive at least one rotation,
+    // so mixed-pattern workloads no longer lose the whole cache at the cap.
+    pattern_hash_cold_ = std::move(pattern_hash_hot_);
+    pattern_hash_hot_.clear();
+    ++pattern_hash_evictions_;
+  }
+  pattern_hash_hot_.insert_or_assign(seed, hash);
 }
 
 PhysicalMemory::PhysicalMemory(FrameId frame_count) : frames_(frame_count) {}
@@ -90,10 +129,7 @@ void PhysicalMemory::Materialize(FrameId f) {
   if (fr.kind == ContentKind::kZero) {
     buf->fill(0);
   } else {
-    for (std::size_t w = 0; w < kPageSize / 8; ++w) {
-      const std::uint64_t word = PatternWord(fr.pattern_seed, w);
-      std::memcpy(buf->data() + w * 8, &word, 8);
-    }
+    ExpandPattern(fr.pattern_seed, buf->data());
   }
   fr.bytes = std::move(buf);
   fr.kind = ContentKind::kBytes;
@@ -198,50 +234,37 @@ int PhysicalMemory::Compare(FrameId a, FrameId b) const {
       fa.pattern_seed == fb.pattern_seed) {
     return 0;
   }
-  if (fa.kind == ContentKind::kBytes && fb.kind == ContentKind::kBytes) {
-    if (fa.bytes == fb.bytes) {
-      return 0;  // CoW-aliased buffers are byte-identical by construction
-    }
-    return std::memcmp(fa.bytes->data(), fb.bytes->data(), kPageSize);
+  if (fa.kind == ContentKind::kBytes && fb.kind == ContentKind::kBytes &&
+      fa.bytes == fb.bytes) {
+    return 0;  // CoW-aliased buffers are byte-identical by construction
   }
-  for (std::size_t i = 0; i < kPageSize; ++i) {
-    const std::uint8_t ba = ByteAt(a, i);
-    const std::uint8_t bb = ByteAt(b, i);
-    if (ba != bb) {
-      return ba < bb ? -1 : 1;
-    }
-  }
-  return 0;
+  // Mixed or materialized kinds: expand the non-materialized side(s) into
+  // scratch and run the vectorized compare.
+  const std::uint8_t* pa = FrameBytes(fa, g_scratch_a);
+  const std::uint8_t* pb = FrameBytes(fb, g_scratch_b);
+  return ActiveContentOps().compare_pages(pa, pb);
 }
 
 std::uint64_t PhysicalMemory::HashContentSlow(FrameId f) const {
   const Frame& fr = frames_[f];
-  std::uint64_t h = kFnvOffset;
-  if (fr.kind == ContentKind::kBytes) {
-    for (std::uint8_t byte : *fr.bytes) {
-      h = (h ^ byte) * kFnvPrime;
-    }
-  } else if (fr.kind == ContentKind::kZero) {
-    // All zero bytes; the FNV loop over 4096 zeros is a constant.
-    for (std::size_t i = 0; i < kPageSize; ++i) {
-      h = h * kFnvPrime;
-    }
-  } else {
-    const auto it = pattern_hash_cache_.find(fr.pattern_seed);
-    if (it != pattern_hash_cache_.end()) {
-      ++pattern_hash_hits_;
-      h = it->second;
-    } else {
-      ++pattern_hash_misses_;
-      for (std::size_t i = 0; i < kPageSize; ++i) {
-        h = (h ^ ByteAt(f, i)) * kFnvPrime;
+  std::uint64_t h = 0;
+  switch (fr.kind) {
+    case ContentKind::kBytes:
+      h = ActiveContentOps().hash_page(fr.bytes->data());
+      break;
+    case ContentKind::kZero:
+      h = ZeroPageHash();
+      break;
+    case ContentKind::kPattern:
+      if (PatternHashLookup(fr.pattern_seed, /*promote=*/true, &h)) {
+        ++pattern_hash_hits_;
+      } else {
+        ++pattern_hash_misses_;
+        ExpandPattern(fr.pattern_seed, g_scratch_a);
+        h = ActiveContentOps().hash_page(g_scratch_a);
+        PatternHashInsert(fr.pattern_seed, h);
       }
-      if (pattern_hash_cache_.size() >= kPatternHashCacheCap) {
-        pattern_hash_cache_.clear();
-        ++pattern_hash_evictions_;
-      }
-      pattern_hash_cache_.emplace(fr.pattern_seed, h);
-    }
+      break;
   }
   fr.cached_hash = h;
   fr.hash_gen = fr.content_gen;
@@ -255,31 +278,23 @@ PhysicalMemory::HashSnapshot PhysicalMemory::PeekHash(FrameId f) const {
     snapshot.hash = fr.cached_hash;
     return snapshot;
   }
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = 0;
   switch (fr.kind) {
     case ContentKind::kBytes:
-      for (std::uint8_t byte : *fr.bytes) {
-        h = (h ^ byte) * kFnvPrime;
-      }
+      h = ActiveContentOps().hash_page(fr.bytes->data());
       break;
     case ContentKind::kZero:
-      for (std::size_t i = 0; i < kPageSize; ++i) {
-        h = h * kFnvPrime;
-      }
+      h = ZeroPageHash();
       break;
-    case ContentKind::kPattern: {
+    case ContentKind::kPattern:
       // Read-only probe of the pattern cache: concurrent finds are safe; on a miss
-      // we recompute without inserting or bumping the (unsynchronized) counters.
-      const auto it = pattern_hash_cache_.find(fr.pattern_seed);
-      if (it != pattern_hash_cache_.end()) {
-        h = it->second;
-      } else {
-        for (std::size_t i = 0; i < kPageSize; ++i) {
-          h = (h ^ PatternByte(fr.pattern_seed, i)) * kFnvPrime;
-        }
+      // we recompute without inserting, promoting, or bumping the (unsynchronized)
+      // counters.
+      if (!PatternHashLookup(fr.pattern_seed, /*promote=*/false, &h)) {
+        ExpandPattern(fr.pattern_seed, g_scratch_a);
+        h = ActiveContentOps().hash_page(g_scratch_a);
       }
       break;
-    }
   }
   snapshot.hash = h;
   return snapshot;
@@ -354,16 +369,12 @@ bool PhysicalMemory::IsZero(FrameId f) const {
     return true;
   }
   if (fr.kind == ContentKind::kBytes) {
-    for (std::uint8_t byte : *fr.bytes) {
-      if (byte != 0) {
-        return false;
-      }
-    }
-    return true;
+    return ActiveContentOps().is_zero(fr.bytes->data());
   }
-  // Pattern frames are non-zero with overwhelming probability; check cheaply.
-  for (std::size_t i = 0; i < kPageSize; ++i) {
-    if (PatternByte(fr.pattern_seed, i) != 0) {
+  // Pattern frames are non-zero with overwhelming probability; check one word
+  // at a time without expanding the page.
+  for (std::size_t w = 0; w < kPageSize / 8; ++w) {
+    if (PatternWord(fr.pattern_seed, w) != 0) {
       return false;
     }
   }

@@ -58,7 +58,8 @@ class PhysicalMemory {
   // Lexicographic three-way content comparison (memcmp semantics).
   [[nodiscard]] int Compare(FrameId a, FrameId b) const;
 
-  // 64-bit content hash (FNV-1a over the byte stream); equal contents hash equal.
+  // 64-bit content hash (the ISA-dispatched lane hash from content_isa.h; equal
+  // contents hash equal, identical across host ISAs).
   // Memoized per frame via the content generation counter: recomputed only after a
   // mutating operation, O(1) on every other call. The cached fast path is inline;
   // scanners call this once or twice per tree-descend step.
@@ -66,6 +67,11 @@ class PhysicalMemory {
     const Frame& fr = frames_[f];
     return fr.hash_cached() ? fr.cached_hash : HashContentSlow(f);
   }
+
+  // Prefetches the frame's metadata line (refcount, content generation, hash
+  // memo) ahead of a scan touch; the scan loop issues this one page early so
+  // the dependent loads start resident.
+  void PrefetchFrame(FrameId f) const { __builtin_prefetch(&frames_[f]); }
 
   // --- Lock-free snapshot accessors (host parallel scan, phase 1) ---
   //
@@ -107,15 +113,16 @@ class PhysicalMemory {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::size_t entries = 0;
-    std::uint64_t evictions = 0;  // full clears forced by the size cap
+    std::uint64_t evictions = 0;  // hot->cold segment rotations forced by the cap
   };
   [[nodiscard]] PatternHashCacheStats pattern_hash_cache_stats() const {
-    return {pattern_hash_hits_, pattern_hash_misses_, pattern_hash_cache_.size(),
+    return {pattern_hash_hits_, pattern_hash_misses_,
+            pattern_hash_hot_.size() + pattern_hash_cold_.size(),
             pattern_hash_evictions_};
   }
 
-  // Size cap for pattern_hash_cache_; VM images churn through seeds, so an
-  // unbounded cache grows for the lifetime of the simulation.
+  // Total size cap across both cache segments; VM images churn through seeds,
+  // so an unbounded cache grows for the lifetime of the simulation.
   static constexpr std::size_t kPatternHashCacheCap = 8192;
 
   [[nodiscard]] bool IsZero(FrameId f) const;
@@ -154,14 +161,23 @@ class PhysicalMemory {
     }
   }
 
+  // Two-segment (hot/cold) lookup for the pattern hash cache. `promote` moves a
+  // cold hit into the hot segment and must be false on concurrent (PeekHash)
+  // paths. Returns false if the seed is cached in neither segment.
+  bool PatternHashLookup(std::uint64_t seed, bool promote, std::uint64_t* out) const;
+  void PatternHashInsert(std::uint64_t seed, std::uint64_t hash) const;
+
   std::vector<Frame> frames_;
   std::size_t allocated_count_ = 0;
   std::size_t materialized_count_ = 0;
   std::uint64_t shared_content_mutations_ = 0;
   // Hash cache for pattern contents, keyed by seed (many frames share an image
-  // seed). Bounded by kPatternHashCacheCap: once full, it is cleared and refilled
-  // on demand.
-  mutable std::unordered_map<std::uint64_t, std::uint64_t> pattern_hash_cache_;
+  // seed). Segmented LRU-ish eviction: inserts and promoted hits go to the hot
+  // segment; when the hot segment reaches half the cap it rotates into the cold
+  // segment (dropping the previous cold half), so recently used seeds survive a
+  // capacity event instead of the old wholesale clear().
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> pattern_hash_hot_;
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> pattern_hash_cold_;
   mutable std::uint64_t pattern_hash_hits_ = 0;
   mutable std::uint64_t pattern_hash_misses_ = 0;
   mutable std::uint64_t pattern_hash_evictions_ = 0;

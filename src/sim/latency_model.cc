@@ -1,25 +1,33 @@
 #include "src/sim/latency_model.h"
 
 #include <cmath>
+#include <cstdlib>
 
 namespace vusion {
 
-SimTime LatencyModel::Charge(SimTime base) {
-  SimTime cost = base;
-  if (config_.noise_sigma > 0.0 && base > 0) {
-    const double noisy = rng_.NextLogNormal(static_cast<double>(base), config_.noise_sigma);
-    cost = static_cast<SimTime>(std::llround(noisy));
-    if (cost == 0) {
-      cost = 1;
+LatencyModel::LatencyModel(const LatencyConfig& config, VirtualClock& clock, Rng noise_rng)
+    : config_(config), clock_(&clock), rng_(noise_rng) {
+  if (const char* env = std::getenv("VUSION_UNBATCHED_CHARGES")) {
+    if (env[0] != '\0' && env[0] != '0') {
+      batching_enabled_ = false;
     }
   }
-  clock_->Advance(cost);
-  return cost;
 }
 
-SimTime LatencyModel::ChargeExact(SimTime base) {
-  clock_->Advance(base);
-  return base;
+SimTime LatencyModel::SlowRound(double noisy) {
+  return static_cast<SimTime>(std::llround(noisy));
+}
+
+void LatencyModel::RefillNoise() {
+  for (int i = 0; i < kNoiseBatch; ++i) {
+    gauss_[i] = rng_.NextGaussian();
+  }
+  const double sigma = config_.noise_sigma;
+  for (int i = 0; i < kNoiseBatch; ++i) {
+    factor_[i] = std::exp(sigma * gauss_[i]);
+  }
+  factor_sigma_ = sigma;
+  noise_pos_ = 0;
 }
 
 }  // namespace vusion

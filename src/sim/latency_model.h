@@ -9,6 +9,8 @@
 #ifndef VUSION_SRC_SIM_LATENCY_MODEL_H_
 #define VUSION_SRC_SIM_LATENCY_MODEL_H_
 
+#include <cmath>
+
 #include "src/sim/clock.h"
 #include "src/sim/rng.h"
 
@@ -53,23 +55,134 @@ struct LatencyConfig {
 // Applies latencies to a clock, with optional noise from a dedicated RNG stream.
 class LatencyModel {
  public:
-  LatencyModel(const LatencyConfig& config, VirtualClock& clock, Rng noise_rng)
-      : config_(config), clock_(&clock), rng_(noise_rng) {}
+  LatencyModel(const LatencyConfig& config, VirtualClock& clock, Rng noise_rng);
 
-  // Charges `base` nanoseconds with multiplicative log-normal noise.
-  SimTime Charge(SimTime base);
+  // Charges `base` nanoseconds with multiplicative log-normal noise. Inline
+  // (with the RNG draw): the scan loop charges several times per page, and the
+  // cross-TU call overhead is measurable there.
+  SimTime Charge(SimTime base) {
+    SimTime cost = base;
+    const double sigma = config_.noise_sigma;
+    if (sigma > 0.0 && base > 0) {
+      // One draw from the precomputed noise batch; RefillNoise computes the
+      // identical gaussians (and exp factors) the per-charge NextLogNormal
+      // would, just 64 at a time. The sigma check covers a mid-batch
+      // mutable_config() change: the buffered gaussians are still the correct
+      // next draws, only the factor must be recomputed under the new sigma.
+      if (noise_pos_ == kNoiseBatch) {
+        RefillNoise();
+      }
+      const double factor = sigma == factor_sigma_
+                                ? factor_[noise_pos_]
+                                : std::exp(sigma * gauss_[noise_pos_]);
+      ++noise_pos_;
+      const double noisy = static_cast<double>(base) * factor;
+      if (noisy < 0x1p51) {
+        // llround without the libm call (~5% of the scan profile). Below 2^51
+        // `noisy + 0.5` is exact (spacing <= 0.5), so truncating it is exactly
+        // round-half-away-from-zero — except inside [0.5 - eps, 0.5), where
+        // the sum can round up across 1.0; both sides of that difference land
+        // in the clamp below, so the final cost is still bit-identical to
+        // llround's.
+        cost = static_cast<SimTime>(noisy + 0.5);
+      } else {
+        cost = SlowRound(noisy);
+      }
+      if (cost == 0) {
+        cost = 1;
+      }
+    }
+    if (batching()) {
+      pending_ += cost;
+    } else {
+      clock_->Advance(cost);
+    }
+    return cost;
+  }
 
   // Charges without noise (for bookkeeping costs where jitter is irrelevant).
-  SimTime ChargeExact(SimTime base);
+  SimTime ChargeExact(SimTime base) {
+    if (batching()) {
+      pending_ += base;
+    } else {
+      clock_->Advance(base);
+    }
+    return base;
+  }
+
+  // --- Batched charging (see ChargeSpan below) ---
+  //
+  // Inside an open batch, Charge/ChargeExact draw their noise exactly as in
+  // unbatched operation (same RNG calls, same order, same costs) but accumulate
+  // the costs instead of advancing the clock per call; the accumulated total is
+  // applied in one Advance at flush. Because VirtualClock::Advance is a pure
+  // sum, the flushed clock is bit-identical to the unbatched clock — provided
+  // every mid-span reader of clock().now() (trace emits, daemon scheduling)
+  // calls FlushPending() first. Batches nest; only the outermost close flushes
+  // implicitly.
+  void BeginBatch() { ++batch_depth_; }
+  void EndBatch() {
+    if (--batch_depth_ == 0) {
+      FlushPending();
+    }
+  }
+  // Applies any accumulated cost to the clock. Must be called before reading
+  // clock().now() inside an open batch; harmless (and O(1)) otherwise.
+  void FlushPending() {
+    if (pending_ > 0) {
+      clock_->Advance(pending_);
+      pending_ = 0;
+    }
+  }
+  // Parity/ablation toggle: when disabled, every charge advances the clock
+  // immediately even inside a span. Also settable via VUSION_UNBATCHED_CHARGES=1.
+  void set_batching_enabled(bool enabled) {
+    FlushPending();
+    batching_enabled_ = enabled;
+  }
+  [[nodiscard]] bool batching_enabled() const { return batching_enabled_; }
 
   [[nodiscard]] const LatencyConfig& config() const { return config_; }
   LatencyConfig& mutable_config() { return config_; }
   [[nodiscard]] VirtualClock& clock() { return *clock_; }
 
  private:
+  [[nodiscard]] bool batching() const { return batch_depth_ > 0 && batching_enabled_; }
+  // Out-of-line std::llround for the (never seen in practice) >= 2^51 range,
+  // keeping <cmath>'s llround out of this header's hot inline path.
+  static SimTime SlowRound(double noisy);
+  // Refills gauss_/factor_ with the next kNoiseBatch draws of the noise
+  // stream. rng_ feeds nothing but Charge's noise, so drawing ahead of
+  // consumption is invisible to every other stream, and the batch loop lets
+  // the 32 independent Box-Muller pairs (and their exp factors) pipeline
+  // instead of serializing one libm round-trip per charge.
+  void RefillNoise();
+  static constexpr int kNoiseBatch = 64;  // even: refills consume whole pairs
+
   LatencyConfig config_;
   VirtualClock* clock_;
   Rng rng_;
+  SimTime pending_ = 0;
+  int batch_depth_ = 0;
+  bool batching_enabled_ = true;
+  double gauss_[kNoiseBatch];
+  double factor_[kNoiseBatch];
+  double factor_sigma_ = -1.0;  // sigma factor_ was computed with
+  int noise_pos_ = kNoiseBatch;
+};
+
+// RAII batch scope for a homogeneous run of charges (one scan pass, one page's
+// worth of tree descends). Open around hot loops; emit paths inside must flush
+// before timestamping (the engines' trace emits do).
+class ChargeSpan {
+ public:
+  explicit ChargeSpan(LatencyModel& model) : model_(&model) { model_->BeginBatch(); }
+  ~ChargeSpan() { model_->EndBatch(); }
+  ChargeSpan(const ChargeSpan&) = delete;
+  ChargeSpan& operator=(const ChargeSpan&) = delete;
+
+ private:
+  LatencyModel* model_;
 };
 
 }  // namespace vusion

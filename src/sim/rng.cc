@@ -15,8 +15,6 @@ std::uint64_t SplitMix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -24,18 +22,6 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : state_) {
     s = SplitMix64(sm);
   }
-}
-
-std::uint64_t Rng::Next() {
-  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
 }
 
 std::uint64_t Rng::NextBelow(std::uint64_t bound) {
@@ -56,10 +42,6 @@ std::uint64_t Rng::NextInRange(std::uint64_t lo, std::uint64_t hi) {
   return lo + NextBelow(hi - lo + 1);
 }
 
-double Rng::NextDouble() {
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
 bool Rng::NextBool(double p) {
   if (p <= 0.0) {
     return false;
@@ -68,32 +50,6 @@ bool Rng::NextBool(double p) {
     return true;
   }
   return NextDouble() < p;
-}
-
-double Rng::NextGaussian() {
-  // Box-Muller produces two independent normals per (u1, u2) pair; returning
-  // the cached sine-term on alternate calls halves the transcendental cost,
-  // which is the dominant host expense of the latency model's noise draws
-  // (sin and cos on the same angle compile to one sincos call).
-  if (has_spare_gaussian_) {
-    has_spare_gaussian_ = false;
-    return spare_gaussian_;
-  }
-  // Guard against log(0).
-  double u1 = NextDouble();
-  while (u1 <= 0.0) {
-    u1 = NextDouble();
-  }
-  const double u2 = NextDouble();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
-  spare_gaussian_ = r * std::sin(theta);
-  has_spare_gaussian_ = true;
-  return r * std::cos(theta);
-}
-
-double Rng::NextLogNormal(double median, double sigma) {
-  return median * std::exp(sigma * NextGaussian());
 }
 
 void Rng::Shuffle(std::vector<std::uint32_t>& values) {

@@ -7,18 +7,34 @@
 #ifndef VUSION_SRC_SIM_RNG_H_
 #define VUSION_SRC_SIM_RNG_H_
 
+#include <cmath>
 #include <cstdint>
+#include <numbers>
 #include <vector>
 
 namespace vusion {
 
 // xoshiro256++ PRNG. Not cryptographic; used only for simulation decisions.
+//
+// The generator core and the gaussian/log-normal draws are defined inline: the
+// latency model draws noise on every charge, so these sit on the scan loop's
+// hot path and the cross-TU call overhead is measurable there.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
   // Uniform over the full 64-bit range.
-  std::uint64_t Next();
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   // Uniform in [0, bound). bound must be > 0. Uses Lemire rejection to avoid bias.
   std::uint64_t NextBelow(std::uint64_t bound);
@@ -27,7 +43,7 @@ class Rng {
   std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
 
   // Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
 
   // True with probability p (clamped to [0,1]).
   bool NextBool(double p);
@@ -36,11 +52,30 @@ class Rng {
   // normals per uniform pair; the second is cached and returned by the next
   // call, so consecutive calls alternate between consuming two uniforms and
   // consuming none. Fork() does not inherit the cached spare.
-  double NextGaussian();
+  double NextGaussian() {
+    if (has_spare_gaussian_) {
+      has_spare_gaussian_ = false;
+      return spare_gaussian_;
+    }
+    // Guard against log(0).
+    double u1 = NextDouble();
+    while (u1 <= 0.0) {
+      u1 = NextDouble();
+    }
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    // sin and cos on the same angle compile to one sincos call.
+    spare_gaussian_ = r * std::sin(theta);
+    has_spare_gaussian_ = true;
+    return r * std::cos(theta);
+  }
 
   // Log-normal with the given median and sigma of the underlying normal. Used by the
   // latency model for realistic timing noise.
-  double NextLogNormal(double median, double sigma);
+  double NextLogNormal(double median, double sigma) {
+    return median * std::exp(sigma * NextGaussian());
+  }
 
   // Fisher-Yates shuffle of an index vector.
   void Shuffle(std::vector<std::uint32_t>& values);
@@ -50,6 +85,8 @@ class Rng {
   [[nodiscard]] Rng Fork();
 
  private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   std::uint64_t state_[4];
   double spare_gaussian_ = 0.0;
   bool has_spare_gaussian_ = false;

@@ -1,0 +1,165 @@
+// Property tests for the ISA-dispatched content primitives: every compiled
+// implementation must compute the exact same hash, three-way compare, and
+// zero verdict as an independently written scalar reference, over random,
+// zero, pattern, CoW-aliased, and boundary-byte-differing pages.
+
+#include "src/phys/content_isa.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/phys/frame.h"
+#include "src/sim/rng.h"
+
+namespace vusion {
+namespace {
+
+using Page = std::array<std::uint8_t, kPageSize>;
+
+// Independent reference for the 8-lane FNV page hash, written from the spec in
+// content_isa.h rather than shared with the implementation under test.
+std::uint64_t RefFin(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RefHash(const std::uint8_t* page) {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t lanes[8];
+  for (std::size_t i = 0; i < 8; ++i) {
+    lanes[i] = RefFin(kOffset + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+  for (std::size_t w = 0; w < kPageSize / 8; ++w) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, page + w * 8, 8);
+    lanes[w % 8] = (lanes[w % 8] ^ word) * kPrime;
+  }
+  std::uint64_t h = kOffset;
+  for (std::size_t i = 0; i < 8; ++i) {
+    h = (h ^ RefFin(lanes[i])) * kPrime;
+  }
+  return h;
+}
+
+int RefCompare(const std::uint8_t* a, const std::uint8_t* b) {
+  const int c = std::memcmp(a, b, kPageSize);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::vector<const ContentOps*> CompiledOps() {
+  std::vector<const ContentOps*> ops;
+  ops.push_back(&GetContentOps(ContentIsa::kScalar));
+  ops.push_back(&GetContentOps(ContentIsa::kWordwise));
+  // May be the wordwise fallback when AVX2 is compiled out or unsupported;
+  // testing the fallback twice is harmless.
+  ops.push_back(&GetContentOps(ContentIsa::kAvx2));
+  return ops;
+}
+
+Page RandomPage(Rng& rng) {
+  Page p;
+  for (std::size_t w = 0; w < kPageSize / 8; ++w) {
+    const std::uint64_t v = rng.Next();
+    std::memcpy(p.data() + w * 8, &v, 8);
+  }
+  return p;
+}
+
+TEST(ContentIsaTest, HashMatchesReferenceOnRandomPages) {
+  Rng rng(0xc0471501);
+  for (int iter = 0; iter < 64; ++iter) {
+    const Page p = RandomPage(rng);
+    const std::uint64_t want = RefHash(p.data());
+    for (const ContentOps* ops : CompiledOps()) {
+      EXPECT_EQ(ops->hash_page(p.data()), want) << ops->name;
+    }
+  }
+}
+
+TEST(ContentIsaTest, HashOfZeroAndPatternPages) {
+  Page zero{};
+  const std::uint64_t zero_want = RefHash(zero.data());
+  EXPECT_EQ(ZeroPageHash(), zero_want);
+  Page pattern;
+  for (const std::uint64_t seed : {0ULL, 1ULL, 0xdeadbeefULL, ~0ULL}) {
+    ExpandPattern(seed, pattern.data());
+    // The pattern byte stream really is the PatternWord stream.
+    for (std::size_t w = 0; w < kPageSize / 8; ++w) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, pattern.data() + w * 8, 8);
+      ASSERT_EQ(word, PatternWord(seed, w));
+    }
+    const std::uint64_t want = RefHash(pattern.data());
+    for (const ContentOps* ops : CompiledOps()) {
+      EXPECT_EQ(ops->hash_page(zero.data()), zero_want) << ops->name;
+      EXPECT_EQ(ops->hash_page(pattern.data()), want) << ops->name;
+    }
+  }
+}
+
+TEST(ContentIsaTest, CompareMatchesMemcmpIncludingBoundaryBytes) {
+  Rng rng(0x51deb00c);
+  const Page base = RandomPage(rng);
+  // CoW-aliased case: identical buffers (and literally the same buffer).
+  Page equal = base;
+  for (const ContentOps* ops : CompiledOps()) {
+    EXPECT_EQ(ops->compare_pages(base.data(), equal.data()), 0) << ops->name;
+    EXPECT_EQ(ops->compare_pages(base.data(), base.data()), 0) << ops->name;
+    EXPECT_EQ(ops->hash_page(base.data()), ops->hash_page(equal.data())) << ops->name;
+  }
+  // Single-byte differences at every lane/vector boundary the kernels care
+  // about: first/last byte, SIMD-width edges, word edges, and random offsets.
+  std::vector<std::size_t> offsets = {0,    1,    7,    8,    15,   16,  31,
+                                      32,   63,   64,   255,  256,  511, 2047,
+                                      2048, 4064, 4088, 4094, 4095};
+  for (int i = 0; i < 32; ++i) {
+    offsets.push_back(rng.Next() % kPageSize);
+  }
+  for (const std::size_t off : offsets) {
+    for (const int delta : {-1, 1}) {
+      Page mutated = base;
+      mutated[off] = static_cast<std::uint8_t>(mutated[off] + delta);
+      const int want = RefCompare(base.data(), mutated.data());
+      ASSERT_NE(want, 0);
+      for (const ContentOps* ops : CompiledOps()) {
+        EXPECT_EQ(ops->compare_pages(base.data(), mutated.data()), want)
+            << ops->name << " offset " << off;
+        EXPECT_EQ(ops->compare_pages(mutated.data(), base.data()), -want)
+            << ops->name << " offset " << off;
+        EXPECT_NE(ops->hash_page(mutated.data()), ops->hash_page(base.data()))
+            << ops->name << " offset " << off;
+      }
+    }
+  }
+}
+
+TEST(ContentIsaTest, IsZeroDetectsEverySingleBitPage) {
+  Page page{};
+  for (const ContentOps* ops : CompiledOps()) {
+    EXPECT_TRUE(ops->is_zero(page.data())) << ops->name;
+  }
+  for (const std::size_t off :
+       {std::size_t{0}, std::size_t{31}, std::size_t{32}, std::size_t{2048},
+        std::size_t{4095}}) {
+    page[off] = 1;
+    for (const ContentOps* ops : CompiledOps()) {
+      EXPECT_FALSE(ops->is_zero(page.data())) << ops->name << " offset " << off;
+    }
+    page[off] = 0;
+  }
+}
+
+TEST(ContentIsaTest, DispatchTablesAreConsistent) {
+  const ContentOps& active = ActiveContentOps();
+  EXPECT_STREQ(active.name, ContentIsaName(active.isa));
+  EXPECT_EQ(GetContentOps(ContentIsa::kScalar).isa, ContentIsa::kScalar);
+  EXPECT_EQ(GetContentOps(ContentIsa::kWordwise).isa, ContentIsa::kWordwise);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -1,5 +1,7 @@
 #include "src/sim/latency_model.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace vusion {
@@ -45,6 +47,71 @@ TEST(LatencyModelTest, ZeroChargeIsFree) {
   LatencyModel model(LatencyConfig{}, clock, Rng(4));
   EXPECT_EQ(model.Charge(0), 0u);
   EXPECT_EQ(clock.now(), 0u);
+}
+
+// A batched span must reproduce the unbatched run bit-for-bit: same per-charge
+// costs (same RNG draws in the same order) and the same final clock; only the
+// number of Advance calls differs.
+TEST(LatencyModelTest, BatchedSpanMatchesUnbatchedBitForBit) {
+  LatencyConfig config;
+  config.noise_sigma = 0.04;
+
+  VirtualClock ref_clock;
+  LatencyModel ref(config, ref_clock, Rng(42));
+  ref.set_batching_enabled(false);
+  std::vector<SimTime> ref_costs;
+  for (int i = 0; i < 1000; ++i) {
+    ref_costs.push_back(ref.Charge(100 + i % 7));
+    if (i % 3 == 0) {
+      ref_costs.push_back(ref.ChargeExact(25));
+    }
+  }
+
+  VirtualClock clock;
+  LatencyModel model(config, clock, Rng(42));
+  model.set_batching_enabled(true);
+  std::vector<SimTime> costs;
+  {
+    ChargeSpan span(model);
+    for (int i = 0; i < 1000; ++i) {
+      costs.push_back(model.Charge(100 + i % 7));
+      if (i % 3 == 0) {
+        costs.push_back(model.ChargeExact(25));
+      }
+    }
+    // Mid-span reads settle through FlushPending and see the exact clock.
+    model.FlushPending();
+    EXPECT_EQ(clock.now(), ref_clock.now());
+  }
+  EXPECT_EQ(costs, ref_costs);
+  EXPECT_EQ(clock.now(), ref_clock.now());
+}
+
+// Nested spans only flush at the outermost close; disabling batching flushes
+// immediately and makes further charges advance the clock directly.
+TEST(LatencyModelTest, NestedSpansAndDisableFlush) {
+  LatencyConfig config;
+  config.noise_sigma = 0.0;
+  VirtualClock clock;
+  LatencyModel model(config, clock, Rng(5));
+  // This test asserts batched-span mechanics, so own the toggle explicitly
+  // (a VUSION_UNBATCHED_CHARGES ablation run must not change what it tests).
+  model.set_batching_enabled(true);
+  {
+    ChargeSpan outer(model);
+    model.Charge(10);
+    {
+      ChargeSpan inner(model);
+      model.Charge(20);
+    }
+    EXPECT_EQ(clock.now(), 0u);  // still pending: outer span is open
+    model.set_batching_enabled(false);
+    EXPECT_EQ(clock.now(), 30u);  // disabling settles the pending total
+    model.Charge(5);
+    EXPECT_EQ(clock.now(), 35u);  // unbatched even inside the span
+    model.set_batching_enabled(true);
+  }
+  EXPECT_EQ(clock.now(), 35u);
 }
 
 TEST(VirtualClockTest, AdvanceAndReset) {

@@ -285,5 +285,30 @@ TEST(PhysicalMemoryTest, PatternHashCacheIsBoundedAndCounted) {
   EXPECT_LE(stats.entries, PhysicalMemory::kPatternHashCacheCap);
 }
 
+// Regression test for the wholesale clear(): eviction is segmented (hot/cold
+// rotation), so a seed touched between rotations stays resident instead of
+// being dropped with the rest of the cache.
+TEST(PhysicalMemoryTest, PatternHashCacheKeepsTouchedSeedsAcrossRotation) {
+  PhysicalMemory mem(4);
+  mem.FillPattern(0, 42);
+  const std::uint64_t h42 = mem.HashContent(0);
+  std::uint64_t next_seed = 1000;
+  for (int round = 0; round < 3; ++round) {
+    // Enough distinct seeds to rotate the segments at least once.
+    for (std::uint64_t i = 0; i < PhysicalMemory::kPatternHashCacheCap / 2 + 8; ++i) {
+      mem.FillPattern(1, next_seed++);
+      (void)mem.HashContent(1);
+    }
+    const auto before = mem.pattern_hash_cache_stats();
+    mem.FillPattern(2, 42);
+    EXPECT_EQ(mem.HashContent(2), h42);
+    const auto after = mem.pattern_hash_cache_stats();
+    EXPECT_EQ(after.hits, before.hits + 1) << "seed 42 fell out in round " << round;
+  }
+  const auto stats = mem.pattern_hash_cache_stats();
+  EXPECT_GE(stats.evictions, 3u);
+  EXPECT_LE(stats.entries, PhysicalMemory::kPatternHashCacheCap);
+}
+
 }  // namespace
 }  // namespace vusion
