@@ -5,9 +5,7 @@
 namespace vusion {
 
 Llc::Llc(const CacheConfig& config)
-    : config_(config),
-      lines_per_page_(std::max<std::size_t>(1, kPageSize / config.line_size)),
-      lines_(config.sets * config.ways) {}
+    : config_(config), lines_per_page_(std::max<std::size_t>(1, kPageSize / config.line_size)) {}
 
 void Llc::AdjustFrameLines(std::uint64_t tag, int delta) {
   const std::size_t frame = FrameOfTag(tag);
@@ -18,6 +16,11 @@ void Llc::AdjustFrameLines(std::uint64_t tag, int delta) {
 }
 
 bool Llc::Access(PhysAddr paddr) {
+  if (lines_.empty()) {
+    // First fill commits the line array. Machines that never issue timed
+    // accesses (common in large fleets) skip the ~3 MB allocation entirely.
+    lines_.assign(config_.sets * config_.ways, Line{});
+  }
   const std::uint64_t tag = paddr / config_.line_size;
   const std::size_t set = tag % config_.sets;
   Line* base = &lines_[set * config_.ways];
@@ -48,6 +51,9 @@ bool Llc::Access(PhysAddr paddr) {
 }
 
 void Llc::Flush(PhysAddr paddr) {
+  if (lines_.empty()) {
+    return;  // nothing has ever been cached
+  }
   const std::uint64_t tag = paddr / config_.line_size;
   const std::size_t set = tag % config_.sets;
   Line* base = &lines_[set * config_.ways];
@@ -78,6 +84,9 @@ void Llc::FlushFrame(FrameId frame) {
 }
 
 bool Llc::Contains(PhysAddr paddr) const {
+  if (lines_.empty()) {
+    return false;
+  }
   const std::uint64_t tag = paddr / config_.line_size;
   const std::size_t set = tag % config_.sets;
   const Line* base = &lines_[set * config_.ways];
@@ -104,6 +113,10 @@ bool Llc::ValidateFrameLineCounters() const {
     ++recomputed[frame];
   }
   return recomputed == frame_lines_;
+}
+
+std::size_t Llc::resident_bytes() const {
+  return lines_.capacity() * sizeof(Line) + frame_lines_.capacity() * sizeof(std::uint16_t);
 }
 
 std::size_t Llc::ColorOf(FrameId frame) const { return frame % config_.page_colors(); }

@@ -61,6 +61,11 @@ class Llc {
   // Audit/test use only (O(sets * ways)).
   [[nodiscard]] bool ValidateFrameLineCounters() const;
 
+  // Host bytes committed to the line array and per-frame counters. The line
+  // array is allocated on the first fill, so idle machines in a fleet (booted
+  // but not yet issuing timed accesses) carry no cache-model overhead.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
  private:
   struct Line {
     std::uint64_t tag = 0;
@@ -79,7 +84,11 @@ class Llc {
 
   CacheConfig config_;
   std::size_t lines_per_page_;
-  std::vector<Line> lines_;  // sets * ways, row-major by set
+  // sets * ways, row-major by set; empty until the first fill (an empty array
+  // means "nothing cached", so flush/lookup paths short-circuit on it). The
+  // default 8 MB geometry costs ~3 MB of host memory per instance — a
+  // per-Machine fixed cost a large fleet cannot afford to pay up front.
+  std::vector<Line> lines_;
   std::vector<std::uint16_t> frame_lines_;  // cached-line count per frame, grown lazily
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

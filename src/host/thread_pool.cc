@@ -6,9 +6,10 @@ namespace vusion::host {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t spawn = threads > 1 ? threads - 1 : 0;
+  stripe_pos_.assign(spawn + 1, 0);
   workers_.reserve(spawn);
   for (std::size_t i = 0; i < spawn; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -23,8 +24,26 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::ParallelFor(std::size_t count, std::size_t grain,
-                             const std::function<void(std::size_t, std::size_t)>& body) {
+bool ThreadPool::BatchClaimed() const {
+  return mode_ == Mode::kChunks ? next_ >= count_ : claimed_ >= count_;
+}
+
+void ThreadPool::RunBatch(std::size_t caller_stripe) {
+  work_ready_.notify_all();
+  Drain(caller_stripe);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [this] { return BatchClaimed() && in_flight_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count, std::size_t grain, Body body) {
   if (count == 0) {
     return;
   }
@@ -38,45 +57,80 @@ void ThreadPool::ParallelFor(std::size_t count, std::size_t grain,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    body_ = &body;
+    body_ = body;
+    mode_ = Mode::kChunks;
+    count_ = count;
     next_ = 0;
-    end_ = count;
     grain_ = grain;
     first_error_ = nullptr;
+    ++generation_;
   }
-  work_ready_.notify_all();
-  DrainChunks();
-  std::exception_ptr error;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    batch_done_.wait(lock, [this] { return next_ >= end_ && in_flight_ == 0; });
-    body_ = nullptr;
-    error = first_error_;
-    first_error_ = nullptr;
-  }
-  if (error) {
-    std::rethrow_exception(error);
-  }
+  RunBatch(workers_.size());
 }
 
-void ThreadPool::DrainChunks() {
+void ThreadPool::ParallelTasks(std::size_t count, Body body) {
+  if (count == 0) {
+    return;
+  }
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i, i + 1);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = body;
+    mode_ = Mode::kStriped;
+    count_ = count;
+    claimed_ = 0;
+    std::fill(stripe_pos_.begin(), stripe_pos_.end(), 0);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  RunBatch(workers_.size());
+}
+
+std::size_t ThreadPool::ClaimStripedLocked(std::size_t stripe) {
+  const std::size_t stripes = stripe_pos_.size();
+  for (std::size_t k = 0; k < stripes; ++k) {
+    const std::size_t s = (stripe + k) % stripes;
+    const std::size_t task = s + stripe_pos_[s] * stripes;
+    if (task < count_) {
+      ++stripe_pos_[s];
+      ++claimed_;
+      return task;
+    }
+  }
+  return count_;
+}
+
+void ThreadPool::Drain(std::size_t stripe) {
   for (;;) {
     std::size_t begin = 0;
     std::size_t end = 0;
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    Body body;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (next_ >= end_) {
-        return;
+      if (mode_ == Mode::kChunks) {
+        if (next_ >= count_) {
+          return;
+        }
+        begin = next_;
+        end = std::min(count_, begin + grain_);
+        next_ = end;
+      } else {
+        begin = ClaimStripedLocked(stripe);
+        if (begin >= count_) {
+          return;
+        }
+        end = begin + 1;
       }
-      begin = next_;
-      end = std::min(end_, begin + grain_);
-      next_ = end;
       ++in_flight_;
       body = body_;
     }
     try {
-      (*body)(begin, end);
+      body(begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) {
@@ -86,24 +140,26 @@ void ThreadPool::DrainChunks() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
-      if (next_ >= end_ && in_flight_ == 0) {
+      if (BatchClaimed() && in_flight_ == 0) {
         batch_done_.notify_all();
       }
     }
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t worker_id) {
+  std::uint64_t seen_generation = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock,
-                       [this] { return shutdown_ || (body_ != nullptr && next_ < end_); });
+      work_ready_.wait(
+          lock, [this, seen_generation] { return shutdown_ || generation_ != seen_generation; });
       if (shutdown_) {
         return;
       }
+      seen_generation = generation_;
     }
-    DrainChunks();
+    Drain(worker_id);
   }
 }
 

@@ -1,16 +1,31 @@
-// Fixed-size host worker pool for the parallel scan pipeline.
+// Fixed-size host worker pool for the parallel scan pipeline and the fleet
+// executor.
 //
 // This is HOST-side machinery only: it parallelizes the simulator's own wall-clock
 // work and must never touch simulated state (VirtualClock, Rng, LatencyModel,
 // TraceBuffer, FusionStats) — those are single-threaded by contract; see DESIGN.md,
 // "Parallel host, serial sim".
 //
-// Dispatch model: ParallelFor splits [0, count) into fixed-size chunks handed out
-// from a shared cursor under the pool mutex (dynamic load balancing), the calling
-// thread participates as a worker, and the join barrier is a plain condition
-// variable on (cursor exhausted && no chunk in flight) — no futures, no per-task
-// allocation. The first exception thrown by any chunk is captured and rethrown on
-// the calling thread after the barrier; remaining chunks still run.
+// Two dispatch modes, one reusable barrier:
+//
+//   ParallelFor splits [0, count) into fixed-size chunks handed out from a shared
+//   cursor under the pool mutex (dynamic load balancing) — the scan pipeline's
+//   phase-1 sharding.
+//
+//   ParallelTasks hands out single indices with per-task stripe affinity: task t's
+//   home stripe is t % thread_count(), and each thread drains its own stripe before
+//   stealing from others, so a fleet Machine is stepped by the same thread quantum
+//   after quantum (warm caches) while an unbalanced quantum still load-balances.
+//
+// In both modes the calling thread participates as a worker and the join barrier
+// is a plain condition variable keyed on a batch generation counter; all dispatch
+// state (cursors, stripe positions, the body reference) lives in fixed pool
+// members reused across generations — dispatching a batch performs no heap
+// allocation. Bodies are passed as a non-owning Body view instead of a
+// std::function for the same reason: the scan pipeline dispatches thousands of
+// batches per second and a capturing std::function allocates on every call.
+// The first exception thrown by any chunk/task is captured and rethrown on the
+// calling thread after the barrier; remaining chunks still run.
 
 #ifndef VUSION_SRC_HOST_THREAD_POOL_H_
 #define VUSION_SRC_HOST_THREAD_POOL_H_
@@ -18,18 +33,43 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace vusion::host {
 
 class ThreadPool {
  public:
+  // Non-owning view of a callable `void(std::size_t begin, std::size_t end)`.
+  // The referenced callable must outlive the dispatch call it is passed to; both
+  // entry points block until the batch completes, so passing a temporary lambda
+  // at the call site is safe.
+  class Body {
+   public:
+    Body() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Body>>>
+    Body(F&& f)  // NOLINT(google-explicit-constructor): implicit by design
+        : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+          fn_([](void* ctx, std::size_t begin, std::size_t end) {
+            (*static_cast<std::remove_reference_t<F>*>(ctx))(begin, end);
+          }) {}
+
+    void operator()(std::size_t begin, std::size_t end) const { fn_(ctx_, begin, end); }
+    [[nodiscard]] explicit operator bool() const { return fn_ != nullptr; }
+
+   private:
+    void* ctx_ = nullptr;
+    void (*fn_)(void*, std::size_t, std::size_t) = nullptr;
+  };
+
   // `threads` is the total concurrency including the calling thread, so the pool
-  // spawns threads-1 background workers. threads<=1 spawns none and ParallelFor
-  // runs inline.
+  // spawns threads-1 background workers. threads<=1 spawns none and both dispatch
+  // calls run inline.
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
@@ -41,25 +81,52 @@ class ThreadPool {
   // Runs body(begin, end) over disjoint chunks covering [0, count), concurrently
   // on all pool threads plus the caller, and returns after every chunk completed.
   // grain=0 picks a chunk size targeting a few chunks per thread. Not reentrant:
-  // one batch at a time (the scan pipeline is the only dispatcher).
-  void ParallelFor(std::size_t count, std::size_t grain,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+  // one batch at a time per pool.
+  void ParallelFor(std::size_t count, std::size_t grain, Body body);
+
+  // Runs body(t, t+1) once for every task t in [0, count), concurrently, with
+  // per-task stripe affinity (task t's home thread is t % thread_count()) and
+  // stealing. Returns after every task completed. Not reentrant with ParallelFor
+  // or itself.
+  void ParallelTasks(std::size_t count, Body body);
 
  private:
-  void WorkerLoop();
-  // Claims and runs chunks until the current batch's cursor is exhausted.
-  void DrainChunks();
+  enum class Mode : std::uint8_t { kChunks, kStriped };
+
+  void WorkerLoop(std::size_t worker_id);
+  // Claims and runs work until the current batch is exhausted. `stripe` is the
+  // calling thread's home stripe for striped batches.
+  void Drain(std::size_t stripe);
+  // Next striped task for a thread whose home stripe is `stripe`: own stripe
+  // first, then steal round-robin. Returns count_ when nothing is left.
+  // Caller holds mu_.
+  std::size_t ClaimStripedLocked(std::size_t stripe);
+  // Caller holds mu_. True when every chunk/task of the current batch is claimed.
+  [[nodiscard]] bool BatchClaimed() const;
+  // Dispatches a prepared batch and blocks on the join barrier; rethrows the
+  // first captured body exception. Caller must NOT hold mu_.
+  void RunBatch(std::size_t caller_stripe);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
-  // Current batch (guarded by mu_; body_ is only dereferenced for a chunk claimed
-  // while it was non-null, and cleared only after the barrier).
-  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
-  std::size_t next_ = 0;
-  std::size_t end_ = 0;
-  std::size_t grain_ = 1;
+
+  // Current batch (all guarded by mu_). body_ is only invoked for work claimed
+  // while the batch was live; a worker waking late simply finds the batch
+  // exhausted. generation_ is bumped once per batch so sleeping workers key
+  // their wait on it instead of per-batch state.
+  Body body_;
+  Mode mode_ = Mode::kChunks;
+  std::uint64_t generation_ = 0;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;   // chunks mode: shared cursor
+  std::size_t grain_ = 1;  // chunks mode
+  // Striped mode: per-stripe position (task = stripe + pos * thread_count()) and
+  // total claimed count. Sized once in the constructor, reset (not reallocated)
+  // per batch.
+  std::vector<std::size_t> stripe_pos_;
+  std::size_t claimed_ = 0;
   std::size_t in_flight_ = 0;
   std::exception_ptr first_error_;
   bool shutdown_ = false;

@@ -288,6 +288,18 @@ MetricsSnapshot Machine::CollectMetrics() {
   return metrics_.Snapshot();
 }
 
+Machine::Footprint Machine::MeasureFootprint() const {
+  Footprint fp;
+  fp.frame_table_bytes = memory_->frame_table_bytes();
+  fp.materialized_bytes = memory_->materialized_bytes();
+  fp.cache_bytes = llc_->resident_bytes();
+  if (l1_ != nullptr) {
+    fp.cache_bytes += l1_->resident_bytes();
+  }
+  fp.trace_bytes = trace_.resident_bytes();
+  return fp;
+}
+
 std::uint64_t Machine::CountHugeMappings() const {
   std::uint64_t count = 0;
   for (const auto& process : processes_) {

@@ -161,6 +161,21 @@ class Machine {
   // metrics (the fault path) are always current.
   MetricsSnapshot CollectMetrics();
 
+  // Host-memory footprint of this Machine's dominant per-instance structures
+  // (for fleet-scale frugality reporting; host-side observation only). The
+  // fixed components (frame table, caches, trace ring) are lazily allocated, so
+  // an idle booted Machine's footprint is mostly its materialized page content.
+  struct Footprint {
+    std::size_t frame_table_bytes = 0;   // Frame metadata array
+    std::size_t materialized_bytes = 0;  // committed page-content buffers
+    std::size_t cache_bytes = 0;         // LLC + L1 line arrays and counters
+    std::size_t trace_bytes = 0;         // trace ring (zero unless tracing)
+    [[nodiscard]] std::size_t total_bytes() const {
+      return frame_table_bytes + materialized_bytes + cache_bytes + trace_bytes;
+    }
+  };
+  [[nodiscard]] Footprint MeasureFootprint() const;
+
  private:
   friend class Process;
 

@@ -129,6 +129,11 @@ class PhysicalMemory {
 
   // Bytes of host memory actually committed to frame buffers (for scale reporting).
   [[nodiscard]] std::size_t materialized_bytes() const { return materialized_count_ * kPageSize; }
+  // Host bytes of the frame metadata table itself (paid per Machine regardless
+  // of how many frames hold materialized content).
+  [[nodiscard]] std::size_t frame_table_bytes() const {
+    return frames_.capacity() * sizeof(Frame);
+  }
 
   // --- Content snapshots (swap/compressed-cache support) ---
 

@@ -79,9 +79,7 @@ void Json::AppendEscaped(std::string& out, const std::string& s) {
   out += '"';
 }
 
-namespace {
-
-void AppendDouble(std::string& out, double v) {
+void Json::AppendDouble(std::string& out, double v) {
   if (!std::isfinite(v)) {
     out += "null";  // JSON has no inf/nan
     return;
@@ -92,8 +90,6 @@ void AppendDouble(std::string& out, double v) {
   // Keep a numeric-looking token ("1" stays valid JSON, but "1.0" reads as a float
   // downstream); nothing to fix if an exponent or dot is already present.
 }
-
-}  // namespace
 
 void Json::DumpTo(std::string& out, int indent, int depth) const {
   const auto newline_pad = [&](int d) {
@@ -126,6 +122,9 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
       return;
     case Kind::kString:
       AppendEscaped(out, string_);
+      return;
+    case Kind::kRaw:
+      out += string_;
       return;
     case Kind::kArray: {
       if (items_.empty()) {
@@ -172,8 +171,32 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
   }
 }
 
+std::size_t Json::EstimateDumpSize() const {
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kUint:
+    case Kind::kDouble:
+      return 20;
+    case Kind::kString:
+    case Kind::kRaw:
+      return string_.size() + 8;
+    case Kind::kArray:
+    case Kind::kObject: {
+      std::size_t total = 4;
+      for (const auto& [key, value] : items_) {
+        total += key.size() + 8 + value.EstimateDumpSize();
+      }
+      return total;
+    }
+  }
+  return 20;
+}
+
 std::string Json::Dump(int indent) const {
   std::string out;
+  out.reserve(EstimateDumpSize());
   DumpTo(out, indent, 0);
   if (indent > 0) {
     out += '\n';

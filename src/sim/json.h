@@ -15,7 +15,17 @@ namespace vusion {
 
 class Json {
  public:
-  enum class Kind : std::uint8_t { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+    kRaw,  // preserialized JSON text, emitted verbatim
+  };
 
   Json() = default;  // null
   Json(bool b) : kind_(Kind::kBool), bool_(b) {}
@@ -39,6 +49,17 @@ class Json {
     j.kind_ = Kind::kObject;
     return j;
   }
+  // Wraps already-serialized JSON text; Dump() splices it verbatim. Lets bulk
+  // producers (the metrics snapshot serializer) render straight into a string
+  // with reserved capacity instead of building a node per value — at fleet
+  // scale the per-node allocations dominate artifact teardown. The caller is
+  // responsible for `text` being valid JSON.
+  static Json Raw(std::string text) {
+    Json j;
+    j.kind_ = Kind::kRaw;
+    j.string_ = std::move(text);
+    return j;
+  }
 
   // Object insertion (sets kind to object on a null value). Replaces an existing key.
   Json& Set(const std::string& key, Json value);
@@ -56,9 +77,14 @@ class Json {
   [[nodiscard]] std::string Dump(int indent = 2) const;
 
   static void AppendEscaped(std::string& out, const std::string& s);
+  // Shared numeric formatting ("%.12g"; non-finite values become null) so raw
+  // serializers emit tokens identical to the tree writer's.
+  static void AppendDouble(std::string& out, double v);
 
  private:
   void DumpTo(std::string& out, int indent, int depth) const;
+  // Rough serialized size, used to reserve the output string once in Dump().
+  [[nodiscard]] std::size_t EstimateDumpSize() const;
 
   Kind kind_ = Kind::kNull;
   bool bool_ = false;

@@ -95,49 +95,98 @@ double MetricsSnapshot::GaugeValue(const std::string& name, const MetricLabels& 
   return e != nullptr ? e->value : 0.0;
 }
 
-Json MetricsSnapshot::ToJson() const {
-  Json out = Json::Array();
+void MetricsSnapshot::AppendJsonTo(std::string& out) const {
+  // One reservation covers the whole array: entry framing plus names, labels,
+  // and numeric tokens (~20 chars each). Slight overestimates are fine; what
+  // the fleet rollup cannot afford is a reallocation-and-copy cascade across
+  // hundreds of appended registries.
+  std::size_t estimate = out.size() + 4;
   for (const Entry& e : entries) {
-    Json j = Json::Object();
-    j.Set("name", e.name);
-    if (!e.labels.empty()) {
-      Json labels = Json::Object();
-      for (const auto& [k, v] : e.labels) {
-        labels.Set(k, v);
-      }
-      j.Set("labels", std::move(labels));
+    estimate += e.name.size() + 48;
+    for (const auto& [k, v] : e.labels) {
+      estimate += k.size() + v.size() + 8;
     }
-    j.Set("kind", MetricKindName(e.kind));
+    if (e.kind == MetricKind::kHistogram) {
+      estimate += 64 + (e.bounds.size() + e.buckets.size()) * 20;
+    }
+  }
+  out.reserve(estimate);
+
+  const auto append_u64 = [&out](std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  out += '[';
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (i != 0) {
+      out += ", ";
+    }
+    out += "{\"name\": ";
+    Json::AppendEscaped(out, e.name);
+    if (!e.labels.empty()) {
+      out += ", \"labels\": {";
+      for (std::size_t l = 0; l < e.labels.size(); ++l) {
+        if (l != 0) {
+          out += ", ";
+        }
+        Json::AppendEscaped(out, e.labels[l].first);
+        out += ": ";
+        Json::AppendEscaped(out, e.labels[l].second);
+      }
+      out += '}';
+    }
+    out += ", \"kind\": \"";
+    out += MetricKindName(e.kind);
+    out += '"';
     switch (e.kind) {
       case MetricKind::kCounter:
-        j.Set("value", e.count);
+        out += ", \"value\": ";
+        append_u64(e.count);
         break;
       case MetricKind::kGauge:
-        j.Set("value", e.value);
+        out += ", \"value\": ";
+        Json::AppendDouble(out, e.value);
         break;
       case MetricKind::kHistogram: {
-        j.Set("count", e.count);
-        j.Set("sum", e.value);
+        out += ", \"count\": ";
+        append_u64(e.count);
+        out += ", \"sum\": ";
+        Json::AppendDouble(out, e.value);
         if (e.count > 0) {
-          j.Set("min", e.min);
-          j.Set("max", e.max);
+          out += ", \"min\": ";
+          Json::AppendDouble(out, e.min);
+          out += ", \"max\": ";
+          Json::AppendDouble(out, e.max);
         }
-        Json bounds = Json::Array();
-        for (const double b : e.bounds) {
-          bounds.Push(b);
+        out += ", \"bounds\": [";
+        for (std::size_t b = 0; b < e.bounds.size(); ++b) {
+          if (b != 0) {
+            out += ", ";
+          }
+          Json::AppendDouble(out, e.bounds[b]);
         }
-        j.Set("bounds", std::move(bounds));
-        Json buckets = Json::Array();
-        for (const std::uint64_t c : e.buckets) {
-          buckets.Push(c);
+        out += "], \"buckets\": [";
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+          if (b != 0) {
+            out += ", ";
+          }
+          append_u64(e.buckets[b]);
         }
-        j.Set("buckets", std::move(buckets));
+        out += ']';
         break;
       }
     }
-    out.Push(std::move(j));
+    out += '}';
   }
-  return out;
+  out += ']';
+}
+
+Json MetricsSnapshot::ToJson() const {
+  std::string out;
+  AppendJsonTo(out);
+  return Json::Raw(std::move(out));
 }
 
 std::string MetricsSnapshot::RenderTable() const {

@@ -156,6 +156,12 @@ struct MetricsSnapshot {
   [[nodiscard]] double GaugeValue(const std::string& name,
                                   const MetricLabels& labels = {}) const;
 
+  // Serializes the entry array as compact JSON directly into `out`, reserving
+  // the full output capacity up front and appending names/labels in place (no
+  // per-entry node tree, no per-label string copies). This is the fleet rollup
+  // path: hundreds of per-Machine registries render at artifact-write time.
+  void AppendJsonTo(std::string& out) const;
+  // Same serialization wrapped as a splice-in-place Json::Raw node.
   [[nodiscard]] Json ToJson() const;
   // Aligned "key  value" lines, one metric per line, zero-valued entries skipped.
   [[nodiscard]] std::string RenderTable() const;

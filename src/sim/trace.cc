@@ -1,5 +1,6 @@
 #include "src/sim/trace.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace vusion {
@@ -30,17 +31,22 @@ const char* TraceEventTypeName(TraceEventType type) {
   return "?";
 }
 
-TraceBuffer::TraceBuffer(std::size_t capacity) { buffer_.reserve(capacity); }
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
 
 void TraceBuffer::Emit(SimTime time, TraceEventType type, std::uint32_t process_id,
                        std::uint64_t vpn, std::uint32_t frame) {
   if (!enabled_) {
     return;
   }
+  if (buffer_.capacity() < capacity_) {
+    // First enabled emit commits the ring in one shot (no growth reallocations,
+    // and disabled tracers never allocate).
+    buffer_.reserve(capacity_);
+  }
   ++counts_[static_cast<std::size_t>(type)];
   ++total_;
   const TraceEvent event{time, type, process_id, vpn, frame};
-  if (buffer_.size() < buffer_.capacity()) {
+  if (buffer_.size() < capacity_) {
     buffer_.push_back(event);
   } else {
     buffer_[next_ % buffer_.size()] = event;
@@ -50,7 +56,7 @@ void TraceBuffer::Emit(SimTime time, TraceEventType type, std::uint32_t process_
 }
 
 std::vector<TraceEvent> TraceBuffer::Events() const {
-  if (buffer_.size() < buffer_.capacity() || buffer_.empty()) {
+  if (buffer_.size() < capacity_ || buffer_.empty()) {
     return buffer_;
   }
   // Ring wrapped: oldest entry is at next_ % size.

@@ -65,8 +65,16 @@ class TraceBuffer {
   // One line per event type with its count.
   [[nodiscard]] std::string Summary() const;
 
+  // Host bytes committed to the ring. Zero until the first enabled Emit: the
+  // ring is sized lazily so the (default-off) tracer costs nothing per Machine
+  // in a large fleet.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return buffer_.capacity() * sizeof(TraceEvent);
+  }
+
  private:
   bool enabled_ = false;
+  std::size_t capacity_;            // ring bound; storage committed on first Emit
   std::vector<TraceEvent> buffer_;  // ring
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;

@@ -76,6 +76,10 @@ Process& Scenario::BootVm(const VmImageSpec& spec, std::uint64_t instance_seed) 
   return VmImage::Boot(*machine_, spec, instance_seed);
 }
 
+Process& Scenario::BootVm(const VmImageTemplate& tmpl) {
+  return VmImage::BootFromTemplate(*machine_, tmpl);
+}
+
 std::uint64_t Scenario::consumed_frames() const {
   std::uint64_t frames = machine_->memory().allocated_count();
   if (engine_) {

@@ -35,6 +35,9 @@ class Scenario {
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
   Process& BootVm(const VmImageSpec& spec, std::uint64_t instance_seed);
+  // Boots from a precomputed (possibly fleet-shared) template; bit-identical to
+  // BootVm(tmpl.spec, instance_seed) when the template was computed with that seed.
+  Process& BootVm(const VmImageTemplate& tmpl);
 
   // Advances simulated time (daemons run at their deadlines).
   void RunFor(SimTime duration) { machine_->Idle(duration); }

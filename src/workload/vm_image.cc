@@ -48,9 +48,10 @@ void MapRegion(Process& vm, VirtAddr base, const std::vector<std::uint64_t>& see
 
 }  // namespace
 
-Process& VmImage::Boot(Machine& machine, const VmImageSpec& spec,
-                       std::uint64_t instance_seed) {
-  Process& vm = machine.CreateProcess();
+std::shared_ptr<const VmImageTemplate> VmImage::ComputeTemplate(const VmImageSpec& spec,
+                                                                std::uint64_t instance_seed) {
+  auto tmpl = std::make_shared<VmImageTemplate>();
+  tmpl->spec = spec;
   Rng rng(MixSeed(instance_seed, 0xb007));
 
   const auto kernel_pages = static_cast<std::uint64_t>(spec.kernel_frac * spec.total_pages);
@@ -61,58 +62,68 @@ Process& VmImage::Boot(Machine& machine, const VmImageSpec& spec,
       spec.total_pages - kernel_pages - cache_pages - buddy_pages;
 
   // Guest kernel: identical across all VMs of the same distro.
-  std::vector<std::uint64_t> kernel_seeds(kernel_pages);
+  tmpl->kernel_seeds.resize(kernel_pages);
   for (std::uint64_t i = 0; i < kernel_pages; ++i) {
-    kernel_seeds[i] = MixSeed(spec.distro_seed, (kKernelTag << 32) | i);
+    tmpl->kernel_seeds[i] = MixSeed(spec.distro_seed, (kKernelTag << 32) | i);
   }
 
   // Page cache: distro base files, image stack files, and VM-private files.
-  std::vector<std::uint64_t> cache_seeds(cache_pages);
+  tmpl->cache_seeds.resize(cache_pages);
   for (std::uint64_t i = 0; i < cache_pages; ++i) {
     const double roll = rng.NextDouble();
     if (roll < spec.cache_distro_shared) {
-      cache_seeds[i] = MixSeed(spec.distro_seed, (kCacheTag << 32) | i);
+      tmpl->cache_seeds[i] = MixSeed(spec.distro_seed, (kCacheTag << 32) | i);
     } else if (roll < spec.cache_distro_shared + spec.cache_stack_shared) {
-      cache_seeds[i] = MixSeed(spec.stack_seed, (kCacheTag << 32) | i);
+      tmpl->cache_seeds[i] = MixSeed(spec.stack_seed, (kCacheTag << 32) | i);
     } else {
-      cache_seeds[i] = MixSeed(instance_seed, (kCacheTag << 32) | i);
+      tmpl->cache_seeds[i] = MixSeed(instance_seed, (kCacheTag << 32) | i);
     }
   }
 
   // Guest-free ("buddy") pages: mostly zero, some stale content from a small pool
   // of previously-used pages (identical within and across same-distro VMs).
-  std::vector<std::uint64_t> buddy_seeds(buddy_pages);
+  tmpl->buddy_seeds.resize(buddy_pages);
   for (std::uint64_t i = 0; i < buddy_pages; ++i) {
-    buddy_seeds[i] = rng.NextBool(spec.buddy_zero_frac)
-                         ? kZeroContent
-                         : MixSeed(spec.distro_seed, (kStaleTag << 32) | (i % 128));
+    tmpl->buddy_seeds[i] = rng.NextBool(spec.buddy_zero_frac)
+                               ? kZeroContent
+                               : MixSeed(spec.distro_seed, (kStaleTag << 32) | (i % 128));
   }
 
   // Anonymous process memory: shared-library images plus private heap.
-  std::vector<std::uint64_t> anon_seeds(anon_pages);
+  tmpl->anon_seeds.resize(anon_pages);
   for (std::uint64_t i = 0; i < anon_pages; ++i) {
-    anon_seeds[i] = rng.NextBool(spec.anon_shared_frac)
-                        ? MixSeed(spec.stack_seed, (kAnonTag << 32) | i)
-                        : MixSeed(instance_seed, (kAnonTag << 32) | i);
+    tmpl->anon_seeds[i] = rng.NextBool(spec.anon_shared_frac)
+                              ? MixSeed(spec.stack_seed, (kAnonTag << 32) | i)
+                              : MixSeed(instance_seed, (kAnonTag << 32) | i);
   }
+  return tmpl;
+}
 
+Process& VmImage::BootFromTemplate(Machine& machine, const VmImageTemplate& tmpl) {
+  const VmImageSpec& spec = tmpl.spec;
+  Process& vm = machine.CreateProcess();
   MapRegion(vm,
-            vm.AllocateRegion(kernel_pages, PageType::kGuestKernel, /*mergeable=*/true,
-                              spec.map_anon_as_thp),
-            kernel_seeds, spec.map_anon_as_thp);
+            vm.AllocateRegion(tmpl.kernel_seeds.size(), PageType::kGuestKernel,
+                              /*mergeable=*/true, spec.map_anon_as_thp),
+            tmpl.kernel_seeds, spec.map_anon_as_thp);
   MapRegion(vm,
-            vm.AllocateRegion(cache_pages, PageType::kPageCache, /*mergeable=*/true,
-                              spec.map_anon_as_thp),
-            cache_seeds, spec.map_anon_as_thp);
+            vm.AllocateRegion(tmpl.cache_seeds.size(), PageType::kPageCache,
+                              /*mergeable=*/true, spec.map_anon_as_thp),
+            tmpl.cache_seeds, spec.map_anon_as_thp);
   MapRegion(vm,
-            vm.AllocateRegion(buddy_pages, PageType::kGuestBuddy, /*mergeable=*/true,
-                              spec.map_anon_as_thp),
-            buddy_seeds, spec.map_anon_as_thp);
+            vm.AllocateRegion(tmpl.buddy_seeds.size(), PageType::kGuestBuddy,
+                              /*mergeable=*/true, spec.map_anon_as_thp),
+            tmpl.buddy_seeds, spec.map_anon_as_thp);
   MapRegion(vm,
-            vm.AllocateRegion(anon_pages, PageType::kAnonymous, /*mergeable=*/true,
-                              spec.map_anon_as_thp),
-            anon_seeds, spec.map_anon_as_thp);
+            vm.AllocateRegion(tmpl.anon_seeds.size(), PageType::kAnonymous,
+                              /*mergeable=*/true, spec.map_anon_as_thp),
+            tmpl.anon_seeds, spec.map_anon_as_thp);
   return vm;
+}
+
+Process& VmImage::Boot(Machine& machine, const VmImageSpec& spec,
+                       std::uint64_t instance_seed) {
+  return BootFromTemplate(machine, *ComputeTemplate(spec, instance_seed));
 }
 
 VmImageSpec VmImage::CatalogImage(std::size_t index) {

@@ -8,6 +8,8 @@
 #define VUSION_SRC_WORKLOAD_VM_IMAGE_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/kernel/process.h"
 
@@ -36,12 +38,40 @@ struct VmImageSpec {
   bool map_anon_as_thp = false;
 };
 
+// Precomputed boot recipe for one (spec, instance_seed) pair: the per-page
+// content seed of every region, ready to map into any Machine. Immutable after
+// ComputeTemplate, so a fleet booting N same-image Machines shares ONE template
+// read-only across host threads instead of re-deriving ~total_pages seeds (and
+// their RNG stream) per Machine — the frame contents themselves stay lazy
+// behind the seeds (ContentKind::kPattern), so sharing the template shares the
+// only eagerly-computed part of a boot.
+struct VmImageTemplate {
+  VmImageSpec spec;
+  std::vector<std::uint64_t> kernel_seeds;
+  std::vector<std::uint64_t> cache_seeds;
+  std::vector<std::uint64_t> buddy_seeds;
+  std::vector<std::uint64_t> anon_seeds;
+
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return (kernel_seeds.capacity() + cache_seeds.capacity() + buddy_seeds.capacity() +
+            anon_seeds.capacity()) *
+           sizeof(std::uint64_t);
+  }
+};
+
 class VmImage {
  public:
   // Creates a process in the machine and populates it per the spec. instance_seed
   // differentiates the VM-private contents. All regions are madvise-registered.
+  // Equivalent to BootFromTemplate(machine, *ComputeTemplate(spec, instance_seed)).
   static Process& Boot(Machine& machine, const VmImageSpec& spec,
                        std::uint64_t instance_seed);
+
+  // Derives the full seed recipe once; the result can boot any number of
+  // Machines (concurrently — it is never written after return).
+  static std::shared_ptr<const VmImageTemplate> ComputeTemplate(const VmImageSpec& spec,
+                                                                std::uint64_t instance_seed);
+  static Process& BootFromTemplate(Machine& machine, const VmImageTemplate& tmpl);
 
   // The diverse-VM catalog: 44 images over 7 distro bases (paper §9.3).
   static VmImageSpec CatalogImage(std::size_t index);

@@ -98,5 +98,61 @@ TEST(ThreadPoolTest, RepeatedBatchesAccumulate) {
   EXPECT_EQ(sum.load(), 200ull * (99ull * 100ull / 2));
 }
 
+void ExpectExactTaskCoverage(ThreadPool& pool, std::size_t count) {
+  auto counters = MakeCounters(count);
+  pool.ParallelTasks(count, [&](std::size_t begin, std::size_t end) {
+    ASSERT_EQ(end, begin + 1);
+    ASSERT_LT(begin, count);
+    counters[begin].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(counters[i].load(), 1) << "task " << i << " count=" << count;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelTasksRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  ExpectExactTaskCoverage(pool, 1);
+  ExpectExactTaskCoverage(pool, 3);   // fewer tasks than threads
+  ExpectExactTaskCoverage(pool, 4);   // one per stripe
+  ExpectExactTaskCoverage(pool, 64);  // stealing across stripes
+  ThreadPool serial(1);
+  ExpectExactTaskCoverage(serial, 16);
+}
+
+TEST(ThreadPoolTest, ParallelTasksPropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  auto counters = MakeCounters(32);
+  EXPECT_THROW(pool.ParallelTasks(32,
+                                  [&](std::size_t t, std::size_t) {
+                                    counters[t].fetch_add(1, std::memory_order_relaxed);
+                                    if (t == 13) {
+                                      throw std::runtime_error("task failed");
+                                    }
+                                  }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(counters[i].load(), 1) << "task " << i;
+  }
+  ExpectExactTaskCoverage(pool, 20);
+}
+
+TEST(ThreadPoolTest, AlternatingDispatchModesReuseTheBarrier) {
+  // The generation-keyed barrier and fixed batch state are shared by both
+  // dispatch modes; interleaving them at a high rate must neither deadlock nor
+  // lose work.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int batch = 0; batch < 100; ++batch) {
+    pool.ParallelFor(37, 5, [&](std::size_t begin, std::size_t end) {
+      sum.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    pool.ParallelTasks(11, [&](std::size_t, std::size_t) {
+      sum.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 100ull * (37 + 11));
+}
+
 }  // namespace
 }  // namespace vusion::host

@@ -17,6 +17,7 @@ Rows are matched by table-specific key fields:
 
     speedup           keyed by (engine)
     parallel_speedup  keyed by (engine, threads)
+    fleet_speedup     keyed by (threads)
     headlines         keyed by (name)
 
 Headline "target" fields are informational (the bench binary already prints
@@ -37,6 +38,7 @@ import sys
 RATIO_TABLES = {
     "speedup": ("engine",),
     "parallel_speedup": ("engine", "threads"),
+    "fleet_speedup": ("threads",),
     "headlines": ("name",),
 }
 

@@ -21,6 +21,10 @@ metric carries labels; histograms
 additionally carry "count", "sum", "bounds", and "buckets"
 (len(buckets) == len(bounds) + 1).
 
+The fleet artifact (bench == "fleet_throughput") gets extra structural checks:
+its fleet_speedup/headlines/footprint tables must be present and well-formed,
+and every entry of the fleet metrics rollup must carry a "machine" label.
+
 Usage: check_bench_json.py FILE [FILE...]
 Exits non-zero on the first malformed artifact.
 """
@@ -113,6 +117,31 @@ def check_artifact(path):
     expect(isinstance(doc["notes"], list), path, "'notes' must be a list")
     for i, note in enumerate(doc["notes"]):
         expect(isinstance(note, str), f"{path}.notes[{i}]", "must be a string")
+    if doc["bench"] == "fleet_throughput":
+        check_fleet_artifact(doc, path)
+
+
+def check_fleet_artifact(doc, path):
+    """Fleet-specific shape: the tables the regression gate diffs must exist,
+    and the metrics rollup must be machine-labeled (Fleet::CollectMetrics)."""
+    tables = doc["tables"]
+    for name in ("runs", "fleet_speedup", "headlines", "footprint", "machine_variance"):
+        expect(name in tables and tables[name], f"{path}.tables", f"fleet artifact missing table {name!r}")
+    for i, row in enumerate(tables["fleet_speedup"]):
+        expect(isinstance(row.get("threads"), numbers.Number), f"{path}.tables.fleet_speedup[{i}]",
+               "missing numeric 'threads'")
+        expect(isinstance(row.get("speedup"), numbers.Number), f"{path}.tables.fleet_speedup[{i}]",
+               "missing numeric 'speedup'")
+    footprint = tables["footprint"][0]
+    for field in ("machines", "total_bytes", "mean_machine_bytes", "max_machine_bytes",
+                  "template_bytes"):
+        expect(isinstance(footprint.get(field), numbers.Number), f"{path}.tables.footprint[0]",
+               f"missing numeric {field!r}")
+    expect("fleet" in doc["metrics"], f"{path}.metrics", "fleet artifact missing 'fleet' rollup")
+    for i, entry in enumerate(doc["metrics"]["fleet"]):
+        labels = entry.get("labels", {})
+        expect(isinstance(labels.get("machine"), str), f"{path}.metrics.fleet[{i}]",
+               "rollup entry missing 'machine' label")
 
 
 def main(argv):
