@@ -1,0 +1,155 @@
+// Savestate round-trip cost (DESIGN.md §13): how long does it take to save,
+// restore, and verify a warmed-up (Machine, engine) pair, and how big is the
+// image? Reported per engine so checkpoint-heavy users (chaos_fuzz
+// --snapshot-interval, fleet fan-out) can budget for it. Also asserts the
+// restore→resave idempotence bit, so a schema drift that silently breaks
+// parity fails the bench rather than only the tier-1 tests.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/chaos/fuzz_campaign.h"
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/process.h"
+#include "src/snapshot/machine_snapshot.h"
+#include "bench/bench_common.h"
+
+namespace vusion {
+namespace {
+
+constexpr std::size_t kProcesses = 4;
+constexpr std::size_t kPagesPerProcess = 256;
+constexpr int kWarmupSteps = 400;
+constexpr int kRepeats = 5;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+// A warmed-up machine: duplicate-heavy pages plus a seeded write/read/idle mix
+// so the saved image carries real fusion trees, traces, and metrics.
+std::string BuildImage(EngineKind kind, double* save_ms) {
+  MachineConfig machine_config;
+  machine_config.frame_count = 1u << 15;
+  machine_config.seed = 42;
+  Machine machine(machine_config);
+  FusionConfig fusion;
+  fusion.wake_period = 1 * kMillisecond;
+  fusion.pages_per_wake = 256;
+  fusion.pool_frames = 2048;
+  fusion.wpf_period = 10 * kMillisecond;
+  std::unique_ptr<FusionEngine> engine = MakeEngineExact(kind, machine, fusion);
+  engine->Install();
+
+  std::vector<VirtAddr> bases;
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    Process& proc = machine.CreateProcess();
+    const VirtAddr base =
+        proc.AllocateRegion(kPagesPerProcess, PageType::kAnonymous, true, false);
+    bases.push_back(base);
+    for (std::size_t i = 0; i < kPagesPerProcess; ++i) {
+      proc.SetupMapPattern(VaddrToVpn(base) + i, 0x7000 + (i % 32));
+    }
+  }
+  Rng rng(7);
+  const auto& procs = machine.processes();
+  for (int step = 0; step < kWarmupSteps; ++step) {
+    const std::size_t p = rng.NextBelow(bases.size());
+    Process& proc = *procs[p];
+    const VirtAddr addr = bases[p] + rng.NextBelow(kPagesPerProcess) * kPageSize +
+                          rng.NextBelow(kPageSize / 8) * 8;
+    switch (rng.NextBelow(4)) {
+      case 0:
+        proc.Write64(addr, rng.Next());
+        break;
+      case 1:
+        (void)proc.Read64(addr);
+        break;
+      case 2:
+        machine.Idle(rng.NextInRange(1, 4) * kMillisecond);
+        break;
+      default:
+        proc.Write64(addr, 0);
+        break;
+    }
+  }
+  machine.Idle(50 * kMillisecond);
+
+  std::string image;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRepeats; ++i) {
+    image = snapshot::SaveSnapshot(machine, engine.get(), kind);
+  }
+  *save_ms = MsSince(start) / kRepeats;
+  engine->Uninstall();
+  return image;
+}
+
+void Run() {
+  bench::Reporter reporter("snapshot_roundtrip");
+  reporter.Header("Savestate round-trip: save / restore / verify cost and image size");
+  std::printf("%-8s %12s %10s %12s %11s %8s\n", "engine", "bytes", "save_ms",
+              "restore_ms", "verify_ms", "resave");
+
+  const EngineKind kinds[] = {EngineKind::kKsm, EngineKind::kWpf, EngineKind::kVUsion};
+  for (const EngineKind kind : kinds) {
+    double save_ms = 0.0;
+    const std::string image = BuildImage(kind, &save_ms);
+
+    const auto verify_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRepeats; ++i) {
+      snapshot::VerifySnapshot(image);
+    }
+    const double verify_ms = MsSince(verify_start) / kRepeats;
+
+    // Restore includes engine re-install and the invariant-auditor gate —
+    // that is the cost a chaos replay or fan-out actually pays.
+    const auto restore_start = std::chrono::steady_clock::now();
+    bool resave_identical = true;
+    for (int i = 0; i < kRepeats; ++i) {
+      snapshot::RestoredMachine restored = snapshot::RestoreSnapshot(image);
+      if (i == 0) {
+        resave_identical =
+            snapshot::SaveSnapshot(*restored.machine, restored.engine.get(),
+                                   restored.kind) == image;
+      }
+    }
+    // First iteration also paid one resave; amortized noise at kRepeats=5.
+    const double restore_ms = MsSince(restore_start) / kRepeats;
+
+    const char* token = CampaignEngineToken(kind);
+    std::printf("%-8s %12zu %10.3f %12.3f %11.3f %8s\n", token, image.size(),
+                save_ms, restore_ms, verify_ms, resave_identical ? "ok" : "DIFF");
+    reporter.AddRow("roundtrip",
+                    {{"engine", token},
+                     {"bytes", static_cast<double>(image.size())},
+                     {"save_ms", save_ms},
+                     {"restore_ms", restore_ms},
+                     {"verify_ms", verify_ms},
+                     {"save_mb_s", image.size() / 1e3 / (save_ms > 0 ? save_ms : 1e-9)},
+                     {"resave_identical", resave_identical}});
+
+    const snapshot::SnapshotInfo info = snapshot::InspectSnapshot(image);
+    for (const auto& section : info.sections) {
+      reporter.AddRow("sections", {{"engine", token},
+                                   {"name", section.name},
+                                   {"bytes", static_cast<double>(section.size)}});
+    }
+    if (!resave_identical) {
+      std::printf("ERROR: restore→resave is not idempotent for %s\n", token);
+      std::exit(1);
+    }
+  }
+  std::printf("\nrestore_ms includes engine re-install and the invariant-auditor gate.\n");
+}
+
+}  // namespace
+}  // namespace vusion
+
+int main() {
+  vusion::Run();
+  return 0;
+}

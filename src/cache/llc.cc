@@ -126,3 +126,56 @@ std::size_t Llc::SetIndexOf(PhysAddr paddr) const {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+namespace vusion {
+
+void Llc::SaveState(snapshot::SnapshotWriter& w) const {
+  std::uint64_t valid = 0;
+  for (const Line& line : lines_) {
+    valid += line.valid ? 1 : 0;
+  }
+  w.Bool(!lines_.empty());
+  w.U64(valid);
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].valid) {
+      w.U64(i);
+      w.U64(lines_[i].tag);
+      w.U64(lines_[i].lru);
+    }
+  }
+  w.U64(tick_);
+  w.U64(hits_);
+  w.U64(misses_);
+  w.U64(line_flushes_);
+  w.U64(frame_flushes_);
+}
+
+void Llc::RestoreState(snapshot::SnapshotReader& r) {
+  lines_.clear();
+  frame_lines_.clear();
+  const bool committed = r.Bool();
+  const std::uint64_t valid = r.Count(24);
+  if (committed) {
+    lines_.assign(config_.sets * config_.ways, Line{});
+  }
+  for (std::uint64_t i = 0; i < valid; ++i) {
+    const std::uint64_t index = r.U64();
+    if (index >= lines_.size()) {
+      throw snapshot::RestoreError("cache", "line index out of range");
+    }
+    Line& line = lines_[index];
+    line.valid = true;
+    line.tag = r.U64();
+    line.lru = r.U64();
+    AdjustFrameLines(line.tag, +1);
+  }
+  tick_ = r.U64();
+  hits_ = r.U64();
+  misses_ = r.U64();
+  line_flushes_ = r.U64();
+  frame_flushes_ = r.U64();
+}
+
+}  // namespace vusion

@@ -28,9 +28,19 @@ struct CacheConfig {
   [[nodiscard]] std::size_t page_colors() const { return sets / (kPageSize / line_size); }
 };
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class Llc {
  public:
   explicit Llc(const CacheConfig& config);
+
+  // Savestates: valid lines (index/tag/lru) plus the tick and counters; the
+  // per-frame line counts are a rebuildable index and are reconstructed.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   // Touches the line containing paddr. Returns true on hit. Does not charge
   // latency; the memory hierarchy (Machine) composes cache and DRAM timing.

@@ -124,3 +124,80 @@ void FaultInjector::ExportMetrics(MetricsRegistry& metrics) const {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+#include "src/snapshot/rng_codec.h"
+
+#include <algorithm>
+
+namespace vusion {
+
+void FaultInjector::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U64(config_.seed);
+  for (const double rate : config_.rates) {
+    w.F64(rate);
+  }
+  w.Bool(explicit_mode_);
+  snapshot::WriteRng(w, rng_);
+  for (const auto& site_plan : planned_) {
+    std::vector<std::uint64_t> visits(site_plan.begin(), site_plan.end());
+    std::sort(visits.begin(), visits.end());
+    w.U64(visits.size());
+    for (const std::uint64_t v : visits) {
+      w.U64(v);
+    }
+  }
+  for (const std::uint64_t v : visits_) {
+    w.U64(v);
+  }
+  for (const std::uint64_t v : injected_) {
+    w.U64(v);
+  }
+  w.U64(retries_);
+  w.U64(degradations_);
+  w.U64(schedule_log_.size());
+  for (const FaultRecord& record : schedule_log_) {
+    w.U8(static_cast<std::uint8_t>(record.site));
+    w.U64(record.visit);
+  }
+}
+
+void FaultInjector::RestoreState(snapshot::SnapshotReader& r) {
+  config_.seed = r.U64();
+  for (double& rate : config_.rates) {
+    rate = r.F64();
+  }
+  explicit_mode_ = r.Bool();
+  snapshot::ReadRng(r, rng_);
+  for (auto& site_plan : planned_) {
+    site_plan.clear();
+    const std::uint64_t n = r.Count(8);
+    site_plan.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      site_plan.insert(r.U64());
+    }
+  }
+  for (std::uint64_t& v : visits_) {
+    v = r.U64();
+  }
+  for (std::uint64_t& v : injected_) {
+    v = r.U64();
+  }
+  retries_ = r.U64();
+  degradations_ = r.U64();
+  schedule_log_.clear();
+  const std::uint64_t n = r.Count(9);
+  schedule_log_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FaultRecord record;
+    const std::uint8_t site = r.U8();
+    if (site >= static_cast<std::uint8_t>(FaultSite::kCount)) {
+      throw snapshot::RestoreError("chaos", "bad fault site");
+    }
+    record.site = static_cast<FaultSite>(site);
+    record.visit = r.U64();
+    schedule_log_.push_back(record);
+  }
+}
+
+}  // namespace vusion

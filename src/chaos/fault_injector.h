@@ -27,6 +27,11 @@ namespace vusion {
 
 class MetricsRegistry;
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 // Every place the injector can force a failure. kBuddyAlloc covers Allocate()
 // and AllocateOrder() (the former routes through the latter); the scan-side
 // sites are checked by whichever engine is running.
@@ -113,6 +118,12 @@ class FaultInjector {
   // Publishes chaos.* counters (faults by site, visits by site, retries,
   // degradations) into the registry. Pull-harvest style: call before snapshot.
   void ExportMetrics(MetricsRegistry& metrics) const;
+
+  // Savestates: mode, RNG stream position, planned schedule, per-site visit/
+  // injection ordinals, and the fired-fault log — everything needed for the
+  // post-restore schedule to continue exactly where the saved run left off.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   // RAII exemption for allocations that model kernel __GFP_NOFAIL paths (page
   // table node allocation, test setup scaffolding). While at least one

@@ -29,6 +29,11 @@ struct CampaignOptions {
   std::size_t audit_epoch = 1;    // audit every N events (1 = slow mode)
   bool shrink = true;             // minimize the schedule on failure
   std::string artifact_dir;       // dump trace+metrics here on failure ("" = off)
+  // Periodic savestate checkpoints every N workload events (0 = off). On a
+  // failure the campaign replays the tail from the nearest pre-failure
+  // checkpoint to verify it reproduces the identical violation, and dumps
+  // that checkpoint next to the other artifacts.
+  std::size_t snapshot_interval = 0;
   // Replay mode: fire exactly this schedule instead of drawing from the RNG.
   bool use_schedule = false;
   std::vector<FaultRecord> schedule;
@@ -45,6 +50,14 @@ struct CampaignResult {
   std::uint64_t checks = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t tolerated_throws = 0;  // retry-limit aborts survived gracefully
+  // --- Savestate checkpointing (snapshot_interval > 0) ---
+  std::size_t snapshots_taken = 0;
+  bool has_nearest_snapshot = false;
+  std::size_t nearest_snapshot_step = 0;  // last checkpoint at/before the failure
+  // True when restoring that checkpoint and replaying the tail reproduced the
+  // identical violation at the identical step.
+  bool restore_to_failure_ok = false;
+  std::string snapshot_path;  // dumped .vsnap (with artifact_dir set)
 };
 
 // The engine token accepted by the chaos_fuzz CLI (`--engine`), also used when

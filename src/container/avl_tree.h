@@ -96,7 +96,55 @@ class AvlTree {
     return ok;
   }
 
+  // Savestates: structural preorder dump/rebuild (see RbTree::ExportPreorder).
+  // Export calls fn(value, height, has_left, has_right) per node in preorder.
+  template <typename Fn>
+  void ExportPreorder(Fn&& fn) const {
+    ExportPreorderRecursive(root_, fn);
+  }
+
+  // Rebuilds from the same preorder stream on an empty tree.
+  // produce(height, has_left, has_right) returns the node's value; on_node fires
+  // with each freshly linked Node* in preorder (so callers holding back-pointers
+  // into the tree — WPF's Combined entries — can re-anchor them).
+  template <typename Producer, typename OnNode>
+  void ImportPreorder(std::size_t count, Producer&& produce, OnNode&& on_node) {
+    assert(root_ == nullptr && size_ == 0);
+    if (count == 0) {
+      return;
+    }
+    root_ = ImportPreorderRecursive(produce, on_node);
+    size_ = count;
+  }
+
  private:
+  template <typename Fn>
+  void ExportPreorderRecursive(const Node* n, Fn& fn) const {
+    if (n == nullptr) {
+      return;
+    }
+    fn(n->value, n->height, n->left != nullptr, n->right != nullptr);
+    ExportPreorderRecursive(n->left, fn);
+    ExportPreorderRecursive(n->right, fn);
+  }
+
+  template <typename Producer, typename OnNode>
+  Node* ImportPreorderRecursive(Producer& produce, OnNode& on_node) {
+    std::int32_t height = 1;
+    bool has_left = false;
+    bool has_right = false;
+    Node* n = NewNode(produce(height, has_left, has_right));
+    n->height = height;
+    on_node(n);
+    if (has_left) {
+      n->left = ImportPreorderRecursive(produce, on_node);
+    }
+    if (has_right) {
+      n->right = ImportPreorderRecursive(produce, on_node);
+    }
+    return n;
+  }
+
   static std::int32_t HeightOf(const Node* n) { return n == nullptr ? 0 : n->height; }
 
   static void Update(Node* n) {

@@ -203,7 +203,59 @@ class RbTree {
 
   [[nodiscard]] Compare& comparator() { return compare_; }
 
+  // Savestates: structural preorder dump/rebuild. The node colours travel with
+  // the values, so a restored tree is the *same* tree — not merely an
+  // equivalent set — and every future descent path (and thus every
+  // shape-dependent Find result) matches the saved instance exactly.
+  // Export calls fn(value, red, has_left, has_right) per node in preorder.
+  template <typename Fn>
+  void ExportPreorder(Fn&& fn) const {
+    ExportPreorderRecursive(root_, fn);
+  }
+
+  // Rebuilds from the same preorder stream. Must be called on an empty tree.
+  // produce(red, has_left, has_right) returns the node's value; after each node
+  // is linked, on_node(Node*) fires in preorder so callers can rebuild
+  // pointer/index maps into the tree's stored values.
+  template <typename Producer, typename OnNode>
+  void ImportPreorder(std::size_t count, Producer&& produce, OnNode&& on_node) {
+    assert(root_ == nullptr && size_ == 0);
+    if (count == 0) {
+      return;
+    }
+    root_ = ImportPreorderRecursive(nullptr, produce, on_node);
+    size_ = count;
+  }
+
  private:
+  template <typename Fn>
+  void ExportPreorderRecursive(const Node* n, Fn& fn) const {
+    if (n == nullptr) {
+      return;
+    }
+    fn(n->value, n->red, n->left != nullptr, n->right != nullptr);
+    ExportPreorderRecursive(n->left, fn);
+    ExportPreorderRecursive(n->right, fn);
+  }
+
+  template <typename Producer, typename OnNode>
+  Node* ImportPreorderRecursive(Node* parent, Producer& produce, OnNode& on_node) {
+    bool red = false;
+    bool has_left = false;
+    bool has_right = false;
+    Node* n = NewNode(produce(red, has_left, has_right));
+    n->parent = parent;
+    n->red = red;
+    on_node(n);
+    if (has_left) {
+      n->left = ImportPreorderRecursive(n, produce, on_node);
+    }
+    if (has_right) {
+      n->right = ImportPreorderRecursive(n, produce, on_node);
+    }
+    return n;
+  }
+
   static Node* Minimum(Node* n) {
     while (n->left != nullptr) {
       n = n->left;

@@ -43,3 +43,53 @@ std::uint32_t RowBuffer::activations(std::size_t bank, std::uint64_t row) const 
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace vusion {
+
+void RowBuffer::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U64(open_rows_.size());
+  for (const std::int64_t row : open_rows_) {
+    w.I64(row);
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> counts(activation_counts_.begin(),
+                                                              activation_counts_.end());
+  std::sort(counts.begin(), counts.end());
+  w.U64(counts.size());
+  for (const auto& [key, count] : counts) {
+    w.U64(key);
+    w.U32(count);
+  }
+  w.U64(epoch_);
+  w.U64(row_hits_);
+  w.U64(row_conflicts_);
+  w.U64(total_activations_);
+}
+
+void RowBuffer::RestoreState(snapshot::SnapshotReader& r) {
+  const std::uint64_t banks = r.U64();
+  if (banks != open_rows_.size()) {
+    throw snapshot::RestoreError("dram.rows", "bank count mismatch");
+  }
+  for (std::int64_t& row : open_rows_) {
+    row = r.I64();
+  }
+  activation_counts_.clear();
+  const std::uint64_t n = r.Count(12);
+  activation_counts_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.U64();
+    activation_counts_.emplace(key, r.U32());
+  }
+  epoch_ = r.U64();
+  row_hits_ = r.U64();
+  row_conflicts_ = r.U64();
+  total_activations_ = r.U64();
+}
+
+}  // namespace vusion

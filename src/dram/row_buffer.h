@@ -14,9 +14,18 @@
 
 namespace vusion {
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class RowBuffer {
  public:
   RowBuffer(const DramMapping& mapping, VirtualClock& clock);
+
+  // Savestates: open rows, per-row activation counts (sorted), epoch, totals.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   struct AccessResult {
     bool row_hit = false;

@@ -110,3 +110,52 @@ std::vector<FlipEvent> RowhammerEngine::HammerVictim(std::size_t bank, std::uint
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vusion {
+
+void RowhammerEngine::SaveState(snapshot::SnapshotWriter& w) const {
+  std::vector<std::uint64_t> flipped(flipped_this_epoch_.begin(), flipped_this_epoch_.end());
+  std::sort(flipped.begin(), flipped.end());
+  w.U64(flipped.size());
+  for (const std::uint64_t key : flipped) {
+    w.U64(key);
+  }
+  w.U64(epoch_seen_);
+  w.U64(all_flips_.size());
+  for (const FlipEvent& flip : all_flips_) {
+    w.U32(flip.frame);
+    w.U64(flip.byte_in_page);
+    w.U8(flip.bit);
+    w.Bool(flip.applied);
+  }
+  w.U64(total_flips_);
+}
+
+void RowhammerEngine::RestoreState(snapshot::SnapshotReader& r) {
+  flipped_this_epoch_.clear();
+  const std::uint64_t flipped = r.Count(8);
+  flipped_this_epoch_.reserve(flipped);
+  for (std::uint64_t i = 0; i < flipped; ++i) {
+    flipped_this_epoch_.insert(r.U64());
+  }
+  epoch_seen_ = r.U64();
+  all_flips_.clear();
+  const std::uint64_t flips = r.Count(14);
+  all_flips_.reserve(flips);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    FlipEvent flip;
+    flip.frame = r.U32();
+    flip.byte_in_page = r.U64();
+    flip.bit = r.U8();
+    flip.applied = r.Bool();
+    all_flips_.push_back(flip);
+  }
+  total_flips_ = r.U64();
+}
+
+}  // namespace vusion

@@ -33,9 +33,18 @@ struct FlipEvent {
   bool applied = false;  // false if the stored bit was already 0
 };
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class RowhammerEngine {
  public:
   RowhammerEngine(const DramMapping& mapping, RowBuffer& row_buffer, PhysicalMemory& memory);
+
+  // Savestates: the flipped-this-epoch set (sorted), epoch stamp, flip log.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   // The deterministic vulnerability template for a row (may be empty).
   [[nodiscard]] std::vector<VulnerableCell> TemplateFor(std::size_t bank, std::uint64_t row) const;

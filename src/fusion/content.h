@@ -119,6 +119,20 @@ class ScanCursor {
     return copy.Next(process, vpn, wrapped);
   }
 
+  // Savestate accessors: the three indices ARE the cursor (everything else is
+  // revalidated against the live process table on every Next call).
+  struct State {
+    std::size_t process_idx = 0;
+    std::size_t vma_idx = 0;
+    std::uint64_t page_idx = 0;
+  };
+  [[nodiscard]] State state() const { return {process_idx_, vma_idx_, page_idx_}; }
+  void RestoreState(const State& s) {
+    process_idx_ = s.process_idx;
+    vma_idx_ = s.vma_idx;
+    page_idx_ = s.page_idx;
+  }
+
  private:
   bool NextSlow(Process*& process, Vpn& vpn, bool& wrapped);
 

@@ -33,6 +33,27 @@ class DeferredFreeQueue {
   [[nodiscard]] const std::vector<FrameId>& pending_frames() const { return frames_; }
   [[nodiscard]] std::uint64_t dummies_pushed() const { return dummies_; }
 
+  // Savestates (templated to keep this header snapshot-include-free): queue
+  // order matters — Drain frees in push order into the randomized pool.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(frames_.size());
+    for (const FrameId f : frames_) {
+      w.U32(f);
+    }
+    w.U64(dummies_);
+  }
+  template <typename Reader>
+  void RestoreState(Reader& r) {
+    frames_.clear();
+    const std::uint64_t n = r.Count(4);
+    frames_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      frames_.push_back(r.U32());
+    }
+    dummies_ = r.U64();
+  }
+
  private:
   Machine* machine_;
   std::vector<FrameId> frames_;

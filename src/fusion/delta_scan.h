@@ -30,6 +30,7 @@
 #ifndef VUSION_SRC_FUSION_DELTA_SCAN_H_
 #define VUSION_SRC_FUSION_DELTA_SCAN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "src/container/arena.h"
 #include "src/mmu/pte.h"
 #include "src/phys/frame.h"
+#include "src/snapshot/io.h"
 
 namespace vusion {
 
@@ -209,6 +211,76 @@ class DeltaPassCache {
 
   // Registers the delta.* counters/gauges (called from engine ExportMetrics).
   void ExportMetrics(MetricsRegistry& registry) const;
+
+  // Savestates: live entries in (pid, vpn) order, then the counters. The chunk
+  // radix, memo, and free list are host-side layout and are rebuilt by Record;
+  // `encode_ref`/`decode_ref` translate the engine-owned pointer to/from a
+  // stable integer (0 = null; only VUsion stores refs).
+  template <typename EncodeRef>
+  void SaveState(snapshot::SnapshotWriter& w, EncodeRef&& encode_ref) const {
+    struct Row {
+      std::uint32_t pid;
+      Vpn vpn;
+      const Entry* e;
+    };
+    std::vector<Row> rows;
+    ForEach([&rows](std::uint32_t pid, Vpn vpn, const Entry& e) {
+      rows.push_back(Row{pid, vpn, &e});
+    });
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return a.pid != b.pid ? a.pid < b.pid : a.vpn < b.vpn;
+    });
+    w.U64(rows.size());
+    for (const Row& row : rows) {
+      w.U32(row.pid);
+      w.U64(row.vpn);
+      w.U8(row.e->kind);
+      w.U32(row.e->frame);
+      w.U64(row.e->epoch);
+      w.U64(row.e->content_gen);
+      w.U64(row.e->hash);
+      w.U64(row.e->stable_version);
+      w.U64(row.e->shared_muts);
+      w.U64(encode_ref(row.e->kind, row.e->ref));
+    }
+    w.U64(stats_.probes);
+    w.U64(stats_.replays);
+    w.U64(stats_.misses);
+    w.U64(stats_.stale);
+    w.U64(stats_.records);
+    w.U64(stats_.invalidations);
+    w.U64(stats_.process_drops);
+  }
+
+  template <typename DecodeRef>
+  void RestoreState(snapshot::SnapshotReader& r, DecodeRef&& decode_ref) {
+    Clear();
+    const std::uint64_t count = r.Count(53);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint32_t pid = r.U32();
+      const Vpn vpn = r.U64();
+      Entry& e = Record(pid, vpn);
+      e.kind = r.U8();
+      if (e.kind == 0) {
+        throw snapshot::RestoreError("delta", "cache entry with empty kind");
+      }
+      e.frame = r.U32();
+      e.epoch = r.U64();
+      e.content_gen = r.U64();
+      e.hash = r.U64();
+      e.stable_version = r.U64();
+      e.shared_muts = r.U64();
+      e.ref = decode_ref(e.kind, r.U64());
+    }
+    // Record() above bumped the counters; the snapshot values are authoritative.
+    stats_.probes = r.U64();
+    stats_.replays = r.U64();
+    stats_.misses = r.U64();
+    stats_.stale = r.U64();
+    stats_.records = r.U64();
+    stats_.invalidations = r.U64();
+    stats_.process_drops = r.U64();
+  }
 
  private:
   static constexpr std::uint64_t kChunkBits = 9;  // 512 entries / 32 KB per chunk

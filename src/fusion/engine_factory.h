@@ -28,6 +28,12 @@ const char* EngineKindName(EngineKind kind);
 std::unique_ptr<FusionEngine> MakeEngine(EngineKind kind, Machine& machine,
                                          FusionConfig config);
 
+// Snapshot-restore constructor: builds the engine with `config` taken verbatim —
+// no environment overrides and no per-kind tweaks, because a recorded config
+// already reflects both. Returns nullptr for kNone.
+std::unique_ptr<FusionEngine> MakeEngineExact(EngineKind kind, Machine& machine,
+                                              const FusionConfig& config);
+
 // RAII engine lifetime: MakeEngine + Install() on construction, Uninstall() on
 // destruction. kNone yields a null engine and installs nothing, so baseline
 // ("no dedup") rows need no special casing at call sites.

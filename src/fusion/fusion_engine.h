@@ -30,6 +30,11 @@ enum class ScanPhase : std::uint8_t {
 
 const char* ScanPhaseName(ScanPhase phase);
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class FusionEngine : public Daemon, public SharingPolicy {
  public:
   // Construction is pure: the config is taken as given, with no environment
@@ -105,7 +110,24 @@ class FusionEngine : public Daemon, public SharingPolicy {
   // frames via ctx.OwnFrame. Default: no engine-private state to check.
   virtual void AuditInvariants(AuditContext& ctx) const { (void)ctx; }
 
+  // --- Savestates (DESIGN.md §13) ---
+  //
+  // Engines that can serialize their full deterministic state override all
+  // three. RestoreState must be called on a freshly constructed engine of the
+  // same kind and config, installed on the target Machine, after the Machine's
+  // own state has been restored. The base defaults fail closed with a
+  // RestoreError so an unsupported engine (MemoryCombining) can never produce
+  // a silently empty snapshot.
+  [[nodiscard]] virtual bool SupportsSnapshot() const { return false; }
+  virtual void SaveState(snapshot::SnapshotWriter& w) const;
+  virtual void RestoreState(snapshot::SnapshotReader& r);
+
  protected:
+  // FusionStats, the daemon schedule, and the pause flag — shared by every
+  // engine serializer (called first by each override).
+  void SaveCommon(snapshot::SnapshotWriter& w) const;
+  void RestoreCommon(snapshot::SnapshotReader& r);
+
   void NotifyPhase(ScanPhase phase) {
     if (phase_hook_) {
       // Hooks are arbitrary user code (tests tear processes down, write pages,

@@ -1,7 +1,11 @@
 #include "src/fusion/ksm.h"
 
+#include "src/snapshot/io.h"
+
+#include <algorithm>
 #include <chrono>
 #include <string>
+#include <utility>
 
 namespace vusion {
 
@@ -990,6 +994,301 @@ void Ksm::AuditInvariants(AuditContext& ctx) const {
       });
     }
   });
+}
+
+// --- Savestates (DESIGN.md §13) ---
+
+namespace {
+
+Process* KsmLiveProcess(Machine& machine, std::uint32_t pid) {
+  const auto& processes = machine.processes();
+  if (pid >= processes.size() || processes[pid] == nullptr) {
+    throw snapshot::RestoreError("engine",
+                                 "unstable item references dead process " + std::to_string(pid));
+  }
+  return processes[pid].get();
+}
+
+}  // namespace
+
+void Ksm::SaveState(snapshot::SnapshotWriter& w) const {
+  SaveCommon(w);
+  const ScanCursor::State cur = cursor_.state();
+  w.U64(cur.process_idx);
+  w.U64(cur.vma_idx);
+  w.U64(cur.page_idx);
+
+  // Stable tree, structurally (preorder with colors): lookup results under
+  // shared-frame content corruption depend on the node layout, so the restored
+  // tree must be the recorded shape. index_next chains are serialized with the
+  // hash index below, not here.
+  std::unordered_map<const StableEntry*, std::uint32_t> index_of;
+  w.U64(stable_.size());
+  stable_.ExportPreorder([&](StableEntry* const& e, bool red, bool has_left,
+                             bool has_right) {
+    index_of.emplace(e, static_cast<std::uint32_t>(index_of.size()));
+    w.U32(e->frame);
+    w.U32(e->refs);
+    w.U64(e->index_hash);
+    w.Bool(red);
+    w.Bool(has_left);
+    w.Bool(has_right);
+  });
+
+  // Content-hash index: per bucket head, the equal-hash chain in chain order.
+  {
+    std::vector<std::pair<std::uint64_t, const StableEntry*>> buckets;
+    buckets.reserve(stable_index_.size());
+    stable_index_.ForEach([&buckets](std::uint64_t hash, StableEntry* const& head) {
+      buckets.emplace_back(hash, head);
+    });
+    std::sort(buckets.begin(), buckets.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.U64(buckets.size());
+    for (const auto& [hash, head] : buckets) {
+      w.U64(hash);
+      std::vector<std::uint32_t> chain;
+      for (const StableEntry* e = head; e != nullptr; e = e->index_next) {
+        chain.push_back(index_of.at(e));
+      }
+      w.U32(static_cast<std::uint32_t>(chain.size()));
+      for (const std::uint32_t idx : chain) {
+        w.U32(idx);
+      }
+    }
+  }
+  // The counting filter saturates sticky (removals never decrement), so its
+  // bytes are state, not a memo: re-deriving them from the live index would
+  // break re-save parity.
+  w.Bytes(stable_filter_.data(), stable_filter_.size());
+
+  {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(rmap_.size());
+    rmap_.ForEach([&keys](std::uint64_t key, StableEntry* const&) { keys.push_back(key); });
+    std::sort(keys.begin(), keys.end());
+    w.U64(keys.size());
+    for (const std::uint64_t key : keys) {
+      w.U64(key);
+      w.U32(index_of.at(*rmap_.find(key)));
+    }
+  }
+
+  // Unstable structure, both representations (whichever the mode left empty
+  // serializes as empty): the byte-ordered rb-tree, then the fingerprint pool
+  // and slot table verbatim. Pool entries unlinked mid-round may hold dangling
+  // Process* — only entries reachable from a current-round chain are written.
+  w.U64(unstable_.size());
+  unstable_.ExportPreorder([&w](const UnstableItem& item, bool red, bool has_left,
+                                bool has_right) {
+    w.U32(item.frame);
+    w.U32(item.process->id());
+    w.U64(item.vpn);
+    w.U64(item.sort_hash);
+    w.Bool(red);
+    w.Bool(has_left);
+    w.Bool(has_right);
+  });
+
+  std::vector<std::uint8_t> reachable(unstable_pool_.size(), 0);
+  for (const FpSlot& s : fps_slots_) {
+    if (s.stamp != fps_round_) {
+      continue;
+    }
+    for (std::uint32_t i = s.head; i != kNoNode; i = unstable_pool_[i].next) {
+      reachable[i] = 1;
+    }
+  }
+  w.U64(unstable_pool_.size());
+  for (std::size_t i = 0; i < unstable_pool_.size(); ++i) {
+    w.Bool(reachable[i] != 0);
+    if (reachable[i] == 0) {
+      continue;
+    }
+    const UnstableNode& node = unstable_pool_[i];
+    w.U32(node.item.frame);
+    w.U32(node.item.process->id());
+    w.U64(node.item.vpn);
+    w.U64(node.item.sort_hash);
+    w.U32(node.next);
+  }
+  w.U64(fps_slots_.size());
+  for (const FpSlot& s : fps_slots_) {
+    w.U64(s.hash);
+    w.U64(s.stamp);
+    w.U32(s.count);
+    w.U32(s.head);
+    w.U32(s.tail);
+  }
+  w.U64(fps_used_);
+  w.U64(fps_round_);
+  w.U64(fps_stamped_);
+  w.U64(unstable_live_);
+
+  {
+    std::vector<std::uint32_t> pids;
+    pids.reserve(checksums_.size());
+    for (const auto& [pid, map] : checksums_) {
+      pids.push_back(pid);
+    }
+    std::sort(pids.begin(), pids.end());
+    w.U64(pids.size());
+    for (const std::uint32_t pid : pids) {
+      const ChecksumMap& map = checksums_.at(pid);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;
+      rows.reserve(map.size());
+      map.ForEach([&rows](std::uint64_t vpn, const std::uint64_t& checksum) {
+        rows.emplace_back(vpn, checksum);
+      });
+      std::sort(rows.begin(), rows.end());
+      w.U32(pid);
+      w.U64(rows.size());
+      for (const auto& [vpn, checksum] : rows) {
+        w.U64(vpn);
+        w.U64(checksum);
+      }
+    }
+  }
+
+  w.U64(frames_saved_);
+  w.U64(stable_version_);
+  delta_.SaveState(w, [](std::uint8_t, void*) -> std::uint64_t { return 0; });
+}
+
+void Ksm::RestoreState(snapshot::SnapshotReader& r) {
+  RestoreCommon(r);
+  ScanCursor::State cur;
+  cur.process_idx = static_cast<std::size_t>(r.U64());
+  cur.vma_idx = static_cast<std::size_t>(r.U64());
+  cur.page_idx = r.U64();
+  cursor_.RestoreState(cur);
+
+  const std::uint64_t node_count = r.Count(19);
+  std::vector<StableEntry*> entries;
+  entries.reserve(node_count);
+  stable_.ImportPreorder(
+      static_cast<std::size_t>(node_count),
+      [&](bool& red, bool& has_left, bool& has_right) -> StableEntry* {
+        auto* e = arena_.New<StableEntry>(StableEntry{});
+        e->frame = r.U32();
+        e->refs = r.U32();
+        e->index_hash = r.U64();
+        red = r.Bool();
+        has_left = r.Bool();
+        has_right = r.Bool();
+        entries.push_back(e);
+        return e;
+      },
+      [](StableTree::Node* node) { node->value->node = node; });
+
+  const auto entry_at = [&entries](std::uint32_t idx) -> StableEntry* {
+    if (idx >= entries.size()) {
+      throw snapshot::RestoreError("engine", "stable entry index out of range");
+    }
+    return entries[idx];
+  };
+
+  const std::uint64_t bucket_count = r.Count(13);
+  for (std::uint64_t b = 0; b < bucket_count; ++b) {
+    const std::uint64_t hash = r.U64();
+    const std::uint32_t chain_len = r.U32();
+    StableEntry* prev = nullptr;
+    for (std::uint32_t i = 0; i < chain_len; ++i) {
+      StableEntry* e = entry_at(r.U32());
+      if (prev == nullptr) {
+        stable_index_.insert_or_assign(hash, e);
+      } else {
+        prev->index_next = e;
+      }
+      prev = e;
+    }
+  }
+  r.Bytes(stable_filter_.data(), stable_filter_.size());
+
+  const std::uint64_t rmap_count = r.Count(12);
+  for (std::uint64_t i = 0; i < rmap_count; ++i) {
+    const std::uint64_t key = r.U64();
+    rmap_.insert_or_assign(key, entry_at(r.U32()));
+  }
+
+  const std::uint64_t unstable_count = r.Count(27);
+  unstable_.ImportPreorder(
+      static_cast<std::size_t>(unstable_count),
+      [&](bool& red, bool& has_left, bool& has_right) -> UnstableItem {
+        UnstableItem item;
+        item.frame = r.U32();
+        item.process = KsmLiveProcess(*machine_, r.U32());
+        item.vpn = r.U64();
+        item.sort_hash = r.U64();
+        red = r.Bool();
+        has_left = r.Bool();
+        has_right = r.Bool();
+        return item;
+      },
+      [](UnstableTree::Node*) {});
+
+  const std::uint64_t pool_count = r.Count(1);
+  unstable_pool_.clear();
+  unstable_pool_.resize(static_cast<std::size_t>(pool_count));
+  for (std::uint64_t i = 0; i < pool_count; ++i) {
+    if (!r.Bool()) {
+      continue;  // abandoned mid-round; the slot stays zeroed and unlinked
+    }
+    UnstableNode& node = unstable_pool_[static_cast<std::size_t>(i)];
+    node.item.frame = r.U32();
+    node.item.process = KsmLiveProcess(*machine_, r.U32());
+    node.item.vpn = r.U64();
+    node.item.sort_hash = r.U64();
+    node.next = r.U32();
+  }
+  const std::uint64_t slot_count = r.Count(28);
+  if (slot_count != 0 && (slot_count & (slot_count - 1)) != 0) {
+    throw snapshot::RestoreError("engine", "fingerprint table size not a power of two");
+  }
+  fps_slots_.clear();
+  fps_slots_.resize(static_cast<std::size_t>(slot_count));
+  for (std::uint64_t i = 0; i < slot_count; ++i) {
+    FpSlot& s = fps_slots_[static_cast<std::size_t>(i)];
+    s.hash = r.U64();
+    s.stamp = r.U64();
+    s.count = r.U32();
+    s.head = r.U32();
+    s.tail = r.U32();
+  }
+  fps_mask_ = fps_slots_.empty() ? 0 : fps_slots_.size() - 1;
+  fps_used_ = static_cast<std::size_t>(r.U64());
+  fps_round_ = r.U64();
+  fps_stamped_ = r.U64();
+  unstable_live_ = static_cast<std::size_t>(r.U64());
+  fps_memo_idx_ = ~std::size_t{0};
+  fps_memo_hash_ = 0;
+
+  checksums_.clear();
+  checksum_memo_ = nullptr;
+  checksum_memo_pid_ = 0;
+  const std::uint64_t checksum_pids = r.Count(12);
+  for (std::uint64_t p = 0; p < checksum_pids; ++p) {
+    const std::uint32_t pid = r.U32();
+    ChecksumMap& map = checksums_[pid];
+    const std::uint64_t rows = r.Count(16);
+    for (std::uint64_t i = 0; i < rows; ++i) {
+      const std::uint64_t vpn = r.U64();
+      map.insert_or_assign(vpn, r.U64());
+    }
+  }
+
+  frames_saved_ = r.U64();
+  stable_version_ = r.U64();
+  delta_.RestoreState(r, [](std::uint8_t, std::uint64_t code) -> void* {
+    if (code != 0) {
+      throw snapshot::RestoreError("engine", "unexpected delta ref in KSM cache");
+    }
+    return nullptr;
+  });
+
+  if (!ValidateTrees()) {
+    throw snapshot::RestoreError("engine", "restored KSM trees fail validation");
+  }
 }
 
 }  // namespace vusion

@@ -67,6 +67,11 @@ class Ksm final : public FusionEngine {
   // kernel's refcounts/PTEs must all agree. See src/chaos/invariant_auditor.h.
   void AuditInvariants(AuditContext& ctx) const override;
 
+  // Savestates (DESIGN.md §13).
+  [[nodiscard]] bool SupportsSnapshot() const override { return true; }
+  void SaveState(snapshot::SnapshotWriter& w) const override;
+  void RestoreState(snapshot::SnapshotReader& r) override;
+
  private:
   struct StableEntry;
   struct StableCompare {

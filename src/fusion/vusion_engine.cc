@@ -1,9 +1,13 @@
 #include "src/fusion/vusion_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/kernel/idle_tracker.h"
+#include "src/snapshot/io.h"
 
 namespace vusion {
 
@@ -779,6 +783,164 @@ bool VUsionEngine::IsShared(const Process& process, Vpn vpn) const {
   }
   const auto it = pit->second.find(vpn);
   return it != pit->second.end() && it->second.managed && it->second.entry->sharers.size() > 1;
+}
+
+// --- Savestates (DESIGN.md §13) ---
+
+namespace {
+
+Process* VuLiveProcess(Machine& machine, std::uint32_t pid) {
+  const auto& processes = machine.processes();
+  if (pid >= processes.size() || processes[pid] == nullptr) {
+    throw snapshot::RestoreError("engine",
+                                 "sharer references dead process " + std::to_string(pid));
+  }
+  return processes[pid].get();
+}
+
+constexpr std::uint32_t kVuNoEntry = 0xffffffffu;
+
+}  // namespace
+
+void VUsionEngine::SaveState(snapshot::SnapshotWriter& w) const {
+  SaveCommon(w);
+  const ScanCursor::State cur = cursor_.state();
+  w.U64(cur.process_idx);
+  w.U64(cur.vma_idx);
+  w.U64(cur.page_idx);
+
+  // Stable tree, structurally (preorder with colors): Find results under
+  // shared-frame content corruption depend on the exact node layout, so the
+  // restored tree must be the recorded shape, not a re-insertion.
+  std::unordered_map<const StableEntry*, std::uint32_t> index_of;
+  w.U64(stable_.size());
+  stable_.ExportPreorder([&](StableEntry* const& e, bool red, bool has_left,
+                             bool has_right) {
+    index_of.emplace(e, static_cast<std::uint32_t>(index_of.size()));
+    w.U32(e->frame);
+    w.U64(e->relocated_round);
+    w.U32(static_cast<std::uint32_t>(e->sharers.size()));
+    for (const Sharer& s : e->sharers) {
+      w.U32(s.process->id());
+      w.U64(s.vpn);
+    }
+    w.Bool(red);
+    w.Bool(has_left);
+    w.Bool(has_right);
+  });
+
+  pool_.SaveState(w);
+  deferred_.SaveState(w);
+
+  std::vector<std::uint32_t> pids;
+  pids.reserve(pages_.size());
+  for (const auto& [pid, pages] : pages_) {
+    pids.push_back(pid);
+  }
+  std::sort(pids.begin(), pids.end());
+  w.U64(pids.size());
+  for (const std::uint32_t pid : pids) {
+    const ProcessPages& pages = pages_.at(pid);
+    w.U32(pid);
+    std::vector<Vpn> vpns;
+    vpns.reserve(pages.size());
+    for (const auto& [vpn, info] : pages) {
+      vpns.push_back(vpn);
+    }
+    std::sort(vpns.begin(), vpns.end());
+    w.U64(vpns.size());
+    for (const Vpn vpn : vpns) {
+      const PageInfo& info = pages.at(vpn);
+      w.U64(vpn);
+      w.Bool(info.managed);
+      w.U64(info.candidate_round);
+      w.U32(info.entry == nullptr ? kVuNoEntry : index_of.at(info.entry));
+    }
+  }
+
+  w.U64(round_);
+  w.U64(frames_saved_);
+  delta_.SaveState(w, [&index_of](std::uint8_t /*kind*/, void* ref) -> std::uint64_t {
+    return ref == nullptr
+               ? 0
+               : index_of.at(static_cast<const StableEntry*>(ref)) + 1ull;
+  });
+}
+
+void VUsionEngine::RestoreState(snapshot::SnapshotReader& r) {
+  RestoreCommon(r);
+  // Restore runs after Install, and Machine::Restore may have created a fault
+  // injector that did not exist at install time — re-sync the pool's pointer.
+  pool_.set_fault_injector(machine_->chaos());
+  ScanCursor::State cur;
+  cur.process_idx = static_cast<std::size_t>(r.U64());
+  cur.vma_idx = static_cast<std::size_t>(r.U64());
+  cur.page_idx = r.U64();
+  cursor_.RestoreState(cur);
+
+  const std::uint64_t node_count = r.Count(19);
+  std::vector<StableEntry*> entries;
+  entries.reserve(node_count);
+  stable_.ImportPreorder(
+      static_cast<std::size_t>(node_count),
+      [&](bool& red, bool& has_left, bool& has_right) -> StableEntry* {
+        auto* e = arena_.New<StableEntry>(StableEntry{});
+        e->frame = r.U32();
+        e->relocated_round = r.U64();
+        const std::uint32_t sharer_count = r.U32();
+        e->sharers.reserve(std::min<std::uint32_t>(sharer_count, 4096));
+        for (std::uint32_t i = 0; i < sharer_count; ++i) {
+          const std::uint32_t pid = r.U32();
+          const Vpn vpn = r.U64();
+          e->sharers.push_back(Sharer{VuLiveProcess(*machine_, pid), vpn});
+        }
+        red = r.Bool();
+        has_left = r.Bool();
+        has_right = r.Bool();
+        entries.push_back(e);
+        return e;
+      },
+      [](Tree::Node* node) { node->value->node = node; });
+
+  pool_.RestoreState(r);
+  deferred_.RestoreState(r);
+
+  pages_.clear();
+  const std::uint64_t pid_count = r.Count(13);
+  for (std::uint64_t p = 0; p < pid_count; ++p) {
+    const std::uint32_t pid = r.U32();
+    ProcessPages& pages = pages_[pid];
+    const std::uint64_t page_count = r.Count(21);
+    pages.reserve(static_cast<std::size_t>(page_count));
+    for (std::uint64_t i = 0; i < page_count; ++i) {
+      const Vpn vpn = r.U64();
+      PageInfo info;
+      info.managed = r.Bool();
+      info.candidate_round = r.U64();
+      const std::uint32_t entry_idx = r.U32();
+      if (entry_idx != kVuNoEntry) {
+        if (entry_idx >= entries.size()) {
+          throw snapshot::RestoreError("engine", "page entry index out of range");
+        }
+        info.entry = entries[entry_idx];
+      }
+      if (!pages.emplace(vpn, info).second) {
+        throw snapshot::RestoreError("engine", "duplicate tracked page");
+      }
+    }
+  }
+
+  round_ = r.U64();
+  frames_saved_ = r.U64();
+  delta_.RestoreState(r, [&entries](std::uint8_t /*kind*/, std::uint64_t code) -> void* {
+    if (code == 0) {
+      return nullptr;
+    }
+    if (code > entries.size()) {
+      throw snapshot::RestoreError("engine", "delta ref out of range");
+    }
+    return entries[static_cast<std::size_t>(code - 1)];
+  });
 }
 
 }  // namespace vusion

@@ -86,6 +86,11 @@ class VUsionEngine final : public FusionEngine {
       const std::function<void(FrameId, const std::vector<std::pair<std::uint32_t, Vpn>>&)>&
           fn) const;
 
+  // Savestates (DESIGN.md §13).
+  [[nodiscard]] bool SupportsSnapshot() const override { return true; }
+  void SaveState(snapshot::SnapshotWriter& w) const override;
+  void RestoreState(snapshot::SnapshotReader& r) override;
+
  private:
   struct StableEntry;
   struct StableCompare {

@@ -1,7 +1,10 @@
 #include "src/fusion/wpf.h"
 
+#include "src/snapshot/io.h"
+
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 namespace vusion {
 
@@ -623,6 +626,118 @@ void Wpf::ExportMetrics(MetricsRegistry& registry) const {
   if (delta_mode_) {
     delta_.ExportMetrics(registry);
   }
+}
+
+// --- Savestates (DESIGN.md §13) ---
+
+void Wpf::SaveState(snapshot::SnapshotWriter& w) const {
+  SaveCommon(w);
+  w.U32(linear_.scan_cursor());
+
+  // Shard trees, structurally (preorder with heights): Combined entries are
+  // indexed in export order so the rmap can reference them.
+  std::unordered_map<const Combined*, std::uint32_t> index_of;
+  for (const auto& tree : trees_) {
+    w.U64(tree->size());
+    tree->ExportPreorder([&](Combined* const& e, std::int32_t height, bool has_left,
+                             bool has_right) {
+      index_of.emplace(e, static_cast<std::uint32_t>(index_of.size()));
+      w.U32(e->frame);
+      w.U32(e->refs);
+      w.U64(e->sort_hash);
+      w.U32(static_cast<std::uint32_t>(height));
+      w.Bool(has_left);
+      w.Bool(has_right);
+    });
+  }
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(rmap_.size());
+  for (const auto& [key, entry] : rmap_) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  w.U64(keys.size());
+  for (const std::uint64_t key : keys) {
+    w.U64(key);
+    w.U32(index_of.at(rmap_.at(key)));
+  }
+
+  w.U64(pass_allocations_.size());
+  for (const std::vector<FrameId>& pass : pass_allocations_) {
+    w.U64(pass.size());
+    for (const FrameId frame : pass) {
+      w.U32(frame);
+    }
+  }
+
+  w.U64(frames_saved_);
+  w.U64(rmap_bucket_count_);
+  delta_.SaveState(w, [](std::uint8_t, void*) -> std::uint64_t { return 0; });
+}
+
+void Wpf::RestoreState(snapshot::SnapshotReader& r) {
+  RestoreCommon(r);
+  // The injector is created by Machine::Restore after Install already wired
+  // the linear allocator — re-sync so restored runs see the same fault stream.
+  linear_.set_fault_injector(chaos());
+  linear_.set_scan_cursor(r.U32());
+
+  std::vector<Combined*> entries;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    const std::uint64_t node_count = r.Count(19);
+    trees_[shard]->ImportPreorder(
+        static_cast<std::size_t>(node_count),
+        [&](std::int32_t& height, bool& has_left, bool& has_right) -> Combined* {
+          auto* e = arena_.New<Combined>(Combined{});
+          e->frame = r.U32();
+          e->refs = r.U32();
+          e->shard = shard;
+          e->sort_hash = r.U64();
+          height = static_cast<std::int32_t>(r.U32());
+          has_left = r.Bool();
+          has_right = r.Bool();
+          entries.push_back(e);
+          return e;
+        },
+        [](Tree::Node*) {});
+  }
+
+  rmap_.clear();
+  const std::uint64_t rmap_count = r.Count(12);
+  rmap_.reserve(static_cast<std::size_t>(rmap_count));
+  for (std::uint64_t i = 0; i < rmap_count; ++i) {
+    const std::uint64_t key = r.U64();
+    const std::uint32_t entry_idx = r.U32();
+    if (entry_idx >= entries.size()) {
+      throw snapshot::RestoreError("engine", "rmap entry index out of range");
+    }
+    if (!rmap_.emplace(key, entries[entry_idx]).second) {
+      throw snapshot::RestoreError("engine", "duplicate rmap key");
+    }
+  }
+
+  pass_allocations_.clear();
+  const std::uint64_t pass_count = r.Count(8);
+  pass_allocations_.reserve(static_cast<std::size_t>(pass_count));
+  for (std::uint64_t p = 0; p < pass_count; ++p) {
+    const std::uint64_t frame_count = r.Count(4);
+    std::vector<FrameId> pass;
+    pass.reserve(static_cast<std::size_t>(frame_count));
+    for (std::uint64_t i = 0; i < frame_count; ++i) {
+      pass.push_back(r.U32());
+    }
+    pass_allocations_.push_back(std::move(pass));
+  }
+
+  frames_saved_ = r.U64();
+  rmap_bucket_count_ = static_cast<std::size_t>(r.U64());
+  delta_.RestoreState(r, [](std::uint8_t, std::uint64_t code) -> void* {
+    if (code != 0) {
+      throw snapshot::RestoreError("engine", "unexpected delta ref in WPF cache");
+    }
+    return nullptr;
+  });
 }
 
 }  // namespace vusion

@@ -65,6 +65,11 @@ class Wpf final : public FusionEngine {
   // Runs one full fusion pass immediately (benches drive passes explicitly).
   void RunPassNow() { DoFusionPass(); }
 
+  // Savestates (DESIGN.md §13).
+  [[nodiscard]] bool SupportsSnapshot() const override { return true; }
+  void SaveState(snapshot::SnapshotWriter& w) const override;
+  void RestoreState(snapshot::SnapshotReader& r) override;
+
  private:
   static constexpr std::size_t kShards = 16;
 

@@ -120,3 +120,25 @@ bool Khugepaged::TryCollapse(Process& process, Vpn base) {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+namespace vusion {
+
+void Khugepaged::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U64(current_n_);
+  w.U64(next_run_);
+  w.U64(range_cursor_);
+  w.U64(collapses_);
+  w.U64(attempts_);
+}
+
+void Khugepaged::RestoreState(snapshot::SnapshotReader& r) {
+  current_n_ = r.U64();
+  next_run_ = r.U64();
+  range_cursor_ = r.U64();
+  collapses_ = r.U64();
+  attempts_ = r.U64();
+}
+
+}  // namespace vusion

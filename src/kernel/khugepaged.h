@@ -30,9 +30,19 @@ struct KhugepagedConfig {
   std::size_t pressure_high_frames = 16384;  // free at or above this => n = n_min
 };
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class Khugepaged final : public Daemon {
  public:
   Khugepaged(Machine& machine, const KhugepagedConfig& config);
+
+  // Savestates: threshold, schedule, cursor, counters (config is re-supplied by
+  // the Machine restore path, which reconstructs the daemon before restoring).
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   [[nodiscard]] SimTime next_run() const override { return next_run_; }
   void Run() override;

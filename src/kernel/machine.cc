@@ -6,6 +6,8 @@
 #include "src/host/thread_pool.h"
 #include "src/kernel/khugepaged.h"
 #include "src/kernel/process.h"
+#include "src/snapshot/config_codec.h"
+#include "src/snapshot/rng_codec.h"
 
 namespace vusion {
 
@@ -314,6 +316,262 @@ std::uint64_t Machine::CountHugeMappings() const {
     });
   }
   return count;
+}
+
+// --- Savestates (DESIGN.md §13) ---
+
+void Machine::Save(snapshot::SnapshotWriter& w) {
+  using snapshot::WriteKhugepagedConfig;
+  using snapshot::WriteLatencyConfig;
+  using snapshot::WriteRng;
+
+  // The first section carries the process-slot liveness mask so Restore can
+  // create the process shells before any component state lands.
+  w.BeginSection("machine");
+  w.U64(clock_.now());
+  w.U64(total_faults_);
+  w.Bool(write_epochs_enabled_);
+  w.U64(processes_.size());
+  for (const auto& process : processes_) {
+    w.Bool(process != nullptr);
+  }
+  w.EndSection();
+
+  w.BeginSection("rng");
+  WriteRng(w, rng_);
+  w.EndSection();
+
+  // The in-effect latency config is serialized separately from the boot config:
+  // mutable_config() tweaks (noise sigma ablations) are state.
+  w.BeginSection("latency");
+  WriteLatencyConfig(w, latency_->config());
+  w.Bool(latency_->batching_enabled());
+  WriteRng(w, latency_->noise_rng());
+  const LatencyModel::NoiseCacheState noise = latency_->noise_cache_state();
+  for (const double g : noise.gauss) {
+    w.F64(g);
+  }
+  for (const double f : noise.factor) {
+    w.F64(f);
+  }
+  w.F64(noise.factor_sigma);
+  w.U32(static_cast<std::uint32_t>(noise.noise_pos));
+  w.EndSection();
+
+  w.BeginSection("phys");
+  memory_->SaveState(w);
+  w.EndSection();
+
+  w.BeginSection("buddy");
+  buddy_->SaveState(w);
+  w.EndSection();
+
+  w.BeginSection("cache");
+  llc_->SaveState(w);
+  w.Bool(l1_ != nullptr);
+  if (l1_ != nullptr) {
+    l1_->SaveState(w);
+  }
+  w.EndSection();
+
+  w.BeginSection("dram");
+  row_buffer_->SaveState(w);
+  rowhammer_->SaveState(w);
+  w.EndSection();
+
+  w.BeginSection("procs");
+  for (const auto& process : processes_) {
+    if (process == nullptr) {
+      continue;
+    }
+    w.U64(process->next_region_vpn());
+    AddressSpace& as = process->address_space();
+    const auto& areas = as.vmas().areas();
+    w.U64(areas.size());
+    for (const VmArea& vma : areas) {
+      w.U64(vma.start);
+      w.U64(vma.pages);
+      w.Bool(vma.mergeable);
+      w.Bool(vma.thp_eligible);
+      w.U8(static_cast<std::uint8_t>(vma.type));
+    }
+    as.write_epochs().SaveState(w);
+    as.page_table().SaveState(w);
+    as.tlb().SaveState(w);
+  }
+  w.EndSection();
+
+  w.BeginSection("trace");
+  trace_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection("metrics");
+  metrics_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection("chaos");
+  w.Bool(chaos_ != nullptr);
+  if (chaos_ != nullptr) {
+    chaos_->SaveState(w);
+  }
+  w.EndSection();
+
+  w.BeginSection("khugepaged");
+  w.Bool(khugepaged_ != nullptr);
+  if (khugepaged_ != nullptr) {
+    // Daemon order is behavioral (RunDueDaemons runs in registration order), so
+    // record whether khugepaged was registered before the engine.
+    w.Bool(!daemons_.empty() && daemons_.front() == khugepaged_.get());
+    WriteKhugepagedConfig(w, khugepaged_->config());
+    khugepaged_->SaveState(w);
+  }
+  w.EndSection();
+}
+
+void Machine::Restore(snapshot::SnapshotReader& r) {
+  using snapshot::ReadKhugepagedConfig;
+  using snapshot::ReadLatencyConfig;
+  using snapshot::ReadRng;
+  using snapshot::RestoreError;
+
+  r.OpenSection("machine");
+  const SimTime now = r.U64();
+  total_faults_ = r.U64();
+  const bool write_epochs = r.Bool();
+  const std::uint64_t slot_count = r.Count(1);
+  std::vector<bool> live;
+  live.reserve(static_cast<std::size_t>(slot_count));
+  for (std::uint64_t i = 0; i < slot_count; ++i) {
+    live.push_back(r.Bool());
+  }
+  r.EndSection();
+
+  if (!processes_.empty()) {
+    throw RestoreError("machine", "restore target already has processes");
+  }
+  clock_.Reset();
+  clock_.Advance(now);
+
+  // Process shells first: shell construction may draw page-table root frames
+  // from the live buddy, and the wholesale phys/buddy restore below then
+  // discards those draws (PageTable::RestoreState likewise drops the shell
+  // nodes without freeing).
+  for (const bool alive : live) {
+    if (alive) {
+      CreateProcess();
+    } else {
+      processes_.push_back(nullptr);
+    }
+  }
+  if (write_epochs) {
+    EnableWriteEpochs();
+  }
+
+  r.OpenSection("rng");
+  ReadRng(r, rng_);
+  r.EndSection();
+
+  r.OpenSection("latency");
+  latency_->mutable_config() = ReadLatencyConfig(r);
+  latency_->set_batching_enabled(r.Bool());
+  ReadRng(r, latency_->noise_rng());
+  LatencyModel::NoiseCacheState noise;
+  for (double& g : noise.gauss) {
+    g = r.F64();
+  }
+  for (double& f : noise.factor) {
+    f = r.F64();
+  }
+  noise.factor_sigma = r.F64();
+  noise.noise_pos = static_cast<int>(r.U32());
+  if (noise.noise_pos < 0 || noise.noise_pos > LatencyModel::kNoiseBatch) {
+    throw RestoreError("latency", "noise cursor out of range");
+  }
+  latency_->RestoreNoiseCacheState(noise);
+  r.EndSection();
+
+  r.OpenSection("phys");
+  memory_->RestoreState(r);
+  r.EndSection();
+
+  r.OpenSection("buddy");
+  buddy_->RestoreState(r);
+  r.EndSection();
+
+  r.OpenSection("cache");
+  llc_->RestoreState(r);
+  const bool has_l1 = r.Bool();
+  if (has_l1 != (l1_ != nullptr)) {
+    throw RestoreError("cache", "L1 presence does not match the machine config");
+  }
+  if (l1_ != nullptr) {
+    l1_->RestoreState(r);
+  }
+  r.EndSection();
+
+  r.OpenSection("dram");
+  row_buffer_->RestoreState(r);
+  rowhammer_->RestoreState(r);
+  r.EndSection();
+
+  r.OpenSection("procs");
+  for (const auto& process : processes_) {
+    if (process == nullptr) {
+      continue;
+    }
+    process->set_next_region_vpn(r.U64());
+    AddressSpace& as = process->address_space();
+    std::vector<VmArea>& areas = as.vmas().mutable_areas();
+    areas.clear();
+    const std::uint64_t vma_count = r.Count(19);
+    areas.reserve(static_cast<std::size_t>(vma_count));
+    for (std::uint64_t i = 0; i < vma_count; ++i) {
+      VmArea vma;
+      vma.start = r.U64();
+      vma.pages = r.U64();
+      vma.mergeable = r.Bool();
+      vma.thp_eligible = r.Bool();
+      const std::uint8_t type = r.U8();
+      if (type > static_cast<std::uint8_t>(PageType::kGuestKernel)) {
+        throw RestoreError("procs", "bad VMA page type");
+      }
+      vma.type = static_cast<PageType>(type);
+      areas.push_back(vma);
+    }
+    as.write_epochs().RestoreState(r);
+    as.page_table().RestoreState(r);
+    as.tlb().RestoreState(r);
+  }
+  r.EndSection();
+
+  r.OpenSection("trace");
+  trace_.RestoreState(r);
+  r.EndSection();
+
+  r.OpenSection("metrics");
+  metrics_.RestoreState(r);
+  r.EndSection();
+
+  r.OpenSection("chaos");
+  if (r.Bool()) {
+    EnableChaos(ChaosConfig{});
+    chaos_->RestoreState(r);
+  }
+  r.EndSection();
+
+  r.OpenSection("khugepaged");
+  if (r.Bool()) {
+    const bool khugepaged_first = r.Bool();
+    const KhugepagedConfig kcfg = ReadKhugepagedConfig(r);
+    EnableKhugepaged(kcfg);
+    khugepaged_->RestoreState(r);
+    if (khugepaged_first) {
+      const auto it =
+          std::find(daemons_.begin(), daemons_.end(), static_cast<Daemon*>(khugepaged_.get()));
+      std::rotate(daemons_.begin(), it, it + 1);
+    }
+  }
+  r.EndSection();
 }
 
 }  // namespace vusion

@@ -31,6 +31,11 @@ class Process;
 class Khugepaged;
 struct KhugepagedConfig;
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 struct MachineConfig {
   FrameId frame_count = 1u << 16;  // 256 MB of simulated physical memory
   CacheConfig cache;
@@ -175,6 +180,20 @@ class Machine {
     }
   };
   [[nodiscard]] Footprint MeasureFootprint() const;
+
+  // --- Savestates (DESIGN.md §13) ---
+  //
+  // Serializes every piece of deterministic machine state (clock, RNG streams,
+  // frames, allocators, caches, DRAM counters, page tables, TLBs, trace ring,
+  // metrics, chaos schedule, khugepaged) as a run of named snapshot sections.
+  // Host-only machinery (worker pools, memos) is never serialized; Restore
+  // rebuilds it lazily. Restore must be called on a freshly booted Machine
+  // constructed from the snapshot's recorded MachineConfig, with the engine
+  // already installed (the orchestrator in src/snapshot/machine_snapshot.h does
+  // all of this); it throws snapshot::RestoreError on any corruption, leaving
+  // no silent partial state behind.
+  void Save(snapshot::SnapshotWriter& w);
+  void Restore(snapshot::SnapshotReader& r);
 
  private:
   friend class Process;

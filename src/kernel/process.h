@@ -64,6 +64,11 @@ class Process {
   // Test/attack helper: current backing frame of vpn (huge-aware), or kInvalidFrame.
   [[nodiscard]] FrameId TranslateFrame(Vpn vpn) const;
 
+  // Savestate accessors: the region-layout cursor is deterministic state (it
+  // decides where the next AllocateRegion lands).
+  [[nodiscard]] Vpn next_region_vpn() const { return next_region_vpn_; }
+  void set_next_region_vpn(Vpn vpn) { next_region_vpn_ = vpn; }
+
  private:
   Machine* machine_;
   std::uint32_t id_;

@@ -218,3 +218,110 @@ void PageTable::ForEachRecursive(Node* node, Vpn base, Vpn start, Vpn end,
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+#include <functional>
+
+namespace vusion {
+
+void PageTable::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U64(node_count_);
+  // Recursive structural dump. Entries are sparse by flags != 0: a cleared PTE
+  // is behaviourally absent everywhere (Resolve callers gate on flags), so
+  // both an uninterrupted run and a restored run serialize it identically.
+  std::function<void(const Node&)> save = [&](const Node& node) {
+    w.U32(node.frame);
+    if (node.level <= 1) {
+      std::uint32_t nonzero = 0;
+      for (const Pte& e : node.entries) {
+        if (e.flags != 0) {
+          ++nonzero;
+        }
+      }
+      w.U32(nonzero);
+      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        if (node.entries[i].flags != 0) {
+          w.U16(static_cast<std::uint16_t>(i));
+          w.U32(node.entries[i].frame);
+          w.U16(node.entries[i].flags);
+        }
+      }
+    }
+    if (node.level >= 1) {
+      std::uint32_t present = 0;
+      for (const auto& child : node.children) {
+        if (child != nullptr) {
+          ++present;
+        }
+      }
+      w.U32(present);
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (node.children[i] != nullptr) {
+          w.U16(static_cast<std::uint16_t>(i));
+          save(*node.children[i]);
+        }
+      }
+    }
+  };
+  save(*root_);
+}
+
+void PageTable::RestoreState(snapshot::SnapshotReader& r) {
+  const std::uint64_t expected_nodes = r.U64();
+  memo_region_ = ~Vpn{0};
+  memo_pmd_ = nullptr;
+  memo_leaf_ = nullptr;
+  // Discard the old tree without FreeNode: the buddy allocator is restored
+  // wholesale by the Machine, so returning the old nodes' frames would
+  // double-free them; the new tree reuses the *recorded* frames.
+  root_.reset();
+  node_count_ = 0;
+  std::function<std::unique_ptr<Node>(int)> load = [&](int level) -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>();
+    node->level = level;
+    node->frame = r.U32();
+    if (level > 0) {
+      node->children.resize(kPtFanout);
+    }
+    if (level <= 1) {
+      node->entries.resize(kPtFanout);
+    }
+    ++node_count_;
+    if (level <= 1) {
+      const std::uint32_t n = r.U32();
+      if (n > kPtFanout) {
+        throw snapshot::RestoreError("pagetable", "entry count out of range");
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint16_t idx = r.U16();
+        if (idx >= kPtFanout) {
+          throw snapshot::RestoreError("pagetable", "entry index out of range");
+        }
+        const FrameId frame = r.U32();
+        const std::uint16_t flags = r.U16();
+        node->entries[idx] = Pte{frame, flags};
+      }
+    }
+    if (level >= 1) {
+      const std::uint32_t n = r.U32();
+      if (n > kPtFanout) {
+        throw snapshot::RestoreError("pagetable", "child count out of range");
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint16_t idx = r.U16();
+        if (idx >= kPtFanout || node->children[idx] != nullptr) {
+          throw snapshot::RestoreError("pagetable", "bad child index");
+        }
+        node->children[idx] = load(level - 1);
+      }
+    }
+    return node;
+  };
+  root_ = load(kPageTableLevels - 1);
+  if (node_count_ != expected_nodes) {
+    throw snapshot::RestoreError("pagetable", "node count mismatch");
+  }
+}
+
+}  // namespace vusion

@@ -24,11 +24,24 @@ constexpr int kPageTableLevels = 4;
 constexpr std::size_t kPtFanout = 512;
 constexpr std::size_t kPteBytes = 8;
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class PageTable {
  public:
   // Table node frames come from `allocator` (normally the buddy allocator).
   PageTable(FrameAllocator& allocator, PhysicalMemory& memory);
   ~PageTable();
+
+  // Savestates: serializes the node tree structurally (levels, node frames,
+  // entries). Restore rebuilds nodes with the *recorded* frames, bypassing the
+  // allocator entirely — the buddy free lists are restored wholesale by the
+  // Machine, so returning the old nodes' frames would double-free them. The
+  // resolve memo is host-only and dropped.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   PageTable(const PageTable&) = delete;
   PageTable& operator=(const PageTable&) = delete;

@@ -55,3 +55,36 @@ void Tlb::Flush() {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+namespace vusion {
+
+void Tlb::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U64(lru_.size());
+  for (const Entry& entry : lru_) {  // front (MRU) first
+    w.U64(entry.vpn);
+    w.U32(entry.pte.frame);
+    w.U16(entry.pte.flags);
+  }
+  w.U64(hits_);
+  w.U64(misses_);
+}
+
+void Tlb::RestoreState(snapshot::SnapshotReader& r) {
+  lru_.clear();
+  map_.clear();
+  const std::uint64_t n = r.Count(14);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry entry;
+    entry.vpn = r.U64();
+    entry.pte.frame = r.U32();
+    entry.pte.flags = r.U16();
+    lru_.push_back(entry);
+    map_[entry.vpn] = std::prev(lru_.end());
+  }
+  hits_ = r.U64();
+  misses_ = r.U64();
+}
+
+}  // namespace vusion

@@ -13,9 +13,19 @@
 
 namespace vusion {
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class Tlb {
  public:
   explicit Tlb(std::size_t capacity);
+
+  // Savestates: entries in LRU order (recency is deterministic state — it
+  // decides future evictions); the vpn->iterator map is rebuilt on restore.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   std::optional<Pte> Lookup(Vpn vpn);
   void Insert(Vpn vpn, const Pte& pte);

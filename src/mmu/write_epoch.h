@@ -22,10 +22,13 @@
 #ifndef VUSION_SRC_MMU_WRITE_EPOCH_H_
 #define VUSION_SRC_MMU_WRITE_EPOCH_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/mmu/pte.h"
 
@@ -82,6 +85,46 @@ class WriteEpochMap {
 
   [[nodiscard]] std::uint64_t bumps() const { return bumps_; }
   [[nodiscard]] std::size_t tracked_pages() const { return tracked_; }
+
+  // Savestates (templated on the codec so this hot header stays free of the
+  // snapshot include): nonzero epochs, sorted by vpn; the chunk memo is a
+  // host-only cache and is reset on restore.
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.Bool(enabled_);
+    w.U64(bumps_);
+    w.U64(tracked_);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;  // (vpn, epoch)
+    for (const auto& [key, chunk] : chunks_) {
+      for (std::uint64_t i = 0; i <= kChunkMask; ++i) {
+        if (chunk->epochs[i] != 0) {
+          entries.emplace_back((key << kChunkBits) | i, chunk->epochs[i]);
+        }
+      }
+    }
+    std::sort(entries.begin(), entries.end());
+    w.U64(entries.size());
+    for (const auto& [vpn, epoch] : entries) {
+      w.U64(vpn);
+      w.U64(epoch);
+    }
+  }
+  template <typename Reader>
+  void RestoreState(Reader& r) {
+    enabled_ = r.Bool();
+    bumps_ = r.U64();
+    tracked_ = r.U64();
+    chunks_.clear();
+    memo_key_ = 0;
+    memo_ = nullptr;
+    const std::uint64_t n = r.Count(16);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t vpn = r.U64();
+      EnsureSlot(vpn) = r.U64();
+    }
+    memo_key_ = 0;
+    memo_ = nullptr;
+  }
 
  private:
   static constexpr std::uint64_t kChunkBits = 10;  // 1024 pages / 8 KB per chunk

@@ -178,3 +178,53 @@ bool BuddyAllocator::ValidateInvariants() const {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+namespace vusion {
+
+void BuddyAllocator::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U64(free_lists_.size());
+  for (const std::vector<FrameId>& list : free_lists_) {
+    w.U64(list.size());
+    for (const FrameId f : list) {
+      w.U32(f);
+    }
+  }
+  w.U64(head_order_.size());
+  w.Bytes(head_order_.data(), head_order_.size());
+  w.U64(free_frames_);
+  w.U64(alloc_count_);
+  w.U64(free_op_count_);
+  w.U64(split_count_);
+  w.U64(coalesce_count_);
+  w.U64(failed_alloc_count_);
+}
+
+void BuddyAllocator::RestoreState(snapshot::SnapshotReader& r) {
+  const std::uint64_t orders = r.Count(8);
+  if (orders != free_lists_.size()) {
+    throw snapshot::RestoreError("phys.buddy", "order count mismatch");
+  }
+  for (std::vector<FrameId>& list : free_lists_) {
+    list.clear();
+    const std::uint64_t n = r.Count(4);
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      list.push_back(r.U32());
+    }
+  }
+  const std::uint64_t frames = r.U64();
+  if (frames != head_order_.size()) {
+    throw snapshot::RestoreError("phys.buddy", "frame count mismatch");
+  }
+  r.Bytes(head_order_.data(), head_order_.size());
+  free_frames_ = r.U64();
+  alloc_count_ = r.U64();
+  free_op_count_ = r.U64();
+  split_count_ = r.U64();
+  coalesce_count_ = r.U64();
+  failed_alloc_count_ = r.U64();
+}
+
+}  // namespace vusion

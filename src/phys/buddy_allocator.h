@@ -17,12 +17,22 @@ namespace vusion {
 
 class FaultInjector;
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 constexpr std::size_t kMaxBuddyOrder = 10;  // up to 4 MB blocks, like Linux MAX_ORDER
 
 class BuddyAllocator final : public FrameAllocator {
  public:
   // Manages frames [0, memory.frame_count()). All frames start free.
   explicit BuddyAllocator(PhysicalMemory& memory);
+
+  // Savestates: free-list order matters (LIFO reuse is the predictability the
+  // paper attacks), so lists are serialized verbatim, per order.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   // Optional chaos hook: when set, AllocateOrder may fail transiently even with
   // free memory (simulated OOM). Null disables injection entirely.

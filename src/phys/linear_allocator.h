@@ -45,6 +45,11 @@ class LinearAllocator final : public FrameAllocator {
   void Free(FrameId frame) override;
   [[nodiscard]] std::size_t free_count() const override { return buddy_->free_count(); }
 
+  // Savestate accessors: the downward scan cursor is the allocator's only
+  // deterministic state (frame occupancy lives in PhysicalMemory/the buddy).
+  [[nodiscard]] FrameId scan_cursor() const { return cursor_; }
+  void set_scan_cursor(FrameId cursor) { cursor_ = cursor; }
+
  private:
   BuddyAllocator* buddy_;
   PhysicalMemory* memory_;

@@ -382,3 +382,121 @@ bool PhysicalMemory::IsZero(FrameId f) const {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vusion {
+
+void PhysicalMemory::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U32(frame_count());
+  // CoW-aliased buffers are serialized once; later frames sharing the buffer
+  // write a backref to the first user, so restore re-establishes the aliasing
+  // (and with it the materialized-byte accounting and Compare's pointer-equal
+  // fast path).
+  std::unordered_map<const PageBytes*, FrameId> first_use;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const Frame& fr = frames_[f];
+    w.Bool(fr.allocated);
+    w.U32(fr.refcount);
+    w.U8(static_cast<std::uint8_t>(fr.kind));
+    w.U64(fr.pattern_seed);
+    w.U64(fr.content_gen);
+    // The hash memo is serialized because its validity is observable: a frame
+    // restored without it would re-enter HashContentSlow and bump the pattern
+    // cache hit/miss counters where the uninterrupted run would not.
+    w.Bool(fr.hash_cached());
+    w.U64(fr.hash_cached() ? fr.cached_hash : 0);
+    if (fr.kind == ContentKind::kBytes) {
+      const auto [it, inserted] = first_use.try_emplace(fr.bytes.get(), f);
+      if (inserted) {
+        w.U8(0);
+        w.Bytes(fr.bytes->data(), kPageSize);
+      } else {
+        w.U8(1);
+        w.U32(it->second);
+      }
+    }
+  }
+  w.U64(shared_content_mutations_);
+  // Pattern-hash cache membership, sorted by seed so identical caches
+  // serialize identically regardless of hash-map iteration order. The two
+  // segments are kept distinct: rotation timing depends on the hot size.
+  const auto write_segment = [&w](const std::unordered_map<std::uint64_t, std::uint64_t>& seg) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(seg.begin(), seg.end());
+    std::sort(entries.begin(), entries.end());
+    w.U64(entries.size());
+    for (const auto& [seed, hash] : entries) {
+      w.U64(seed);
+      w.U64(hash);
+    }
+  };
+  write_segment(pattern_hash_hot_);
+  write_segment(pattern_hash_cold_);
+  w.U64(pattern_hash_hits_);
+  w.U64(pattern_hash_misses_);
+  w.U64(pattern_hash_evictions_);
+}
+
+void PhysicalMemory::RestoreState(snapshot::SnapshotReader& r) {
+  const FrameId count = r.U32();
+  if (count != frame_count()) {
+    throw snapshot::RestoreError(
+        "phys.frames", "frame count mismatch (snapshot " + std::to_string(count) +
+                           ", machine " + std::to_string(frame_count()) + ")");
+  }
+  allocated_count_ = 0;
+  materialized_count_ = 0;
+  for (FrameId f = 0; f < count; ++f) {
+    Frame& fr = frames_[f];
+    fr.bytes.reset();
+    fr.allocated = r.Bool();
+    fr.refcount = r.U32();
+    const std::uint8_t kind = r.U8();
+    if (kind > static_cast<std::uint8_t>(ContentKind::kBytes)) {
+      throw snapshot::RestoreError("phys.frames", "bad content kind");
+    }
+    fr.kind = static_cast<ContentKind>(kind);
+    fr.pattern_seed = r.U64();
+    fr.content_gen = r.U64();
+    const bool hash_valid = r.Bool();
+    fr.cached_hash = r.U64();
+    fr.hash_gen = hash_valid ? fr.content_gen : 0;
+    if (fr.kind == ContentKind::kBytes) {
+      const std::uint8_t tag = r.U8();
+      if (tag == 0) {
+        fr.bytes = std::make_shared<PageBytes>();
+        r.Bytes(fr.bytes->data(), kPageSize);
+      } else {
+        const FrameId src = r.U32();
+        if (src >= f || frames_[src].bytes == nullptr) {
+          throw snapshot::RestoreError("phys.frames", "bad CoW backref");
+        }
+        fr.bytes = frames_[src].bytes;
+      }
+      ++materialized_count_;
+    }
+    allocated_count_ += fr.allocated ? 1 : 0;
+  }
+  shared_content_mutations_ = r.U64();
+  const auto read_segment = [&r](std::unordered_map<std::uint64_t, std::uint64_t>& seg) {
+    seg.clear();
+    const std::uint64_t n = r.Count(16);
+    seg.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t seed = r.U64();
+      seg.emplace(seed, r.U64());
+    }
+  };
+  read_segment(pattern_hash_hot_);
+  read_segment(pattern_hash_cold_);
+  pattern_hash_hits_ = r.U64();
+  pattern_hash_misses_ = r.U64();
+  pattern_hash_evictions_ = r.U64();
+}
+
+}  // namespace vusion

@@ -14,9 +14,22 @@
 
 namespace vusion {
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class PhysicalMemory {
  public:
   explicit PhysicalMemory(FrameId frame_count);
+
+  // Savestates (src/snapshot/): serializes every frame's canonical state
+  // (allocation, refcount, content representation — kBytes buffers deduplicated
+  // via CoW-alias backrefs) plus the allocation counters and the pattern-hash
+  // cache (whose hit/miss counters are metrics-observable, so membership must
+  // survive a round trip). The per-frame hash memo is host-only and reset.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   [[nodiscard]] FrameId frame_count() const { return static_cast<FrameId>(frames_.size()); }
   [[nodiscard]] const Frame& frame(FrameId f) const { return frames_[f]; }

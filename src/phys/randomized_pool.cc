@@ -72,3 +72,48 @@ double RandomizedPool::entropy_bits() const {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+namespace vusion {
+
+void RandomizedPool::SaveState(snapshot::SnapshotWriter& w) const {
+  w.U64(slots_.size());
+  for (const FrameId f : slots_) {
+    w.U32(f);
+  }
+  const Rng::State rng = rng_.state();
+  for (const std::uint64_t word : rng.s) {
+    w.U64(word);
+  }
+  w.F64(rng.spare_gaussian);
+  w.Bool(rng.has_spare_gaussian);
+  w.F64(last_slot_fraction_);
+  w.U64(draw_count_);
+  w.U64(refill_count_);
+  w.U64(bypass_count_);
+  w.U64(insert_count_);
+}
+
+void RandomizedPool::RestoreState(snapshot::SnapshotReader& r) {
+  slots_.clear();
+  const std::uint64_t n = r.Count(4);
+  slots_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    slots_.push_back(r.U32());
+  }
+  Rng::State rng;
+  for (std::uint64_t& word : rng.s) {
+    word = r.U64();
+  }
+  rng.spare_gaussian = r.F64();
+  rng.has_spare_gaussian = r.Bool();
+  rng_.RestoreState(rng);
+  last_slot_fraction_ = r.F64();
+  draw_count_ = r.U64();
+  refill_count_ = r.U64();
+  bypass_count_ = r.U64();
+  insert_count_ = r.U64();
+}
+
+}  // namespace vusion

@@ -17,12 +17,24 @@ namespace vusion {
 
 class FaultInjector;
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class RandomizedPool final : public FrameAllocator {
  public:
   // Reserves up to pool_size frames from the buddy allocator (fewer if memory is
   // tight; the effective entropy shrinks accordingly).
   RandomizedPool(FrameAllocator& backing, std::size_t pool_size, Rng rng);
   ~RandomizedPool() override;
+
+  // Savestates: slot contents (order = slot index = what the RNG draws over),
+  // draw RNG stream, and the lifetime counters. Restore overwrites the frames
+  // the constructor reserved — the Machine restore path rebuilds the buddy
+  // allocator wholesale afterwards, so no frames leak.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   // Optional chaos hook: injected failures make a draw fail outright (the
   // caller sees a transient OOM and must degrade gracefully).

@@ -55,6 +55,10 @@ struct LatencyConfig {
 // Applies latencies to a clock, with optional noise from a dedicated RNG stream.
 class LatencyModel {
  public:
+  // Noise draws are precomputed in batches of this size (even: refills consume
+  // whole Box-Muller pairs). Public because the savestate mirrors the batch.
+  static constexpr int kNoiseBatch = 64;
+
   LatencyModel(const LatencyConfig& config, VirtualClock& clock, Rng noise_rng);
 
   // Charges `base` nanoseconds with multiplicative log-normal noise. Inline
@@ -146,6 +150,38 @@ class LatencyModel {
   LatencyConfig& mutable_config() { return config_; }
   [[nodiscard]] VirtualClock& clock() { return *clock_; }
 
+  // --- Savestate accessors (mirrors Rng::state()/RestoreState) ---
+  //
+  // The buffered noise draws are deterministic stream state: gauss_ holds
+  // gaussians already pulled from the noise RNG but not yet consumed by
+  // Charge, so dropping them on restore would shift every later draw.
+  struct NoiseCacheState {
+    double gauss[kNoiseBatch] = {};
+    double factor[kNoiseBatch] = {};
+    double factor_sigma = -1.0;
+    int noise_pos = kNoiseBatch;
+  };
+  [[nodiscard]] NoiseCacheState noise_cache_state() const {
+    NoiseCacheState s;
+    for (int i = 0; i < kNoiseBatch; ++i) {
+      s.gauss[i] = gauss_[i];
+      s.factor[i] = factor_[i];
+    }
+    s.factor_sigma = factor_sigma_;
+    s.noise_pos = noise_pos_;
+    return s;
+  }
+  void RestoreNoiseCacheState(const NoiseCacheState& s) {
+    for (int i = 0; i < kNoiseBatch; ++i) {
+      gauss_[i] = s.gauss[i];
+      factor_[i] = s.factor[i];
+    }
+    factor_sigma_ = s.factor_sigma;
+    noise_pos_ = s.noise_pos;
+  }
+  // The dedicated noise stream itself, for Rng::state() round-trips.
+  [[nodiscard]] Rng& noise_rng() { return rng_; }
+
  private:
   [[nodiscard]] bool batching() const { return batch_depth_ > 0 && batching_enabled_; }
   // Out-of-line std::llround for the (never seen in practice) >= 2^51 range,
@@ -157,7 +193,6 @@ class LatencyModel {
   // the 32 independent Box-Muller pairs (and their exp factors) pipeline
   // instead of serializing one libm round-trip per charge.
   void RefillNoise();
-  static constexpr int kNoiseBatch = 64;  // even: refills consume whole pairs
 
   LatencyConfig config_;
   VirtualClock* clock_;

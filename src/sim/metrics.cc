@@ -312,3 +312,96 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+namespace vusion {
+
+void MetricsRegistry::SaveState(snapshot::SnapshotWriter& w) const {
+  w.Bool(enabled_);
+  w.U64(order_.size());
+  for (const Slot& slot : order_) {
+    w.Str(slot.name);
+    w.U32(static_cast<std::uint32_t>(slot.labels.size()));
+    for (const auto& [key, value] : slot.labels) {
+      w.Str(key);
+      w.Str(value);
+    }
+    w.U8(static_cast<std::uint8_t>(slot.kind));
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        w.U64(counters_[slot.index].value_);
+        break;
+      case MetricKind::kGauge:
+        w.F64(gauges_[slot.index].value_);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramMetric& h = histograms_[slot.index];
+        w.U64(h.bounds_.size());
+        for (const double bound : h.bounds_) {
+          w.F64(bound);
+        }
+        for (const std::uint64_t bucket : h.buckets_) {
+          w.U64(bucket);
+        }
+        w.U64(h.count_);
+        w.F64(h.sum_);
+        w.F64(h.min_);
+        w.F64(h.max_);
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::RestoreState(snapshot::SnapshotReader& r) {
+  enabled_ = r.Bool();
+  // Re-register through the find-or-create path so pre-existing handles (the
+  // Machine's constructor-registered fault metrics) stay valid, then overwrite
+  // values directly (bypassing the enabled gate).
+  const std::uint64_t n = r.Count(8);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.Str();
+    const std::uint32_t label_count = r.U32();
+    MetricLabels labels;
+    labels.reserve(label_count);
+    for (std::uint32_t l = 0; l < label_count; ++l) {
+      std::string key = r.Str();
+      std::string value = r.Str();
+      labels.emplace_back(std::move(key), std::move(value));
+    }
+    const std::uint8_t kind = r.U8();
+    switch (static_cast<MetricKind>(kind)) {
+      case MetricKind::kCounter:
+        GetCounter(name, labels).value_ = r.U64();
+        break;
+      case MetricKind::kGauge:
+        GetGauge(name, labels).value_ = r.F64();
+        break;
+      case MetricKind::kHistogram: {
+        const std::uint64_t bound_count = r.Count(8);
+        std::vector<double> bounds;
+        bounds.reserve(bound_count);
+        for (std::uint64_t b = 0; b < bound_count; ++b) {
+          bounds.push_back(r.F64());
+        }
+        HistogramMetric& h = GetHistogram(name, labels, bounds);
+        if (h.bounds_.size() != bounds.size()) {
+          throw snapshot::RestoreError("metrics", "histogram bounds mismatch for " + name);
+        }
+        for (std::uint64_t b = 0; b < bound_count + 1; ++b) {
+          h.buckets_[b] = r.U64();
+        }
+        h.count_ = r.U64();
+        h.sum_ = r.F64();
+        h.min_ = r.F64();
+        h.max_ = r.F64();
+        break;
+      }
+      default:
+        throw snapshot::RestoreError("metrics", "bad metric kind");
+    }
+  }
+}
+
+}  // namespace vusion

@@ -167,11 +167,23 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string RenderTable() const;
 };
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Savestates: serializes every registered metric in registration order.
+  // Restore re-registers through the find-or-create path — existing handles
+  // (the Machine's pre-registered fault counters) stay valid — and then
+  // overwrites values, so a restored registry renders byte-identically.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }

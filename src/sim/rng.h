@@ -84,6 +84,27 @@ class Rng {
   // own stream so call-order changes in one subsystem do not perturb another.
   [[nodiscard]] Rng Fork();
 
+  // Complete generator state for savestates: the xoshiro words plus the cached
+  // Box-Muller spare (NextGaussian alternates between consuming two uniforms
+  // and consuming none, so the spare is part of the deterministic stream).
+  // Serialization goes through this pair instead of friending into internals.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double spare_gaussian = 0.0;
+    bool has_spare_gaussian = false;
+  };
+  [[nodiscard]] State state() const {
+    return State{{state_[0], state_[1], state_[2], state_[3]},
+                 spare_gaussian_, has_spare_gaussian_};
+  }
+  void RestoreState(const State& state) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = state.s[i];
+    }
+    spare_gaussian_ = state.spare_gaussian;
+    has_spare_gaussian_ = state.has_spare_gaussian;
+  }
+
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

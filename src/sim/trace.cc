@@ -88,3 +88,58 @@ std::string TraceBuffer::Summary() const {
 }
 
 }  // namespace vusion
+
+#include "src/snapshot/io.h"
+
+namespace vusion {
+
+void TraceBuffer::SaveState(snapshot::SnapshotWriter& w) const {
+  w.Bool(enabled_);
+  w.U64(capacity_);
+  w.U64(buffer_.size());
+  for (const TraceEvent& event : buffer_) {
+    w.U64(event.time);
+    w.U8(static_cast<std::uint8_t>(event.type));
+    w.U32(event.process_id);
+    w.U64(event.vpn);
+    w.U32(event.frame);
+  }
+  w.U64(next_);
+  w.U64(total_);
+  w.U64(dropped_);
+  for (const std::uint64_t count : counts_) {
+    w.U64(count);
+  }
+}
+
+void TraceBuffer::RestoreState(snapshot::SnapshotReader& r) {
+  enabled_ = r.Bool();
+  capacity_ = r.U64();
+  buffer_.clear();
+  const std::uint64_t n = r.Count(25);
+  if (n > capacity_) {
+    throw snapshot::RestoreError("trace", "ring larger than capacity");
+  }
+  buffer_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceEvent event;
+    event.time = r.U64();
+    const std::uint8_t type = r.U8();
+    if (type >= static_cast<std::uint8_t>(TraceEventType::kCount)) {
+      throw snapshot::RestoreError("trace", "bad event type");
+    }
+    event.type = static_cast<TraceEventType>(type);
+    event.process_id = r.U32();
+    event.vpn = r.U64();
+    event.frame = r.U32();
+    buffer_.push_back(event);
+  }
+  next_ = r.U64();
+  total_ = r.U64();
+  dropped_ = r.U64();
+  for (std::uint64_t& count : counts_) {
+    count = r.U64();
+  }
+}
+
+}  // namespace vusion

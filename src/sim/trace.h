@@ -38,9 +38,20 @@ struct TraceEvent {
   std::uint32_t frame = 0;
 };
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity = 1u << 16);
+
+  // Savestates: ring contents verbatim (with the write cursor, so ring phase —
+  // and therefore which future events overwrite which — survives the trip),
+  // plus the lifetime counters.
+  void SaveState(snapshot::SnapshotWriter& w) const;
+  void RestoreState(snapshot::SnapshotReader& r);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }

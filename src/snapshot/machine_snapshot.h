@@ -1,0 +1,92 @@
+// Snapshot orchestration: one call to capture a (Machine, engine) pair into a
+// self-describing buffer, and one call to resurrect a brand-new pair from it.
+//
+// A full snapshot is laid out as:
+//
+//   "config"  MachineConfig | EngineKind | FusionConfig (when an engine exists)
+//   ...       the Machine's own sections (see Machine::Save)
+//   "engine"  the engine's SaveState payload (only when an engine exists)
+//
+// Restore never patches a live Machine in place: it constructs a fresh Machine
+// from the recorded MachineConfig, builds the engine with MakeEngineExact (the
+// recorded FusionConfig taken verbatim), installs it, replays every state
+// section, and finally runs the machine-wide InvariantAuditor. Any corruption —
+// truncation, bit flips, version skew, internally inconsistent state — throws
+// snapshot::RestoreError naming the failing section; the caller's own Machine
+// is never touched.
+
+#ifndef VUSION_SRC_SNAPSHOT_MACHINE_SNAPSHOT_H_
+#define VUSION_SRC_SNAPSHOT_MACHINE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/machine.h"
+#include "src/snapshot/io.h"
+
+namespace vusion::snapshot {
+
+// A restored (machine, engine) pair. The engine (null for EngineKind::kNone)
+// is already installed on the machine and uninstalls itself on destruction;
+// keep the struct alive as a unit and destroy it as a unit.
+struct RestoredMachine {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<FusionEngine> engine;
+  EngineKind kind = EngineKind::kNone;
+
+  RestoredMachine() = default;
+  RestoredMachine(RestoredMachine&&) noexcept = default;
+  RestoredMachine& operator=(RestoredMachine&&) noexcept = default;
+  RestoredMachine(const RestoredMachine&) = delete;
+  RestoredMachine& operator=(const RestoredMachine&) = delete;
+  ~RestoredMachine() {
+    if (engine != nullptr && machine != nullptr) {
+      engine->Uninstall();
+    }
+  }
+};
+
+// Serializes the machine plus the installed engine (null for a baseline run;
+// `kind` must agree with `engine`). Throws RestoreError if the engine kind
+// does not support savestates (MemoryCombining).
+std::string SaveSnapshot(Machine& machine, FusionEngine* engine, EngineKind kind);
+
+// Reconstructs a fresh (machine, engine) pair from a snapshot buffer and gates
+// the result behind the machine-wide invariant auditor: a snapshot that decodes
+// cleanly but describes an inconsistent machine still fails closed. Throws
+// RestoreError on any defect.
+RestoredMachine RestoreSnapshot(std::string_view buffer);
+
+// Fork-style fan-out: restores `count` independent Machines from one buffer.
+// Each clone is a full deep restore (they share no simulated state), so the
+// clones — and the original, if the buffer came from a live machine — diverge
+// only through the inputs applied after the fan-out.
+std::vector<RestoredMachine> FanOut(std::string_view buffer, std::size_t count);
+
+// Header- and frame-level metadata, decodable without reconstructing anything.
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  EngineKind kind = EngineKind::kNone;
+  std::uint64_t seed = 0;
+  std::uint32_t frame_count = 0;
+  std::size_t total_bytes = 0;
+  std::vector<SnapshotReader::SectionInfo> sections;
+};
+
+// Validates framing/checksums and decodes the "config" section. Throws
+// RestoreError on a malformed buffer.
+SnapshotInfo InspectSnapshot(std::string_view buffer);
+
+// Full verification: a complete RestoreSnapshot (including the invariant
+// audit) on a throwaway pair. Returns the inspect info on success, throws
+// RestoreError otherwise.
+SnapshotInfo VerifySnapshot(std::string_view buffer);
+
+}  // namespace vusion::snapshot
+
+#endif  // VUSION_SRC_SNAPSHOT_MACHINE_SNAPSHOT_H_

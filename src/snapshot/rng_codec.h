@@ -1,0 +1,34 @@
+// Shared helper for serializing Rng streams (machine RNG, latency noise RNG,
+// fault-injector RNG, randomized-pool RNG, campaign driver RNG) through the
+// Rng::state() accessor pair.
+
+#ifndef VUSION_SRC_SNAPSHOT_RNG_CODEC_H_
+#define VUSION_SRC_SNAPSHOT_RNG_CODEC_H_
+
+#include "src/sim/rng.h"
+#include "src/snapshot/io.h"
+
+namespace vusion::snapshot {
+
+inline void WriteRng(SnapshotWriter& w, const Rng& rng) {
+  const Rng::State s = rng.state();
+  for (const std::uint64_t word : s.s) {
+    w.U64(word);
+  }
+  w.F64(s.spare_gaussian);
+  w.Bool(s.has_spare_gaussian);
+}
+
+inline void ReadRng(SnapshotReader& r, Rng& rng) {
+  Rng::State s;
+  for (std::uint64_t& word : s.s) {
+    word = r.U64();
+  }
+  s.spare_gaussian = r.F64();
+  s.has_spare_gaussian = r.Bool();
+  rng.RestoreState(s);
+}
+
+}  // namespace vusion::snapshot
+
+#endif  // VUSION_SRC_SNAPSHOT_RNG_CODEC_H_

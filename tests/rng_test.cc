@@ -65,6 +65,33 @@ TEST(RngTest, NextInRangeInclusive) {
   EXPECT_EQ(seen.size(), 4u);  // all four values reachable
 }
 
+TEST(RngTest, StateRoundTripResumesIdenticalStream) {
+  Rng a(1234);
+  for (int i = 0; i < 17; ++i) {
+    (void)a.Next();
+  }
+  // Odd gaussian count leaves the Box-Muller spare cached, so the round trip
+  // must carry it: a restored generator that recomputed the pair would emit a
+  // different (shifted) stream.
+  (void)a.NextGaussian();
+  const Rng::State snap = a.state();
+  Rng b(999);
+  b.RestoreState(snap);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+    EXPECT_DOUBLE_EQ(a.NextGaussian(), b.NextGaussian());
+  }
+}
+
+TEST(RngTest, StateCapturesSpareGaussianFlag) {
+  Rng rng(77);
+  EXPECT_FALSE(rng.state().has_spare_gaussian);
+  (void)rng.NextGaussian();
+  EXPECT_TRUE(rng.state().has_spare_gaussian);
+  (void)rng.NextGaussian();
+  EXPECT_FALSE(rng.state().has_spare_gaussian);
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng a(9);
   Rng child = a.Fork();

@@ -1,0 +1,246 @@
+// Corrupted-snapshot fuzzing (DESIGN.md §13): every way a snapshot buffer can
+// be damaged — truncation at and inside every section, single-bit flips in the
+// header and in each payload, future-version headers, dropped sections,
+// semantically invalid fields behind a valid checksum — must fail closed with
+// a structured RestoreError naming the offending section. No crash, no silent
+// partial restore, and the restore target stays untouched.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fusion/engine_factory.h"
+#include "src/kernel/process.h"
+#include "src/snapshot/machine_snapshot.h"
+
+namespace vusion {
+namespace {
+
+MachineConfig MakeMachineConfig() {
+  MachineConfig config;
+  config.frame_count = 1u << 13;
+  config.seed = 7;
+  return config;
+}
+
+// A small but non-trivial image: KSM engine, three processes with duplicate
+// pages, enough idle that merges, RNG draws, and stats are all non-zero.
+std::string MakeImage() {
+  Machine machine(MakeMachineConfig());
+  FusionConfig fusion;
+  fusion.wake_period = 1 * kMillisecond;
+  fusion.pages_per_wake = 128;
+  std::unique_ptr<FusionEngine> engine = MakeEngineExact(EngineKind::kKsm, machine, fusion);
+  engine->Install();
+  for (int p = 0; p < 3; ++p) {
+    Process& proc = machine.CreateProcess();
+    const VirtAddr base = proc.AllocateRegion(32, PageType::kAnonymous, true, false);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      proc.SetupMapPattern(VaddrToVpn(base) + i, 0x5000 + (i % 8));
+    }
+    proc.Write64(base + 128, 0xDEADBEEF + p);
+  }
+  machine.Idle(30 * kMillisecond);
+  const std::string image = snapshot::SaveSnapshot(machine, engine.get(), EngineKind::kKsm);
+  engine->Uninstall();
+  return image;
+}
+
+std::string FlipBit(std::string buffer, std::size_t byte, int bit) {
+  buffer[byte] = static_cast<char>(static_cast<unsigned char>(buffer[byte]) ^ (1u << bit));
+  return buffer;
+}
+
+void WriteLeU32(std::string& buffer, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer[pos + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+// Patches one payload byte and re-seals the section checksum, so the damage
+// reaches the semantic decoder instead of being caught by the CRC.
+std::string PatchSealedByte(std::string buffer, const snapshot::SnapshotReader::SectionInfo& s,
+                            std::size_t delta, char value) {
+  buffer[s.offset + delta] = value;
+  WriteLeU32(buffer, s.offset + s.size,
+             snapshot::Crc32(buffer.data() + s.offset, s.size));
+  return buffer;
+}
+
+// Re-seals the header CRC after editing the first 16 header bytes.
+std::string SealHeader(std::string buffer) {
+  WriteLeU32(buffer, 16, snapshot::Crc32(buffer.data(), 16));
+  return buffer;
+}
+
+void ExpectRestoreError(const std::string& buffer, const std::string& want_section,
+                        const std::string& context) {
+  try {
+    snapshot::RestoredMachine restored = snapshot::RestoreSnapshot(buffer);
+    ADD_FAILURE() << context << ": corrupted snapshot restored without error";
+  } catch (const snapshot::RestoreError& e) {
+    EXPECT_FALSE(e.section().empty()) << context;
+    if (!want_section.empty()) {
+      EXPECT_EQ(e.section(), want_section) << context << ": " << e.what();
+    }
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << context << ": wrong exception type: " << e.what();
+  }
+}
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { image_ = new std::string(MakeImage()); }
+  static void TearDownTestSuite() {
+    delete image_;
+    image_ = nullptr;
+  }
+  static const std::string& image() { return *image_; }
+
+ private:
+  static std::string* image_;
+};
+
+std::string* SnapshotCorruptionTest::image_ = nullptr;
+
+TEST_F(SnapshotCorruptionTest, IntactImageRestores) {
+  const snapshot::SnapshotInfo info = snapshot::VerifySnapshot(image());
+  EXPECT_EQ(info.kind, EngineKind::kKsm);
+  EXPECT_EQ(info.sections.front().name, "config");
+  EXPECT_EQ(info.sections.back().name, "engine");
+}
+
+TEST_F(SnapshotCorruptionTest, TruncationAtEverySectionBoundaryFailsClosed) {
+  const snapshot::SnapshotInfo info = snapshot::InspectSnapshot(image());
+  for (const auto& section : info.sections) {
+    // Cut at the payload start: the section's own payload is truncated.
+    ExpectRestoreError(image().substr(0, section.offset), section.name,
+                       "truncate at start of '" + section.name + "'");
+    // Cut mid-payload.
+    if (section.size > 1) {
+      ExpectRestoreError(image().substr(0, section.offset + section.size / 2), section.name,
+                         "truncate inside '" + section.name + "'");
+    }
+    // Cut just before the section checksum.
+    ExpectRestoreError(image().substr(0, section.offset + section.size), section.name,
+                       "truncate before checksum of '" + section.name + "'");
+  }
+  // Cutting after a complete section leaves the next frame (or the header's
+  // section count) dangling; exact section varies, but it must fail closed.
+  for (const auto& section : info.sections) {
+    const std::string cut = image().substr(0, section.offset + section.size + 4);
+    if (cut.size() < image().size()) {
+      ExpectRestoreError(cut, "", "truncate after '" + section.name + "'");
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, EveryHeaderBitFlipFailsClosed) {
+  for (std::size_t byte = 0; byte < snapshot::kHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      ExpectRestoreError(FlipBit(image(), byte, bit), "header",
+                         "header bit flip " + std::to_string(byte) + ":" + std::to_string(bit));
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadBitFlipsNameTheDamagedSection) {
+  const snapshot::SnapshotInfo info = snapshot::InspectSnapshot(image());
+  for (const auto& section : info.sections) {
+    if (section.size == 0) {
+      continue;
+    }
+    ExpectRestoreError(FlipBit(image(), section.offset + section.size / 2, 3), section.name,
+                       "payload flip in '" + section.name + "'");
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, FutureVersionRejected) {
+  std::string buffer = image();
+  WriteLeU32(buffer, 8, snapshot::kVersion + 1);  // version field follows the magic
+  buffer = SealHeader(buffer);
+  try {
+    snapshot::RestoredMachine restored = snapshot::RestoreSnapshot(buffer);
+    ADD_FAILURE() << "future-version snapshot restored";
+  } catch (const snapshot::RestoreError& e) {
+    EXPECT_EQ(e.section(), "header");
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, BadMagicRejected) {
+  std::string buffer = FlipBit(image(), 0, 0);
+  buffer = SealHeader(buffer);  // valid CRC, wrong magic
+  ExpectRestoreError(buffer, "header", "bad magic behind valid CRC");
+}
+
+TEST_F(SnapshotCorruptionTest, UnknownEngineKindBehindValidChecksumRejected) {
+  const snapshot::SnapshotInfo info = snapshot::InspectSnapshot(image());
+  const auto& config = info.sections.front();
+  ASSERT_EQ(config.name, "config");
+  // The engine-kind byte sits just before the 80-byte FusionConfig record at
+  // the end of the "config" payload.
+  const std::size_t kind_delta = config.size - 80 - 1;
+  const std::string buffer =
+      PatchSealedByte(image(), config, kind_delta, static_cast<char>(0xC8));
+  ExpectRestoreError(buffer, "config", "unknown engine kind behind valid CRC");
+}
+
+TEST_F(SnapshotCorruptionTest, DroppedTrailingSectionRejected) {
+  const snapshot::SnapshotInfo info = snapshot::InspectSnapshot(image());
+  const auto& last = info.sections.back();
+  const auto& prev = info.sections[info.sections.size() - 2];
+  // Frame start of the last section = end of the previous section's CRC.
+  (void)last;
+  std::string buffer = image().substr(0, prev.offset + prev.size + 4);
+  WriteLeU32(buffer, 12, static_cast<std::uint32_t>(info.sections.size() - 1));
+  buffer = SealHeader(buffer);
+  ExpectRestoreError(buffer, "config", "dropped engine section");
+}
+
+TEST_F(SnapshotCorruptionTest, EmptyAndGarbageBuffersRejected) {
+  ExpectRestoreError("", "header", "empty buffer");
+  ExpectRestoreError("short", "header", "short buffer");
+  std::string garbage(4096, '\0');
+  Rng rng(3);
+  for (char& c : garbage) {
+    c = static_cast<char>(rng.Next() & 0xFF);
+  }
+  ExpectRestoreError(garbage, "header", "garbage buffer");
+}
+
+TEST_F(SnapshotCorruptionTest, RestoreOntoUsedMachineRefused) {
+  snapshot::SnapshotReader r(image());
+  r.OpenSection("config");
+  std::vector<char> skip(r.sections().front().size);
+  r.Bytes(skip.data(), skip.size());
+  r.EndSection();
+
+  Machine machine(MakeMachineConfig());
+  machine.CreateProcess();
+  try {
+    machine.Restore(r);
+    ADD_FAILURE() << "restore onto a machine with processes succeeded";
+  } catch (const snapshot::RestoreError& e) {
+    EXPECT_EQ(e.section(), "machine");
+    EXPECT_NE(std::string(e.what()).find("already has processes"), std::string::npos);
+  }
+  // The precondition check fired before any mutation: the machine still works.
+  Process& proc = *machine.processes().front();
+  const VirtAddr base = proc.AllocateRegion(1, PageType::kAnonymous, true, false);
+  proc.Write64(base, 42);
+  EXPECT_EQ(proc.Read64(base), 42u);
+}
+
+TEST_F(SnapshotCorruptionTest, IntactImageStillRestoresAfterAllFailures) {
+  snapshot::RestoredMachine restored = snapshot::RestoreSnapshot(image());
+  ASSERT_NE(restored.machine, nullptr);
+  ASSERT_NE(restored.engine, nullptr);
+  EXPECT_EQ(restored.kind, EngineKind::kKsm);
+  // And the restored pair is live: keep running on it.
+  restored.machine->Idle(5 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace vusion

@@ -45,6 +45,9 @@ void PrintUsage() {
          "  --rate R          per-visit injection probability (default 0.01)\n"
          "  --audit-epoch N   audit every N events (default 1 = slow mode)\n"
          "  --fast-audit      shorthand for --audit-epoch 16\n"
+         "  --snapshot-interval N  savestate checkpoint every N events; on a\n"
+         "                    failure, replay from the nearest pre-failure\n"
+         "                    checkpoint to verify it reproduces (default off)\n"
          "  --schedule S      replay an exact fault schedule (site@visit,...)\n"
          "  --artifact-dir D  dump trace+metrics there on failure\n"
          "  --no-shrink       skip schedule minimization on failure\n";
@@ -105,6 +108,11 @@ bool ParseArgs(int argc, char** argv, CliOptions& cli) {
         return false;
       }
       cli.campaign.audit_epoch = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--snapshot-interval") {
+      if ((value = need_value(i)) == nullptr) {
+        return false;
+      }
+      cli.campaign.snapshot_interval = std::strtoull(value, nullptr, 10);
     } else if (arg == "--delta") {
       cli.campaign.delta_scan = true;
     } else if (arg == "--fast-audit") {
@@ -159,7 +167,11 @@ int main(int argc, char** argv) {
                   << options.seed << ": " << result.faults_injected
                   << " faults injected, " << result.audits << " audits ("
                   << result.checks << " checks), " << result.tolerated_throws
-                  << " tolerated aborts\n";
+                  << " tolerated aborts";
+        if (result.snapshots_taken > 0) {
+          std::cout << ", " << result.snapshots_taken << " checkpoints";
+        }
+        std::cout << "\n";
         continue;
       }
       ++failures;
@@ -174,6 +186,15 @@ int main(int argc, char** argv) {
       if (result.shrunk_schedule.size() < result.schedule.size()) {
         std::cout << "       shrunk:   "
                   << vusion::FormatSchedule(result.shrunk_schedule) << "\n";
+      }
+      if (result.has_nearest_snapshot) {
+        std::cout << "       snapshot: nearest pre-failure checkpoint at step "
+                  << result.nearest_snapshot_step << ", restore-to-failure "
+                  << (result.restore_to_failure_ok ? "reproduced" : "NOT reproduced");
+        if (!result.snapshot_path.empty()) {
+          std::cout << " (" << result.snapshot_path << ")";
+        }
+        std::cout << "\n";
       }
       std::cout << "       repro:    " << result.repro << "\n";
     }

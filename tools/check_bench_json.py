@@ -119,6 +119,8 @@ def check_artifact(path):
         expect(isinstance(note, str), f"{path}.notes[{i}]", "must be a string")
     if doc["bench"] == "fleet_throughput":
         check_fleet_artifact(doc, path)
+    if doc["bench"] == "snapshot_roundtrip":
+        check_snapshot_artifact(doc, path)
 
 
 def check_fleet_artifact(doc, path):
@@ -142,6 +144,29 @@ def check_fleet_artifact(doc, path):
         labels = entry.get("labels", {})
         expect(isinstance(labels.get("machine"), str), f"{path}.metrics.fleet[{i}]",
                "rollup entry missing 'machine' label")
+
+
+def check_snapshot_artifact(doc, path):
+    """Savestate bench shape: one roundtrip row per engine with timing and size
+    fields, the idempotence bit set, and a non-empty per-section breakdown."""
+    tables = doc["tables"]
+    for name in ("roundtrip", "sections"):
+        expect(name in tables and tables[name], f"{path}.tables",
+               f"snapshot artifact missing table {name!r}")
+    for i, row in enumerate(tables["roundtrip"]):
+        prefix = f"{path}.tables.roundtrip[{i}]"
+        expect(isinstance(row.get("engine"), str), prefix, "missing string 'engine'")
+        for field in ("bytes", "save_ms", "restore_ms", "verify_ms"):
+            expect(isinstance(row.get(field), numbers.Number), prefix,
+                   f"missing numeric {field!r}")
+        expect(row.get("bytes", 0) > 0, prefix, "'bytes' must be positive")
+        expect(row.get("resave_identical") is True, prefix,
+               "restore->resave must be bit-identical")
+    for i, row in enumerate(tables["sections"]):
+        prefix = f"{path}.tables.sections[{i}]"
+        expect(isinstance(row.get("name"), str), prefix, "missing string 'name'")
+        expect(isinstance(row.get("bytes"), numbers.Number), prefix,
+               "missing numeric 'bytes'")
 
 
 def main(argv):
