@@ -1,24 +1,13 @@
 #include "src/fleet/fleet.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <string>
 
+#include "src/host/clock.h"
 #include "src/host/thread_pool.h"
 
 namespace vusion::fleet {
-
-namespace {
-
-std::uint64_t HostNowNs() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
 
 void FleetConfig::ApplyEnvOverrides() {
   if (const char* env = std::getenv("VUSION_FLEET_THREADS")) {
@@ -44,6 +33,18 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
     members_.push_back(std::make_unique<Scenario>(member_config));
   }
   pool_ = std::make_unique<host::ThreadPool>(std::max<std::size_t>(1, config_.host_threads));
+  if (config_.host_threads > 1) {
+    // Cross-Machine decoupling: every member's scan pipeline dispatches its
+    // hash chunks to the shared fleet pool instead of a per-Machine pool. A
+    // Machine running its serial merge stops occupying a worker slot — its
+    // chunks (and other Machines' stepping) proceed on whichever workers are
+    // free. Stepping stays the priority: workers prefer the earliest-submitted
+    // stream, and the step batch is always submitted first. The single-thread
+    // fleet keeps no external pool — it is the serial reference.
+    for (const auto& member : members_) {
+      member->machine().SetExternalHostPool(pool_.get());
+    }
+  }
   step_ns_.assign(members_.size(), 0);
 }
 
@@ -72,7 +73,7 @@ void Fleet::BootAll() {
 }
 
 void Fleet::StepMachine(std::size_t m, SimTime quantum) {
-  const std::uint64_t start = HostNowNs();
+  const std::uint64_t start = host::NowNs();
   if (hook_) {
     hook_(m, *members_[m]);
   }
@@ -87,7 +88,7 @@ void Fleet::StepMachine(std::size_t m, SimTime quantum) {
   if (current < target) {
     members_[m]->RunFor(target - current);
   }
-  step_ns_[m] = HostNowNs() - start;
+  step_ns_[m] = host::NowNs() - start;
 }
 
 void Fleet::RunFor(SimTime duration) {

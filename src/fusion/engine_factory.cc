@@ -39,6 +39,14 @@ void FusionEngine::ExportMetrics(MetricsRegistry& registry) const {
   }
   registry.GetGauge("fusion.frames_saved").Set(static_cast<double>(frames_saved()));
   registry.GetGauge("fusion.reserved_frames").Set(static_cast<double>(reserved_frames()));
+  // Speculative-hash conflict accounting from the scan pipeline (engines with
+  // no pipeline report nothing). Host-side observability only — values vary
+  // with thread interleaving, so no parity suite compares them.
+  if (const host::ScanTiming* timing = scan_timing()) {
+    registry.GetCounter("scan.speculative_hashes").Set(timing->speculative_hashes);
+    registry.GetCounter("scan.speculative_stale").Set(timing->speculative_stale);
+    registry.GetCounter("scan.streamed_batches").Set(timing->streamed_batches);
+  }
 }
 
 void FusionEngine::TearDown() {

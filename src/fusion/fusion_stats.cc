@@ -16,6 +16,16 @@ void FusionConfig::ApplyEnvOverrides() {
     const long value = std::strtol(env, nullptr, 10);
     delta_scan = value != 0;
   }
+  if (const char* env = std::getenv("VUSION_SCAN_STREAMING")) {
+    const long value = std::strtol(env, nullptr, 10);
+    scan_streaming = value != 0;
+  }
+  if (const char* env = std::getenv("VUSION_SCAN_CHUNK")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 0) {
+      scan_chunk_pages = static_cast<std::size_t>(value);
+    }
+  }
 }
 
 std::string FusionStats::Summary() const {

@@ -55,6 +55,15 @@ struct FusionConfig {
   // ApplyEnvOverrides (used by the TSan CI job to run the whole suite threaded).
   std::size_t scan_threads = 1;
 
+  // Decoupled streaming scan (DESIGN.md §14): when a worker pool is available,
+  // overlap phase-1 hashing with the serial merge instead of joining at a
+  // barrier. Host-only — simulated results are bit-identical either way (the
+  // streaming parity cells prove it). chunk_pages sets the hash-chunk /
+  // completion-ticket granularity (0 = auto). VUSION_SCAN_STREAMING (0/1) and
+  // VUSION_SCAN_CHUNK override these via ApplyEnvOverrides.
+  bool scan_streaming = true;
+  std::size_t scan_chunk_pages = 0;
+
   // Fig 4 comparison knobs (on KSM).
   bool zero_pages_only = false;
   bool unmerge_on_any_access = false;  // "copy-on-access" KSM variant
@@ -94,8 +103,10 @@ struct FusionConfig {
   double mc_compression_ratio = 3.0;     // modeled compression of the cache
 
   // Applies recognized environment overrides (see README "Environment overrides"):
-  //   VUSION_SCAN_THREADS  — scan_threads (positive integer)
-  //   VUSION_DELTA_SCAN    — delta_scan (0 or 1)
+  //   VUSION_SCAN_THREADS    — scan_threads (positive integer)
+  //   VUSION_DELTA_SCAN      — delta_scan (0 or 1)
+  //   VUSION_SCAN_STREAMING  — scan_streaming (0 or 1)
+  //   VUSION_SCAN_CHUNK      — scan_chunk_pages (positive integer; 0 = auto)
   // MakeEngine and Scenario call this; direct engine construction does not, so
   // building an engine never silently reads the environment.
   void ApplyEnvOverrides();

@@ -42,6 +42,7 @@ Ksm::Ksm(Machine& machine, const FusionConfig& config)
       delta_mode_(config.delta_scan && !config.byte_ordered_trees) {
   stable_.SetNodeArena(&arena_);
   unstable_.SetNodeArena(&arena_);
+  pipeline_.ConfigureStreaming(config.scan_streaming, config.scan_chunk_pages);
   if (delta_mode_) {
     machine.EnableWriteEpochs();
   }
@@ -80,7 +81,13 @@ void Ksm::Run() {
   }
   const auto scan_start = std::chrono::steady_clock::now();
   NotifyPhase(ScanPhase::kQuantumStart);
-  if (config_.scan_threads > 1) {
+  // The pool can change between wakes (a Fleet installs its shared pool after
+  // construction); refresh it every quantum. Any pool — even the fleet's with
+  // scan_threads=1 — selects the pipelined path, so a member machine's hashing
+  // can overlap its own merge on the fleet's workers.
+  host::ThreadPool* pool = machine_->HostPool(config_.scan_threads);
+  pipeline_.set_pool(pool);
+  if (pool != nullptr) {
     ScanQuantumPipelined();
   } else {
     ScanQuantumSerial();
@@ -160,6 +167,16 @@ void Ksm::ScanQuantumPipelined() {
              delta_.PeekValid(item.pid, item.vpn, item.as->write_epochs().Get(item.vpn));
     };
   }
+  // The kHashed boundary (and its re-prune) only exists for an armed phase
+  // hook; without one, leaving between_phases null lets the pipeline take the
+  // streaming shape, which has no such boundary.
+  std::function<void()> between_phases;
+  if (phase_hook_) {
+    between_phases = [this] {
+      NotifyPhase(ScanPhase::kHashed);
+      PruneDeadItems();
+    };
+  }
   pipeline_.Run(
       batch_, timing_, nullptr,
       [this](host::ScanItem& item) {
@@ -176,11 +193,7 @@ void Ksm::ScanQuantumPipelined() {
         }
         ScanOne(*item.process, item.vpn);
       },
-      [this] {
-        NotifyPhase(ScanPhase::kHashed);
-        PruneDeadItems();
-      },
-      probe);
+      between_phases, probe);
 }
 
 void Ksm::PruneDeadItems() {

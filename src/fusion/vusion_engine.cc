@@ -26,6 +26,7 @@ VUsionEngine::VUsionEngine(Machine& machine, const FusionConfig& config)
       deferred_(machine),
       delta_mode_(config.delta_scan) {
   stable_.SetNodeArena(&arena_);
+  pipeline_.ConfigureStreaming(config.scan_streaming, config.scan_chunk_pages);
 }
 
 VUsionEngine::~VUsionEngine() {
@@ -72,7 +73,11 @@ void VUsionEngine::Run() {
   deferred_.Drain(pool_);
   const auto scan_start = std::chrono::steady_clock::now();
   NotifyPhase(ScanPhase::kQuantumStart);
-  if (config_.scan_threads > 1) {
+  // Refresh the pool every quantum (a Fleet installs its shared pool after
+  // construction); any pool selects the pipelined path.
+  host::ThreadPool* host_pool = machine_->HostPool(config_.scan_threads);
+  pipeline_.set_pool(host_pool);
+  if (host_pool != nullptr) {
     ScanQuantumPipelined();
   } else {
     ScanQuantumSerial();
@@ -186,6 +191,15 @@ void VUsionEngine::ScanQuantumPipelined() {
       return delta_.PeekValid(item.pid, item.vpn, /*epoch=*/0);
     };
   }
+  // The kHashed boundary only exists for an armed phase hook; leaving
+  // between_phases null otherwise lets the pipeline take the streaming shape.
+  std::function<void()> between_phases;
+  if (phase_hook_) {
+    between_phases = [this] {
+      NotifyPhase(ScanPhase::kHashed);
+      PruneDeadItems();
+    };
+  }
   pipeline_.Run(
       batch_, timing_, filter,
       [this](host::ScanItem& item) {
@@ -202,11 +216,7 @@ void VUsionEngine::ScanQuantumPipelined() {
         }
         ScanOne(*item.process, item.vpn);
       },
-      [this] {
-        NotifyPhase(ScanPhase::kHashed);
-        PruneDeadItems();
-      },
-      probe);
+      between_phases, probe);
 }
 
 void VUsionEngine::PruneDeadItems() {

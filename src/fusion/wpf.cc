@@ -28,6 +28,7 @@ Wpf::Wpf(Machine& machine, const FusionConfig& config)
       pipeline_(machine.memory(), machine.HostPool(config_.scan_threads)),
       linear_(machine.buddy(), machine.memory()),
       delta_mode_(config.delta_scan) {
+  pipeline_.ConfigureStreaming(config.scan_streaming, config.scan_chunk_pages);
   trees_.reserve(kShards);
   for (std::size_t i = 0; i < kShards; ++i) {
     trees_.push_back(std::make_unique<Tree>(CombinedCompare{this}));
@@ -347,10 +348,14 @@ void Wpf::PruneDeadCandidates(std::vector<Candidate>& candidates) const {
 }
 
 void Wpf::HashCandidates(std::vector<Candidate>& candidates) {
-  if (config_.scan_threads > 1 && candidates.size() > 1) {
+  host::ThreadPool* pool = machine_->HostPool(config_.scan_threads);
+  pipeline_.set_pool(pool);
+  if (pool != nullptr && candidates.size() > 1) {
     // Parallel phase 1: warm the host-side hash memos. Frames are preset, so the
     // pipeline skips PTE resolution; the serial merge phase below then issues the
     // same charged Hash calls the reference path does, hitting the primed memo.
+    // The merge callback mutates nothing a hash worker reads (charges + memo
+    // only), so the streaming shape is safe here without further ceremony.
     std::vector<host::ScanItem> items(candidates.size());
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       items[i].frame = candidates[i].frame;

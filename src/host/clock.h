@@ -1,0 +1,23 @@
+// Host wall-clock helper shared by the scan pipeline, the fleet quantum-cost
+// recorder, and the benches. This is HOST time (std::chrono::steady_clock), not
+// the simulated VirtualClock: it measures the simulator's own cost and must
+// never feed back into simulated state.
+
+#ifndef VUSION_SRC_HOST_CLOCK_H_
+#define VUSION_SRC_HOST_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace vusion::host {
+
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace vusion::host
+
+#endif  // VUSION_SRC_HOST_CLOCK_H_

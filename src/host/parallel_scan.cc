@@ -1,17 +1,27 @@
 #include "src/host/parallel_scan.h"
 
+#include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <exception>
+#include <shared_mutex>
+#include <thread>
+
+#include "src/host/clock.h"
 
 namespace vusion::host {
 
 namespace {
 
-std::uint64_t NowNs() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+// Streaming chunk size when the engine leaves it on auto: small enough that the
+// merge starts long before hashing finishes, large enough that the per-chunk
+// claim/publish cost and the scan-gate acquisition amortize.
+constexpr std::size_t kAutoChunkPages = 32;
+
+void MaxRelaxed(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
@@ -35,7 +45,55 @@ void ParallelScanPipeline::ResolveAndPeek(ScanItem& item, const Phase1Filter& fi
     item.frame = frame;
   }
   item.snapshot = memory_->PeekHash(item.frame);
+  // In the barrier shape nothing merges before the join, so the snapshot's own
+  // generation IS the pre-merge generation.
+  item.premerge_gen = item.snapshot.content_gen;
   item.hashed = true;
+}
+
+void ParallelScanPipeline::ResolvePreMerge(ScanItem& item, const Phase1Filter& filter,
+                                           const Phase1Probe& probe) const {
+  if (probe && probe(item)) {
+    // Expected pass-cache replay: leave the frame unresolved so no worker
+    // hashes it; the merge replays (or resolves on demand).
+    item.frame = kInvalidFrame;
+    return;
+  }
+  if (item.frame == kInvalidFrame) {
+    if (item.as == nullptr) {
+      return;
+    }
+    const Pte* pte = item.as->GetPte(item.vpn);
+    if (pte == nullptr || !pte->present()) {
+      return;
+    }
+    if (filter && !filter(*pte, item)) {
+      return;
+    }
+    FrameId frame = pte->frame;
+    if (pte->huge()) {
+      frame += static_cast<FrameId>(item.vpn & (kPagesPerHugePage - 1));
+    }
+    item.frame = frame;
+  }
+  item.premerge_gen = memory_->content_generation(item.frame);
+}
+
+void ParallelScanPipeline::MergeOne(ScanItem& item, ScanTiming& timing,
+                                    const std::function<void(ScanItem&)>& merge_one) {
+  if (item.hashed) {
+    ++timing.speculative_hashes;
+    // Conflict check: prime only a snapshot taken at the pre-merge generation
+    // that is also still current (the two differ only transiently mid-stream).
+    // A mismatch means the merge mutated the frame around the speculative
+    // hash; the snapshot is dropped and the engine body rehashes on demand.
+    const bool fresh = item.snapshot.content_gen == item.premerge_gen &&
+                       memory_->PrimeHash(item.frame, item.snapshot);
+    if (!fresh) {
+      ++timing.speculative_stale;
+    }
+  }
+  merge_one(item);
 }
 
 void ParallelScanPipeline::Run(std::vector<ScanItem>& items, ScanTiming& timing,
@@ -43,9 +101,25 @@ void ParallelScanPipeline::Run(std::vector<ScanItem>& items, ScanTiming& timing,
                                const std::function<void(ScanItem&)>& merge_one,
                                const std::function<void()>& between_phases,
                                const Phase1Probe& probe) {
+  // The streaming shape has no between-phases boundary to announce (hashing is
+  // still in flight when merging starts), so an armed phase hook forces the
+  // barrier shape. Single-item batches gain nothing from a stream.
+  if (streaming_enabled_ && between_phases == nullptr && pool_ != nullptr &&
+      items.size() > 1) {
+    RunStreaming(items, timing, filter, merge_one, probe);
+    return;
+  }
+  RunBarrier(items, timing, filter, merge_one, between_phases, probe);
+}
+
+void ParallelScanPipeline::RunBarrier(std::vector<ScanItem>& items, ScanTiming& timing,
+                                      const Phase1Filter& filter,
+                                      const std::function<void(ScanItem&)>& merge_one,
+                                      const std::function<void()>& between_phases,
+                                      const Phase1Probe& probe) {
   // Phase 1: shard the quantum across workers; each chunk only reads simulated
   // state and writes its own disjoint items.
-  std::atomic<std::uint64_t> phase1_ns{0};
+  std::atomic<std::uint64_t> phase1_cpu{0};
   const auto chunk = [&](std::size_t begin, std::size_t end) {
     const std::uint64_t t0 = NowNs();
     for (std::size_t i = begin; i < end; ++i) {
@@ -54,14 +128,16 @@ void ParallelScanPipeline::Run(std::vector<ScanItem>& items, ScanTiming& timing,
       }
       ResolveAndPeek(items[i], filter);
     }
-    phase1_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    phase1_cpu.fetch_add(NowNs() - t0, std::memory_order_relaxed);
   };
+  const std::uint64_t hash_start = NowNs();
   if (pool_ != nullptr && items.size() > 1) {
     pool_->ParallelFor(items.size(), 0, chunk);
   } else {
     chunk(0, items.size());
   }
-  timing.phase1_ns += phase1_ns.load(std::memory_order_relaxed);
+  timing.phase1_wall_ns += NowNs() - hash_start;
+  timing.phase1_cpu_ns += phase1_cpu.load(std::memory_order_relaxed);
   timing.items += items.size();
 
   if (between_phases) {
@@ -71,11 +147,106 @@ void ParallelScanPipeline::Run(std::vector<ScanItem>& items, ScanTiming& timing,
   // Phase 2: serial canonical-order merge. Priming right before each page keeps
   // the snapshot's generation check maximally fresh; the engine body then runs
   // verbatim, charging latencies exactly as the serial reference path.
+  const std::uint64_t merge_start = NowNs();
   for (ScanItem& item : items) {
-    if (item.hashed) {
-      memory_->PrimeHash(item.frame, item.snapshot);
+    MergeOne(item, timing, merge_one);
+  }
+  timing.merge_wall_ns += NowNs() - merge_start;
+}
+
+void ParallelScanPipeline::RunStreaming(std::vector<ScanItem>& items, ScanTiming& timing,
+                                        const Phase1Filter& filter,
+                                        const std::function<void(ScanItem&)>& merge_one,
+                                        const Phase1Probe& probe) {
+  // Serial pre-pass: probe, PTE-resolve, filter, and pre-merge generation
+  // capture all read the batch's pre-merge state, exactly as barrier phase 1
+  // sees it — they cannot overlap the merge, but they are cheap relative to
+  // hashing, which is all the workers do.
+  const std::uint64_t prepass_start = NowNs();
+  for (ScanItem& item : items) {
+    ResolvePreMerge(item, filter, probe);
+  }
+  const std::uint64_t prepass_ns = NowNs() - prepass_start;
+
+  std::atomic<std::uint64_t> hash_cpu{0};
+  std::atomic<std::uint64_t> hash_last_end{0};
+  const auto hash_chunk = [&](std::size_t begin, std::size_t end) {
+    const std::uint64_t t0 = NowNs();
+    {
+      // Shared hold for the whole chunk: content mutators (exclusive) are
+      // fenced out, so each peeked {content, generation} pair is consistent.
+      std::shared_lock<std::shared_mutex> gate(memory_->scan_gate());
+      for (std::size_t i = begin; i < end; ++i) {
+        ScanItem& item = items[i];
+        if (item.frame == kInvalidFrame) {
+          continue;  // probe-skipped, not present, or filtered out pre-merge
+        }
+        item.snapshot = memory_->PeekHash(item.frame);
+        item.hashed = true;
+      }
     }
-    merge_one(item);
+    const std::uint64_t t1 = NowNs();
+    hash_cpu.fetch_add(t1 - t0, std::memory_order_relaxed);
+    MaxRelaxed(hash_last_end, t1);
+  };
+
+  std::size_t chunk = chunk_pages_;
+  if (chunk == 0) {
+    chunk = std::min(kAutoChunkPages, std::max<std::size_t>(1, items.size() / 4));
+  }
+
+  memory_->BeginStreamingScan();
+  ThreadPool::Stream* stream = pool_->BeginStream(items.size(), chunk, hash_chunk);
+  std::exception_ptr merge_error;
+  std::uint64_t merge_wall = 0;
+  try {
+    std::size_t next = 0;
+    std::size_t ready = 0;
+    while (next < items.size()) {
+      if (next >= ready) {
+        ready = pool_->StreamReadyItems(stream);
+        if (next >= ready) {
+          // Ahead of the workers: hash an unclaimed chunk ourselves, or spin
+          // briefly on a chunk already in flight elsewhere.
+          if (!pool_->HelpStream(stream)) {
+            std::this_thread::yield();
+          }
+          continue;
+        }
+      }
+      // Consume the contiguously-ready prefix in canonical order. merge_wall
+      // accumulates only these segments — actual serial merge work, not the
+      // waits — so overlap efficiency compares true hash and merge costs.
+      const std::uint64_t m0 = NowNs();
+      for (; next < ready; ++next) {
+        MergeOne(items[next], timing, merge_one);
+      }
+      merge_wall += NowNs() - m0;
+    }
+  } catch (...) {
+    merge_error = std::current_exception();
+  }
+  try {
+    pool_->JoinStream(stream);
+  } catch (...) {
+    if (merge_error == nullptr) {
+      merge_error = std::current_exception();
+    }
+  }
+  memory_->EndStreamingScan();
+
+  timing.phase1_cpu_ns += prepass_ns + hash_cpu.load(std::memory_order_relaxed);
+  timing.items += items.size();
+  const std::uint64_t last_end = hash_last_end.load(std::memory_order_relaxed);
+  // Wall span of phase-1 work: pre-pass start through the last chunk
+  // completion (zero hashed chunks leave last_end at 0 → count the pre-pass).
+  timing.phase1_wall_ns +=
+      last_end > prepass_start ? last_end - prepass_start : NowNs() - prepass_start;
+  timing.merge_wall_ns += merge_wall;
+  ++timing.streamed_batches;
+
+  if (merge_error != nullptr) {
+    std::rethrow_exception(merge_error);
   }
 }
 

@@ -1,12 +1,40 @@
 #include "src/host/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
 
 namespace vusion::host {
 
+// Full definition of the opaque handle: one dispatched batch. Every field is
+// guarded by ThreadPool::mu_ except done_items, which is additionally published
+// with release stores so the single consumer can poll it without the lock.
+class ThreadPool::Stream {
+ public:
+  enum class Mode : std::uint8_t { kChunks, kStriped };
+
+  Body body;
+  Mode mode = Mode::kChunks;
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  std::size_t next = 0;                  // kChunks: shared chunk-aligned cursor
+  std::vector<std::size_t> stripe_pos;   // kStriped: per-stripe claim position
+  std::size_t claimed = 0;               // kStriped: total tasks claimed
+  std::size_t in_flight = 0;
+  std::vector<std::uint8_t> chunk_done;  // kChunks, tracked: per-chunk done flag
+  std::size_t done_chunks = 0;           // contiguously-done chunk prefix
+  std::atomic<std::size_t> done_items{0};
+  std::exception_ptr first_error;
+
+  [[nodiscard]] bool AllClaimed() const {
+    return mode == Mode::kChunks ? next >= count : claimed >= count;
+  }
+  [[nodiscard]] bool Finished() const { return AllClaimed() && in_flight == 0; }
+};
+
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t spawn = threads > 1 ? threads - 1 : 0;
-  stripe_pos_.assign(spawn + 1, 0);
   workers_.reserve(spawn);
   for (std::size_t i = 0; i < spawn; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -24,21 +52,151 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-bool ThreadPool::BatchClaimed() const {
-  return mode_ == Mode::kChunks ? next_ >= count_ : claimed_ >= count_;
+bool ThreadPool::AnyUnclaimedLocked() const {
+  for (const Stream* s : live_) {
+    if (!s->AllClaimed()) {
+      return true;
+    }
+  }
+  return false;
 }
 
-void ThreadPool::RunBatch(std::size_t caller_stripe) {
-  work_ready_.notify_all();
-  Drain(caller_stripe);
-  std::exception_ptr error;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    batch_done_.wait(lock, [this] { return BatchClaimed() && in_flight_ == 0; });
-    error = first_error_;
-    first_error_ = nullptr;
+bool ThreadPool::ClaimLocked(Stream* s, std::size_t stripe, std::size_t* begin,
+                             std::size_t* end) {
+  if (s->mode == Stream::Mode::kChunks) {
+    if (s->next >= s->count) {
+      return false;
+    }
+    *begin = s->next;
+    *end = std::min(s->count, s->next + s->grain);
+    s->next = *end;
+    ++s->in_flight;
+    return true;
   }
-  if (error) {
+  // Striped: own stripe first, then round-robin steal. Task t's home stripe is
+  // t % stripes, and stripe sp hands out sp, sp + stripes, sp + 2*stripes, ...
+  const std::size_t stripes = s->stripe_pos.size();
+  for (std::size_t k = 0; k < stripes; ++k) {
+    const std::size_t sp = (stripe + k) % stripes;
+    const std::size_t task = sp + s->stripe_pos[sp] * stripes;
+    if (task < s->count) {
+      ++s->stripe_pos[sp];
+      ++s->claimed;
+      ++s->in_flight;
+      *begin = task;
+      *end = task + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunUnit(Stream* s, std::size_t begin, std::size_t end) {
+  std::exception_ptr error;
+  try {
+    s->body(begin, end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error != nullptr && s->first_error == nullptr) {
+    s->first_error = error;
+  }
+  --s->in_flight;
+  if (!s->chunk_done.empty()) {
+    // A failed chunk still counts as done so the ticket prefix never stalls;
+    // the error surfaces at JoinStream.
+    s->chunk_done[begin / s->grain] = 1;
+    while (s->done_chunks < s->chunk_done.size() && s->chunk_done[s->done_chunks] != 0) {
+      ++s->done_chunks;
+    }
+    s->done_items.store(std::min(s->count, s->done_chunks * s->grain),
+                        std::memory_order_release);
+  }
+  if (s->Finished()) {
+    stream_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_id) {
+  for (;;) {
+    Stream* claimed = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || AnyUnclaimedLocked(); });
+      if (shutdown_) {
+        return;
+      }
+      for (Stream* s : live_) {
+        if (ClaimLocked(s, worker_id, &begin, &end)) {
+          claimed = s;
+          break;
+        }
+      }
+    }
+    if (claimed != nullptr) {
+      RunUnit(claimed, begin, end);
+    }
+  }
+}
+
+ThreadPool::Stream* ThreadPool::Submit(std::size_t count, std::size_t grain,
+                                       bool striped, Body body,
+                                       bool track_completion) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream* s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    all_.push_back(std::make_unique<Stream>());
+    s = all_.back().get();
+  }
+  s->body = body;
+  s->mode = striped ? Stream::Mode::kStriped : Stream::Mode::kChunks;
+  s->count = count;
+  s->grain = std::max<std::size_t>(1, grain);
+  s->next = 0;
+  s->claimed = 0;
+  s->in_flight = 0;
+  s->done_chunks = 0;
+  s->done_items.store(0, std::memory_order_relaxed);
+  s->first_error = nullptr;
+  if (striped) {
+    s->stripe_pos.assign(thread_count(), 0);
+    s->chunk_done.clear();
+  } else if (track_completion) {
+    s->chunk_done.assign((count + s->grain - 1) / s->grain, 0);
+  } else {
+    s->chunk_done.clear();
+  }
+  live_.push_back(s);
+  work_ready_.notify_all();
+  return s;
+}
+
+void ThreadPool::DrainAndJoin(Stream* s, std::size_t stripe) {
+  for (;;) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!ClaimLocked(s, stripe, &begin, &end)) {
+        break;
+      }
+    }
+    RunUnit(s, begin, end);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  stream_done_.wait(lock, [s] { return s->Finished(); });
+  live_.erase(std::find(live_.begin(), live_.end(), s));
+  free_.push_back(s);
+  std::exception_ptr error = s->first_error;
+  s->first_error = nullptr;
+  lock.unlock();
+  if (error != nullptr) {
     std::rethrow_exception(error);
   }
 }
@@ -55,17 +213,8 @@ void ThreadPool::ParallelFor(std::size_t count, std::size_t grain, Body body) {
     body(0, count);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    body_ = body;
-    mode_ = Mode::kChunks;
-    count_ = count;
-    next_ = 0;
-    grain_ = grain;
-    first_error_ = nullptr;
-    ++generation_;
-  }
-  RunBatch(workers_.size());
+  DrainAndJoin(Submit(count, grain, /*striped=*/false, body, /*track_completion=*/false),
+               /*stripe=*/workers_.size());
 }
 
 void ThreadPool::ParallelTasks(std::size_t count, Body body) {
@@ -73,94 +222,37 @@ void ThreadPool::ParallelTasks(std::size_t count, Body body) {
     return;
   }
   if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) {
-      body(i, i + 1);
+    for (std::size_t t = 0; t < count; ++t) {
+      body(t, t + 1);
     }
     return;
   }
+  DrainAndJoin(Submit(count, /*grain=*/1, /*striped=*/true, body, /*track_completion=*/false),
+               /*stripe=*/workers_.size());
+}
+
+ThreadPool::Stream* ThreadPool::BeginStream(std::size_t count, std::size_t grain,
+                                            Body body) {
+  return Submit(count, grain, /*striped=*/false, body, /*track_completion=*/true);
+}
+
+std::size_t ThreadPool::StreamReadyItems(const Stream* s) const {
+  return s->done_items.load(std::memory_order_acquire);
+}
+
+bool ThreadPool::HelpStream(Stream* s) {
+  std::size_t begin = 0;
+  std::size_t end = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    body_ = body;
-    mode_ = Mode::kStriped;
-    count_ = count;
-    claimed_ = 0;
-    std::fill(stripe_pos_.begin(), stripe_pos_.end(), 0);
-    first_error_ = nullptr;
-    ++generation_;
+    if (!ClaimLocked(s, workers_.size(), &begin, &end)) {
+      return false;
+    }
   }
-  RunBatch(workers_.size());
+  RunUnit(s, begin, end);
+  return true;
 }
 
-std::size_t ThreadPool::ClaimStripedLocked(std::size_t stripe) {
-  const std::size_t stripes = stripe_pos_.size();
-  for (std::size_t k = 0; k < stripes; ++k) {
-    const std::size_t s = (stripe + k) % stripes;
-    const std::size_t task = s + stripe_pos_[s] * stripes;
-    if (task < count_) {
-      ++stripe_pos_[s];
-      ++claimed_;
-      return task;
-    }
-  }
-  return count_;
-}
-
-void ThreadPool::Drain(std::size_t stripe) {
-  for (;;) {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    Body body;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (mode_ == Mode::kChunks) {
-        if (next_ >= count_) {
-          return;
-        }
-        begin = next_;
-        end = std::min(count_, begin + grain_);
-        next_ = end;
-      } else {
-        begin = ClaimStripedLocked(stripe);
-        if (begin >= count_) {
-          return;
-        }
-        end = begin + 1;
-      }
-      ++in_flight_;
-      body = body_;
-    }
-    try {
-      body(begin, end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) {
-        first_error_ = std::current_exception();
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (BatchClaimed() && in_flight_ == 0) {
-        batch_done_.notify_all();
-      }
-    }
-  }
-}
-
-void ThreadPool::WorkerLoop(std::size_t worker_id) {
-  std::uint64_t seen_generation = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(
-          lock, [this, seen_generation] { return shutdown_ || generation_ != seen_generation; });
-      if (shutdown_) {
-        return;
-      }
-      seen_generation = generation_;
-    }
-    Drain(worker_id);
-  }
-}
+void ThreadPool::JoinStream(Stream* s) { DrainAndJoin(s, workers_.size()); }
 
 }  // namespace vusion::host

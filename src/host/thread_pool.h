@@ -6,33 +6,44 @@
 // TraceBuffer, FusionStats) — those are single-threaded by contract; see DESIGN.md,
 // "Parallel host, serial sim".
 //
-// Two dispatch modes, one reusable barrier:
+// The pool runs any number of concurrent *streams* (dispatched batches) over one
+// worker set. Workers claim work from live streams in submission (FIFO) order, so
+// an urgent foreground batch is never starved by a later background one. Three
+// entry points share the machinery:
 //
 //   ParallelFor splits [0, count) into fixed-size chunks handed out from a shared
-//   cursor under the pool mutex (dynamic load balancing) — the scan pipeline's
-//   phase-1 sharding.
+//   cursor under the pool mutex (dynamic load balancing) and blocks until done —
+//   the barrier-mode scan sharding.
 //
 //   ParallelTasks hands out single indices with per-task stripe affinity: task t's
 //   home stripe is t % thread_count(), and each thread drains its own stripe before
 //   stealing from others, so a fleet Machine is stepped by the same thread quantum
 //   after quantum (warm caches) while an unbalanced quantum still load-balances.
+//   Blocks until done.
 //
-// In both modes the calling thread participates as a worker and the join barrier
-// is a plain condition variable keyed on a batch generation counter; all dispatch
-// state (cursors, stripe positions, the body reference) lives in fixed pool
-// members reused across generations — dispatching a batch performs no heap
-// allocation. Bodies are passed as a non-owning Body view instead of a
-// std::function for the same reason: the scan pipeline dispatches thousands of
-// batches per second and a capturing std::function allocates on every call.
-// The first exception thrown by any chunk/task is captured and rethrown on the
-// calling thread after the barrier; remaining chunks still run.
+//   BeginStream is the non-blocking form: it submits the chunked batch and returns
+//   immediately. Workers (and the caller, via HelpStream) hash chunks while the
+//   caller consumes them in ticket order through StreamReadyItems — the in-order
+//   completion stream the decoupled scan pipeline drains (DESIGN.md §14).
+//   JoinStream blocks for full completion and rethrows the first captured error.
+//
+// Dispatch calls are reentrant: a body running on a pool thread may itself submit
+// and join further streams on the same pool (a fleet Machine's step dispatching
+// its scan chunks). The blocking callers participate as workers on their own
+// stream, so progress never depends on a free pool thread. Stream records are
+// recycled through a free list — steady-state dispatch performs no heap
+// allocation — and bodies are passed as a non-owning Body view, not a
+// std::function, for the same reason. The first exception thrown by any
+// chunk/task is captured and rethrown on the joining thread; remaining chunks
+// still run (and a failed chunk still counts as completed, so the in-order
+// completion stream never stalls).
 
 #ifndef VUSION_SRC_HOST_THREAD_POOL_H_
 #define VUSION_SRC_HOST_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
-#include <exception>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -44,9 +55,8 @@ namespace vusion::host {
 class ThreadPool {
  public:
   // Non-owning view of a callable `void(std::size_t begin, std::size_t end)`.
-  // The referenced callable must outlive the dispatch call it is passed to; both
-  // entry points block until the batch completes, so passing a temporary lambda
-  // at the call site is safe.
+  // The referenced callable must outlive the dispatch: until the blocking call
+  // returns, or until JoinStream for BeginStream.
   class Body {
    public:
     Body() = default;
@@ -67,9 +77,14 @@ class ThreadPool {
     void (*fn_)(void*, std::size_t, std::size_t) = nullptr;
   };
 
+  // Opaque handle to a live dispatched stream; valid from BeginStream until the
+  // JoinStream that retires it.
+  class Stream;
+
   // `threads` is the total concurrency including the calling thread, so the pool
-  // spawns threads-1 background workers. threads<=1 spawns none and both dispatch
-  // calls run inline.
+  // spawns threads-1 background workers. threads<=1 spawns none and the blocking
+  // dispatch calls run inline (streams are then drained by HelpStream/JoinStream
+  // on the caller — the degenerate-but-identical form of the same pipeline).
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
@@ -79,56 +94,64 @@ class ThreadPool {
   [[nodiscard]] std::size_t thread_count() const { return workers_.size() + 1; }
 
   // Runs body(begin, end) over disjoint chunks covering [0, count), concurrently
-  // on all pool threads plus the caller, and returns after every chunk completed.
-  // grain=0 picks a chunk size targeting a few chunks per thread. Not reentrant:
-  // one batch at a time per pool.
+  // on the pool threads plus the caller, and returns after every chunk completed.
+  // grain=0 picks a chunk size targeting a few chunks per thread.
   void ParallelFor(std::size_t count, std::size_t grain, Body body);
 
   // Runs body(t, t+1) once for every task t in [0, count), concurrently, with
   // per-task stripe affinity (task t's home thread is t % thread_count()) and
-  // stealing. Returns after every task completed. Not reentrant with ParallelFor
-  // or itself.
+  // stealing. Returns after every task completed.
   void ParallelTasks(std::size_t count, Body body);
 
- private:
-  enum class Mode : std::uint8_t { kChunks, kStriped };
+  // --- Non-blocking streamed dispatch (submit + in-order completion) ---
 
+  // Submits body over grain-sized chunks of [0, count) and returns immediately.
+  // Chunk k covers [k*grain, min(count, (k+1)*grain)); chunks are claimed in
+  // index order, which is also the completion-stream ticket order. grain=0 maps
+  // to 1. The returned stream must be retired with JoinStream exactly once.
+  //
+  // LIFETIME: Body is a non-owning view, and unlike the blocking calls this one
+  // returns while chunks are still running — the callable must be an lvalue
+  // that outlives JoinStream, never a temporary lambda in the argument list.
+  Stream* BeginStream(std::size_t count, std::size_t grain, Body body);
+
+  // Items [0, StreamReadyItems(s)) have completed — the contiguously-done chunk
+  // prefix in ticket order. Lock-free acquire read; safe only for the thread
+  // that owns the stream (single consumer).
+  [[nodiscard]] std::size_t StreamReadyItems(const Stream* s) const;
+
+  // Claims and runs ONE unclaimed chunk of `s` on the calling thread. Returns
+  // false when every chunk is claimed (some may still be running elsewhere).
+  // The consumer calls this while waiting for its next ticket, so the stream
+  // completes even when every pool worker is busy with other streams.
+  bool HelpStream(Stream* s);
+
+  // Blocks until every chunk of `s` completed, retires the stream, and rethrows
+  // the first captured body exception.
+  void JoinStream(Stream* s);
+
+ private:
   void WorkerLoop(std::size_t worker_id);
-  // Claims and runs work until the current batch is exhausted. `stripe` is the
-  // calling thread's home stripe for striped batches.
-  void Drain(std::size_t stripe);
-  // Next striped task for a thread whose home stripe is `stripe`: own stripe
-  // first, then steal round-robin. Returns count_ when nothing is left.
-  // Caller holds mu_.
-  std::size_t ClaimStripedLocked(std::size_t stripe);
-  // Caller holds mu_. True when every chunk/task of the current batch is claimed.
-  [[nodiscard]] bool BatchClaimed() const;
-  // Dispatches a prepared batch and blocks on the join barrier; rethrows the
-  // first captured body exception. Caller must NOT hold mu_.
-  void RunBatch(std::size_t caller_stripe);
+  // Claims one unit of work from `s` (caller holds mu_); returns false if the
+  // stream has no unclaimed work. `stripe` is the claimant's home stripe.
+  bool ClaimLocked(Stream* s, std::size_t stripe, std::size_t* begin, std::size_t* end);
+  // Runs one claimed unit outside the lock and records its completion.
+  void RunUnit(Stream* s, std::size_t begin, std::size_t end);
+  [[nodiscard]] bool AnyUnclaimedLocked() const;
+  Stream* Submit(std::size_t count, std::size_t grain, bool striped, Body body, bool track_completion);
+  // Drains `s` on the caller (claim-and-run until nothing unclaimed), waits for
+  // stragglers, retires the stream, rethrows the first captured error.
+  void DrainAndJoin(Stream* s, std::size_t stripe);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-
-  // Current batch (all guarded by mu_). body_ is only invoked for work claimed
-  // while the batch was live; a worker waking late simply finds the batch
-  // exhausted. generation_ is bumped once per batch so sleeping workers key
-  // their wait on it instead of per-batch state.
-  Body body_;
-  Mode mode_ = Mode::kChunks;
-  std::uint64_t generation_ = 0;
-  std::size_t count_ = 0;
-  std::size_t next_ = 0;   // chunks mode: shared cursor
-  std::size_t grain_ = 1;  // chunks mode
-  // Striped mode: per-stripe position (task = stripe + pos * thread_count()) and
-  // total claimed count. Sized once in the constructor, reset (not reallocated)
-  // per batch.
-  std::vector<std::size_t> stripe_pos_;
-  std::size_t claimed_ = 0;
-  std::size_t in_flight_ = 0;
-  std::exception_ptr first_error_;
+  std::condition_variable stream_done_;
+  // Live streams in submission order (workers scan front-to-back), the free
+  // list of recycled records, and the arena owning them all.
+  std::deque<Stream*> live_;
+  std::vector<Stream*> free_;
+  std::vector<std::unique_ptr<Stream>> all_;
   bool shutdown_ = false;
 };
 

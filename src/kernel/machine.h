@@ -86,8 +86,15 @@ class Machine {
   // wall-clock machinery only; never touches simulated state). Returns null for
   // threads<=1 — the serial reference path. The pool is shared by all engines on
   // this machine and grown if a later caller asks for more threads; it is joined
-  // and destroyed with the machine.
+  // and destroyed with the machine. An installed external pool takes precedence
+  // regardless of `threads`.
   host::ThreadPool* HostPool(std::size_t threads);
+
+  // Points this machine's engines at a pool owned elsewhere (the Fleet's worker
+  // pool), so a fleet member's hash chunks are serviced by the shared workers
+  // while its serial merge no longer occupies a worker slot. Non-owning; never
+  // serialized. Pass null to fall back to the lazily-owned pool.
+  void SetExternalHostPool(host::ThreadPool* pool) { external_host_pool_ = pool; }
 
   // --- Processes ---
 
@@ -224,6 +231,7 @@ class Machine {
   std::vector<Daemon*> daemons_;
   std::unique_ptr<Khugepaged> khugepaged_;
   std::unique_ptr<host::ThreadPool> host_pool_;
+  host::ThreadPool* external_host_pool_ = nullptr;
   std::unique_ptr<FaultInjector> chaos_;
   TraceBuffer trace_;
   std::uint64_t total_faults_ = 0;

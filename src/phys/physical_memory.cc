@@ -1,5 +1,6 @@
 #include "src/phys/physical_memory.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 
@@ -30,6 +31,16 @@ const std::uint8_t* FrameBytes(const Frame& fr, std::uint8_t* scratch) {
       return fr.bytes->data();
   }
   return kZeroPage;
+}
+
+// Sole writer of the per-frame hash memo pair. Writes are confined to the
+// serial sim thread, but streaming-scan workers read the memo concurrently, so
+// the pair is published hash-first with a release store on the generation:
+// a worker that acquire-reads hash_gen == content_gen is guaranteed to read
+// the matching hash. gen == 0 invalidates (generation 0 is never current).
+void StoreMemo(const Frame& fr, std::uint64_t hash, std::uint64_t gen) {
+  std::atomic_ref<std::uint64_t>(fr.cached_hash).store(hash, std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t>(fr.hash_gen).store(gen, std::memory_order_release);
 }
 
 }  // namespace
@@ -90,6 +101,7 @@ std::uint32_t PhysicalMemory::DecRef(FrameId f) {
 }
 
 void PhysicalMemory::FillZero(FrameId f) {
+  const ScanGateLock gate(*this);
   Frame& fr = frames_[f];
   if (fr.bytes != nullptr) {
     fr.bytes.reset();
@@ -102,6 +114,7 @@ void PhysicalMemory::FillZero(FrameId f) {
 }
 
 void PhysicalMemory::FillPattern(FrameId f, std::uint64_t seed) {
+  const ScanGateLock gate(*this);
   Frame& fr = frames_[f];
   if (fr.bytes != nullptr) {
     fr.bytes.reset();
@@ -139,6 +152,7 @@ void PhysicalMemory::Materialize(FrameId f) {
 void PhysicalMemory::WriteBytes(FrameId f, std::size_t offset,
                                 std::span<const std::uint8_t> data) {
   assert(offset + data.size() <= kPageSize);
+  const ScanGateLock gate(*this);
   Materialize(f);
   Unshare(f);
   std::memcpy(frames_[f].bytes->data() + offset, data.data(), data.size());
@@ -186,13 +200,13 @@ std::uint8_t PhysicalMemory::ReadByte(FrameId f, std::size_t offset) const {
 }
 
 void PhysicalMemory::CopyFrame(FrameId dst, FrameId src) {
+  const ScanGateLock gate(*this);
   Frame& d = frames_[dst];
   const Frame& s = frames_[src];
   ++d.content_gen;
   NoteMutation(dst);
   // The copy inherits the source's cached hash (valid or not at the new generation).
-  d.cached_hash = s.cached_hash;
-  d.hash_gen = s.hash_cached() ? d.content_gen : 0;
+  StoreMemo(d, s.cached_hash, s.hash_cached() ? d.content_gen : 0);
   if (s.kind == ContentKind::kBytes) {
     // Alias the buffer copy-on-write instead of copying 4 KB; a later write to
     // either frame clones it (Unshare).
@@ -213,6 +227,7 @@ void PhysicalMemory::CopyFrame(FrameId dst, FrameId src) {
 
 void PhysicalMemory::FlipBit(FrameId f, std::size_t bit_index) {
   assert(bit_index < kPageSize * 8);
+  const ScanGateLock gate(*this);
   Materialize(f);
   Unshare(f);
   (*frames_[f].bytes)[bit_index / 8] ^= static_cast<std::uint8_t>(1U << (bit_index % 8));
@@ -255,7 +270,10 @@ std::uint64_t PhysicalMemory::HashContentSlow(FrameId f) const {
     case ContentKind::kZero:
       h = ZeroPageHash();
       break;
-    case ContentKind::kPattern:
+    case ContentKind::kPattern: {
+      // Promotion and insertion mutate the cache maps, which streaming-scan
+      // workers probe concurrently (PeekHash); the gate excludes them.
+      const ScanGateLock gate(*this);
       if (PatternHashLookup(fr.pattern_seed, /*promote=*/true, &h)) {
         ++pattern_hash_hits_;
       } else {
@@ -265,17 +283,22 @@ std::uint64_t PhysicalMemory::HashContentSlow(FrameId f) const {
         PatternHashInsert(fr.pattern_seed, h);
       }
       break;
+    }
   }
-  fr.cached_hash = h;
-  fr.hash_gen = fr.content_gen;
+  StoreMemo(fr, h, fr.content_gen);
   return h;
 }
 
 PhysicalMemory::HashSnapshot PhysicalMemory::PeekHash(FrameId f) const {
   const Frame& fr = frames_[f];
   HashSnapshot snapshot{fr.content_gen, 0};
-  if (fr.hash_gen == snapshot.content_gen) {
-    snapshot.hash = fr.cached_hash;
+  // Acquire/release pairing with StoreMemo: a matching generation guarantees
+  // the relaxed hash load below observes the hash published with it (and any
+  // older value at this generation is the identical deterministic hash).
+  if (std::atomic_ref<std::uint64_t>(fr.hash_gen).load(std::memory_order_acquire) ==
+      snapshot.content_gen) {
+    snapshot.hash =
+        std::atomic_ref<std::uint64_t>(fr.cached_hash).load(std::memory_order_relaxed);
     return snapshot;
   }
   std::uint64_t h = 0;
@@ -300,12 +323,15 @@ PhysicalMemory::HashSnapshot PhysicalMemory::PeekHash(FrameId f) const {
   return snapshot;
 }
 
-void PhysicalMemory::PrimeHash(FrameId f, const HashSnapshot& snapshot) {
+bool PhysicalMemory::PrimeHash(FrameId f, const HashSnapshot& snapshot) {
   const Frame& fr = frames_[f];
-  if (fr.content_gen == snapshot.content_gen && fr.hash_gen != fr.content_gen) {
-    fr.cached_hash = snapshot.hash;
-    fr.hash_gen = fr.content_gen;
+  if (fr.content_gen != snapshot.content_gen) {
+    return false;
   }
+  if (fr.hash_gen != fr.content_gen) {
+    StoreMemo(fr, snapshot.hash, fr.content_gen);
+  }
+  return true;
 }
 
 PhysicalMemory::ContentSnapshot PhysicalMemory::Snapshot(FrameId f) const {
@@ -332,8 +358,7 @@ void PhysicalMemory::Restore(FrameId f, const ContentSnapshot& snapshot) {
       WriteBytes(f, 0, *snapshot.bytes);
       break;
   }
-  frames_[f].cached_hash = snapshot.hash;
-  frames_[f].hash_gen = frames_[f].content_gen;
+  StoreMemo(frames_[f], snapshot.hash, frames_[f].content_gen);
 }
 
 bool PhysicalMemory::SnapshotsEqual(const ContentSnapshot& a, const ContentSnapshot& b) {

@@ -6,6 +6,7 @@
 #define VUSION_SRC_PHYS_PHYSICAL_MEMORY_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -90,11 +91,15 @@ class PhysicalMemory {
   //
   // PeekHash is HashContent minus every side effect: it never writes the per-frame
   // memo, never touches the pattern-hash cache counters, and never inserts into the
-  // cache, so any number of host worker threads may call it concurrently while no
-  // mutator runs (the scan pipeline's phase-1 contract). PrimeHash installs a
-  // snapshot into the frame memo from the serial thread, and only if the frame's
+  // cache, so any number of host worker threads may call it concurrently — either
+  // while no mutator runs (the barrier pipeline's phase-1 contract) or holding the
+  // streaming-scan gate shared while mutators take it exclusive. PrimeHash installs
+  // a snapshot into the frame memo from the serial thread, and only if the frame's
   // content generation still matches — a stale snapshot is simply dropped, so a
   // primed memo is always exactly what HashContent would have computed itself.
+  // Memo reads/writes that can cross threads go through std::atomic_ref, so the
+  // serial thread may prime or hash one frame while workers peek another (or the
+  // same) frame concurrently.
 
   struct HashSnapshot {
     std::uint64_t content_gen = 0;
@@ -102,7 +107,24 @@ class PhysicalMemory {
   };
 
   [[nodiscard]] HashSnapshot PeekHash(FrameId f) const;
-  void PrimeHash(FrameId f, const HashSnapshot& snapshot);
+  // Returns true when the snapshot's generation still matches the frame (the
+  // speculative hash was fresh — installed into the memo, or already there);
+  // false means the frame mutated since the snapshot and it was dropped. The
+  // streaming pipeline counts the false returns as conflicts.
+  bool PrimeHash(FrameId f, const HashSnapshot& snapshot);
+
+  // --- Streaming-scan gate (decoupled pipeline; DESIGN.md §14) ---
+  //
+  // While a streaming scan is live, hashing workers run concurrently with the
+  // serial merge instead of before it. Workers hold the gate shared around each
+  // chunk; content mutators (and pattern-cache writes) take it exclusive, so a
+  // worker always sees a frame's {content, content_gen} pair consistent even
+  // mid-merge. Begin/End are called by the pipeline on the owning sim thread;
+  // outside a streaming scan the `streaming_scan_` short-circuit keeps every
+  // mutator lock-free.
+  void BeginStreamingScan() { streaming_scan_ = true; }
+  void EndStreamingScan() { streaming_scan_ = false; }
+  [[nodiscard]] std::shared_mutex& scan_gate() const { return scan_mu_; }
 
   // Monotonic per-frame content version; bumped by every mutating operation
   // (WriteBytes/WriteU64/FlipBit/CopyFrame/FillZero/FillPattern/Restore). Lets
@@ -164,6 +186,25 @@ class PhysicalMemory {
   [[nodiscard]] static bool SnapshotsEqual(const ContentSnapshot& a, const ContentSnapshot& b);
 
  private:
+  // RAII exclusive hold of the scan gate, no-op unless a streaming scan is
+  // live. Every content mutator takes one; `streaming_scan_` only toggles on
+  // the owning sim thread, so the ctor/dtor decision is race-free.
+  class ScanGateLock {
+   public:
+    explicit ScanGateLock(const PhysicalMemory& pm)
+        : mu_(pm.streaming_scan_ ? &pm.scan_mu_ : nullptr) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~ScanGateLock() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    ScanGateLock(const ScanGateLock&) = delete;
+    ScanGateLock& operator=(const ScanGateLock&) = delete;
+
+   private:
+    std::shared_mutex* mu_;
+  };
+
   [[nodiscard]] std::uint64_t HashContentSlow(FrameId f) const;
   void Materialize(FrameId f);
   // Clones the frame's buffer if it is CoW-aliased with another frame; every
@@ -199,6 +240,8 @@ class PhysicalMemory {
   mutable std::uint64_t pattern_hash_hits_ = 0;
   mutable std::uint64_t pattern_hash_misses_ = 0;
   mutable std::uint64_t pattern_hash_evictions_ = 0;
+  mutable std::shared_mutex scan_mu_;
+  bool streaming_scan_ = false;
 };
 
 // Deterministic byte expansion of a pattern seed; exposed for tests.

@@ -132,6 +132,8 @@ inline void WriteFusionConfig(SnapshotWriter& w, const FusionConfig& c) {
   w.U64(c.wake_period);
   w.U64(c.pages_per_wake);
   w.U64(c.scan_threads);
+  w.Bool(c.scan_streaming);
+  w.U64(c.scan_chunk_pages);
   w.Bool(c.zero_pages_only);
   w.Bool(c.unmerge_on_any_access);
   w.U64(c.pool_frames);
@@ -153,6 +155,8 @@ inline FusionConfig ReadFusionConfig(SnapshotReader& r) {
   c.wake_period = r.U64();
   c.pages_per_wake = static_cast<std::size_t>(r.U64());
   c.scan_threads = static_cast<std::size_t>(r.U64());
+  c.scan_streaming = r.Bool();
+  c.scan_chunk_pages = static_cast<std::size_t>(r.U64());
   c.zero_pages_only = r.Bool();
   c.unmerge_on_any_access = r.Bool();
   c.pool_frames = static_cast<std::size_t>(r.U64());

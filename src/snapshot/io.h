@@ -28,7 +28,9 @@
 namespace vusion::snapshot {
 
 inline constexpr std::uint64_t kMagic = 0x53535653'4e4f4953ull;  // "SIONVSSS"
-inline constexpr std::uint32_t kVersion = 1;
+// v2: FusionConfig gained scan_streaming + scan_chunk_pages (decoupled
+// streaming scan pipeline). v1 images predate the fields and fail closed.
+inline constexpr std::uint32_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 20;  // magic + version + count + crc
 
 // Structured restore failure: carries the name of the section (or "header")

@@ -197,6 +197,8 @@ class DeltaParityTest : public ::testing::TestWithParam<DeltaParam> {
     // make delta-off runs silently delta-on (or force a thread count).
     unsetenv("VUSION_DELTA_SCAN");
     unsetenv("VUSION_SCAN_THREADS");
+    unsetenv("VUSION_SCAN_STREAMING");
+    unsetenv("VUSION_SCAN_CHUNK");
   }
 };
 
@@ -257,6 +259,8 @@ class DeltaChaosAbortTest : public ::testing::TestWithParam<ChaosDeltaParam> {
   void SetUp() override {
     unsetenv("VUSION_DELTA_SCAN");
     unsetenv("VUSION_SCAN_THREADS");
+    unsetenv("VUSION_SCAN_STREAMING");
+    unsetenv("VUSION_SCAN_CHUNK");
   }
 };
 

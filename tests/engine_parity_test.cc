@@ -378,7 +378,8 @@ struct ThreadedResult {
 };
 
 ThreadedResult RunThreadedScenario(EngineKind kind, std::uint64_t seed,
-                                   std::size_t threads) {
+                                   std::size_t threads, bool streaming = true,
+                                   std::size_t chunk_pages = 0) {
   MachineConfig machine_config;
   machine_config.frame_count = 1u << 14;
   machine_config.seed = seed;
@@ -390,6 +391,8 @@ ThreadedResult RunThreadedScenario(EngineKind kind, std::uint64_t seed,
   fusion_config.pool_frames = 1024;
   fusion_config.wpf_period = 10 * kMillisecond;
   fusion_config.scan_threads = threads;
+  fusion_config.scan_streaming = streaming;
+  fusion_config.scan_chunk_pages = chunk_pages;
   ScopedEngine engine(kind, machine, fusion_config);
 
   constexpr std::size_t kVms = 3;
@@ -441,6 +444,27 @@ ThreadedResult RunThreadedScenario(EngineKind kind, std::uint64_t seed,
   return result;
 }
 
+void ExpectThreadedResultsEqual(const ThreadedResult& want, const ThreadedResult& got,
+                                const std::string& label) {
+  EXPECT_EQ(want.base.pages_scanned, got.base.pages_scanned) << label;
+  EXPECT_EQ(want.base.merges, got.base.merges) << label;
+  EXPECT_EQ(want.base.fake_merges, got.base.fake_merges) << label;
+  EXPECT_EQ(want.base.unmerges_cow, got.base.unmerges_cow) << label;
+  EXPECT_EQ(want.base.unmerges_coa, got.base.unmerges_coa) << label;
+  EXPECT_EQ(want.base.zero_page_merges, got.base.zero_page_merges) << label;
+  EXPECT_EQ(want.base.full_scans, got.base.full_scans) << label;
+  EXPECT_EQ(want.base.frames_saved, got.base.frames_saved) << label;
+  EXPECT_EQ(want.base.final_time, got.base.final_time) << label;
+  ASSERT_EQ(want.trace.size(), got.trace.size()) << label;
+  for (std::size_t i = 0; i < want.trace.size(); ++i) {
+    const TraceEvent& a = want.trace[i];
+    const TraceEvent& b = got.trace[i];
+    ASSERT_TRUE(a.time == b.time && a.type == b.type && a.process_id == b.process_id &&
+                a.vpn == b.vpn && a.frame == b.frame)
+        << label << ": event " << i << " diverged at time " << a.time << " vs " << b.time;
+  }
+}
+
 struct ThreadedParam {
   EngineKind kind;
   std::uint64_t seed;
@@ -452,6 +476,8 @@ class ScanThreadsParityTest : public ::testing::TestWithParam<ThreadedParam> {
     // The TSan CI job forces scan_threads via the environment; this test owns the
     // thread count explicitly, so drop the override for the comparison to be real.
     unsetenv("VUSION_SCAN_THREADS");
+    unsetenv("VUSION_SCAN_STREAMING");
+    unsetenv("VUSION_SCAN_CHUNK");
   }
 };
 
@@ -482,6 +508,31 @@ TEST_P(ScanThreadsParityTest, SerialAndParallelScansAreBitIdentical) {
   // The scenario must exercise fusion and unmerge churn, not compare no-ops.
   EXPECT_GT(serial.base.merges + serial.base.fake_merges, 0u);
   EXPECT_GT(serial.trace.size(), 0u);
+}
+
+// The streaming pipeline (speculative hash + validated merge, DESIGN.md §14)
+// must be bit-identical to the barrier shape and to the serial reference for
+// every chunk size and thread count: chunk=1 maximizes handoff traffic and
+// merge/hash interleaving, chunk=16 is a mid-grain, chunk >= pages_per_wake
+// degenerates to one chunk (barrier-like), chunk=0 is the auto heuristic.
+TEST_P(ScanThreadsParityTest, StreamingAndBarrierPipelinesAreBitIdentical) {
+  const ThreadedParam param = GetParam();
+  const ThreadedResult reference =
+      RunThreadedScenario(param.kind, param.seed, 1, /*streaming=*/false);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    // Barrier shape at this thread count.
+    ExpectThreadedResultsEqual(
+        reference, RunThreadedScenario(param.kind, param.seed, threads, false),
+        "barrier threads=" + std::to_string(threads));
+    // Streaming shape across chunk sizes (256 = pages_per_wake: whole quantum).
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{16}, std::size_t{256}, std::size_t{0}}) {
+      ExpectThreadedResultsEqual(
+          reference, RunThreadedScenario(param.kind, param.seed, threads, true, chunk),
+          "streaming threads=" + std::to_string(threads) +
+              " chunk=" + std::to_string(chunk));
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -179,9 +179,10 @@ TEST_F(SnapshotCorruptionTest, UnknownEngineKindBehindValidChecksumRejected) {
   const snapshot::SnapshotInfo info = snapshot::InspectSnapshot(image());
   const auto& config = info.sections.front();
   ASSERT_EQ(config.name, "config");
-  // The engine-kind byte sits just before the 80-byte FusionConfig record at
-  // the end of the "config" payload.
-  const std::size_t kind_delta = config.size - 80 - 1;
+  // The engine-kind byte sits just before the 89-byte FusionConfig record at
+  // the end of the "config" payload (see WriteFusionConfig: 10 U64/F64 + 9
+  // Bool fields as of snapshot v2).
+  const std::size_t kind_delta = config.size - 89 - 1;
   const std::string buffer =
       PatchSealedByte(image(), config, kind_delta, static_cast<char>(0xC8));
   ExpectRestoreError(buffer, "config", "unknown engine kind behind valid CRC");

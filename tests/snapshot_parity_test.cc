@@ -28,11 +28,17 @@ struct Cell {
   EngineKind kind;
   std::size_t threads;
   bool delta;
+  // Scan pipeline shape (scan_streaming defaults on in FusionConfig, so the
+  // plain cells above already stream; these make the shapes explicit).
+  bool streaming = true;
+  std::size_t chunk_pages = 0;
 };
 
 std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
   return std::string(EngineKindName(info.param.kind)) + "T" +
-         std::to_string(info.param.threads) + (info.param.delta ? "DeltaOn" : "DeltaOff");
+         std::to_string(info.param.threads) + (info.param.delta ? "DeltaOn" : "DeltaOff") +
+         (info.param.streaming ? "" : "Barrier") +
+         (info.param.chunk_pages != 0 ? "C" + std::to_string(info.param.chunk_pages) : "");
 }
 
 MachineConfig MakeMachineConfig() {
@@ -50,6 +56,8 @@ FusionConfig MakeFusionConfig(const Cell& cell) {
   config.wpf_period = 10 * kMillisecond;
   config.scan_threads = cell.threads;
   config.delta_scan = cell.delta;
+  config.scan_streaming = cell.streaming;
+  config.scan_chunk_pages = cell.chunk_pages;
   return config;
 }
 
@@ -210,8 +218,60 @@ INSTANTIATE_TEST_SUITE_P(
                       Cell{EngineKind::kWpf, 1, false}, Cell{EngineKind::kWpf, 1, true},
                       Cell{EngineKind::kWpf, 4, false}, Cell{EngineKind::kWpf, 4, true},
                       Cell{EngineKind::kVUsion, 1, false}, Cell{EngineKind::kVUsion, 1, true},
-                      Cell{EngineKind::kVUsion, 4, false}, Cell{EngineKind::kVUsion, 4, true}),
+                      Cell{EngineKind::kVUsion, 4, false}, Cell{EngineKind::kVUsion, 4, true},
+                      // Explicit pipeline shapes: barrier, and streaming at the
+                      // maximally-interleaved chunk size.
+                      Cell{EngineKind::kKsm, 4, false, false, 0},
+                      Cell{EngineKind::kKsm, 4, false, true, 1},
+                      Cell{EngineKind::kVUsion, 4, false, false, 0},
+                      Cell{EngineKind::kVUsion, 4, false, true, 1},
+                      Cell{EngineKind::kWpf, 4, false, true, 1}),
     CellName);
+
+// The determinism fence (DESIGN.md §14): hash-memo validity is serialized in
+// snapshots, so the streaming pipeline must leave EXACTLY the memo state the
+// barrier shape leaves at the same config — a speculative snapshot taken at
+// any generation other than the recorded pre-merge one is dropped, never
+// installed, no matter how the worker/merge interleaving fell. (Memo COVERAGE
+// may legitimately differ between the serial path and the pipelined path —
+// phase 1 primes pages the serial body skips before hashing — which is fine:
+// savestate determinism is per config.) Checked as byte equality of every
+// snapshot section except "config" (which records the shape knobs themselves)
+// between barrier and chunk=1 streaming runs of the same campaign.
+TEST(SnapshotParityTest, StreamingShapeDoesNotLeakIntoSnapshotBytes) {
+  const auto save_with = [](bool streaming, std::size_t chunk) {
+    Cell cell{EngineKind::kKsm, 4, false, streaming, chunk};
+    Machine machine(MakeMachineConfig());
+    std::unique_ptr<FusionEngine> engine =
+        MakeEngineExact(cell.kind, machine, MakeFusionConfig(cell));
+    engine->Install();
+    const std::vector<VirtAddr> bases = SetupProcesses(machine);
+    RunPhase(machine, bases, kPhase1Seed);
+    std::string image = snapshot::SaveSnapshot(machine, engine.get(), cell.kind);
+    engine->Uninstall();
+    return image;
+  };
+  const auto sections_except_config = [](const std::string& image) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& s : snapshot::InspectSnapshot(image).sections) {
+      if (s.name != "config") {
+        out.emplace_back(s.name, image.substr(s.offset, s.size));
+      }
+    }
+    return out;
+  };
+  const auto barrier = sections_except_config(save_with(false, 0));
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{0}}) {
+    const auto streamed = sections_except_config(save_with(true, chunk));
+    ASSERT_EQ(barrier.size(), streamed.size());
+    for (std::size_t i = 0; i < barrier.size(); ++i) {
+      EXPECT_EQ(barrier[i].first, streamed[i].first);
+      EXPECT_TRUE(barrier[i].second == streamed[i].second)
+          << "streaming (chunk=" << chunk << ") diverged in section '"
+          << barrier[i].first << "'";
+    }
+  }
+}
 
 // Fork-style fan-out: clones restored from one buffer are fully independent
 // deep copies — identical inputs keep them bit-identical, divergent inputs

@@ -22,7 +22,11 @@ using TeardownParam = std::tuple<EngineKind, ScanPhase, std::size_t>;
 
 class TeardownMidScanTest : public ::testing::TestWithParam<TeardownParam> {
  protected:
-  void SetUp() override { unsetenv("VUSION_SCAN_THREADS"); }
+  void SetUp() override {
+    unsetenv("VUSION_SCAN_THREADS");
+    unsetenv("VUSION_SCAN_STREAMING");
+    unsetenv("VUSION_SCAN_CHUNK");
+  }
 };
 
 TEST_P(TeardownMidScanTest, EngineSurvivesTeardownAtPhaseBoundary) {
